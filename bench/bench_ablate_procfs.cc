@@ -1,0 +1,131 @@
+// bench_ablate_procfs — message-based LPMs vs the processes-as-files
+// approach (paper Section 6).
+//
+// The authors wrote that /proc over a network file system is "a very
+// elegant alternative to our message based approach" for signal
+// delivery, but that event detection and remote creation fall outside
+// it.  Both mechanisms exist in this repository, so the comparison runs:
+//
+//   * latency of one remote stop: PPM sibling channel (amortized) vs a
+//     one-shot NFS-style /proc ctl write;
+//   * the "hunting" cost /proc imposes: without genealogy, finding your
+//     own processes means listing and reading every pid on every host;
+//   * the capability matrix the paper argues from.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "host/procfs.h"
+
+using namespace ppm;
+
+int main() {
+  core::Cluster cluster;
+  cluster.AddHost("home");
+  cluster.AddHost("work");
+  cluster.Link("home", "work");
+  bench::InstallUser(cluster);
+  host::StartProcFsServer(cluster.host("work"));
+  cluster.RunFor(sim::Millis(10));
+
+  tools::PpmClient* client = bench::Connect(cluster, "home");
+  if (!client) return 1;
+  auto target = bench::CreateSync(cluster, *client, "work", "victim");
+  if (!target) return 1;
+  // Other processes on the host, to make the hunt realistic.
+  for (int i = 0; i < 20; ++i) {
+    cluster.host("work").kernel().Spawn(host::kNoPid, 777, "noise", nullptr,
+                                        host::ProcState::kSleeping);
+  }
+
+  bench::PrintHeader("Ablation: PPM messages vs /proc-over-NFS (paper Sec. 6)");
+
+  // (1) one remote stop, both ways.
+  std::vector<double> ppm_ms, proc_ms;
+  for (int i = 0; i < 10; ++i) {
+    std::optional<core::SignalResp> sig;
+    ppm_ms.push_back(bench::MeasureMs(
+        cluster,
+        [&] {
+          client->Signal(*target, i % 2 ? host::Signal::kSigCont : host::Signal::kSigStop,
+                         [&](const core::SignalResp& r) { sig = r; });
+        },
+        [&] { return sig.has_value(); }));
+    std::optional<host::ProcFsResult> result;
+    proc_ms.push_back(bench::MeasureMs(
+        cluster,
+        [&] {
+          host::ProcFsWriteCtl(cluster.host("home"), "work", target->pid,
+                               i % 2 ? "stop" : "cont", bench::kUid,
+                               [&](const host::ProcFsResult& r) { result = r; });
+        },
+        [&] { return result.has_value(); }));
+  }
+  std::printf("\n(1) remote stop/cont latency: PPM %.0f ms | /proc ctl write %.0f ms\n",
+              bench::Mean(ppm_ms), bench::Mean(proc_ms));
+  std::printf(
+      "    the one-shot /proc write beats the marshalled sibling channel on a\n"
+      "    single signal — exactly why the authors called it elegant for\n"
+      "    message delivery\n");
+
+  // (2) but finding your processes without genealogy means hunting.
+  double snap_ms;
+  size_t snap_records = 0;
+  {
+    std::optional<core::SnapshotResp> snap;
+    snap_ms = bench::MeasureMs(
+        cluster, [&] { client->Snapshot([&](const core::SnapshotResp& r) { snap = r; }); },
+        [&] { return snap.has_value(); });
+    if (snap) snap_records = snap->records.size();
+  }
+  double hunt_ms;
+  size_t reads = 0;
+  {
+    std::optional<host::ProcFsResult> listing;
+    size_t mine = 0;
+    hunt_ms = bench::MeasureMs(
+        cluster,
+        [&] {
+          host::ProcFsList(cluster.host("home"), "work",
+                           [&](const host::ProcFsResult& r) { listing = r; });
+        },
+        [&] { return listing.has_value(); });
+    // Read every status file to find ours (uid match) — the "explicitly
+    // hunted for" cost.
+    for (host::Pid p : listing->pids) {
+      std::optional<host::ProcFsResult> status;
+      hunt_ms += bench::MeasureMs(
+          cluster,
+          [&] {
+            host::ProcFsRead(cluster.host("home"), "work", p,
+                             [&](const host::ProcFsResult& r) { status = r; });
+          },
+          [&] { return status.has_value(); });
+      ++reads;
+      if (status->ok &&
+          status->content.find("uid " + std::to_string(bench::kUid)) != std::string::npos) {
+        ++mine;
+      }
+    }
+    (void)mine;
+  }
+  std::printf(
+      "\n(2) locating the user's processes on one busy host:\n"
+      "    PPM snapshot %.0f ms (%zu records, genealogy included)\n"
+      "    /proc hunt   %.0f ms (%zu status files read one RPC at a time)\n",
+      snap_ms, snap_records, hunt_ms, reads);
+
+  // (3) capability matrix.
+  std::printf(
+      "\n(3) capability matrix (paper Sec. 6):\n"
+      "    %-34s %-8s %s\n"
+      "    %-34s %-8s %s\n"
+      "    %-34s %-8s %s\n"
+      "    %-34s %-8s %s\n"
+      "    %-34s %-8s %s\n",
+      "capability", "PPM", "/proc+NFS",
+      "signal delivery", "yes", "yes",
+      "event detection / history", "yes", "NO (pull-only)",
+      "remote process creation", "yes", "NO",
+      "authenticated control", "pmd token", "claimed uid (AUTH_UNIX)");
+  return 0;
+}

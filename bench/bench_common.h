@@ -1,0 +1,126 @@
+// bench_common.h — shared infrastructure for the reproduction benches.
+//
+// Every bench_table*/fig* binary reproduces one exhibit of the paper.
+// Measurements are in *virtual* milliseconds: the simulator's clock plays
+// the role of the authors' wall clock, and the cost model (see
+// host/calibration.h) is calibrated against Table 1 and the within-host
+// column of Table 2.  Shape fidelity — who wins, by what factor, where
+// costs cross over — is the claim; absolute equality is not.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/lpm.h"
+#include "tools/client.h"
+
+namespace ppm::bench {
+
+constexpr host::Uid kUid = 100;
+inline const char* kUser = "leslie";
+
+// Advances the cluster until `pred` holds (or `horizon` elapses).
+template <typename Pred>
+bool RunUntil(core::Cluster& cluster, Pred pred,
+              sim::SimDuration horizon = sim::Seconds(120),
+              sim::SimDuration step = sim::Millis(5)) {
+  sim::SimTime deadline = cluster.simulator().Now() + static_cast<sim::SimTime>(horizon);
+  while (!pred()) {
+    if (cluster.simulator().Now() >= deadline) return false;
+    cluster.RunFor(step);
+  }
+  return true;
+}
+
+inline void InstallUser(core::Cluster& cluster,
+                        const std::vector<std::string>& recovery = {}) {
+  cluster.AddUserEverywhere(kUser, kUid);
+  cluster.TrustUserEverywhere(kUser, kUid);
+  if (!recovery.empty()) cluster.SetRecoveryList(kUid, recovery);
+}
+
+inline tools::PpmClient* Connect(core::Cluster& cluster, const std::string& host,
+                                 const std::string& tool = "bench") {
+  tools::PpmClient* client = tools::SpawnTool(cluster.host(host), kUser, kUid, tool);
+  bool done = false, ok = false;
+  client->Start([&](bool success, std::string) {
+    done = true;
+    ok = success;
+  });
+  if (!RunUntil(cluster, [&] { return done; })) return nullptr;
+  return ok ? client : nullptr;
+}
+
+// Synchronous wrappers over the client API (they pump the simulator).
+inline std::optional<core::GPid> CreateSync(core::Cluster& cluster,
+                                            tools::PpmClient& client,
+                                            const std::string& host,
+                                            const std::string& command,
+                                            const core::GPid& parent = {},
+                                            bool initially_running = false) {
+  // Benches default to sleeping children: the paper measured lightly
+  // loaded hosts, and a runnable child would raise `la` mid-measurement.
+  std::optional<core::CreateResp> result;
+  client.CreateProcess(host, command, parent,
+                       [&](const core::CreateResp& r) { result = r; },
+                       initially_running);
+  if (!RunUntil(cluster, [&] { return result.has_value(); })) return std::nullopt;
+  if (!result->ok) return std::nullopt;
+  return result->gpid;
+}
+
+inline bool SignalSync(core::Cluster& cluster, tools::PpmClient& client,
+                       const core::GPid& target, host::Signal sig) {
+  std::optional<core::SignalResp> result;
+  client.Signal(target, sig, [&](const core::SignalResp& r) { result = r; });
+  if (!RunUntil(cluster, [&] { return result.has_value(); })) return false;
+  return result->ok;
+}
+
+inline std::optional<core::SnapshotResp> SnapshotSync(core::Cluster& cluster,
+                                                      tools::PpmClient& client) {
+  std::optional<core::SnapshotResp> result;
+  client.Snapshot([&](const core::SnapshotResp& r) { result = r; });
+  if (!RunUntil(cluster, [&] { return result.has_value(); })) return std::nullopt;
+  return result;
+}
+
+// Measures the virtual elapsed time of one client operation.
+inline double MeasureMs(core::Cluster& cluster, const std::function<void()>& issue,
+                        const std::function<bool()>& completed) {
+  sim::SimTime start = cluster.simulator().Now();
+  issue();
+  RunUntil(cluster, completed);
+  return sim::ToMillis(static_cast<sim::SimDuration>(cluster.simulator().Now() - start));
+}
+
+inline double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+// --- table printing -------------------------------------------------------
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n%s\n", title.c_str());
+  for (size_t i = 0; i < title.size(); ++i) std::printf("=");
+  std::printf("\n");
+}
+
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int prec = 1) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace ppm::bench

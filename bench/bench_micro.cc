@@ -1,0 +1,118 @@
+// bench_micro — google-benchmark microbenchmarks of the real (wall-
+// clock) hot paths of the library: wire encode/decode, the event queue,
+// the broadcast filter, and forest rendering.  These complement the
+// virtual-time reproduction benches: they measure what this C++
+// implementation itself costs.
+#include <benchmark/benchmark.h>
+
+#include "core/broadcast.h"
+#include "core/wire.h"
+#include "sim/simulator.h"
+#include "tools/display.h"
+
+namespace {
+
+using namespace ppm;
+
+core::SnapshotResp MakeSnapshotResp(size_t records) {
+  core::SnapshotResp resp;
+  resp.req_id = 7;
+  resp.origin_host = "vaxA";
+  resp.bcast_seq = 3;
+  resp.replier_host = "vaxC";
+  resp.route = {"vaxA", "vaxB", "vaxC"};
+  for (size_t i = 0; i < records; ++i) {
+    core::ProcRecord rec;
+    rec.gpid = {"vaxC", static_cast<host::Pid>(i + 2)};
+    rec.logical_parent = {"vaxA", 1};
+    rec.uid = 100;
+    rec.command = "worker-" + std::to_string(i);
+    rec.state = host::ProcState::kRunning;
+    rec.start_time = 1000 + i;
+    rec.cpu_time = static_cast<sim::SimDuration>(i * 17);
+    resp.records.push_back(std::move(rec));
+  }
+  return resp;
+}
+
+void BM_WireSerializeSnapshot(benchmark::State& state) {
+  core::Msg msg{MakeSnapshotResp(static_cast<size_t>(state.range(0)))};
+  for (auto _ : state) {
+    auto bytes = core::Serialize(msg);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WireSerializeSnapshot)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_WireParseSnapshot(benchmark::State& state) {
+  auto bytes = core::Serialize(core::Msg{MakeSnapshotResp(static_cast<size_t>(state.range(0)))});
+  for (auto _ : state) {
+    auto msg = core::Parse(bytes);
+    benchmark::DoNotOptimize(msg);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * bytes.size()));
+}
+BENCHMARK(BM_WireParseSnapshot)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_KernelEventRoundTrip(benchmark::State& state) {
+  host::KernelEvent ev;
+  ev.kind = host::KEvent::kExit;
+  ev.pid = 42;
+  ev.status = 3;
+  ev.at = 123456;
+  ev.detail = "worker";
+  for (auto _ : state) {
+    auto bytes = core::SerializeKernelEvent(ev);
+    auto parsed = core::ParseKernelEvent(bytes);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * core::kKernelEventWireBytes));
+}
+BENCHMARK(BM_KernelEventRoundTrip);
+
+void BM_SimulatorScheduleFire(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < batch; ++i) {
+      sim.ScheduleIn(i % 997, [] {});
+    }
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SimulatorScheduleFire)->Arg(1000)->Arg(10000);
+
+void BM_BroadcastFilter(benchmark::State& state) {
+  core::BroadcastFilter filter(sim::Seconds(60));
+  uint64_t seq = 0;
+  sim::SimTime now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.CheckAndRecord("vaxA", seq++, now));
+    now += 1000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BroadcastFilter);
+
+void BM_BuildAndRenderForest(benchmark::State& state) {
+  auto resp = MakeSnapshotResp(static_cast<size_t>(state.range(0)));
+  // Add a root so the records form a tree.
+  core::ProcRecord root;
+  root.gpid = {"vaxA", 1};
+  root.command = "root";
+  resp.records.push_back(root);
+  for (auto _ : state) {
+    auto forest = tools::BuildForest(resp.records);
+    auto text = tools::RenderForest(forest);
+    benchmark::DoNotOptimize(text);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BuildAndRenderForest)->Arg(10)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// bench_migration — cost profile of the process-migration extension.
+//
+// The 1986 PPM had no migration; the paper cites DEMOS/MP and LOCUS as
+// systems that did and lists event-dependent changes of "the site of
+// execution" as a motivation.  This bench characterizes our cold
+// migration: cost vs topological distance between source and
+// destination, compared against plain remote creation (migration must
+// cost more: it ships an image and runs a distributed commit), plus the
+// host-evacuation scenario (move everything off a machine before taking
+// it down).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace ppm;
+
+int main() {
+  // Chain: home — h1 — h2 — h3 (so migrations cover 1..3 hops).
+  core::Cluster cluster;
+  cluster.AddHost("home");
+  cluster.AddHost("h1");
+  cluster.AddHost("h2");
+  cluster.AddHost("h3");
+  cluster.Link("home", "h1");
+  cluster.Link("h1", "h2");
+  cluster.Link("h2", "h3");
+  bench::InstallUser(cluster);
+  cluster.RunFor(sim::Millis(10));
+  tools::PpmClient* client = bench::Connect(cluster, "home");
+  if (!client) return 1;
+  // Warm every LPM and circuit.
+  for (const char* h : {"home", "h1", "h2", "h3"}) {
+    if (!bench::CreateSync(cluster, *client, h, "warm")) return 1;
+  }
+
+  bench::PrintHeader("Extension: process migration cost vs distance");
+  std::printf("%-22s%-18s%-18s\n", "move", "migrate ms", "plain create ms");
+  struct Move {
+    const char* from;
+    const char* to;
+    const char* label;
+  };
+  for (const Move& mv : {Move{"home", "h1", "home -> h1 (1 hop)"},
+                         Move{"home", "h2", "home -> h2 (2 hops)"},
+                         Move{"home", "h3", "home -> h3 (3 hops)"},
+                         Move{"h1", "h3", "h1 -> h3 (2 hops)"}}) {
+    auto g = bench::CreateSync(cluster, *client, mv.from, "migrant");
+    if (!g) return 1;
+    std::optional<core::MigrateResp> migrated;
+    double mig_ms = bench::MeasureMs(
+        cluster,
+        [&] {
+          client->Migrate(*g, mv.to, [&](const core::MigrateResp& r) { migrated = r; });
+        },
+        [&] { return migrated.has_value(); });
+    if (!migrated || !migrated->ok) {
+      std::printf("%-22sFAILED: %s\n", mv.label, migrated ? migrated->error.c_str() : "");
+      continue;
+    }
+    std::optional<core::CreateResp> created;
+    double create_ms = bench::MeasureMs(
+        cluster,
+        [&] {
+          client->CreateProcess(
+              mv.to, "fresh", {}, [&](const core::CreateResp& r) { created = r; }, false);
+        },
+        [&] { return created.has_value(); });
+    std::printf("%-22s%-18.0f%-18.0f\n", mv.label, mig_ms, create_ms);
+    cluster.RunFor(sim::Millis(200));
+  }
+
+  // Host evacuation: drain N processes off h1 before maintenance.
+  bench::PrintHeader("Extension: evacuating a host (migrate everything off h1)");
+  std::printf("%-12s%-20s\n", "processes", "evacuation ms");
+  for (int n : {2, 4, 8}) {
+    std::vector<core::GPid> movers;
+    for (int i = 0; i < n; ++i) {
+      auto g = bench::CreateSync(cluster, *client, "h1", "svc" + std::to_string(i));
+      if (!g) return 1;
+      movers.push_back(*g);
+    }
+    size_t done_count = 0;
+    double ms = bench::MeasureMs(
+        cluster,
+        [&] {
+          for (const core::GPid& g : movers) {
+            client->Migrate(g, "h2",
+                            [&](const core::MigrateResp& r) { done_count += r.ok; });
+          }
+        },
+        [&] { return done_count == movers.size(); });
+    std::printf("%-12d%-20.0f\n", n, ms);
+    cluster.RunFor(sim::Millis(500));
+  }
+  std::printf(
+      "\n(migration = checkpoint + image transfer + remote create + distributed\n"
+      " commit; it rides the same sibling channels and handler machinery as every\n"
+      " other PPM operation, so evacuation parallelizes across handlers)\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// bench_overhead — the paper's two headline overhead claims (Sections 2
+// and 8):
+//
+//   (1) "The runtime overhead for the users not requiring the PPM is
+//        negligible, as it only involves comparing to zero the value of
+//        a variable."  — untracked processes cost the kernel nothing
+//        beyond the trace-mask test;
+//   (2) "The PPM overhead is proportional to the services requested" —
+//        tracked processes cost exactly one kernel→LPM message per
+//        traced event, and the granularity mask prunes that at the
+//        source.
+//
+// Method: a churn workload (Poisson-ish process lifecycles) runs three
+// ways on one host — user not using the PPM at all; PPM user tracking
+// at full granularity; PPM user tracking exits only.  We report kernel
+// events emitted, LPM CPU consumed, and events per unit of service.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/lpm.h"
+
+using namespace ppm;
+
+namespace {
+
+struct Churn {
+  uint64_t processes = 0;
+  uint64_t kernel_events = 0;
+  uint64_t events_suppressed = 0;
+  sim::SimDuration lpm_cpu = 0;
+};
+
+// Runs `n` short process lifecycles (spawn, some file activity, a stop/
+// cont pair, exit) for a user that may or may not be under the PPM.
+Churn RunChurn(bool tracked, uint32_t granularity, int n) {
+  core::ClusterConfig config;
+  config.lpm.granularity_mask = granularity;
+  core::Cluster cluster(config);
+  cluster.AddHost("solo");
+  bench::InstallUser(cluster);
+  cluster.RunFor(sim::Millis(10));
+
+  Churn out;
+  tools::PpmClient* client = nullptr;
+  if (tracked) {
+    client = bench::Connect(cluster, "solo");
+    if (!client) return out;
+  }
+  host::Kernel& kernel = cluster.host("solo").kernel();
+  sim::Rng& rng = cluster.simulator().rng();
+
+  for (int i = 0; i < n; ++i) {
+    host::Pid pid;
+    if (tracked) {
+      auto g = bench::CreateSync(cluster, *client, "solo", "churn", {}, true);
+      if (!g) return out;
+      pid = g->pid;
+    } else {
+      // The user simply forks; the kernel's only PPM cost is testing the
+      // (zero) trace mask.
+      pid = kernel.Spawn(host::kNoPid, bench::kUid, "churn");
+    }
+    int files = static_cast<int>(rng.Below(3));
+    for (int f = 0; f < files; ++f) {
+      int fd = kernel.OpenFileFor(pid, "/tmp/data", "r");
+      kernel.CloseFileFor(pid, fd);
+    }
+    if (rng.Chance(0.4)) {
+      kernel.PostSignal(pid, host::Signal::kSigStop, bench::kUid);
+      cluster.RunFor(sim::Millis(50));
+      kernel.PostSignal(pid, host::Signal::kSigCont, bench::kUid);
+    }
+    cluster.RunFor(sim::Millis(static_cast<int64_t>(rng.Below(100))));
+    kernel.PostSignal(pid, host::Signal::kSigKill, bench::kUid);
+    cluster.RunFor(sim::Millis(20));
+    ++out.processes;
+  }
+  cluster.RunFor(sim::Seconds(2));
+
+  out.kernel_events = kernel.stats().events_emitted;
+  out.events_suppressed = kernel.stats().events_dropped;
+  if (core::Lpm* lpm = cluster.FindLpm("solo", bench::kUid)) {
+    out.events_suppressed += lpm->event_log().total_filtered();
+    const host::Process* proc = kernel.Find(lpm->pid());
+    if (proc) out.lpm_cpu = proc->rusage.cpu_time;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kProcs = 60;
+  bench::PrintHeader(
+      "Overhead: 'negligible when unused, proportional to service' (Secs. 2, 8)");
+  std::printf("%-30s%-16s%-18s%-16s\n", "configuration", "kernel events",
+              "events filtered", "LPM cpu (ms)");
+
+  Churn untracked = RunChurn(false, host::kTraceAll, kProcs);
+  std::printf("%-30s%-16llu%-18llu%-16s\n", "no PPM (untracked user)",
+              static_cast<unsigned long long>(untracked.kernel_events),
+              static_cast<unsigned long long>(untracked.events_suppressed), "-");
+
+  Churn full = RunChurn(true, host::kTraceAll, kProcs);
+  std::printf("%-30s%-16llu%-18llu%-16.1f\n", "PPM, full granularity",
+              static_cast<unsigned long long>(full.kernel_events),
+              static_cast<unsigned long long>(full.events_suppressed),
+              sim::ToMillis(full.lpm_cpu));
+
+  Churn exits_only = RunChurn(true, host::kTraceExit, kProcs);
+  std::printf("%-30s%-16llu%-18llu%-16.1f\n", "PPM, exits-only history",
+              static_cast<unsigned long long>(exits_only.kernel_events),
+              static_cast<unsigned long long>(exits_only.events_suppressed),
+              sim::ToMillis(exits_only.lpm_cpu));
+
+  std::printf(
+      "\nper-process cost at full granularity: %.1f kernel events, %.2f ms LPM cpu\n",
+      static_cast<double>(full.kernel_events) / kProcs,
+      sim::ToMillis(full.lpm_cpu) / kProcs);
+  std::printf(
+      "(the untracked run emits ZERO kernel events — the mask test is the whole\n"
+      " cost; with the PPM the cost scales with events traced, and the user-set\n"
+      " granularity mask prunes the history without silencing the kernel socket)\n");
+  return 0;
+}

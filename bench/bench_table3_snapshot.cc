@@ -1,0 +1,32 @@
+// bench_table3_snapshot — reproduces Table 3 of the paper:
+//
+//   "Elapsed Time in Milliseconds To Transmit Snapshot Information in
+//    Four Topologies" (205 / 225 / 461 / 507 ms), six user processes on
+//    each remote machine, topologies per Figure 5 (see
+//    snapshot_topologies.h for our reconstruction of the four shapes).
+#include <cstdio>
+
+#include "bench/snapshot_topologies.h"
+
+int main() {
+  using namespace ppm;
+  bench::PrintHeader(
+      "Table 3: elapsed time (ms) to transmit snapshot information, four topologies");
+  std::printf("%-14s%-12s%-12s%-10s%-10s%-10s\n", "", "measured", "paper", "records",
+              "hosts", "frames");
+  for (const auto& topo : bench::SnapshotTopologies()) {
+    bench::TopologyRun run = bench::RunSnapshotTopology(topo);
+    if (run.mean_ms < 0) {
+      std::printf("%-14s%s\n", topo.name.c_str(), "FAILED");
+      continue;
+    }
+    std::printf("%-14s%-12.0f%-12.0f%-10zu%-10zu%-10llu\n", topo.name.c_str(),
+                run.mean_ms, topo.paper_ms, run.records, run.hosts_covered,
+                static_cast<unsigned long long>(run.frames));
+  }
+  std::printf(
+      "\n(six adopted processes per remote host; the snapshot is flooded over the\n"
+      " sibling graph with duplicate suppression and replies routed back along the\n"
+      " recorded source-destination routes)\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// fig4_endpoints — reproduces Figure 4 of the paper:
+//
+//   "LPM Types Of Communication End Points": one kernel socket (where
+//   the modified kernel deposits event messages), one accept socket
+//   (whose address pmd distributes), and any number of circuits to
+//   sibling LPMs and to local tools.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace ppm;
+
+int main() {
+  core::Cluster cluster;
+  cluster.AddHost("vaxA");
+  cluster.AddHost("vaxB");
+  cluster.AddHost("vaxC");
+  cluster.Ethernet({"vaxA", "vaxB", "vaxC"});
+  bench::InstallUser(cluster);
+  cluster.RunFor(sim::Millis(10));
+
+  // Two tools and two siblings attached to the vaxA LPM.
+  tools::PpmClient* snapshot_tool = bench::Connect(cluster, "vaxA", "snapshot");
+  tools::PpmClient* stats_tool = bench::Connect(cluster, "vaxA", "rusage-stats");
+  if (!snapshot_tool || !stats_tool) return 1;
+  auto root = bench::CreateSync(cluster, *snapshot_tool, "vaxA", "root");
+  bench::CreateSync(cluster, *snapshot_tool, "vaxB", "w1", *root);
+  bench::CreateSync(cluster, *snapshot_tool, "vaxC", "w2", *root);
+  cluster.RunFor(sim::Millis(100));
+
+  core::Lpm* lpm = cluster.FindLpm("vaxA", bench::kUid);
+  if (!lpm) return 1;
+  core::LpmEndpoints ep = lpm->Endpoints();
+
+  bench::PrintHeader("Figure 4: LPM types of communication end points (LPM on vaxA)");
+  std::printf("  kernel socket : %s (event sink registered with the modified kernel)\n",
+              ep.kernel_socket ? "bound" : "MISSING");
+  std::printf("  accept socket : %s (address distributed by pmd)\n",
+              net::ToString(ep.accept_socket).c_str());
+  std::printf("  sibling circuits (%zu):\n", ep.siblings.size());
+  for (const auto& [host, conn] : ep.siblings) {
+    std::printf("      -> LPM on %-6s circuit #%llu\n", host.c_str(),
+                static_cast<unsigned long long>(conn));
+  }
+  std::printf("  tool circuits    : %zu (snapshot, rusage-stats)\n", ep.tool_circuits);
+  std::printf(
+      "\n  kernel events received so far: %llu (each a %zu-byte message)\n",
+      static_cast<unsigned long long>(lpm->stats().kernel_events),
+      core::kKernelEventWireBytes);
+  bool ok = ep.kernel_socket && ep.siblings.size() == 2 && ep.tool_circuits == 2;
+  return ok ? 0 : 1;
+}

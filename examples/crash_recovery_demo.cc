@@ -1,0 +1,140 @@
+// crash_recovery_demo — the PPM riding out host crashes and a network
+// partition (paper Section 5).
+//
+// Walks through the full failure vocabulary:
+//   1. a worker host crashes: the snapshot degrades to a forest and the
+//      coordinator notes the failure;
+//   2. the crash coordinator site itself dies: the surviving LPMs walk
+//      the user's ~/.recovery list and elect an acting CCS, which probes
+//      the dead home machine at low frequency;
+//   3. the home machine reboots: the acting CCS notices on its next
+//      probe and yields;
+//   4. a network partition splits the world into two working halves,
+//      then heals.
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "core/lpm.h"
+#include "tools/builtin_tools.h"
+#include "tools/client.h"
+
+using namespace ppm;
+
+namespace {
+constexpr host::Uid kUid = 504;
+const char* kUser = "butler";
+
+template <typename Pred>
+bool WaitFor(core::Cluster& cluster, Pred done,
+             sim::SimDuration horizon = sim::Seconds(300)) {
+  sim::SimTime deadline = cluster.simulator().Now() + static_cast<sim::SimTime>(horizon);
+  while (!done()) {
+    if (cluster.simulator().Now() >= deadline) return false;
+    cluster.RunFor(sim::Millis(10));
+  }
+  return true;
+}
+
+void PrintModes(core::Cluster& cluster, const char* when) {
+  std::printf("%s:\n", when);
+  for (const auto& name : cluster.host_names()) {
+    core::Lpm* lpm = cluster.FindLpm(name, kUid);
+    if (!lpm) {
+      std::printf("    %-8s %s\n", name.c_str(),
+                  cluster.host(name).up() ? "no LPM" : "host down");
+      continue;
+    }
+    std::printf("    %-8s mode=%-11s ccs=%-8s %s\n", name.c_str(),
+                core::ToString(lpm->mode()), lpm->ccs_host().c_str(),
+                lpm->is_ccs() ? "<== coordinator" : "");
+  }
+}
+}  // namespace
+
+int main() {
+  core::ClusterConfig config;
+  config.lpm.probe_interval = sim::Seconds(30);
+  config.lpm.retry_interval = sim::Seconds(20);
+  config.lpm.time_to_die = sim::Seconds(240);
+  core::Cluster cluster(config);
+  cluster.AddHost("home", host::HostType::kVax780);
+  cluster.AddHost("second", host::HostType::kVax780);
+  cluster.AddHost("lab1", host::HostType::kVax750);
+  cluster.AddHost("lab2", host::HostType::kSun2);
+  cluster.Ethernet({"home", "second"});
+  cluster.Ethernet({"second", "lab1", "lab2"});
+  cluster.AddUserEverywhere(kUser, kUid);
+  cluster.TrustUserEverywhere(kUser, kUid);
+  cluster.SetRecoveryList(kUid, {"home", "second"});  // the home machines
+  cluster.RunFor(sim::Millis(10));
+
+  tools::PpmClient* shell = tools::SpawnTool(cluster.host("home"), kUser, kUid, "shell");
+  bool up = false;
+  shell->Start([&](bool ok, std::string) { up = ok; });
+  WaitFor(cluster, [&] { return up; });
+
+  // A computation on every machine.  lab1's and lab2's workers hang off
+  // a process on `second`, so a lab crash orphans nobody's children, but
+  // a `second` crash would.
+  core::GPid root, mid;
+  bool done = false;
+  shell->CreateProcess("home", "root", {}, [&](const core::CreateResp& r) {
+    root = r.gpid;
+    done = true;
+  });
+  WaitFor(cluster, [&] { return done; });
+  done = false;
+  shell->CreateProcess("second", "fanout", root, [&](const core::CreateResp& r) {
+    mid = r.gpid;
+    done = true;
+  });
+  WaitFor(cluster, [&] { return done; });
+  for (const char* lab : {"lab1", "lab2"}) {
+    done = false;
+    shell->CreateProcess(lab, "worker", mid, [&](const core::CreateResp&) { done = true; });
+    WaitFor(cluster, [&] { return done; });
+  }
+  PrintModes(cluster, "\n[0] steady state");
+
+  // --- 1. a worker host crashes ------------------------------------------
+  cluster.Crash("lab2");
+  core::Lpm* home_lpm = cluster.FindLpm("home", kUid);
+  WaitFor(cluster, [&] { return home_lpm->stats().failures_detected > 0 ||
+                                cluster.FindLpm("second", kUid)->stats().failures_detected >
+                                    0; });
+  std::optional<tools::SnapshotResult> snap;
+  tools::RunSnapshotTool(*shell, [&](const tools::SnapshotResult& r) { snap = r; });
+  WaitFor(cluster, [&] { return snap.has_value(); });
+  std::printf("\n[1] lab2 crashed; the computation is now a %s:\n%s\n",
+              snap->forest.IsTree() ? "tree" : "forest", snap->rendering.c_str());
+
+  // --- 2. the coordinator (home) dies ----------------------------------------
+  shell->Disconnect();
+  cluster.Crash("home");
+  core::Lpm* second_lpm = cluster.FindLpm("second", kUid);
+  WaitFor(cluster, [&] { return second_lpm->is_ccs(); });
+  PrintModes(cluster, "\n[2] home crashed; 'second' is acting CCS (probing upward)");
+
+  // --- 3. home reboots --------------------------------------------------------
+  cluster.Reboot("home");
+  WaitFor(cluster, [&] { return !second_lpm->is_ccs(); });
+  PrintModes(cluster, "\n[3] home rebooted; acting CCS yielded on its next probe");
+
+  // --- 4. partition and heal ---------------------------------------------------
+  auto id = [&](const char* n) { return *cluster.network().FindHost(n); };
+  cluster.network().Partition({{id("home"), id("second")}, {id("lab1"), id("lab2")}});
+  core::Lpm* lab1_lpm = cluster.FindLpm("lab1", kUid);
+  WaitFor(cluster, [&] { return lab1_lpm == nullptr || lab1_lpm->mode() != core::LpmMode::kNormal; },
+          sim::Seconds(120));
+  PrintModes(cluster, "\n[4a] partition: labs cut off from both home machines");
+
+  cluster.network().Heal();
+  WaitFor(cluster, [&] {
+    core::Lpm* l = cluster.FindLpm("lab1", kUid);
+    return l != nullptr && l->mode() == core::LpmMode::kNormal;
+  });
+  PrintModes(cluster, "\n[4b] healed: everyone back in contact with the CCS");
+
+  std::printf("\ncrash-recovery demo complete.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// distributed_make — a compile farm administered by the PPM.
+//
+// The scenario the paper's introduction motivates: a user program that
+// spreads work over the idle machines of a lab.  A "dmake" coordinator
+// on the home machine creates one compile job per source file on a farm
+// of hosts, watches them through the PPM's event history, reacts to a
+// failing job with a *history-dependent trigger* ("if cc1 dies, stop the
+// link step"), and finally reads per-job resource consumption from the
+// exited-process statistics — all without caring where anything ran.
+#include <cstdio>
+#include <map>
+
+#include "core/cluster.h"
+#include "tools/builtin_tools.h"
+#include "tools/client.h"
+
+using namespace ppm;
+
+namespace {
+constexpr host::Uid kUid = 502;
+const char* kUser = "ken";
+
+template <typename Pred>
+void WaitFor(core::Cluster& cluster, Pred done) {
+  while (!done()) cluster.RunFor(sim::Millis(5));
+}
+}  // namespace
+
+int main() {
+  core::Cluster cluster;
+  cluster.AddHost("home", host::HostType::kVax780);
+  for (const char* farm : {"farm1", "farm2", "farm3"}) {
+    cluster.AddHost(farm, host::HostType::kVax750);
+  }
+  cluster.Ethernet({"home", "farm1", "farm2", "farm3"});
+  cluster.AddUserEverywhere(kUser, kUid);
+  cluster.TrustUserEverywhere(kUser, kUid);
+  cluster.RunFor(sim::Millis(10));
+
+  tools::PpmClient* dmake = tools::SpawnTool(cluster.host("home"), kUser, kUid, "dmake");
+  bool up = false;
+  dmake->Start([&](bool ok, std::string) { up = ok; });
+  WaitFor(cluster, [&] { return up; });
+
+  // The link step waits at home; compile jobs go to the farm.
+  core::GPid link_step;
+  bool done = false;
+  dmake->CreateProcess("home", "ld a.out", {}, [&](const core::CreateResp& r) {
+    link_step = r.gpid;
+    done = true;
+  });
+  WaitFor(cluster, [&] { return done; });
+
+  const char* files[6] = {"cc main.c", "cc parser.c", "cc lexer.c",
+                          "cc eval.c", "cc print.c", "cc util.c"};
+  const char* hosts[3] = {"farm1", "farm2", "farm3"};
+  std::map<std::string, core::GPid> jobs;
+  for (int i = 0; i < 6; ++i) {
+    done = false;
+    dmake->CreateProcess(hosts[i % 3], files[i], link_step,
+                         [&](const core::CreateResp& r) {
+                           jobs[files[i]] = r.gpid;
+                           done = true;
+                         });
+    WaitFor(cluster, [&] { return done; });
+  }
+  std::printf("dispatched %zu compile jobs over 3 farm hosts\n", jobs.size());
+
+  // History-dependent trigger: if the parser compile dies, stop the link
+  // step so it cannot link a stale object ("history dependent events can
+  // be set by users to trigger process state changes").
+  core::TriggerSpec guard;
+  guard.event_kind = host::KEvent::kExit;
+  guard.subject_pid = jobs["cc parser.c"].pid;
+  guard.action_signal = host::Signal::kSigStop;
+  guard.action_target = link_step;
+  done = false;
+  dmake->InstallTrigger(jobs["cc parser.c"].host, guard,
+                        [&](const core::TriggerResp& r) {
+                          done = true;
+                          std::printf("guard trigger installed on %s (id %llu)\n",
+                                      jobs["cc parser.c"].host.c_str(),
+                                      static_cast<unsigned long long>(r.trigger_id));
+                        });
+  WaitFor(cluster, [&] { return done; });
+
+  // Mid-build snapshot: where is everything?
+  std::optional<tools::SnapshotResult> snap;
+  tools::RunSnapshotTool(*dmake, [&](const tools::SnapshotResult& r) { snap = r; });
+  WaitFor(cluster, [&] { return snap.has_value(); });
+  std::printf("\nmid-build snapshot:\n%s\n", snap->rendering.c_str());
+
+  // The compiles finish one by one — the parser job *crashes*.
+  for (const auto& [name, gpid] : jobs) {
+    core::Cluster* c = &cluster;
+    host::Signal sig = (name == "cc parser.c") ? host::Signal::kSigKill
+                                               : host::Signal::kSigTerm;
+    // (jobs exit on their own in reality; the kernel call stands in for
+    //  the job finishing or crashing)
+    c->host(gpid.host).kernel().PostSignal(gpid.pid, sig, kUid);
+    c->RunFor(sim::Millis(300));
+  }
+  cluster.RunFor(sim::Seconds(2));
+
+  // The guard must have stopped the link step.
+  const host::Process* link_proc = cluster.host("home").kernel().Find(link_step.pid);
+  std::printf("link step after parser crash: %s (trigger %s)\n",
+              host::ToString(link_proc->state),
+              link_proc->state == host::ProcState::kStopped ? "fired" : "DID NOT FIRE");
+
+  // Per-job resource accounting from each farm host.
+  std::printf("\nper-host exited-job statistics:\n");
+  for (const char* farm : hosts) {
+    std::optional<tools::RusageResult> stats;
+    tools::RunRusageTool(*dmake, farm, [&](const tools::RusageResult& r) { stats = r; });
+    WaitFor(cluster, [&] { return stats.has_value(); });
+    std::printf("--- %s ---\n%s", farm, stats->table.c_str());
+  }
+
+  dmake->Disconnect();
+  std::printf("\ndistributed make complete.\n");
+  return 0;
+}

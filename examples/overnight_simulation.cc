@@ -1,0 +1,131 @@
+// overnight_simulation — the PPM outliving a login session.
+//
+// The paper: "The PPM may outlive the user login session in which it was
+// created … a user's request for a LPM following a new login will yield
+// an existing one.  This simple scheme allows users to regain knowledge
+// and control of all of the processes that have been created under the
+// PPM mechanism in the past and are still alive."
+//
+// A researcher kicks off a three-host simulation in the evening, logs
+// out, and logs back in "the next morning" (an hour of virtual time
+// later, compressed here) to find the whole computation still tracked —
+// including a process that was started *outside* the PPM and adopted.
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "tools/builtin_tools.h"
+#include "tools/client.h"
+
+using namespace ppm;
+
+namespace {
+constexpr host::Uid kUid = 503;
+const char* kUser = "barbara";
+
+template <typename Pred>
+void WaitFor(core::Cluster& cluster, Pred done) {
+  while (!done()) cluster.RunFor(sim::Millis(5));
+}
+}  // namespace
+
+int main() {
+  core::ClusterConfig config;
+  config.lpm.time_to_live = sim::Seconds(7200);  // generous: overnight
+  core::Cluster cluster(config);
+  cluster.AddHost("desk", host::HostType::kSun2);
+  cluster.AddHost("cruncher1", host::HostType::kVax780);
+  cluster.AddHost("cruncher2", host::HostType::kVax780);
+  cluster.Ethernet({"desk", "cruncher1", "cruncher2"});
+  cluster.AddUserEverywhere(kUser, kUid);
+  cluster.TrustUserEverywhere(kUser, kUid);
+  cluster.RunFor(sim::Millis(10));
+
+  // --- evening: start the run --------------------------------------------
+  tools::PpmClient* evening = tools::SpawnTool(cluster.host("desk"), kUser, kUid, "shell");
+  bool up = false;
+  evening->Start([&](bool ok, std::string) { up = ok; });
+  WaitFor(cluster, [&] { return up; });
+
+  core::GPid driver, part1, part2;
+  bool done = false;
+  evening->CreateProcess("desk", "mc-driver", {}, [&](const core::CreateResp& r) {
+    driver = r.gpid;
+    done = true;
+  });
+  WaitFor(cluster, [&] { return done; });
+  done = false;
+  evening->CreateProcess("cruncher1", "mc-partition-1", driver,
+                         [&](const core::CreateResp& r) {
+                           part1 = r.gpid;
+                           done = true;
+                         });
+  WaitFor(cluster, [&] { return done; });
+  done = false;
+  evening->CreateProcess("cruncher2", "mc-partition-2", driver,
+                         [&](const core::CreateResp& r) {
+                           part2 = r.gpid;
+                           done = true;
+                         });
+  WaitFor(cluster, [&] { return done; });
+
+  // A colleague's helper script was already running on cruncher1,
+  // started without the PPM; adopt it so it is administered too.
+  host::Pid stray =
+      cluster.host("cruncher1").kernel().Spawn(host::kNoPid, kUid, "tail -f run.log");
+  done = false;
+  evening->Adopt(core::GPid{"cruncher1", stray}, host::kTraceAll,
+                 [&](const core::AdoptResp& r) {
+                   done = true;
+                   std::printf("adopted pre-existing process: %zu process(es)\n",
+                               r.adopted_pids.size());
+                 });
+  WaitFor(cluster, [&] { return done; });
+
+  std::printf("evening: run started, logging out.\n");
+  evening->Disconnect();
+
+  // --- overnight ------------------------------------------------------------
+  // The user is asleep; the PPM is not.  The partitions exchange results
+  // with the driver every few minutes, and the kernel's IPC tracing
+  // records every message for the morning's analysis.
+  for (int hour_slice = 0; hour_slice < 12; ++hour_slice) {
+    cluster.RunFor(sim::Seconds(300));
+    cluster.host("cruncher1").kernel().RecordIpc(part1.pid, /*sent=*/true, 2048);
+    cluster.host("cruncher2").kernel().RecordIpc(part2.pid, /*sent=*/true, 2048);
+    cluster.host("cruncher1").kernel().RecordIpc(part1.pid, /*sent=*/false, 128);
+  }
+
+  // --- morning: new login, same PPM ----------------------------------------
+  tools::PpmClient* morning =
+      tools::SpawnTool(cluster.host("desk"), kUser, kUid, "shell");
+  up = false;
+  morning->Start([&](bool ok, std::string) { up = ok; });
+  WaitFor(cluster, [&] { return up; });
+  std::printf("morning: reconnected to the existing LPM on %s\n",
+              morning->lpm_host().c_str());
+
+  std::optional<tools::SnapshotResult> snap;
+  tools::RunSnapshotTool(*morning, [&](const tools::SnapshotResult& r) { snap = r; });
+  WaitFor(cluster, [&] { return snap.has_value(); });
+  std::printf("\nthe overnight computation, still under management:\n%s\n",
+              snap->rendering.c_str());
+
+  // The run is done; take the partitions down gently and check the books.
+  std::optional<std::pair<size_t, size_t>> killed;
+  morning->SignalAll(host::Signal::kSigTerm,
+                     [&](size_t k, size_t f) { killed = {k, f}; });
+  WaitFor(cluster, [&] { return killed.has_value(); });
+  cluster.RunFor(sim::Seconds(1));
+  std::printf("terminated %zu processes (%zu failures)\n", killed->first, killed->second);
+
+  std::optional<tools::IpcTraceResult> trace;
+  tools::RunIpcTraceTool(*morning, "cruncher1", host::kNoPid,
+                         [&](const tools::IpcTraceResult& r) { trace = r; });
+  WaitFor(cluster, [&] { return trace.has_value(); });
+  std::printf("\nIPC activity recorded overnight on cruncher1: %s",
+              trace->report.c_str());
+
+  morning->Disconnect();
+  std::printf("\novernight-simulation example complete.\n");
+  return 0;
+}

@@ -1,0 +1,182 @@
+// ppmsh — a miniature command interpreter over the PPM.
+//
+// The paper (Section 4): "The PPM mechanism is not integrated with any
+// command interpreter, and thus its services must be obtained by one of
+// a series of tools (which may include command interpreters)."  This is
+// that command interpreter: a scripted shell whose verbs map one-to-one
+// onto the client library.  Run it to watch a whole session transcript;
+// feed it your own script on stdin with `ppmsh -`.
+//
+// Verbs:
+//   hosts                          list machines
+//   run <host> <command...>        create a process (adopted at birth)
+//   ps                             genealogical snapshot (Figure 1 view)
+//   stop|cont|kill <host> <pid>    process control across machines
+//   migrate <host> <pid> <dest>    move a process (extension)
+//   rusage <host>                  exited-process statistics
+//   hist <host>                    event timeline
+//   dot                            Graphviz export of the snapshot
+//   quit
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "tools/builtin_tools.h"
+#include "tools/client.h"
+#include "tools/dot_export.h"
+#include "tools/timeline.h"
+
+using namespace ppm;
+
+namespace {
+constexpr host::Uid kUid = 506;
+const char* kUser = "dennis";
+
+template <typename Pred>
+void WaitFor(core::Cluster& cluster, Pred done) {
+  while (!done()) cluster.RunFor(sim::Millis(5));
+}
+
+struct Shell {
+  core::Cluster& cluster;
+  tools::PpmClient& client;
+
+  void Execute(const std::string& line) {
+    std::istringstream in(line);
+    std::string verb;
+    in >> verb;
+    if (verb.empty() || verb[0] == '#') return;
+    std::printf("ppm%% %s\n", line.c_str());
+    if (verb == "hosts") {
+      for (const auto& h : cluster.host_names()) {
+        std::printf("  %-10s %s\n", h.c_str(),
+                    cluster.host(h).up() ? host::ToString(cluster.host(h).type())
+                                         : "(down)");
+      }
+    } else if (verb == "run") {
+      std::string target;
+      in >> target;
+      std::string command;
+      std::getline(in, command);
+      if (!command.empty() && command[0] == ' ') command.erase(0, 1);
+      std::optional<core::CreateResp> resp;
+      client.CreateProcess(target, command,
+                           {}, [&](const core::CreateResp& r) { resp = r; });
+      WaitFor(cluster, [&] { return resp.has_value(); });
+      if (resp->ok) {
+        std::printf("  started %s\n", core::ToString(resp->gpid).c_str());
+      } else {
+        std::printf("  error: %s\n", resp->error.c_str());
+      }
+    } else if (verb == "ps") {
+      std::optional<tools::SnapshotResult> result;
+      tools::RunSnapshotTool(client, [&](const tools::SnapshotResult& r) { result = r; });
+      WaitFor(cluster, [&] { return result.has_value(); });
+      std::printf("%s  (%s)\n", result->rendering.c_str(), result->summary.c_str());
+    } else if (verb == "stop" || verb == "cont" || verb == "kill") {
+      std::string target_host;
+      host::Pid pid;
+      in >> target_host >> pid;
+      host::Signal sig = verb == "stop" ? host::Signal::kSigStop
+                         : verb == "cont" ? host::Signal::kSigCont
+                                          : host::Signal::kSigKill;
+      std::optional<core::SignalResp> resp;
+      client.Signal(core::GPid{target_host, pid}, sig,
+                    [&](const core::SignalResp& r) { resp = r; });
+      WaitFor(cluster, [&] { return resp.has_value(); });
+      std::printf("  %s\n", resp->ok ? "ok" : resp->error.c_str());
+    } else if (verb == "migrate") {
+      std::string target_host, dest;
+      host::Pid pid;
+      in >> target_host >> pid >> dest;
+      std::optional<core::MigrateResp> resp;
+      client.Migrate(core::GPid{target_host, pid}, dest,
+                     [&](const core::MigrateResp& r) { resp = r; });
+      WaitFor(cluster, [&] { return resp.has_value(); });
+      if (resp->ok) {
+        std::printf("  now %s\n", core::ToString(resp->new_gpid).c_str());
+      } else {
+        std::printf("  error: %s\n", resp->error.c_str());
+      }
+    } else if (verb == "rusage") {
+      std::string target_host;
+      in >> target_host;
+      std::optional<tools::RusageResult> result;
+      tools::RunRusageTool(client, target_host,
+                           [&](const tools::RusageResult& r) { result = r; });
+      WaitFor(cluster, [&] { return result.has_value(); });
+      std::printf("%s", result->table.c_str());
+    } else if (verb == "hist") {
+      std::string target_host;
+      in >> target_host;
+      std::optional<core::HistoryResp> resp;
+      client.History(target_host, host::kNoPid, 0,
+                     [&](const core::HistoryResp& r) { resp = r; });
+      WaitFor(cluster, [&] { return resp.has_value(); });
+      std::printf("%s", tools::RenderTimeline(resp->events).c_str());
+    } else if (verb == "dot") {
+      std::optional<core::SnapshotResp> snap;
+      client.Snapshot([&](const core::SnapshotResp& r) { snap = r; });
+      WaitFor(cluster, [&] { return snap.has_value(); });
+      std::printf("%s", tools::ExportDot(snap->records).c_str());
+    } else {
+      std::printf("  ?unknown verb '%s'\n", verb.c_str());
+    }
+  }
+};
+
+// The default scripted session, when not reading stdin.
+const char* kScript[] = {
+    "hosts",
+    "run alpha simulate --steps 50000",
+    "run beta reduce-results",
+    "run gamma plot-output",
+    "ps",
+    "stop beta 6",
+    "ps",
+    "cont beta 6",
+    "migrate gamma 6 alpha",
+    "ps",
+    "kill alpha 9",
+    "rusage alpha",
+    "hist alpha",
+    "dot",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::Cluster cluster;
+  cluster.AddHost("alpha", host::HostType::kVax780);
+  cluster.AddHost("beta", host::HostType::kVax750);
+  cluster.AddHost("gamma", host::HostType::kSun2);
+  cluster.Ethernet({"alpha", "beta", "gamma"});
+  cluster.AddUserEverywhere(kUser, kUid);
+  cluster.TrustUserEverywhere(kUser, kUid);
+  cluster.RunFor(sim::Millis(10));
+
+  tools::PpmClient* client = tools::SpawnTool(cluster.host("alpha"), kUser, kUid, "ppmsh");
+  bool up = false;
+  client->Start([&](bool ok, std::string err) {
+    up = ok;
+    if (!ok) std::fprintf(stderr, "session failed: %s\n", err.c_str());
+  });
+  WaitFor(cluster, [&] { return up; });
+  std::printf("ppmsh: connected to LPM on %s (user %s)\n", client->lpm_host().c_str(),
+              kUser);
+
+  Shell shell{cluster, *client};
+  bool from_stdin = argc > 1 && std::string(argv[1]) == "-";
+  if (from_stdin) {
+    std::string line;
+    while (std::getline(std::cin, line)) shell.Execute(line);
+  } else {
+    for (const char* line : kScript) shell.Execute(line);
+  }
+  client->Disconnect();
+  std::printf("ppmsh: session closed\n");
+  return 0;
+}

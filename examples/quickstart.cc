@@ -1,0 +1,120 @@
+// quickstart — a guided tour of the Personal Process Manager.
+//
+// This example stands up a small networked computing environment (three
+// machines on one Ethernet, as a mid-80s Berkeley lab would have), logs
+// a user in, and exercises the PPM's core capabilities end to end:
+//
+//   1. session establishment (inetd → pmd → LPM, Figure 2 of the paper);
+//   2. the LPM as process creation server, locally and remotely;
+//   3. a genealogical snapshot of the distributed computation (Figure 1);
+//   4. process control across machine boundaries (stop / resume / kill);
+//   5. exited-process resource statistics.
+//
+// Everything below the `PpmClient` line is the public API a tool writer
+// sees; the cluster object is the simulated world.
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "tools/builtin_tools.h"
+#include "tools/client.h"
+
+using namespace ppm;
+
+namespace {
+constexpr host::Uid kUid = 501;
+const char* kUser = "grace";
+
+// Small helper: run the world until an async call completes.
+template <typename Pred>
+void WaitFor(core::Cluster& cluster, Pred done) {
+  while (!done()) cluster.RunFor(sim::Millis(5));
+}
+}  // namespace
+
+int main() {
+  // --- the world -----------------------------------------------------
+  core::Cluster cluster;
+  cluster.AddHost("ernie", host::HostType::kVax780);
+  cluster.AddHost("bert", host::HostType::kVax750);
+  cluster.AddHost("kim", host::HostType::kSun2);
+  cluster.Ethernet({"ernie", "bert", "kim"});
+  cluster.AddUserEverywhere(kUser, kUid);
+  cluster.TrustUserEverywhere(kUser, kUid);  // ~/.rhosts on every host
+  cluster.SetRecoveryList(kUid, {"ernie", "bert"});  // ~/.recovery
+  cluster.RunFor(sim::Millis(10));
+
+  // --- 1. session establishment ----------------------------------------
+  tools::PpmClient* me = tools::SpawnTool(cluster.host("ernie"), kUser, kUid, "shell");
+  bool up = false;
+  me->Start([&](bool ok, std::string err) {
+    up = ok;
+    if (!ok) std::fprintf(stderr, "PPM session failed: %s\n", err.c_str());
+  });
+  WaitFor(cluster, [&] { return up; });
+  std::printf("session up: local LPM on %s, crash coordinator at %s\n",
+              me->lpm_host().c_str(), me->session_ccs().c_str());
+
+  // --- 2. create a distributed computation ------------------------------
+  // A coordinator at home, workers on the other two machines.
+  core::GPid coord, w1, w2;
+  bool done = false;
+  me->CreateProcess("ernie", "coordinator", {}, [&](const core::CreateResp& r) {
+    coord = r.gpid;
+    done = true;
+  });
+  WaitFor(cluster, [&] { return done; });
+  done = false;
+  me->CreateProcess("bert", "worker", coord, [&](const core::CreateResp& r) {
+    w1 = r.gpid;
+    done = true;
+  });
+  WaitFor(cluster, [&] { return done; });
+  done = false;
+  me->CreateProcess("kim", "worker", coord, [&](const core::CreateResp& r) {
+    w2 = r.gpid;
+    done = true;
+  });
+  WaitFor(cluster, [&] { return done; });
+  std::printf("created %s, %s, %s\n", core::ToString(coord).c_str(),
+              core::ToString(w1).c_str(), core::ToString(w2).c_str());
+
+  // --- 3. snapshot -------------------------------------------------------
+  std::optional<tools::SnapshotResult> snap;
+  tools::RunSnapshotTool(*me, [&](const tools::SnapshotResult& r) { snap = r; });
+  WaitFor(cluster, [&] { return snap.has_value(); });
+  std::printf("\ngenealogical snapshot (%s):\n%s\n", snap->summary.c_str(),
+              snap->rendering.c_str());
+
+  // --- 4. control across machine boundaries ------------------------------
+  bool ok = false;
+  done = false;
+  tools::StopProcess(*me, w2, [&](bool success, std::string) {
+    ok = success;
+    done = true;
+  });
+  WaitFor(cluster, [&] { return done; });
+  std::printf("stopped %s on a machine two API calls away: %s\n",
+              core::ToString(w2).c_str(), ok ? "ok" : "FAILED");
+  done = false;
+  tools::ResumeProcess(*me, w2, [&](bool, std::string) { done = true; });
+  WaitFor(cluster, [&] { return done; });
+
+  // Kill the whole computation with one call (snapshot + fan-out).
+  std::optional<std::pair<size_t, size_t>> killed;
+  me->SignalAll(host::Signal::kSigKill,
+                [&](size_t k, size_t failed) { killed = {k, failed}; });
+  WaitFor(cluster, [&] { return killed.has_value(); });
+  std::printf("killed the computation: %zu processes, %zu failures\n", killed->first,
+              killed->second);
+  cluster.RunFor(sim::Seconds(1));
+
+  // --- 5. post-mortem statistics -------------------------------------------
+  std::optional<tools::RusageResult> stats;
+  tools::RunRusageTool(*me, "bert", [&](const tools::RusageResult& r) { stats = r; });
+  WaitFor(cluster, [&] { return stats.has_value(); });
+  std::printf("\nexited-process statistics on bert:\n%s", stats->table.c_str());
+
+  me->Disconnect();
+  std::printf("\nquickstart complete.\n");
+  return 0;
+}

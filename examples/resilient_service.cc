@@ -1,0 +1,151 @@
+// resilient_service — everything the extensions add, in one scenario.
+//
+// A user runs a long-lived three-worker service.  On top of the 1986
+// PPM this example layers the three features the paper sketched but did
+// not build, all implemented in this repository:
+//
+//   * a Supervisor (the "robust protocols implemented on top of our
+//     basic mechanism") that restarts crashed workers and fails them
+//     over to other machines;
+//   * name-server-assisted CCS recovery (Section 5's alternative to the
+//     ~/.recovery walk);
+//   * process migration ("change … possibly the site of execution"):
+//     the operator drains a machine for maintenance by migrating its
+//     worker away, live.
+//
+// Plus the future-work display tool: the final state is exported as
+// Graphviz DOT.
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "core/lpm.h"
+#include "core/nameserver.h"
+#include "tools/builtin_tools.h"
+#include "tools/client.h"
+#include "tools/dot_export.h"
+#include "tools/supervisor.h"
+
+using namespace ppm;
+
+namespace {
+constexpr host::Uid kUid = 505;
+const char* kUser = "radia";
+
+template <typename Pred>
+bool WaitFor(core::Cluster& cluster, Pred done,
+             sim::SimDuration horizon = sim::Seconds(300)) {
+  sim::SimTime deadline = cluster.simulator().Now() + static_cast<sim::SimTime>(horizon);
+  while (!done()) {
+    if (cluster.simulator().Now() >= deadline) return false;
+    cluster.RunFor(sim::Millis(10));
+  }
+  return true;
+}
+}  // namespace
+
+int main() {
+  core::ClusterConfig config;
+  config.lpm.ccs_nameserver = "ns";  // Section 5's name-server variant
+  core::Cluster cluster(config);
+  cluster.AddHost("ns", host::HostType::kVax750);
+  cluster.AddHost("ops", host::HostType::kVax780);
+  cluster.AddHost("node1", host::HostType::kVax780);
+  cluster.AddHost("node2", host::HostType::kVax750);
+  cluster.AddHost("node3", host::HostType::kSun2);
+  cluster.Ethernet(cluster.host_names());
+  cluster.AddUserEverywhere(kUser, kUid);
+  cluster.TrustUserEverywhere(kUser, kUid);
+  core::StartCcsNameServer(cluster.host("ns"));
+  cluster.RunFor(sim::Millis(10));
+
+  tools::PpmClient* console = tools::SpawnTool(cluster.host("ops"), kUser, kUid, "console");
+  bool up = false;
+  console->Start([&](bool ok, std::string) { up = ok; });
+  WaitFor(cluster, [&] { return up; });
+  std::printf("console up; CCS registered with the name server on 'ns'\n");
+
+  // --- the supervised service ------------------------------------------
+  tools::Supervisor supervisor(cluster, *console);
+  supervisor.set_event_handler([&](const std::string& name, const std::string& what,
+                                   const std::string& where) {
+    std::printf("  [supervisor] %-8s %-10s %s\n", name.c_str(), what.c_str(),
+                where.c_str());
+  });
+  supervisor.Launch({
+      {"frontend", "svc-frontend", {"node1", "node2", "node3"}},
+      {"indexer", "svc-indexer", {"node2", "node3", "node1"}},
+      {"store", "svc-store", {"node3", "node1", "node2"}},
+  });
+  WaitFor(cluster, [&] { return supervisor.AllHealthy(); });
+  std::printf("service healthy: 3 workers across 3 nodes\n");
+
+  // --- a worker crashes: in-place restart ---------------------------------
+  core::GPid frontend = supervisor.status().at("frontend").gpid;
+  cluster.host("node1").kernel().PostSignal(frontend.pid, host::Signal::kSigKill, kUid);
+  WaitFor(cluster, [&] {
+    return supervisor.AllHealthy() && supervisor.status().at("frontend").gpid != frontend;
+  });
+  std::printf("frontend crashed and was restarted on %s\n",
+              supervisor.status().at("frontend").host.c_str());
+
+  // --- a node dies: failover ----------------------------------------------
+  cluster.Crash("node2");
+  WaitFor(cluster, [&] {
+    return supervisor.AllHealthy() && supervisor.status().at("indexer").host != "node2";
+  });
+  std::printf("node2 crashed; indexer failed over to %s\n",
+              supervisor.status().at("indexer").host.c_str());
+  cluster.Reboot("node2");
+
+  // --- planned maintenance: migrate, don't kill -----------------------------
+  // node3 needs new memory boards; move the store off it live.  (The
+  // supervisor would treat the kill as a crash; migration keeps the
+  // incarnation chain intact instead.)
+  supervisor.Stop();  // hand control to the operator for the maintenance
+  core::GPid store = supervisor.status().at("store").gpid;
+  std::optional<core::MigrateResp> moved;
+  console->Migrate(store, "node1", [&](const core::MigrateResp& r) { moved = r; });
+  WaitFor(cluster, [&] { return moved.has_value(); });
+  std::printf("store migrated %s: %s -> %s\n", moved->ok ? "ok" : "FAILED",
+              core::ToString(store).c_str(), core::ToString(moved->new_gpid).c_str());
+
+  // --- the ops host itself dies: name-server recovery ------------------------
+  console->Disconnect();
+  cluster.Crash("ops");
+  WaitFor(cluster, [&] {
+    for (const char* n : {"node1", "node2", "node3"}) {
+      core::Lpm* lpm = cluster.FindLpm(n, kUid);
+      if (lpm && lpm->is_ccs()) return true;
+    }
+    return false;
+  });
+  std::string new_ccs;
+  for (const char* n : {"node1", "node2", "node3"}) {
+    core::Lpm* lpm = cluster.FindLpm(n, kUid);
+    if (lpm && lpm->is_ccs()) new_ccs = n;
+  }
+  std::printf("ops crashed; '%s' took over as CCS via the name server\n",
+              new_ccs.c_str());
+
+  // --- final picture -----------------------------------------------------------
+  // The ops LPM died with its host and its knowledge died with it (paper
+  // Section 5) — so the returning operator connects where the computation
+  // lives: the acting CCS, whose sibling graph reaches every manager.
+  cluster.Reboot("ops");
+  cluster.RunFor(sim::Seconds(2));
+  tools::PpmClient* console2 =
+      tools::SpawnTool(cluster.host(new_ccs), kUser, kUid, "console");
+  up = false;
+  console2->Start([&](bool ok, std::string) { up = ok; });
+  WaitFor(cluster, [&] { return up; });
+  std::printf("reconnected on %s (the acting CCS)\n", new_ccs.c_str());
+  std::optional<core::SnapshotResp> snap;
+  console2->Snapshot([&](const core::SnapshotResp& r) { snap = r; });
+  WaitFor(cluster, [&] { return snap.has_value(); });
+  std::printf("\nfinal forest:\n%s\n",
+              tools::RenderForest(tools::BuildForest(snap->records)).c_str());
+  std::printf("Graphviz export (pipe into `dot -Tpng`):\n%s",
+              tools::ExportDot(snap->records).c_str());
+  std::printf("\nresilient-service example complete.\n");
+  return 0;
+}

@@ -1,0 +1,384 @@
+#include "baseline/central.h"
+
+#include "host/calibration.h"
+#include "util/bytes.h"
+#include "util/panic.h"
+
+namespace ppm::baseline {
+
+using host::BaseCosts;
+
+namespace {
+
+constexpr uint8_t kOpSpawn = 1;
+constexpr uint8_t kOpSignal = 2;
+constexpr uint8_t kOpSnapshot = 3;
+constexpr uint8_t kRespMagic = 0x77;
+
+std::vector<uint8_t> EncodeSpawn(const std::string& target_host, const std::string& user,
+                                 const std::string& command) {
+  util::ByteWriter w;
+  w.U8(kOpSpawn);
+  w.Str(target_host);
+  w.Str(user);
+  w.Str(command);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeSignal(const std::string& target_host, host::Pid pid,
+                                  const std::string& user, host::Signal sig) {
+  util::ByteWriter w;
+  w.U8(kOpSignal);
+  w.Str(target_host);
+  w.I32(pid);
+  w.Str(user);
+  w.U8(static_cast<uint8_t>(sig));
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeSnapshot(const std::string& user) {
+  util::ByteWriter w;
+  w.U8(kOpSnapshot);
+  w.Str(user);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeResult(const CentralResult& r) {
+  util::ByteWriter w;
+  w.U8(kRespMagic);
+  w.Bool(r.ok);
+  w.Str(r.error);
+  w.Str(r.host);
+  w.I32(r.pid);
+  w.U32(static_cast<uint32_t>(r.entries.size()));
+  for (const CentralEntry& e : r.entries) {
+    w.Str(e.host);
+    w.I32(e.pid);
+    w.I32(e.uid);
+    w.Str(e.command);
+  }
+  return w.Take();
+}
+
+std::optional<CentralResult> DecodeResult(const std::vector<uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  auto magic = r.U8();
+  if (!magic || *magic != kRespMagic) return std::nullopt;
+  CentralResult out;
+  auto ok = r.Bool();
+  auto err = r.Str();
+  auto host = r.Str();
+  auto pid = r.I32();
+  auto n = r.U32();
+  if (!ok || !err || !host || !pid || !n) return std::nullopt;
+  out.ok = *ok;
+  out.error = *err;
+  out.host = *host;
+  out.pid = *pid;
+  for (uint32_t i = 0; i < *n; ++i) {
+    CentralEntry e;
+    auto eh = r.Str();
+    auto ep = r.I32();
+    auto eu = r.I32();
+    auto ec = r.Str();
+    if (!eh || !ep || !eu || !ec) return std::nullopt;
+    e.host = *eh;
+    e.pid = *ep;
+    e.uid = *eu;
+    e.command = *ec;
+    out.entries.push_back(std::move(e));
+  }
+  return out;
+}
+
+// Generic one-shot call over a fresh circuit.
+void OneShotCall(host::Host& from, const std::string& to_host, net::Port port,
+                 std::vector<uint8_t> request,
+                 std::function<void(const CentralResult&)> done) {
+  auto target = from.network().FindHost(to_host);
+  if (!target) {
+    CentralResult r;
+    r.error = "unknown host";
+    done(r);
+    return;
+  }
+  auto done_shared =
+      std::make_shared<std::function<void(const CentralResult&)>>(std::move(done));
+  net::ConnCallbacks cb;
+  cb.on_data = [&from, done_shared](net::ConnId c, const std::vector<uint8_t>& bytes) {
+    auto result = DecodeResult(bytes);
+    from.network().Close(c);
+    if (*done_shared) {
+      auto fn = std::move(*done_shared);
+      *done_shared = nullptr;
+      CentralResult failed;
+      failed.error = "bad response";
+      fn(result ? *result : failed);
+    }
+  };
+  cb.on_close = [done_shared](net::ConnId, net::CloseReason) {
+    if (*done_shared) {
+      auto fn = std::move(*done_shared);
+      *done_shared = nullptr;
+      CentralResult r;
+      r.error = "connection lost";
+      fn(r);
+    }
+  };
+  from.network().Connect(from.net_id(), net::SocketAddr{*target, port}, std::move(cb),
+                         [&from, request = std::move(request), done_shared](
+                             std::optional<net::ConnId> c) {
+                           if (!c) {
+                             if (*done_shared) {
+                               auto fn = std::move(*done_shared);
+                               *done_shared = nullptr;
+                               CentralResult r;
+                               r.error = "service unreachable";
+                               fn(r);
+                             }
+                             return;
+                           }
+                           from.network().Send(*c, request);
+                         });
+}
+
+}  // namespace
+
+// --- agent ------------------------------------------------------------------
+
+CentralAgent::CentralAgent(host::Host& host) : host_(host) {}
+
+void CentralAgent::OnStart() {
+  host_.network().Listen(host_.net_id(), kAgentPort, [this](net::ConnId conn, net::SocketAddr) {
+    conns_.insert(conn);
+    net::ConnCallbacks cb;
+    cb.on_data = [this](net::ConnId c, const std::vector<uint8_t>& b) { HandleRequest(c, b); };
+    cb.on_close = [this](net::ConnId c, net::CloseReason) { conns_.erase(c); };
+    return cb;
+  });
+}
+
+void CentralAgent::OnShutdown() {
+  if (host_.up()) {
+    host_.network().Unlisten(host_.net_id(), kAgentPort);
+    for (net::ConnId c : conns_) host_.network().Close(c);
+  }
+  conns_.clear();
+}
+
+void CentralAgent::HandleRequest(net::ConnId conn, const std::vector<uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  auto op = r.U8();
+  CentralResult result;
+  sim::SimDuration cost = host_.kernel().Charge(pid(), BaseCosts::kDispatch);
+  if (op && *op == kOpSpawn) {
+    auto target_host = r.Str();
+    auto user = r.Str();
+    auto command = r.Str();
+    if (user && command) {
+      if (auto uid = host_.users().UidOf(*user)) {
+        cost += host_.kernel().Charge(pid(), BaseCosts::kForkExec);
+        result.pid = host_.kernel().Spawn(pid(), *uid, *command, nullptr,
+                                          host::ProcState::kRunning);
+        result.host = host_.name();
+        result.ok = true;
+      } else {
+        result.error = "unknown user";
+      }
+    } else {
+      result.error = "malformed";
+    }
+  } else if (op && *op == kOpSignal) {
+    auto target_host = r.Str();
+    auto target = r.I32();
+    auto user = r.Str();
+    auto sig = r.U8();
+    (void)target_host;
+    if (target && user && sig) {
+      if (auto uid = host_.users().UidOf(*user)) {
+        cost += host_.kernel().Charge(pid(), BaseCosts::kSignal);
+        std::string err;
+        result.ok = host_.kernel().PostSignal(*target, static_cast<host::Signal>(*sig),
+                                              *uid, &err);
+        result.error = err;
+      } else {
+        result.error = "unknown user";
+      }
+    } else {
+      result.error = "malformed";
+    }
+  } else {
+    result.error = "bad opcode";
+  }
+  host_.simulator().ScheduleIn(cost, [this, conn, result] {
+    if (!host_.up()) return;
+    host_.network().Send(conn, EncodeResult(result));
+    host_.network().Close(conn);
+    conns_.erase(conn);
+  }, "central-agent-reply");
+}
+
+// --- manager -----------------------------------------------------------------
+
+CentralManager::CentralManager(host::Host& host) : host_(host) {}
+
+void CentralManager::OnStart() {
+  host_.network().Listen(host_.net_id(), kCentralPort,
+                         [this](net::ConnId conn, net::SocketAddr) {
+                           conns_.insert(conn);
+                           net::ConnCallbacks cb;
+                           cb.on_data = [this](net::ConnId c, const std::vector<uint8_t>& b) {
+                             HandleRequest(c, b);
+                           };
+                           cb.on_close = [this](net::ConnId c, net::CloseReason) {
+                             conns_.erase(c);
+                           };
+                           return cb;
+                         });
+}
+
+void CentralManager::OnShutdown() {
+  if (host_.up()) {
+    host_.network().Unlisten(host_.net_id(), kCentralPort);
+    for (net::ConnId c : conns_) host_.network().Close(c);
+  }
+  conns_.clear();
+}
+
+void CentralManager::HandleRequest(net::ConnId conn, const std::vector<uint8_t>& bytes) {
+  queue_.push_back(Job{conn, bytes, host_.simulator().Now()});
+  PumpQueue();
+}
+
+void CentralManager::PumpQueue() {
+  // The omniscient site serves one request at a time: this serialization
+  // is exactly what makes it a bottleneck at scale.
+  if (busy_ || queue_.empty()) return;
+  busy_ = true;
+  Job job = std::move(queue_.front());
+  queue_.pop_front();
+  sim::SimDuration waited =
+      static_cast<sim::SimDuration>(host_.simulator().Now() - job.enqueued);
+  if (waited > max_queue_delay_) max_queue_delay_ = waited;
+  sim::SimDuration cost = host_.kernel().Charge(pid(), BaseCosts::kDispatch);
+  cost += host_.kernel().Charge(pid(), BaseCosts::kHandlerWork);
+  host_.simulator().ScheduleIn(cost, [this, job = std::move(job)] {
+    if (!host_.up()) return;
+    ExecuteJob(job);
+    busy_ = false;
+    PumpQueue();
+  }, "central-mgr-serve");
+}
+
+void CentralManager::ExecuteJob(const Job& job) {
+  ++served_;
+  util::ByteReader r(job.request);
+  auto op = r.U8();
+  if (op && *op == kOpSnapshot) {
+    auto user = r.Str();
+    CentralResult result;
+    if (user) {
+      auto uid = host_.users().UidOf(*user);
+      result.ok = true;
+      for (const auto& [key, entry] : registry_) {
+        if (uid && entry.uid == *uid) result.entries.push_back(entry);
+      }
+    } else {
+      result.error = "malformed";
+    }
+    Reply(job.conn, result);
+    return;
+  }
+  if (op && *op == kOpSpawn) {
+    auto target_host = r.Str();
+    auto user = r.Str();
+    auto command = r.Str();
+    if (!target_host || !user || !command) {
+      CentralResult result;
+      result.error = "malformed";
+      Reply(job.conn, result);
+      return;
+    }
+    net::ConnId reply_conn = job.conn;
+    std::string u = *user;
+    std::string cmd = *command;
+    OneShotCall(host_, *target_host, kAgentPort, EncodeSpawn(*target_host, u, cmd),
+                [this, reply_conn, u, cmd](const CentralResult& agent_result) {
+                  if (agent_result.ok) {
+                    auto uid = host_.users().UidOf(u);
+                    registry_[next_key_++] = CentralEntry{agent_result.host,
+                                                          agent_result.pid,
+                                                          uid.value_or(-1), cmd};
+                  }
+                  Reply(reply_conn, agent_result);
+                });
+    return;
+  }
+  if (op && *op == kOpSignal) {
+    auto target_host = r.Str();
+    auto target = r.I32();
+    auto user = r.Str();
+    auto sig = r.U8();
+    if (!target_host || !target || !user || !sig) {
+      CentralResult result;
+      result.error = "malformed";
+      Reply(job.conn, result);
+      return;
+    }
+    net::ConnId reply_conn = job.conn;
+    OneShotCall(host_, *target_host, kAgentPort,
+                EncodeSignal(*target_host, *target, *user,
+                             static_cast<host::Signal>(*sig)),
+                [this, reply_conn](const CentralResult& agent_result) {
+                  Reply(reply_conn, agent_result);
+                });
+    return;
+  }
+  CentralResult result;
+  result.error = "bad opcode";
+  Reply(job.conn, result);
+}
+
+void CentralManager::Reply(net::ConnId conn, const CentralResult& result) {
+  if (!host_.up()) return;
+  host_.network().Send(conn, EncodeResult(result));
+  host_.network().Close(conn);
+  conns_.erase(conn);
+}
+
+// --- boot & client helpers --------------------------------------------------------
+
+host::Pid StartCentralAgent(host::Host& host) {
+  auto body = std::make_unique<CentralAgent>(host);
+  return host.kernel().Spawn(host::kNoPid, host::kRootUid, "central-agent",
+                             std::move(body), host::ProcState::kSleeping);
+}
+
+host::Pid StartCentralManager(host::Host& host) {
+  auto body = std::make_unique<CentralManager>(host);
+  return host.kernel().Spawn(host::kNoPid, host::kRootUid, "central-mgr",
+                             std::move(body), host::ProcState::kSleeping);
+}
+
+void CentralSpawn(host::Host& from, const std::string& manager_host,
+                  const std::string& target_host, const std::string& user,
+                  const std::string& command,
+                  std::function<void(const CentralResult&)> done) {
+  OneShotCall(from, manager_host, kCentralPort, EncodeSpawn(target_host, user, command),
+              std::move(done));
+}
+
+void CentralSignal(host::Host& from, const std::string& manager_host,
+                   const std::string& target_host, host::Pid pid, const std::string& user,
+                   host::Signal sig, std::function<void(const CentralResult&)> done) {
+  OneShotCall(from, manager_host, kCentralPort,
+              EncodeSignal(target_host, pid, user, sig), std::move(done));
+}
+
+void CentralSnapshot(host::Host& from, const std::string& manager_host,
+                     const std::string& user,
+                     std::function<void(const CentralResult&)> done) {
+  OneShotCall(from, manager_host, kCentralPort, EncodeSnapshot(user), std::move(done));
+}
+
+}  // namespace ppm::baseline

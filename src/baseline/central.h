@@ -1,0 +1,117 @@
+// central.h — the centralized process-control baseline.
+//
+// Paper Section 6: "in the Summer of 1984, a process control mechanism
+// had been designed and implemented for 4.2BSD […] It required all
+// processes to have a control socket, and there was a centralized system
+// wide process control facility."  The paper credits that experience for
+// several PPM design decisions — chiefly per-user decentralization:
+// "It is not possible to require a site to be omniscient and still
+// expect such a mechanism to scale well."  (Section 3.)
+//
+// We implement the omniscient variant: one CentralManager process on a
+// designated host holds the registry of *every* registered process in
+// the network (all users), and every control or snapshot operation goes
+// through it.  Each host runs a CentralAgent that executes creations and
+// signals on the manager's behalf.  The manager serializes its work (one
+// request at a time, with per-request CPU cost), so queueing delay grows
+// with cluster size — the scaling failure bench_baselines measures
+// against the PPM's per-user, per-host managers.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "host/host.h"
+#include "net/network.h"
+
+namespace ppm::baseline {
+
+constexpr net::Port kCentralPort = 700;
+constexpr net::Port kAgentPort = 701;
+
+struct CentralEntry {
+  std::string host;
+  host::Pid pid;
+  host::Uid uid;
+  std::string command;
+};
+
+struct CentralResult {
+  bool ok = false;
+  std::string error;
+  std::string host;           // of a created process
+  host::Pid pid = host::kNoPid;
+  std::vector<CentralEntry> entries;  // snapshot results
+};
+
+// Per-host executor working for the manager.
+class CentralAgent : public host::ProcessBody {
+ public:
+  explicit CentralAgent(host::Host& host);
+  void OnStart() override;
+  void OnShutdown() override;
+
+ private:
+  void HandleRequest(net::ConnId conn, const std::vector<uint8_t>& bytes);
+  host::Host& host_;
+  std::set<net::ConnId> conns_;
+};
+
+// The omniscient site.
+class CentralManager : public host::ProcessBody {
+ public:
+  explicit CentralManager(host::Host& host);
+  void OnStart() override;
+  void OnShutdown() override;
+
+  size_t registry_size() const { return registry_.size(); }
+  uint64_t requests_served() const { return served_; }
+  // Peak queueing delay observed at the manager, the scaling metric.
+  sim::SimDuration max_queue_delay() const { return max_queue_delay_; }
+
+ private:
+  struct Job {
+    net::ConnId conn;
+    std::vector<uint8_t> request;
+    sim::SimTime enqueued;
+  };
+
+  void HandleRequest(net::ConnId conn, const std::vector<uint8_t>& bytes);
+  void PumpQueue();
+  void ExecuteJob(const Job& job);
+  void Reply(net::ConnId conn, const CentralResult& result);
+
+  host::Host& host_;
+  std::set<net::ConnId> conns_;
+  std::map<uint64_t, CentralEntry> registry_;  // key: dense id
+  uint64_t next_key_ = 1;
+  std::deque<Job> queue_;
+  bool busy_ = false;
+  uint64_t served_ = 0;
+  sim::SimDuration max_queue_delay_ = 0;
+};
+
+host::Pid StartCentralAgent(host::Host& host);
+host::Pid StartCentralManager(host::Host& host);
+
+// Client calls, issued from any host toward the manager on `manager_host`.
+void CentralSpawn(host::Host& from, const std::string& manager_host,
+                  const std::string& target_host, const std::string& user,
+                  const std::string& command,
+                  std::function<void(const CentralResult&)> done);
+
+void CentralSignal(host::Host& from, const std::string& manager_host,
+                   const std::string& target_host, host::Pid pid, const std::string& user,
+                   host::Signal sig, std::function<void(const CentralResult&)> done);
+
+// Global snapshot of one user's registered processes.
+void CentralSnapshot(host::Host& from, const std::string& manager_host,
+                     const std::string& user,
+                     std::function<void(const CentralResult&)> done);
+
+}  // namespace ppm::baseline

@@ -1,0 +1,207 @@
+#include "baseline/rexec.h"
+
+#include "host/calibration.h"
+#include "util/bytes.h"
+#include "util/panic.h"
+
+namespace ppm::baseline {
+
+using host::BaseCosts;
+
+namespace {
+
+constexpr uint8_t kOpExec = 1;
+constexpr uint8_t kOpSignal = 2;
+constexpr uint8_t kRespMagic = 0x9a;
+
+std::vector<uint8_t> EncodeExec(const std::string& user, const std::string& command) {
+  util::ByteWriter w;
+  w.U8(kOpExec);
+  w.Str(user);
+  w.Str(command);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeSignal(const std::string& user, host::Pid pid, host::Signal sig) {
+  util::ByteWriter w;
+  w.U8(kOpSignal);
+  w.Str(user);
+  w.I32(pid);
+  w.U8(static_cast<uint8_t>(sig));
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeResult(const RexecResult& r) {
+  util::ByteWriter w;
+  w.U8(kRespMagic);
+  w.Bool(r.ok);
+  w.Str(r.error);
+  w.I32(r.pid);
+  return w.Take();
+}
+
+std::optional<RexecResult> DecodeResult(const std::vector<uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  auto magic = r.U8();
+  if (!magic || *magic != kRespMagic) return std::nullopt;
+  RexecResult out;
+  auto ok = r.Bool();
+  auto err = r.Str();
+  auto pid = r.I32();
+  if (!ok || !err || !pid) return std::nullopt;
+  out.ok = *ok;
+  out.error = *err;
+  out.pid = *pid;
+  return out;
+}
+
+}  // namespace
+
+Rexecd::Rexecd(host::Host& host) : host_(host) {}
+
+void Rexecd::OnStart() {
+  host_.network().Listen(host_.net_id(), kRexecPort,
+                         [this](net::ConnId conn, net::SocketAddr) {
+                           conns_.insert(conn);
+                           net::ConnCallbacks cb;
+                           cb.on_data = [this](net::ConnId c,
+                                               const std::vector<uint8_t>& b) {
+                             HandleRequest(c, b);
+                           };
+                           cb.on_close = [this](net::ConnId c, net::CloseReason) {
+                             conns_.erase(c);
+                           };
+                           return cb;
+                         });
+}
+
+void Rexecd::OnShutdown() {
+  if (host_.up()) {
+    host_.network().Unlisten(host_.net_id(), kRexecPort);
+    for (net::ConnId c : conns_) host_.network().Close(c);
+  }
+  conns_.clear();
+}
+
+void Rexecd::HandleRequest(net::ConnId conn, const std::vector<uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  auto op = r.U8();
+  RexecResult result;
+  sim::SimDuration cost = host_.kernel().Charge(pid(), BaseCosts::kDispatch);
+  if (op && *op == kOpExec) {
+    auto user = r.Str();
+    auto command = r.Str();
+    if (!user || !command) {
+      result.error = "malformed request";
+    } else if (auto uid = host_.users().UidOf(*user)) {
+      ++execs_;
+      cost += host_.kernel().Charge(pid(), BaseCosts::kForkExec);
+      // The child belongs to rexecd's process tree, not the caller's —
+      // precisely why shell job control cannot reach it.
+      result.pid = host_.kernel().Spawn(pid(), *uid, *command, nullptr,
+                                        host::ProcState::kRunning);
+      result.ok = true;
+    } else {
+      result.error = "unknown user";
+    }
+  } else if (op && *op == kOpSignal) {
+    auto user = r.Str();
+    auto target = r.I32();
+    auto sig = r.U8();
+    if (!user || !target || !sig) {
+      result.error = "malformed request";
+    } else if (auto uid = host_.users().UidOf(*user)) {
+      ++signals_;
+      cost += host_.kernel().Charge(pid(), BaseCosts::kSignal);
+      std::string err;
+      // Signals exactly one pid; descendants are not consulted.
+      result.ok = host_.kernel().PostSignal(*target, static_cast<host::Signal>(*sig),
+                                            *uid, &err);
+      result.error = err;
+    } else {
+      result.error = "unknown user";
+    }
+  } else {
+    result.error = "bad opcode";
+  }
+  host_.simulator().ScheduleIn(cost, [this, conn, result] {
+    if (!host_.up()) return;
+    host_.network().Send(conn, EncodeResult(result));
+    host_.network().Close(conn);
+    conns_.erase(conn);
+  }, "rexecd-reply");
+}
+
+host::Pid StartRexecd(host::Host& host) {
+  auto body = std::make_unique<Rexecd>(host);
+  return host.kernel().Spawn(host::kNoPid, host::kRootUid, "rexecd", std::move(body),
+                             host::ProcState::kSleeping);
+}
+
+namespace {
+
+// One-shot request helper shared by spawn and signal.
+void RexecCall(host::Host& from, const std::string& target_host,
+               std::vector<uint8_t> request,
+               std::function<void(const RexecResult&)> done) {
+  auto target = from.network().FindHost(target_host);
+  if (!target) {
+    RexecResult r;
+    r.error = "unknown host";
+    done(r);
+    return;
+  }
+  auto done_shared = std::make_shared<std::function<void(const RexecResult&)>>(std::move(done));
+  net::ConnCallbacks cb;
+  cb.on_data = [&from, done_shared](net::ConnId c, const std::vector<uint8_t>& bytes) {
+    auto result = DecodeResult(bytes);
+    from.network().Close(c);
+    if (*done_shared) {
+      auto fn = std::move(*done_shared);
+      *done_shared = nullptr;
+      RexecResult failed;
+      failed.error = "bad response";
+      fn(result ? *result : failed);
+    }
+  };
+  cb.on_close = [done_shared](net::ConnId, net::CloseReason) {
+    if (*done_shared) {
+      auto fn = std::move(*done_shared);
+      *done_shared = nullptr;
+      RexecResult r;
+      r.error = "connection lost";
+      fn(r);
+    }
+  };
+  from.network().Connect(from.net_id(), net::SocketAddr{*target, kRexecPort}, std::move(cb),
+                         [&from, request = std::move(request), done_shared](
+                             std::optional<net::ConnId> c) {
+                           if (!c) {
+                             if (*done_shared) {
+                               auto fn = std::move(*done_shared);
+                               *done_shared = nullptr;
+                               RexecResult r;
+                               r.error = "rexecd unreachable";
+                               fn(r);
+                             }
+                             return;
+                           }
+                           from.network().Send(*c, request);
+                         });
+}
+
+}  // namespace
+
+void RexecSpawn(host::Host& from, const std::string& target_host, const std::string& user,
+                const std::string& command,
+                std::function<void(const RexecResult&)> done) {
+  RexecCall(from, target_host, EncodeExec(user, command), std::move(done));
+}
+
+void RexecSignal(host::Host& from, const std::string& target_host, const std::string& user,
+                 host::Pid pid, host::Signal sig,
+                 std::function<void(const RexecResult&)> done) {
+  RexecCall(from, target_host, EncodeSignal(user, pid, sig), std::move(done));
+}
+
+}  // namespace ppm::baseline

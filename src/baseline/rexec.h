@@ -1,0 +1,72 @@
+// rexec.h — the 4.2BSD rexec-style baseline.
+//
+// Paper Section 6: "Rexec allows the creation of remote processes and
+// the delivery of signals to these processes.  By itself, however, it is
+// insufficient for starting distributed computations since no provision
+// is made for flexibly configuring the communication links and open
+// files of the remote process, or for separately signalling any children
+// of the remote process. […] Remote processes must therefore be
+// explicitly hunted for and signalled."
+//
+// We implement exactly that: a per-host rexecd that can (a) spawn a
+// process for an authenticated user and (b) signal *that specific pid*.
+// There is no adoption, no tracking, no genealogy, no forwarding: if the
+// created process forks, its children are invisible to the caller.  The
+// baseline bench shows the functional gap (orphaned grandchildren
+// survive a "kill") and the latency gap (rexec is *cheaper* per
+// operation, because it does less — the paper's case for the PPM is
+// capability, not raw speed).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "host/host.h"
+#include "net/network.h"
+
+namespace ppm::baseline {
+
+constexpr net::Port kRexecPort = 514;
+
+struct RexecResult {
+  bool ok = false;
+  std::string error;
+  host::Pid pid = host::kNoPid;  // for exec requests
+};
+
+// The per-host daemon.
+class Rexecd : public host::ProcessBody {
+ public:
+  explicit Rexecd(host::Host& host);
+
+  void OnStart() override;
+  void OnShutdown() override;
+
+  uint64_t execs() const { return execs_; }
+  uint64_t signals() const { return signals_; }
+
+ private:
+  void HandleRequest(net::ConnId conn, const std::vector<uint8_t>& bytes);
+
+  host::Host& host_;
+  std::set<net::ConnId> conns_;
+  uint64_t execs_ = 0;
+  uint64_t signals_ = 0;
+};
+
+host::Pid StartRexecd(host::Host& host);
+
+// Client-side calls (issued from a process on `from`).  Each call opens
+// a fresh connection to the remote rexecd, exactly like the original.
+void RexecSpawn(host::Host& from, const std::string& target_host, const std::string& user,
+                const std::string& command,
+                std::function<void(const RexecResult&)> done);
+
+void RexecSignal(host::Host& from, const std::string& target_host, const std::string& user,
+                 host::Pid pid, host::Signal sig,
+                 std::function<void(const RexecResult&)> done);
+
+}  // namespace ppm::baseline

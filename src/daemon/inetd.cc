@@ -1,0 +1,100 @@
+#include "daemon/inetd.h"
+
+#include "host/calibration.h"
+#include "util/log.h"
+#include "util/panic.h"
+
+namespace ppm::daemon {
+
+using host::BaseCosts;
+
+Inetd::Inetd(host::Host& host, PmdConfig pmd_config, LpmFactory lpm_factory)
+    : host_(host), pmd_config_(pmd_config), lpm_factory_(std::move(lpm_factory)) {}
+
+void Inetd::OnStart() {
+  net::Network& network = host_.network();
+  network.Listen(host_.net_id(), net::kInetdPort,
+                 [this](net::ConnId conn, net::SocketAddr peer) {
+                   ++stats_.connections;
+                   open_conns_.insert(conn);
+                   net::ConnCallbacks cb;
+                   cb.on_data = [this, peer](net::ConnId c, const std::vector<uint8_t>& bytes) {
+                     HandleRequest(c, bytes, peer);
+                   };
+                   cb.on_close = [this](net::ConnId c, net::CloseReason) {
+                     open_conns_.erase(c);
+                   };
+                   return cb;
+                 });
+}
+
+void Inetd::OnShutdown() {
+  net::Network& network = host_.network();
+  if (host_.up()) {
+    network.Unlisten(host_.net_id(), net::kInetdPort);
+    for (net::ConnId c : open_conns_) network.Close(c);
+  }
+  open_conns_.clear();
+}
+
+Pmd& Inetd::EnsurePmd() {
+  if (Pmd* existing = pmd()) return *existing;
+  auto body = std::make_unique<Pmd>(host_, pmd_config_, lpm_factory_);
+  Pmd* raw = body.get();
+  pmd_pid_ = host_.kernel().Spawn(pid(), host::kRootUid, "pmd", std::move(body),
+                                  host::ProcState::kSleeping);
+  pmd_body_ = raw;
+  ++stats_.pmd_spawns;
+  return *raw;
+}
+
+Pmd* Inetd::pmd() {
+  if (pmd_pid_ == host::kNoPid) return nullptr;
+  const host::Process* proc = host_.kernel().Find(pmd_pid_);
+  if (!proc || !proc->alive()) return nullptr;
+  return pmd_body_;
+}
+
+void Inetd::HandleRequest(net::ConnId conn, const std::vector<uint8_t>& bytes,
+                          net::SocketAddr peer) {
+  auto request = LpmRequest::Parse(bytes);
+  if (!request) {
+    ++stats_.bad_requests;
+    host_.network().Close(conn);
+    open_conns_.erase(conn);
+    return;
+  }
+  bool local = peer.host == host_.net_id();
+  sim::SimDuration dispatch = host_.kernel().Charge(pid(), BaseCosts::kInetdDispatch);
+
+  // Step (2): pass to pmd, creating it if necessary.  Spawning pmd costs
+  // a fork which this request waits out.
+  bool pmd_was_alive = pmd() != nullptr;
+  Pmd& daemon = EnsurePmd();
+  if (!pmd_was_alive) {
+    dispatch += host_.kernel().Charge(pid(), BaseCosts::kHandlerFork);
+  }
+
+  host::Host* host = &host_;
+  net::ConnId reply_conn = conn;
+  host_.simulator().ScheduleIn(dispatch, [this, host, reply_conn, request, local,
+                                          &daemon] {
+    // Re-validate: pmd (or the whole host) may have died while this
+    // request sat in inetd's queue.
+    if (!host->up() || pmd() != &daemon) return;
+    daemon.EnsureLpm(*request, local, [this, host, reply_conn](const LpmResponse& resp) {
+      if (!host->up()) return;
+      host->network().Send(reply_conn, resp.Serialize());
+      host->network().Close(reply_conn);
+      open_conns_.erase(reply_conn);
+    });
+  }, "inetd-dispatch");
+}
+
+host::Pid StartInetd(host::Host& host, PmdConfig pmd_config, LpmFactory lpm_factory) {
+  auto body = std::make_unique<Inetd>(host, pmd_config, std::move(lpm_factory));
+  return host.kernel().Spawn(host::kNoPid, host::kRootUid, "inetd", std::move(body),
+                             host::ProcState::kSleeping);
+}
+
+}  // namespace ppm::daemon

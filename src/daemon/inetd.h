@@ -1,0 +1,62 @@
+// inetd.h — the inet daemon.
+//
+// Step (1) of LPM creation (paper Figure 2): requests arrive on inetd's
+// well-known stream port; inetd passes them to the process manager
+// daemon, *creating pmd if necessary*, and relays pmd's answer back over
+// the requesting connection before closing it.  inetd itself is started
+// at boot by the cluster layer, which is "an alternative to having a
+// well known communications port" for pmd itself (paper footnote 5).
+//
+// The connection protocol is one-shot: one LpmRequest in, one
+// LpmResponse out, server closes.
+#pragma once
+
+#include <set>
+
+#include "daemon/pmd.h"
+#include "daemon/protocol.h"
+#include "host/host.h"
+#include "net/network.h"
+
+namespace ppm::daemon {
+
+struct InetdStats {
+  uint64_t connections = 0;
+  uint64_t bad_requests = 0;
+  uint64_t pmd_spawns = 0;
+};
+
+class Inetd : public host::ProcessBody {
+ public:
+  Inetd(host::Host& host, PmdConfig pmd_config, LpmFactory lpm_factory);
+
+  void OnStart() override;
+  void OnShutdown() override;
+
+  // The current pmd body, spawning it first if dead or never started.
+  Pmd& EnsurePmd();
+
+  // The pmd body if alive, else nullptr (tests use this to kill it).
+  Pmd* pmd();
+  host::Pid pmd_pid() const { return pmd_pid_; }
+
+  const InetdStats& stats() const { return stats_; }
+
+ private:
+  void HandleRequest(net::ConnId conn, const std::vector<uint8_t>& bytes,
+                     net::SocketAddr peer);
+
+  host::Host& host_;
+  PmdConfig pmd_config_;
+  LpmFactory lpm_factory_;
+  host::Pid pmd_pid_ = host::kNoPid;
+  Pmd* pmd_body_ = nullptr;  // valid only while pmd_pid_ is alive
+  std::set<net::ConnId> open_conns_;
+  InetdStats stats_;
+};
+
+// Boots inetd on a host: spawns the daemon process (owned by root).
+// Returns its pid.  Used by the cluster layer's boot function.
+host::Pid StartInetd(host::Host& host, PmdConfig pmd_config, LpmFactory lpm_factory);
+
+}  // namespace ppm::daemon

@@ -1,0 +1,194 @@
+#include "daemon/pmd.h"
+
+#include <sstream>
+
+#include "host/calibration.h"
+#include "util/log.h"
+#include "util/panic.h"
+#include "util/strings.h"
+
+namespace ppm::daemon {
+
+using host::BaseCosts;
+
+Pmd::Pmd(host::Host& host, PmdConfig config, LpmFactory factory)
+    : host_(host), config_(config), factory_(std::move(factory)) {}
+
+void Pmd::OnStart() {
+  if (config_.stable_storage) LoadRegistry();
+}
+
+void Pmd::OnShutdown() {
+  // Nothing: the registry either lives on disk (stable storage) or is
+  // deliberately lost, reproducing the paper's discussion of pmd crash
+  // consequences.
+}
+
+bool Pmd::Authenticate(const LpmRequest& request, bool local, host::Uid* uid,
+                       std::string* error) const {
+  auto target_uid = host_.users().UidOf(request.user);
+  if (!target_uid) {
+    *error = "unknown user: " + request.user;
+    return false;
+  }
+  *uid = *target_uid;
+  if (local) return true;
+  // Remote requests: same account name, and permitted by ~/.rhosts.
+  if (request.origin_user != request.user) {
+    *error = "user-level masquerade rejected: " + request.origin_user +
+             " requested LPM of " + request.user;
+    return false;
+  }
+  auto rhosts = host_.fs().Read(*target_uid, ".rhosts");
+  if (!rhosts) {
+    *error = "no .rhosts for " + request.user + " on " + host_.name();
+    return false;
+  }
+  for (const std::string& raw : util::Split(*rhosts, '\n')) {
+    std::string line = util::Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    auto fields = util::Split(line, ' ');
+    if (fields.size() != 2) continue;
+    if (fields[0] == request.origin_host && fields[1] == request.origin_user) return true;
+  }
+  *error = "rejected by .rhosts: " + request.origin_host + " " + request.origin_user;
+  return false;
+}
+
+void Pmd::EnsureLpm(const LpmRequest& request, bool local,
+                    std::function<void(const LpmResponse&)> reply) {
+  ++stats_.requests;
+  sim::SimDuration cost = host_.kernel().Charge(pid(), BaseCosts::kPmdLookup);
+
+  LpmResponse resp;
+  host::Uid uid = -1;
+  std::string error;
+  if (!Authenticate(request, local, &uid, &error)) {
+    ++stats_.auth_failures;
+    resp.ok = false;
+    resp.error = error;
+    host_.simulator().ScheduleIn(cost, [reply = std::move(reply), resp] { reply(resp); },
+                                 "pmd-reply");
+    return;
+  }
+
+  // "…after verifying that there is no LPM for that user in that host.
+  // If an appropriate LPM is found in the host, its accept address is
+  // returned."  Liveness is re-checked: the registry may name a pid that
+  // died without unregistering (LPM crash).
+  auto it = registry_.find(uid);
+  if (it != registry_.end()) {
+    const host::Process* proc = host_.kernel().Find(it->second.pid);
+    if (proc && proc->alive()) {
+      resp.ok = true;
+      resp.accept_addr = it->second.accept_addr;
+      resp.token = it->second.token;
+      resp.lpm_pid = it->second.pid;
+      resp.created = false;
+      host_.simulator().ScheduleIn(cost, [reply = std::move(reply), resp] { reply(resp); },
+                                   "pmd-reply");
+      return;
+    }
+    registry_.erase(it);
+  }
+
+  // Create the LPM (step 3).  The factory pre-assigns the accept address
+  // so pmd can answer without waiting for the LPM to come up.
+  uint64_t token = host_.simulator().rng().Next();
+  LpmHandle handle = factory_(host_, uid, token);
+  PPM_CHECK_MSG(handle.pid != host::kNoPid, "LPM factory failed");
+  registry_[uid] = Entry{handle.pid, handle.accept_addr, token};
+  ReviewIdleExit();
+  ++stats_.lpms_created;
+  cost += host_.kernel().Charge(pid(), BaseCosts::kForkExec);
+  if (config_.stable_storage) {
+    SaveRegistry();
+    ++stats_.stable_writes;
+    cost += host_.kernel().Charge(pid(), BaseCosts::kPmdStableWrite);
+  }
+
+  resp.ok = true;
+  resp.accept_addr = handle.accept_addr;
+  resp.token = token;
+  resp.lpm_pid = handle.pid;
+  resp.created = true;
+  PPM_DEBUG("pmd") << "created LPM pid " << handle.pid << " for uid " << uid << " on "
+                   << host_.name();
+  host_.simulator().ScheduleIn(cost, [reply = std::move(reply), resp] { reply(resp); },
+                               "pmd-reply");
+}
+
+void Pmd::Unregister(host::Uid uid, host::Pid lpm_pid) {
+  auto it = registry_.find(uid);
+  if (it != registry_.end() && it->second.pid == lpm_pid) {
+    registry_.erase(it);
+    if (config_.stable_storage) SaveRegistry();
+    ReviewIdleExit();
+  }
+}
+
+void Pmd::ReviewIdleExit() {
+  // "The process manager daemon is present in an installation as long
+  // as there is any LPM present."  An empty registry starts the idle
+  // countdown; any new LPM cancels it.
+  if (config_.idle_exit == 0) return;
+  if (!registry_.empty()) {
+    host_.simulator().Cancel(idle_event_);
+    idle_event_ = sim::kInvalidEventId;
+    return;
+  }
+  if (idle_event_ != sim::kInvalidEventId) return;
+  idle_event_ = host_.simulator().ScheduleIn(config_.idle_exit, [this] {
+    idle_event_ = sim::kInvalidEventId;
+    if (!host_.up() || !registry_.empty()) return;
+    const host::Process* self = host_.kernel().Find(pid());
+    if (!self || !self->alive()) return;
+    PPM_DEBUG("pmd") << "no LPMs on " << host_.name() << "; pmd exiting";
+    host_.kernel().Exit(pid(), 0);
+  }, "pmd-idle-exit");
+}
+
+std::optional<LpmHandle> Pmd::Lookup(host::Uid uid) {
+  auto it = registry_.find(uid);
+  if (it == registry_.end()) return std::nullopt;
+  const host::Process* proc = host_.kernel().Find(it->second.pid);
+  if (!proc || !proc->alive()) return std::nullopt;
+  return LpmHandle{it->second.pid, it->second.accept_addr};
+}
+
+void Pmd::SaveRegistry() {
+  std::ostringstream out;
+  for (const auto& [uid, entry] : registry_) {
+    out << uid << ' ' << entry.pid << ' ' << entry.accept_addr.host << ' '
+        << entry.accept_addr.port << ' ' << entry.token << '\n';
+  }
+  host_.fs().Write(kStateOwner, kStateFile, out.str());
+}
+
+void Pmd::LoadRegistry() {
+  auto content = host_.fs().Read(kStateOwner, kStateFile);
+  if (!content) return;
+  for (const std::string& raw : util::Split(*content, '\n')) {
+    std::string line = util::Trim(raw);
+    if (line.empty()) continue;
+    auto fields = util::Split(line, ' ');
+    if (fields.size() != 5) continue;
+    Entry entry;
+    host::Uid uid;
+    try {
+      uid = std::stoi(fields[0]);
+      entry.pid = std::stoi(fields[1]);
+      entry.accept_addr.host = static_cast<net::HostId>(std::stoul(fields[2]));
+      entry.accept_addr.port = static_cast<net::Port>(std::stoul(fields[3]));
+      entry.token = std::stoull(fields[4]);
+    } catch (...) {
+      continue;  // tolerate a torn write
+    }
+    // Only resurrect entries whose LPM is still alive; after a *host*
+    // crash the pids are stale and must not be trusted.
+    const host::Process* proc = host_.kernel().Find(entry.pid);
+    if (proc && proc->alive() && proc->uid == uid) registry_[uid] = entry;
+  }
+}
+
+}  // namespace ppm::daemon

@@ -1,0 +1,111 @@
+// pmd.h — the process manager daemon.
+//
+// One per host, created on demand by inetd and "present in an
+// installation as long as there is any LPM present" (paper Section 3).
+// pmd is the trusted name server of the design: it owns the host's
+// uid → LPM registry, creates LPMs through a factory installed by the
+// PPM layer, and hands out accept addresses and session tokens only to
+// requesters that pass user-level authentication (.rhosts for remote
+// requests).
+//
+// The registry is volatile by default.  The paper notes that keeping it
+// in stable storage would let the mechanism survive pmd-only crashes at
+// the price of extra LPM-creation overhead, but left that unimplemented;
+// we implement it behind PmdConfig::stable_storage so the trade-off can
+// be measured (bench_ablate_pmd_storage) and the failure mode of the
+// volatile variant demonstrated (a duplicate LPM after a pmd restart).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "daemon/protocol.h"
+#include "host/host.h"
+
+namespace ppm::daemon {
+
+// What the PPM layer's factory returns when pmd asks it to create an LPM.
+struct LpmHandle {
+  host::Pid pid = host::kNoPid;
+  net::SocketAddr accept_addr;
+};
+
+// Creates an LPM process for `uid` on `host` with the given session
+// token, returning its pid and pre-assigned accept address.  Installed
+// by the PPM layer (keeps this module independent of the PPM core).
+using LpmFactory =
+    std::function<LpmHandle(host::Host& host, host::Uid uid, uint64_t token)>;
+
+struct PmdConfig {
+  // Keep the registry in a disk file so a pmd-only crash is survivable.
+  bool stable_storage = false;
+  // The paper: pmd "is present in an installation as long as there is
+  // any LPM present".  Once the registry empties, pmd lingers this long
+  // and then exits; inetd re-creates it on the next request.  0 = never
+  // exit.
+  sim::SimDuration idle_exit = sim::Seconds(600);
+};
+
+struct PmdStats {
+  uint64_t requests = 0;
+  uint64_t lpms_created = 0;
+  uint64_t auth_failures = 0;
+  uint64_t stable_writes = 0;
+};
+
+class Pmd : public host::ProcessBody {
+ public:
+  Pmd(host::Host& host, PmdConfig config, LpmFactory factory);
+
+  void OnStart() override;
+  void OnShutdown() override;
+
+  // Handles one step-(2) request; `reply` fires after the modelled
+  // processing costs (lookup, optional LPM fork+exec, optional stable
+  // write).  `local` marks a request arriving from the host itself, for
+  // which .rhosts is not consulted.
+  void EnsureLpm(const LpmRequest& request, bool local,
+                 std::function<void(const LpmResponse&)> reply);
+
+  // Called by an LPM when it exits (time-to-live expiry): removes the
+  // registry entry.
+  void Unregister(host::Uid uid, host::Pid lpm_pid);
+
+  // The registered LPM for `uid`, if any (liveness-checked).
+  std::optional<LpmHandle> Lookup(host::Uid uid);
+
+  size_t registry_size() const { return registry_.size(); }
+  const PmdStats& stats() const { return stats_; }
+
+  static constexpr const char* kStateFile = "pmd.state";
+  static constexpr host::Uid kStateOwner = host::kRootUid;
+
+ private:
+  struct Entry {
+    host::Pid pid;
+    net::SocketAddr accept_addr;
+    uint64_t token;
+  };
+
+  // User-level authentication (paper Section 4): the account must exist;
+  // remote requesters must be the same user and be listed in the
+  // account's ~/.rhosts as "<origin_host> <origin_user>".
+  bool Authenticate(const LpmRequest& request, bool local, host::Uid* uid,
+                    std::string* error) const;
+
+  void SaveRegistry();
+  void LoadRegistry();
+  void ReviewIdleExit();
+
+  host::Host& host_;
+  PmdConfig config_;
+  LpmFactory factory_;
+  std::map<host::Uid, Entry> registry_;
+  sim::EventId idle_event_ = sim::kInvalidEventId;
+  PmdStats stats_;
+};
+
+}  // namespace ppm::daemon

@@ -1,0 +1,70 @@
+#include "daemon/protocol.h"
+
+namespace ppm::daemon {
+
+namespace {
+constexpr uint8_t kReqMagic = 0x51;
+constexpr uint8_t kRespMagic = 0x52;
+}  // namespace
+
+std::vector<uint8_t> LpmRequest::Serialize() const {
+  util::ByteWriter w;
+  w.U8(kReqMagic);
+  w.Str(user);
+  w.Str(origin_host);
+  w.Str(origin_user);
+  return w.Take();
+}
+
+std::optional<LpmRequest> LpmRequest::Parse(const std::vector<uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  auto magic = r.U8();
+  if (!magic || *magic != kReqMagic) return std::nullopt;
+  LpmRequest req;
+  auto user = r.Str();
+  auto oh = r.Str();
+  auto ou = r.Str();
+  if (!user || !oh || !ou || !r.AtEnd()) return std::nullopt;
+  req.user = *user;
+  req.origin_host = *oh;
+  req.origin_user = *ou;
+  return req;
+}
+
+std::vector<uint8_t> LpmResponse::Serialize() const {
+  util::ByteWriter w;
+  w.U8(kRespMagic);
+  w.Bool(ok);
+  w.Str(error);
+  w.U32(accept_addr.host);
+  w.U16(accept_addr.port);
+  w.U64(token);
+  w.I32(lpm_pid);
+  w.Bool(created);
+  return w.Take();
+}
+
+std::optional<LpmResponse> LpmResponse::Parse(const std::vector<uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  auto magic = r.U8();
+  if (!magic || *magic != kRespMagic) return std::nullopt;
+  LpmResponse resp;
+  auto ok = r.Bool();
+  auto error = r.Str();
+  auto host = r.U32();
+  auto port = r.U16();
+  auto token = r.U64();
+  auto pid = r.I32();
+  auto created = r.Bool();
+  if (!ok || !error || !host || !port || !token || !pid || !created || !r.AtEnd())
+    return std::nullopt;
+  resp.ok = *ok;
+  resp.error = *error;
+  resp.accept_addr = net::SocketAddr{*host, *port};
+  resp.token = *token;
+  resp.lpm_pid = *pid;
+  resp.created = *created;
+  return resp;
+}
+
+}  // namespace ppm::daemon

@@ -1,0 +1,52 @@
+// protocol.h — the inetd/pmd service protocol (paper Figure 2).
+//
+// Creating an LPM ab initio takes four steps:
+//   (1) the requester (a tool, or a sibling LPM on another machine)
+//       opens a stream connection to the target host's inetd and sends
+//       an LpmRequest;
+//   (2) inetd passes the request to the process manager daemon, pmd,
+//       creating pmd first if necessary;
+//   (3) pmd verifies that no LPM for that user exists on the host and
+//       creates one if needed;
+//   (4) pmd returns the LPM's accept address (plus, in our concrete
+//       authentication scheme, a per-LPM session token).
+//
+// The token is what makes pmd a *trusted name server*: it is revealed
+// only to requesters that pass the user-level authentication check, and
+// a sibling LPM must present it when connecting to the accept address.
+// This prevents user-level masquerade; host-level masquerade is not
+// addressed, exactly as in the paper (Section 3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/address.h"
+#include "util/bytes.h"
+
+namespace ppm::daemon {
+
+struct LpmRequest {
+  std::string user;         // target account on this host
+  std::string origin_host;  // claimed origin (unverifiable: see header)
+  std::string origin_user;  // claimed requesting account
+
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<LpmRequest> Parse(const std::vector<uint8_t>& bytes);
+};
+
+struct LpmResponse {
+  bool ok = false;
+  std::string error;           // set when !ok
+  net::SocketAddr accept_addr; // the LPM's accept socket
+  uint64_t token = 0;          // session token for sibling authentication
+  int32_t lpm_pid = -1;
+  bool created = false;        // true if this request created the LPM
+
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<LpmResponse> Parse(const std::vector<uint8_t>& bytes);
+};
+
+}  // namespace ppm::daemon

@@ -1,0 +1,45 @@
+#include "host/calibration.h"
+
+#include "util/panic.h"
+
+namespace ppm::host {
+
+const char* ToString(HostType t) {
+  switch (t) {
+    case HostType::kVax780: return "VAX 11/780";
+    case HostType::kVax750: return "VAX 11/750";
+    case HostType::kSun2: return "SUN II";
+  }
+  return "?";
+}
+
+const CostModel& Costs(HostType t) {
+  // Polynomials interpolate the Table 1 bucket midpoints exactly; see the
+  // header comment for the fit.
+  static const CostModel kVax780Model{6.35, 1.4, 0.6, 0.0, 1.0, 0.30};
+  static const CostModel kVax750Model{5.64375, 3.6125, -1.175, 0.35, 1.05, 0.35};
+  static const CostModel kSun2Model{2.80, 14.101, -7.06, 1.7967, 1.35, 0.55};
+  switch (t) {
+    case HostType::kVax780: return kVax780Model;
+    case HostType::kVax750: return kVax750Model;
+    case HostType::kSun2: return kSun2Model;
+  }
+  PPM_PANIC("unknown host type");
+}
+
+sim::SimDuration KernelMsgDelay(HostType t, double la) {
+  const CostModel& m = Costs(t);
+  if (la < 0) la = 0;
+  double ms = m.kmsg_c0 + m.kmsg_c1 * la + m.kmsg_c2 * la * la + m.kmsg_c3 * la * la * la;
+  if (ms < 0.5) ms = 0.5;  // floor: a copyout can never be free
+  return static_cast<sim::SimDuration>(ms * 1000.0);
+}
+
+sim::SimDuration ScaledCost(HostType t, sim::SimDuration base, double la) {
+  const CostModel& m = Costs(t);
+  if (la < 0) la = 0;
+  double us = static_cast<double>(base) * m.speed_factor * (1.0 + m.load_sensitivity * la);
+  return static_cast<sim::SimDuration>(us);
+}
+
+}  // namespace ppm::host

@@ -1,0 +1,35 @@
+#include "host/filesystem.h"
+
+namespace ppm::host {
+
+void Filesystem::Write(Uid uid, const std::string& name, const std::string& content) {
+  homes_[uid][name] = content;
+}
+
+std::optional<std::string> Filesystem::Read(Uid uid, const std::string& name) const {
+  auto uit = homes_.find(uid);
+  if (uit == homes_.end()) return std::nullopt;
+  auto fit = uit->second.find(name);
+  if (fit == uit->second.end()) return std::nullopt;
+  return fit->second;
+}
+
+bool Filesystem::Remove(Uid uid, const std::string& name) {
+  auto uit = homes_.find(uid);
+  if (uit == homes_.end()) return false;
+  return uit->second.erase(name) > 0;
+}
+
+bool Filesystem::Exists(Uid uid, const std::string& name) const {
+  return Read(uid, name).has_value();
+}
+
+std::vector<std::string> Filesystem::List(Uid uid) const {
+  std::vector<std::string> out;
+  auto uit = homes_.find(uid);
+  if (uit == homes_.end()) return out;
+  for (const auto& [name, _] : uit->second) out.push_back(name);
+  return out;
+}
+
+}  // namespace ppm::host

@@ -1,0 +1,40 @@
+// filesystem.h — a miniature per-host filesystem.
+//
+// Only what the PPM needs from disk: per-user home directories holding
+// small text files.  Two files carry policy, exactly as in the paper:
+//
+//   ~/.recovery   hosts in decreasing priority where the crash
+//                 coordinator site should reside (paper Section 5);
+//   ~/.rhosts     remote hosts/users allowed to act as this user
+//                 (paper Section 4's authentication flexibility).
+//
+// The filesystem survives host crashes (it is a disk), which is what
+// makes .recovery usable as the driving search strategy for recovery.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "host/process.h"
+
+namespace ppm::host {
+
+class Filesystem {
+ public:
+  // Writes (creates or replaces) a file in uid's home directory.
+  void Write(Uid uid, const std::string& name, const std::string& content);
+
+  // Reads a file; nullopt if absent.
+  std::optional<std::string> Read(Uid uid, const std::string& name) const;
+
+  bool Remove(Uid uid, const std::string& name);
+  bool Exists(Uid uid, const std::string& name) const;
+  std::vector<std::string> List(Uid uid) const;
+
+ private:
+  std::map<Uid, std::map<std::string, std::string>> homes_;
+};
+
+}  // namespace ppm::host

@@ -1,0 +1,38 @@
+#include "host/host.h"
+
+#include "util/log.h"
+#include "util/panic.h"
+
+namespace ppm::host {
+
+Host::Host(sim::Simulator& simulator, net::Network& network, net::HostId net_id,
+           HostType type, std::string name, sim::SimDuration la_tau)
+    : sim_(simulator),
+      network_(network),
+      net_id_(net_id),
+      type_(type),
+      name_(std::move(name)),
+      la_tau_(la_tau),
+      kernel_(std::make_unique<Kernel>(simulator, type, name_, la_tau)) {}
+
+void Host::Crash() {
+  if (!up_) return;
+  PPM_INFO("host") << name_ << " crashing";
+  up_ = false;
+  // Order matters: take the network down first so that nothing a dying
+  // body does in OnShutdown can still reach the wire.
+  network_.SetHostUp(net_id_, false);
+  kernel_->CrashAll();
+}
+
+void Host::Reboot() {
+  if (up_) return;
+  PPM_INFO("host") << name_ << " rebooting";
+  ++generation_;
+  kernel_ = std::make_unique<Kernel>(sim_, type_, name_, la_tau_);
+  network_.SetHostUp(net_id_, true);
+  up_ = true;
+  if (boot_fn_) boot_fn_(*this);
+}
+
+}  // namespace ppm::host

@@ -1,0 +1,72 @@
+// host.h — one machine of the networked environment.
+//
+// A Host couples a Kernel (volatile: rebuilt on reboot) with a
+// Filesystem and UserDb (persistent: they are the disk) and a network
+// identity.  Crash() models a machine failure: every process vanishes,
+// circuits break, binds disappear.  Reboot() brings the machine back with
+// a fresh kernel and runs the boot function (which the cluster layer uses
+// to restart inetd).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "host/calibration.h"
+#include "host/filesystem.h"
+#include "host/kernel.h"
+#include "host/users.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace ppm::host {
+
+class Host {
+ public:
+  Host(sim::Simulator& simulator, net::Network& network, net::HostId net_id,
+       HostType type, std::string name, sim::SimDuration la_tau = sim::Seconds(5));
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  Kernel& kernel() { return *kernel_; }
+  const Kernel& kernel() const { return *kernel_; }
+  Filesystem& fs() { return fs_; }
+  UserDb& users() { return users_; }
+  net::Network& network() { return network_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  net::HostId net_id() const { return net_id_; }
+  HostType type() const { return type_; }
+  const std::string& name() const { return name_; }
+  bool up() const { return up_; }
+  uint32_t generation() const { return generation_; }
+
+  // Runs at every (re)boot, after the kernel exists; the cluster layer
+  // installs one that starts inetd.
+  void set_boot_fn(std::function<void(Host&)> fn) { boot_fn_ = std::move(fn); }
+
+  // Machine failure: all processes are destroyed (no events, no exits —
+  // the power is simply gone) and the network sees the host down.
+  void Crash();
+
+  // Power-on after a crash: fresh kernel, network back up, boot function
+  // re-run.  Disk state (fs, users) is whatever it was.
+  void Reboot();
+
+ private:
+  sim::Simulator& sim_;
+  net::Network& network_;
+  net::HostId net_id_;
+  HostType type_;
+  std::string name_;
+  sim::SimDuration la_tau_;
+  bool up_ = true;
+  uint32_t generation_ = 0;  // bumped on every reboot
+  std::unique_ptr<Kernel> kernel_;
+  Filesystem fs_;
+  UserDb users_;
+  std::function<void(Host&)> boot_fn_;
+};
+
+}  // namespace ppm::host

@@ -1,0 +1,543 @@
+#include "host/kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+#include "util/panic.h"
+
+namespace ppm::host {
+
+const char* ToString(ProcState s) {
+  switch (s) {
+    case ProcState::kRunning: return "running";
+    case ProcState::kSleeping: return "sleeping";
+    case ProcState::kStopped: return "stopped";
+    case ProcState::kZombie: return "zombie";
+    case ProcState::kDead: return "dead";
+  }
+  return "?";
+}
+
+const char* ToString(Signal s) {
+  switch (s) {
+    case Signal::kSigHup: return "SIGHUP";
+    case Signal::kSigInt: return "SIGINT";
+    case Signal::kSigKill: return "SIGKILL";
+    case Signal::kSigUsr1: return "SIGUSR1";
+    case Signal::kSigTerm: return "SIGTERM";
+    case Signal::kSigStop: return "SIGSTOP";
+    case Signal::kSigCont: return "SIGCONT";
+  }
+  return "SIG?";
+}
+
+const char* ToString(KEvent e) {
+  switch (e) {
+    case KEvent::kFork: return "fork";
+    case KEvent::kExec: return "exec";
+    case KEvent::kExit: return "exit";
+    case KEvent::kSignal: return "signal";
+    case KEvent::kStop: return "stop";
+    case KEvent::kContinue: return "continue";
+    case KEvent::kFileOpen: return "file-open";
+    case KEvent::kFileClose: return "file-close";
+    case KEvent::kIpcSend: return "ipc-send";
+    case KEvent::kIpcRecv: return "ipc-recv";
+  }
+  return "?";
+}
+
+namespace {
+uint32_t EventFlag(KEvent e) {
+  switch (e) {
+    case KEvent::kFork: return kTraceFork;
+    case KEvent::kExec: return kTraceExec;
+    case KEvent::kExit: return kTraceExit;
+    case KEvent::kSignal: return kTraceSignal;
+    case KEvent::kStop:
+    case KEvent::kContinue: return kTraceStateChange;
+    case KEvent::kFileOpen:
+    case KEvent::kFileClose: return kTraceFile;
+    case KEvent::kIpcSend:
+    case KEvent::kIpcRecv: return kTraceIpc;
+  }
+  return 0;
+}
+}  // namespace
+
+Kernel::Kernel(sim::Simulator& simulator, HostType type, std::string host_name,
+               sim::SimDuration la_tau)
+    : sim_(simulator), type_(type), host_name_(std::move(host_name)), la_tau_(la_tau) {
+  // init: the root of all reparenting, never exits.
+  Process init;
+  init.pid = kInitPid;
+  init.ppid = 0;
+  init.uid = kRootUid;
+  init.command = "init";
+  init.state = ProcState::kSleeping;
+  init.start_time = sim_.Now();
+  table_.emplace(kInitPid, std::move(init));
+}
+
+Kernel::~Kernel() = default;
+
+// --- load estimator ------------------------------------------------------
+
+void Kernel::UpdateLoad() {
+  sim::SimTime now = sim_.Now();
+  if (now <= la_updated_) {
+    la_updated_ = now;
+    return;
+  }
+  double dt = static_cast<double>(now - la_updated_);
+  double alpha = std::exp(-dt / static_cast<double>(la_tau_));
+  la_ = la_ * alpha + static_cast<double>(run_count_) * (1.0 - alpha);
+  la_updated_ = now;
+}
+
+void Kernel::EnterRunQueue() {
+  UpdateLoad();
+  ++run_count_;
+}
+
+void Kernel::LeaveRunQueue() {
+  UpdateLoad();
+  --run_count_;
+  PPM_CHECK(run_count_ >= 0);
+}
+
+double Kernel::LoadAverage() {
+  UpdateLoad();
+  return la_;
+}
+
+sim::SimDuration Kernel::Charge(Pid pid, sim::SimDuration base) {
+  sim::SimDuration cost = ScaledCost(type_, base, LoadAverage());
+  if (Process* p = Find(pid)) p->rusage.cpu_time += cost;
+  return cost;
+}
+
+sim::SimDuration Kernel::CurrentKernelMsgDelay() {
+  return KernelMsgDelay(type_, LoadAverage());
+}
+
+// --- lifecycle -------------------------------------------------------------
+
+Pid Kernel::Spawn(Pid parent, Uid uid, std::string command,
+                  std::unique_ptr<ProcessBody> body, ProcState initial,
+                  uint32_t trace_mask, Pid adopter) {
+  PPM_CHECK(initial == ProcState::kRunning || initial == ProcState::kSleeping);
+  Process* par = (parent == kNoPid) ? Find(kInitPid) : Find(parent);
+  PPM_CHECK_MSG(par != nullptr && par->alive(), "spawn from dead parent");
+
+  Pid pid = next_pid_++;
+  Process proc;
+  proc.pid = pid;
+  proc.ppid = par->pid;
+  proc.uid = uid;
+  proc.command = std::move(command);
+  proc.state = initial;
+  proc.start_time = sim_.Now();
+  // Adoption is hereditary: children of a tracked process are tracked by
+  // the same LPM from birth (paper Section 4).  An explicit adopter (the
+  // LPM acting as creation server) overrides inheritance.
+  if (adopter != kNoPid) {
+    proc.trace_mask = trace_mask;
+    proc.adopter = adopter;
+  } else {
+    proc.trace_mask = par->trace_mask;
+    proc.adopter = par->adopter;
+  }
+  if (body) body->set_pid(pid);
+  proc.body = std::move(body);
+  par->children.push_back(pid);
+  par->rusage.forks++;
+  ++stats_.forks;
+  if (initial == ProcState::kRunning) EnterRunQueue();
+
+  ProcessBody* body_ptr = proc.body.get();
+  table_.emplace(pid, std::move(proc));
+
+  if (par->trace_mask & kTraceFork) {
+    KernelEvent ev;
+    ev.kind = KEvent::kFork;
+    ev.pid = par->pid;
+    ev.other = pid;
+    EmitEvent(*Find(par->pid), ev);
+  }
+  if (Process* self = Find(pid); self && (self->trace_mask & kTraceExec)) {
+    KernelEvent ev;
+    ev.kind = KEvent::kExec;
+    ev.pid = pid;
+    ev.detail = Find(pid)->command;
+    EmitEvent(*self, ev);
+  }
+  if (body_ptr) {
+    sim_.ScheduleIn(0, [this, pid, body_ptr] {
+      // The body may have died between scheduling and firing.
+      Process* p = Find(pid);
+      if (p && p->alive() && p->body.get() == body_ptr) body_ptr->OnStart();
+    }, "proc-start");
+  }
+  return pid;
+}
+
+void Kernel::ReparentChildren(Process& proc) {
+  Process* init = Find(kInitPid);
+  for (Pid child_pid : proc.children) {
+    Process* child = Find(child_pid);
+    if (!child) continue;
+    child->ppid = kInitPid;
+    if (child->state == ProcState::kZombie) {
+      // init reaps immediately.
+      child->state = ProcState::kDead;
+      child->body.reset();
+    } else {
+      init->children.push_back(child_pid);
+    }
+  }
+  proc.children.clear();
+}
+
+void Kernel::Terminate(Process& proc, bool by_signal, Signal sig, int status) {
+  if (!proc.alive()) return;
+  if (proc.state == ProcState::kRunning) LeaveRunQueue();
+  if (proc.body) proc.body->OnShutdown();
+  proc.state = ProcState::kZombie;
+  proc.end_time = sim_.Now();
+  proc.exit_status = status;
+  proc.killed_by_signal = by_signal;
+  if (by_signal) proc.death_signal = sig;
+  proc.body.reset();
+  ++stats_.exits;
+
+  if (proc.trace_mask & kTraceExit) {
+    KernelEvent ev;
+    ev.kind = KEvent::kExit;
+    ev.pid = proc.pid;
+    ev.status = status;
+    if (by_signal) {
+      ev.sig = sig;
+      ev.other = kNoPid;
+    }
+    EmitEvent(proc, ev);
+  }
+
+  ReparentChildren(proc);
+
+  // If the parent cannot or will not wait (init, or already gone), the
+  // zombie is reaped at once.
+  Process* parent = Find(proc.ppid);
+  if (!parent || !parent->alive() || proc.ppid == kInitPid) {
+    proc.state = ProcState::kDead;
+  }
+}
+
+void Kernel::Exit(Pid pid, int status) {
+  Process* proc = Find(pid);
+  PPM_CHECK_MSG(proc != nullptr, "exit of unknown pid");
+  PPM_CHECK_MSG(pid != kInitPid, "init cannot exit");
+  Terminate(*proc, false, Signal::kSigTerm, status);
+}
+
+std::vector<Pid> Kernel::Reap(Pid parent) {
+  Process* par = Find(parent);
+  std::vector<Pid> reaped;
+  if (!par) return reaped;
+  for (auto it = par->children.begin(); it != par->children.end();) {
+    Process* child = Find(*it);
+    if (child && child->state == ProcState::kZombie) {
+      child->state = ProcState::kDead;
+      child->body.reset();
+      reaped.push_back(*it);
+      it = par->children.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return reaped;
+}
+
+bool Kernel::PostSignal(Pid target, Signal sig, Uid sender_uid, std::string* err) {
+  Process* proc = Find(target);
+  if (!proc || proc->state == ProcState::kDead) {
+    if (err) *err = "no such process";
+    return false;
+  }
+  if (sender_uid != kRootUid && sender_uid != proc->uid) {
+    if (err) *err = "permission denied";
+    return false;
+  }
+  if (proc->state == ProcState::kZombie) return true;  // accepted, no effect
+  ++stats_.signals_posted;
+
+  switch (sig) {
+    case Signal::kSigStop: {
+      if (proc->state == ProcState::kStopped) return true;
+      if (proc->state == ProcState::kRunning) LeaveRunQueue();
+      proc->state = ProcState::kStopped;
+      if (proc->trace_mask & kTraceStateChange) {
+        KernelEvent ev;
+        ev.kind = KEvent::kStop;
+        ev.pid = target;
+        ev.sig = sig;
+        EmitEvent(*proc, ev);
+      }
+      return true;
+    }
+    case Signal::kSigCont: {
+      if (proc->state != ProcState::kStopped) return true;
+      proc->state = ProcState::kRunning;
+      EnterRunQueue();
+      if (proc->trace_mask & kTraceStateChange) {
+        KernelEvent ev;
+        ev.kind = KEvent::kContinue;
+        ev.pid = target;
+        ev.sig = sig;
+        EmitEvent(*proc, ev);
+      }
+      return true;
+    }
+    case Signal::kSigKill: {
+      Terminate(*proc, true, sig, 128 + static_cast<int>(sig));
+      return true;
+    }
+    default: {
+      // Catchable signals: a stopped process queues nothing in this
+      // model — delivery happens now, body first.
+      bool consumed = false;
+      if (proc->body) consumed = proc->body->OnSignal(sig);
+      if (proc->trace_mask & kTraceSignal) {
+        KernelEvent ev;
+        ev.kind = KEvent::kSignal;
+        ev.pid = target;
+        ev.sig = sig;
+        EmitEvent(*proc, ev);
+      }
+      if (!consumed) Terminate(*proc, true, sig, 128 + static_cast<int>(sig));
+      return true;
+    }
+  }
+}
+
+// --- adoption ---------------------------------------------------------------
+
+bool Kernel::Adopt(Pid adopter, Pid target, uint32_t trace_mask, Uid requester_uid,
+                   std::vector<Pid>* adopted, std::string* err) {
+  Process* lpm = Find(adopter);
+  Process* proc = Find(target);
+  if (!lpm || !lpm->alive()) {
+    if (err) *err = "adopter not alive";
+    return false;
+  }
+  if (!proc || !proc->alive()) {
+    if (err) *err = "no such process";
+    return false;
+  }
+  // Paper Section 4: "The adoption operations fail if the process and
+  // the PPM belong to different users."
+  if (proc->uid != requester_uid || lpm->uid != requester_uid) {
+    if (err) *err = "permission denied: uid mismatch";
+    return false;
+  }
+  // Breadth-first over live descendants; pid order within each level.
+  std::vector<Pid> frontier{target};
+  while (!frontier.empty()) {
+    Pid pid = frontier.front();
+    frontier.erase(frontier.begin());
+    Process* p = Find(pid);
+    if (!p || !p->alive()) continue;
+    p->trace_mask = trace_mask;
+    p->adopter = adopter;
+    if (adopted) adopted->push_back(pid);
+    std::vector<Pid> kids = p->children;
+    std::sort(kids.begin(), kids.end());
+    for (Pid k : kids) frontier.push_back(k);
+  }
+  return true;
+}
+
+bool Kernel::SetTraceMask(Pid target, uint32_t trace_mask, Uid requester_uid,
+                          std::string* err) {
+  Process* proc = Find(target);
+  if (!proc || !proc->alive()) {
+    if (err) *err = "no such process";
+    return false;
+  }
+  if (proc->uid != requester_uid && requester_uid != kRootUid) {
+    if (err) *err = "permission denied";
+    return false;
+  }
+  if (proc->adopter == kNoPid) {
+    if (err) *err = "process not adopted";
+    return false;
+  }
+  proc->trace_mask = trace_mask;
+  return true;
+}
+
+// --- event sink ---------------------------------------------------------------
+
+void Kernel::RegisterEventSink(Uid uid, Pid lpm_pid, EventSink sink) {
+  // Last writer wins: if a second manager registers for the same user
+  // (the duplicate-LPM anomaly after a volatile-registry pmd crash), the
+  // first silently stops receiving events — one concrete way the paper's
+  // "mechanism does not operate correctly" plays out.
+  sinks_[uid] = Sink{lpm_pid, std::move(sink)};
+}
+
+void Kernel::UnregisterEventSink(Uid uid) { sinks_.erase(uid); }
+
+bool Kernel::HasEventSink(Uid uid) const { return sinks_.count(uid) > 0; }
+
+void Kernel::EmitEvent(const Process& proc, KernelEvent ev) {
+  if (!(proc.trace_mask & EventFlag(ev.kind))) return;
+  auto it = sinks_.find(proc.uid);
+  if (it == sinks_.end()) {
+    ++stats_.events_dropped;
+    return;
+  }
+  ++stats_.events_emitted;
+  ev.at = sim_.Now();
+  // Delivery cost is the quantity of Table 1: a 112-byte copy from the
+  // kernel to the LPM's kernel socket, load- and machine-dependent.
+  sim::SimDuration delay = CurrentKernelMsgDelay();
+  Pid lpm_pid = it->second.lpm_pid;
+  Uid uid = proc.uid;
+  sim_.ScheduleIn(delay, [this, ev, uid, lpm_pid] {
+    // Deliver only if the same LPM is still registered (it may have died
+    // or been replaced while the message was in flight).
+    auto sit = sinks_.find(uid);
+    if (sit == sinks_.end() || sit->second.lpm_pid != lpm_pid) return;
+    sit->second.fn(ev);
+  }, "kernel-event");
+}
+
+// --- introspection -------------------------------------------------------------
+
+Process* Kernel::Find(Pid pid) {
+  auto it = table_.find(pid);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+const Process* Kernel::Find(Pid pid) const {
+  auto it = table_.find(pid);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+std::vector<Pid> Kernel::ProcessesOf(Uid uid) const {
+  std::vector<Pid> out;
+  for (const auto& [pid, proc] : table_) {
+    if (proc.uid == uid && proc.alive()) out.push_back(pid);
+  }
+  return out;
+}
+
+std::vector<Pid> Kernel::AllPids() const {
+  std::vector<Pid> out;
+  for (const auto& [pid, proc] : table_) {
+    if (proc.alive() || proc.state == ProcState::kZombie) out.push_back(pid);
+  }
+  return out;
+}
+
+size_t Kernel::live_count() const {
+  size_t n = 0;
+  for (const auto& [pid, proc] : table_) {
+    if (proc.alive()) ++n;
+  }
+  return n;
+}
+
+void Kernel::SetRunnable(Pid pid) {
+  Process* p = Find(pid);
+  PPM_CHECK(p != nullptr);
+  if (p->state == ProcState::kSleeping) {
+    p->state = ProcState::kRunning;
+    EnterRunQueue();
+  }
+}
+
+void Kernel::SetSleeping(Pid pid) {
+  Process* p = Find(pid);
+  PPM_CHECK(p != nullptr);
+  if (p->state == ProcState::kRunning) {
+    p->state = ProcState::kSleeping;
+    LeaveRunQueue();
+  }
+}
+
+// --- files / IPC -----------------------------------------------------------------
+
+int Kernel::OpenFileFor(Pid pid, const std::string& path, const std::string& mode) {
+  Process* p = Find(pid);
+  if (!p || !p->alive()) return -1;
+  int fd = p->next_fd++;
+  p->open_files.push_back(OpenFile{fd, path, mode});
+  p->rusage.files_opened++;
+  if (p->trace_mask & kTraceFile) {
+    KernelEvent ev;
+    ev.kind = KEvent::kFileOpen;
+    ev.pid = pid;
+    ev.detail = path;
+    EmitEvent(*p, ev);
+  }
+  return fd;
+}
+
+bool Kernel::CloseFileFor(Pid pid, int fd) {
+  Process* p = Find(pid);
+  if (!p) return false;
+  for (auto it = p->open_files.begin(); it != p->open_files.end(); ++it) {
+    if (it->fd == fd) {
+      std::string path = it->path;
+      p->open_files.erase(it);
+      if (p->trace_mask & kTraceFile) {
+        KernelEvent ev;
+        ev.kind = KEvent::kFileClose;
+        ev.pid = pid;
+        ev.detail = path;
+        EmitEvent(*p, ev);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void Kernel::RecordIpc(Pid pid, bool sent, size_t bytes) {
+  Process* p = Find(pid);
+  if (!p || !p->alive()) return;
+  if (sent) {
+    p->rusage.messages_sent++;
+  } else {
+    p->rusage.messages_received++;
+  }
+  if (p->trace_mask & kTraceIpc) {
+    KernelEvent ev;
+    ev.kind = sent ? KEvent::kIpcSend : KEvent::kIpcRecv;
+    ev.pid = pid;
+    ev.status = static_cast<int>(bytes);
+    EmitEvent(*p, ev);
+  }
+}
+
+// --- catastrophe -------------------------------------------------------------------
+
+void Kernel::CrashAll() {
+  // Bodies are shut down in pid order; no events are emitted — the host
+  // is gone, and with it the kernel socket.
+  sinks_.clear();
+  for (auto& [pid, proc] : table_) {
+    if (proc.body) {
+      proc.body->OnShutdown();
+      proc.body.reset();
+    }
+    if (proc.state == ProcState::kRunning) LeaveRunQueue();
+    proc.state = ProcState::kDead;
+    proc.end_time = sim_.Now();
+  }
+}
+
+}  // namespace ppm::host

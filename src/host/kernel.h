@@ -1,0 +1,193 @@
+// kernel.h — the per-host simulated UNIX kernel.
+//
+// This is the substrate the paper modified: process table, signals, an
+// extended ptrace-style adoption call that grants an LPM write access to
+// the process control blocks of its user's processes, tracing flags set
+// on adopted processes, and a message-delivery function that pushes
+// kernel events to the per-user LPM's kernel socket (paper Section 4 and
+// Table 1).
+//
+// Design notes:
+//   * Syscalls are instantaneous state transitions; *costs* are modelled
+//     where the paper measured them — kernel→LPM message delivery obeys
+//     the Table 1 polynomial, and all manager-level work is charged via
+//     Charge(), which scales base costs by host speed and current load.
+//   * The load average `la` is a time-averaged run-queue length
+//     maintained as an exponentially-weighted moving average updated
+//     lazily on every run-queue transition, matching the paper's "time-
+//     averaged cpu run queue length" estimator.
+//   * Event delivery to the LPM is asynchronous: an adopted process's
+//     fork is visible to the manager only KernelMsgDelay(la) later, so
+//     snapshots genuinely race with process activity, as on real hosts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "host/calibration.h"
+#include "host/process.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace ppm::host {
+
+// Kinds of events the modified kernel reports to an adopting LPM.
+enum class KEvent : uint8_t {
+  kFork = 0,
+  kExec = 1,
+  kExit = 2,
+  kSignal = 3,
+  kStop = 4,
+  kContinue = 5,
+  kFileOpen = 6,
+  kFileClose = 7,
+  kIpcSend = 8,
+  kIpcRecv = 9,
+};
+
+const char* ToString(KEvent e);
+
+// One kernel→LPM event record.  Serialized by the PPM layer into the
+// 112-byte wire format whose delivery time Table 1 reports.
+struct KernelEvent {
+  KEvent kind;
+  Pid pid = kNoPid;        // subject process
+  Pid other = kNoPid;      // child pid for kFork, sender for kSignal
+  Signal sig = Signal::kSigHup;
+  int status = 0;          // exit status for kExit
+  sim::SimTime at = 0;     // kernel-side timestamp
+  std::string detail;      // path for file events, etc.
+};
+
+struct KernelStats {
+  uint64_t events_emitted = 0;   // events that matched a trace mask
+  uint64_t events_dropped = 0;   // traced but no LPM registered
+  uint64_t signals_posted = 0;
+  uint64_t forks = 0;
+  uint64_t exits = 0;
+};
+
+class Kernel {
+ public:
+  // `la_tau` is the averaging window of the load estimator.
+  Kernel(sim::Simulator& simulator, HostType type, std::string host_name,
+         sim::SimDuration la_tau = sim::Seconds(5));
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- process lifecycle ----------------------------------------------
+  // Creates a process.  `parent` may be kNoPid for boot-time processes
+  // (they become children of init).  Bodies start in the given state;
+  // OnStart runs asynchronously (next event).  Returns the new pid.
+  // `trace_mask`/`adopter` let a process creation server (the LPM) mark
+  // the child as adopted at birth, so even its exec event is traced; by
+  // default children inherit the parent's tracing state.
+  Pid Spawn(Pid parent, Uid uid, std::string command,
+            std::unique_ptr<ProcessBody> body = nullptr,
+            ProcState initial = ProcState::kRunning, uint32_t trace_mask = 0,
+            Pid adopter = kNoPid);
+
+  // Voluntary exit.  The record lingers as a zombie until the parent
+  // reaps it (or immediately if the parent is init or gone).
+  void Exit(Pid pid, int status);
+
+  // Reaps all zombie children of `parent`; returns their pids.
+  std::vector<Pid> Reap(Pid parent);
+
+  // Posts a signal, enforcing UNIX permission (sender uid must match the
+  // target's uid, or be root).  Returns false with *err set on failure.
+  bool PostSignal(Pid target, Signal sig, Uid sender_uid, std::string* err = nullptr);
+
+  // --- adoption (the extended ptrace of paper Section 4) ---------------
+  // Grants LPM `adopter` tracking rights over `target` and all its live
+  // descendants: sets the trace mask, records the adopter, and arranges
+  // for children forked later to inherit both.  Fails if requester_uid
+  // does not own the target.  On success appends every adopted pid
+  // (target first, then descendants in pid order) to *adopted.
+  bool Adopt(Pid adopter, Pid target, uint32_t trace_mask, Uid requester_uid,
+             std::vector<Pid>* adopted, std::string* err = nullptr);
+
+  // Adjusts the event granularity on an already-adopted process.
+  bool SetTraceMask(Pid target, uint32_t trace_mask, Uid requester_uid,
+                    std::string* err = nullptr);
+
+  // --- event sink (the LPM "kernel socket") -----------------------------
+  using EventSink = std::function<void(const KernelEvent&)>;
+  // Registers the per-user LPM event sink; at most one per uid.
+  void RegisterEventSink(Uid uid, Pid lpm_pid, EventSink sink);
+  void UnregisterEventSink(Uid uid);
+  bool HasEventSink(Uid uid) const;
+
+  // --- introspection ----------------------------------------------------
+  Process* Find(Pid pid);
+  const Process* Find(Pid pid) const;
+  std::vector<Pid> ProcessesOf(Uid uid) const;        // live processes
+  std::vector<Pid> AllPids() const;                    // live + zombie
+  size_t live_count() const;
+
+  // --- state control (used by bodies and by the LPM via its ptrace
+  //     write-access to process control blocks) -------------------------
+  void SetRunnable(Pid pid);   // kSleeping -> kRunning
+  void SetSleeping(Pid pid);   // kRunning  -> kSleeping
+
+  // --- files (for the open-files display tool) --------------------------
+  int OpenFileFor(Pid pid, const std::string& path, const std::string& mode);
+  bool CloseFileFor(Pid pid, int fd);
+
+  // --- IPC accounting (for the IPC tracing tool) ------------------------
+  void RecordIpc(Pid pid, bool sent, size_t bytes);
+
+  // --- cost model --------------------------------------------------------
+  // Time-averaged run-queue length (the paper's `la`).
+  double LoadAverage();
+  // Scales `base` by host speed and load, charges it to pid's rusage.
+  sim::SimDuration Charge(Pid pid, sim::SimDuration base);
+  // Delivery delay of one kernel→LPM message right now.
+  sim::SimDuration CurrentKernelMsgDelay();
+
+  // --- catastrophes ------------------------------------------------------
+  // Host crash: every body is shut down, the table is cleared.
+  void CrashAll();
+
+  HostType type() const { return type_; }
+  const std::string& host_name() const { return host_name_; }
+  sim::Simulator& simulator() { return sim_; }
+  const KernelStats& stats() const { return stats_; }
+  Pid init_pid() const { return kInitPid; }
+
+  static constexpr Pid kInitPid = 1;
+
+ private:
+  void UpdateLoad();
+  void EnterRunQueue();
+  void LeaveRunQueue();
+  void Terminate(Process& proc, bool by_signal, Signal sig, int status);
+  void EmitEvent(const Process& proc, KernelEvent ev);
+  void ReparentChildren(Process& proc);
+
+  sim::Simulator& sim_;
+  HostType type_;
+  std::string host_name_;
+  std::map<Pid, Process> table_;  // ordered: deterministic iteration
+  Pid next_pid_ = 2;              // 1 is init
+  struct Sink {
+    Pid lpm_pid;
+    EventSink fn;
+  };
+  std::map<Uid, Sink> sinks_;
+  // Load estimator state.
+  sim::SimDuration la_tau_;
+  double la_ = 0.0;
+  sim::SimTime la_updated_ = 0;
+  int run_count_ = 0;
+  KernelStats stats_;
+};
+
+}  // namespace ppm::host

@@ -1,0 +1,65 @@
+#include "host/loadgen.h"
+
+#include "util/panic.h"
+
+namespace ppm::host {
+
+LoadGenerator::LoadGenerator(Host& host, Uid uid, int n, double duty,
+                             sim::SimDuration period)
+    : host_(host),
+      host_generation_(host.generation()),
+      duty_(duty),
+      period_(period),
+      target_(static_cast<double>(n) * duty) {
+  PPM_CHECK(duty >= 0.0 && duty <= 1.0);
+  PPM_CHECK(n >= 0);
+  for (int i = 0; i < n; ++i) {
+    Pid pid = host_.kernel().Spawn(kNoPid, uid, "loadgen", nullptr,
+                                   ProcState::kSleeping);
+    pids_.push_back(pid);
+    if (duty_ >= 1.0) {
+      host_.kernel().SetRunnable(pid);
+      continue;  // pinned on the run queue forever
+    }
+    if (duty_ <= 0.0) continue;
+    // Stagger phases across the period.
+    sim::SimDuration phase = period_ * i / n;
+    ScheduleToggle(pid, true, phase);
+  }
+}
+
+LoadGenerator::~LoadGenerator() { Stop(); }
+
+void LoadGenerator::ScheduleToggle(Pid pid, bool to_running, sim::SimDuration delay) {
+  host_.simulator().ScheduleIn(delay, [this, pid, to_running] {
+    if (stopped_) return;
+    // A crash/reboot replaced the kernel; our pids are meaningless now.
+    if (!host_.up() || host_.generation() != host_generation_) return;
+    Process* p = host_.kernel().Find(pid);
+    if (!p || !p->alive()) return;
+    sim::SimDuration on = static_cast<sim::SimDuration>(static_cast<double>(period_) * duty_);
+    sim::SimDuration off = period_ - on;
+    if (to_running) {
+      host_.kernel().SetRunnable(pid);
+      p->rusage.cpu_time += on;  // it will burn the whole on-phase
+      ScheduleToggle(pid, false, on);
+    } else {
+      host_.kernel().SetSleeping(pid);
+      ScheduleToggle(pid, true, off);
+    }
+  }, "loadgen-toggle");
+}
+
+void LoadGenerator::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (!host_.up() || host_.generation() != host_generation_) return;
+  for (Pid pid : pids_) {
+    Process* p = host_.kernel().Find(pid);
+    if (p && p->alive()) {
+      host_.kernel().PostSignal(pid, Signal::kSigKill, kRootUid);
+    }
+  }
+}
+
+}  // namespace ppm::host

@@ -1,0 +1,49 @@
+// loadgen.h — background CPU load generation.
+//
+// Table 1 of the paper buckets measurements by the load estimator `la`
+// (time-averaged run-queue length).  To place a host inside a bucket we
+// spawn CPU-bound processes with a configurable duty cycle: `n`
+// processes at duty `d` converge the EWMA load average to n*d.  The
+// phase of each process is staggered so the instantaneous run-queue
+// length stays near the mean rather than sawing between 0 and n.
+#pragma once
+
+#include <vector>
+
+#include "host/host.h"
+#include "sim/time.h"
+
+namespace ppm::host {
+
+class LoadGenerator {
+ public:
+  // Spawns `n` load processes owned by `uid` on `host`.  Each cycles
+  // through `period` with `duty` in [0,1] of it on the run queue.
+  LoadGenerator(Host& host, Uid uid, int n, double duty,
+                sim::SimDuration period = sim::Millis(200));
+  ~LoadGenerator();
+
+  LoadGenerator(const LoadGenerator&) = delete;
+  LoadGenerator& operator=(const LoadGenerator&) = delete;
+
+  // Kills the load processes.
+  void Stop();
+
+  const std::vector<Pid>& pids() const { return pids_; }
+
+  // Convenience: expected steady-state load average.
+  double target_load() const { return target_; }
+
+ private:
+  void ScheduleToggle(Pid pid, bool to_running, sim::SimDuration delay);
+
+  Host& host_;
+  uint32_t host_generation_;
+  std::vector<Pid> pids_;
+  double duty_;
+  sim::SimDuration period_;
+  double target_;
+  bool stopped_ = false;
+};
+
+}  // namespace ppm::host

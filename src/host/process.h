@@ -1,0 +1,142 @@
+// process.h — the simulated UNIX process.
+//
+// Processes are bookkeeping records in the per-host kernel, not threads:
+// the simulation is single-threaded and event-driven.  A process may have
+// a Body — a C++ object that reacts to being started, signalled or torn
+// down — which is how the daemons, LPMs and tools of the reproduction
+// "run".  Plain user processes (the things the PPM administers) usually
+// have no body, or a load-generator body that occupies the run queue.
+//
+// State model (paper Section 1: "running, stopped, or dead" — we keep the
+// intermediate zombie state of real UNIX because the PPM's decision to
+// retain exit information while children are alive depends on it):
+//
+//     kRunning  on the run queue (counts toward the load average)
+//     kSleeping alive but blocked (daemons waiting for messages)
+//     kStopped  SIGSTOP'd; resumable with SIGCONT
+//     kZombie   exited, exit record not yet reaped by the parent
+//     kDead     reaped; the pid may be reused eventually
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ppm::host {
+
+using Pid = int32_t;
+using Uid = int32_t;
+
+constexpr Pid kNoPid = -1;
+constexpr Uid kRootUid = 0;
+
+enum class ProcState : uint8_t { kRunning, kSleeping, kStopped, kZombie, kDead };
+
+const char* ToString(ProcState s);
+
+// The signal vocabulary the PPM's control operations use.
+enum class Signal : uint8_t {
+  kSigHup = 1,
+  kSigInt = 2,
+  kSigKill = 9,
+  kSigUsr1 = 10,
+  kSigTerm = 15,
+  kSigStop = 17,
+  kSigCont = 19,
+};
+
+const char* ToString(Signal s);
+
+// Tracing flags set on adopted processes (paper Section 4: "user
+// processes are modified to contain specific tracing flags used
+// thereafter by the kernel for event detection").  The granularity is
+// user-settable, which is what makes the facility usable by a debugger.
+enum TraceFlag : uint32_t {
+  kTraceFork = 1u << 0,
+  kTraceExec = 1u << 1,
+  kTraceExit = 1u << 2,
+  kTraceSignal = 1u << 3,
+  kTraceStateChange = 1u << 4,  // stop / continue
+  kTraceFile = 1u << 5,         // open / close
+  kTraceIpc = 1u << 6,          // socket send / recv
+  kTraceAll = 0x7f,
+};
+
+// Resource usage accumulated by a process, reported by the exited-process
+// statistics tool (paper Section 4's second built-in tool).
+struct Rusage {
+  sim::SimDuration cpu_time = 0;     // virtual CPU microseconds consumed
+  uint64_t messages_sent = 0;        // IPC messages
+  uint64_t messages_received = 0;
+  uint64_t files_opened = 0;
+  uint64_t max_rss_kb = 0;
+  uint64_t forks = 0;
+};
+
+class Kernel;
+
+// Behaviour attached to a simulated process.  Lifetime: owned by the
+// process record; destroyed when the process is reaped or the host
+// crashes.
+class ProcessBody {
+ public:
+  virtual ~ProcessBody() = default;
+
+  // The kernel installs the owning pid before OnStart runs.
+  void set_pid(Pid pid) { pid_ = pid; }
+  Pid pid() const { return pid_; }
+
+  // Called once, right after the process is created and scheduled.
+  virtual void OnStart() {}
+
+  // Called when a catchable signal is posted to the process before the
+  // default disposition is applied.  Return true to consume the signal
+  // (the default action is then suppressed).  SIGKILL and SIGSTOP are
+  // never offered.
+  virtual bool OnSignal(Signal) { return false; }
+
+  // Called when the process is about to die for any reason (exit, kill,
+  // host crash).  The kernel is still alive unless the host crashed.
+  virtual void OnShutdown() {}
+
+ private:
+  Pid pid_ = kNoPid;
+};
+
+struct OpenFile {
+  int fd;
+  std::string path;
+  std::string mode;  // "r", "w", "rw"
+};
+
+// The kernel-side process record.
+struct Process {
+  Pid pid = kNoPid;
+  Pid ppid = kNoPid;
+  Uid uid = 0;
+  std::string command;       // argv[0] for display
+  ProcState state = ProcState::kRunning;
+  sim::SimTime start_time = 0;
+  sim::SimTime end_time = 0;
+  int exit_status = 0;
+  Signal death_signal = static_cast<Signal>(0);
+  bool killed_by_signal = false;
+  uint32_t trace_mask = 0;   // TraceFlag bits; nonzero means adopted
+  Pid adopter = kNoPid;      // LPM pid that adopted this process
+  std::vector<Pid> children;
+  Rusage rusage;
+  std::vector<OpenFile> open_files;
+  int next_fd = 3;  // 0/1/2 are the stdio triple
+  std::unique_ptr<ProcessBody> body;
+
+  bool alive() const {
+    return state == ProcState::kRunning || state == ProcState::kSleeping ||
+           state == ProcState::kStopped;
+  }
+};
+
+}  // namespace ppm::host

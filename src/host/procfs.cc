@@ -1,0 +1,245 @@
+#include "host/procfs.h"
+
+#include <sstream>
+
+#include "host/calibration.h"
+#include "util/bytes.h"
+
+namespace ppm::host {
+
+// --- local /proc -------------------------------------------------------------
+
+std::vector<Pid> ProcFs::List() const { return kernel_.AllPids(); }
+
+std::optional<std::string> ProcFs::ReadStatus(Pid pid) const {
+  const Process* proc = kernel_.Find(pid);
+  if (!proc || proc->state == ProcState::kDead) return std::nullopt;
+  std::ostringstream out;
+  out << "pid " << proc->pid << "\n";
+  out << "ppid " << proc->ppid << "\n";
+  out << "uid " << proc->uid << "\n";
+  out << "state " << ToString(proc->state) << "\n";
+  out << "command " << proc->command << "\n";
+  char cpu[32];
+  std::snprintf(cpu, sizeof(cpu), "%.1f", sim::ToMillis(proc->rusage.cpu_time));
+  out << "cpu_ms " << cpu << "\n";
+  return out.str();
+}
+
+bool ProcFs::WriteCtl(Pid pid, const std::string& op, Uid requester, std::string* err) {
+  Signal sig;
+  if (op == "stop") {
+    sig = Signal::kSigStop;
+  } else if (op == "cont") {
+    sig = Signal::kSigCont;
+  } else if (op == "kill") {
+    sig = Signal::kSigKill;
+  } else if (op == "term") {
+    sig = Signal::kSigTerm;
+  } else {
+    if (err) *err = "bad ctl op: " + op;
+    return false;
+  }
+  return kernel_.PostSignal(pid, sig, requester, err);
+}
+
+// --- wire format ----------------------------------------------------------------
+
+namespace {
+constexpr uint8_t kOpList = 1;
+constexpr uint8_t kOpRead = 2;
+constexpr uint8_t kOpWrite = 3;
+constexpr uint8_t kRespMagic = 0x6e;
+
+std::vector<uint8_t> EncodeResult(const ProcFsResult& r) {
+  util::ByteWriter w;
+  w.U8(kRespMagic);
+  w.Bool(r.ok);
+  w.Str(r.error);
+  w.Str(r.content);
+  w.U32(static_cast<uint32_t>(r.pids.size()));
+  for (Pid p : r.pids) w.I32(p);
+  return w.Take();
+}
+
+std::optional<ProcFsResult> DecodeResult(const std::vector<uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  auto magic = r.U8();
+  if (!magic || *magic != kRespMagic) return std::nullopt;
+  ProcFsResult out;
+  auto ok = r.Bool();
+  auto err = r.Str();
+  auto content = r.Str();
+  auto n = r.U32();
+  if (!ok || !err || !content || !n) return std::nullopt;
+  out.ok = *ok;
+  out.error = *err;
+  out.content = *content;
+  for (uint32_t i = 0; i < *n; ++i) {
+    auto p = r.I32();
+    if (!p) return std::nullopt;
+    out.pids.push_back(*p);
+  }
+  return out;
+}
+
+void OneShot(Host& from, const std::string& target_host, std::vector<uint8_t> request,
+             std::function<void(const ProcFsResult&)> done) {
+  auto target = from.network().FindHost(target_host);
+  if (!target) {
+    ProcFsResult r;
+    r.error = "unknown host";
+    done(r);
+    return;
+  }
+  auto done_shared =
+      std::make_shared<std::function<void(const ProcFsResult&)>>(std::move(done));
+  net::ConnCallbacks cb;
+  cb.on_data = [&from, done_shared](net::ConnId c, const std::vector<uint8_t>& bytes) {
+    auto result = DecodeResult(bytes);
+    from.network().Close(c);
+    if (*done_shared) {
+      auto fn = std::move(*done_shared);
+      *done_shared = nullptr;
+      ProcFsResult failed;
+      failed.error = "bad response";
+      fn(result ? *result : failed);
+    }
+  };
+  cb.on_close = [done_shared](net::ConnId, net::CloseReason) {
+    if (*done_shared) {
+      auto fn = std::move(*done_shared);
+      *done_shared = nullptr;
+      ProcFsResult r;
+      r.error = "connection lost";
+      fn(r);
+    }
+  };
+  from.network().Connect(from.net_id(), net::SocketAddr{*target, kProcFsPort},
+                         std::move(cb),
+                         [&from, request = std::move(request), done_shared](
+                             std::optional<net::ConnId> c) {
+                           if (!c) {
+                             if (*done_shared) {
+                               auto fn = std::move(*done_shared);
+                               *done_shared = nullptr;
+                               ProcFsResult r;
+                               r.error = "procfs server unreachable";
+                               fn(r);
+                             }
+                             return;
+                           }
+                           from.network().Send(*c, request);
+                         });
+}
+}  // namespace
+
+// --- server ------------------------------------------------------------------------
+
+ProcFsServer::ProcFsServer(Host& host) : host_(host) {}
+
+void ProcFsServer::OnStart() {
+  host_.network().Listen(host_.net_id(), kProcFsPort,
+                         [this](net::ConnId conn, net::SocketAddr) {
+                           conns_.push_back(conn);
+                           net::ConnCallbacks cb;
+                           cb.on_data = [this](net::ConnId c,
+                                               const std::vector<uint8_t>& b) {
+                             HandleRequest(c, b);
+                           };
+                           return cb;
+                         });
+}
+
+void ProcFsServer::OnShutdown() {
+  if (host_.up()) {
+    host_.network().Unlisten(host_.net_id(), kProcFsPort);
+    for (net::ConnId c : conns_) host_.network().Close(c);
+  }
+  conns_.clear();
+}
+
+void ProcFsServer::HandleRequest(net::ConnId conn, const std::vector<uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  auto op = r.U8();
+  ProcFsResult result;
+  ProcFs fs(host_.kernel());
+  sim::SimDuration cost = host_.kernel().Charge(pid(), BaseCosts::kDispatch);
+  if (op && *op == kOpList) {
+    result.ok = true;
+    result.pids = fs.List();
+    cost += host_.kernel().Charge(
+        pid(), BaseCosts::kPerProcessScan * static_cast<int64_t>(result.pids.size()));
+  } else if (op && *op == kOpRead) {
+    auto pid_arg = r.I32();
+    if (pid_arg) {
+      cost += host_.kernel().Charge(pid(), BaseCosts::kPerProcessScan);
+      auto status = fs.ReadStatus(*pid_arg);
+      if (status) {
+        result.ok = true;
+        result.content = *status;
+      } else {
+        result.error = "no such process";
+      }
+    } else {
+      result.error = "malformed";
+    }
+  } else if (op && *op == kOpWrite) {
+    auto pid_arg = r.I32();
+    auto ctl = r.Str();
+    auto uid = r.I32();
+    if (pid_arg && ctl && uid) {
+      // AUTH_UNIX-style trust: the claimed uid is believed.  This is the
+      // documented weakness of the NFS path relative to pmd channels.
+      cost += host_.kernel().Charge(pid(), BaseCosts::kSignal);
+      std::string err;
+      result.ok = fs.WriteCtl(*pid_arg, *ctl, *uid, &err);
+      result.error = err;
+    } else {
+      result.error = "malformed";
+    }
+  } else {
+    result.error = "bad opcode";
+  }
+  host_.simulator().ScheduleIn(cost, [this, conn, result] {
+    if (!host_.up()) return;
+    host_.network().Send(conn, EncodeResult(result));
+    host_.network().Close(conn);
+  }, "procfs-reply");
+}
+
+Pid StartProcFsServer(Host& host) {
+  auto body = std::make_unique<ProcFsServer>(host);
+  return host.kernel().Spawn(kNoPid, kRootUid, "procfsd", std::move(body),
+                             ProcState::kSleeping);
+}
+
+// --- client calls ---------------------------------------------------------------------
+
+void ProcFsList(Host& from, const std::string& target_host,
+                std::function<void(const ProcFsResult&)> done) {
+  util::ByteWriter w;
+  w.U8(kOpList);
+  OneShot(from, target_host, w.Take(), std::move(done));
+}
+
+void ProcFsRead(Host& from, const std::string& target_host, Pid pid,
+                std::function<void(const ProcFsResult&)> done) {
+  util::ByteWriter w;
+  w.U8(kOpRead);
+  w.I32(pid);
+  OneShot(from, target_host, w.Take(), std::move(done));
+}
+
+void ProcFsWriteCtl(Host& from, const std::string& target_host, Pid pid,
+                    const std::string& op, Uid claimed_uid,
+                    std::function<void(const ProcFsResult&)> done) {
+  util::ByteWriter w;
+  w.U8(kOpWrite);
+  w.I32(pid);
+  w.Str(op);
+  w.I32(claimed_uid);
+  OneShot(from, target_host, w.Take(), std::move(done));
+}
+
+}  // namespace ppm::host

@@ -1,0 +1,35 @@
+#include "host/users.h"
+
+namespace ppm::host {
+
+bool UserDb::AddUser(const std::string& name, Uid uid) {
+  auto nit = by_name_.find(name);
+  auto uit = by_uid_.find(uid);
+  if (nit != by_name_.end() && nit->second != uid) return false;
+  if (uit != by_uid_.end() && uit->second != name) return false;
+  by_name_[name] = uid;
+  by_uid_[uid] = name;
+  return true;
+}
+
+bool UserDb::RemoveUser(const std::string& name) {
+  auto nit = by_name_.find(name);
+  if (nit == by_name_.end()) return false;
+  by_uid_.erase(nit->second);
+  by_name_.erase(nit);
+  return true;
+}
+
+std::optional<Uid> UserDb::UidOf(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> UserDb::NameOf(Uid uid) const {
+  auto it = by_uid_.find(uid);
+  if (it == by_uid_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace ppm::host

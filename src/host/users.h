@@ -1,0 +1,33 @@
+// users.h — the per-host password file.
+//
+// The paper (Section 4): "It is the responsibility of network system
+// administrators to have consistent password files across machines that
+// trust each other."  We therefore keep a *per-host* user database —
+// consistency is a property tests can violate on purpose — plus a helper
+// to install the same account everywhere.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "host/process.h"
+
+namespace ppm::host {
+
+class UserDb {
+ public:
+  // Adds or replaces an account.  Returns false if the uid or name is
+  // already taken by a *different* account.
+  bool AddUser(const std::string& name, Uid uid);
+  bool RemoveUser(const std::string& name);
+
+  std::optional<Uid> UidOf(const std::string& name) const;
+  std::optional<std::string> NameOf(Uid uid) const;
+
+ private:
+  std::map<std::string, Uid> by_name_;
+  std::map<Uid, std::string> by_uid_;
+};
+
+}  // namespace ppm::host

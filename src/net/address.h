@@ -1,0 +1,44 @@
+// address.h — network-level naming.
+//
+// Hosts have small integer ids assigned by the Network at registration
+// and human-readable names (the paper identifies processes network-wide
+// as <host name, pid>).  A SocketAddr is <host, port>, the accept-address
+// currency that the process manager daemon hands out in step (4) of LPM
+// creation (paper Figure 2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ppm::net {
+
+using HostId = uint32_t;
+using Port = uint16_t;
+
+constexpr HostId kInvalidHost = ~static_cast<HostId>(0);
+
+// Well-known ports, mirroring 4.3BSD conventions: only inetd has a
+// well-known port; every other address is handed out dynamically.
+constexpr Port kInetdPort = 512;
+constexpr Port kDynamicPortBase = 1024;
+
+struct SocketAddr {
+  HostId host = kInvalidHost;
+  Port port = 0;
+
+  bool operator==(const SocketAddr&) const = default;
+  bool valid() const { return host != kInvalidHost; }
+};
+
+inline std::string ToString(const SocketAddr& a) {
+  return "<" + std::to_string(a.host) + ":" + std::to_string(a.port) + ">";
+}
+
+struct SocketAddrHash {
+  size_t operator()(const SocketAddr& a) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(a.host) << 16) | a.port);
+  }
+};
+
+}  // namespace ppm::net

@@ -1,0 +1,586 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/log.h"
+#include "util/panic.h"
+
+namespace ppm::net {
+
+namespace {
+// Fixed per-frame header cost charged on the wire (addresses, sequence
+// numbers, checksums) — roughly a 1986 TCP/IP header.
+constexpr size_t kFrameHeaderBytes = 40;
+constexpr Port kEphemeralBase = 32768;
+}  // namespace
+
+const char* ToString(CloseReason r) {
+  switch (r) {
+    case CloseReason::kLocalClose: return "local-close";
+    case CloseReason::kPeerClose: return "peer-close";
+    case CloseReason::kPeerCrash: return "peer-crash";
+    case CloseReason::kNetBroken: return "net-broken";
+  }
+  return "?";
+}
+
+Network::Network(sim::Simulator& simulator, NetworkParams params)
+    : sim_(simulator), params_(params) {}
+
+HostId Network::AddHost(const std::string& name) {
+  HostId id = static_cast<HostId>(hosts_.size());
+  hosts_.push_back(HostRec{name, true});
+  adj_[id];  // ensure entry
+  next_ephemeral_[id] = kEphemeralBase;
+  return id;
+}
+
+void Network::AddLink(HostId a, HostId b, LinkParams params) {
+  PPM_CHECK(a < hosts_.size() && b < hosts_.size() && a != b);
+  uint64_t key = LinkKey(a, b);
+  PPM_CHECK_MSG(!links_.count(key), "duplicate link");
+  links_[key] = LinkRec{params, true, {0, 0}};
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+}
+
+const std::string& Network::HostName(HostId h) const {
+  PPM_CHECK(h < hosts_.size());
+  return hosts_[h].name;
+}
+
+std::optional<HostId> Network::FindHost(const std::string& name) const {
+  for (HostId i = 0; i < hosts_.size(); ++i)
+    if (hosts_[i].name == name) return i;
+  return std::nullopt;
+}
+
+uint64_t Network::LinkKey(HostId a, HostId b) const {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+Network::LinkRec* Network::FindLink(HostId a, HostId b) {
+  auto it = links_.find(LinkKey(a, b));
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+const Network::LinkRec* Network::FindLinkConst(HostId a, HostId b) const {
+  auto it = links_.find(LinkKey(a, b));
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+std::optional<std::vector<HostId>> Network::Route(HostId from, HostId to) const {
+  if (from >= hosts_.size() || to >= hosts_.size()) return std::nullopt;
+  if (!hosts_[from].up || !hosts_[to].up) return std::nullopt;
+  if (from == to) return std::vector<HostId>{from};
+  // BFS over up links and up intermediate hosts.  Neighbor order is the
+  // link-creation order, so routes are deterministic.
+  std::unordered_map<HostId, HostId> parent;
+  std::deque<HostId> frontier{from};
+  parent[from] = from;
+  while (!frontier.empty()) {
+    HostId u = frontier.front();
+    frontier.pop_front();
+    auto it = adj_.find(u);
+    if (it == adj_.end()) continue;
+    for (HostId v : it->second) {
+      if (parent.count(v) || !hosts_[v].up) continue;
+      const LinkRec* link = FindLinkConst(u, v);
+      if (!link || !link->up) continue;
+      parent[v] = u;
+      if (v == to) {
+        std::vector<HostId> path{to};
+        for (HostId cur = to; cur != from; cur = parent[cur]) path.push_back(parent[cur]);
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(v);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<size_t> Network::HopDistance(HostId a, HostId b) const {
+  auto path = Route(a, b);
+  if (!path) return std::nullopt;
+  return path->size() - 1;
+}
+
+// --- fault injection --------------------------------------------------
+
+void Network::SetLinkUp(HostId a, HostId b, bool up) {
+  LinkRec* link = FindLink(a, b);
+  PPM_CHECK_MSG(link != nullptr, "no such link");
+  if (link->up == up) return;
+  link->up = up;
+  if (up) return;
+  // Break every established circuit whose endpoints are no longer
+  // mutually reachable.
+  for (auto& [id, conn] : conns_) {
+    if (conn.dead || !conn.established) continue;
+    if (!Route(conn.a.addr.host, conn.b.addr.host)) {
+      BreakConn(conn, kInvalidHost, CloseReason::kNetBroken);
+    }
+  }
+}
+
+void Network::SetHostUp(HostId h, bool up) {
+  PPM_CHECK(h < hosts_.size());
+  if (hosts_[h].up == up) return;
+  hosts_[h].up = up;
+  if (up) return;
+  // Crash: every bind on the host vanishes; circuits touching it break.
+  for (auto it = listeners_.begin(); it != listeners_.end();) {
+    it = (it->first.host == h) ? listeners_.erase(it) : std::next(it);
+  }
+  for (auto it = dgram_binds_.begin(); it != dgram_binds_.end();) {
+    it = (it->first.host == h) ? dgram_binds_.erase(it) : std::next(it);
+  }
+  for (auto it = pending_connects_.begin(); it != pending_connects_.end();) {
+    auto conn_it = conns_.find(it->first);
+    bool mine = conn_it != conns_.end() && conn_it->second.a.addr.host == h;
+    if (mine) {
+      sim_.Cancel(it->second.timeout_ev);
+      if (conn_it != conns_.end()) conn_it->second.dead = true;
+      it = pending_connects_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [id, conn] : conns_) {
+    if (conn.dead) continue;
+    if (conn.a.addr.host != h && conn.b.addr.host != h) continue;
+    BreakConn(conn, h, CloseReason::kPeerCrash);
+  }
+}
+
+bool Network::HostUp(HostId h) const {
+  PPM_CHECK(h < hosts_.size());
+  return hosts_[h].up;
+}
+
+void Network::Partition(const std::vector<std::vector<HostId>>& groups) {
+  std::unordered_map<HostId, size_t> group_of;
+  for (size_t g = 0; g < groups.size(); ++g)
+    for (HostId h : groups[g]) group_of[h] = g;
+  for (auto& [key, link] : links_) {
+    HostId a = static_cast<HostId>(key >> 32);
+    HostId b = static_cast<HostId>(key & 0xffffffff);
+    auto ia = group_of.find(a);
+    auto ib = group_of.find(b);
+    bool same = ia != group_of.end() && ib != group_of.end() && ia->second == ib->second;
+    if (link.up && !same) {
+      SetLinkUp(a, b, false);
+    } else if (!link.up && same) {
+      SetLinkUp(a, b, true);
+    }
+  }
+}
+
+void Network::Heal() {
+  for (auto& [key, link] : links_) {
+    if (!link.up) {
+      link.up = true;
+    }
+  }
+}
+
+void Network::BreakConn(Conn& conn, HostId detected_by, CloseReason reason) {
+  if (conn.dead) return;
+  conn.dead = true;
+  ++stats_.conns_broken;
+  // The endpoint on a crashed host dies silently (its process is gone);
+  // every other open endpoint learns of the break after the detection
+  // delay, modelling TCP's retransmission give-up.
+  bool notify_a = conn.a.open && conn.a.addr.host != detected_by;
+  bool notify_b = conn.b.open && conn.b.addr.host != detected_by;
+  if (conn.a.addr.host == detected_by) conn.a.open = false;
+  if (conn.b.addr.host == detected_by) conn.b.open = false;
+  ScheduleBreakNotice(conn.id, notify_a, notify_b, reason);
+}
+
+void Network::ScheduleBreakNotice(ConnId id, bool notify_a, bool notify_b,
+                                  CloseReason reason) {
+  sim_.ScheduleIn(params_.break_detection_delay, [this, id, notify_a, notify_b, reason] {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    Conn& conn = it->second;
+    if (notify_a && conn.a.open) {
+      conn.a.open = false;
+      if (auto fn = conn.a.cb.on_close) fn(id * 2, reason);
+    }
+    if (notify_b && conn.b.open) {
+      conn.b.open = false;
+      if (auto fn = conn.b.cb.on_close) fn(id * 2 + 1, reason);
+    }
+  }, "conn-break-notice");
+}
+
+// --- circuits ---------------------------------------------------------
+
+void Network::Listen(HostId h, Port p, AcceptFn accept) {
+  PPM_CHECK(h < hosts_.size());
+  PPM_CHECK_MSG(hosts_[h].up, "listen on crashed host");
+  SocketAddr addr{h, p};
+  PPM_CHECK_MSG(!listeners_.count(addr), "port already bound: " + ToString(addr));
+  listeners_[addr] = std::move(accept);
+}
+
+void Network::Unlisten(HostId h, Port p) { listeners_.erase(SocketAddr{h, p}); }
+
+bool Network::HasListener(HostId h, Port p) const {
+  return listeners_.count(SocketAddr{h, p}) > 0;
+}
+
+Port Network::NextEphemeral(HostId h) {
+  Port p = next_ephemeral_[h]++;
+  if (next_ephemeral_[h] == 0) next_ephemeral_[h] = kEphemeralBase;  // wrap
+  return p;
+}
+
+void Network::Connect(HostId from, SocketAddr to, ConnCallbacks cb, ConnectResultFn done) {
+  PPM_CHECK(from < hosts_.size());
+  if (!hosts_[from].up) return;  // dead caller: drop silently
+  ConnId id = next_conn_id_++;
+  Conn conn;
+  conn.id = id;
+  conn.a.addr = SocketAddr{from, NextEphemeral(from)};
+  conn.a.cb = std::move(cb);
+  conn.b.addr = to;
+  conns_[id] = std::move(conn);
+
+  PendingConnect pending;
+  pending.conn = id;
+  pending.done = std::move(done);
+  pending.timeout_ev = sim_.ScheduleIn(params_.connect_timeout, [this, id] {
+    auto pit = pending_connects_.find(id);
+    if (pit == pending_connects_.end()) return;
+    ConnectResultFn done_fn = std::move(pit->second.done);
+    pending_connects_.erase(pit);
+    auto cit = conns_.find(id);
+    if (cit != conns_.end()) cit->second.dead = true;
+    if (done_fn) done_fn(std::nullopt);
+  }, "connect-timeout");
+  pending_connects_[id] = std::move(pending);
+
+  Frame syn;
+  syn.kind = FrameKind::kSyn;
+  syn.src = conns_[id].a.addr;
+  syn.dst = to;
+  syn.conn = id;
+  SendFrame(std::move(syn));
+}
+
+bool Network::Send(ConnId handle, std::vector<uint8_t> data) {
+  auto it = conns_.find(handle / 2);
+  if (it == conns_.end()) return false;
+  Conn& conn = it->second;
+  Endpoint& self = (handle % 2 == 0) ? conn.a : conn.b;
+  Endpoint& peer = (handle % 2 == 0) ? conn.b : conn.a;
+  if (!self.open || !conn.established) return false;
+  // A broken-but-undetected circuit accepts writes; the bytes vanish in
+  // the network, exactly as with TCP before the RST arrives.
+  Frame f;
+  f.kind = FrameKind::kData;
+  f.src = self.addr;
+  f.dst = peer.addr;
+  f.conn = conn.id;
+  f.seq = self.next_send_seq++;
+  f.payload = std::move(data);
+  SendFrame(std::move(f));
+  return true;
+}
+
+void Network::Close(ConnId handle) {
+  auto it = conns_.find(handle / 2);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  Endpoint& self = (handle % 2 == 0) ? conn.a : conn.b;
+  Endpoint& peer = (handle % 2 == 0) ? conn.b : conn.a;
+  if (!self.open) return;
+  self.open = false;
+  if (conn.established && !conn.dead) {
+    Frame fin;
+    fin.kind = FrameKind::kFin;
+    fin.src = self.addr;
+    fin.dst = peer.addr;
+    fin.conn = conn.id;
+    SendFrame(std::move(fin));
+  }
+  if (!peer.open) conn.dead = true;
+}
+
+void Network::Abort(ConnId handle) {
+  auto it = conns_.find(handle / 2);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  Endpoint& self = (handle % 2 == 0) ? conn.a : conn.b;
+  Endpoint& peer = (handle % 2 == 0) ? conn.b : conn.a;
+  if (!self.open) return;
+  self.open = false;
+  // Deliberately leave self.cb in place: this very call may be running
+  // inside one of those callbacks, and the open flag already guarantees
+  // it will never be invoked again.
+  if (peer.open && conn.established && !conn.dead) {
+    ++stats_.conns_broken;
+    ScheduleBreakNotice(conn.id, /*notify_a=*/(&peer == &conn.a),
+                        /*notify_b=*/(&peer == &conn.b), CloseReason::kPeerCrash);
+  }
+  conn.dead = true;
+}
+
+bool Network::ConnAlive(ConnId handle) const {
+  auto it = conns_.find(handle / 2);
+  if (it == conns_.end()) return false;
+  const Endpoint& self = (handle % 2 == 0) ? it->second.a : it->second.b;
+  return self.open && it->second.established;
+}
+
+std::optional<std::pair<SocketAddr, SocketAddr>> Network::ConnEndpoints(ConnId handle) const {
+  auto it = conns_.find(handle / 2);
+  if (it == conns_.end()) return std::nullopt;
+  const Conn& conn = it->second;
+  if (handle % 2 == 0) return std::make_pair(conn.a.addr, conn.b.addr);
+  return std::make_pair(conn.b.addr, conn.a.addr);
+}
+
+std::vector<ConnId> Network::ConnsTouching(HostId h) const {
+  std::vector<ConnId> out;
+  for (const auto& [id, conn] : conns_) {
+    if (conn.dead || !conn.established) continue;
+    if (conn.a.addr.host == h && conn.a.open) out.push_back(id * 2);
+    if (conn.b.addr.host == h && conn.b.open) out.push_back(id * 2 + 1);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// --- datagrams ----------------------------------------------------------
+
+void Network::BindDgram(HostId h, Port p, DgramFn fn) {
+  SocketAddr addr{h, p};
+  PPM_CHECK_MSG(!dgram_binds_.count(addr), "dgram port already bound");
+  dgram_binds_[addr] = std::move(fn);
+}
+
+void Network::UnbindDgram(HostId h, Port p) { dgram_binds_.erase(SocketAddr{h, p}); }
+
+void Network::SendDgram(HostId from, Port from_port, SocketAddr to,
+                        std::vector<uint8_t> data) {
+  if (from >= hosts_.size() || !hosts_[from].up) return;
+  Frame f;
+  f.kind = FrameKind::kDgram;
+  f.src = SocketAddr{from, from_port};
+  f.dst = to;
+  f.payload = std::move(data);
+  SendFrame(std::move(f));
+}
+
+// --- frame plumbing -----------------------------------------------------
+
+void Network::SendFrame(Frame f) {
+  ++stats_.frames_sent;
+  stats_.bytes_sent += f.payload.size() + kFrameHeaderBytes;
+  auto path = Route(f.src.host, f.dst.host);
+  if (!path) {
+    ++stats_.frames_dropped;
+    return;
+  }
+  f.path = std::move(*path);
+  f.hop_index = 0;
+  f.route.clear();
+  f.route.push_back(f.src.host);
+  if (f.path.size() == 1) {
+    // Local delivery: no wire, but keep it asynchronous so the event
+    // order matches the remote case.
+    Frame frame = std::move(f);
+    sim_.ScheduleIn(0, [this, frame = std::move(frame)]() mutable {
+      DeliverFrame(std::move(frame));
+    }, "frame-local");
+    return;
+  }
+  ForwardFrame(std::move(f));
+}
+
+void Network::ForwardFrame(Frame f) {
+  HostId u = f.path[f.hop_index];
+  HostId v = f.path[f.hop_index + 1];
+  if (!hosts_[u].up) {
+    ++stats_.frames_dropped;
+    return;
+  }
+  LinkRec* link = FindLink(u, v);
+  if (!link || !link->up) {
+    ++stats_.frames_dropped;
+    return;
+  }
+  int dir = (u < v) ? 0 : 1;
+  sim::SimTime now = sim_.Now();
+  sim::SimDuration tx =
+      static_cast<sim::SimDuration>(f.payload.size() + kFrameHeaderBytes) * link->params.per_byte;
+  sim::SimTime start = std::max(now, link->busy_until[dir]);
+  sim::SimTime arrival = start + static_cast<sim::SimTime>(tx + link->params.latency);
+  link->busy_until[dir] = start + static_cast<sim::SimTime>(tx);
+
+  Frame frame = std::move(f);
+  frame.route.push_back(v);
+  frame.hop_index += 1;
+  sim_.ScheduleAt(arrival, [this, frame = std::move(frame)]() mutable {
+    HostId here = frame.path[frame.hop_index];
+    if (!hosts_[here].up) {
+      ++stats_.frames_dropped;
+      return;
+    }
+    if (frame.hop_index + 1 == frame.path.size()) {
+      DeliverFrame(std::move(frame));
+    } else {
+      ForwardFrame(std::move(frame));
+    }
+  }, "frame-hop");
+}
+
+Network::Endpoint* Network::EndpointAt(Conn& conn, HostId h, Port p) {
+  if (conn.a.addr.host == h && conn.a.addr.port == p) return &conn.a;
+  if (conn.b.addr.host == h && conn.b.addr.port == p) return &conn.b;
+  return nullptr;
+}
+
+void Network::DeliverData(Conn& conn, Endpoint& self, Frame f) {
+  // FIFO reassembly: per-link serialization normally preserves order,
+  // but a route change mid-stream (after a heal) can reorder frames.
+  if (f.seq != self.next_recv_seq) {
+    self.reorder.emplace(f.seq, std::move(f));
+    return;
+  }
+  ConnId handle = (&self == &conn.a) ? conn.id * 2 : conn.id * 2 + 1;
+  ++stats_.frames_delivered;
+  if (auto fn = self.cb.on_data) fn(handle, f.payload);
+  self.next_recv_seq++;
+  while (true) {
+    auto it = self.reorder.find(self.next_recv_seq);
+    if (it == self.reorder.end()) break;
+    Frame next = std::move(it->second);
+    self.reorder.erase(it);
+    ++stats_.frames_delivered;
+    if (auto fn = self.cb.on_data) fn(handle, next.payload);
+    self.next_recv_seq++;
+  }
+}
+
+void Network::DeliverFrame(Frame f) {
+  switch (f.kind) {
+    case FrameKind::kDgram: {
+      auto it = dgram_binds_.find(f.dst);
+      if (it == dgram_binds_.end()) {
+        ++stats_.frames_dropped;
+        return;
+      }
+      ++stats_.frames_delivered;
+      // Copy before invoking: the handler may unbind itself (one-shot
+      // reply sockets do), which would destroy the closure mid-call.
+      DgramFn fn = it->second;
+      fn(f.src, f.payload, f.route);
+      return;
+    }
+    case FrameKind::kSyn: {
+      auto cit = conns_.find(f.conn);
+      if (cit == conns_.end() || cit->second.dead) return;
+      Conn& conn = cit->second;
+      auto lit = listeners_.find(f.dst);
+      bool accepted = false;
+      if (lit != listeners_.end()) {
+        AcceptFn accept_fn = lit->second;  // may Unlisten itself
+        auto cb = accept_fn(conn.id * 2 + 1, f.src);
+        if (cb) {
+          conn.b.cb = std::move(*cb);
+          conn.b.open = true;
+          accepted = true;
+        }
+      }
+      Frame reply;
+      reply.kind = accepted ? FrameKind::kSynAck : FrameKind::kRst;
+      reply.src = f.dst;
+      reply.dst = f.src;
+      reply.conn = f.conn;
+      // The accepting host pays a fixed socket-setup CPU cost before the
+      // SYN-ACK leaves (paper: authentication happens at channel setup).
+      ConnId id = f.conn;
+      sim_.ScheduleIn(params_.handshake_cpu, [this, reply = std::move(reply), id]() mutable {
+        auto it2 = conns_.find(id);
+        if (it2 == conns_.end()) return;
+        SendFrame(std::move(reply));
+      }, "syn-reply");
+      return;
+    }
+    case FrameKind::kSynAck: {
+      auto pit = pending_connects_.find(f.conn);
+      auto cit = conns_.find(f.conn);
+      if (pit == pending_connects_.end() || cit == conns_.end()) {
+        // Initiator timed out already; tell the acceptor to clean up.
+        Frame rst;
+        rst.kind = FrameKind::kRst;
+        rst.src = f.dst;
+        rst.dst = f.src;
+        rst.conn = f.conn;
+        SendFrame(std::move(rst));
+        return;
+      }
+      sim_.Cancel(pit->second.timeout_ev);
+      ConnectResultFn done_fn = std::move(pit->second.done);
+      pending_connects_.erase(pit);
+      Conn& conn = cit->second;
+      conn.established = true;
+      conn.a.open = true;
+      ++stats_.conns_opened;
+      if (done_fn) done_fn(conn.id * 2);
+      return;
+    }
+    case FrameKind::kRst: {
+      auto pit = pending_connects_.find(f.conn);
+      if (pit != pending_connects_.end()) {
+        sim_.Cancel(pit->second.timeout_ev);
+        ConnectResultFn done_fn = std::move(pit->second.done);
+        pending_connects_.erase(pit);
+        auto cit = conns_.find(f.conn);
+        if (cit != conns_.end()) cit->second.dead = true;
+        if (done_fn) done_fn(std::nullopt);
+        return;
+      }
+      auto cit = conns_.find(f.conn);
+      if (cit == conns_.end()) return;
+      Conn& conn = cit->second;
+      Endpoint* self = EndpointAt(conn, f.dst.host, f.dst.port);
+      if (!self || !self->open) return;
+      self->open = false;
+      conn.dead = true;
+      ConnId handle = (self == &conn.a) ? conn.id * 2 : conn.id * 2 + 1;
+      if (auto fn = self->cb.on_close) fn(handle, CloseReason::kNetBroken);
+      return;
+    }
+    case FrameKind::kData: {
+      auto cit = conns_.find(f.conn);
+      if (cit == conns_.end()) return;
+      Conn& conn = cit->second;
+      Endpoint* self = EndpointAt(conn, f.dst.host, f.dst.port);
+      if (!self || !self->open) return;
+      DeliverData(conn, *self, std::move(f));
+      return;
+    }
+    case FrameKind::kFin: {
+      auto cit = conns_.find(f.conn);
+      if (cit == conns_.end()) return;
+      Conn& conn = cit->second;
+      Endpoint* self = EndpointAt(conn, f.dst.host, f.dst.port);
+      if (!self || !self->open) return;
+      self->open = false;
+      conn.dead = true;
+      ConnId handle = (self == &conn.a) ? conn.id * 2 : conn.id * 2 + 1;
+      if (auto fn = self->cb.on_close) fn(handle, CloseReason::kPeerClose);
+      return;
+    }
+  }
+}
+
+}  // namespace ppm::net

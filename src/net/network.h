@@ -1,0 +1,234 @@
+// network.h — the simulated internetwork.
+//
+// Models the environment of the paper: multiple Ethernets joined by
+// gateway hosts, so some host pairs are one hop apart and some two or
+// more (the independent variable of Tables 2 and 3).  The model is
+// store-and-forward at the host granularity:
+//
+//   * a Link connects two hosts with a propagation latency and a
+//     per-byte transmission cost; a directed link serializes frames
+//     (a frame occupies the wire for its transmission time, so back to
+//     back frames queue);
+//   * routes are shortest-hop paths recomputed whenever topology or
+//     fault state changes; each delivered frame carries the route it
+//     travelled, which the PPM layer records for source-destination
+//     routing of replies (paper Section 4);
+//   * faults: links can be taken down (partitions) and hosts can crash;
+//     frames in flight toward a dead hop are dropped silently, exactly
+//     like datagrams on a partitioned 1986 internet.
+//
+// Two transports are offered, mirroring the paper's discussion:
+//   * reliable stream connections ("virtual circuits", the transport the
+//     PPM actually uses): explicit connect/accept, FIFO data delivery,
+//     and broken-circuit notification after a detection delay when the
+//     peer crashes or the route partitions;
+//   * datagrams (the "would scale much better" alternative evaluated in
+//     bench_ablate_transport): fire-and-forget, silently droppable.
+//
+// The Network knows nothing about processes or users; the host layer
+// bridges frames to simulated processes and charges local CPU costs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/address.h"
+#include "sim/simulator.h"
+
+namespace ppm::net {
+
+// Why a circuit went away.  kLocalClose is the graceful case; the rest
+// feed the PPM's failure detection.
+enum class CloseReason : uint8_t {
+  kLocalClose,   // this endpoint closed
+  kPeerClose,    // peer closed gracefully
+  kPeerCrash,    // peer host or peer process died
+  kNetBroken,    // route partitioned / link down
+};
+
+const char* ToString(CloseReason r);
+
+using ConnId = uint64_t;
+constexpr ConnId kInvalidConn = 0;
+
+// Callbacks one endpoint registers for a circuit.  Both are optional.
+struct ConnCallbacks {
+  std::function<void(ConnId, const std::vector<uint8_t>&)> on_data;
+  std::function<void(ConnId, CloseReason)> on_close;
+};
+
+// Accept decision: return callbacks to accept, nullopt to refuse.
+using AcceptFn = std::function<std::optional<ConnCallbacks>(ConnId, SocketAddr peer)>;
+
+// Datagram receive: payload plus the route the frame travelled
+// (route.front() == sender host, route.back() == this host).
+using DgramFn =
+    std::function<void(SocketAddr from, const std::vector<uint8_t>&, const std::vector<HostId>& route)>;
+
+using ConnectResultFn = std::function<void(std::optional<ConnId>)>;
+
+struct LinkParams {
+  sim::SimDuration latency = sim::Micros(500);   // one-way propagation
+  sim::SimDuration per_byte = sim::Micros(1);    // transmission cost per byte
+};
+
+struct NetworkParams {
+  // How long after a crash/partition the surviving endpoint of a circuit
+  // learns it is broken (models TCP RST / retransmission give-up).
+  sim::SimDuration break_detection_delay = sim::Millis(150);
+  // Connect attempts that get no answer fail after this long.
+  sim::SimDuration connect_timeout = sim::Millis(500);
+  // Fixed cost of the connect handshake on top of 1 RTT (socket setup).
+  sim::SimDuration handshake_cpu = sim::Millis(2);
+};
+
+struct NetStats {
+  uint64_t frames_sent = 0;
+  uint64_t frames_delivered = 0;
+  uint64_t frames_dropped = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t conns_opened = 0;
+  uint64_t conns_broken = 0;
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& simulator, NetworkParams params = {});
+
+  // --- topology -----------------------------------------------------
+  HostId AddHost(const std::string& name);
+  void AddLink(HostId a, HostId b, LinkParams params = {});
+
+  const std::string& HostName(HostId h) const;
+  std::optional<HostId> FindHost(const std::string& name) const;
+  size_t host_count() const { return hosts_.size(); }
+
+  // Shortest-hop distance considering current fault state; nullopt if
+  // unreachable.
+  std::optional<size_t> HopDistance(HostId a, HostId b) const;
+
+  // --- fault injection ----------------------------------------------
+  void SetLinkUp(HostId a, HostId b, bool up);
+  void SetHostUp(HostId h, bool up);  // down = crash: breaks circuits, clears binds
+  bool HostUp(HostId h) const;
+
+  // Partitions the network into the given groups by downing every link
+  // that crosses a group boundary.  Links inside a group are restored.
+  void Partition(const std::vector<std::vector<HostId>>& groups);
+  // Restores every link.
+  void Heal();
+
+  // --- stream circuits ----------------------------------------------
+  void Listen(HostId h, Port p, AcceptFn accept);
+  void Unlisten(HostId h, Port p);
+  bool HasListener(HostId h, Port p) const;
+
+  // Opens a circuit from `from` (an ephemeral port is assigned) to `to`.
+  // `done` fires with the ConnId once established, or nullopt on refusal
+  // or timeout.  Callbacks are installed on success.
+  void Connect(HostId from, SocketAddr to, ConnCallbacks cb, ConnectResultFn done);
+
+  // Sends bytes on an established circuit.  Returns false if the circuit
+  // is already locally closed/unknown.  Delivery is FIFO per circuit; if
+  // the route is broken the data vanishes and break detection fires.
+  bool Send(ConnId c, std::vector<uint8_t> data);
+
+  // Gracefully closes this endpoint; peer gets on_close(kPeerClose).
+  void Close(ConnId c);
+
+  // Abrupt teardown, as when the owning process dies: this endpoint
+  // closes silently (no callback) and the peer learns of the break only
+  // after the detection delay, with kPeerCrash.
+  void Abort(ConnId c);
+
+  // Introspection for tests and the fig3/fig4 exhibits.
+  bool ConnAlive(ConnId c) const;
+  std::optional<std::pair<SocketAddr, SocketAddr>> ConnEndpoints(ConnId c) const;
+  std::vector<ConnId> ConnsTouching(HostId h) const;
+
+  // --- datagrams ------------------------------------------------------
+  void BindDgram(HostId h, Port p, DgramFn fn);
+  void UnbindDgram(HostId h, Port p);
+  // One-shot unreliable send; silently dropped when unreachable.
+  void SendDgram(HostId from, Port from_port, SocketAddr to, std::vector<uint8_t> data);
+
+  const NetStats& stats() const { return stats_; }
+  sim::Simulator& simulator() { return sim_; }
+  const NetworkParams& params() const { return params_; }
+
+ private:
+  struct HostRec {
+    std::string name;
+    bool up = true;
+  };
+  struct LinkRec {
+    LinkParams params;
+    bool up = true;
+    // Directed wire-busy horizon for serialization, indexed [a<b ? 0:1].
+    sim::SimTime busy_until[2] = {0, 0};
+  };
+  enum class FrameKind : uint8_t { kSyn, kSynAck, kData, kFin, kRst, kDgram };
+  struct Frame {
+    FrameKind kind;
+    SocketAddr src, dst;
+    ConnId conn = kInvalidConn;
+    uint64_t seq = 0;  // per-circuit sequence for FIFO reassembly
+    std::vector<uint8_t> payload;
+    std::vector<HostId> route;  // filled hop by hop
+    size_t hop_index = 0;       // next index in planned path
+    std::vector<HostId> path;   // planned at send time
+  };
+  struct Endpoint {
+    SocketAddr addr;
+    ConnCallbacks cb;
+    bool open = false;
+    uint64_t next_send_seq = 0;
+    uint64_t next_recv_seq = 0;
+    std::map<uint64_t, Frame> reorder;  // frames arrived ahead of order
+  };
+  struct Conn {
+    ConnId id = kInvalidConn;
+    Endpoint a, b;           // a = initiator
+    bool established = false;
+    bool dead = false;
+  };
+  struct PendingConnect {
+    ConnId conn;
+    ConnectResultFn done;
+    sim::EventId timeout_ev;
+  };
+
+  uint64_t LinkKey(HostId a, HostId b) const;
+  LinkRec* FindLink(HostId a, HostId b);
+  const LinkRec* FindLinkConst(HostId a, HostId b) const;
+  std::optional<std::vector<HostId>> Route(HostId from, HostId to) const;
+  void SendFrame(Frame f);
+  void ForwardFrame(Frame f);
+  void DeliverFrame(Frame f);
+  void DeliverData(Conn& conn, Endpoint& self, Frame f);
+  Endpoint* EndpointAt(Conn& conn, HostId h, Port p);
+  void BreakConn(Conn& conn, HostId detected_by, CloseReason reason);
+  void ScheduleBreakNotice(ConnId id, bool notify_a, bool notify_b, CloseReason reason);
+  Port NextEphemeral(HostId h);
+
+  sim::Simulator& sim_;
+  NetworkParams params_;
+  std::vector<HostRec> hosts_;
+  std::unordered_map<uint64_t, LinkRec> links_;
+  std::unordered_map<HostId, std::vector<HostId>> adj_;
+  std::unordered_map<SocketAddr, AcceptFn, SocketAddrHash> listeners_;
+  std::unordered_map<SocketAddr, DgramFn, SocketAddrHash> dgram_binds_;
+  std::unordered_map<ConnId, Conn> conns_;
+  std::unordered_map<ConnId, PendingConnect> pending_connects_;
+  std::unordered_map<HostId, Port> next_ephemeral_;
+  ConnId next_conn_id_ = 1;
+  NetStats stats_;
+};
+
+}  // namespace ppm::net

@@ -1,0 +1,159 @@
+#include "net/rdp.h"
+
+#include "util/bytes.h"
+#include "util/panic.h"
+
+namespace ppm::net {
+
+namespace {
+constexpr uint8_t kRdpMagic = 0xd9;
+constexpr uint8_t kKindData = 1;
+constexpr uint8_t kKindAck = 2;
+
+std::vector<uint8_t> EncodeData(uint64_t seq, const std::vector<uint8_t>& payload) {
+  util::ByteWriter w;
+  w.U8(kRdpMagic);
+  w.U8(kKindData);
+  w.U64(seq);
+  w.Blob(payload);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeAck(uint64_t seq) {
+  util::ByteWriter w;
+  w.U8(kRdpMagic);
+  w.U8(kKindAck);
+  w.U64(seq);
+  return w.Take();
+}
+}  // namespace
+
+RdpEndpoint::RdpEndpoint(Network& network, HostId host, Port port, RecvFn on_recv,
+                         RdpParams params)
+    : net_(network), host_(host), port_(port), on_recv_(std::move(on_recv)),
+      params_(params) {
+  net_.BindDgram(host_, port_, [this](SocketAddr from, const std::vector<uint8_t>& data,
+                                      const std::vector<HostId>&) {
+    OnDgram(from, data);
+  });
+}
+
+RdpEndpoint::~RdpEndpoint() { Close(); }
+
+void RdpEndpoint::Close() {
+  if (closed_) return;
+  closed_ = true;
+  if (net_.HostUp(host_)) net_.UnbindDgram(host_, port_);
+  for (auto& [key, peer] : peers_) {
+    net_.simulator().Cancel(peer.retransmit_ev);
+    peer.retransmit_ev = sim::kInvalidEventId;
+    // Fail everything still queued so callers are not left hanging.
+    while (!peer.queue.empty()) {
+      Outgoing out = std::move(peer.queue.front());
+      peer.queue.pop_front();
+      if (out.done) out.done(false);
+    }
+  }
+}
+
+void RdpEndpoint::SendReliable(SocketAddr dst, std::vector<uint8_t> payload, SentFn done) {
+  PPM_CHECK_MSG(!closed_, "send on closed RDP endpoint");
+  ++stats_.sent;
+  PeerKey key{dst};
+  PeerState& peer = peers_[key];
+  peer.queue.push_back(Outgoing{std::move(payload), std::move(done)});
+  PumpPeer(key, peer);
+}
+
+void RdpEndpoint::PumpPeer(const PeerKey& key, PeerState& peer) {
+  if (closed_ || peer.in_flight || peer.queue.empty()) return;
+  peer.in_flight = true;
+  peer.retries_left = params_.max_retries;
+  TransmitHead(key, peer);
+}
+
+void RdpEndpoint::TransmitHead(const PeerKey& key, PeerState& peer) {
+  if (closed_ || !peer.in_flight || peer.queue.empty()) return;
+  net_.SendDgram(host_, port_, key.addr, EncodeData(peer.next_send_seq,
+                                                    peer.queue.front().payload));
+  PeerKey key_copy = key;
+  peer.retransmit_ev = net_.simulator().ScheduleIn(
+      params_.retransmit_timeout,
+      [this, key_copy] {
+        if (closed_) return;
+        auto it = peers_.find(key_copy);
+        if (it == peers_.end() || !it->second.in_flight) return;
+        PeerState& p = it->second;
+        p.retransmit_ev = sim::kInvalidEventId;
+        if (p.retries_left-- <= 0) {
+          FailHead(key_copy, p);
+          return;
+        }
+        ++stats_.retransmits;
+        TransmitHead(key_copy, p);
+      },
+      "rdp-retransmit");
+}
+
+void RdpEndpoint::FailHead(const PeerKey& key, PeerState& peer) {
+  ++stats_.failures;
+  Outgoing out = std::move(peer.queue.front());
+  peer.queue.pop_front();
+  peer.in_flight = false;
+  // The message is abandoned but the sequence number is burnt, so a
+  // late-arriving stale ACK cannot be mistaken for the next message's.
+  peer.next_send_seq++;
+  if (out.done) out.done(false);
+  PumpPeer(key, peer);
+}
+
+void RdpEndpoint::HandleAck(const PeerKey& key, uint64_t seq) {
+  auto it = peers_.find(key);
+  if (it == peers_.end()) return;
+  PeerState& peer = it->second;
+  if (!peer.in_flight || seq != peer.next_send_seq) return;  // stale ack
+  net_.simulator().Cancel(peer.retransmit_ev);
+  peer.retransmit_ev = sim::kInvalidEventId;
+  Outgoing out = std::move(peer.queue.front());
+  peer.queue.pop_front();
+  peer.in_flight = false;
+  peer.next_send_seq++;
+  if (out.done) out.done(true);
+  PumpPeer(key, peer);
+}
+
+void RdpEndpoint::OnDgram(SocketAddr from, const std::vector<uint8_t>& data) {
+  if (closed_) return;
+  util::ByteReader r(data);
+  auto magic = r.U8();
+  auto kind = r.U8();
+  auto seq = r.U64();
+  if (!magic || *magic != kRdpMagic || !kind || !seq) return;
+  PeerKey key{from};
+  if (*kind == kKindAck) {
+    HandleAck(key, *seq);
+    return;
+  }
+  if (*kind != kKindData) return;
+  auto payload = r.Blob();
+  if (!payload) return;
+  PeerState& peer = peers_[key];
+  // Always acknowledge: the sender may be retransmitting because our
+  // previous ACK was lost.
+  ++stats_.acks_sent;
+  net_.SendDgram(host_, port_, from, EncodeAck(*seq));
+  if (*seq < peer.next_recv_seq) {
+    ++stats_.duplicates;
+    return;
+  }
+  if (*seq > peer.next_recv_seq) {
+    // Stop-and-wait sender never runs ahead; a gap means the peer
+    // restarted.  Resynchronize to its new stream.
+    peer.next_recv_seq = *seq;
+  }
+  peer.next_recv_seq++;
+  ++stats_.delivered;
+  if (on_recv_) on_recv_(from, *payload);
+}
+
+}  // namespace ppm::net

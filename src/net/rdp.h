@@ -1,0 +1,110 @@
+// rdp.h — a reliable datagram protocol.
+//
+// Paper Section 3: virtual circuits "limit extensibility.  A datagram
+// based scheme would scale much better, but would require individual
+// authentication for each message. […] A reliable datagram protocol and
+// a scheme based on remote procedure calls, would be promising
+// alternatives for scalability."  This module is that protocol, built on
+// the unreliable datagrams of net::Network in the style of the era
+// (RFC 908 RDP, simplified): per-peer sequence numbers, positive
+// acknowledgements, stop-and-wait retransmission with bounded retries,
+// and receiver-side duplicate suppression.
+//
+// It deliberately holds **no per-peer connection state beyond a pair of
+// sequence counters** — that is the scalability argument: N peers cost
+// two integers each, not a circuit.  The price is a per-message
+// round-trip before the next message to the same peer can leave
+// (stop-and-wait), and per-message authentication at a higher layer.
+//
+// bench_ablate_transport measures this implementation head-to-head
+// against the circuit transport the PPM uses.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/network.h"
+
+namespace ppm::net {
+
+struct RdpParams {
+  sim::SimDuration retransmit_timeout = sim::Millis(200);
+  int max_retries = 5;
+};
+
+struct RdpStats {
+  uint64_t sent = 0;            // distinct messages handed to SendReliable
+  uint64_t delivered = 0;       // messages delivered to the local receiver
+  uint64_t retransmits = 0;
+  uint64_t duplicates = 0;      // suppressed at the receiver
+  uint64_t acks_sent = 0;
+  uint64_t failures = 0;        // gave up after max_retries
+};
+
+// One bound RDP endpoint.  Lifetime: Close() (or destruction) unbinds.
+class RdpEndpoint {
+ public:
+  // Receive callback: payload + sender address.
+  using RecvFn = std::function<void(SocketAddr from, const std::vector<uint8_t>&)>;
+  // Send completion: true once acknowledged, false after retries exhaust.
+  using SentFn = std::function<void(bool)>;
+
+  RdpEndpoint(Network& network, HostId host, Port port, RecvFn on_recv,
+              RdpParams params = {});
+  ~RdpEndpoint();
+
+  RdpEndpoint(const RdpEndpoint&) = delete;
+  RdpEndpoint& operator=(const RdpEndpoint&) = delete;
+
+  // Queues `payload` for reliable delivery to `dst` (another
+  // RdpEndpoint).  Messages to the same destination are delivered in
+  // order; distinct destinations are independent.
+  void SendReliable(SocketAddr dst, std::vector<uint8_t> payload, SentFn done = nullptr);
+
+  void Close();
+  bool closed() const { return closed_; }
+  const RdpStats& stats() const { return stats_; }
+  SocketAddr addr() const { return SocketAddr{host_, port_}; }
+
+ private:
+  struct PeerKey {
+    SocketAddr addr;
+    bool operator<(const PeerKey& o) const {
+      if (addr.host != o.addr.host) return addr.host < o.addr.host;
+      return addr.port < o.addr.port;
+    }
+  };
+  struct Outgoing {
+    std::vector<uint8_t> payload;
+    SentFn done;
+  };
+  struct PeerState {
+    uint64_t next_send_seq = 0;   // seq of the next *new* message
+    uint64_t next_recv_seq = 0;   // seq expected from this peer
+    bool in_flight = false;
+    int retries_left = 0;
+    sim::EventId retransmit_ev = sim::kInvalidEventId;
+    std::deque<Outgoing> queue;   // head = the in-flight message
+  };
+
+  void OnDgram(SocketAddr from, const std::vector<uint8_t>& data);
+  void PumpPeer(const PeerKey& key, PeerState& peer);
+  void TransmitHead(const PeerKey& key, PeerState& peer);
+  void HandleAck(const PeerKey& key, uint64_t seq);
+  void FailHead(const PeerKey& key, PeerState& peer);
+
+  Network& net_;
+  HostId host_;
+  Port port_;
+  RecvFn on_recv_;
+  RdpParams params_;
+  std::map<PeerKey, PeerState> peers_;
+  RdpStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace ppm::net

@@ -1,0 +1,78 @@
+#include "sim/rng.h"
+
+#include <cmath>
+
+#include "util/panic.h"
+
+namespace ppm::sim {
+
+namespace {
+// splitmix64, used to expand the seed into the xoshiro state.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+  // All-zero state would be absorbing; splitmix cannot produce four zero
+  // outputs from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Below(uint64_t bound) {
+  PPM_CHECK(bound != 0);
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::Range(int64_t lo, int64_t hi) {
+  PPM_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(Below(span));
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0,1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Exponential(double mean) {
+  PPM_CHECK(mean > 0);
+  double u = NextDouble();
+  // Avoid log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+bool Rng::Chance(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return NextDouble() < p;
+}
+
+}  // namespace ppm::sim

@@ -1,0 +1,43 @@
+// rng.h — deterministic pseudo-random number generation.
+//
+// The simulator owns a single seeded generator; every stochastic choice
+// (load-generator burst lengths, probe jitter, workload inter-arrival
+// times) draws from it, which makes whole-system runs reproducible from
+// the seed alone.  The generator is xoshiro256**, chosen for speed and
+// well-understood statistical quality; we avoid std::mt19937 so that the
+// byte-for-byte stream is stable across standard library versions.
+#pragma once
+
+#include <cstdint>
+
+namespace ppm::sim {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform on [0, 2^64).
+  uint64_t Next();
+
+  // Uniform on [0, bound); bound must be nonzero.  Uses rejection
+  // sampling, so the distribution is exact.
+  uint64_t Below(uint64_t bound);
+
+  // Uniform on [lo, hi] inclusive; requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  // Uniform on [0, 1).
+  double NextDouble();
+
+  // Exponentially distributed with the given mean (> 0); used for
+  // Poisson process inter-arrival times in the workload generators.
+  double Exponential(double mean);
+
+  // True with probability p (clamped to [0,1]).
+  bool Chance(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ppm::sim

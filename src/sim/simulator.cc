@@ -1,0 +1,107 @@
+#include "sim/simulator.h"
+
+#include "util/log.h"
+#include "util/panic.h"
+
+namespace ppm::sim {
+
+Simulator::Simulator(uint64_t seed) : rng_(seed) {
+  util::Logger::Instance().set_time_source([this] { return now_; });
+}
+
+Simulator::~Simulator() { util::Logger::Instance().set_time_source(nullptr); }
+
+EventId Simulator::ScheduleIn(SimDuration delay, EventFn fn, const char* label) {
+  if (delay < 0) delay = 0;
+  return ScheduleAt(now_ + static_cast<SimTime>(delay), std::move(fn), label);
+}
+
+EventId Simulator::ScheduleAt(SimTime at, EventFn fn, const char* label) {
+  PPM_CHECK(fn != nullptr);
+  if (at < now_) at = now_;
+  EventId id = next_id_++;
+  queue_.push(Event{at, seq_++, id, std::move(fn), label});
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (id == kInvalidEventId) return false;
+  // Only mark as cancelled if it could still be pending; the set is
+  // cleaned as cancelled events surface at the queue head.
+  return cancelled_.insert(id).second;
+}
+
+bool Simulator::PopNext(Event& out) {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    out = std::move(ev);
+    return true;
+  }
+  return false;
+}
+
+size_t Simulator::RunUntil(SimTime until) {
+  size_t n = 0;
+  Event ev;
+  while (PopNext(ev)) {
+    if (ev.at > until) {
+      // Past the horizon: put it back untouched for a later call.
+      queue_.push(std::move(ev));
+      break;
+    }
+    now_ = ev.at;
+    ++fired_;
+    ++n;
+    ev.fn();
+  }
+  // Advance the clock to the horizon even if the queue drained early so
+  // that repeated RunUntil calls form a monotonic timeline.
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+size_t Simulator::Run(size_t max_events) {
+  size_t n = 0;
+  Event ev;
+  while (n < max_events && PopNext(ev)) {
+    now_ = ev.at;
+    ++fired_;
+    ++n;
+    ev.fn();
+  }
+  PPM_CHECK_MSG(n < max_events, "simulator exceeded max_events; runaway event loop?");
+  return n;
+}
+
+bool Simulator::Step() {
+  Event ev;
+  if (!PopNext(ev)) return false;
+  now_ = ev.at;
+  ++fired_;
+  ev.fn();
+  return true;
+}
+
+SimTime Simulator::NextEventTime() const {
+  // The queue may have cancelled events at the head; peek past them by
+  // copying (cheap: only happens for the few cancelled-at-head cases).
+  auto copy = queue_;
+  while (!copy.empty()) {
+    const Event& ev = copy.top();
+    if (!cancelled_.count(ev.id)) return ev.at;
+    copy.pop();
+  }
+  return kSimTimeNever;
+}
+
+size_t Simulator::pending_events() const {
+  return queue_.size() >= cancelled_.size() ? queue_.size() - cancelled_.size() : 0;
+}
+
+}  // namespace ppm::sim

@@ -1,0 +1,96 @@
+// simulator.h — the discrete-event simulation kernel.
+//
+// Everything in the reproduction — network message delivery, kernel
+// scheduling ticks, LPM timeouts, crash-coordinator probes — is an event
+// on one global virtual-time queue.  The simulator is single-threaded
+// and fully deterministic: events at equal timestamps fire in the order
+// they were scheduled (FIFO tie-break by sequence number), and all
+// randomness flows from one seeded Rng.
+//
+// Cancellation is by token: schedulers receive an EventId and may cancel
+// it later (e.g. an LPM cancels its time-to-live timer when a new tool
+// connects).  Cancelled events stay in the heap but are skipped on pop,
+// which keeps cancel O(1).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace ppm::sim {
+
+using EventFn = std::function<void()>;
+using EventId = uint64_t;
+
+constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedules `fn` to run `delay` from now (delay < 0 is clamped to 0).
+  // Returns a token usable with Cancel().
+  EventId ScheduleIn(SimDuration delay, EventFn fn, const char* label = "");
+
+  // Schedules `fn` at absolute virtual time `at` (clamped to Now()).
+  EventId ScheduleAt(SimTime at, EventFn fn, const char* label = "");
+
+  // Cancels a pending event; returns true if it had not yet fired.
+  bool Cancel(EventId id);
+
+  // Runs until the queue is empty or `until` is reached, whichever is
+  // first.  Returns the number of events fired.
+  size_t RunUntil(SimTime until);
+
+  // Runs until the queue is empty.  `max_events` guards against runaway
+  // self-rescheduling loops in tests.
+  size_t Run(size_t max_events = 100'000'000);
+
+  // Fires exactly one event if any is pending; returns false when idle.
+  bool Step();
+
+  // Virtual time of the next pending event, or kSimTimeNever.
+  SimTime NextEventTime() const;
+
+  size_t pending_events() const;
+  uint64_t total_fired() const { return fired_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    EventId id;
+    EventFn fn;
+    const char* label;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool PopNext(Event& out);
+
+  SimTime now_ = 0;
+  uint64_t seq_ = 0;
+  EventId next_id_ = 1;
+  uint64_t fired_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  Rng rng_;
+};
+
+}  // namespace ppm::sim

@@ -1,0 +1,28 @@
+// time.h — the simulated time base.
+//
+// All latencies in the reproduction are expressed in virtual microseconds
+// so that the millisecond-scale numbers of the paper's Tables 1-3 can be
+// represented exactly and compared deterministically.
+#pragma once
+
+#include <cstdint>
+
+namespace ppm::sim {
+
+// Virtual time in microseconds since simulation start.
+using SimTime = uint64_t;
+
+// Signed duration in microseconds.
+using SimDuration = int64_t;
+
+constexpr SimTime kSimTimeNever = ~static_cast<SimTime>(0);
+
+constexpr SimDuration Micros(int64_t us) { return us; }
+constexpr SimDuration Millis(int64_t ms) { return ms * 1000; }
+constexpr SimDuration Seconds(int64_t s) { return s * 1000 * 1000; }
+
+// Converts a virtual duration to floating-point milliseconds, the unit
+// of every number reported in the paper.
+constexpr double ToMillis(SimDuration d) { return static_cast<double>(d) / 1000.0; }
+
+}  // namespace ppm::sim

@@ -1,0 +1,130 @@
+#include "tools/builtin_tools.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace ppm::tools {
+
+void RunSnapshotTool(PpmClient& client, std::function<void(const SnapshotResult&)> done) {
+  client.Snapshot([done = std::move(done)](const core::SnapshotResp& resp) {
+    SnapshotResult result;
+    result.ok = !resp.replier_host.empty();
+    result.forest = BuildForest(resp.records);
+    result.rendering = RenderForest(result.forest);
+    result.summary = SummarizeForest(result.forest);
+    result.hosts_covered = resp.forwarded_to;
+    done(result);
+  });
+}
+
+namespace {
+void SignalOne(PpmClient& client, const core::GPid& target, host::Signal sig,
+               std::function<void(bool, std::string)> done) {
+  client.Signal(target, sig, [done = std::move(done)](const core::SignalResp& resp) {
+    done(resp.ok, resp.error);
+  });
+}
+}  // namespace
+
+void StopProcess(PpmClient& client, const core::GPid& target,
+                 std::function<void(bool, std::string)> done) {
+  SignalOne(client, target, host::Signal::kSigStop, std::move(done));
+}
+
+void ResumeProcess(PpmClient& client, const core::GPid& target,
+                   std::function<void(bool, std::string)> done) {
+  SignalOne(client, target, host::Signal::kSigCont, std::move(done));
+}
+
+void KillProcess(PpmClient& client, const core::GPid& target,
+                 std::function<void(bool, std::string)> done) {
+  SignalOne(client, target, host::Signal::kSigKill, std::move(done));
+}
+
+void SignalComputation(PpmClient& client, host::Signal sig,
+                       std::function<void(size_t, size_t)> done) {
+  client.SignalAll(sig, std::move(done));
+}
+
+void RunRusageTool(PpmClient& client, const std::string& target_host,
+                   std::function<void(const RusageResult&)> done) {
+  client.Rusage(target_host, [done = std::move(done)](const core::RusageResp& resp) {
+    RusageResult result;
+    result.ok = resp.ok;
+    result.error = resp.error;
+    result.records = resp.records;
+    std::ostringstream out;
+    out << std::left << std::setw(18) << "PROCESS" << std::setw(14) << "COMMAND"
+        << std::setw(10) << "CPU(ms)" << std::setw(8) << "FORKS" << std::setw(8) << "MSGS"
+        << std::setw(8) << "FILES" << "EXIT\n";
+    for (const core::RusageRecord& rec : resp.records) {
+      out << std::left << std::setw(18) << core::ToString(rec.gpid) << std::setw(14)
+          << rec.command << std::setw(10) << std::fixed << std::setprecision(1)
+          << sim::ToMillis(rec.rusage.cpu_time) << std::setw(8) << rec.rusage.forks
+          << std::setw(8) << (rec.rusage.messages_sent + rec.rusage.messages_received)
+          << std::setw(8) << rec.rusage.files_opened;
+      if (rec.killed_by_signal) {
+        out << "killed(" << host::ToString(rec.death_signal) << ")";
+      } else {
+        out << "exit(" << rec.exit_status << ")";
+      }
+      out << "\n";
+    }
+    result.table = out.str();
+    done(result);
+  });
+}
+
+void RunFilesTool(PpmClient& client, const core::GPid& target,
+                  std::function<void(const FilesResult&)> done) {
+  client.OpenFiles(target, [target, done = std::move(done)](const core::FilesResp& resp) {
+    FilesResult result;
+    result.ok = resp.ok;
+    result.error = resp.error;
+    result.files = resp.files;
+    std::ostringstream out;
+    out << "open files of " << core::ToString(target) << ":\n";
+    for (const core::FileRecord& f : resp.files) {
+      out << "  fd " << std::setw(3) << f.fd << "  " << std::setw(4) << f.mode << "  "
+          << f.path << "\n";
+    }
+    result.table = out.str();
+    done(result);
+  });
+}
+
+void RunIpcTraceTool(PpmClient& client, const std::string& target_host,
+                     host::Pid pid_filter,
+                     std::function<void(const IpcTraceResult&)> done) {
+  client.History(target_host, pid_filter, 0,
+                 [done = std::move(done)](const core::HistoryResp& resp) {
+                   IpcTraceResult result;
+                   result.ok = resp.ok;
+                   result.error = resp.error;
+                   std::ostringstream out;
+                   for (const core::HistEvent& ev : resp.events) {
+                     if (ev.kind == host::KEvent::kIpcSend) {
+                       ++result.sends;
+                       result.bytes += static_cast<uint64_t>(ev.status);
+                     } else if (ev.kind == host::KEvent::kIpcRecv) {
+                       ++result.receives;
+                       result.bytes += static_cast<uint64_t>(ev.status);
+                     } else {
+                       continue;
+                     }
+                     char stamp[32];
+                     std::snprintf(stamp, sizeof(stamp), "%.1f",
+                                   sim::ToMillis(static_cast<sim::SimDuration>(ev.at)));
+                     out << "  t=" << stamp << "ms pid " << ev.pid << " "
+                         << (ev.kind == host::KEvent::kIpcSend ? "send" : "recv") << " "
+                         << ev.status << " bytes\n";
+                   }
+                   std::ostringstream head;
+                   head << "IPC activity: " << result.sends << " sends, " << result.receives
+                        << " receives, " << result.bytes << " bytes\n";
+                   result.report = head.str() + out.str();
+                   done(result);
+                 });
+}
+
+}  // namespace ppm::tools

@@ -1,0 +1,90 @@
+// builtin_tools.h — the built-in PPM tools.
+//
+// "At present, our implementation includes two tools: snapshots with
+// process control, and exited process resource consumption statistics."
+// (paper Section 6).  We implement those two, plus the tools the paper
+// lists as future work: an open-files/file-descriptor display and an IPC
+// activity trace.  Each tool is a thin formatting layer over PpmClient —
+// the architecture's point is precisely that tools stay trivial.
+//
+// Tool results are delivered as formatted text through callbacks, so
+// examples can print them and tests can assert on them.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "tools/client.h"
+#include "tools/display.h"
+
+namespace ppm::tools {
+
+// --- snapshot tool (with process control) -------------------------------
+
+struct SnapshotResult {
+  bool ok = false;
+  Forest forest;
+  std::string rendering;   // Figure-1 style ASCII forest
+  std::string summary;
+  std::vector<std::string> hosts_covered;
+};
+
+// Takes a genealogical snapshot of the whole distributed computation.
+void RunSnapshotTool(PpmClient& client, std::function<void(const SnapshotResult&)> done);
+
+// Process control verbs of the snapshot tool: "stop a process, execute
+// it in the foreground, execute it in the background, kill it".  In
+// 4.3BSD terms: SIGSTOP, SIGCONT (fg and bg both resume; the fg/bg
+// distinction is a terminal matter the PPM does not model), SIGKILL.
+void StopProcess(PpmClient& client, const core::GPid& target,
+                 std::function<void(bool, std::string)> done);
+void ResumeProcess(PpmClient& client, const core::GPid& target,
+                   std::function<void(bool, std::string)> done);
+void KillProcess(PpmClient& client, const core::GPid& target,
+                 std::function<void(bool, std::string)> done);
+
+// Stop (or kill, or resume) the entire computation across all hosts.
+void SignalComputation(PpmClient& client, host::Signal sig,
+                       std::function<void(size_t ok, size_t failed)> done);
+
+// --- exited-process statistics tool ----------------------------------------
+
+struct RusageResult {
+  bool ok = false;
+  std::string error;
+  std::vector<core::RusageRecord> records;
+  std::string table;  // formatted report
+};
+
+// Resource consumption of exited processes on `target_host` ("" = the
+// local host).
+void RunRusageTool(PpmClient& client, const std::string& target_host,
+                   std::function<void(const RusageResult&)> done);
+
+// --- future-work tools, implemented -------------------------------------------
+
+struct FilesResult {
+  bool ok = false;
+  std::string error;
+  std::vector<core::FileRecord> files;
+  std::string table;
+};
+
+// Open files / descriptors of one process anywhere in the computation.
+void RunFilesTool(PpmClient& client, const core::GPid& target,
+                  std::function<void(const FilesResult&)> done);
+
+struct IpcTraceResult {
+  bool ok = false;
+  std::string error;
+  uint64_t sends = 0;
+  uint64_t receives = 0;
+  uint64_t bytes = 0;
+  std::string report;
+};
+
+// IPC activity analysis from the LPM's event history on `target_host`.
+void RunIpcTraceTool(PpmClient& client, const std::string& target_host,
+                     host::Pid pid_filter, std::function<void(const IpcTraceResult&)> done);
+
+}  // namespace ppm::tools

@@ -1,0 +1,320 @@
+#include "tools/client.h"
+
+#include "daemon/protocol.h"
+#include "util/log.h"
+#include "util/panic.h"
+
+namespace ppm::tools {
+
+using core::GPid;
+
+PpmClient::PpmClient(host::Host& host, std::string user, host::Uid uid,
+                     std::string tool_name)
+    : host_(host), user_(std::move(user)), uid_(uid), tool_name_(std::move(tool_name)) {}
+
+void PpmClient::OnShutdown() {
+  if (host_.up() && conn_ != net::kInvalidConn) host_.network().Abort(conn_);
+  conn_ = net::kInvalidConn;
+  connected_ = false;
+  FailAllPending("tool shutting down");
+}
+
+void PpmClient::Start(std::function<void(bool, std::string)> done) {
+  PPM_CHECK_MSG(!connected_, "Start called twice");
+  start_done_ = std::move(done);
+  // Figure 2, steps (1)-(4): contact the local inetd.
+  net::ConnCallbacks cb;
+  cb.on_data = [this](net::ConnId c, const std::vector<uint8_t>& bytes) {
+    auto resp = daemon::LpmResponse::Parse(bytes);
+    host_.network().Close(c);
+    if (!resp || !resp->ok) {
+      auto done_fn = std::move(start_done_);
+      start_done_ = nullptr;
+      if (done_fn) done_fn(false, resp ? resp->error : "bad pmd response");
+      return;
+    }
+    // Connect to the LPM's accept socket and say hello as a tool.
+    net::ConnCallbacks lpm_cb;
+    lpm_cb.on_data = [this](net::ConnId c2, const std::vector<uint8_t>& b) {
+      OnLpmData(c2, b);
+    };
+    lpm_cb.on_close = [this](net::ConnId c2, net::CloseReason r) { OnLpmClose(c2, r); };
+    host_.network().Connect(
+        host_.net_id(), resp->accept_addr, std::move(lpm_cb),
+        [this](std::optional<net::ConnId> c2) {
+          if (!c2) {
+            auto done_fn = std::move(start_done_);
+            start_done_ = nullptr;
+            if (done_fn) done_fn(false, "LPM accept socket unreachable");
+            return;
+          }
+          conn_ = *c2;
+          core::HelloTool hello;
+          hello.user = user_;
+          hello.uid = uid_;
+          hello.tool_name = tool_name_;
+          host_.network().Send(conn_, core::Serialize(Msg{hello}));
+        });
+  };
+  cb.on_close = [](net::ConnId, net::CloseReason) {};
+  host_.network().Connect(
+      host_.net_id(), net::SocketAddr{host_.net_id(), net::kInetdPort}, std::move(cb),
+      [this](std::optional<net::ConnId> c) {
+        if (!c) {
+          auto done_fn = std::move(start_done_);
+          start_done_ = nullptr;
+          if (done_fn) done_fn(false, "inetd unreachable");
+          return;
+        }
+        daemon::LpmRequest req;
+        req.user = user_;
+        req.origin_host = host_.name();
+        req.origin_user = user_;
+        host_.network().Send(*c, req.Serialize());
+      });
+}
+
+void PpmClient::OnLpmData(net::ConnId conn, const std::vector<uint8_t>& bytes) {
+  if (conn != conn_) return;
+  host_.kernel().RecordIpc(pid(), /*sent=*/false, bytes.size());
+  auto msg = core::Parse(bytes);
+  if (!msg) return;
+
+  if (!connected_) {
+    if (const auto* ack = std::get_if<core::HelloAck>(&*msg)) {
+      connected_ = true;
+      lpm_host_ = ack->host;
+      ccs_host_ = ack->ccs_host;
+      auto done_fn = std::move(start_done_);
+      start_done_ = nullptr;
+      if (done_fn) done_fn(true, "");
+    } else if (const auto* rej = std::get_if<core::HelloReject>(&*msg)) {
+      auto done_fn = std::move(start_done_);
+      start_done_ = nullptr;
+      if (done_fn) done_fn(false, rej->reason);
+    }
+    return;
+  }
+
+  // Correlate by req_id.
+  uint64_t req_id = 0;
+  std::visit(
+      [&req_id](const auto& m) {
+        if constexpr (requires { m.req_id; }) {
+          req_id = m.req_id;
+        } else {
+          (void)m;
+        }
+      },
+      *msg);
+  auto it = pending_.find(req_id);
+  if (it == pending_.end()) return;
+  auto cb = std::move(it->second);
+  pending_.erase(it);
+  cb(&*msg);
+}
+
+void PpmClient::OnLpmClose(net::ConnId conn, net::CloseReason reason) {
+  if (conn != conn_) return;
+  conn_ = net::kInvalidConn;
+  connected_ = false;
+  if (start_done_) {
+    auto done_fn = std::move(start_done_);
+    start_done_ = nullptr;
+    done_fn(false, std::string("LPM circuit closed: ") + net::ToString(reason));
+  }
+  FailAllPending(std::string("LPM circuit closed: ") + net::ToString(reason));
+}
+
+void PpmClient::FailAllPending(const std::string& why) {
+  (void)why;
+  auto pending = std::move(pending_);
+  pending_.clear();
+  for (auto& [id, cb] : pending) cb(nullptr);
+}
+
+void PpmClient::SendRequest(const Msg& msg) {
+  PPM_CHECK_MSG(connected_, "client not connected");
+  host_.kernel().RecordIpc(pid(), /*sent=*/true, 0);
+  host_.network().Send(conn_, core::Serialize(msg));
+}
+
+template <typename RespT>
+void PpmClient::Expect(uint64_t req_id, std::function<void(const RespT&)> done) {
+  pending_[req_id] = [done = std::move(done)](const Msg* msg) {
+    if (msg != nullptr) {
+      if (const auto* resp = std::get_if<RespT>(msg)) {
+        done(*resp);
+        return;
+      }
+    }
+    RespT failed;
+    failed.ok = false;
+    failed.error = "request failed: channel lost";
+    done(failed);
+  };
+}
+
+// SnapshotResp has no ok/error fields; specialize its failure shape.
+template <>
+void PpmClient::Expect<core::SnapshotResp>(
+    uint64_t req_id, std::function<void(const core::SnapshotResp&)> done) {
+  pending_[req_id] = [done = std::move(done)](const Msg* msg) {
+    if (msg != nullptr) {
+      if (const auto* resp = std::get_if<core::SnapshotResp>(msg)) {
+        done(*resp);
+        return;
+      }
+    }
+    done(core::SnapshotResp{});  // empty: no records, no coverage
+  };
+}
+
+void PpmClient::CreateProcess(const std::string& target_host, const std::string& command,
+                              const GPid& logical_parent,
+                              std::function<void(const core::CreateResp&)> done,
+                              bool initially_running) {
+  core::CreateReq req;
+  req.req_id = NextReqId();
+  req.target_host = target_host;
+  req.command = command;
+  req.logical_parent = logical_parent;
+  req.initially_running = initially_running;
+  Expect<core::CreateResp>(req.req_id, std::move(done));
+  SendRequest(Msg{req});
+}
+
+void PpmClient::Signal(const GPid& target, host::Signal sig,
+                       std::function<void(const core::SignalResp&)> done) {
+  core::SignalReq req;
+  req.req_id = NextReqId();
+  req.target = target;
+  req.sig = sig;
+  Expect<core::SignalResp>(req.req_id, std::move(done));
+  SendRequest(Msg{req});
+}
+
+void PpmClient::Snapshot(std::function<void(const core::SnapshotResp&)> done) {
+  core::SnapshotReq req;
+  req.req_id = NextReqId();
+  // origin_host empty = "originate a snapshot for me".
+  Expect<core::SnapshotResp>(req.req_id, std::move(done));
+  SendRequest(Msg{req});
+}
+
+void PpmClient::Rusage(const std::string& target_host,
+                       std::function<void(const core::RusageResp&)> done) {
+  core::RusageReq req;
+  req.req_id = NextReqId();
+  req.target_host = target_host;
+  Expect<core::RusageResp>(req.req_id, std::move(done));
+  SendRequest(Msg{req});
+}
+
+void PpmClient::Adopt(const GPid& target, uint32_t trace_mask,
+                      std::function<void(const core::AdoptResp&)> done) {
+  core::AdoptReq req;
+  req.req_id = NextReqId();
+  req.target = target;
+  req.trace_mask = trace_mask;
+  Expect<core::AdoptResp>(req.req_id, std::move(done));
+  SendRequest(Msg{req});
+}
+
+void PpmClient::SetTraceMask(const GPid& target, uint32_t trace_mask,
+                             std::function<void(const core::TraceResp&)> done) {
+  core::TraceReq req;
+  req.req_id = NextReqId();
+  req.target = target;
+  req.trace_mask = trace_mask;
+  Expect<core::TraceResp>(req.req_id, std::move(done));
+  SendRequest(Msg{req});
+}
+
+void PpmClient::History(const std::string& target_host, host::Pid pid_filter, uint32_t max,
+                        std::function<void(const core::HistoryResp&)> done) {
+  core::HistoryReq req;
+  req.req_id = NextReqId();
+  req.target_host = target_host;
+  req.pid_filter = pid_filter;
+  req.max_events = max;
+  Expect<core::HistoryResp>(req.req_id, std::move(done));
+  SendRequest(Msg{req});
+}
+
+void PpmClient::InstallTrigger(const std::string& target_host, const core::TriggerSpec& spec,
+                               std::function<void(const core::TriggerResp&)> done) {
+  core::TriggerReq req;
+  req.req_id = NextReqId();
+  req.target_host = target_host;
+  req.spec = spec;
+  Expect<core::TriggerResp>(req.req_id, std::move(done));
+  SendRequest(Msg{req});
+}
+
+void PpmClient::OpenFiles(const GPid& target,
+                          std::function<void(const core::FilesResp&)> done) {
+  core::FilesReq req;
+  req.req_id = NextReqId();
+  req.target = target;
+  Expect<core::FilesResp>(req.req_id, std::move(done));
+  SendRequest(Msg{req});
+}
+
+void PpmClient::Migrate(const GPid& target, const std::string& dest_host,
+                        std::function<void(const core::MigrateResp&)> done) {
+  core::MigrateReq req;
+  req.req_id = NextReqId();
+  req.target = target;
+  req.dest_host = dest_host;
+  Expect<core::MigrateResp>(req.req_id, std::move(done));
+  SendRequest(Msg{req});
+}
+
+void PpmClient::SignalAll(host::Signal sig,
+                          std::function<void(size_t, size_t)> done) {
+  // Composite: snapshot to locate every process, then signal each one
+  // wherever it lives.  This is the tool-level realization of
+  // "broadcasting a software interrupt".
+  Snapshot([this, sig, done = std::move(done)](const core::SnapshotResp& snap) {
+    std::vector<GPid> targets;
+    for (const core::ProcRecord& rec : snap.records) {
+      if (!rec.exited) targets.push_back(rec.gpid);
+    }
+    if (targets.empty()) {
+      done(0, 0);
+      return;
+    }
+    auto ok = std::make_shared<size_t>(0);
+    auto failed = std::make_shared<size_t>(0);
+    auto left = std::make_shared<size_t>(targets.size());
+    for (const GPid& g : targets) {
+      Signal(g, sig, [ok, failed, left, done](const core::SignalResp& resp) {
+        if (resp.ok) {
+          ++*ok;
+        } else {
+          ++*failed;
+        }
+        if (--*left == 0) done(*ok, *failed);
+      });
+    }
+  });
+}
+
+void PpmClient::Disconnect() {
+  if (conn_ != net::kInvalidConn && host_.up()) host_.network().Close(conn_);
+  conn_ = net::kInvalidConn;
+  connected_ = false;
+  FailAllPending("disconnected");
+}
+
+PpmClient* SpawnTool(host::Host& host, const std::string& user, host::Uid uid,
+                     const std::string& tool_name) {
+  auto body = std::make_unique<PpmClient>(host, user, uid, tool_name);
+  PpmClient* raw = body.get();
+  host.kernel().Spawn(host::kNoPid, uid, tool_name, std::move(body),
+                      host::ProcState::kSleeping);
+  return raw;
+}
+
+}  // namespace ppm::tools

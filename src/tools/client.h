@@ -1,0 +1,104 @@
+// client.h — the PPM subroutine library.
+//
+// "A library of subroutines handles most interactions with the PPM, so
+// that user-written programs may easily make use of PPM's capabilities."
+// (paper Section 6).  PpmClient is that library: a tool links it, calls
+// Start() to reach (and if necessary create, via inetd/pmd) the local
+// LPM, and then issues typed asynchronous requests.  The client is
+// itself a simulated process — tools are ordinary user programs.
+//
+// All calls are callback-style because the world is event-driven; the
+// callbacks fire from the simulation loop.  Every entry point mirrors
+// one LPM wire request; the PPM's distributed machinery (forwarding,
+// broadcast, recovery) stays entirely behind the local LPM, which is the
+// paper's central interface claim: tools "ignore all topological aspects
+// of requesting and gathering distributed information".
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "core/wire.h"
+#include "host/host.h"
+
+namespace ppm::tools {
+
+using core::Msg;
+
+class PpmClient : public host::ProcessBody {
+ public:
+  PpmClient(host::Host& host, std::string user, host::Uid uid, std::string tool_name);
+
+  void OnShutdown() override;
+
+  // Reaches the local LPM (creating it through inetd/pmd if absent) and
+  // authenticates.  `done(ok, error)` fires when the session is up.
+  void Start(std::function<void(bool, std::string)> done);
+
+  bool connected() const { return connected_; }
+  const std::string& lpm_host() const { return lpm_host_; }
+  std::string session_ccs() const { return ccs_host_; }
+
+  // --- requests (one per PPM capability) ------------------------------
+  // `initially_running` false starts the child off the run queue
+  // (sleeping), e.g. a server that waits for input immediately.
+  void CreateProcess(const std::string& target_host, const std::string& command,
+                     const core::GPid& logical_parent,
+                     std::function<void(const core::CreateResp&)> done,
+                     bool initially_running = true);
+  void Signal(const core::GPid& target, host::Signal sig,
+              std::function<void(const core::SignalResp&)> done);
+  void Snapshot(std::function<void(const core::SnapshotResp&)> done);
+  void Rusage(const std::string& target_host,
+              std::function<void(const core::RusageResp&)> done);
+  void Adopt(const core::GPid& target, uint32_t trace_mask,
+             std::function<void(const core::AdoptResp&)> done);
+  void SetTraceMask(const core::GPid& target, uint32_t trace_mask,
+                    std::function<void(const core::TraceResp&)> done);
+  void History(const std::string& target_host, host::Pid pid_filter, uint32_t max,
+               std::function<void(const core::HistoryResp&)> done);
+  void InstallTrigger(const std::string& target_host, const core::TriggerSpec& spec,
+                      std::function<void(const core::TriggerResp&)> done);
+  void OpenFiles(const core::GPid& target,
+                 std::function<void(const core::FilesResp&)> done);
+  // Moves a process to another host (extension; see core/wire.h).
+  void Migrate(const core::GPid& target, const std::string& dest_host,
+               std::function<void(const core::MigrateResp&)> done);
+
+  // Convenience composites used by the built-in tools:
+  // stop / continue / kill every process in the user's computation
+  // ("broadcasting, say, a software interrupt to stop execution").
+  void SignalAll(host::Signal sig,
+                 std::function<void(size_t ok, size_t failed)> done);
+
+  void Disconnect();
+
+ private:
+  template <typename RespT>
+  void Expect(uint64_t req_id, std::function<void(const RespT&)> done);
+  void SendRequest(const Msg& msg);
+  void OnLpmData(net::ConnId conn, const std::vector<uint8_t>& bytes);
+  void OnLpmClose(net::ConnId conn, net::CloseReason reason);
+  void FailAllPending(const std::string& why);
+  uint64_t NextReqId() { return next_req_id_++; }
+
+  host::Host& host_;
+  std::string user_;
+  host::Uid uid_;
+  std::string tool_name_;
+  net::ConnId conn_ = net::kInvalidConn;
+  bool connected_ = false;
+  std::string lpm_host_;
+  std::string ccs_host_;
+  std::function<void(bool, std::string)> start_done_;
+  uint64_t next_req_id_ = 1;
+  std::map<uint64_t, std::function<void(const Msg*)>> pending_;
+};
+
+// Spawns a tool process on `host` running a PpmClient body; the returned
+// pointer is owned by the process table and valid while the tool lives.
+PpmClient* SpawnTool(host::Host& host, const std::string& user, host::Uid uid,
+                     const std::string& tool_name);
+
+}  // namespace ppm::tools

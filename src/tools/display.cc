@@ -1,0 +1,97 @@
+#include "tools/display.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace ppm::tools {
+
+using core::GPid;
+using core::ProcRecord;
+
+size_t Forest::HostCount() const {
+  std::set<std::string> hosts;
+  for (const ForestNode& n : nodes) hosts.insert(n.record.gpid.host);
+  return hosts.size();
+}
+
+Forest BuildForest(const std::vector<ProcRecord>& records) {
+  Forest forest;
+  // Deterministic node order.
+  std::vector<ProcRecord> sorted = records;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ProcRecord& a, const ProcRecord& b) { return a.gpid < b.gpid; });
+  // Duplicate suppression: a snapshot assembled from several repliers
+  // can in principle carry the same gpid twice.
+  std::map<GPid, size_t> index;
+  for (const ProcRecord& rec : sorted) {
+    if (index.count(rec.gpid)) continue;
+    index[rec.gpid] = forest.nodes.size();
+    forest.nodes.push_back(ForestNode{rec, {}});
+  }
+  for (size_t i = 0; i < forest.nodes.size(); ++i) {
+    const ProcRecord& rec = forest.nodes[i].record;
+    auto pit = rec.logical_parent.valid() ? index.find(rec.logical_parent) : index.end();
+    if (pit == index.end()) {
+      forest.roots.push_back(i);
+    } else {
+      forest.nodes[pit->second].children.push_back(i);
+    }
+  }
+  return forest;
+}
+
+namespace {
+
+void RenderNode(const Forest& forest, size_t idx, const std::string& prefix, bool last,
+                bool is_root, std::ostringstream& out) {
+  const ProcRecord& rec = forest.nodes[idx].record;
+  out << prefix;
+  if (!is_root) out << (last ? "`-- " : "|-- ");
+  out << core::ToString(rec.gpid) << " " << rec.command;
+  if (rec.exited) {
+    out << " (exited)";
+  } else {
+    out << " [" << host::ToString(rec.state) << "]";
+  }
+  out << "\n";
+  const auto& children = forest.nodes[idx].children;
+  std::string child_prefix = prefix;
+  if (!is_root) child_prefix += last ? "    " : "|   ";
+  for (size_t i = 0; i < children.size(); ++i) {
+    RenderNode(forest, children[i], child_prefix, i + 1 == children.size(), false, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderForest(const Forest& forest) {
+  std::ostringstream out;
+  for (size_t i = 0; i < forest.roots.size(); ++i) {
+    if (i) out << "\n";
+    RenderNode(forest, forest.roots[i], "", true, true, out);
+  }
+  return out.str();
+}
+
+std::string SummarizeForest(const Forest& forest) {
+  size_t running = 0, stopped = 0, sleeping = 0, exited = 0;
+  for (const ForestNode& n : forest.nodes) {
+    if (n.record.exited) {
+      ++exited;
+    } else if (n.record.state == host::ProcState::kStopped) {
+      ++stopped;
+    } else if (n.record.state == host::ProcState::kSleeping) {
+      ++sleeping;
+    } else {
+      ++running;
+    }
+  }
+  std::ostringstream out;
+  out << forest.nodes.size() << " processes on " << forest.HostCount() << " hosts: "
+      << running << " running, " << sleeping << " sleeping, " << stopped << " stopped, "
+      << exited << " exited";
+  return out.str();
+}
+
+}  // namespace ppm::tools

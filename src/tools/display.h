@@ -1,0 +1,51 @@
+// display.h — genealogical forest assembly and rendering.
+//
+// Turns the flat ProcRecord list of a snapshot into the tree-with-
+// host-boundaries display of the paper's Figure 1.  The structure may be
+// a forest: processes whose logical parent is unknown (parent exited
+// long ago, parent's host crashed, or genuinely a root) become roots.
+// Exited processes that still anchor children are rendered with an
+// "(exited)" mark, per the paper's display rule.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace ppm::tools {
+
+struct ForestNode {
+  core::ProcRecord record;
+  std::vector<size_t> children;  // indices into Forest::nodes
+};
+
+struct Forest {
+  std::vector<ForestNode> nodes;
+  std::vector<size_t> roots;  // indices, in deterministic order
+
+  size_t size() const { return nodes.size(); }
+  // Number of distinct hosts appearing in the snapshot.
+  size_t HostCount() const;
+  // True if every record hangs off a single root (tree, not forest).
+  bool IsTree() const { return roots.size() <= 1; }
+};
+
+// Assembles the forest.  Records are matched to parents by GPid; orphans
+// become roots.  Deterministic: roots and children sorted by GPid.
+Forest BuildForest(const std::vector<core::ProcRecord>& records);
+
+// Renders an ASCII tree, one process per line:
+//   <vaxA,12> cruncher [running]
+//   +-- <vaxA,13> worker [stopped]
+//   +-- <vaxB,7> worker (exited)
+// Host boundaries are visible in every line because identity is
+// <host, pid>.
+std::string RenderForest(const Forest& forest);
+
+// One-line summary per state for quick assertions:
+// "7 processes on 3 hosts: 5 running, 1 stopped, 1 exited".
+std::string SummarizeForest(const Forest& forest);
+
+}  // namespace ppm::tools

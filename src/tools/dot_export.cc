@@ -1,0 +1,80 @@
+#include "tools/dot_export.h"
+
+#include <map>
+#include <sstream>
+
+namespace ppm::tools {
+
+namespace {
+
+// DOT identifiers cannot contain arbitrary characters; quote + escape.
+std::string Quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string NodeId(const core::GPid& g) {
+  return "\"" + g.host + "_" + std::to_string(g.pid) + "\"";
+}
+
+const char* FillFor(const core::ProcRecord& rec) {
+  if (rec.exited) return "lightgray";
+  switch (rec.state) {
+    case host::ProcState::kRunning: return "palegreen";
+    case host::ProcState::kSleeping: return "lightyellow";
+    case host::ProcState::kStopped: return "lightsalmon";
+    default: return "white";
+  }
+}
+
+}  // namespace
+
+std::string ExportDot(const std::vector<core::ProcRecord>& records,
+                      const DotOptions& options) {
+  std::ostringstream out;
+  out << "digraph " << Quoted(options.graph_name) << " {\n";
+  if (options.rankdir_lr) out << "  rankdir=LR;\n";
+  out << "  node [shape=box, style=filled, fontname=\"Courier\"];\n";
+
+  std::map<std::string, std::vector<const core::ProcRecord*>> by_host;
+  for (const core::ProcRecord& rec : records) by_host[rec.gpid.host].push_back(&rec);
+
+  size_t cluster = 0;
+  for (const auto& [host_name, recs] : by_host) {
+    if (options.cluster_by_host) {
+      out << "  subgraph cluster_" << cluster++ << " {\n";
+      out << "    label=" << Quoted(host_name) << ";\n";
+      out << "    style=dashed;\n";
+    }
+    for (const core::ProcRecord* rec : recs) {
+      std::string label = core::ToString(rec->gpid) + "\\n" + rec->command;
+      if (rec->exited) {
+        label += "\\n(exited)";
+      } else {
+        label += std::string("\\n[") + host::ToString(rec->state) + "]";
+      }
+      out << (options.cluster_by_host ? "    " : "  ") << NodeId(rec->gpid)
+          << " [label=" << Quoted(label) << ", fillcolor=" << FillFor(*rec) << "];\n";
+    }
+    if (options.cluster_by_host) out << "  }\n";
+  }
+
+  // Parent edges; cross-host edges dashed (a machine boundary crossed).
+  std::map<core::GPid, const core::ProcRecord*> index;
+  for (const core::ProcRecord& rec : records) index[rec.gpid] = &rec;
+  for (const core::ProcRecord& rec : records) {
+    if (!rec.logical_parent.valid() || !index.count(rec.logical_parent)) continue;
+    out << "  " << NodeId(rec.logical_parent) << " -> " << NodeId(rec.gpid);
+    if (rec.logical_parent.host != rec.gpid.host) out << " [style=dashed]";
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace ppm::tools

@@ -1,0 +1,28 @@
+// dot_export.h — graphical display of a snapshot (paper Section 7:
+// "Work is beginning on graphics interfaces for these tools" and the
+// future-work list's "display tool").
+//
+// Emits Graphviz DOT: one cluster per host (machine boundaries are the
+// point of the diagram, exactly as in the paper's Figure 1), one node
+// per process coloured by state, and edges for logical parentage —
+// dashed when they cross a host boundary.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace ppm::tools {
+
+struct DotOptions {
+  std::string graph_name = "ppm";
+  bool cluster_by_host = true;   // draw host boundaries
+  bool rankdir_lr = false;       // left-to-right instead of top-down
+};
+
+// Renders snapshot records as a DOT digraph.
+std::string ExportDot(const std::vector<core::ProcRecord>& records,
+                      const DotOptions& options = {});
+
+}  // namespace ppm::tools

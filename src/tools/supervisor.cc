@@ -1,0 +1,99 @@
+#include "tools/supervisor.h"
+
+#include "util/log.h"
+
+namespace ppm::tools {
+
+Supervisor::Supervisor(core::Cluster& cluster, PpmClient& client, SupervisorConfig config)
+    : cluster_(cluster), client_(client), config_(config) {}
+
+void Supervisor::Launch(const std::vector<WorkerSpec>& workers) {
+  running_ = true;
+  for (const WorkerSpec& spec : workers) {
+    specs_[spec.name] = spec;
+    status_[spec.name] = WorkerStatus{};
+    StartWorker(spec.name, 0);
+  }
+  poll_event_ = cluster_.simulator().ScheduleIn(config_.poll_interval, [this] { Poll(); },
+                                                "supervisor-poll");
+}
+
+void Supervisor::Stop() {
+  running_ = false;
+  cluster_.simulator().Cancel(poll_event_);
+  poll_event_ = sim::kInvalidEventId;
+}
+
+bool Supervisor::AllHealthy() const {
+  for (const auto& [name, st] : status_) {
+    if (st.failed || !st.gpid.valid()) return false;
+  }
+  return !status_.empty();
+}
+
+void Supervisor::StartWorker(const std::string& name, size_t host_index) {
+  const WorkerSpec& spec = specs_[name];
+  WorkerStatus& st = status_[name];
+  if (st.failed) return;
+  if (host_index >= spec.hosts.size()) {
+    // No host reachable for this incarnation.
+    st.failed = true;
+    st.gpid = core::GPid{};
+    if (on_event_) on_event_(name, "failed", "");
+    return;
+  }
+  const std::string target = spec.hosts[host_index];
+  client_.CreateProcess(target, spec.command, {}, [this, name, host_index,
+                                                   target](const core::CreateResp& r) {
+    if (!running_) return;
+    WorkerStatus& st = status_[name];
+    if (!r.ok) {
+      // This host refused or is unreachable; walk the fallback list.
+      StartWorker(name, host_index + 1);
+      return;
+    }
+    bool restart = st.restarts > 0;
+    st.gpid = r.gpid;
+    st.host = target;
+    if (on_event_) on_event_(name, restart ? "restarted" : "started", target);
+  });
+}
+
+void Supervisor::Poll() {
+  poll_event_ = sim::kInvalidEventId;
+  if (!running_) return;
+  client_.Snapshot([this](const core::SnapshotResp& snap) {
+    if (!running_) return;
+    // Which incarnations are still visibly alive?
+    std::map<core::GPid, bool> alive;
+    for (const core::ProcRecord& rec : snap.records) {
+      if (!rec.exited) alive[rec.gpid] = true;
+    }
+    for (auto& [name, st] : status_) {
+      if (st.failed || !st.gpid.valid()) continue;
+      if (!alive.count(st.gpid)) HandleExit(name);
+    }
+    if (running_) {
+      poll_event_ = cluster_.simulator().ScheduleIn(config_.poll_interval,
+                                                    [this] { Poll(); }, "supervisor-poll");
+    }
+  });
+}
+
+void Supervisor::HandleExit(const std::string& name) {
+  WorkerStatus& st = status_[name];
+  st.gpid = core::GPid{};
+  if (st.restarts >= config_.max_restarts_per_worker) {
+    st.failed = true;
+    if (on_event_) on_event_(name, "failed", st.host);
+    return;
+  }
+  ++st.restarts;
+  ++total_restarts_;
+  // Home-first placement: walk the host list from the top, so a worker
+  // displaced by a crash returns home once its machine is back —
+  // "control would have to be carefully transferred to another host".
+  StartWorker(name, 0);
+}
+
+}  // namespace ppm::tools

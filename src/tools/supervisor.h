@@ -1,0 +1,85 @@
+// supervisor.h — resilient computations layered on the PPM.
+//
+// Paper Section 5: "Were we managing resilient computations, control
+// would have to be carefully transferred to another host.  This can be
+// achieved with robust protocols implemented on top of our basic
+// mechanism.  We have chosen not to do so in our first implementation."
+// Section 7 likewise lists "management of resilient computations" as a
+// direction.  This class is that robust protocol: a user-level
+// supervisor that keeps a set of workers alive using only public PPM
+// primitives (create, history, snapshot) — no new kernel or LPM support.
+//
+// Policy: each worker has a home host and an ordered list of fallback
+// hosts.  The supervisor polls the event history of the hosts it uses
+// (on-demand, in the PPM spirit) and, when it sees a worker's exit,
+// restarts it — on the same host if reachable, else on the next
+// fallback — up to a restart budget.  A worker that exhausts its budget
+// is declared failed.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "tools/client.h"
+
+namespace ppm::tools {
+
+struct WorkerSpec {
+  std::string name;                 // stable logical identity
+  std::string command;
+  std::vector<std::string> hosts;   // home first, then fallbacks
+};
+
+struct SupervisorConfig {
+  int max_restarts_per_worker = 3;
+  sim::SimDuration poll_interval = sim::Seconds(2);
+};
+
+struct WorkerStatus {
+  core::GPid gpid;           // current incarnation (invalid if failed)
+  std::string host;          // where it currently runs
+  int restarts = 0;
+  bool failed = false;       // restart budget exhausted / no host reachable
+};
+
+class Supervisor {
+ public:
+  // `client` must be a connected PpmClient; the supervisor does not own
+  // it.  Events: (worker name, "started"/"restarted"/"failed", host).
+  using EventFn =
+      std::function<void(const std::string&, const std::string&, const std::string&)>;
+
+  Supervisor(core::Cluster& cluster, PpmClient& client, SupervisorConfig config = {});
+
+  void set_event_handler(EventFn fn) { on_event_ = std::move(fn); }
+
+  // Starts every worker (asynchronously) and begins supervision.
+  void Launch(const std::vector<WorkerSpec>& workers);
+
+  // Stops supervising (running workers are left alone).
+  void Stop();
+
+  const std::map<std::string, WorkerStatus>& status() const { return status_; }
+  bool AllHealthy() const;
+  uint64_t total_restarts() const { return total_restarts_; }
+
+ private:
+  void StartWorker(const std::string& name, size_t host_index);
+  void Poll();
+  void HandleExit(const std::string& name);
+
+  core::Cluster& cluster_;
+  PpmClient& client_;
+  SupervisorConfig config_;
+  std::map<std::string, WorkerSpec> specs_;
+  std::map<std::string, WorkerStatus> status_;
+  EventFn on_event_;
+  bool running_ = false;
+  sim::EventId poll_event_ = sim::kInvalidEventId;
+  uint64_t total_restarts_ = 0;
+};
+
+}  // namespace ppm::tools

@@ -1,0 +1,102 @@
+#include "tools/timeline.h"
+
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+namespace ppm::tools {
+
+namespace {
+
+std::string DescribeEvent(const core::HistEvent& ev) {
+  std::ostringstream out;
+  switch (ev.kind) {
+    case host::KEvent::kFork:
+      out << "fork     child=" << ev.other;
+      break;
+    case host::KEvent::kExec:
+      out << "exec     " << ev.detail;
+      break;
+    case host::KEvent::kExit:
+      out << "exit     status=" << ev.status;
+      break;
+    case host::KEvent::kSignal:
+      out << "signal   " << host::ToString(ev.sig);
+      break;
+    case host::KEvent::kStop:
+      out << "stop";
+      break;
+    case host::KEvent::kContinue:
+      out << "continue";
+      break;
+    case host::KEvent::kFileOpen:
+      out << "open     " << ev.detail;
+      break;
+    case host::KEvent::kFileClose:
+      out << "close    " << ev.detail;
+      break;
+    case host::KEvent::kIpcSend:
+      out << "ipc-send " << ev.status << " bytes";
+      break;
+    case host::KEvent::kIpcRecv:
+      out << "ipc-recv " << ev.status << " bytes";
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string RenderTimeline(const std::vector<core::HistEvent>& events,
+                           const TimelineOptions& options) {
+  std::ostringstream out;
+  out << std::left << std::setw(12) << "t(ms)" << std::setw(8) << "pid" << "event\n";
+  sim::SimTime base = 0;
+  bool base_set = false;
+  for (const core::HistEvent& ev : events) {
+    if (options.pid_filter != host::kNoPid && ev.pid != options.pid_filter) continue;
+    if (!base_set && options.relative_times) {
+      base = ev.at;
+      base_set = true;
+    }
+    double t = sim::ToMillis(static_cast<sim::SimDuration>(ev.at - base));
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "%.1f", t);
+    out << std::left << std::setw(12) << stamp << std::setw(8) << ev.pid
+        << DescribeEvent(ev) << "\n";
+  }
+  return out.str();
+}
+
+std::string SummarizeHistory(const std::vector<core::HistEvent>& events) {
+  struct PerPid {
+    size_t count = 0;
+    sim::SimTime first = 0, last = 0;
+    bool exited = false;
+    bool seen = false;
+  };
+  std::map<host::Pid, PerPid> by_pid;
+  for (const core::HistEvent& ev : events) {
+    PerPid& p = by_pid[ev.pid];
+    if (!p.seen) {
+      p.first = ev.at;
+      p.seen = true;
+    }
+    p.last = ev.at;
+    ++p.count;
+    if (ev.kind == host::KEvent::kExit) p.exited = true;
+  }
+  std::ostringstream out;
+  out << std::left << std::setw(8) << "pid" << std::setw(10) << "events" << std::setw(14)
+      << "span(ms)" << "status\n";
+  for (const auto& [pid, p] : by_pid) {
+    char span[32];
+    std::snprintf(span, sizeof(span), "%.1f",
+                  sim::ToMillis(static_cast<sim::SimDuration>(p.last - p.first)));
+    out << std::left << std::setw(8) << pid << std::setw(10) << p.count << std::setw(14)
+        << span << (p.exited ? "exited" : "alive") << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ppm::tools

@@ -1,0 +1,36 @@
+// timeline.h — textual timeline of a process history.
+//
+// One of the "data reduction and data representation tools" the PPM is
+// meant to feed (paper Sections 1-2): renders an LPM's event history as
+// a per-process timeline, so a user can see *when* things happened —
+// the historical information the paper argues process management needs.
+//
+//   t(ms)      pid 6 worker
+//   0.0        exec
+//   120.5      stop   (SIGSTOP)
+//   980.0      continue
+//   1420.9     exit   status=0
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace ppm::tools {
+
+struct TimelineOptions {
+  bool relative_times = true;  // subtract the first event's timestamp
+  host::Pid pid_filter = host::kNoPid;
+};
+
+// Renders the events (assumed chronologically ordered, as the LPM's
+// EventLog keeps them) into a readable table.
+std::string RenderTimeline(const std::vector<core::HistEvent>& events,
+                           const TimelineOptions& options = {});
+
+// Compact per-process summary: one line per pid with event counts and
+// lifetime, the "data reduction" half.
+std::string SummarizeHistory(const std::vector<core::HistEvent>& events);
+
+}  // namespace ppm::tools

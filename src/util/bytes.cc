@@ -1,0 +1,99 @@
+#include "util/bytes.h"
+
+#include <cstring>
+
+namespace ppm::util {
+
+void ByteWriter::U16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void ByteWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::Blob(const std::vector<uint8_t>& b) {
+  U32(static_cast<uint32_t>(b.size()));
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+std::optional<uint8_t> ByteReader::U8() {
+  if (remaining() < 1) return std::nullopt;
+  return buf_[pos_++];
+}
+
+std::optional<uint16_t> ByteReader::U16() {
+  if (remaining() < 2) return std::nullopt;
+  uint16_t v = static_cast<uint16_t>(buf_[pos_] | (buf_[pos_ + 1] << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::optional<uint32_t> ByteReader::U32() {
+  if (remaining() < 4) return std::nullopt;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(buf_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::optional<uint64_t> ByteReader::U64() {
+  if (remaining() < 8) return std::nullopt;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(buf_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+std::optional<int32_t> ByteReader::I32() {
+  auto v = U32();
+  if (!v) return std::nullopt;
+  return static_cast<int32_t>(*v);
+}
+
+std::optional<int64_t> ByteReader::I64() {
+  auto v = U64();
+  if (!v) return std::nullopt;
+  return static_cast<int64_t>(*v);
+}
+
+std::optional<bool> ByteReader::Bool() {
+  auto v = U8();
+  if (!v) return std::nullopt;
+  return *v != 0;
+}
+
+std::optional<std::string> ByteReader::Str() {
+  auto n = U32();
+  if (!n || remaining() < *n) return std::nullopt;
+  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), *n);
+  pos_ += *n;
+  return s;
+}
+
+std::optional<std::vector<uint8_t>> ByteReader::Blob() {
+  auto n = U32();
+  if (!n || remaining() < *n) return std::nullopt;
+  std::vector<uint8_t> b(buf_.begin() + static_cast<long>(pos_),
+                         buf_.begin() + static_cast<long>(pos_ + *n));
+  pos_ += *n;
+  return b;
+}
+
+bool ByteReader::Skip(size_t n) {
+  if (remaining() < n) return false;
+  pos_ += n;
+  return true;
+}
+
+}  // namespace ppm::util

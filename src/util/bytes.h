@@ -1,0 +1,82 @@
+// bytes.h — portable byte-oriented serialization.
+//
+// The PPM speaks a genuine wire protocol between local process managers
+// (LPMs): every request and reply is flattened to bytes before it enters
+// the simulated network and parsed on arrival.  Keeping real encode /
+// decode in the loop (rather than passing C++ objects through the
+// simulator) means message sizes are honest — Table 1 of the paper is
+// specifically about 112-byte messages — and framing bugs are testable.
+//
+// Encoding rules:
+//   * fixed-width integers are little-endian;
+//   * strings and blobs are a u32 length followed by raw bytes;
+//   * there is no type tagging: reader and writer must agree on layout,
+//     exactly as in a hand-rolled 1986-era protocol.  Message-level
+//     versioning lives in core/wire.h.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppm::util {
+
+// Append-only byte sink used to build wire messages.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void Str(std::string_view s);
+  void Blob(const std::vector<uint8_t>& b);
+
+  // Appends `n` zero bytes; used to pad probe messages to an exact wire
+  // size (e.g. the 112-byte kernel messages of Table 1).
+  void Pad(size_t n) { buf_.insert(buf_.end(), n, 0); }
+
+  size_t size() const { return buf_.size(); }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+// Sequential reader over a received message.  All accessors return
+// std::nullopt on underflow instead of trusting the peer; a malformed
+// message must never crash an LPM (the paper's managers survive sibling
+// failures, so they must also survive sibling garbage).
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& buf) : buf_(buf) {}
+
+  std::optional<uint8_t> U8();
+  std::optional<uint16_t> U16();
+  std::optional<uint32_t> U32();
+  std::optional<uint64_t> U64();
+  std::optional<int32_t> I32();
+  std::optional<int64_t> I64();
+  std::optional<bool> Bool();
+  std::optional<std::string> Str();
+  std::optional<std::vector<uint8_t>> Blob();
+
+  // Skips `n` bytes of padding; false on underflow.
+  bool Skip(size_t n);
+
+  size_t remaining() const { return buf_.size() - pos_; }
+  bool AtEnd() const { return pos_ == buf_.size(); }
+
+ private:
+  const std::vector<uint8_t>& buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ppm::util

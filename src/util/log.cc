@@ -1,0 +1,33 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace ppm::util {
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Write(LogLevel lvl, const char* component, const std::string& msg) {
+  static const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
+  std::string line;
+  if (now_) {
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "[t=%lluus] ",
+                  static_cast<unsigned long long>(now_()));
+    line += stamp;
+  }
+  line += kNames[static_cast<int>(lvl)];
+  line += " ";
+  line += component;
+  line += ": ";
+  line += msg;
+  if (sink_) {
+    sink_(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace ppm::util

@@ -1,0 +1,73 @@
+// log.h — leveled logging for the PPM library.
+//
+// Log lines carry the simulated-time prefix when a simulation clock is
+// registered, so traces read like the event logs the paper's METRIC-style
+// monitor would produce.  Logging is off (kWarn) by default: the paper's
+// design rule 3 — "overhead proportional to the amount of service
+// provided" — applies to our diagnostics too.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace ppm::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void set_level(LogLevel lvl) { level_ = lvl; }
+  LogLevel level() const { return level_; }
+
+  // The simulation registers a now() provider so every line is stamped
+  // with virtual microseconds; nullptr reverts to unstamped output.
+  void set_time_source(std::function<uint64_t()> now) { now_ = std::move(now); }
+
+  // Redirects output, e.g. into a test capture buffer.  nullptr restores
+  // stderr.
+  void set_sink(std::function<void(const std::string&)> sink) { sink_ = std::move(sink); }
+
+  bool Enabled(LogLevel lvl) const { return lvl >= level_; }
+  void Write(LogLevel lvl, const char* component, const std::string& msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::function<uint64_t()> now_;
+  std::function<void(const std::string&)> sink_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel lvl, const char* component) : lvl_(lvl), component_(component) {}
+  ~LogLine() { Logger::Instance().Write(lvl_, component_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  const char* component_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace ppm::util
+
+#define PPM_LOG(lvl, component)                                   \
+  if (!::ppm::util::Logger::Instance().Enabled(lvl)) {            \
+  } else                                                          \
+    ::ppm::util::detail::LogLine(lvl, component)
+
+#define PPM_TRACE(component) PPM_LOG(::ppm::util::LogLevel::kTrace, component)
+#define PPM_DEBUG(component) PPM_LOG(::ppm::util::LogLevel::kDebug, component)
+#define PPM_INFO(component) PPM_LOG(::ppm::util::LogLevel::kInfo, component)
+#define PPM_WARN(component) PPM_LOG(::ppm::util::LogLevel::kWarn, component)
+#define PPM_ERROR(component) PPM_LOG(::ppm::util::LogLevel::kError, component)

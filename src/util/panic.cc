@@ -1,0 +1,14 @@
+#include "util/panic.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ppm::util {
+
+void PanicImpl(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "PPM PANIC at %s:%d: %s\n", file, line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ppm::util

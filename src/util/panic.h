@@ -1,0 +1,35 @@
+// panic.h — unrecoverable-error handling for the PPM library.
+//
+// The simulation substrate is deterministic: an internal invariant
+// violation is always a programming error, never an environmental
+// condition, so we terminate loudly instead of throwing.  Recoverable
+// conditions (a dead peer, a refused authentication, a missing process)
+// are reported through ppm::util::Status / expected-style returns, never
+// through PANIC.
+#pragma once
+
+#include <string>
+
+namespace ppm::util {
+
+// Aborts the program after printing `msg` with source location.
+// Marked noreturn so callers can use it in exhaustive switches.
+[[noreturn]] void PanicImpl(const char* file, int line, const std::string& msg);
+
+}  // namespace ppm::util
+
+#define PPM_PANIC(msg) ::ppm::util::PanicImpl(__FILE__, __LINE__, (msg))
+
+// Invariant check that is active in all build types.  Use for conditions
+// that guard memory safety or simulator determinism.
+#define PPM_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) ::ppm::util::PanicImpl(__FILE__, __LINE__, "check failed: " #cond); \
+  } while (0)
+
+#define PPM_CHECK_MSG(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::ppm::util::PanicImpl(__FILE__, __LINE__,                         \
+                             std::string("check failed: " #cond ": ") + (msg)); \
+  } while (0)

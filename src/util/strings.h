@@ -1,0 +1,24 @@
+// strings.h — small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppm::util {
+
+// Splits `s` on `sep`, keeping empty fields.  Splitting "" yields {""},
+// matching the behaviour of awk-style field splitting used when parsing
+// the per-user .recovery and .rhosts files.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Strips leading and trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace ppm::util

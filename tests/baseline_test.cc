@@ -1,0 +1,190 @@
+// baseline_test.cc — the rexec-style and centralized baselines, including
+// the functional gaps the paper holds against them.
+#include <gtest/gtest.h>
+
+#include "baseline/central.h"
+#include "baseline/rexec.h"
+#include "core/cluster.h"
+#include "tests/test_util.h"
+
+namespace ppm::baseline {
+namespace {
+
+using core::Cluster;
+using test::InstallTestUser;
+using test::kTestUid;
+using test::kTestUser;
+using test::RunUntil;
+
+class RexecTest : public ::testing::Test {
+ protected:
+  RexecTest() {
+    cluster_.AddHost("alpha");
+    cluster_.AddHost("beta");
+    cluster_.Link("alpha", "beta");
+    InstallTestUser(cluster_);
+    StartRexecd(cluster_.host("alpha"));
+    StartRexecd(cluster_.host("beta"));
+    cluster_.RunFor(sim::Millis(10));
+  }
+  Cluster cluster_;
+};
+
+TEST_F(RexecTest, SpawnRemoteProcess) {
+  std::optional<RexecResult> result;
+  RexecSpawn(cluster_.host("alpha"), "beta", kTestUser, "job",
+             [&](const RexecResult& r) { result = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return result.has_value(); }));
+  ASSERT_TRUE(result->ok) << result->error;
+  const host::Process* proc = cluster_.host("beta").kernel().Find(result->pid);
+  ASSERT_NE(proc, nullptr);
+  EXPECT_TRUE(proc->alive());
+  EXPECT_EQ(proc->uid, kTestUid);
+}
+
+TEST_F(RexecTest, SignalNamedPid) {
+  std::optional<RexecResult> spawned;
+  RexecSpawn(cluster_.host("alpha"), "beta", kTestUser, "job",
+             [&](const RexecResult& r) { spawned = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return spawned.has_value(); }));
+  std::optional<RexecResult> signalled;
+  RexecSignal(cluster_.host("alpha"), "beta", kTestUser, spawned->pid,
+              host::Signal::kSigKill, [&](const RexecResult& r) { signalled = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return signalled.has_value(); }));
+  EXPECT_TRUE(signalled->ok);
+  EXPECT_FALSE(cluster_.host("beta").kernel().Find(spawned->pid)->alive());
+}
+
+TEST_F(RexecTest, UnknownUserRejected) {
+  std::optional<RexecResult> result;
+  RexecSpawn(cluster_.host("alpha"), "beta", "ghost", "job",
+             [&](const RexecResult& r) { result = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return result.has_value(); }));
+  EXPECT_FALSE(result->ok);
+}
+
+TEST_F(RexecTest, ChildrenOfRemoteProcessAreUnreachable) {
+  // The paper's indictment: rexec cannot separately signal the children
+  // of the remote process; killing the parent strands them.
+  std::optional<RexecResult> spawned;
+  RexecSpawn(cluster_.host("alpha"), "beta", kTestUser, "parent",
+             [&](const RexecResult& r) { spawned = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return spawned.has_value(); }));
+  // The remote process forks twice.
+  host::Kernel& kernel = cluster_.host("beta").kernel();
+  host::Pid c1 = kernel.Spawn(spawned->pid, kTestUid, "kid1");
+  host::Pid c2 = kernel.Spawn(spawned->pid, kTestUid, "kid2");
+  // The caller kills the only pid it knows.
+  std::optional<RexecResult> signalled;
+  RexecSignal(cluster_.host("alpha"), "beta", kTestUser, spawned->pid,
+              host::Signal::kSigKill, [&](const RexecResult& r) { signalled = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return signalled.has_value(); }));
+  EXPECT_FALSE(kernel.Find(spawned->pid)->alive());
+  // Orphans live on: there is no genealogy to hunt them with.
+  EXPECT_TRUE(kernel.Find(c1)->alive());
+  EXPECT_TRUE(kernel.Find(c2)->alive());
+}
+
+TEST_F(RexecTest, UnreachableHostFailsCleanly) {
+  cluster_.network().SetLinkUp(cluster_.host("alpha").net_id(),
+                               cluster_.host("beta").net_id(), false);
+  std::optional<RexecResult> result;
+  RexecSpawn(cluster_.host("alpha"), "beta", kTestUser, "job",
+             [&](const RexecResult& r) { result = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return result.has_value(); }, sim::Seconds(10)));
+  EXPECT_FALSE(result->ok);
+}
+
+class CentralTest : public ::testing::Test {
+ protected:
+  CentralTest() {
+    cluster_.AddHost("hub");
+    cluster_.AddHost("n1");
+    cluster_.AddHost("n2");
+    cluster_.Ethernet({"hub", "n1", "n2"});
+    InstallTestUser(cluster_);
+    StartCentralManager(cluster_.host("hub"));
+    for (const char* n : {"hub", "n1", "n2"}) StartCentralAgent(cluster_.host(n));
+    cluster_.RunFor(sim::Millis(10));
+  }
+
+  CentralResult Spawn(const std::string& target, const std::string& cmd) {
+    std::optional<CentralResult> result;
+    CentralSpawn(cluster_.host("n1"), "hub", target, kTestUser, cmd,
+                 [&](const CentralResult& r) { result = r; });
+    EXPECT_TRUE(RunUntil(cluster_, [&] { return result.has_value(); }));
+    return result.value_or(CentralResult{});
+  }
+
+  Cluster cluster_;
+};
+
+TEST_F(CentralTest, SpawnThroughManager) {
+  CentralResult r = Spawn("n2", "job");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.host, "n2");
+  EXPECT_TRUE(cluster_.host("n2").kernel().Find(r.pid)->alive());
+}
+
+TEST_F(CentralTest, RegistryTracksEveryCreation) {
+  Spawn("n1", "a");
+  Spawn("n2", "b");
+  Spawn("hub", "c");
+  std::optional<CentralResult> snap;
+  CentralSnapshot(cluster_.host("n2"), "hub", kTestUser,
+                  [&](const CentralResult& r) { snap = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return snap.has_value(); }));
+  ASSERT_TRUE(snap->ok);
+  EXPECT_EQ(snap->entries.size(), 3u);
+}
+
+TEST_F(CentralTest, SignalThroughManager) {
+  CentralResult spawned = Spawn("n2", "victim");
+  ASSERT_TRUE(spawned.ok);
+  std::optional<CentralResult> sig;
+  CentralSignal(cluster_.host("n1"), "hub", "n2", spawned.pid, kTestUser,
+                host::Signal::kSigKill, [&](const CentralResult& r) { sig = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return sig.has_value(); }));
+  EXPECT_TRUE(sig->ok);
+  EXPECT_FALSE(cluster_.host("n2").kernel().Find(spawned.pid)->alive());
+}
+
+TEST_F(CentralTest, ManagerSerializesRequests) {
+  // Fire many requests at once: the single omniscient site must queue
+  // them, so observed queueing delay grows.
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    CentralSpawn(cluster_.host("n1"), "hub", "n2", kTestUser, "w" + std::to_string(i),
+                 [&](const CentralResult&) { ++done; });
+  }
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return done == 20; }, sim::Seconds(60)));
+  // Find the manager body to read its queue statistics.
+  host::Host& hub = cluster_.host("hub");
+  CentralManager* mgr = nullptr;
+  for (host::Pid p : hub.kernel().AllPids()) {
+    host::Process* proc = hub.kernel().Find(p);
+    if (proc && proc->alive() && proc->command == "central-mgr") {
+      mgr = dynamic_cast<CentralManager*>(proc->body.get());
+    }
+  }
+  ASSERT_NE(mgr, nullptr);
+  EXPECT_EQ(mgr->requests_served(), 20u);
+  EXPECT_GT(mgr->max_queue_delay(), 0);
+  EXPECT_EQ(mgr->registry_size(), 20u);
+}
+
+TEST_F(CentralTest, ManagerCrashKillsTheWholeFacility) {
+  // The centralized design's availability story: no manager, no service —
+  // unlike per-host LPMs, which keep administering their own hosts.
+  Spawn("n2", "job");
+  cluster_.Crash("hub");
+  cluster_.RunFor(sim::Seconds(1));
+  std::optional<CentralResult> result;
+  CentralSpawn(cluster_.host("n1"), "hub", "n2", kTestUser, "another",
+               [&](const CentralResult& r) { result = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return result.has_value(); }, sim::Seconds(10)));
+  EXPECT_FALSE(result->ok);
+}
+
+}  // namespace
+}  // namespace ppm::baseline

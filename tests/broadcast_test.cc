@@ -1,0 +1,143 @@
+// broadcast_test.cc — duplicate suppression (Section 4) and the
+// graph-covering snapshot broadcast on cyclic sibling graphs.
+#include <gtest/gtest.h>
+
+#include "core/broadcast.h"
+#include "core/cluster.h"
+#include "core/lpm.h"
+#include "tests/test_util.h"
+#include "tools/client.h"
+
+namespace ppm::core {
+namespace {
+
+using test::ConnectTool;
+using test::InstallTestUser;
+using test::kTestUid;
+using test::RunUntil;
+using tools::PpmClient;
+
+TEST(BroadcastFilter, FirstSightingAccepted) {
+  BroadcastFilter filter(sim::Seconds(60));
+  EXPECT_TRUE(filter.CheckAndRecord("vaxA", 1, 0));
+  EXPECT_FALSE(filter.CheckAndRecord("vaxA", 1, 1000));
+  EXPECT_EQ(filter.duplicates_suppressed(), 1u);
+}
+
+TEST(BroadcastFilter, DifferentOriginsIndependent) {
+  BroadcastFilter filter(sim::Seconds(60));
+  EXPECT_TRUE(filter.CheckAndRecord("vaxA", 1, 0));
+  EXPECT_TRUE(filter.CheckAndRecord("vaxB", 1, 0));
+  EXPECT_TRUE(filter.CheckAndRecord("vaxA", 2, 0));
+}
+
+TEST(BroadcastFilter, EntriesAgeOutOfWindow) {
+  BroadcastFilter filter(sim::Seconds(10));
+  EXPECT_TRUE(filter.CheckAndRecord("vaxA", 1, 0));
+  EXPECT_EQ(filter.Size(sim::Seconds(5)), 1u);
+  // Past the window the entry is forgotten: a late duplicate re-floods.
+  EXPECT_EQ(filter.Size(static_cast<sim::SimTime>(sim::Seconds(11))), 0u);
+  EXPECT_TRUE(
+      filter.CheckAndRecord("vaxA", 1, static_cast<sim::SimTime>(sim::Seconds(12))));
+  EXPECT_EQ(filter.stale_refloods(), 1u);
+}
+
+TEST(BroadcastFilter, WindowBoundsMemory) {
+  BroadcastFilter filter(sim::Seconds(10));
+  for (uint64_t i = 0; i < 1000; ++i) {
+    filter.CheckAndRecord("vaxA", i, i * 100'000);  // one per 100ms
+  }
+  // Only ~100 fit in a 10s window.
+  EXPECT_LE(filter.Size(1000 * 100'000), 101u);
+}
+
+// --- snapshots over cyclic sibling graphs --------------------------------------
+
+class CyclicSnapshotTest : public ::testing::Test {
+ protected:
+  CyclicSnapshotTest() {
+    cluster_.AddHost("a");
+    cluster_.AddHost("b");
+    cluster_.AddHost("c");
+    cluster_.Ethernet({"a", "b", "c"});
+    InstallTestUser(cluster_);
+    cluster_.RunFor(sim::Millis(10));
+  }
+  Cluster cluster_;
+};
+
+TEST_F(CyclicSnapshotTest, TriangleSiblingGraphTerminates) {
+  // Build a *cyclic* sibling graph: a—b, b—c, c—a, by creating processes
+  // in a ring from tools on each host.
+  PpmClient* ta = ConnectTool(cluster_, "a");
+  ASSERT_NE(ta, nullptr);
+  std::optional<CreateResp> r1, r2, r3;
+  ta->CreateProcess("b", "w1", {}, [&](const CreateResp& r) { r1 = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return r1.has_value(); }));
+  PpmClient* tb = ConnectTool(cluster_, "b");
+  ASSERT_NE(tb, nullptr);
+  tb->CreateProcess("c", "w2", {}, [&](const CreateResp& r) { r2 = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return r2.has_value(); }));
+  PpmClient* tc = ConnectTool(cluster_, "c");
+  ASSERT_NE(tc, nullptr);
+  tc->CreateProcess("a", "w3", {}, [&](const CreateResp& r) { r3 = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return r3.has_value(); }));
+
+  Lpm* a = cluster_.FindLpm("a", kTestUid);
+  Lpm* b = cluster_.FindLpm("b", kTestUid);
+  Lpm* c = cluster_.FindLpm("c", kTestUid);
+  ASSERT_EQ(a->sibling_hosts().size(), 2u);
+  ASSERT_EQ(b->sibling_hosts().size(), 2u);
+  ASSERT_EQ(c->sibling_hosts().size(), 2u);
+
+  // Snapshot from a: the flood crosses the ring both ways; duplicate
+  // suppression must stop it, and all three hosts' records must arrive.
+  std::optional<SnapshotResp> snap;
+  ta->Snapshot([&](const SnapshotResp& r) { snap = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return snap.has_value(); }, sim::Seconds(60)));
+  EXPECT_EQ(snap->records.size(), 3u);
+  EXPECT_EQ(snap->forwarded_to.size(), 3u);  // coverage: a, b, c
+  // At least one duplicate was suppressed somewhere in the ring.
+  uint64_t dups = a->stats().bcast_duplicates + b->stats().bcast_duplicates +
+                  c->stats().bcast_duplicates;
+  EXPECT_GE(dups, 1u);
+}
+
+TEST_F(CyclicSnapshotTest, RepeatedSnapshotsUseFreshSequences) {
+  PpmClient* ta = ConnectTool(cluster_, "a");
+  ASSERT_NE(ta, nullptr);
+  std::optional<CreateResp> created;
+  ta->CreateProcess("b", "w", {}, [&](const CreateResp& r) { created = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return created.has_value(); }));
+  for (int round = 0; round < 5; ++round) {
+    std::optional<SnapshotResp> snap;
+    ta->Snapshot([&](const SnapshotResp& r) { snap = r; });
+    ASSERT_TRUE(RunUntil(cluster_, [&] { return snap.has_value(); }, sim::Seconds(60)));
+    EXPECT_EQ(snap->records.size(), 1u) << "round " << round;
+  }
+  // 5 distinct broadcast sequences, no cross-round suppression.
+  EXPECT_EQ(cluster_.FindLpm("a", kTestUid)->stats().bcasts_originated, 5u);
+}
+
+TEST_F(CyclicSnapshotTest, ConcurrentSnapshotsFromDifferentOrigins) {
+  PpmClient* ta = ConnectTool(cluster_, "a");
+  PpmClient* tb = ConnectTool(cluster_, "b");
+  ASSERT_NE(ta, nullptr);
+  ASSERT_NE(tb, nullptr);
+  std::optional<CreateResp> c1, c2;
+  ta->CreateProcess("b", "w1", {}, [&](const CreateResp& r) { c1 = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return c1.has_value(); }));
+  tb->CreateProcess("a", "w2", {}, [&](const CreateResp& r) { c2 = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return c2.has_value(); }));
+
+  std::optional<SnapshotResp> sa, sb;
+  ta->Snapshot([&](const SnapshotResp& r) { sa = r; });
+  tb->Snapshot([&](const SnapshotResp& r) { sb = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return sa.has_value() && sb.has_value(); },
+                       sim::Seconds(60)));
+  EXPECT_EQ(sa->records.size(), 2u);
+  EXPECT_EQ(sb->records.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ppm::core

@@ -1,0 +1,216 @@
+// chaos_test.cc — randomized fault injection over a live PPM.
+//
+// The paper's robustness claim (Section 8: "It is resilient to software,
+// host, and network failures") is exercised here adversarially: a seeded
+// generator interleaves process churn, tool activity, LPM kills, host
+// crashes/reboots, partitions and heals for a long stretch of virtual
+// time.  Afterwards the network heals, every host reboots if needed, and
+// the invariants are checked:
+//
+//   * the simulation never panicked (PPM_CHECK aborts the test binary);
+//   * no LPM is stuck dying once its recovery hosts are reachable again;
+//   * a fresh tool session works on every host: create, signal,
+//     snapshot all succeed end to end;
+//   * per-host kernel genealogy is consistent.
+//
+// Determinism makes every failure reproducible from its seed.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "core/lpm.h"
+#include "tests/test_util.h"
+#include "tools/client.h"
+
+namespace ppm::core {
+namespace {
+
+using test::InstallTestUser;
+using test::kTestUid;
+using test::kTestUser;
+using test::RunUntil;
+using tools::PpmClient;
+
+class ChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosTest, SystemSurvivesRandomFaults) {
+  ClusterConfig config;
+  config.seed = GetParam();
+  config.lpm.time_to_die = sim::Seconds(90);
+  config.lpm.retry_interval = sim::Seconds(10);
+  config.lpm.probe_interval = sim::Seconds(15);
+  Cluster cluster(config);
+  const std::vector<std::string> hosts = {"h0", "h1", "h2", "h3", "h4"};
+  for (const auto& h : hosts) cluster.AddHost(h);
+  cluster.Ethernet(hosts);
+  InstallTestUser(cluster, {"h0", "h1", "h2"});
+  cluster.RunFor(sim::Millis(10));
+
+  sim::Rng& rng = cluster.simulator().rng();
+  auto random_host = [&] { return hosts[rng.Below(hosts.size())]; };
+
+  // A tool that gets re-established whenever its host dies.  The body
+  // pointer is owned by the process table, so it must be re-validated
+  // through the kernel after every fault (a crash destroys it).
+  std::string tool_host;
+  host::Pid tool_pid = host::kNoPid;
+  auto current_tool = [&]() -> PpmClient* {
+    if (tool_host.empty()) return nullptr;
+    host::Host& h = cluster.host(tool_host);
+    if (!h.up()) return nullptr;
+    host::Process* proc = h.kernel().Find(tool_pid);
+    if (!proc || !proc->alive()) return nullptr;
+    auto* client = dynamic_cast<PpmClient*>(proc->body.get());
+    return (client && client->connected()) ? client : nullptr;
+  };
+  auto ensure_tool = [&]() -> PpmClient* {
+    if (PpmClient* alive = current_tool()) return alive;
+    tool_host.clear();
+    for (const auto& h : hosts) {
+      if (!cluster.host(h).up()) continue;
+      PpmClient* candidate = tools::SpawnTool(cluster.host(h), kTestUser, kTestUid, "chaos");
+      bool done = false, ok = false;
+      candidate->Start([&](bool success, std::string) {
+        done = true;
+        ok = success;
+      });
+      RunUntil(cluster, [&] { return done; }, sim::Seconds(30));
+      if (ok) {
+        tool_host = h;
+        tool_pid = candidate->pid();
+        return candidate;
+      }
+    }
+    return nullptr;
+  };
+
+  std::vector<GPid> procs;
+  for (int step = 0; step < 60; ++step) {
+    uint64_t roll = rng.Below(100);
+    if (roll < 30) {
+      // Create a process somewhere.
+      if (PpmClient* t = ensure_tool()) {
+        std::string target = random_host();
+        if (cluster.host(target).up()) {
+          std::optional<CreateResp> resp;
+          t->CreateProcess(target, "chaos-w", {},
+                           [&](const CreateResp& r) { resp = r; });
+          RunUntil(cluster, [&] { return resp.has_value(); }, sim::Seconds(30));
+          if (resp && resp->ok) procs.push_back(resp->gpid);
+        }
+      }
+    } else if (roll < 45 && !procs.empty()) {
+      // Signal a random known process (may legitimately fail).
+      if (PpmClient* t = ensure_tool()) {
+        const GPid& target = procs[rng.Below(procs.size())];
+        host::Signal sig = rng.Chance(0.5) ? host::Signal::kSigStop
+                                           : host::Signal::kSigKill;
+        std::optional<SignalResp> resp;
+        t->Signal(target, sig, [&](const SignalResp& r) { resp = r; });
+        RunUntil(cluster, [&] { return resp.has_value(); }, sim::Seconds(30));
+      }
+    } else if (roll < 55) {
+      // Snapshot (may time out / be partial; must complete).
+      if (PpmClient* t = ensure_tool()) {
+        std::optional<SnapshotResp> resp;
+        t->Snapshot([&](const SnapshotResp& r) { resp = r; });
+        RunUntil(cluster, [&] { return resp.has_value(); }, sim::Seconds(60));
+        EXPECT_TRUE(resp.has_value()) << "snapshot hung";
+      }
+    } else if (roll < 65) {
+      // Kill an LPM (software failure).
+      std::string victim = random_host();
+      if (Lpm* lpm = cluster.FindLpm(victim, kTestUid)) {
+        cluster.host(victim).kernel().PostSignal(lpm->pid(), host::Signal::kSigKill,
+                                                 host::kRootUid);
+      }
+    } else if (roll < 75) {
+      // Crash a host (keep at least two up).
+      size_t up = 0;
+      for (const auto& h : hosts) up += cluster.host(h).up();
+      if (up > 2) {
+        std::string victim = random_host();
+        if (cluster.host(victim).up()) cluster.Crash(victim);
+      }
+    } else if (roll < 85) {
+      // Reboot something dead.
+      for (const auto& h : hosts) {
+        if (!cluster.host(h).up()) {
+          cluster.Reboot(h);
+          break;
+        }
+      }
+    } else if (roll < 93) {
+      // Random bipartition.
+      std::vector<net::HostId> left, right;
+      for (const auto& h : hosts) {
+        net::HostId id = *cluster.network().FindHost(h);
+        (rng.Chance(0.5) ? left : right).push_back(id);
+      }
+      if (!left.empty() && !right.empty()) {
+        cluster.network().Partition({left, right});
+      }
+    } else {
+      cluster.network().Heal();
+    }
+    cluster.RunFor(sim::Seconds(rng.Range(1, 8)));
+  }
+
+  // --- restore the world and let recovery run its course -----------------
+  cluster.network().Heal();
+  for (const auto& h : hosts) {
+    if (!cluster.host(h).up()) cluster.Reboot(h);
+  }
+  cluster.RunFor(sim::Seconds(120));
+
+  // No LPM may still be dying: its recovery hosts are reachable now.
+  for (const auto& h : hosts) {
+    if (Lpm* lpm = cluster.FindLpm(h, kTestUid)) {
+      EXPECT_NE(lpm->mode(), LpmMode::kDying) << "LPM on " << h << " stuck dying";
+    }
+  }
+
+  // A fresh session must work from every host, end to end.
+  for (const auto& h : hosts) {
+    PpmClient* fresh = tools::SpawnTool(cluster.host(h), kTestUser, kTestUid, "verify");
+    bool done = false, ok = false;
+    fresh->Start([&](bool success, std::string err) {
+      done = true;
+      ok = success;
+      EXPECT_TRUE(success) << h << ": " << err;
+    });
+    ASSERT_TRUE(RunUntil(cluster, [&] { return done; }, sim::Seconds(30))) << h;
+    ASSERT_TRUE(ok) << h;
+    std::optional<CreateResp> created;
+    fresh->CreateProcess(h, "verify-w", {}, [&](const CreateResp& r) { created = r; });
+    ASSERT_TRUE(RunUntil(cluster, [&] { return created.has_value(); }, sim::Seconds(30)))
+        << h;
+    EXPECT_TRUE(created->ok) << created->error;
+    std::optional<SignalResp> sig;
+    fresh->Signal(created->gpid, host::Signal::kSigKill,
+                  [&](const SignalResp& r) { sig = r; });
+    ASSERT_TRUE(RunUntil(cluster, [&] { return sig.has_value(); }, sim::Seconds(30)));
+    EXPECT_TRUE(sig->ok) << sig->error;
+    std::optional<SnapshotResp> snap;
+    fresh->Snapshot([&](const SnapshotResp& r) { snap = r; });
+    ASSERT_TRUE(RunUntil(cluster, [&] { return snap.has_value(); }, sim::Seconds(60)));
+    fresh->Disconnect();
+  }
+
+  // Kernel genealogy is consistent everywhere.
+  for (const auto& h : hosts) {
+    host::Kernel& kernel = cluster.host(h).kernel();
+    for (host::Pid pid : kernel.AllPids()) {
+      const host::Process* proc = kernel.Find(pid);
+      if (!proc->alive() || pid == host::Kernel::kInitPid) continue;
+      const host::Process* parent = kernel.Find(proc->ppid);
+      ASSERT_NE(parent, nullptr);
+      EXPECT_TRUE(parent->alive());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 1986, 4242));
+
+}  // namespace
+}  // namespace ppm::core

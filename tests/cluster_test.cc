@@ -1,0 +1,102 @@
+// cluster_test.cc — the world-builder helpers.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "core/recovery.h"
+#include "tests/test_util.h"
+
+namespace ppm::core {
+namespace {
+
+TEST(ClusterTest, HostsAndLookup) {
+  Cluster cluster;
+  cluster.AddHost("a", host::HostType::kVax780);
+  cluster.AddHost("b", host::HostType::kSun2);
+  EXPECT_TRUE(cluster.HasHost("a"));
+  EXPECT_FALSE(cluster.HasHost("zebra"));
+  EXPECT_EQ(cluster.host_names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(cluster.host("b").type(), host::HostType::kSun2);
+  EXPECT_EQ(cluster.network().host_count(), 2u);
+}
+
+TEST(ClusterTest, EthernetIsAllPairs) {
+  Cluster cluster;
+  for (const char* n : {"a", "b", "c", "d"}) cluster.AddHost(n);
+  cluster.Ethernet({"a", "b", "c", "d"});
+  for (const char* x : {"a", "b", "c", "d"}) {
+    for (const char* y : {"a", "b", "c", "d"}) {
+      if (std::string(x) == y) continue;
+      EXPECT_EQ(cluster.network().HopDistance(*cluster.network().FindHost(x),
+                                              *cluster.network().FindHost(y)),
+                1u)
+          << x << "-" << y;
+    }
+  }
+}
+
+TEST(ClusterTest, TrustWritesRhostsEverywhere) {
+  Cluster cluster;
+  cluster.AddHost("a");
+  cluster.AddHost("b");
+  cluster.AddUserEverywhere("u", 42);
+  cluster.TrustUserEverywhere("u", 42);
+  for (const char* h : {"a", "b"}) {
+    auto rhosts = cluster.host(h).fs().Read(42, ".rhosts");
+    ASSERT_TRUE(rhosts.has_value()) << h;
+    EXPECT_NE(rhosts->find("a u"), std::string::npos);
+    EXPECT_NE(rhosts->find("b u"), std::string::npos);
+  }
+}
+
+TEST(ClusterTest, RecoveryListWrittenEverywhere) {
+  Cluster cluster;
+  cluster.AddHost("a");
+  cluster.AddHost("b");
+  cluster.AddUserEverywhere("u", 42);
+  cluster.SetRecoveryList(42, {"b", "a"});
+  for (const char* h : {"a", "b"}) {
+    RecoveryList list = ReadRecoveryList(cluster.host(h).fs(), 42);
+    EXPECT_EQ(list.hosts, (std::vector<std::string>{"b", "a"}));
+  }
+}
+
+TEST(ClusterTest, ConflictingAccountPanics) {
+  Cluster cluster;
+  cluster.AddHost("a");
+  cluster.AddUserEverywhere("u", 42);
+  EXPECT_DEATH(cluster.AddUserEverywhere("u", 43), "conflicting account");
+}
+
+TEST(ClusterTest, FindersReturnNullWhenAbsent) {
+  Cluster cluster;
+  cluster.AddHost("a");
+  cluster.RunFor(sim::Millis(10));
+  EXPECT_EQ(cluster.FindPmd("a"), nullptr);        // on demand
+  EXPECT_EQ(cluster.FindLpm("a", 42), nullptr);
+  EXPECT_NE(cluster.FindInetd("a"), nullptr);      // boot-started
+  cluster.Crash("a");
+  EXPECT_EQ(cluster.FindInetd("a"), nullptr);      // host down
+}
+
+TEST(ClusterTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    core::ClusterConfig config;
+    config.seed = 99;
+    Cluster cluster(config);
+    cluster.AddHost("a");
+    cluster.AddHost("b");
+    cluster.Link("a", "b");
+    test::InstallTestUser(cluster);
+    cluster.RunFor(sim::Millis(10));
+    tools::PpmClient* client = test::ConnectTool(cluster, "a");
+    if (!client) return std::string("fail");
+    std::optional<CreateResp> created;
+    client->CreateProcess("b", "w", {}, [&](const CreateResp& r) { created = r; });
+    test::RunUntil(cluster, [&] { return created.has_value(); });
+    return ToString(created->gpid) + "@" + std::to_string(cluster.simulator().Now());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace ppm::core

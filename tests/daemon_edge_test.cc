@@ -1,0 +1,148 @@
+// daemon_edge_test.cc — daemon lifecycle corners: pmd idle-exit,
+// concurrent creation requests, reboot behaviour.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "daemon/inetd.h"
+#include "daemon/protocol.h"
+#include "tests/test_util.h"
+#include "tools/client.h"
+
+namespace ppm::daemon {
+namespace {
+
+using core::Cluster;
+using core::ClusterConfig;
+using test::ConnectTool;
+using test::InstallTestUser;
+using test::kTestUid;
+using test::kTestUser;
+using test::RunUntil;
+
+TEST(DaemonEdge, PmdExitsWhenLastLpmLeaves) {
+  ClusterConfig config;
+  config.pmd.idle_exit = sim::Seconds(30);
+  config.lpm.time_to_live = sim::Seconds(20);
+  Cluster cluster(config);
+  cluster.AddHost("solo");
+  InstallTestUser(cluster);
+  cluster.RunFor(sim::Millis(10));
+  tools::PpmClient* client = ConnectTool(cluster, "solo");
+  ASSERT_NE(client, nullptr);
+  ASSERT_NE(cluster.FindPmd("solo"), nullptr);
+
+  client->Disconnect();
+  // LPM expires at +20 s; pmd lingers 30 s more, then exits.
+  cluster.RunFor(sim::Seconds(25));
+  EXPECT_EQ(cluster.FindLpm("solo", kTestUid), nullptr);
+  ASSERT_NE(cluster.FindPmd("solo"), nullptr) << "pmd must outlive the LPM briefly";
+  cluster.RunFor(sim::Seconds(40));
+  EXPECT_EQ(cluster.FindPmd("solo"), nullptr) << "idle pmd should have exited";
+
+  // The whole path regrows on demand.
+  tools::PpmClient* again = ConnectTool(cluster, "solo", "relogin");
+  ASSERT_NE(again, nullptr);
+  EXPECT_NE(cluster.FindPmd("solo"), nullptr);
+  EXPECT_NE(cluster.FindLpm("solo", kTestUid), nullptr);
+}
+
+TEST(DaemonEdge, PmdIdleExitCancelledByNewLpm) {
+  ClusterConfig config;
+  config.pmd.idle_exit = sim::Seconds(30);
+  config.lpm.time_to_live = sim::Seconds(10);
+  Cluster cluster(config);
+  cluster.AddHost("solo");
+  InstallTestUser(cluster);
+  cluster.RunFor(sim::Millis(10));
+  tools::PpmClient* client = ConnectTool(cluster, "solo");
+  ASSERT_NE(client, nullptr);
+  client->Disconnect();
+  cluster.RunFor(sim::Seconds(15));  // LPM gone; pmd countdown running
+  ASSERT_EQ(cluster.FindLpm("solo", kTestUid), nullptr);
+  // New session during the countdown: pmd must stay.
+  tools::PpmClient* again = ConnectTool(cluster, "solo", "again");
+  ASSERT_NE(again, nullptr);
+  cluster.RunFor(sim::Seconds(60));
+  EXPECT_NE(cluster.FindPmd("solo"), nullptr);
+}
+
+TEST(DaemonEdge, PmdNeverExitsWhenDisabled) {
+  ClusterConfig config;
+  config.pmd.idle_exit = 0;  // never
+  config.lpm.time_to_live = sim::Seconds(10);
+  Cluster cluster(config);
+  cluster.AddHost("solo");
+  InstallTestUser(cluster);
+  cluster.RunFor(sim::Millis(10));
+  tools::PpmClient* client = ConnectTool(cluster, "solo");
+  ASSERT_NE(client, nullptr);
+  client->Disconnect();
+  cluster.RunFor(sim::Seconds(600));
+  EXPECT_NE(cluster.FindPmd("solo"), nullptr);
+}
+
+TEST(DaemonEdge, RebootRestartsInetdViaBootFn) {
+  Cluster cluster;
+  cluster.AddHost("solo");
+  InstallTestUser(cluster);
+  cluster.RunFor(sim::Millis(10));
+  ASSERT_NE(cluster.FindInetd("solo"), nullptr);
+  cluster.Crash("solo");
+  EXPECT_EQ(cluster.FindInetd("solo"), nullptr);
+  cluster.Reboot("solo");
+  cluster.RunFor(sim::Millis(10));
+  ASSERT_NE(cluster.FindInetd("solo"), nullptr);
+  // And the full creation path works on the fresh boot.
+  tools::PpmClient* client = ConnectTool(cluster, "solo");
+  EXPECT_NE(client, nullptr);
+}
+
+TEST(DaemonEdge, ConcurrentRequestsForSameUserCreateOneLpm) {
+  Cluster cluster;
+  cluster.AddHost("solo");
+  InstallTestUser(cluster);
+  cluster.RunFor(sim::Millis(10));
+  // Two tools start simultaneously: inetd/pmd must funnel them onto one
+  // LPM (pmd's registry is written synchronously at creation).
+  tools::PpmClient* t1 = tools::SpawnTool(cluster.host("solo"), kTestUser, kTestUid, "t1");
+  tools::PpmClient* t2 = tools::SpawnTool(cluster.host("solo"), kTestUser, kTestUid, "t2");
+  int done = 0, ok = 0;
+  auto cb = [&](bool success, std::string) {
+    ++done;
+    ok += success;
+  };
+  t1->Start(cb);
+  t2->Start(cb);
+  ASSERT_TRUE(RunUntil(cluster, [&] { return done == 2; }, sim::Seconds(30)));
+  EXPECT_EQ(ok, 2);
+  Pmd* pmd = cluster.FindPmd("solo");
+  ASSERT_NE(pmd, nullptr);
+  EXPECT_EQ(pmd->stats().lpms_created, 1u);
+  EXPECT_EQ(pmd->registry_size(), 1u);
+}
+
+TEST(DaemonEdge, TwoUsersGetTwoLpmsThroughOnePmd) {
+  Cluster cluster;
+  cluster.AddHost("solo");
+  InstallTestUser(cluster);
+  cluster.AddUserEverywhere("eve", 200);
+  cluster.RunFor(sim::Millis(10));
+  tools::PpmClient* t1 = ConnectTool(cluster, "solo");
+  ASSERT_NE(t1, nullptr);
+  tools::PpmClient* t2 = tools::SpawnTool(cluster.host("solo"), "eve", 200, "evetool");
+  bool done = false, ok = false;
+  t2->Start([&](bool success, std::string) {
+    done = true;
+    ok = success;
+  });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return done; }));
+  EXPECT_TRUE(ok);
+  Pmd* pmd = cluster.FindPmd("solo");
+  ASSERT_NE(pmd, nullptr);
+  EXPECT_EQ(pmd->registry_size(), 2u);
+  // One pmd, one inetd, two LPMs.
+  EXPECT_EQ(cluster.FindInetd("solo")->stats().pmd_spawns, 1u);
+}
+
+}  // namespace
+}  // namespace ppm::daemon

@@ -1,0 +1,398 @@
+// extensions_test.cc — the paper's sketched-but-unbuilt features that
+// this reproduction implements: the CCS name server (Section 5), the
+// resilient-computation supervisor (Sections 5/7), and the graphical
+// display tool (Section 7).
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "core/lpm.h"
+#include "core/nameserver.h"
+#include "tests/test_util.h"
+#include "tools/client.h"
+#include "tools/dot_export.h"
+#include "tools/supervisor.h"
+
+namespace ppm {
+namespace {
+
+using core::Cluster;
+using core::ClusterConfig;
+using core::GPid;
+using test::ConnectTool;
+using test::InstallTestUser;
+using test::kTestUid;
+using test::kTestUser;
+using test::RunUntil;
+using tools::PpmClient;
+
+// --- CCS name server ---------------------------------------------------------
+
+core::CcsNameServer* FindNs(Cluster& cluster, const std::string& host_name) {
+  host::Host& h = cluster.host(host_name);
+  if (!h.up()) return nullptr;
+  for (host::Pid p : h.kernel().AllPids()) {
+    host::Process* proc = h.kernel().Find(p);
+    if (proc && proc->alive() && proc->command == "ccs-nameserver") {
+      return dynamic_cast<core::CcsNameServer*>(proc->body.get());
+    }
+  }
+  return nullptr;
+}
+
+TEST(NameServerTest, RegisterAndQuery) {
+  Cluster cluster;
+  cluster.AddHost("ns");
+  cluster.AddHost("client");
+  cluster.Link("ns", "client");
+  core::StartCcsNameServer(cluster.host("ns"));
+  cluster.RunFor(sim::Millis(10));
+
+  core::NsRegister(cluster.host("client"), "ns", "leslie", "vaxA");
+  cluster.RunFor(sim::Millis(100));
+  core::CcsNameServer* ns = FindNs(cluster, "ns");
+  ASSERT_NE(ns, nullptr);
+  EXPECT_EQ(ns->Lookup("leslie"), "vaxA");
+  EXPECT_EQ(ns->stats().registrations, 1u);
+
+  std::optional<std::optional<std::string>> answer;
+  core::NsQuery(cluster.host("client"), "ns", "leslie", sim::Seconds(1),
+                [&](std::optional<std::string> a) { answer = a; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return answer.has_value(); }, sim::Seconds(5)));
+  ASSERT_TRUE(answer->has_value());
+  EXPECT_EQ(**answer, "vaxA");
+}
+
+TEST(NameServerTest, UnknownUserMisses) {
+  Cluster cluster;
+  cluster.AddHost("ns");
+  cluster.AddHost("client");
+  cluster.Link("ns", "client");
+  core::StartCcsNameServer(cluster.host("ns"));
+  cluster.RunFor(sim::Millis(10));
+  std::optional<std::optional<std::string>> answer;
+  core::NsQuery(cluster.host("client"), "ns", "ghost", sim::Seconds(1),
+                [&](std::optional<std::string> a) { answer = a; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return answer.has_value(); }, sim::Seconds(5)));
+  EXPECT_FALSE(answer->has_value());
+  EXPECT_EQ(FindNs(cluster, "ns")->stats().misses, 1u);
+}
+
+TEST(NameServerTest, QueryTimesOutWhenServerDown) {
+  Cluster cluster;
+  cluster.AddHost("ns");
+  cluster.AddHost("client");
+  cluster.Link("ns", "client");
+  cluster.RunFor(sim::Millis(10));  // no server started
+  std::optional<std::optional<std::string>> answer;
+  core::NsQuery(cluster.host("client"), "ns", "leslie", sim::Millis(300),
+                [&](std::optional<std::string> a) { answer = a; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return answer.has_value(); }, sim::Seconds(5)));
+  EXPECT_FALSE(answer->has_value());
+}
+
+TEST(NameServerTest, LateAnswerAfterTimeoutIgnored) {
+  Cluster cluster;
+  net::NetworkParams slow;
+  ClusterConfig config;
+  config.default_link = net::LinkParams{sim::Millis(400), sim::Micros(1)};
+  Cluster slow_cluster(config);
+  slow_cluster.AddHost("ns");
+  slow_cluster.AddHost("client");
+  slow_cluster.Link("ns", "client");
+  core::StartCcsNameServer(slow_cluster.host("ns"));
+  slow_cluster.RunFor(sim::Millis(10));
+  core::NsRegister(slow_cluster.host("client"), "ns", "leslie", "vaxA");
+  slow_cluster.RunFor(sim::Seconds(2));
+  int calls = 0;
+  std::optional<std::string> got;
+  // 400 ms each way: the answer arrives after the 300 ms timeout.
+  core::NsQuery(slow_cluster.host("client"), "ns", "leslie", sim::Millis(300),
+                [&](std::optional<std::string> a) {
+                  ++calls;
+                  got = a;
+                });
+  slow_cluster.RunFor(sim::Seconds(3));
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(got.has_value());
+}
+
+class NsRecoveryTest : public ::testing::Test {
+ protected:
+  NsRecoveryTest() : cluster_(MakeConfig()) {
+    cluster_.AddHost("ns");
+    cluster_.AddHost("vaxA");
+    cluster_.AddHost("vaxB");
+    cluster_.AddHost("vaxC");
+    cluster_.Ethernet({"ns", "vaxA", "vaxB", "vaxC"});
+    // NO .recovery file: the name server is the only coordination.
+    InstallTestUser(cluster_);
+    core::StartCcsNameServer(cluster_.host("ns"));
+    cluster_.RunFor(sim::Millis(10));
+  }
+  static ClusterConfig MakeConfig() {
+    ClusterConfig config;
+    config.lpm.ccs_nameserver = "ns";
+    config.lpm.retry_interval = sim::Seconds(15);
+    config.lpm.time_to_die = sim::Seconds(120);
+    return config;
+  }
+  Cluster cluster_;
+};
+
+TEST_F(NsRecoveryTest, DefaultCcsRegistersItself) {
+  PpmClient* client = ConnectTool(cluster_, "vaxA");
+  ASSERT_NE(client, nullptr);
+  cluster_.RunFor(sim::Millis(200));
+  core::CcsNameServer* ns = FindNs(cluster_, "ns");
+  ASSERT_NE(ns, nullptr);
+  EXPECT_EQ(ns->Lookup(kTestUser), "vaxA");
+}
+
+TEST_F(NsRecoveryTest, SurvivorSelfAppointsAndRegistersWhenCcsDies) {
+  PpmClient* client = ConnectTool(cluster_, "vaxA");
+  ASSERT_NE(client, nullptr);
+  std::optional<core::CreateResp> created;
+  client->CreateProcess("vaxB", "w", {}, [&](const core::CreateResp& r) { created = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return created.has_value(); }));
+
+  cluster_.Crash("vaxA");
+  core::Lpm* b = cluster_.FindLpm("vaxB", kTestUid);
+  ASSERT_NE(b, nullptr);
+  // vaxB queries the name server, finds the dead vaxA registered, fails
+  // to reach it, self-appoints and re-registers.
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return b->is_ccs(); }, sim::Seconds(60)));
+  cluster_.RunFor(sim::Millis(200));
+  EXPECT_EQ(FindNs(cluster_, "ns")->Lookup(kTestUser), "vaxB");
+  EXPECT_EQ(b->mode(), core::LpmMode::kNormal);
+}
+
+TEST_F(NsRecoveryTest, SecondSurvivorFindsNewCcsThroughServer) {
+  PpmClient* client = ConnectTool(cluster_, "vaxA");
+  ASSERT_NE(client, nullptr);
+  std::optional<core::CreateResp> c1, c2;
+  client->CreateProcess("vaxB", "w", {}, [&](const core::CreateResp& r) { c1 = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return c1.has_value(); }));
+  client->CreateProcess("vaxC", "w", {}, [&](const core::CreateResp& r) { c2 = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return c2.has_value(); }));
+
+  cluster_.Crash("vaxA");
+  core::Lpm* b = cluster_.FindLpm("vaxB", kTestUid);
+  core::Lpm* c = cluster_.FindLpm("vaxC", kTestUid);
+  // One of them self-appoints; the other finds it via the server (which
+  // survivor wins depends on event order, so accept either).
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return b->is_ccs() || c->is_ccs(); },
+                       sim::Seconds(60)));
+  ASSERT_TRUE(RunUntil(cluster_,
+                       [&] {
+                         return (b->is_ccs() && c->ccs_host() == "vaxB") ||
+                                (c->is_ccs() && b->ccs_host() == "vaxC");
+                       },
+                       sim::Seconds(120)));
+  EXPECT_EQ(b->mode(), core::LpmMode::kNormal);
+  EXPECT_EQ(c->mode(), core::LpmMode::kNormal);
+}
+
+TEST_F(NsRecoveryTest, FallsBackToRecoveryFileWhenServerDown) {
+  cluster_.SetRecoveryList(kTestUid, {"vaxA", "vaxB"});
+  PpmClient* client = ConnectTool(cluster_, "vaxA");
+  ASSERT_NE(client, nullptr);
+  std::optional<core::CreateResp> created;
+  client->CreateProcess("vaxB", "w", {}, [&](const core::CreateResp& r) { created = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return created.has_value(); }));
+
+  cluster_.Crash("ns");
+  cluster_.Crash("vaxA");
+  core::Lpm* b = cluster_.FindLpm("vaxB", kTestUid);
+  // Name server unreachable -> .recovery walk -> vaxA dead -> vaxB = me.
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return b->is_ccs(); }, sim::Seconds(60)));
+  EXPECT_EQ(b->ccs_host(), "vaxB");
+}
+
+// --- supervisor ------------------------------------------------------------------
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  SupervisorTest() {
+    cluster_.AddHost("home");
+    cluster_.AddHost("alt");
+    cluster_.Link("home", "alt");
+    InstallTestUser(cluster_);
+    cluster_.RunFor(sim::Millis(10));
+    client_ = ConnectTool(cluster_, "home", "supervisor");
+  }
+  Cluster cluster_;
+  PpmClient* client_ = nullptr;
+};
+
+TEST_F(SupervisorTest, LaunchesAllWorkers) {
+  ASSERT_NE(client_, nullptr);
+  tools::Supervisor sup(cluster_, *client_);
+  sup.Launch({{"w1", "worker", {"home"}}, {"w2", "worker", {"alt", "home"}}});
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return sup.AllHealthy(); }, sim::Seconds(30)));
+  EXPECT_EQ(sup.status().at("w1").host, "home");
+  EXPECT_EQ(sup.status().at("w2").host, "alt");
+  sup.Stop();
+}
+
+TEST_F(SupervisorTest, RestartsCrashedWorkerInPlace) {
+  ASSERT_NE(client_, nullptr);
+  tools::Supervisor sup(cluster_, *client_);
+  std::vector<std::string> events;
+  sup.set_event_handler([&](const std::string& name, const std::string& what,
+                            const std::string& where) {
+    events.push_back(name + ":" + what + "@" + where);
+  });
+  sup.Launch({{"w1", "worker", {"alt"}}});
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return sup.AllHealthy(); }, sim::Seconds(30)));
+  GPid first = sup.status().at("w1").gpid;
+
+  cluster_.host("alt").kernel().PostSignal(first.pid, host::Signal::kSigKill, kTestUid);
+  ASSERT_TRUE(RunUntil(cluster_,
+                       [&] {
+                         return sup.AllHealthy() && sup.status().at("w1").gpid != first;
+                       },
+                       sim::Seconds(60)));
+  EXPECT_EQ(sup.status().at("w1").host, "alt");
+  EXPECT_EQ(sup.total_restarts(), 1u);
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events.back(), "w1:restarted@alt");
+  sup.Stop();
+}
+
+TEST_F(SupervisorTest, FailsOverToFallbackHostWhenHomeCrashes) {
+  ASSERT_NE(client_, nullptr);
+  tools::Supervisor sup(cluster_, *client_);
+  sup.Launch({{"w1", "worker", {"alt", "home"}}});
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return sup.AllHealthy(); }, sim::Seconds(30)));
+  ASSERT_EQ(sup.status().at("w1").host, "alt");
+
+  cluster_.Crash("alt");
+  // The worker vanished with its host; the supervisor must move it.
+  ASSERT_TRUE(RunUntil(cluster_,
+                       [&] {
+                         return sup.AllHealthy() && sup.status().at("w1").host == "home";
+                       },
+                       sim::Seconds(120)));
+  sup.Stop();
+}
+
+TEST_F(SupervisorTest, GivesUpAfterRestartBudget) {
+  ASSERT_NE(client_, nullptr);
+  tools::SupervisorConfig config;
+  config.max_restarts_per_worker = 2;
+  config.poll_interval = sim::Seconds(1);
+  tools::Supervisor sup(cluster_, *client_, config);
+  sup.Launch({{"w1", "crashy", {"home"}}});
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return sup.AllHealthy(); }, sim::Seconds(30)));
+
+  // Keep killing it as soon as it reappears.
+  for (int i = 0; i < 3; ++i) {
+    GPid current = sup.status().at("w1").gpid;
+    if (current.valid()) {
+      cluster_.host("home").kernel().PostSignal(current.pid, host::Signal::kSigKill,
+                                                kTestUid);
+    }
+    RunUntil(cluster_,
+             [&] {
+               return sup.status().at("w1").failed ||
+                      (sup.status().at("w1").gpid.valid() &&
+                       sup.status().at("w1").gpid != current);
+             },
+             sim::Seconds(60));
+  }
+  EXPECT_TRUE(sup.status().at("w1").failed);
+  EXPECT_EQ(sup.total_restarts(), 2u);
+  sup.Stop();
+}
+
+// --- DOT export ----------------------------------------------------------------------
+
+TEST(DotExportTest, EmitsClustersNodesAndEdges) {
+  std::vector<core::ProcRecord> records;
+  core::ProcRecord root;
+  root.gpid = {"vaxA", 1};
+  root.command = "root";
+  root.state = host::ProcState::kRunning;
+  records.push_back(root);
+  core::ProcRecord kid;
+  kid.gpid = {"vaxB", 2};
+  kid.logical_parent = {"vaxA", 1};
+  kid.command = "kid";
+  kid.state = host::ProcState::kStopped;
+  records.push_back(kid);
+  core::ProcRecord gone;
+  gone.gpid = {"vaxA", 3};
+  gone.logical_parent = {"vaxA", 1};
+  gone.command = "gone";
+  gone.exited = true;
+  records.push_back(gone);
+
+  std::string dot = tools::ExportDot(records);
+  EXPECT_NE(dot.find("digraph \"ppm\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"vaxA\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"vaxB\""), std::string::npos);
+  // Cross-host parent edge is dashed; same-host is not.
+  EXPECT_NE(dot.find("\"vaxA_1\" -> \"vaxB_2\" [style=dashed];"), std::string::npos);
+  EXPECT_NE(dot.find("\"vaxA_1\" -> \"vaxA_3\";"), std::string::npos);
+  // States drive the fill colours; exited is gray.
+  EXPECT_NE(dot.find("palegreen"), std::string::npos);
+  EXPECT_NE(dot.find("lightsalmon"), std::string::npos);
+  EXPECT_NE(dot.find("lightgray"), std::string::npos);
+  EXPECT_NE(dot.find("(exited)"), std::string::npos);
+  // Balanced braces, single digraph.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(DotExportTest, QuotingSurvivesHostileNames) {
+  std::vector<core::ProcRecord> records;
+  core::ProcRecord p;
+  p.gpid = {"vaxA", 1};
+  p.command = "evil \"quoted\" \\ name";
+  records.push_back(p);
+  std::string dot = tools::ExportDot(records);
+  EXPECT_NE(dot.find("\\\"quoted\\\""), std::string::npos);
+}
+
+TEST(DotExportTest, OptionsRespected) {
+  std::vector<core::ProcRecord> records;
+  core::ProcRecord p;
+  p.gpid = {"vaxA", 1};
+  p.command = "x";
+  records.push_back(p);
+  tools::DotOptions options;
+  options.graph_name = "mygraph";
+  options.cluster_by_host = false;
+  options.rankdir_lr = true;
+  std::string dot = tools::ExportDot(records, options);
+  EXPECT_NE(dot.find("digraph \"mygraph\""), std::string::npos);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+  EXPECT_EQ(dot.find("subgraph"), std::string::npos);
+}
+
+TEST(DotExportTest, EndToEndFromSnapshot) {
+  Cluster cluster;
+  cluster.AddHost("a");
+  cluster.AddHost("b");
+  cluster.Link("a", "b");
+  InstallTestUser(cluster);
+  cluster.RunFor(sim::Millis(10));
+  PpmClient* client = ConnectTool(cluster, "a");
+  ASSERT_NE(client, nullptr);
+  std::optional<core::CreateResp> root, kid;
+  client->CreateProcess("a", "root", {}, [&](const core::CreateResp& r) { root = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return root.has_value(); }));
+  client->CreateProcess("b", "kid", root->gpid,
+                        [&](const core::CreateResp& r) { kid = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return kid.has_value(); }));
+  std::optional<core::SnapshotResp> snap;
+  client->Snapshot([&](const core::SnapshotResp& r) { snap = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return snap.has_value(); }, sim::Seconds(60)));
+  std::string dot = tools::ExportDot(snap->records);
+  EXPECT_NE(dot.find("root"), std::string::npos);
+  EXPECT_NE(dot.find("kid"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // cross-host edge
+}
+
+}  // namespace
+}  // namespace ppm

@@ -1,0 +1,166 @@
+// history_test.cc — unit tests for the event log and trigger table
+// (the integration paths are covered in lpm_test; these pin the
+// data-structure semantics directly).
+#include <gtest/gtest.h>
+
+#include "core/history.h"
+
+namespace ppm::core {
+namespace {
+
+HistEvent Ev(host::KEvent kind, host::Pid pid, sim::SimTime at = 0) {
+  HistEvent ev;
+  ev.kind = kind;
+  ev.pid = pid;
+  ev.at = at;
+  return ev;
+}
+
+TEST(EventLog, RecordsInOrder) {
+  EventLog log;
+  log.Record(Ev(host::KEvent::kFork, 1, 10), host::kTraceAll);
+  log.Record(Ev(host::KEvent::kExit, 1, 20), host::kTraceAll);
+  auto events = log.Query();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, host::KEvent::kFork);
+  EXPECT_EQ(events[1].kind, host::KEvent::kExit);
+}
+
+TEST(EventLog, GranularityMaskFilters) {
+  EventLog log;
+  log.Record(Ev(host::KEvent::kFork, 1), host::kTraceExit);   // filtered
+  log.Record(Ev(host::KEvent::kExit, 1), host::kTraceExit);   // kept
+  log.Record(Ev(host::KEvent::kIpcSend, 1), host::kTraceExit);  // filtered
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.total_recorded(), 1u);
+  EXPECT_EQ(log.total_filtered(), 2u);
+}
+
+TEST(EventLog, StateChangeFlagCoversStopAndContinue) {
+  EventLog log;
+  log.Record(Ev(host::KEvent::kStop, 1), host::kTraceStateChange);
+  log.Record(Ev(host::KEvent::kContinue, 1), host::kTraceStateChange);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(EventLog, RingDropsOldest) {
+  EventLog log(3);
+  for (host::Pid i = 1; i <= 5; ++i) {
+    log.Record(Ev(host::KEvent::kExec, i), host::kTraceAll);
+  }
+  auto events = log.Query();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].pid, 3);
+  EXPECT_EQ(events[2].pid, 5);
+  EXPECT_EQ(log.total_recorded(), 5u);
+}
+
+TEST(EventLog, QueryFiltersAndLimits) {
+  EventLog log;
+  for (int i = 0; i < 10; ++i) {
+    log.Record(Ev(host::KEvent::kExec, i % 2 ? 7 : 8), host::kTraceAll);
+  }
+  EXPECT_EQ(log.Query(7).size(), 5u);
+  EXPECT_EQ(log.Query(7, 2).size(), 2u);
+  EXPECT_EQ(log.Query(host::kNoPid, 3).size(), 3u);
+  EXPECT_EQ(log.Query(99).size(), 0u);
+}
+
+TEST(TriggerTable, MatchesKindAndSubject) {
+  TriggerTable table;
+  TriggerSpec spec;
+  spec.event_kind = host::KEvent::kExit;
+  spec.subject_pid = 5;
+  table.Install(spec);
+  int fired = 0;
+  auto fire = [&](const TriggerSpec&, const HistEvent&) { ++fired; };
+  table.Match(Ev(host::KEvent::kExit, 6), fire);   // wrong subject
+  table.Match(Ev(host::KEvent::kFork, 5), fire);   // wrong kind
+  EXPECT_EQ(fired, 0);
+  table.Match(Ev(host::KEvent::kExit, 5), fire);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TriggerTable, WildcardSubjectMatchesAnyPid) {
+  TriggerTable table;
+  TriggerSpec spec;
+  spec.event_kind = host::KEvent::kStop;
+  spec.subject_pid = host::kNoPid;
+  table.Install(spec);
+  int fired = 0;
+  table.Match(Ev(host::KEvent::kStop, 123),
+              [&](const TriggerSpec&, const HistEvent&) { ++fired; });
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TriggerTable, OneShotSemantics) {
+  TriggerTable table;
+  TriggerSpec spec;
+  spec.event_kind = host::KEvent::kExit;
+  spec.subject_pid = host::kNoPid;
+  table.Install(spec);
+  int fired = 0;
+  auto fire = [&](const TriggerSpec&, const HistEvent&) { ++fired; };
+  table.Match(Ev(host::KEvent::kExit, 1), fire);
+  table.Match(Ev(host::KEvent::kExit, 2), fire);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.fired_count(), 1u);
+}
+
+TEST(TriggerTable, RemoveBeforeFire) {
+  TriggerTable table;
+  TriggerSpec spec;
+  spec.event_kind = host::KEvent::kExit;
+  uint64_t id = table.Install(spec);
+  EXPECT_TRUE(table.Remove(id));
+  EXPECT_FALSE(table.Remove(id));
+  int fired = 0;
+  table.Match(Ev(host::KEvent::kExit, 1),
+              [&](const TriggerSpec&, const HistEvent&) { ++fired; });
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TriggerTable, MultipleTriggersOnOneEvent) {
+  TriggerTable table;
+  TriggerSpec a;
+  a.event_kind = host::KEvent::kExit;
+  a.subject_pid = 9;
+  a.action_signal = host::Signal::kSigStop;
+  TriggerSpec b = a;
+  b.action_signal = host::Signal::kSigUsr1;
+  table.Install(a);
+  table.Install(b);
+  std::vector<host::Signal> fired;
+  table.Match(Ev(host::KEvent::kExit, 9), [&](const TriggerSpec& spec, const HistEvent&) {
+    fired.push_back(spec.action_signal);
+  });
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], host::Signal::kSigStop);
+  EXPECT_EQ(fired[1], host::Signal::kSigUsr1);
+}
+
+TEST(TriggerTable, InstallDuringFireIsSafe) {
+  // A trigger action that installs another trigger must not invalidate
+  // the iteration.
+  TriggerTable table;
+  TriggerSpec spec;
+  spec.event_kind = host::KEvent::kExit;
+  table.Install(spec);
+  int fired = 0;
+  table.Match(Ev(host::KEvent::kExit, 1), [&](const TriggerSpec&, const HistEvent&) {
+    ++fired;
+    TriggerSpec nested;
+    nested.event_kind = host::KEvent::kExit;
+    table.Install(nested);
+  });
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(table.size(), 1u);  // the nested one awaits the next event
+  table.Match(Ev(host::KEvent::kExit, 2), [&](const TriggerSpec&, const HistEvent&) {
+    ++fired;
+  });
+  EXPECT_EQ(fired, 2);
+}
+
+}  // namespace
+}  // namespace ppm::core

@@ -1,0 +1,212 @@
+// kernel_edge_test.cc — corner cases of the simulated UNIX kernel.
+#include <gtest/gtest.h>
+
+#include "host/host.h"
+#include "host/kernel.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace ppm::host {
+namespace {
+
+class KernelEdgeTest : public ::testing::Test {
+ protected:
+  KernelEdgeTest() : sim_(3), kernel_(sim_, HostType::kVax780, "edge") {}
+  sim::Simulator sim_;
+  Kernel kernel_;
+};
+
+TEST_F(KernelEdgeTest, DeepReparentingChain) {
+  // a -> b -> c -> d; killing interior nodes walks everyone to init.
+  Pid a = kernel_.Spawn(kNoPid, 100, "a");
+  Pid b = kernel_.Spawn(a, 100, "b");
+  Pid c = kernel_.Spawn(b, 100, "c");
+  Pid d = kernel_.Spawn(c, 100, "d");
+  kernel_.Exit(b, 0);
+  EXPECT_EQ(kernel_.Find(c)->ppid, Kernel::kInitPid);
+  kernel_.Exit(c, 0);
+  EXPECT_EQ(kernel_.Find(d)->ppid, Kernel::kInitPid);
+  // a's zombie child b was reaped by... b exited while a alive: zombie
+  // until a reaps.
+  EXPECT_EQ(kernel_.Find(b)->state, ProcState::kZombie);
+  auto reaped = kernel_.Reap(a);
+  EXPECT_EQ(reaped, std::vector<Pid>{b});
+}
+
+TEST_F(KernelEdgeTest, ReapOnlyCollectsOwnZombies) {
+  Pid p1 = kernel_.Spawn(kNoPid, 100, "p1");
+  Pid p2 = kernel_.Spawn(kNoPid, 100, "p2");
+  Pid c1 = kernel_.Spawn(p1, 100, "c1");
+  Pid c2 = kernel_.Spawn(p2, 100, "c2");
+  kernel_.Exit(c1, 0);
+  kernel_.Exit(c2, 0);
+  auto reaped = kernel_.Reap(p1);
+  EXPECT_EQ(reaped, std::vector<Pid>{c1});
+  EXPECT_EQ(kernel_.Find(c2)->state, ProcState::kZombie);
+}
+
+TEST_F(KernelEdgeTest, ContOnRunningProcessIsNoop) {
+  Pid p = kernel_.Spawn(kNoPid, 100, "p");
+  EXPECT_TRUE(kernel_.PostSignal(p, Signal::kSigCont, 100));
+  EXPECT_EQ(kernel_.Find(p)->state, ProcState::kRunning);
+  double la_before = kernel_.LoadAverage();
+  // Repeated CONT must not inflate the run queue.
+  for (int i = 0; i < 5; ++i) kernel_.PostSignal(p, Signal::kSigCont, 100);
+  sim_.RunUntil(sim_.Now() + sim::Seconds(30));
+  EXPECT_NEAR(kernel_.LoadAverage(), 1.0, 0.1);
+  (void)la_before;
+}
+
+TEST_F(KernelEdgeTest, KillStoppedProcessWorks) {
+  Pid p = kernel_.Spawn(kNoPid, 100, "p");
+  kernel_.PostSignal(p, Signal::kSigStop, 100);
+  EXPECT_TRUE(kernel_.PostSignal(p, Signal::kSigKill, 100));
+  EXPECT_FALSE(kernel_.Find(p)->alive());
+  // It left the run queue exactly once (stop), not twice.
+  sim_.RunUntil(sim_.Now() + sim::Seconds(30));
+  EXPECT_NEAR(kernel_.LoadAverage(), 0.0, 0.05);
+}
+
+TEST_F(KernelEdgeTest, CatchableSignalToStoppedProcessStillDelivered) {
+  struct Catcher : ProcessBody {
+    int caught = 0;
+    bool OnSignal(Signal) override {
+      ++caught;
+      return true;
+    }
+  };
+  auto body = std::make_unique<Catcher>();
+  Catcher* raw = body.get();
+  Pid p = kernel_.Spawn(kNoPid, 100, "p", std::move(body));
+  kernel_.PostSignal(p, Signal::kSigStop, 100);
+  kernel_.PostSignal(p, Signal::kSigUsr1, 100);
+  EXPECT_EQ(raw->caught, 1);
+  EXPECT_EQ(kernel_.Find(p)->state, ProcState::kStopped);
+}
+
+TEST_F(KernelEdgeTest, AdoptDeadTargetFails) {
+  Pid lpm = kernel_.Spawn(kNoPid, 100, "lpm");
+  Pid p = kernel_.Spawn(kNoPid, 100, "p");
+  kernel_.Exit(p, 0);
+  std::vector<Pid> adopted;
+  std::string err;
+  EXPECT_FALSE(kernel_.Adopt(lpm, p, kTraceAll, 100, &adopted, &err));
+  EXPECT_TRUE(adopted.empty());
+}
+
+TEST_F(KernelEdgeTest, AdoptSkipsDeadDescendants) {
+  Pid lpm = kernel_.Spawn(kNoPid, 100, "lpm");
+  Pid root = kernel_.Spawn(kNoPid, 100, "root");
+  Pid live = kernel_.Spawn(root, 100, "live");
+  Pid dead = kernel_.Spawn(root, 100, "dead");
+  kernel_.Exit(dead, 0);
+  std::vector<Pid> adopted;
+  ASSERT_TRUE(kernel_.Adopt(lpm, root, kTraceAll, 100, &adopted));
+  EXPECT_EQ(adopted, (std::vector<Pid>{root, live}));
+}
+
+TEST_F(KernelEdgeTest, ReAdoptionByNewManagerOverridesOld) {
+  Pid lpm1 = kernel_.Spawn(kNoPid, 100, "lpm1");
+  Pid lpm2 = kernel_.Spawn(kNoPid, 100, "lpm2");
+  Pid p = kernel_.Spawn(kNoPid, 100, "p");
+  std::vector<Pid> adopted;
+  ASSERT_TRUE(kernel_.Adopt(lpm1, p, kTraceExit, 100, &adopted));
+  adopted.clear();
+  ASSERT_TRUE(kernel_.Adopt(lpm2, p, kTraceAll, 100, &adopted));
+  EXPECT_EQ(kernel_.Find(p)->adopter, lpm2);
+  EXPECT_EQ(kernel_.Find(p)->trace_mask, kTraceAll);
+}
+
+TEST_F(KernelEdgeTest, FileOpsOnDeadProcessRejected) {
+  Pid p = kernel_.Spawn(kNoPid, 100, "p");
+  int fd = kernel_.OpenFileFor(p, "/tmp/x", "r");
+  EXPECT_GE(fd, 0);
+  kernel_.PostSignal(p, Signal::kSigKill, 100);
+  EXPECT_EQ(kernel_.OpenFileFor(p, "/tmp/y", "r"), -1);
+}
+
+TEST_F(KernelEdgeTest, ChargeAccumulatesRusage) {
+  Pid p = kernel_.Spawn(kNoPid, 100, "p");
+  sim::SimDuration c1 = kernel_.Charge(p, sim::Millis(10));
+  sim::SimDuration c2 = kernel_.Charge(p, sim::Millis(5));
+  EXPECT_EQ(kernel_.Find(p)->rusage.cpu_time, c1 + c2);
+}
+
+TEST_F(KernelEdgeTest, SpeedFactorScalesCosts) {
+  sim::Simulator sim2(3);
+  Kernel sun(sim2, HostType::kSun2, "sun");
+  Pid p_vax = kernel_.Spawn(kNoPid, 100, "p");
+  Pid p_sun = sun.Spawn(kNoPid, 100, "p");
+  EXPECT_GT(sun.Charge(p_sun, sim::Millis(10)), kernel_.Charge(p_vax, sim::Millis(10)));
+}
+
+TEST_F(KernelEdgeTest, ProcessesOfExcludesZombiesAndOthers) {
+  Pid mine = kernel_.Spawn(kNoPid, 100, "mine");
+  Pid other = kernel_.Spawn(kNoPid, 200, "other");
+  Pid gone = kernel_.Spawn(kNoPid, 100, "gone");
+  kernel_.Exit(gone, 0);
+  auto procs = kernel_.ProcessesOf(100);
+  EXPECT_EQ(procs, std::vector<Pid>{mine});
+  (void)other;
+}
+
+TEST_F(KernelEdgeTest, LoadTauGovernsConvergenceSpeed) {
+  sim::Simulator fast_sim(3), slow_sim(3);
+  Kernel fast(fast_sim, HostType::kVax780, "fast", sim::Seconds(1));
+  Kernel slow(slow_sim, HostType::kVax780, "slow", sim::Seconds(60));
+  fast.Spawn(kNoPid, 100, "spin");
+  slow.Spawn(kNoPid, 100, "spin");
+  fast_sim.RunUntil(sim::Seconds(5));
+  slow_sim.RunUntil(sim::Seconds(5));
+  EXPECT_GT(fast.LoadAverage(), 0.95);
+  EXPECT_LT(slow.LoadAverage(), 0.35);
+}
+
+// Property: the kernel's fork bookkeeping stays consistent under random
+// spawn/kill/reap churn.
+class KernelChurnTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KernelChurnTest, GenealogyInvariantsHoldUnderChurn) {
+  sim::Simulator sim(GetParam());
+  Kernel kernel(sim, HostType::kVax780, "churn");
+  std::vector<Pid> live;
+  for (int step = 0; step < 500; ++step) {
+    uint64_t roll = sim.rng().Below(100);
+    if (roll < 50 || live.empty()) {
+      Pid parent = live.empty() ? kNoPid
+                                : live[sim.rng().Below(live.size())];
+      live.push_back(kernel.Spawn(parent, 100, "churn"));
+    } else if (roll < 80) {
+      size_t idx = sim.rng().Below(live.size());
+      kernel.PostSignal(live[idx], Signal::kSigKill, 100);
+      live.erase(live.begin() + static_cast<long>(idx));
+    } else {
+      size_t idx = sim.rng().Below(live.size());
+      kernel.Reap(live[idx]);
+    }
+    sim.RunUntil(sim.Now() + sim::Millis(10));
+  }
+  // Invariants: every live process has a live-or-init parent pointer
+  // that knows it as a child; live_count matches.
+  size_t counted = 0;
+  for (Pid pid : kernel.AllPids()) {
+    const Process* proc = kernel.Find(pid);
+    if (!proc->alive()) continue;
+    ++counted;
+    if (pid == Kernel::kInitPid) continue;
+    const Process* parent = kernel.Find(proc->ppid);
+    ASSERT_NE(parent, nullptr) << "dangling ppid";
+    EXPECT_TRUE(parent->alive()) << "parent neither live nor reparented";
+    bool listed = false;
+    for (Pid child : parent->children) {
+      if (child == pid) listed = true;
+    }
+    EXPECT_TRUE(listed) << "parent does not list child";
+  }
+  EXPECT_EQ(counted, kernel.live_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelChurnTest, ::testing::Values(1, 7, 42, 1986, 31337));
+
+}  // namespace
+}  // namespace ppm::host

@@ -1,0 +1,210 @@
+// migration_test.cc — the process migration extension (the 1986 PPM had
+// none; paper Sections 1/7 motivate event-dependent changes of "the site
+// of execution").
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "core/lpm.h"
+#include "tests/test_util.h"
+#include "tools/client.h"
+
+namespace ppm::core {
+namespace {
+
+using test::ConnectTool;
+using test::InstallTestUser;
+using test::kTestUid;
+using test::RunUntil;
+using tools::PpmClient;
+
+class MigrationTest : public ::testing::Test {
+ protected:
+  MigrationTest() {
+    cluster_.AddHost("home");
+    cluster_.AddHost("src");
+    cluster_.AddHost("dst");
+    cluster_.Ethernet({"home", "src", "dst"});
+    InstallTestUser(cluster_);
+    cluster_.RunFor(sim::Millis(10));
+    client_ = ConnectTool(cluster_, "home");
+  }
+
+  GPid Create(const std::string& host, const std::string& cmd,
+              bool running = true) {
+    std::optional<CreateResp> result;
+    client_->CreateProcess(host, cmd, {}, [&](const CreateResp& r) { result = r; },
+                           running);
+    EXPECT_TRUE(RunUntil(cluster_, [&] { return result.has_value(); }));
+    EXPECT_TRUE(result && result->ok);
+    return result->gpid;
+  }
+
+  MigrateResp Migrate(const GPid& target, const std::string& dest) {
+    std::optional<MigrateResp> result;
+    client_->Migrate(target, dest, [&](const MigrateResp& r) { result = r; });
+    EXPECT_TRUE(RunUntil(cluster_, [&] { return result.has_value(); }, sim::Seconds(60)));
+    return result.value_or(MigrateResp{});
+  }
+
+  Cluster cluster_;
+  PpmClient* client_ = nullptr;
+};
+
+TEST_F(MigrationTest, MovesProcessBetweenRemoteHosts) {
+  ASSERT_NE(client_, nullptr);
+  GPid old_gpid = Create("src", "mover");
+  MigrateResp resp = Migrate(old_gpid, "dst");
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_EQ(resp.new_gpid.host, "dst");
+
+  // Old incarnation dead, new one alive with the same command.
+  const host::Process* old_proc = cluster_.host("src").kernel().Find(old_gpid.pid);
+  EXPECT_TRUE(old_proc == nullptr || !old_proc->alive());
+  const host::Process* new_proc = cluster_.host("dst").kernel().Find(resp.new_gpid.pid);
+  ASSERT_NE(new_proc, nullptr);
+  EXPECT_TRUE(new_proc->alive());
+  EXPECT_EQ(new_proc->command, "mover");
+  EXPECT_EQ(new_proc->state, host::ProcState::kRunning);
+  // Still adopted (trace mask carried over).
+  EXPECT_NE(new_proc->adopter, host::kNoPid);
+}
+
+TEST_F(MigrationTest, GenealogyStaysConnectedAcrossTheMove) {
+  ASSERT_NE(client_, nullptr);
+  GPid old_gpid = Create("src", "mover");
+  MigrateResp resp = Migrate(old_gpid, "dst");
+  ASSERT_TRUE(resp.ok);
+  cluster_.RunFor(sim::Seconds(1));
+
+  std::optional<SnapshotResp> snap;
+  client_->Snapshot([&](const SnapshotResp& r) { snap = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return snap.has_value(); }, sim::Seconds(60)));
+  const ProcRecord* old_rec = nullptr;
+  const ProcRecord* new_rec = nullptr;
+  for (const auto& rec : snap->records) {
+    if (rec.gpid == old_gpid) old_rec = &rec;
+    if (rec.gpid == resp.new_gpid) new_rec = &rec;
+  }
+  // The old node is retained (it anchors the new one) and marked exited;
+  // the new node hangs off it, so the tree never fragments.
+  ASSERT_NE(old_rec, nullptr);
+  EXPECT_TRUE(old_rec->exited);
+  ASSERT_NE(new_rec, nullptr);
+  EXPECT_EQ(new_rec->logical_parent, old_gpid);
+}
+
+TEST_F(MigrationTest, PreservesStoppedState) {
+  ASSERT_NE(client_, nullptr);
+  GPid old_gpid = Create("src", "sleeper");
+  std::optional<SignalResp> sig;
+  client_->Signal(old_gpid, host::Signal::kSigStop,
+                  [&](const SignalResp& r) { sig = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return sig.has_value(); }));
+  MigrateResp resp = Migrate(old_gpid, "dst");
+  ASSERT_TRUE(resp.ok) << resp.error;
+  cluster_.RunFor(sim::Seconds(1));
+  EXPECT_EQ(cluster_.host("dst").kernel().Find(resp.new_gpid.pid)->state,
+            host::ProcState::kStopped);
+}
+
+TEST_F(MigrationTest, DeadProcessFails) {
+  ASSERT_NE(client_, nullptr);
+  GPid g = Create("src", "shortlived");
+  cluster_.host("src").kernel().PostSignal(g.pid, host::Signal::kSigKill, kTestUid);
+  cluster_.RunFor(sim::Seconds(1));
+  MigrateResp resp = Migrate(g, "dst");
+  EXPECT_FALSE(resp.ok);
+}
+
+TEST_F(MigrationTest, SameHostRejected) {
+  ASSERT_NE(client_, nullptr);
+  GPid g = Create("src", "stay");
+  MigrateResp resp = Migrate(g, "src");
+  EXPECT_FALSE(resp.ok);
+  EXPECT_TRUE(cluster_.host("src").kernel().Find(g.pid)->alive());
+}
+
+TEST_F(MigrationTest, UnreachableDestinationLeavesOriginalUntouched) {
+  ASSERT_NE(client_, nullptr);
+  GPid g = Create("src", "survivor");
+  cluster_.Crash("dst");
+  cluster_.RunFor(sim::Millis(500));
+  MigrateResp resp = Migrate(g, "dst");
+  EXPECT_FALSE(resp.ok);
+  // Abort semantics: the original keeps running.
+  EXPECT_TRUE(cluster_.host("src").kernel().Find(g.pid)->alive());
+}
+
+TEST_F(MigrationTest, UnknownDestinationFails) {
+  ASSERT_NE(client_, nullptr);
+  GPid g = Create("src", "survivor");
+  MigrateResp resp = Migrate(g, "atlantis");
+  EXPECT_FALSE(resp.ok);
+  EXPECT_TRUE(cluster_.host("src").kernel().Find(g.pid)->alive());
+}
+
+TEST_F(MigrationTest, TriggerDrivenMigration) {
+  // "history dependent events … trigger process state changes … and
+  // possibly the site of execution": when the watchdog on src exits,
+  // evacuate the worker from src to dst.
+  ASSERT_NE(client_, nullptr);
+  GPid watchdog = Create("src", "watchdog");
+  GPid worker = Create("src", "worker");
+
+  TriggerSpec spec;
+  spec.event_kind = host::KEvent::kExit;
+  spec.subject_pid = watchdog.pid;
+  spec.action = TriggerAction::kMigrate;
+  spec.action_target = worker;
+  spec.migrate_dest = "dst";
+  std::optional<TriggerResp> installed;
+  client_->InstallTrigger("src", spec, [&](const TriggerResp& r) { installed = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return installed.has_value(); }));
+  ASSERT_TRUE(installed->ok);
+
+  cluster_.host("src").kernel().PostSignal(watchdog.pid, host::Signal::kSigKill,
+                                           kTestUid);
+  // The worker must disappear from src and reappear on dst.
+  ASSERT_TRUE(RunUntil(cluster_,
+                       [&] {
+                         const host::Process* p =
+                             cluster_.host("src").kernel().Find(worker.pid);
+                         return p == nullptr || !p->alive();
+                       },
+                       sim::Seconds(60)));
+  ASSERT_TRUE(RunUntil(cluster_,
+                       [&] {
+                         for (host::Pid p : cluster_.host("dst").kernel().ProcessesOf(
+                                  kTestUid)) {
+                           const host::Process* proc =
+                               cluster_.host("dst").kernel().Find(p);
+                           if (proc && proc->command == "worker") return true;
+                         }
+                         return false;
+                       },
+                       sim::Seconds(60)));
+}
+
+TEST_F(MigrationTest, MigrationCostsMoreThanRemoteCreate) {
+  // Cold migration ships an image: it must cost visibly more than a
+  // plain remote create.
+  ASSERT_NE(client_, nullptr);
+  GPid g = Create("src", "heavy");
+
+  sim::SimTime t0 = cluster_.simulator().Now();
+  std::optional<CreateResp> created;
+  client_->CreateProcess("dst", "light", {}, [&](const CreateResp& r) { created = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return created.has_value(); }));
+  sim::SimDuration create_cost =
+      static_cast<sim::SimDuration>(cluster_.simulator().Now() - t0);
+
+  sim::SimTime t1 = cluster_.simulator().Now();
+  MigrateResp resp = Migrate(g, "dst");
+  ASSERT_TRUE(resp.ok);
+  sim::SimDuration migrate_cost =
+      static_cast<sim::SimDuration>(cluster_.simulator().Now() - t1);
+  EXPECT_GT(migrate_cost, create_cost + sim::Millis(100));
+}
+
+}  // namespace
+}  // namespace ppm::core

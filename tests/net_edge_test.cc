@@ -1,0 +1,225 @@
+// net_edge_test.cc — corner cases of the network substrate: close
+// semantics, simultaneous connects, listener lifecycle, multi-partition
+// shapes, and fault/heal interleavings.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace ppm::net {
+namespace {
+
+class NetEdgeTest : public ::testing::Test {
+ protected:
+  NetEdgeTest() : sim_(7), net_(sim_) {
+    for (const char* n : {"a", "b", "c", "d"}) ids_.push_back(net_.AddHost(n));
+    net_.AddLink(ids_[0], ids_[1]);
+    net_.AddLink(ids_[1], ids_[2]);
+    net_.AddLink(ids_[2], ids_[3]);
+  }
+
+  // Opens a circuit a->b:port with collecting callbacks.
+  ConnId Open(HostId from, HostId to, Port port) {
+    std::optional<ConnId> conn;
+    net_.Connect(from, SocketAddr{to, port}, ConnCallbacks{},
+                 [&](std::optional<ConnId> c) { conn = c; });
+    sim_.Run();
+    return conn.value_or(kInvalidConn);
+  }
+
+  sim::Simulator sim_;
+  Network net_;
+  std::vector<HostId> ids_;
+};
+
+TEST_F(NetEdgeTest, DoubleCloseIsIdempotent) {
+  net_.Listen(ids_[1], 9, [](ConnId, SocketAddr) { return ConnCallbacks{}; });
+  ConnId c = Open(ids_[0], ids_[1], 9);
+  ASSERT_NE(c, kInvalidConn);
+  net_.Close(c);
+  net_.Close(c);  // second close: no crash, no effect
+  sim_.Run();
+  EXPECT_FALSE(net_.ConnAlive(c));
+}
+
+TEST_F(NetEdgeTest, SendAfterLocalCloseFails) {
+  net_.Listen(ids_[1], 9, [](ConnId, SocketAddr) { return ConnCallbacks{}; });
+  ConnId c = Open(ids_[0], ids_[1], 9);
+  net_.Close(c);
+  EXPECT_FALSE(net_.Send(c, {'x'}));
+}
+
+TEST_F(NetEdgeTest, PeerCanStillReceiveNothingAfterFin) {
+  int got = 0;
+  net_.Listen(ids_[1], 9, [&](ConnId, SocketAddr) {
+    ConnCallbacks cb;
+    cb.on_data = [&](ConnId, const std::vector<uint8_t>&) { ++got; };
+    return cb;
+  });
+  ConnId c = Open(ids_[0], ids_[1], 9);
+  net_.Send(c, {'1'});
+  net_.Close(c);
+  sim_.Run();
+  EXPECT_EQ(got, 1);  // data sent before FIN arrives; nothing after
+}
+
+TEST_F(NetEdgeTest, SimultaneousConnectsBothSucceed) {
+  // a->b and b->a racing: two independent circuits, both usable.
+  net_.Listen(ids_[0], 9, [](ConnId, SocketAddr) { return ConnCallbacks{}; });
+  net_.Listen(ids_[1], 9, [](ConnId, SocketAddr) { return ConnCallbacks{}; });
+  std::optional<ConnId> ab, ba;
+  net_.Connect(ids_[0], SocketAddr{ids_[1], 9}, ConnCallbacks{},
+               [&](std::optional<ConnId> c) { ab = c; });
+  net_.Connect(ids_[1], SocketAddr{ids_[0], 9}, ConnCallbacks{},
+               [&](std::optional<ConnId> c) { ba = c; });
+  sim_.Run();
+  ASSERT_TRUE(ab.has_value());
+  ASSERT_TRUE(ba.has_value());
+  EXPECT_TRUE(net_.ConnAlive(*ab));
+  EXPECT_TRUE(net_.ConnAlive(*ba));
+  EXPECT_EQ(net_.ConnsTouching(ids_[0]).size(), 2u);
+}
+
+TEST_F(NetEdgeTest, UnlistenThenRebind) {
+  net_.Listen(ids_[1], 9, [](ConnId, SocketAddr) { return ConnCallbacks{}; });
+  net_.Unlisten(ids_[1], 9);
+  EXPECT_FALSE(net_.HasListener(ids_[1], 9));
+  // Connect now refused.
+  std::optional<ConnId> c;
+  bool called = false;
+  net_.Connect(ids_[0], SocketAddr{ids_[1], 9}, ConnCallbacks{},
+               [&](std::optional<ConnId> conn) {
+                 called = true;
+                 c = conn;
+               });
+  sim_.Run();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(c.has_value());
+  // Rebinding works (the port was freed).
+  net_.Listen(ids_[1], 9, [](ConnId, SocketAddr) { return ConnCallbacks{}; });
+  EXPECT_NE(Open(ids_[0], ids_[1], 9), kInvalidConn);
+}
+
+TEST_F(NetEdgeTest, CrashClearsBindsForReboot) {
+  net_.Listen(ids_[1], 9, [](ConnId, SocketAddr) { return ConnCallbacks{}; });
+  net_.BindDgram(ids_[1], 53, [](SocketAddr, const std::vector<uint8_t>&,
+                                 const std::vector<HostId>&) {});
+  net_.SetHostUp(ids_[1], false);
+  EXPECT_FALSE(net_.HasListener(ids_[1], 9));
+  net_.SetHostUp(ids_[1], true);
+  // Fresh process can take the same ports.
+  net_.Listen(ids_[1], 9, [](ConnId, SocketAddr) { return ConnCallbacks{}; });
+  net_.BindDgram(ids_[1], 53, [](SocketAddr, const std::vector<uint8_t>&,
+                                 const std::vector<HostId>&) {});
+  EXPECT_TRUE(net_.HasListener(ids_[1], 9));
+}
+
+TEST_F(NetEdgeTest, ThreeWayPartitionIsolatesEachGroup) {
+  net_.Partition({{ids_[0]}, {ids_[1], ids_[2]}, {ids_[3]}});
+  EXPECT_FALSE(net_.HopDistance(ids_[0], ids_[1]).has_value());
+  EXPECT_EQ(net_.HopDistance(ids_[1], ids_[2]), 1u);
+  EXPECT_FALSE(net_.HopDistance(ids_[2], ids_[3]).has_value());
+  net_.Heal();
+  EXPECT_EQ(net_.HopDistance(ids_[0], ids_[3]), 3u);
+}
+
+TEST_F(NetEdgeTest, RepartitionMovesTheCut) {
+  net_.Partition({{ids_[0], ids_[1]}, {ids_[2], ids_[3]}});
+  EXPECT_FALSE(net_.HopDistance(ids_[1], ids_[2]).has_value());
+  // New partition with the cut elsewhere: b-c restored, a isolated.
+  net_.Partition({{ids_[0]}, {ids_[1], ids_[2], ids_[3]}});
+  EXPECT_EQ(net_.HopDistance(ids_[1], ids_[2]), 1u);
+  EXPECT_FALSE(net_.HopDistance(ids_[0], ids_[1]).has_value());
+}
+
+TEST_F(NetEdgeTest, CircuitSurvivesUnrelatedLinkFailure) {
+  net_.Listen(ids_[1], 9, [](ConnId, SocketAddr) { return ConnCallbacks{}; });
+  bool closed = false;
+  std::optional<ConnId> conn;
+  ConnCallbacks cb;
+  cb.on_close = [&](ConnId, CloseReason) { closed = true; };
+  net_.Connect(ids_[0], SocketAddr{ids_[1], 9}, cb,
+               [&](std::optional<ConnId> c) { conn = c; });
+  sim_.Run();
+  ASSERT_TRUE(conn.has_value());
+  net_.SetLinkUp(ids_[2], ids_[3], false);  // far away
+  sim_.Run();
+  EXPECT_FALSE(closed);
+  EXPECT_TRUE(net_.ConnAlive(*conn));
+}
+
+TEST_F(NetEdgeTest, InFlightDataDeliveredBeforeAbortNotice) {
+  std::vector<std::string> got;
+  std::optional<CloseReason> reason;
+  net_.Listen(ids_[2], 9, [&](ConnId, SocketAddr) {
+    ConnCallbacks cb;
+    cb.on_data = [&](ConnId, const std::vector<uint8_t>& d) {
+      got.emplace_back(d.begin(), d.end());
+    };
+    cb.on_close = [&](ConnId, CloseReason r) { reason = r; };
+    return cb;
+  });
+  ConnId c = Open(ids_[0], ids_[2], 9);
+  ASSERT_NE(c, kInvalidConn);
+  net_.Send(c, {'l', 'a', 's', 't'});
+  net_.Abort(c);  // sender dies while the frame is on the 2-hop path
+  // Like TCP: bytes already on the wire still arrive; the break notice
+  // follows.  Sends attempted *after* the abort are refused locally.
+  EXPECT_FALSE(net_.Send(c, {'x'}));
+  sim_.Run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "last");
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_EQ(*reason, CloseReason::kPeerCrash);
+}
+
+TEST_F(NetEdgeTest, ConnectFromCrashedHostIsDropped) {
+  net_.Listen(ids_[1], 9, [](ConnId, SocketAddr) { return ConnCallbacks{}; });
+  net_.SetHostUp(ids_[0], false);
+  bool called = false;
+  net_.Connect(ids_[0], SocketAddr{ids_[1], 9}, ConnCallbacks{},
+               [&](std::optional<ConnId>) { called = true; });
+  sim_.Run();
+  // The caller is dead; its callback never fires (no ghost completions).
+  EXPECT_FALSE(called);
+}
+
+TEST_F(NetEdgeTest, HopDistanceToSelfZeroEvenWhenIsolated) {
+  net_.Partition({{ids_[0]}, {ids_[1], ids_[2], ids_[3]}});
+  EXPECT_EQ(net_.HopDistance(ids_[0], ids_[0]), 0u);
+}
+
+TEST_F(NetEdgeTest, DgramAcrossHealedPartition) {
+  std::string got;
+  net_.BindDgram(ids_[3], 53, [&](SocketAddr, const std::vector<uint8_t>& d,
+                                  const std::vector<HostId>&) {
+    got.assign(d.begin(), d.end());
+  });
+  net_.Partition({{ids_[0]}, {ids_[1], ids_[2], ids_[3]}});
+  net_.SendDgram(ids_[0], 1000, SocketAddr{ids_[3], 53}, {'x'});
+  sim_.Run();
+  EXPECT_EQ(got, "");  // dropped silently during the partition
+  net_.Heal();
+  net_.SendDgram(ids_[0], 1000, SocketAddr{ids_[3], 53}, {'y'});
+  sim_.Run();
+  EXPECT_EQ(got, "y");
+}
+
+TEST_F(NetEdgeTest, LargeFrameCostsMoreThanSmall) {
+  std::vector<sim::SimTime> arrivals;
+  net_.BindDgram(ids_[1], 53, [&](SocketAddr, const std::vector<uint8_t>&,
+                                  const std::vector<HostId>&) {
+    arrivals.push_back(sim_.Now());
+  });
+  net_.SendDgram(ids_[0], 1000, SocketAddr{ids_[1], 53}, std::vector<uint8_t>(10, 1));
+  sim_.Run();
+  sim::SimTime small = arrivals[0];
+  sim::SimTime start = sim_.Now();
+  net_.SendDgram(ids_[0], 1000, SocketAddr{ids_[1], 53},
+                 std::vector<uint8_t>(100000, 1));
+  sim_.Run();
+  EXPECT_GT(arrivals[1] - start, small);
+}
+
+}  // namespace
+}  // namespace ppm::net

@@ -1,0 +1,182 @@
+// procfs_test.cc — the processes-as-files alternative of paper Section 6,
+// including its NFS-style remote extension and its documented gaps.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "host/procfs.h"
+#include "tests/test_util.h"
+
+namespace ppm::host {
+namespace {
+
+using core::Cluster;
+using test::InstallTestUser;
+using test::kTestUid;
+using test::RunUntil;
+
+class ProcFsTest : public ::testing::Test {
+ protected:
+  ProcFsTest() : sim_(9), net_(sim_) {
+    id_ = net_.AddHost("h");
+    host_ = std::make_unique<Host>(sim_, net_, id_, HostType::kVax780, "h");
+  }
+  sim::Simulator sim_;
+  net::Network net_;
+  net::HostId id_;
+  std::unique_ptr<Host> host_;
+};
+
+TEST_F(ProcFsTest, ListShowsLiveAndZombie) {
+  Kernel& kernel = host_->kernel();
+  Pid parent = kernel.Spawn(kNoPid, 100, "p");
+  Pid child = kernel.Spawn(parent, 100, "c");
+  kernel.Exit(child, 0);  // zombie
+  ProcFs fs(kernel);
+  auto pids = fs.List();
+  EXPECT_NE(std::find(pids.begin(), pids.end(), parent), pids.end());
+  EXPECT_NE(std::find(pids.begin(), pids.end(), child), pids.end());
+}
+
+TEST_F(ProcFsTest, StatusFileContents) {
+  Kernel& kernel = host_->kernel();
+  Pid p = kernel.Spawn(kNoPid, 100, "cruncher");
+  ProcFs fs(kernel);
+  auto status = fs.ReadStatus(p);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_NE(status->find("pid " + std::to_string(p)), std::string::npos);
+  EXPECT_NE(status->find("uid 100"), std::string::npos);
+  EXPECT_NE(status->find("state running"), std::string::npos);
+  EXPECT_NE(status->find("command cruncher"), std::string::npos);
+}
+
+TEST_F(ProcFsTest, ReadMissingProcess) {
+  ProcFs fs(host_->kernel());
+  EXPECT_FALSE(fs.ReadStatus(999).has_value());
+}
+
+TEST_F(ProcFsTest, CtlWritesMapToSignals) {
+  Kernel& kernel = host_->kernel();
+  Pid p = kernel.Spawn(kNoPid, 100, "target");
+  ProcFs fs(kernel);
+  EXPECT_TRUE(fs.WriteCtl(p, "stop", 100));
+  EXPECT_EQ(kernel.Find(p)->state, ProcState::kStopped);
+  EXPECT_TRUE(fs.WriteCtl(p, "cont", 100));
+  EXPECT_EQ(kernel.Find(p)->state, ProcState::kRunning);
+  EXPECT_TRUE(fs.WriteCtl(p, "kill", 100));
+  EXPECT_FALSE(kernel.Find(p)->alive());
+}
+
+TEST_F(ProcFsTest, CtlEnforcesUid) {
+  Kernel& kernel = host_->kernel();
+  Pid p = kernel.Spawn(kNoPid, 100, "target");
+  ProcFs fs(kernel);
+  std::string err;
+  EXPECT_FALSE(fs.WriteCtl(p, "kill", 200, &err));
+  EXPECT_EQ(err, "permission denied");
+  EXPECT_TRUE(kernel.Find(p)->alive());
+}
+
+TEST_F(ProcFsTest, BadCtlOpRejected) {
+  Kernel& kernel = host_->kernel();
+  Pid p = kernel.Spawn(kNoPid, 100, "target");
+  ProcFs fs(kernel);
+  std::string err;
+  EXPECT_FALSE(fs.WriteCtl(p, "reboot", 100, &err));
+  EXPECT_NE(err.find("bad ctl op"), std::string::npos);
+}
+
+// --- the NFS extension ("extends to multiple hosts") -------------------------
+
+class RemoteProcFsTest : public ::testing::Test {
+ protected:
+  RemoteProcFsTest() {
+    cluster_.AddHost("local");
+    cluster_.AddHost("remote");
+    cluster_.Link("local", "remote");
+    InstallTestUser(cluster_);
+    StartProcFsServer(cluster_.host("remote"));
+    cluster_.RunFor(sim::Millis(10));
+  }
+  Cluster cluster_;
+};
+
+TEST_F(RemoteProcFsTest, RemoteListAndRead) {
+  Pid p = cluster_.host("remote").kernel().Spawn(kNoPid, kTestUid, "far-proc");
+  std::optional<ProcFsResult> listing;
+  ProcFsList(cluster_.host("local"), "remote",
+             [&](const ProcFsResult& r) { listing = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return listing.has_value(); }));
+  ASSERT_TRUE(listing->ok);
+  EXPECT_NE(std::find(listing->pids.begin(), listing->pids.end(), p),
+            listing->pids.end());
+
+  std::optional<ProcFsResult> status;
+  ProcFsRead(cluster_.host("local"), "remote", p,
+             [&](const ProcFsResult& r) { status = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return status.has_value(); }));
+  ASSERT_TRUE(status->ok);
+  EXPECT_NE(status->content.find("far-proc"), std::string::npos);
+}
+
+TEST_F(RemoteProcFsTest, RemoteSignalViaCtlFile) {
+  // "Had we had such code, we would have used it for message delivery."
+  Pid p = cluster_.host("remote").kernel().Spawn(kNoPid, kTestUid, "victim");
+  std::optional<ProcFsResult> result;
+  ProcFsWriteCtl(cluster_.host("local"), "remote", p, "stop", kTestUid,
+                 [&](const ProcFsResult& r) { result = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return result.has_value(); }));
+  ASSERT_TRUE(result->ok) << result->error;
+  EXPECT_EQ(cluster_.host("remote").kernel().Find(p)->state, ProcState::kStopped);
+}
+
+TEST_F(RemoteProcFsTest, ClaimedUidIsTrusted) {
+  // AUTH_UNIX-era NFS trusts the claimed uid — the masquerade the PPM's
+  // pmd-mediated channels prevent is wide open on this path.  We verify
+  // the weakness honestly rather than hiding it.
+  Pid p = cluster_.host("remote").kernel().Spawn(kNoPid, kTestUid, "victim");
+  std::optional<ProcFsResult> result;
+  ProcFsWriteCtl(cluster_.host("local"), "remote", p, "kill",
+                 /*claimed_uid=*/kTestUid,  // the attacker simply claims it
+                 [&](const ProcFsResult& r) { result = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return result.has_value(); }));
+  EXPECT_TRUE(result->ok);
+  EXPECT_FALSE(cluster_.host("remote").kernel().Find(p)->alive());
+}
+
+TEST_F(RemoteProcFsTest, NoEventDetection) {
+  // "those aspects of process management that incorporate event
+  // detection cannot be handled by that approach": between two reads,
+  // any number of state changes are invisible.
+  Kernel& kernel = cluster_.host("remote").kernel();
+  Pid p = kernel.Spawn(kNoPid, kTestUid, "flapper");
+  std::optional<ProcFsResult> before;
+  ProcFsRead(cluster_.host("local"), "remote", p,
+             [&](const ProcFsResult& r) { before = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return before.has_value(); }));
+  // The process stops and resumes between polls.
+  kernel.PostSignal(p, Signal::kSigStop, kTestUid);
+  cluster_.RunFor(sim::Millis(100));
+  kernel.PostSignal(p, Signal::kSigCont, kTestUid);
+  cluster_.RunFor(sim::Millis(100));
+  std::optional<ProcFsResult> after;
+  ProcFsRead(cluster_.host("local"), "remote", p,
+             [&](const ProcFsResult& r) { after = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return after.has_value(); }));
+  // Both reads say "running": the stop/cont episode left no trace — the
+  // PPM's kernel-event history would have recorded both transitions.
+  EXPECT_NE(before->content.find("state running"), std::string::npos);
+  EXPECT_NE(after->content.find("state running"), std::string::npos);
+}
+
+TEST_F(RemoteProcFsTest, ServerUnreachableFailsCleanly) {
+  cluster_.Crash("remote");
+  cluster_.RunFor(sim::Millis(300));
+  std::optional<ProcFsResult> result;
+  ProcFsList(cluster_.host("local"), "remote",
+             [&](const ProcFsResult& r) { result = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return result.has_value(); }, sim::Seconds(10)));
+  EXPECT_FALSE(result->ok);
+}
+
+}  // namespace
+}  // namespace ppm::host

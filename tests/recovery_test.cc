@@ -1,0 +1,297 @@
+// recovery_test.cc — paper Section 5: crash coordinator sites, the
+// .recovery list walk, time-to-die, network partitions and healing.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "core/lpm.h"
+#include "core/recovery.h"
+#include "tests/test_util.h"
+#include "tools/client.h"
+
+namespace ppm::core {
+namespace {
+
+using test::ConnectTool;
+using test::InstallTestUser;
+using test::kTestUid;
+using test::kTestUser;
+using test::RunUntil;
+using tools::PpmClient;
+
+TEST(RecoveryListTest, ParseSkipsBlanksAndComments) {
+  RecoveryList list = RecoveryList::Parse("# home machines\nvaxA\n\n  vaxB \n#x\nvaxC\n");
+  EXPECT_EQ(list.hosts, (std::vector<std::string>{"vaxA", "vaxB", "vaxC"}));
+  EXPECT_EQ(list.IndexOf("vaxB"), 1u);
+  EXPECT_FALSE(list.IndexOf("vaxZ").has_value());
+}
+
+TEST(RecoveryListTest, SerializeRoundTrip) {
+  RecoveryList list;
+  list.hosts = {"a", "b"};
+  EXPECT_EQ(RecoveryList::Parse(list.Serialize()).hosts, list.hosts);
+}
+
+TEST(RecoveryListTest, MissingFileYieldsEmpty) {
+  host::Filesystem fs;
+  EXPECT_TRUE(ReadRecoveryList(fs, 100).empty());
+  RecoveryList list;
+  list.hosts = {"h"};
+  WriteRecoveryList(fs, 100, list);
+  EXPECT_EQ(ReadRecoveryList(fs, 100).hosts, list.hosts);
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  RecoveryTest() : cluster_(MakeConfig()) {
+    test::BuildThreeSegments(cluster_);
+    InstallTestUser(cluster_, {"vaxA", "vaxB", "vaxC"});
+    cluster_.RunFor(sim::Millis(10));
+  }
+
+  static ClusterConfig MakeConfig() {
+    ClusterConfig config;
+    // Compressed timers so tests stay fast in virtual time too.
+    config.lpm.time_to_die = sim::Seconds(60);
+    config.lpm.probe_interval = sim::Seconds(20);
+    config.lpm.retry_interval = sim::Seconds(15);
+    return config;
+  }
+
+  // Builds the standard session: tool on vaxA, workers on vaxB and vaxC.
+  void BuildSession() {
+    client_ = ConnectTool(cluster_, "vaxA");
+    ASSERT_NE(client_, nullptr);
+    worker_b_ = CreateOn("vaxB");
+    worker_c_ = CreateOn("vaxC");
+  }
+
+  GPid CreateOn(const std::string& host) { return CreateOnHost(host, "worker", {}); }
+
+  GPid CreateOnHost(const std::string& host, const std::string& command,
+                    const GPid& parent) {
+    std::optional<CreateResp> result;
+    client_->CreateProcess(host, command, parent,
+                           [&](const CreateResp& r) { result = r; });
+    EXPECT_TRUE(RunUntil(cluster_, [&] { return result.has_value(); }));
+    EXPECT_TRUE(result && result->ok) << (result ? result->error : "none");
+    return result->gpid;
+  }
+
+  Cluster cluster_;
+  PpmClient* client_ = nullptr;
+  GPid worker_b_, worker_c_;
+};
+
+TEST_F(RecoveryTest, CcsIsFirstLpmByDefault) {
+  BuildSession();
+  EXPECT_TRUE(cluster_.FindLpm("vaxA", kTestUid)->is_ccs());
+  EXPECT_EQ(cluster_.FindLpm("vaxB", kTestUid)->ccs_host(), "vaxA");
+  EXPECT_EQ(cluster_.FindLpm("vaxC", kTestUid)->ccs_host(), "vaxA");
+}
+
+TEST_F(RecoveryTest, SiblingCrashDetectedByCcs) {
+  BuildSession();
+  Lpm* a = cluster_.FindLpm("vaxA", kTestUid);
+  cluster_.Crash("vaxB");
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return a->stats().failures_detected > 0; }));
+  // The coordinator stays up, stays CCS, keeps serving.
+  EXPECT_TRUE(a->is_ccs());
+  EXPECT_EQ(a->mode(), LpmMode::kNormal);
+}
+
+TEST_F(RecoveryTest, SnapshotShowsForestAfterHostCrash) {
+  BuildSession();
+  // A parent on sun1 (a leaf host: crashing it partitions nobody) with a
+  // child on vaxB.
+  GPid parent_on_sun = CreateOnHost("sun1", "parent", {});
+  GPid grand = CreateOnHost("vaxB", "grandkid", parent_on_sun);
+  cluster_.Crash("sun1");
+  cluster_.RunFor(sim::Seconds(2));
+  std::optional<SnapshotResp> snap;
+  client_->Snapshot([&](const SnapshotResp& r) { snap = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return snap.has_value(); }, sim::Seconds(120)));
+  // sun1's records are gone; the vaxB process whose parent lived there
+  // is now an orphan — the genealogical tree became a forest.
+  bool saw_parent = false;
+  bool saw_orphan = false;
+  for (const auto& rec : snap->records) {
+    if (rec.gpid == parent_on_sun) saw_parent = true;
+    if (rec.gpid == grand) saw_orphan = true;
+  }
+  EXPECT_FALSE(saw_parent);
+  EXPECT_TRUE(saw_orphan);
+}
+
+TEST_F(RecoveryTest, OrphanedLpmWalksRecoveryListToNextHost) {
+  BuildSession();
+  // vaxB and vaxC both talk only to the CCS on vaxA.  Kill vaxA: they
+  // must find each other through the .recovery list (vaxB is next).
+  cluster_.Crash("vaxA");
+  Lpm* b = cluster_.FindLpm("vaxB", kTestUid);
+  Lpm* c = cluster_.FindLpm("vaxC", kTestUid);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return b->is_ccs(); }, sim::Seconds(120)));
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return c->ccs_host() == "vaxB"; },
+                       sim::Seconds(120)));
+  EXPECT_FALSE(c->is_ccs());
+  // vaxB is not top of the list, so it keeps probing vaxA (recovering).
+  EXPECT_EQ(b->mode(), LpmMode::kRecovering);
+}
+
+TEST_F(RecoveryTest, ActingCcsYieldsWhenTopHostReturns) {
+  BuildSession();
+  cluster_.Crash("vaxA");
+  Lpm* b = cluster_.FindLpm("vaxB", kTestUid);
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return b->is_ccs(); }, sim::Seconds(120)));
+
+  cluster_.Reboot("vaxA");
+  // At the next low-frequency probe, vaxB reaches vaxA's (new) LPM and
+  // yields the CCS role to it.
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return !b->is_ccs(); }, sim::Seconds(120)));
+  EXPECT_EQ(b->ccs_host(), "vaxA");
+  EXPECT_EQ(b->mode(), LpmMode::kNormal);
+  Lpm* new_a = cluster_.FindLpm("vaxA", kTestUid);
+  ASSERT_NE(new_a, nullptr);
+  EXPECT_TRUE(new_a->is_ccs());
+}
+
+TEST_F(RecoveryTest, TimeToDieKillsLocalProcessesWhenNoRecoveryHostReachable) {
+  // vaxC is NOT on the recovery list: isolated, it cannot become an
+  // acting CCS and must eventually close down.
+  cluster_.SetRecoveryList(kTestUid, {"vaxA", "vaxB"});
+  BuildSession();
+  // Isolate vaxC completely: every recovery host is unreachable.
+  cluster_.network().Partition({{*cluster_.network().FindHost("vaxC")},
+                                {*cluster_.network().FindHost("vaxA"),
+                                 *cluster_.network().FindHost("vaxB"),
+                                 *cluster_.network().FindHost("sun1"),
+                                 *cluster_.network().FindHost("sun2"),
+                                 *cluster_.network().FindHost("vaxD")}});
+  Lpm* c = cluster_.FindLpm("vaxC", kTestUid);
+  ASSERT_NE(c, nullptr);
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return c->mode() == LpmMode::kDying; },
+                       sim::Seconds(120)));
+  EXPECT_TRUE(cluster_.host("vaxC").kernel().Find(worker_c_.pid)->alive());
+
+  // After time-to-die the LPM closes down all activities and exits.
+  ASSERT_TRUE(RunUntil(cluster_,
+                       [&] { return cluster_.FindLpm("vaxC", kTestUid) == nullptr; },
+                       sim::Seconds(180)));
+  const host::Process* worker = cluster_.host("vaxC").kernel().Find(worker_c_.pid);
+  EXPECT_TRUE(worker == nullptr || !worker->alive());
+}
+
+TEST_F(RecoveryTest, DyingLpmRescuedByRetryBeforeDeadline) {
+  cluster_.SetRecoveryList(kTestUid, {"vaxA", "vaxB"});
+  BuildSession();
+  auto vaxc = *cluster_.network().FindHost("vaxC");
+  std::vector<net::HostId> others;
+  for (const char* name : {"vaxA", "vaxB", "sun1", "sun2", "vaxD"}) {
+    others.push_back(*cluster_.network().FindHost(name));
+  }
+  cluster_.network().Partition({{vaxc}, others});
+  Lpm* c = cluster_.FindLpm("vaxC", kTestUid);
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return c->mode() == LpmMode::kDying; },
+                       sim::Seconds(120)));
+  // Heal before time-to-die (60s) runs out; the retry walk finds vaxA.
+  cluster_.network().Heal();
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return c->mode() == LpmMode::kNormal; },
+                       sim::Seconds(60)));
+  EXPECT_NE(cluster_.FindLpm("vaxC", kTestUid), nullptr);
+  EXPECT_TRUE(cluster_.host("vaxC").kernel().Find(worker_c_.pid)->alive());
+  EXPECT_EQ(c->ccs_host(), "vaxA");
+}
+
+TEST_F(RecoveryTest, PartitionProducesTwoCcsAndHealsToOne) {
+  BuildSession();
+  // Partition: {vaxA, sun1} | {vaxB, vaxC, sun2, vaxD}.  Both sides
+  // contain a recovery-list host (vaxA; vaxB), so each side keeps an
+  // operational CCS — the paper's network-partition scenario.
+  auto id = [&](const std::string& n) { return *cluster_.network().FindHost(n); };
+  cluster_.network().Partition(
+      {{id("vaxA"), id("sun1")}, {id("vaxB"), id("vaxC"), id("sun2"), id("vaxD")}});
+  Lpm* a = cluster_.FindLpm("vaxA", kTestUid);
+  Lpm* b = cluster_.FindLpm("vaxB", kTestUid);
+  Lpm* c = cluster_.FindLpm("vaxC", kTestUid);
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return b->is_ccs(); }, sim::Seconds(120)));
+  EXPECT_TRUE(a->is_ccs());  // two CCSs now coexist
+  ASSERT_TRUE(
+      RunUntil(cluster_, [&] { return c->ccs_host() == "vaxB"; }, sim::Seconds(120)));
+  // The minority-side components continue "with no bounds in time".
+  cluster_.RunFor(sim::Seconds(100));
+  EXPECT_NE(cluster_.FindLpm("vaxB", kTestUid), nullptr);
+  EXPECT_NE(cluster_.FindLpm("vaxC", kTestUid), nullptr);
+  EXPECT_TRUE(cluster_.host("vaxC").kernel().Find(worker_c_.pid)->alive());
+
+  // Heal: the acting CCS probes vaxA, yields, and the PPM reunifies.
+  cluster_.network().Heal();
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return !b->is_ccs(); }, sim::Seconds(120)));
+  EXPECT_EQ(b->ccs_host(), "vaxA");
+  EXPECT_TRUE(a->is_ccs());
+}
+
+TEST_F(RecoveryTest, LpmCrashHandledLikeHostCrash) {
+  BuildSession();
+  // Kill just the LPM process on vaxB; its host and worker survive.
+  Lpm* b = cluster_.FindLpm("vaxB", kTestUid);
+  host::Pid lpm_pid = b->pid();
+  cluster_.host("vaxB").kernel().PostSignal(lpm_pid, host::Signal::kSigKill,
+                                            host::kRootUid);
+  Lpm* a = cluster_.FindLpm("vaxA", kTestUid);
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return a->stats().failures_detected > 0; },
+                       sim::Seconds(30)));
+  // Information about vaxB's processes is lost, but the worker runs on.
+  EXPECT_TRUE(cluster_.host("vaxB").kernel().Find(worker_b_.pid)->alive());
+  // A fresh request to vaxB creates a new LPM (pmd replaced the dead
+  // registry entry); the new LPM no longer knows the old worker.
+  GPid new_worker = CreateOn("vaxB");
+  Lpm* b2 = cluster_.FindLpm("vaxB", kTestUid);
+  ASSERT_NE(b2, nullptr);
+  EXPECT_NE(b2, b);
+  std::optional<SnapshotResp> snap;
+  client_->Snapshot([&](const SnapshotResp& r) { snap = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return snap.has_value(); }, sim::Seconds(120)));
+  bool saw_old = false, saw_new = false;
+  for (const auto& rec : snap->records) {
+    if (rec.gpid == worker_b_) saw_old = true;
+    if (rec.gpid == new_worker) saw_new = true;
+  }
+  EXPECT_FALSE(saw_old) << "knowledge of the old worker died with the LPM";
+  EXPECT_TRUE(saw_new);
+}
+
+TEST_F(RecoveryTest, RequestsFailCleanlyDuringPartition) {
+  BuildSession();
+  auto id = [&](const std::string& n) { return *cluster_.network().FindHost(n); };
+  cluster_.network().Partition(
+      {{id("vaxA"), id("sun1")}, {id("vaxB"), id("vaxC"), id("sun2"), id("vaxD")}});
+  cluster_.RunFor(sim::Seconds(2));
+  std::optional<SignalResp> result;
+  client_->Signal(worker_c_, host::Signal::kSigStop,
+                  [&](const SignalResp& r) { result = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return result.has_value(); }, sim::Seconds(60)));
+  EXPECT_FALSE(result->ok);
+  EXPECT_FALSE(result->error.empty());
+}
+
+TEST_F(RecoveryTest, RecoveredSiblingServesRequestsAgain) {
+  BuildSession();
+  auto id = [&](const std::string& n) { return *cluster_.network().FindHost(n); };
+  cluster_.network().Partition(
+      {{id("vaxA"), id("sun1")}, {id("vaxB"), id("vaxC"), id("sun2"), id("vaxD")}});
+  cluster_.RunFor(sim::Seconds(10));
+  cluster_.network().Heal();
+  cluster_.RunFor(sim::Seconds(5));
+  // After healing, control across the old cut works again.
+  std::optional<SignalResp> result;
+  client_->Signal(worker_c_, host::Signal::kSigStop,
+                  [&](const SignalResp& r) { result = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return result.has_value(); }, sim::Seconds(60)));
+  EXPECT_TRUE(result->ok) << result->error;
+  EXPECT_EQ(cluster_.host("vaxC").kernel().Find(worker_c_.pid)->state,
+            host::ProcState::kStopped);
+}
+
+}  // namespace
+}  // namespace ppm::core

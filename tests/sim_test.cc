@@ -1,0 +1,201 @@
+// sim_test.cc — the discrete-event simulation kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace ppm::sim {
+namespace {
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleIn(Millis(30), [&] { order.push_back(3); });
+  sim.ScheduleIn(Millis(10), [&] { order.push_back(1); });
+  sim.ScheduleIn(Millis(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), static_cast<SimTime>(Millis(30)));
+}
+
+TEST(Simulator, EqualTimestampsFireFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleIn(Millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.ScheduleIn(Millis(10), [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelInvalidIdIsNoop) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Cancel(kInvalidEventId));
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int count = 0;
+  sim.ScheduleIn(Millis(10), [&] { ++count; });
+  sim.ScheduleIn(Millis(20), [&] { ++count; });
+  sim.ScheduleIn(Millis(30), [&] { ++count; });
+  size_t fired = sim.RunUntil(Millis(20));
+  EXPECT_EQ(fired, 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.Now(), static_cast<SimTime>(Millis(20)));
+  sim.Run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.RunUntil(Seconds(5));
+  EXPECT_EQ(sim.Now(), static_cast<SimTime>(Seconds(5)));
+}
+
+TEST(Simulator, EventsScheduledDuringRunFire) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.ScheduleIn(Millis(1), chain);
+  };
+  sim.ScheduleIn(Millis(1), chain);
+  sim.Run();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(Simulator, StepFiresExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.ScheduleIn(0, [&] { ++count; });
+  sim.ScheduleIn(0, [&] { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.RunUntil(Millis(100));
+  bool fired = false;
+  sim.ScheduleIn(-1000, [&] { fired = true; });
+  sim.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.Now(), static_cast<SimTime>(Millis(100)));
+}
+
+TEST(Simulator, PendingEventsCountsUncancelled) {
+  Simulator sim;
+  EventId a = sim.ScheduleIn(Millis(1), [] {});
+  sim.ScheduleIn(Millis(2), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, NextEventTimeSkipsCancelled) {
+  Simulator sim;
+  EventId a = sim.ScheduleIn(Millis(1), [] {});
+  sim.ScheduleIn(Millis(7), [] {});
+  sim.Cancel(a);
+  EXPECT_EQ(sim.NextEventTime(), static_cast<SimTime>(Millis(7)));
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(10.0);
+  double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.5);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.Chance(0.0));
+  EXPECT_TRUE(rng.Chance(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+// Property: a simulation's event trace depends only on the seed.
+class DeterminismTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeterminismTest, SameSeedSameTrace) {
+  auto run = [](uint64_t seed) {
+    Simulator sim(seed);
+    std::vector<uint64_t> trace;
+    for (int i = 0; i < 50; ++i) {
+      SimDuration d = static_cast<SimDuration>(sim.rng().Below(1000));
+      sim.ScheduleIn(d, [&trace, &sim] { trace.push_back(sim.Now()); });
+    }
+    sim.Run();
+    return trace;
+  };
+  EXPECT_EQ(run(GetParam()), run(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismTest, ::testing::Values(1, 2, 42, 1986, 99999));
+
+}  // namespace
+}  // namespace ppm::sim

@@ -1,0 +1,150 @@
+// snapshot_property_test.cc — end-to-end property: for ANY computation
+// shape the user builds (random trees over random hosts, random exits),
+// a snapshot reflects exactly the tracked truth:
+//
+//   * every live created process appears exactly once, with its correct
+//     logical parent and current state;
+//   * every exited process that still anchors live descendants appears,
+//     marked exited;
+//   * nothing else appears (no handlers, no other users, no ghosts);
+//   * the covering broadcast reaches every involved host.
+//
+// Randomness is seeded through the simulator, so failures replay.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/cluster.h"
+#include "tests/test_util.h"
+#include "tools/client.h"
+#include "tools/display.h"
+
+namespace ppm::core {
+namespace {
+
+using test::ConnectTool;
+using test::InstallTestUser;
+using test::kTestUid;
+using test::RunUntil;
+using tools::PpmClient;
+
+struct Expected {
+  GPid parent;      // invalid for roots
+  bool alive = true;
+};
+
+class SnapshotPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SnapshotPropertyTest, SnapshotMatchesGroundTruth) {
+  ClusterConfig config;
+  config.seed = GetParam();
+  Cluster cluster(config);
+  const std::vector<std::string> hosts = {"h0", "h1", "h2", "h3"};
+  for (const auto& h : hosts) cluster.AddHost(h);
+  cluster.Ethernet(hosts);
+  InstallTestUser(cluster);
+  cluster.RunFor(sim::Millis(10));
+  PpmClient* client = ConnectTool(cluster, "h0");
+  ASSERT_NE(client, nullptr);
+  sim::Rng& rng = cluster.simulator().rng();
+
+  // Build a random computation: 12-20 creations, each either a new root
+  // or a child of a random prior process, on a random host.
+  std::map<GPid, Expected> truth;
+  std::vector<GPid> order;
+  int n = static_cast<int>(12 + rng.Below(9));
+  for (int i = 0; i < n; ++i) {
+    GPid parent;
+    if (!order.empty() && rng.Chance(0.7)) {
+      parent = order[rng.Below(order.size())];
+    }
+    std::string target = hosts[rng.Below(hosts.size())];
+    std::optional<CreateResp> resp;
+    client->CreateProcess(target, "proc" + std::to_string(i), parent,
+                          [&](const CreateResp& r) { resp = r; });
+    ASSERT_TRUE(RunUntil(cluster, [&] { return resp.has_value(); }, sim::Seconds(30)));
+    ASSERT_TRUE(resp->ok) << resp->error;
+    truth[resp->gpid] = Expected{parent, true};
+    order.push_back(resp->gpid);
+  }
+
+  // Kill a random ~third of them.
+  for (const GPid& g : order) {
+    if (!rng.Chance(0.33)) continue;
+    std::optional<SignalResp> sig;
+    client->Signal(g, host::Signal::kSigKill, [&](const SignalResp& r) { sig = r; });
+    ASSERT_TRUE(RunUntil(cluster, [&] { return sig.has_value(); }, sim::Seconds(30)));
+    truth[g].alive = false;
+  }
+  // Stop a random few of the survivors.
+  std::set<GPid> stopped;
+  for (const GPid& g : order) {
+    if (!truth[g].alive || !rng.Chance(0.25)) continue;
+    std::optional<SignalResp> sig;
+    client->Signal(g, host::Signal::kSigStop, [&](const SignalResp& r) { sig = r; });
+    ASSERT_TRUE(RunUntil(cluster, [&] { return sig.has_value(); }, sim::Seconds(30)));
+    stopped.insert(g);
+  }
+  cluster.RunFor(sim::Seconds(2));  // drain all kernel events
+
+  std::optional<SnapshotResp> snap;
+  client->Snapshot([&](const SnapshotResp& r) { snap = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return snap.has_value(); }, sim::Seconds(120)));
+
+  // Which exited processes must still appear?  Those with a live
+  // descendant chain below them.
+  std::function<bool(const GPid&)> anchors_live = [&](const GPid& g) {
+    for (const auto& [child, exp] : truth) {
+      if (exp.parent == g) {
+        if (exp.alive || anchors_live(child)) return true;
+      }
+    }
+    return false;
+  };
+
+  std::map<GPid, const ProcRecord*> seen;
+  for (const ProcRecord& rec : snap->records) {
+    EXPECT_EQ(seen.count(rec.gpid), 0u) << "duplicate " << ToString(rec.gpid);
+    seen[rec.gpid] = &rec;
+    ASSERT_TRUE(truth.count(rec.gpid)) << "ghost record " << ToString(rec.gpid) << " "
+                                       << rec.command;
+  }
+  for (const auto& [g, exp] : truth) {
+    auto it = seen.find(g);
+    if (exp.alive) {
+      ASSERT_NE(it, seen.end()) << "live process missing: " << ToString(g);
+      EXPECT_FALSE(it->second->exited);
+      EXPECT_EQ(it->second->logical_parent, exp.parent) << ToString(g);
+      if (stopped.count(g)) {
+        EXPECT_EQ(it->second->state, host::ProcState::kStopped) << ToString(g);
+      } else {
+        EXPECT_EQ(it->second->state, host::ProcState::kRunning) << ToString(g);
+      }
+    } else if (anchors_live(g)) {
+      ASSERT_NE(it, seen.end()) << "anchoring exited process missing: " << ToString(g);
+      EXPECT_TRUE(it->second->exited);
+    }
+    // Exited leaves may legitimately be absent.
+  }
+
+  // Coverage: every host that holds a live process replied.
+  std::set<std::string> hosts_with_procs;
+  for (const auto& [g, exp] : truth) {
+    if (exp.alive) hosts_with_procs.insert(g.host);
+  }
+  std::set<std::string> covered(snap->forwarded_to.begin(), snap->forwarded_to.end());
+  for (const std::string& h : hosts_with_procs) {
+    EXPECT_TRUE(covered.count(h)) << "host " << h << " not covered";
+  }
+
+  // And the forest builder accepts it without inventing cycles.
+  tools::Forest forest = tools::BuildForest(snap->records);
+  EXPECT_EQ(forest.size(), snap->records.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace ppm::core

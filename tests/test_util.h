@@ -1,0 +1,72 @@
+// test_util.h — shared fixtures and helpers for the PPM test suite.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "tools/client.h"
+
+namespace ppm::test {
+
+// Advances the simulation until `pred()` holds, in small increments, up
+// to `horizon` from now.  Returns true if the predicate became true.
+template <typename Pred>
+bool RunUntil(core::Cluster& cluster, Pred pred,
+              sim::SimDuration horizon = sim::Seconds(60),
+              sim::SimDuration step = sim::Millis(10)) {
+  sim::SimTime deadline = cluster.simulator().Now() + static_cast<sim::SimTime>(horizon);
+  while (!pred()) {
+    if (cluster.simulator().Now() >= deadline) return false;
+    cluster.RunFor(step);
+  }
+  return true;
+}
+
+// A ready-made three-Ethernet environment mirroring the paper's:
+//   segment 1: vaxA vaxB sun1        (the user's home segment)
+//   segment 2: vaxB vaxC sun2        (vaxB is the gateway)
+//   segment 3: vaxC vaxD             (vaxC is the gateway)
+// so vaxA—vaxC is two hops and vaxA—vaxD is three.
+inline void BuildThreeSegments(core::Cluster& cluster) {
+  cluster.AddHost("vaxA", host::HostType::kVax780);
+  cluster.AddHost("vaxB", host::HostType::kVax780);
+  cluster.AddHost("sun1", host::HostType::kSun2);
+  cluster.AddHost("vaxC", host::HostType::kVax750);
+  cluster.AddHost("sun2", host::HostType::kSun2);
+  cluster.AddHost("vaxD", host::HostType::kVax780);
+  cluster.Ethernet({"vaxA", "vaxB", "sun1"});
+  cluster.Ethernet({"vaxB", "vaxC", "sun2"});
+  cluster.Ethernet({"vaxC", "vaxD"});
+}
+
+constexpr host::Uid kTestUid = 100;
+inline const char* kTestUser = "leslie";
+
+// Installs the standard test account with full trust and a recovery list.
+inline void InstallTestUser(core::Cluster& cluster,
+                            const std::vector<std::string>& recovery = {}) {
+  cluster.AddUserEverywhere(kTestUser, kTestUid);
+  cluster.TrustUserEverywhere(kTestUser, kTestUid);
+  if (!recovery.empty()) cluster.SetRecoveryList(kTestUid, recovery);
+}
+
+// Spawns a tool for the test user on `host_name` and completes its
+// session establishment; returns nullptr on failure.
+inline tools::PpmClient* ConnectTool(core::Cluster& cluster, const std::string& host_name,
+                                     const std::string& tool_name = "testtool") {
+  tools::PpmClient* client =
+      tools::SpawnTool(cluster.host(host_name), kTestUser, kTestUid, tool_name);
+  bool done = false;
+  bool ok = false;
+  client->Start([&](bool success, std::string) {
+    done = true;
+    ok = success;
+  });
+  if (!RunUntil(cluster, [&] { return done; })) return nullptr;
+  return ok ? client : nullptr;
+}
+
+}  // namespace ppm::test

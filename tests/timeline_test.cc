@@ -1,0 +1,114 @@
+// timeline_test.cc — the history timeline / summary renderer.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "tests/test_util.h"
+#include "tools/client.h"
+#include "tools/timeline.h"
+
+namespace ppm::tools {
+namespace {
+
+using core::HistEvent;
+using test::ConnectTool;
+using test::InstallTestUser;
+using test::RunUntil;
+
+HistEvent Ev(sim::SimTime at, host::KEvent kind, host::Pid pid, int status = 0,
+             const std::string& detail = "") {
+  HistEvent ev;
+  ev.at = at;
+  ev.kind = kind;
+  ev.pid = pid;
+  ev.status = status;
+  ev.detail = detail;
+  return ev;
+}
+
+TEST(Timeline, RendersRelativeTimes) {
+  std::vector<HistEvent> events = {
+      Ev(1'000'000, host::KEvent::kExec, 6, 0, "worker"),
+      Ev(1'120'500, host::KEvent::kStop, 6),
+      Ev(1'980'000, host::KEvent::kContinue, 6),
+      Ev(2'420'900, host::KEvent::kExit, 6, 0),
+  };
+  std::string out = RenderTimeline(events);
+  EXPECT_NE(out.find("0.0"), std::string::npos);       // first event at t=0
+  EXPECT_NE(out.find("120.5"), std::string::npos);
+  EXPECT_NE(out.find("1420.9"), std::string::npos);
+  EXPECT_NE(out.find("exec     worker"), std::string::npos);
+  EXPECT_NE(out.find("exit     status=0"), std::string::npos);
+}
+
+TEST(Timeline, AbsoluteTimesWhenRequested) {
+  std::vector<HistEvent> events = {Ev(5'000'000, host::KEvent::kExec, 3, 0, "x")};
+  TimelineOptions options;
+  options.relative_times = false;
+  std::string out = RenderTimeline(events, options);
+  EXPECT_NE(out.find("5000.0"), std::string::npos);
+}
+
+TEST(Timeline, PidFilterSelectsOneProcess) {
+  std::vector<HistEvent> events = {
+      Ev(0, host::KEvent::kExec, 1, 0, "one"),
+      Ev(1000, host::KEvent::kExec, 2, 0, "two"),
+  };
+  TimelineOptions options;
+  options.pid_filter = 2;
+  std::string out = RenderTimeline(events, options);
+  EXPECT_EQ(out.find("one"), std::string::npos);
+  EXPECT_NE(out.find("two"), std::string::npos);
+}
+
+TEST(Timeline, SummaryAggregatesPerPid) {
+  std::vector<HistEvent> events = {
+      Ev(0, host::KEvent::kExec, 1),
+      Ev(2'000'000, host::KEvent::kExit, 1),
+      Ev(500, host::KEvent::kExec, 2),
+      Ev(700, host::KEvent::kFileOpen, 2, 0, "/tmp/x"),
+  };
+  std::string out = SummarizeHistory(events);
+  EXPECT_NE(out.find("exited"), std::string::npos);
+  EXPECT_NE(out.find("alive"), std::string::npos);
+  EXPECT_NE(out.find("2000.0"), std::string::npos);  // pid 1 lifespan
+}
+
+TEST(Timeline, EmptyHistory) {
+  std::string out = RenderTimeline({});
+  EXPECT_NE(out.find("t(ms)"), std::string::npos);  // header only
+  EXPECT_EQ(SummarizeHistory({}).find("exited"), std::string::npos);
+}
+
+TEST(Timeline, EndToEndFromLpmHistory) {
+  core::Cluster cluster;
+  cluster.AddHost("solo");
+  InstallTestUser(cluster);
+  cluster.RunFor(sim::Millis(10));
+  PpmClient* client = ConnectTool(cluster, "solo");
+  ASSERT_NE(client, nullptr);
+  std::optional<core::CreateResp> created;
+  client->CreateProcess("solo", "traced", {},
+                        [&](const core::CreateResp& r) { created = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return created.has_value(); }));
+  host::Kernel& kernel = cluster.host("solo").kernel();
+  kernel.PostSignal(created->gpid.pid, host::Signal::kSigStop, test::kTestUid);
+  cluster.RunFor(sim::Millis(300));
+  kernel.PostSignal(created->gpid.pid, host::Signal::kSigCont, test::kTestUid);
+  cluster.RunFor(sim::Millis(300));
+  kernel.PostSignal(created->gpid.pid, host::Signal::kSigKill, test::kTestUid);
+  cluster.RunFor(sim::Millis(300));
+
+  std::optional<core::HistoryResp> hist;
+  client->History("", created->gpid.pid, 0, [&](const core::HistoryResp& r) { hist = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return hist.has_value(); }));
+  std::string timeline = RenderTimeline(hist->events);
+  EXPECT_NE(timeline.find("exec     traced"), std::string::npos);
+  EXPECT_NE(timeline.find("stop"), std::string::npos);
+  EXPECT_NE(timeline.find("continue"), std::string::npos);
+  EXPECT_NE(timeline.find("exit"), std::string::npos);
+  std::string summary = SummarizeHistory(hist->events);
+  EXPECT_NE(summary.find("exited"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppm::tools

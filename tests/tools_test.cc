@@ -1,0 +1,232 @@
+// tools_test.cc — forest assembly/rendering and the built-in tools
+// (snapshot with control, rusage statistics, files, IPC trace).
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "tests/test_util.h"
+#include "tools/builtin_tools.h"
+#include "tools/client.h"
+#include "tools/display.h"
+
+namespace ppm::tools {
+namespace {
+
+using core::GPid;
+using core::ProcRecord;
+using test::ConnectTool;
+using test::InstallTestUser;
+using test::kTestUid;
+using test::RunUntil;
+
+ProcRecord Rec(const std::string& host, host::Pid pid, const std::string& parent_host,
+               host::Pid parent_pid, const std::string& cmd,
+               host::ProcState state = host::ProcState::kRunning, bool exited = false) {
+  ProcRecord r;
+  r.gpid = {host, pid};
+  if (parent_pid != host::kNoPid) r.logical_parent = {parent_host, parent_pid};
+  r.command = cmd;
+  r.state = state;
+  r.exited = exited;
+  return r;
+}
+
+TEST(Forest, SingleTree) {
+  auto forest = BuildForest({
+      Rec("a", 1, "", host::kNoPid, "root"),
+      Rec("a", 2, "a", 1, "kid"),
+      Rec("b", 3, "a", 1, "kid2"),
+      Rec("b", 4, "b", 3, "grand"),
+  });
+  EXPECT_TRUE(forest.IsTree());
+  EXPECT_EQ(forest.size(), 4u);
+  EXPECT_EQ(forest.HostCount(), 2u);
+  ASSERT_EQ(forest.roots.size(), 1u);
+  EXPECT_EQ(forest.nodes[forest.roots[0]].record.command, "root");
+}
+
+TEST(Forest, OrphanBecomesRoot) {
+  auto forest = BuildForest({
+      Rec("a", 1, "", host::kNoPid, "root"),
+      Rec("b", 9, "gone", 42, "orphan"),  // parent host crashed
+  });
+  EXPECT_FALSE(forest.IsTree());
+  EXPECT_EQ(forest.roots.size(), 2u);
+}
+
+TEST(Forest, DuplicateRecordsSuppressed) {
+  auto forest = BuildForest({
+      Rec("a", 1, "", host::kNoPid, "root"),
+      Rec("a", 1, "", host::kNoPid, "root"),
+  });
+  EXPECT_EQ(forest.size(), 1u);
+}
+
+TEST(Forest, DeterministicOrder) {
+  std::vector<ProcRecord> records = {
+      Rec("b", 2, "", host::kNoPid, "r2"),
+      Rec("a", 1, "", host::kNoPid, "r1"),
+  };
+  auto f1 = BuildForest(records);
+  std::swap(records[0], records[1]);
+  auto f2 = BuildForest(records);
+  EXPECT_EQ(RenderForest(f1), RenderForest(f2));
+}
+
+TEST(Forest, RenderShowsStatesAndExitMarks) {
+  auto forest = BuildForest({
+      Rec("a", 1, "", host::kNoPid, "root"),
+      Rec("a", 2, "a", 1, "paused", host::ProcState::kStopped),
+      Rec("b", 3, "a", 1, "gone", host::ProcState::kDead, true),
+  });
+  std::string out = RenderForest(forest);
+  EXPECT_NE(out.find("<a,1> root [running]"), std::string::npos);
+  EXPECT_NE(out.find("<a,2> paused [stopped]"), std::string::npos);
+  EXPECT_NE(out.find("<b,3> gone (exited)"), std::string::npos);
+  EXPECT_NE(out.find("|--"), std::string::npos);
+  EXPECT_NE(out.find("`--"), std::string::npos);
+}
+
+TEST(Forest, SummaryCountsStates) {
+  auto forest = BuildForest({
+      Rec("a", 1, "", host::kNoPid, "r"),
+      Rec("a", 2, "a", 1, "s", host::ProcState::kStopped),
+      Rec("b", 3, "a", 1, "x", host::ProcState::kDead, true),
+  });
+  EXPECT_EQ(SummarizeForest(forest),
+            "3 processes on 2 hosts: 1 running, 0 sleeping, 1 stopped, 1 exited");
+}
+
+TEST(Forest, EmptySnapshot) {
+  auto forest = BuildForest({});
+  EXPECT_EQ(forest.size(), 0u);
+  EXPECT_EQ(RenderForest(forest), "");
+}
+
+// --- end-to-end tool runs -------------------------------------------------------
+
+class ToolsTest : public ::testing::Test {
+ protected:
+  ToolsTest() {
+    test::BuildThreeSegments(cluster_);
+    InstallTestUser(cluster_);
+    cluster_.RunFor(sim::Millis(10));
+    client_ = ConnectTool(cluster_, "vaxA");
+  }
+
+  GPid Create(const std::string& host, const std::string& cmd, const GPid& parent = {}) {
+    std::optional<core::CreateResp> result;
+    client_->CreateProcess(host, cmd, parent,
+                           [&](const core::CreateResp& r) { result = r; });
+    EXPECT_TRUE(RunUntil(cluster_, [&] { return result.has_value(); }));
+    return result->gpid;
+  }
+
+  core::Cluster cluster_;
+  PpmClient* client_ = nullptr;
+};
+
+TEST_F(ToolsTest, SnapshotToolRendersDistributedTree) {
+  ASSERT_NE(client_, nullptr);
+  GPid root = Create("vaxA", "make");
+  Create("vaxB", "cc1", root);
+  Create("vaxC", "cc2", root);
+  std::optional<SnapshotResult> result;
+  RunSnapshotTool(*client_, [&](const SnapshotResult& r) { result = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return result.has_value(); }, sim::Seconds(60)));
+  ASSERT_TRUE(result->ok);
+  EXPECT_TRUE(result->forest.IsTree());
+  EXPECT_EQ(result->forest.HostCount(), 3u);
+  EXPECT_NE(result->rendering.find("make"), std::string::npos);
+  EXPECT_NE(result->rendering.find("cc1"), std::string::npos);
+  EXPECT_EQ(result->hosts_covered.size(), 3u);
+}
+
+TEST_F(ToolsTest, StopResumeKillVerbs) {
+  ASSERT_NE(client_, nullptr);
+  GPid g = Create("vaxB", "victim");
+  host::Kernel& kernel = cluster_.host("vaxB").kernel();
+
+  std::optional<bool> ok;
+  StopProcess(*client_, g, [&](bool success, std::string) { ok = success; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return ok.has_value(); }));
+  EXPECT_TRUE(*ok);
+  EXPECT_EQ(kernel.Find(g.pid)->state, host::ProcState::kStopped);
+
+  ok.reset();
+  ResumeProcess(*client_, g, [&](bool success, std::string) { ok = success; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return ok.has_value(); }));
+  EXPECT_EQ(kernel.Find(g.pid)->state, host::ProcState::kRunning);
+
+  ok.reset();
+  KillProcess(*client_, g, [&](bool success, std::string) { ok = success; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return ok.has_value(); }));
+  EXPECT_FALSE(kernel.Find(g.pid)->alive());
+}
+
+TEST_F(ToolsTest, StopWholeComputationAcrossHosts) {
+  // "broadcasting, say, a software interrupt to stop execution".
+  ASSERT_NE(client_, nullptr);
+  GPid root = Create("vaxA", "root");
+  GPid w1 = Create("vaxB", "w1", root);
+  GPid w2 = Create("vaxC", "w2", root);
+  std::optional<std::pair<size_t, size_t>> result;
+  SignalComputation(*client_, host::Signal::kSigStop,
+                    [&](size_t ok, size_t failed) { result = {ok, failed}; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return result.has_value(); }, sim::Seconds(60)));
+  EXPECT_EQ(result->first, 3u);
+  EXPECT_EQ(result->second, 0u);
+  EXPECT_EQ(cluster_.host("vaxA").kernel().Find(root.pid)->state,
+            host::ProcState::kStopped);
+  EXPECT_EQ(cluster_.host("vaxB").kernel().Find(w1.pid)->state,
+            host::ProcState::kStopped);
+  EXPECT_EQ(cluster_.host("vaxC").kernel().Find(w2.pid)->state,
+            host::ProcState::kStopped);
+}
+
+TEST_F(ToolsTest, RusageToolFormatsTable) {
+  ASSERT_NE(client_, nullptr);
+  GPid g = Create("vaxA", "ephemeral");
+  cluster_.host("vaxA").kernel().PostSignal(g.pid, host::Signal::kSigKill, kTestUid);
+  cluster_.RunFor(sim::Seconds(1));
+  std::optional<RusageResult> result;
+  RunRusageTool(*client_, "", [&](const RusageResult& r) { result = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return result.has_value(); }));
+  ASSERT_TRUE(result->ok);
+  ASSERT_EQ(result->records.size(), 1u);
+  EXPECT_NE(result->table.find("ephemeral"), std::string::npos);
+  EXPECT_NE(result->table.find("killed(SIGKILL)"), std::string::npos);
+  EXPECT_NE(result->table.find("PROCESS"), std::string::npos);
+}
+
+TEST_F(ToolsTest, FilesToolListsDescriptors) {
+  ASSERT_NE(client_, nullptr);
+  GPid g = Create("vaxB", "editor");
+  cluster_.host("vaxB").kernel().OpenFileFor(g.pid, "/usr/leslie/paper.tex", "rw");
+  std::optional<FilesResult> result;
+  RunFilesTool(*client_, g, [&](const FilesResult& r) { result = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return result.has_value(); }));
+  ASSERT_TRUE(result->ok);
+  ASSERT_EQ(result->files.size(), 1u);
+  EXPECT_NE(result->table.find("/usr/leslie/paper.tex"), std::string::npos);
+}
+
+TEST_F(ToolsTest, IpcTraceToolAggregates) {
+  ASSERT_NE(client_, nullptr);
+  GPid g = Create("vaxA", "chatty");
+  host::Kernel& kernel = cluster_.host("vaxA").kernel();
+  kernel.RecordIpc(g.pid, true, 100);
+  kernel.RecordIpc(g.pid, true, 50);
+  kernel.RecordIpc(g.pid, false, 25);
+  cluster_.RunFor(sim::Seconds(1));  // events reach the LPM history
+  std::optional<IpcTraceResult> result;
+  RunIpcTraceTool(*client_, "", g.pid, [&](const IpcTraceResult& r) { result = r; });
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return result.has_value(); }));
+  ASSERT_TRUE(result->ok);
+  EXPECT_EQ(result->sends, 2u);
+  EXPECT_EQ(result->receives, 1u);
+  EXPECT_EQ(result->bytes, 175u);
+  EXPECT_NE(result->report.find("2 sends"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppm::tools

@@ -1,0 +1,199 @@
+// util_test.cc — byte serialization and string helpers.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/bytes.h"
+#include "util/strings.h"
+
+namespace ppm::util {
+namespace {
+
+TEST(Bytes, U8RoundTrip) {
+  ByteWriter w;
+  w.U8(0);
+  w.U8(255);
+  w.U8(42);
+  auto buf = w.Take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.U8(), 0);
+  EXPECT_EQ(r.U8(), 255);
+  EXPECT_EQ(r.U8(), 42);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Bytes, U16LittleEndian) {
+  ByteWriter w;
+  w.U16(0x1234);
+  EXPECT_EQ(w.bytes()[0], 0x34);
+  EXPECT_EQ(w.bytes()[1], 0x12);
+}
+
+TEST(Bytes, U32RoundTrip) {
+  ByteWriter w;
+  w.U32(0);
+  w.U32(std::numeric_limits<uint32_t>::max());
+  w.U32(0xdeadbeef);
+  auto buf = w.Take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.U32(), 0u);
+  EXPECT_EQ(r.U32(), std::numeric_limits<uint32_t>::max());
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+}
+
+TEST(Bytes, U64RoundTrip) {
+  ByteWriter w;
+  w.U64(0x0123456789abcdefULL);
+  auto buf = w.Take();
+  EXPECT_EQ(buf.size(), 8u);
+  ByteReader r(buf);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefULL);
+}
+
+TEST(Bytes, SignedRoundTrip) {
+  ByteWriter w;
+  w.I32(-1);
+  w.I32(std::numeric_limits<int32_t>::min());
+  w.I64(-123456789012345LL);
+  auto buf = w.Take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.I32(), -1);
+  EXPECT_EQ(r.I32(), std::numeric_limits<int32_t>::min());
+  EXPECT_EQ(r.I64(), -123456789012345LL);
+}
+
+TEST(Bytes, StringRoundTrip) {
+  ByteWriter w;
+  w.Str("");
+  w.Str("hello");
+  w.Str(std::string(1000, 'x'));
+  auto buf = w.Take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.Str(), "");
+  EXPECT_EQ(r.Str(), "hello");
+  EXPECT_EQ(r.Str(), std::string(1000, 'x'));
+}
+
+TEST(Bytes, BlobRoundTrip) {
+  ByteWriter w;
+  w.Blob({1, 2, 3});
+  auto buf = w.Take();
+  ByteReader r(buf);
+  auto blob = r.Blob();
+  ASSERT_TRUE(blob.has_value());
+  EXPECT_EQ(*blob, (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(Bytes, UnderflowReturnsNullopt) {
+  std::vector<uint8_t> buf{1, 2};
+  ByteReader r(buf);
+  EXPECT_FALSE(r.U32().has_value());
+  // Failed reads must not consume anything usable.
+  EXPECT_EQ(r.remaining(), 2u);
+}
+
+TEST(Bytes, StringLengthLieRejected) {
+  ByteWriter w;
+  w.U32(1000);  // claims 1000 bytes follow
+  w.U8('x');
+  auto buf = w.Take();
+  ByteReader r(buf);
+  EXPECT_FALSE(r.Str().has_value());
+}
+
+TEST(Bytes, PadAndSkip) {
+  ByteWriter w;
+  w.U8(7);
+  w.Pad(10);
+  EXPECT_EQ(w.size(), 11u);
+  auto buf = w.Take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.U8(), 7);
+  EXPECT_TRUE(r.Skip(10));
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_FALSE(r.Skip(1));
+}
+
+TEST(Bytes, BoolRoundTrip) {
+  ByteWriter w;
+  w.Bool(true);
+  w.Bool(false);
+  auto buf = w.Take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.Bool(), true);
+  EXPECT_EQ(r.Bool(), false);
+}
+
+// Property: every (value, offset) combination survives a round trip
+// through a shared buffer.
+class BytesPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BytesPropertyTest, MixedRoundTrip) {
+  uint64_t v = GetParam();
+  ByteWriter w;
+  w.U64(v);
+  w.U32(static_cast<uint32_t>(v));
+  w.U16(static_cast<uint16_t>(v));
+  w.U8(static_cast<uint8_t>(v));
+  w.Str(std::to_string(v));
+  auto buf = w.Take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.U64(), v);
+  EXPECT_EQ(r.U32(), static_cast<uint32_t>(v));
+  EXPECT_EQ(r.U16(), static_cast<uint16_t>(v));
+  EXPECT_EQ(r.U8(), static_cast<uint8_t>(v));
+  EXPECT_EQ(r.Str(), std::to_string(v));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, BytesPropertyTest,
+                         ::testing::Values(0ULL, 1ULL, 0xffULL, 0x100ULL, 0xffffULL,
+                                           0x10000ULL, 0xffffffffULL, 0x100000000ULL,
+                                           0x7fffffffffffffffULL, 0xffffffffffffffffULL,
+                                           0x123456789abcdef0ULL));
+
+TEST(Strings, SplitBasic) {
+  auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  auto parts = Split(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[4], "");
+}
+
+TEST(Strings, SplitEmptyString) {
+  auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t\nx\r\n"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(StartsWith("hello world", "hello"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+  EXPECT_FALSE(StartsWith("abc", "abd"));
+}
+
+}  // namespace
+}  // namespace ppm::util

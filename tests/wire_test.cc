@@ -1,0 +1,288 @@
+// wire_test.cc — the PPM wire protocol: round trips for every message
+// type, the 112-byte kernel event format, and robustness against
+// truncation and garbage (an LPM must survive sibling garbage).
+#include <gtest/gtest.h>
+
+#include "core/wire.h"
+
+namespace ppm::core {
+namespace {
+
+ProcRecord MakeProcRecord() {
+  ProcRecord rec;
+  rec.gpid = {"vaxA", 42};
+  rec.logical_parent = {"vaxB", 7};
+  rec.uid = 100;
+  rec.command = "cruncher";
+  rec.state = host::ProcState::kStopped;
+  rec.exited = false;
+  rec.start_time = 1000;
+  rec.end_time = 0;
+  rec.cpu_time = 12345;
+  return rec;
+}
+
+RusageRecord MakeRusageRecord() {
+  RusageRecord rec;
+  rec.gpid = {"sun1", 9};
+  rec.command = "worker";
+  rec.exit_status = 3;
+  rec.killed_by_signal = true;
+  rec.death_signal = host::Signal::kSigKill;
+  rec.start_time = 5;
+  rec.end_time = 500;
+  rec.rusage.cpu_time = 777;
+  rec.rusage.messages_sent = 11;
+  rec.rusage.messages_received = 22;
+  rec.rusage.files_opened = 3;
+  rec.rusage.max_rss_kb = 640;
+  rec.rusage.forks = 2;
+  return rec;
+}
+
+// One representative of every message type.
+std::vector<Msg> AllMessages() {
+  std::vector<Msg> msgs;
+  msgs.push_back(HelloSibling{"leslie", "vaxA", 17, 0xdeadbeefcafeULL, "vaxB"});
+  msgs.push_back(HelloTool{"leslie", 100, "snapshot"});
+  msgs.push_back(HelloAck{"vaxB", 21, "vaxA"});
+  msgs.push_back(HelloReject{"authentication failed"});
+  msgs.push_back(CreateReq{5, "vaxC", "worker", {"vaxA", 3}, false, host::kTraceExit});
+  msgs.push_back(CreateResp{5, true, "", {"vaxC", 88}});
+  msgs.push_back(SignalReq{6, {"vaxB", 12}, host::Signal::kSigStop});
+  msgs.push_back(SignalResp{6, false, "no such process"});
+  SnapshotReq sreq;
+  sreq.req_id = 7;
+  sreq.origin_host = "vaxA";
+  sreq.bcast_seq = 3;
+  sreq.signed_ts = 999;
+  sreq.route = {"vaxA", "vaxB"};
+  msgs.push_back(sreq);
+  SnapshotResp sresp;
+  sresp.req_id = 7;
+  sresp.origin_host = "vaxA";
+  sresp.bcast_seq = 3;
+  sresp.replier_host = "vaxC";
+  sresp.forwarded_to = {"vaxD"};
+  sresp.route = {"vaxA", "vaxB", "vaxC"};
+  sresp.route_index = 1;
+  sresp.records = {MakeProcRecord(), MakeProcRecord()};
+  msgs.push_back(sresp);
+  msgs.push_back(RusageReq{8, "vaxB"});
+  RusageResp rresp;
+  rresp.req_id = 8;
+  rresp.ok = true;
+  rresp.records = {MakeRusageRecord()};
+  msgs.push_back(rresp);
+  msgs.push_back(AdoptReq{9, {"vaxA", 5}, host::kTraceAll});
+  AdoptResp aresp;
+  aresp.req_id = 9;
+  aresp.ok = true;
+  aresp.adopted_pids = {5, 6, 7};
+  msgs.push_back(aresp);
+  msgs.push_back(TraceReq{10, {"vaxA", 5}, host::kTraceIpc});
+  msgs.push_back(TraceResp{10, true, ""});
+  msgs.push_back(HistoryReq{11, "vaxB", -1, 100});
+  HistoryResp hresp;
+  hresp.req_id = 11;
+  hresp.ok = true;
+  HistEvent ev;
+  ev.at = 123;
+  ev.kind = host::KEvent::kSignal;
+  ev.pid = 4;
+  ev.other = 2;
+  ev.sig = host::Signal::kSigTerm;
+  ev.status = -1;
+  ev.detail = "d";
+  hresp.events = {ev};
+  msgs.push_back(hresp);
+  TriggerReq treq;
+  treq.req_id = 12;
+  treq.target_host = "vaxB";
+  treq.spec.event_kind = host::KEvent::kExit;
+  treq.spec.subject_pid = 31;
+  treq.spec.action_signal = host::Signal::kSigKill;
+  treq.spec.action_target = {"vaxC", 77};
+  msgs.push_back(treq);
+  msgs.push_back(TriggerResp{12, true, "", 4});
+  msgs.push_back(BecomeCcs{"vaxB"});
+  msgs.push_back(CcsChanged{"vaxC"});
+  msgs.push_back(Probe{13});
+  msgs.push_back(ProbeAck{13, "vaxA", true});
+  msgs.push_back(FilesReq{14, {"vaxB", 8}});
+  FilesResp fresp;
+  fresp.req_id = 14;
+  fresp.ok = true;
+  fresp.files = {{3, "/etc/motd", "r"}, {4, "/tmp/x", "rw"}};
+  msgs.push_back(fresp);
+  msgs.push_back(MigrateReq{15, {"vaxA", 6}, "vaxC"});
+  msgs.push_back(MigrateResp{15, true, "", {"vaxC", 31}});
+  TriggerReq mig_trig;
+  mig_trig.req_id = 16;
+  mig_trig.target_host = "vaxA";
+  mig_trig.spec.event_kind = host::KEvent::kExit;
+  mig_trig.spec.subject_pid = 3;
+  mig_trig.spec.action = TriggerAction::kMigrate;
+  mig_trig.spec.action_target = {"vaxA", 9};
+  mig_trig.spec.migrate_dest = "vaxB";
+  msgs.push_back(mig_trig);
+  msgs.push_back(RegisterChild{17, {"vaxC", 4}});
+  return msgs;
+}
+
+class WireRoundTrip : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WireRoundTrip, SerializeParseIdentity) {
+  Msg original = AllMessages()[GetParam()];
+  auto bytes = Serialize(original);
+  auto parsed = Parse(bytes);
+  ASSERT_TRUE(parsed.has_value()) << MsgTypeName(original);
+  EXPECT_EQ(parsed->index(), original.index());
+  // Re-serialization is byte-identical (canonical encoding).
+  EXPECT_EQ(Serialize(*parsed), bytes) << MsgTypeName(original);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, WireRoundTrip,
+                         ::testing::Range<size_t>(0, AllMessages().size()));
+
+class WireTruncation : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WireTruncation, EveryPrefixRejectedOrWhole) {
+  // Chopping any number of bytes off the end must yield a clean parse
+  // failure, never a crash or a bogus success that reads out of bounds.
+  Msg original = AllMessages()[GetParam()];
+  auto bytes = Serialize(original);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + static_cast<long>(len));
+    auto parsed = Parse(prefix);
+    // Most prefixes fail; a few may parse if trailing fields are empty
+    // collections — those must at least be the same type.
+    if (parsed) {
+      EXPECT_EQ(parsed->index(), original.index());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, WireTruncation,
+                         ::testing::Range<size_t>(0, AllMessages().size()));
+
+TEST(Wire, GarbageRejected) {
+  EXPECT_FALSE(Parse({}).has_value());
+  EXPECT_FALSE(Parse({0xff}).has_value());
+  EXPECT_FALSE(Parse({200, 1, 2, 3}).has_value());
+}
+
+TEST(Wire, FieldValuesSurvive) {
+  CreateReq req;
+  req.req_id = 0x1122334455667788ULL;
+  req.target_host = "host-with-long-name.berkeley.edu";
+  req.command = "a out with spaces";
+  req.logical_parent = {"x", -1};
+  req.initially_running = true;
+  req.trace_mask = 0x5a;
+  auto parsed = Parse(Serialize(Msg{req}));
+  ASSERT_TRUE(parsed.has_value());
+  const auto& got = std::get<CreateReq>(*parsed);
+  EXPECT_EQ(got.req_id, req.req_id);
+  EXPECT_EQ(got.target_host, req.target_host);
+  EXPECT_EQ(got.command, req.command);
+  EXPECT_EQ(got.logical_parent, req.logical_parent);
+  EXPECT_EQ(got.initially_running, true);
+  EXPECT_EQ(got.trace_mask, 0x5au);
+}
+
+TEST(Wire, SnapshotRecordsSurvive) {
+  SnapshotResp resp;
+  resp.req_id = 1;
+  resp.origin_host = "o";
+  resp.replier_host = "r";
+  resp.records = {MakeProcRecord()};
+  auto parsed = Parse(Serialize(Msg{resp}));
+  ASSERT_TRUE(parsed.has_value());
+  const auto& got = std::get<SnapshotResp>(*parsed);
+  ASSERT_EQ(got.records.size(), 1u);
+  EXPECT_EQ(got.records[0].gpid, (GPid{"vaxA", 42}));
+  EXPECT_EQ(got.records[0].logical_parent, (GPid{"vaxB", 7}));
+  EXPECT_EQ(got.records[0].state, host::ProcState::kStopped);
+  EXPECT_EQ(got.records[0].cpu_time, 12345);
+}
+
+TEST(Wire, MsgTypeNamesDistinct) {
+  std::set<std::string> names;
+  std::set<size_t> indices;
+  for (const Msg& m : AllMessages()) {
+    names.insert(MsgTypeName(m));
+    indices.insert(m.index());
+  }
+  // One distinct human-readable name per distinct wire tag.
+  EXPECT_EQ(names.size(), indices.size());
+  EXPECT_EQ(indices.size(), std::variant_size_v<Msg>);
+}
+
+// --- the 112-byte kernel event format (Table 1's message) ---------------------
+
+TEST(KernelEventWire, ExactlyTable1Size) {
+  host::KernelEvent ev;
+  ev.kind = host::KEvent::kExit;
+  ev.pid = 12;
+  ev.status = 3;
+  ev.at = 999;
+  auto bytes = SerializeKernelEvent(ev);
+  EXPECT_EQ(bytes.size(), kKernelEventWireBytes);
+  EXPECT_EQ(bytes.size(), 112u);
+}
+
+TEST(KernelEventWire, RoundTrip) {
+  host::KernelEvent ev;
+  ev.kind = host::KEvent::kSignal;
+  ev.pid = 7;
+  ev.other = 3;
+  ev.sig = host::Signal::kSigUsr1;
+  ev.status = -9;
+  ev.at = 123456789;
+  ev.detail = "note";
+  auto parsed = ParseKernelEvent(SerializeKernelEvent(ev));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, ev.kind);
+  EXPECT_EQ(parsed->pid, ev.pid);
+  EXPECT_EQ(parsed->other, ev.other);
+  EXPECT_EQ(parsed->sig, ev.sig);
+  EXPECT_EQ(parsed->status, ev.status);
+  EXPECT_EQ(parsed->at, ev.at);
+  EXPECT_EQ(parsed->detail, ev.detail);
+}
+
+TEST(KernelEventWire, LongDetailTruncatedToFit) {
+  host::KernelEvent ev;
+  ev.kind = host::KEvent::kFileOpen;
+  ev.pid = 1;
+  ev.detail = std::string(500, 'p');
+  auto bytes = SerializeKernelEvent(ev);
+  EXPECT_EQ(bytes.size(), 112u);
+  auto parsed = ParseKernelEvent(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_LT(parsed->detail.size(), 112u);
+  EXPECT_EQ(parsed->detail, std::string(parsed->detail.size(), 'p'));
+}
+
+TEST(KernelEventWire, WrongSizeRejected) {
+  host::KernelEvent ev;
+  ev.kind = host::KEvent::kFork;
+  auto bytes = SerializeKernelEvent(ev);
+  bytes.pop_back();
+  EXPECT_FALSE(ParseKernelEvent(bytes).has_value());
+  bytes.push_back(0);
+  bytes.push_back(0);
+  EXPECT_FALSE(ParseKernelEvent(bytes).has_value());
+}
+
+TEST(KernelEventWire, BadKindRejected) {
+  host::KernelEvent ev;
+  ev.kind = host::KEvent::kFork;
+  auto bytes = SerializeKernelEvent(ev);
+  bytes[0] = 200;  // not a KEvent
+  EXPECT_FALSE(ParseKernelEvent(bytes).has_value());
+}
+
+}  // namespace
+}  // namespace ppm::core
