@@ -80,6 +80,7 @@ Result RunWindow(sim::SimDuration window, int snapshots) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report("ablate_bcast_window");
   bench::PrintHeader(
       "Ablation: broadcast duplicate-suppression window (triangle sibling graph)");
   std::printf("%-14s%-16s%-18s%-18s\n", "window", "dups caught", "redundant scans",
@@ -96,6 +97,8 @@ int main() {
                 static_cast<unsigned long long>(r.duplicates),
                 static_cast<unsigned long long>(r.extra_scans),
                 static_cast<unsigned long long>(r.frames_per_snap));
+    report.Result(std::string("window_") + w.label + ".frames_per_snap",
+                  static_cast<double>(r.frames_per_snap));
   }
   std::printf(
       "\n(too-short windows forget a request before its echo returns around the\n"

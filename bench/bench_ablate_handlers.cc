@@ -59,6 +59,7 @@ Result RunBurst(bool reuse, int burst, int rounds) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report("ablate_handlers");
   bench::PrintHeader("Ablation: handler reuse vs fork-per-request (paper Sec. 6)");
   std::printf("%-10s%-18s%-20s%-16s%-12s\n", "burst", "policy", "batch latency ms",
               "handler forks", "reuses");
@@ -69,6 +70,9 @@ int main() {
                   reuse ? "reuse (PPM)" : "fork-per-request", r.batch_ms,
                   static_cast<unsigned long long>(r.handlers_created),
                   static_cast<unsigned long long>(r.handler_reuses));
+      report.Result("burst" + std::to_string(burst) +
+                        (reuse ? ".reuse.ms" : ".fork.ms"),
+                    r.batch_ms);
     }
   }
   std::printf(

@@ -77,6 +77,7 @@ Result RunVariant(bool stable) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report("ablate_pmd_storage");
   bench::PrintHeader("Ablation: pmd registry on stable storage (paper Sec. 5)");
   std::printf("%-22s%-20s%-20s%-26s\n", "variant", "cold create ms", "warm lookup ms",
               "after pmd-only crash");
@@ -86,6 +87,9 @@ int main() {
                 stable ? "stable storage" : "volatile (paper)", r.cold_create_ms,
                 r.warm_lookup_ms,
                 r.duplicate_after_pmd_crash ? "DUPLICATE LPM (broken)" : "same LPM reused");
+    const char* variant = stable ? "stable" : "volatile";
+    report.Result(std::string(variant) + ".cold_create.ms", r.cold_create_ms);
+    report.Result(std::string(variant) + ".warm_lookup.ms", r.warm_lookup_ms);
   }
   std::printf(
       "\n(the stable write adds to every LPM creation, exactly the overhead the\n"

@@ -19,6 +19,7 @@
 using namespace ppm;
 
 int main() {
+  bench::BenchReport report("ablate_procfs");
   core::Cluster cluster;
   cluster.AddHost("home");
   cluster.AddHost("work");
@@ -62,6 +63,8 @@ int main() {
   }
   std::printf("\n(1) remote stop/cont latency: PPM %.0f ms | /proc ctl write %.0f ms\n",
               bench::Mean(ppm_ms), bench::Mean(proc_ms));
+  report.Result("stop.ppm.ms", bench::Mean(ppm_ms));
+  report.Result("stop.procfs.ms", bench::Mean(proc_ms));
   std::printf(
       "    the one-shot /proc write beats the marshalled sibling channel on a\n"
       "    single signal — exactly why the authors called it elegant for\n"
@@ -113,6 +116,8 @@ int main() {
       "    PPM snapshot %.0f ms (%zu records, genealogy included)\n"
       "    /proc hunt   %.0f ms (%zu status files read one RPC at a time)\n",
       snap_ms, snap_records, hunt_ms, reads);
+  report.Result("locate.snapshot.ms", snap_ms);
+  report.Result("locate.proc_hunt.ms", hunt_ms);
 
   // (3) capability matrix.
   std::printf(

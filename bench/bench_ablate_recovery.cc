@@ -79,6 +79,7 @@ double MeasureRecovery(bool use_nameserver, int dead_list_prefix) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report("ablate_recovery");
   bench::PrintHeader(
       "Ablation: .recovery list walk vs name-server-assisted CCS recovery");
   std::printf("%-26s%-22s%-22s\n", "dead recovery entries", ".recovery walk ms",
@@ -87,6 +88,8 @@ int main() {
     double walk = MeasureRecovery(false, k);
     double ns = MeasureRecovery(true, k);
     std::printf("%-26d%-22.0f%-22.0f\n", k, walk, ns);
+    report.Result("dead" + std::to_string(k) + ".walk.ms", walk);
+    report.Result("dead" + std::to_string(k) + ".nameserver.ms", ns);
   }
   std::printf(
       "\n(each dead entry costs the walker a connect timeout; the name server\n"

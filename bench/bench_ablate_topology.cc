@@ -21,6 +21,7 @@
 using namespace ppm;
 
 int main() {
+  bench::BenchReport report("ablate_topology");
   std::vector<bench::Topology> shapes = {
       {"star",
        {{"root", "hostA"}, {"root", "hostB"}, {"root", "hostC"}},
@@ -110,6 +111,7 @@ int main() {
                 bench::Mean(times), circuits,
                 static_cast<unsigned long long>(frames / 5),
                 static_cast<unsigned long long>(dups_after - dups_before));
+    report.Result(shape.name + ".snapshot.ms", bench::Mean(times));
   }
   std::printf(
       "\n(low-connectivity graphs pay latency on deep snapshots; high connectivity\n"

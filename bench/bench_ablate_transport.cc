@@ -104,6 +104,7 @@ double RdpExchanges(int m) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report("ablate_transport");
   bench::PrintHeader(
       "Ablation: virtual circuits vs reliable datagrams (both real, Sec. 3)");
   std::printf("%-14s%-20s%-20s%-10s\n", "exchanges M", "circuit ms", "RDP+auth ms",
@@ -114,7 +115,10 @@ int main() {
     double dg = RdpExchanges(m);
     if (crossover < 0 && vc <= dg) crossover = m;
     std::printf("%-14d%-20.1f%-20.1f%-10s\n", m, vc, dg, vc <= dg ? "circuit" : "RDP");
+    report.Result("m" + std::to_string(m) + ".circuit.ms", vc);
+    report.Result("m" + std::to_string(m) + ".rdp.ms", dg);
   }
+  report.Result("crossover_exchanges", crossover);
   if (crossover > 0) {
     std::printf("\ncrossover: circuits amortize their setup after ~%.0f exchanges\n",
                 crossover);

@@ -38,6 +38,7 @@ void BuildWorld(core::Cluster& cluster) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report("baselines");
   bench::PrintHeader("Baselines: PPM vs rexec vs centralized facility");
 
   // --- (1) remote create latency ------------------------------------------
@@ -87,6 +88,9 @@ int main() {
     }
     std::printf("\n(1) remote create, warm (ms): PPM %.0f | rexec %.0f | central %.0f\n",
                 bench::Mean(ppm_ms), bench::Mean(rexec_ms), bench::Mean(central_ms));
+    report.Result("create.ppm.ms", bench::Mean(ppm_ms));
+    report.Result("create.rexec.ms", bench::Mean(rexec_ms));
+    report.Result("create.central.ms", bench::Mean(central_ms));
     std::printf(
         "    rexec does least (no adoption, no tracking); the PPM's premium buys\n"
         "    the genealogy that comparison (2) cashes in\n");
@@ -164,6 +168,9 @@ int main() {
         "    (the PPM's kernel fork events keep the genealogy complete; rexec\n"
         "    knows one pid; the central registry only sees what it created)\n",
         ppm_orphans, rexec_orphans, central_orphans);
+    report.Result("orphans.ppm", static_cast<double>(ppm_orphans));
+    report.Result("orphans.rexec", static_cast<double>(rexec_orphans));
+    report.Result("orphans.central", static_cast<double>(central_orphans));
   }
 
   // --- (3) multi-user burst: per-user managers vs one omniscient site ----------
@@ -228,6 +235,8 @@ int main() {
         "    (each user's LPMs proceed independently; the omniscient site\n"
         "     serializes everyone — paper Sec. 3)\n",
         ppm_batch, central_batch);
+    report.Result("burst.ppm.ms", ppm_batch);
+    report.Result("burst.central.ms", central_batch);
   }
   return 0;
 }

@@ -13,10 +13,13 @@
 #include <numeric>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/cluster.h"
 #include "core/lpm.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "tools/client.h"
 
 namespace ppm::bench {
@@ -122,5 +125,58 @@ inline std::string Fmt(double v, int prec = 1) {
   std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
   return buf;
 }
+
+// --- machine-readable bench output ----------------------------------------
+//
+// Alongside the printed table every bench writes BENCH_<name>.json into
+// the working directory: the headline virtual-ms results plus a full
+// snapshot of the metrics registry at exit, so a run's counters (frames,
+// drops, handler forks, …) travel with its numbers.  Written by the
+// destructor, so `BenchReport report("table3");` at the top of main()
+// is the whole integration.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  // Records one headline number (insertion order is preserved).
+  void Result(const std::string& key, double value) {
+    results_.emplace_back(key, value);
+  }
+
+  std::string Path() const { return "BENCH_" + name_ + ".json"; }
+
+  ~BenchReport() {
+    std::string out = "{\"bench\":\"";
+    obs::json::AppendEscaped(out, name_);
+    out += "\",\"results\":{";
+    bool first = true;
+    for (const auto& [key, value] : results_) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"";
+      obs::json::AppendEscaped(out, key);
+      out += "\":";
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", value);
+      out += buf;
+    }
+    out += "},\"metrics\":";
+    out += obs::Registry::Instance().DumpJson();
+    out += "}\n";
+    std::FILE* f = std::fopen(Path().c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "BenchReport: cannot write %s\n", Path().c_str());
+      return;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> results_;
+};
 
 }  // namespace ppm::bench

@@ -5,6 +5,7 @@
 // implementation itself costs.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "core/broadcast.h"
 #include "core/wire.h"
 #include "sim/simulator.h"
@@ -115,4 +116,12 @@ BENCHMARK(BM_BuildAndRenderForest)->Arg(10)->Arg(100);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ppm::bench::BenchReport report("micro");
+  report.Result("benchmarks_run",
+                static_cast<double>(benchmark::RunSpecifiedBenchmarks()));
+  benchmark::Shutdown();
+  return 0;
+}

@@ -15,6 +15,7 @@
 using namespace ppm;
 
 int main() {
+  bench::BenchReport report("migration");
   // Chain: home — h1 — h2 — h3 (so migrations cover 1..3 hops).
   core::Cluster cluster;
   cluster.AddHost("home");
@@ -66,6 +67,8 @@ int main() {
         },
         [&] { return created.has_value(); });
     std::printf("%-22s%-18.0f%-18.0f\n", mv.label, mig_ms, create_ms);
+    report.Result(std::string(mv.from) + "_to_" + mv.to + ".migrate.ms", mig_ms);
+    report.Result(std::string(mv.from) + "_to_" + mv.to + ".create.ms", create_ms);
     cluster.RunFor(sim::Millis(200));
   }
 
@@ -90,6 +93,7 @@ int main() {
         },
         [&] { return done_count == movers.size(); });
     std::printf("%-12d%-20.0f\n", n, ms);
+    report.Result("evacuate" + std::to_string(n) + ".ms", ms);
     cluster.RunFor(sim::Millis(500));
   }
   std::printf(

@@ -90,6 +90,7 @@ Churn RunChurn(bool tracked, uint32_t granularity, int n) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report("overhead");
   constexpr int kProcs = 60;
   bench::PrintHeader(
       "Overhead: 'negligible when unused, proportional to service' (Secs. 2, 8)");
@@ -117,6 +118,12 @@ int main() {
       "\nper-process cost at full granularity: %.1f kernel events, %.2f ms LPM cpu\n",
       static_cast<double>(full.kernel_events) / kProcs,
       sim::ToMillis(full.lpm_cpu) / kProcs);
+  report.Result("untracked.kernel_events", static_cast<double>(untracked.kernel_events));
+  report.Result("full.kernel_events", static_cast<double>(full.kernel_events));
+  report.Result("full.lpm_cpu.ms", sim::ToMillis(full.lpm_cpu));
+  report.Result("exits_only.kernel_events",
+                static_cast<double>(exits_only.kernel_events));
+  report.Result("exits_only.lpm_cpu.ms", sim::ToMillis(exits_only.lpm_cpu));
   std::printf(
       "(the untracked run emits ZERO kernel events — the mask test is the whole\n"
       " cost; with the PPM the cost scales with events traced, and the user-set\n"

@@ -15,6 +15,7 @@
 using namespace ppm;
 
 int main() {
+  bench::BenchReport report("scale_nodes");
   bench::PrintHeader("Scaling: PPM across N hosts (star sibling graph)");
   std::printf("%-8s%-18s%-16s%-14s%-14s%-12s\n", "N", "create ms (last)", "snapshot ms",
               "records", "frames/snap", "LPMs");
@@ -85,6 +86,8 @@ int main() {
     std::printf("%-8d%-18.0f%-16.0f%-14zu%-14llu%-12zu\n", n, last_create,
                 bench::Mean(snap_ms), records,
                 static_cast<unsigned long long>(frames / 3), lpms);
+    report.Result("n" + std::to_string(n) + ".create.ms", last_create);
+    report.Result("n" + std::to_string(n) + ".snapshot.ms", bench::Mean(snap_ms));
   }
   std::printf(
       "\n(create latency stays flat — work is done by the target host's own LPM;\n"

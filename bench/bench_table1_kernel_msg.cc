@@ -78,6 +78,7 @@ double MeasureBucket(host::HostType type, double target_la) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report("table1_kernel_msg");
   bench::PrintHeader(
       "Table 1: estimated 112-byte kernel-LPM message delivery time (ms) vs load");
   std::printf("%-14s%-22s%-22s%-22s\n", "load bucket", "VAX 11/780", "VAX 11/750", "SUN II");
@@ -86,6 +87,7 @@ int main() {
 
   const host::HostType types[3] = {host::HostType::kVax780, host::HostType::kVax750,
                                    host::HostType::kSun2};
+  const char* names[3] = {"vax780", "vax750", "sun2"};
   const char* buckets[4] = {"0<la<=1", "1<la<=2", "2<la<=3", "3<la<=4"};
   for (int b = 0; b < 4; ++b) {
     double mid = 0.5 + b;
@@ -97,6 +99,8 @@ int main() {
       }
       double measured = MeasureBucket(types[t], mid);
       std::printf("%-11.2f%-11.2f", measured, kPaper[t][b]);
+      report.Result(std::string(names[t]) + ".la" + std::to_string(b + 1) + ".ms",
+                    measured);
     }
     std::printf("\n");
   }

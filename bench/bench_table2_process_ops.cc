@@ -24,6 +24,7 @@ struct OpTimes {
 }  // namespace
 
 int main() {
+  bench::BenchReport report("table2_process_ops");
   core::Cluster cluster;
   cluster.AddHost("root");
   cluster.AddHost("mid");
@@ -94,6 +95,10 @@ int main() {
     results[d].create = bench::Mean(create_ms);
     results[d].stop = bench::Mean(stop_ms);
     results[d].terminate_ = bench::Mean(term_ms);
+    const char* hop_names[3] = {"within", "one_hop", "two_hops"};
+    report.Result(std::string(hop_names[d]) + ".create.ms", results[d].create);
+    report.Result(std::string(hop_names[d]) + ".stop.ms", results[d].stop);
+    report.Result(std::string(hop_names[d]) + ".terminate.ms", results[d].terminate_);
   }
 
   bench::PrintHeader(

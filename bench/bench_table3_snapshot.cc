@@ -10,6 +10,7 @@
 
 int main() {
   using namespace ppm;
+  bench::BenchReport report("table3_snapshot");
   bench::PrintHeader(
       "Table 3: elapsed time (ms) to transmit snapshot information, four topologies");
   std::printf("%-14s%-12s%-12s%-10s%-10s%-10s\n", "", "measured", "paper", "records",
@@ -23,6 +24,8 @@ int main() {
     std::printf("%-14s%-12.0f%-12.0f%-10zu%-10zu%-10llu\n", topo.name.c_str(),
                 run.mean_ms, topo.paper_ms, run.records, run.hosts_covered,
                 static_cast<unsigned long long>(run.frames));
+    report.Result(topo.name + ".ms", run.mean_ms);
+    report.Result(topo.name + ".paper_ms", topo.paper_ms);
   }
   std::printf(
       "\n(six adopted processes per remote host; the snapshot is flooded over the\n"

@@ -11,6 +11,7 @@
 
 int main() {
   using namespace ppm;
+  bench::BenchReport report("fig1_genealogy");
   core::Cluster cluster;
   cluster.AddHost("vaxA", host::HostType::kVax780);
   cluster.AddHost("vaxB", host::HostType::kVax750);
@@ -57,5 +58,6 @@ int main() {
   std::printf("hosts covered by the snapshot broadcast:");
   for (const auto& h : result->hosts_covered) std::printf(" %s", h.c_str());
   std::printf("\n");
+  report.Result("hosts_covered", static_cast<double>(result->hosts_covered.size()));
   return 0;
 }

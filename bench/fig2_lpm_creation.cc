@@ -47,6 +47,7 @@ std::optional<daemon::LpmResponse> Request(core::Cluster& cluster, const std::st
 }  // namespace
 
 int main() {
+  bench::BenchReport report("fig2_lpm_creation");
   core::Cluster cluster;
   cluster.AddHost("home");
   cluster.AddHost("target");
@@ -107,5 +108,7 @@ int main() {
       net::ToString(warm->accept_addr).c_str(), warm->created ? "yes" : "no", warm_ms);
   std::printf("\nLPM creation is \"somewhat expensive\": cold/warm ratio = %.1fx\n",
               cold_ms / warm_ms);
+  report.Result("cold.ms", cold_ms);
+  report.Result("warm.ms", warm_ms);
   return 0;
 }

@@ -14,6 +14,7 @@
 using namespace ppm;
 
 int main() {
+  bench::BenchReport report("fig3_channels");
   core::Cluster cluster;
   cluster.AddHost("vaxA");
   cluster.AddHost("vaxB");
@@ -73,6 +74,7 @@ int main() {
                               cluster.network().Send(*c, core::Serialize(core::Msg{forged}));
                             });
   bench::RunUntil(cluster, [&] { return rejected || accepted; }, sim::Seconds(5));
+  report.Result("forged_hello_rejected", rejected ? 1 : 0);
 
   std::printf(
       "\nauthentication audit:\n"

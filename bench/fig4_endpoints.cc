@@ -11,6 +11,7 @@
 using namespace ppm;
 
 int main() {
+  bench::BenchReport report("fig4_endpoints");
   core::Cluster cluster;
   cluster.AddHost("vaxA");
   cluster.AddHost("vaxB");
@@ -48,5 +49,7 @@ int main() {
       static_cast<unsigned long long>(lpm->stats().kernel_events),
       core::kKernelEventWireBytes);
   bool ok = ep.kernel_socket && ep.siblings.size() == 2 && ep.tool_circuits == 2;
+  report.Result("sibling_circuits", static_cast<double>(ep.siblings.size()));
+  report.Result("tool_circuits", static_cast<double>(ep.tool_circuits));
   return ok ? 0 : 1;
 }

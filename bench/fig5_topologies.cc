@@ -13,6 +13,7 @@
 
 int main() {
   using namespace ppm;
+  bench::BenchReport report("fig5_topologies");
   bench::PrintHeader("Figure 5: snapshot configuration for four PPM topologies");
   for (const auto& topo : bench::SnapshotTopologies()) {
     std::printf("\n%s  (paper: %.0f ms)\n%s\n", topo.name.c_str(), topo.paper_ms,
@@ -22,6 +23,7 @@ int main() {
       std::printf("  FAILED\n");
       continue;
     }
+    report.Result(topo.name + ".ms", run.mean_ms);
     std::printf(
         "  snapshot: %.0f ms, %zu process records from %zu hosts, %llu frames on "
         "the wire\n",

@@ -1,0 +1,66 @@
+// broadcast.h — duplicate suppression for graph-covering broadcasts.
+//
+// The sibling graph is deliberately low-connectivity, so broadcast
+// requests are flooded: every LPM re-sends a request to all siblings
+// except the one it came from.  A cyclic graph would echo requests
+// forever; the paper's remedy (Section 4) is "a signed timestamp in
+// which the name of the originating host appears", remembered for a
+// configurable time window.  This class is that memory: a set of
+// <origin host, sequence> pairs with timestamps, purged lazily once they
+// age past the window.
+//
+// The window is a genuine tuning knob ("whose optimum value will be
+// derived from experience"): too short and a slow duplicate is
+// re-flooded; too long and memory grows with broadcast rate.
+// bench_ablate_bcast_window measures both effects.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/time.h"
+
+namespace ppm::core {
+
+class BroadcastFilter {
+ public:
+  explicit BroadcastFilter(sim::SimDuration window) : window_(window) {}
+
+  // Records <origin, seq> seen at `now`.  Returns true if this is the
+  // first sighting within the window (i.e. the request should be
+  // processed and re-flooded), false for a duplicate.
+  bool CheckAndRecord(const std::string& origin, uint64_t seq, sim::SimTime now);
+
+  // Entries currently retained (after purging against `now`).
+  size_t Size(sim::SimTime now);
+
+  sim::SimDuration window() const { return window_; }
+  uint64_t duplicates_suppressed() const { return duplicates_; }
+  uint64_t stale_refloods() const { return stale_refloods_; }
+
+ private:
+  struct Key {
+    std::string origin;
+    uint64_t seq;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<std::string>()(k.origin) * 1315423911u ^ std::hash<uint64_t>()(k.seq);
+    }
+  };
+
+  void Purge(sim::SimTime now);
+
+  sim::SimDuration window_;
+  std::unordered_set<Key, KeyHash> seen_;
+  std::deque<std::pair<sim::SimTime, Key>> order_;  // purge queue
+  std::unordered_map<std::string, uint64_t> max_seq_;  // stale-re-flood detector
+  uint64_t duplicates_ = 0;
+  uint64_t stale_refloods_ = 0;  // duplicates admitted because the entry aged out
+};
+
+}  // namespace ppm::core

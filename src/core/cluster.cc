@@ -1,0 +1,124 @@
+#include "core/cluster.h"
+
+#include "util/panic.h"
+
+namespace ppm::core {
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config), sim_(config.seed), net_(sim_, config.net) {}
+
+Cluster::~Cluster() = default;
+
+host::Host& Cluster::AddHost(const std::string& name, host::HostType type) {
+  PPM_CHECK_MSG(!by_name_.count(name), "duplicate host name: " + name);
+  net::HostId id = net_.AddHost(name);
+  auto h = std::make_unique<host::Host>(sim_, net_, id, type, name, config_.la_tau);
+  host::Host* raw = h.get();
+  daemon::PmdConfig pmd_config = config_.pmd;
+  LpmConfig lpm_config = config_.lpm;
+  raw->set_boot_fn([pmd_config, lpm_config](host::Host& booted) {
+    daemon::StartInetd(booted, pmd_config, MakeLpmFactory(lpm_config));
+  });
+  by_name_[name] = hosts_.size();
+  hosts_.push_back(std::move(h));
+  // First boot.
+  daemon::StartInetd(*raw, pmd_config, MakeLpmFactory(lpm_config));
+  return *raw;
+}
+
+void Cluster::Link(const std::string& a, const std::string& b) {
+  Link(a, b, config_.default_link);
+}
+
+void Cluster::Link(const std::string& a, const std::string& b, net::LinkParams params) {
+  net_.AddLink(host(a).net_id(), host(b).net_id(), params);
+}
+
+void Cluster::Ethernet(const std::vector<std::string>& names) {
+  for (size_t i = 0; i < names.size(); ++i) {
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      Link(names[i], names[j]);
+    }
+  }
+}
+
+host::Host& Cluster::host(const std::string& name) {
+  auto it = by_name_.find(name);
+  PPM_CHECK_MSG(it != by_name_.end(), "no such host: " + name);
+  return *hosts_[it->second];
+}
+
+bool Cluster::HasHost(const std::string& name) const { return by_name_.count(name) > 0; }
+
+std::vector<std::string> Cluster::host_names() const {
+  std::vector<std::string> out;
+  out.reserve(hosts_.size());
+  for (const auto& h : hosts_) out.push_back(h->name());
+  return out;
+}
+
+void Cluster::AddUserEverywhere(const std::string& user, host::Uid uid) {
+  for (auto& h : hosts_) {
+    PPM_CHECK_MSG(h->users().AddUser(user, uid), "conflicting account: " + user);
+  }
+}
+
+void Cluster::TrustUserEverywhere(const std::string& user, host::Uid uid) {
+  std::string rhosts;
+  for (const auto& h : hosts_) {
+    rhosts += h->name() + " " + user + "\n";
+  }
+  for (auto& h : hosts_) {
+    h->fs().Write(uid, ".rhosts", rhosts);
+  }
+}
+
+void Cluster::SetRecoveryList(host::Uid uid, const std::vector<std::string>& list_hosts) {
+  RecoveryList list;
+  list.hosts = list_hosts;
+  for (auto& h : hosts_) {
+    WriteRecoveryList(h->fs(), uid, list);
+  }
+}
+
+daemon::Inetd* Cluster::FindInetd(const std::string& host_name) {
+  host::Host& h = host(host_name);
+  if (!h.up()) return nullptr;
+  for (host::Pid p : h.kernel().AllPids()) {
+    host::Process* proc = h.kernel().Find(p);
+    if (proc && proc->alive() && proc->command == "inetd") {
+      return dynamic_cast<daemon::Inetd*>(proc->body.get());
+    }
+  }
+  return nullptr;
+}
+
+daemon::Pmd* Cluster::FindPmd(const std::string& host_name) {
+  host::Host& h = host(host_name);
+  if (!h.up()) return nullptr;
+  for (host::Pid p : h.kernel().AllPids()) {
+    host::Process* proc = h.kernel().Find(p);
+    if (proc && proc->alive() && proc->command == "pmd") {
+      return dynamic_cast<daemon::Pmd*>(proc->body.get());
+    }
+  }
+  return nullptr;
+}
+
+Lpm* Cluster::FindLpm(const std::string& host_name, host::Uid uid) {
+  host::Host& h = host(host_name);
+  if (!h.up()) return nullptr;
+  for (host::Pid p : h.kernel().AllPids()) {
+    host::Process* proc = h.kernel().Find(p);
+    if (proc && proc->alive() && proc->command == "lpm" && proc->uid == uid) {
+      return dynamic_cast<Lpm*>(proc->body.get());
+    }
+  }
+  return nullptr;
+}
+
+void Cluster::Crash(const std::string& host_name) { host(host_name).Crash(); }
+
+void Cluster::Reboot(const std::string& host_name) { host(host_name).Reboot(); }
+
+}  // namespace ppm::core

@@ -1,0 +1,67 @@
+#include "core/history.h"
+
+namespace ppm::core {
+
+uint32_t TraceFlagOf(host::KEvent kind) {
+  switch (kind) {
+    case host::KEvent::kFork: return host::kTraceFork;
+    case host::KEvent::kExec: return host::kTraceExec;
+    case host::KEvent::kExit: return host::kTraceExit;
+    case host::KEvent::kSignal: return host::kTraceSignal;
+    case host::KEvent::kStop:
+    case host::KEvent::kContinue: return host::kTraceStateChange;
+    case host::KEvent::kFileOpen:
+    case host::KEvent::kFileClose: return host::kTraceFile;
+    case host::KEvent::kIpcSend:
+    case host::KEvent::kIpcRecv: return host::kTraceIpc;
+  }
+  return 0;
+}
+
+void EventLog::Record(const HistEvent& ev, uint32_t granularity_mask) {
+  if (!(TraceFlagOf(ev.kind) & granularity_mask)) {
+    ++filtered_;
+    return;
+  }
+  ++total_;
+  events_.push_back(ev);
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::vector<HistEvent> EventLog::Query(host::Pid pid_filter, uint32_t max) const {
+  std::vector<HistEvent> out;
+  for (const HistEvent& ev : events_) {
+    if (pid_filter != host::kNoPid && ev.pid != pid_filter) continue;
+    out.push_back(ev);
+    if (max != 0 && out.size() >= max) break;
+  }
+  return out;
+}
+
+uint64_t TriggerTable::Install(const TriggerSpec& spec) {
+  uint64_t id = next_id_++;
+  triggers_[id] = spec;
+  return id;
+}
+
+bool TriggerTable::Remove(uint64_t id) { return triggers_.erase(id) > 0; }
+
+void TriggerTable::Match(const HistEvent& ev, const FireFn& fire) {
+  std::vector<uint64_t> hits;
+  for (const auto& [id, spec] : triggers_) {
+    if (spec.event_kind != ev.kind) continue;
+    if (spec.subject_pid != host::kNoPid && spec.subject_pid != ev.pid) continue;
+    hits.push_back(id);
+  }
+  for (uint64_t id : hits) {
+    TriggerSpec spec = triggers_[id];
+    triggers_.erase(id);
+    ++fired_;
+    fire(spec, ev);
+  }
+}
+
+}  // namespace ppm::core

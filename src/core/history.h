@@ -1,0 +1,82 @@
+// history.h — per-LPM event history and history-dependent triggers.
+//
+// The paper's Section 1 argues that process management needs "historical
+// processing information" so that "history dependent events can be set
+// by users to trigger process state changes".  The LPM therefore keeps:
+//
+//   * an EventLog: every kernel event received on the kernel socket for
+//     an adopted process, subject to the user-settable granularity mask
+//     (the paper: "accept parameters that determine the amount of
+//     process events recorded");
+//   * a TriggerTable: user-installed TriggerSpecs; when a matching event
+//     arrives, the LPM fires the trigger's action (a signal aimed at any
+//     process of the user, possibly on another host).
+//
+// The log is bounded (ring semantics) so a chatty computation cannot
+// exhaust the manager.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/types.h"
+
+namespace ppm::core {
+
+class EventLog {
+ public:
+  explicit EventLog(size_t capacity = 4096) : capacity_(capacity) {}
+
+  // Appends if `kind` passes `granularity_mask` (TraceFlag bits).
+  void Record(const HistEvent& ev, uint32_t granularity_mask);
+
+  // Events, oldest first, optionally filtered by pid; max 0 = unlimited.
+  std::vector<HistEvent> Query(host::Pid pid_filter = host::kNoPid,
+                               uint32_t max = 0) const;
+
+  size_t size() const { return events_.size(); }
+  uint64_t total_recorded() const { return total_; }
+  uint64_t total_filtered() const { return filtered_; }
+  // Events evicted from the ring: recorded, then pushed out by newer
+  // ones.  A nonzero value means the computation is chattier than the
+  // ring and history queries are missing the oldest events.
+  uint64_t total_dropped() const { return dropped_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  std::deque<HistEvent> events_;
+  uint64_t total_ = 0;
+  uint64_t filtered_ = 0;  // suppressed by granularity mask
+  uint64_t dropped_ = 0;   // evicted by ring overflow
+};
+
+// Maps a KEvent kind to its TraceFlag bit.
+uint32_t TraceFlagOf(host::KEvent kind);
+
+class TriggerTable {
+ public:
+  using FireFn = std::function<void(const TriggerSpec&, const HistEvent&)>;
+
+  // Installs a trigger; returns its id.
+  uint64_t Install(const TriggerSpec& spec);
+  bool Remove(uint64_t id);
+
+  // Matches `ev` against every installed trigger and calls `fire` for
+  // each hit.  Triggers are one-shot: a fired trigger is removed, which
+  // keeps retry loops from delivering the same signal forever.
+  void Match(const HistEvent& ev, const FireFn& fire);
+
+  size_t size() const { return triggers_.size(); }
+  uint64_t fired_count() const { return fired_; }
+
+ private:
+  std::map<uint64_t, TriggerSpec> triggers_;
+  uint64_t next_id_ = 1;
+  uint64_t fired_ = 0;
+};
+
+}  // namespace ppm::core

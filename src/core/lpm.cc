@@ -1,0 +1,1933 @@
+#include "core/lpm.h"
+
+#include "core/nameserver.h"
+
+#include <algorithm>
+
+#include "daemon/protocol.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/log.h"
+#include "util/panic.h"
+
+namespace ppm::core {
+
+using host::BaseCosts;
+using host::Pid;
+
+namespace {
+// Shared by every LPM in the process (the registry is process-wide);
+// per-LPM attribution lives in LpmStats, these are the fleet totals.
+struct LpmMetrics {
+  obs::Histogram* create_ms;
+  obs::Histogram* signal_ms;
+  obs::Histogram* snapshot_ms;
+  obs::Gauge* eventlog_size;
+  obs::Gauge* eventlog_dropped;
+  obs::Counter* eventlog_dropped_total;
+  obs::Gauge* triggers_size;
+  obs::Counter* triggers_fired;
+};
+
+LpmMetrics& Metrics() {
+  auto& reg = obs::Registry::Instance();
+  static LpmMetrics m = {
+      reg.GetHistogram("lpm.create.ms"),
+      reg.GetHistogram("lpm.signal.ms"),
+      reg.GetHistogram("lpm.snapshot.ms"),
+      reg.GetGauge("core.eventlog.size"),
+      reg.GetGauge("core.eventlog.dropped"),
+      reg.GetCounter("core.eventlog.dropped.total"),
+      reg.GetGauge("core.triggers.size"),
+      reg.GetCounter("core.triggers.fired"),
+  };
+  return m;
+}
+}  // namespace
+
+Lpm::Lpm(host::Host& host, host::Uid uid, std::string user, uint64_t token,
+         net::Port accept_port, LpmConfig config,
+         std::function<daemon::Pmd*()> pmd_getter)
+    : host_(host),
+      uid_(uid),
+      user_(std::move(user)),
+      token_(token),
+      accept_port_(accept_port),
+      config_(config),
+      pmd_getter_(std::move(pmd_getter)),
+      bcast_filter_(config.bcast_window),
+      event_log_(config.event_log_capacity) {}
+
+// --- lifecycle ---------------------------------------------------------------
+
+void Lpm::OnStart() {
+  running_ = true;
+  network().Listen(host_.net_id(), accept_port_,
+                   [this](net::ConnId conn, net::SocketAddr peer) {
+                     OnAccept(conn, peer);
+                     net::ConnCallbacks cb;
+                     cb.on_data = [this](net::ConnId c, const std::vector<uint8_t>& b) {
+                       OnData(c, b);
+                     };
+                     cb.on_close = [this](net::ConnId c, net::CloseReason r) {
+                       OnClose(c, r);
+                     };
+                     return std::optional<net::ConnCallbacks>(cb);
+                   });
+  // The kernel socket (Figure 4): events cross it as genuine 112-byte
+  // messages, so the serializer is on the hot path exactly as the paper
+  // measured in Table 1.
+  kernel().RegisterEventSink(uid_, pid(), [this](const host::KernelEvent& ev) {
+    auto wire = SerializeKernelEvent(ev);
+    auto parsed = ParseKernelEvent(wire);
+    PPM_CHECK_MSG(parsed.has_value(), "kernel event wire corruption");
+    OnKernelEvent(*parsed);
+  });
+  PPM_INFO("lpm") << "LPM for " << user_ << " up on " << host_name() << " pid " << pid();
+  ReviewTtl();
+}
+
+bool Lpm::OnSignal(host::Signal sig) {
+  if (sig == host::Signal::kSigTerm) {
+    // Graceful shutdown request.
+    ExitSelf(0);
+    return true;
+  }
+  if (sig == host::Signal::kSigHup || sig == host::Signal::kSigUsr1) return true;
+  return false;
+}
+
+void Lpm::OnShutdown() {
+  if (!running_) return;
+  running_ = false;
+  if (host_.up()) {
+    kernel().UnregisterEventSink(uid_);
+    network().Unlisten(host_.net_id(), accept_port_);
+    for (const auto& [conn, info] : peers_) {
+      if (graceful_exit_) {
+        network().Close(conn);
+      } else {
+        network().Abort(conn);
+      }
+    }
+    // Handler processes die with their manager.
+    for (const Handler& h : handlers_) {
+      const host::Process* p = kernel().Find(h.pid);
+      if (p && p->alive()) kernel().PostSignal(h.pid, host::Signal::kSigKill, uid_);
+    }
+  }
+  peers_.clear();
+  siblings_.clear();
+  simulator().Cancel(ttl_event_);
+  simulator().Cancel(death_event_);
+  simulator().Cancel(probe_event_);
+  simulator().Cancel(retry_event_);
+  ttl_event_ = death_event_ = probe_event_ = retry_event_ = sim::kInvalidEventId;
+  // Fail anything still waiting.
+  for (auto& [host, waiters] : sibling_waiters_) {
+    for (auto& cb : waiters) cb(std::nullopt);
+  }
+  sibling_waiters_.clear();
+  pending_.clear();
+  snapshots_.clear();
+}
+
+void Lpm::ExitSelf(int status) {
+  if (!running_) return;
+  graceful_exit_ = true;
+  if (daemon::Pmd* pmd = pmd_getter_ ? pmd_getter_() : nullptr) {
+    pmd->Unregister(uid_, pid());
+  }
+  PPM_INFO("lpm") << "LPM for " << user_ << " on " << host_name() << " exiting";
+  kernel().Exit(pid(), status);
+}
+
+// --- introspection ---------------------------------------------------------------
+
+net::SocketAddr Lpm::accept_addr() const {
+  return net::SocketAddr{host_.net_id(), accept_port_};
+}
+
+std::vector<std::string> Lpm::sibling_hosts() const {
+  std::vector<std::string> out;
+  out.reserve(siblings_.size());
+  for (const auto& [host, conn] : siblings_) out.push_back(host);
+  return out;
+}
+
+LpmEndpoints Lpm::Endpoints() const {
+  LpmEndpoints ep;
+  ep.kernel_socket = host_.up() && host_.kernel().HasEventSink(uid_);
+  ep.accept_socket = accept_addr();
+  for (const auto& [host, conn] : siblings_) ep.siblings.emplace_back(host, conn);
+  for (const auto& [conn, info] : peers_) {
+    if (info.kind == PeerKind::kTool) ++ep.tool_circuits;
+  }
+  return ep;
+}
+
+size_t Lpm::adopted_live_count() const {
+  size_t n = 0;
+  for (const auto& [pid, info] : local_procs_) {
+    const host::Process* p = host_.kernel().Find(pid);
+    if (p && p->alive()) ++n;
+  }
+  return n;
+}
+
+// --- dispatcher & handler pool ------------------------------------------------------
+
+void Lpm::Dispatch(std::function<void(Pid)> work) {
+  ++stats_.requests;
+  sim::SimDuration cost = kernel().Charge(pid(), BaseCosts::kDispatch);
+  simulator().ScheduleIn(cost, [this, work = std::move(work)] {
+    if (!running_) return;
+    AcquireHandler(work);
+  }, "lpm-dispatch");
+}
+
+void Lpm::AcquireHandler(std::function<void(Pid)> cb) {
+  // Prune handlers that died under us (the user may kill them — they are
+  // ordinary user processes) so the pool can refill.
+  std::erase_if(handlers_, [this](const Handler& h) {
+    const host::Process* p = kernel().Find(h.pid);
+    return p == nullptr || !p->alive();
+  });
+  if (config_.handler_reuse) {
+    for (Handler& h : handlers_) {
+      if (!h.busy) {
+        h.busy = true;
+        ++stats_.handler_reuses;
+        cb(h.pid);
+        return;
+      }
+    }
+  }
+  if (!config_.handler_reuse || handlers_.size() < config_.max_handlers) {
+    // Fork a fresh handler (paper Section 6: "process creation in UNIX
+    // is relatively expensive" — this cost is why reuse is the default).
+    sim::SimDuration cost = kernel().Charge(pid(), BaseCosts::kHandlerFork);
+    Pid hp = kernel().Spawn(pid(), uid_, "lpm-handler", nullptr,
+                            host::ProcState::kSleeping);
+    handlers_.push_back(Handler{hp, true});
+    ++stats_.handlers_created;
+    simulator().ScheduleIn(cost, [this, hp, cb = std::move(cb)] {
+      if (!running_) return;
+      const host::Process* p = kernel().Find(hp);
+      if (!p || !p->alive()) return;
+      cb(hp);
+    }, "lpm-handler-fork");
+    return;
+  }
+  handler_queue_.push_back(std::move(cb));
+}
+
+void Lpm::ReleaseHandler(Pid hpid) {
+  auto it = std::find_if(handlers_.begin(), handlers_.end(),
+                         [hpid](const Handler& h) { return h.pid == hpid; });
+  if (it == handlers_.end()) return;
+  if (!config_.handler_reuse) {
+    // Fork-per-request policy: the handler exits after one request.
+    const host::Process* p = kernel().Find(hpid);
+    if (p && p->alive() && host_.up()) kernel().Exit(hpid, 0);
+    kernel().Reap(pid());
+    handlers_.erase(it);
+    return;
+  }
+  if (!handler_queue_.empty()) {
+    auto next = std::move(handler_queue_.front());
+    handler_queue_.pop_front();
+    next(hpid);  // stays busy
+    return;
+  }
+  it->busy = false;
+}
+
+// --- connection plumbing ----------------------------------------------------------------
+
+void Lpm::OnAccept(net::ConnId conn, net::SocketAddr peer) {
+  (void)peer;
+  peers_[conn] = PeerInfo{};  // unknown until Hello
+}
+
+void Lpm::SendMsg(net::ConnId conn, const Msg& msg, const obs::TraceContext& trace) {
+  kernel().RecordIpc(pid(), /*sent=*/true, 0);
+  network().Send(conn, Serialize(msg, trace));
+}
+
+void Lpm::SendToSibling(net::ConnId conn, Msg msg, sim::SimDuration base_cost,
+                        sim::SimDuration extra_delay, const obs::TraceContext& trace) {
+  sim::SimDuration cost = kernel().Charge(pid(), base_cost) + extra_delay;
+  simulator().ScheduleIn(cost, [this, conn, msg = std::move(msg), trace] {
+    if (!running_) return;
+    SendMsg(conn, msg, trace);
+  }, "lpm-sibling-send");
+}
+
+void Lpm::ReplyMsg(net::ConnId conn, const Msg& msg) {
+  auto it = peers_.find(conn);
+  if (it != peers_.end() && it->second.kind == PeerKind::kSibling) {
+    SendToSibling(conn, msg, BaseCosts::kSiblingSend);
+  } else {
+    SendMsg(conn, msg);
+  }
+}
+
+void Lpm::OnClose(net::ConnId conn, net::CloseReason reason) {
+  auto it = peers_.find(conn);
+  if (it == peers_.end()) return;
+  PeerInfo info = it->second;
+  peers_.erase(it);
+
+  // Fail every forwarded request that was waiting on this circuit.
+  std::vector<uint64_t> dead;
+  for (auto& [id, pf] : pending_) {
+    if (pf.conn == conn) dead.push_back(id);
+  }
+  for (uint64_t id : dead) {
+    PendingForward pf = std::move(pending_[id]);
+    pending_.erase(id);
+    simulator().Cancel(pf.timeout_ev);
+    if (pf.on_response) pf.on_response(nullptr, "channel lost");
+  }
+
+  if (info.kind == PeerKind::kSibling) {
+    auto sit = siblings_.find(info.host);
+    if (sit != siblings_.end() && sit->second == conn) siblings_.erase(sit);
+    if (reason == net::CloseReason::kPeerCrash || reason == net::CloseReason::kNetBroken) {
+      ++stats_.failures_detected;
+      PPM_INFO("lpm") << host_name() << ": lost sibling " << info.host << " ("
+                      << net::ToString(reason) << ")";
+      OnSiblingLost(info.host, reason);
+    }
+    ReviewTtl();
+  } else if (info.kind == PeerKind::kTool) {
+    ReviewTtl();
+  }
+}
+
+void Lpm::OnData(net::ConnId conn, const std::vector<uint8_t>& bytes) {
+  kernel().RecordIpc(pid(), /*sent=*/false, bytes.size());
+  auto msg = Parse(bytes, &rx_trace_);
+  if (msg && rx_trace_.valid()) {
+    // Close the hop span: the message reached this manager now.
+    obs::Tracer::Instance().RecordArrival(rx_trace_, host_name());
+  }
+  if (!msg) {
+    PPM_WARN("lpm") << host_name() << ": unparseable message, closing circuit";
+    network().Close(conn);
+    peers_.erase(conn);
+    return;
+  }
+  auto it = peers_.find(conn);
+  if (it == peers_.end()) return;
+  PeerInfo& info = it->second;
+
+  if (info.kind == PeerKind::kUnknown || !info.authenticated) {
+    HandleHello(conn, *msg, info);
+    return;
+  }
+
+  std::visit(
+      [&](auto&& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, CreateReq>) {
+          HandleCreate(conn, m);
+        } else if constexpr (std::is_same_v<T, SignalReq>) {
+          HandleSignal(conn, m);
+        } else if constexpr (std::is_same_v<T, RusageReq>) {
+          HandleRusage(conn, m);
+        } else if constexpr (std::is_same_v<T, AdoptReq>) {
+          HandleAdopt(conn, m);
+        } else if constexpr (std::is_same_v<T, TraceReq>) {
+          HandleTrace(conn, m);
+        } else if constexpr (std::is_same_v<T, HistoryReq>) {
+          HandleHistory(conn, m);
+        } else if constexpr (std::is_same_v<T, TriggerReq>) {
+          HandleTrigger(conn, m);
+        } else if constexpr (std::is_same_v<T, FilesReq>) {
+          HandleFiles(conn, m);
+        } else if constexpr (std::is_same_v<T, MigrateReq>) {
+          HandleMigrate(conn, m);
+        } else if constexpr (std::is_same_v<T, SnapshotReq>) {
+          if (m.origin_host.empty()) {
+            // A tool asking us to originate a snapshot.
+            uint64_t tool_req = m.req_id;
+            Dispatch([this, conn, tool_req](Pid h) { StartSnapshot(conn, tool_req, h); });
+          } else {
+            HandleSnapshotReq(conn, m);
+          }
+        } else if constexpr (std::is_same_v<T, SnapshotResp>) {
+          HandleSnapshotResp(m);
+        } else if constexpr (std::is_same_v<T, CreateResp> || std::is_same_v<T, SignalResp> ||
+                             std::is_same_v<T, RusageResp> || std::is_same_v<T, AdoptResp> ||
+                             std::is_same_v<T, TraceResp> || std::is_same_v<T, HistoryResp> ||
+                             std::is_same_v<T, TriggerResp> || std::is_same_v<T, FilesResp> ||
+                             std::is_same_v<T, MigrateResp>) {
+          HandleResponse(*msg, m.req_id);
+        } else if constexpr (std::is_same_v<T, BecomeCcs>) {
+          PPM_INFO("lpm") << host_name() << ": assuming CCS role (asked by "
+                          << m.requested_by << ")";
+          is_ccs_ = true;
+          ccs_host_ = host_name();
+          CancelDeath();
+          mode_ = LpmMode::kNormal;
+          recovery_in_progress_ = false;
+          RegisterCcsWithNameServer();
+          auto list = ReadRecoveryList(host_.fs(), uid_);
+          auto idx = list.IndexOf(host_name());
+          if (idx && *idx > 0) {
+            mode_ = LpmMode::kRecovering;
+            simulator().Cancel(probe_event_);
+            probe_event_ = simulator().ScheduleIn(config_.probe_interval,
+                                                  [this] { ProbeHigherPriority(); },
+                                                  "lpm-probe");
+          }
+          AnnounceCcs();
+          ReviewTtl();
+        } else if constexpr (std::is_same_v<T, RegisterChild>) {
+          auto it = local_procs_.find(m.parent_pid);
+          if (it != local_procs_.end()) {
+            auto& kids = it->second.remote_children;
+            if (std::find(kids.begin(), kids.end(), m.child) == kids.end()) {
+              kids.push_back(m.child);
+            }
+          }
+        } else if constexpr (std::is_same_v<T, CcsChanged>) {
+          AcceptCcsAnnouncement(m.new_ccs);
+        } else if constexpr (std::is_same_v<T, Probe>) {
+          ProbeAck ack;
+          ack.req_id = m.req_id;
+          ack.host = host_name();
+          ack.is_ccs = is_ccs_;
+          SendMsg(conn, ack);
+        } else if constexpr (std::is_same_v<T, ProbeAck>) {
+          HandleResponse(*msg, m.req_id);
+        }
+        // HelloSibling / HelloTool / HelloAck / HelloReject on an
+        // authenticated circuit are protocol errors; ignore.
+      },
+      *msg);
+}
+
+// --- hello ------------------------------------------------------------------------
+
+void Lpm::HandleHello(net::ConnId conn, const Msg& msg, PeerInfo& info) {
+  if (const auto* hs = std::get_if<HelloSibling>(&msg)) {
+    // Inbound sibling: must present *our* token (obtained from our pmd,
+    // which enforced the user-level checks).
+    if (hs->token != token_ || hs->user != user_) {
+      HelloReject rej;
+      rej.reason = "authentication failed";
+      SendMsg(conn, rej);
+      network().Close(conn);
+      peers_.erase(conn);
+      return;
+    }
+    info.kind = PeerKind::kSibling;
+    info.host = hs->origin_host;
+    info.authenticated = true;
+    siblings_[hs->origin_host] = conn;
+    HelloAck ack;
+    ack.host = host_name();
+    ack.lpm_pid = pid();
+    ack.ccs_host = CcsClaim();
+    SendMsg(conn, ack);
+    if (!hs->ccs_host.empty()) AdoptCcsFromPeer(hs->ccs_host);
+    ReviewTtl();
+    return;
+  }
+  if (const auto* ht = std::get_if<HelloTool>(&msg)) {
+    // Tools are local: the circuit must originate on this host, and the
+    // claimed uid must be ours (stands in for SCM_CREDENTIALS).
+    auto ep = network().ConnEndpoints(conn);
+    bool local = ep && ep->second.host == host_.net_id();
+    if (!local || ht->uid != uid_ || ht->user != user_) {
+      HelloReject rej;
+      rej.reason = "tool authentication failed";
+      SendMsg(conn, rej);
+      network().Close(conn);
+      peers_.erase(conn);
+      return;
+    }
+    info.kind = PeerKind::kTool;
+    info.tool_name = ht->tool_name;
+    info.authenticated = true;
+    // First contact establishes the session: if no CCS exists yet, this
+    // LPM is it by default (paper Section 5).
+    if (ccs_host_.empty()) {
+      is_ccs_ = true;
+      ccs_host_ = host_name();
+      RegisterCcsWithNameServer();
+    }
+    HelloAck ack;
+    ack.host = host_name();
+    ack.lpm_pid = pid();
+    ack.ccs_host = CcsClaim();
+    SendMsg(conn, ack);
+    ReviewTtl();
+    return;
+  }
+  if (const auto* ack = std::get_if<HelloAck>(&msg)) {
+    // Outbound sibling circuit we initiated: authentication complete.
+    if (info.kind == PeerKind::kSibling && !info.authenticated) {
+      info.authenticated = true;
+      if (!ack->ccs_host.empty()) AdoptCcsFromPeer(ack->ccs_host);
+      SiblingEstablished(info.host, conn);
+      return;
+    }
+    return;
+  }
+  if (std::get_if<HelloReject>(&msg) != nullptr) {
+    std::string host = info.host;
+    network().Close(conn);
+    peers_.erase(conn);
+    if (!host.empty()) SiblingSetupFailed(host, "hello rejected");
+    return;
+  }
+  // Anything else before authentication: refuse.
+  HelloReject rej;
+  rej.reason = "hello expected";
+  SendMsg(conn, rej);
+  network().Close(conn);
+  peers_.erase(conn);
+}
+
+// --- local actions ---------------------------------------------------------------
+
+void Lpm::DoCreateLocal(const CreateReq& req, Pid handler,
+                        std::function<void(const CreateResp&)> done) {
+  // The LPM is the process creation server (paper Section 2): the child
+  // is forked from the manager, adopted at birth, and its logical parent
+  // — possibly on another machine — is recorded for the genealogy.
+  sim::SimDuration cost = kernel().Charge(handler, BaseCosts::kHandlerWork);
+  cost += kernel().Charge(handler, BaseCosts::kForkExec);
+  simulator().ScheduleIn(cost, [this, req, done = std::move(done)] {
+    CreateResp resp;
+    resp.req_id = req.req_id;
+    if (!running_) {
+      resp.ok = false;
+      resp.error = "manager shutting down";
+      done(resp);
+      return;
+    }
+    Pid child = kernel().Spawn(pid(), uid_, req.command, nullptr,
+                               req.initially_running ? host::ProcState::kRunning
+                                                     : host::ProcState::kSleeping,
+                               req.trace_mask, pid());
+    LocalProc info;
+    info.logical_parent = req.logical_parent;
+    info.command = req.command;
+    local_procs_[child] = std::move(info);
+    resp.ok = true;
+    resp.gpid = GPid{host_name(), child};
+    // A cross-host logical parent must learn of this child, or once it
+    // exits its manager would drop it from snapshots while the child
+    // lives ("retain exit information while there are children alive").
+    if (req.logical_parent.valid() && req.logical_parent.host != host_name()) {
+      GPid parent = req.logical_parent;
+      GPid child_gpid = resp.gpid;
+      EnsureSibling(parent.host, [this, parent, child_gpid](std::optional<net::ConnId> c) {
+        if (!c || !running_) return;
+        RegisterChild note;
+        note.parent_pid = parent.pid;
+        note.child = child_gpid;
+        SendMsg(*c, note);
+      });
+    }
+    ReviewTtl();
+    done(resp);
+  }, "lpm-create");
+}
+
+void Lpm::DoSignalLocal(const SignalReq& req, Pid handler,
+                        std::function<void(const SignalResp&)> done) {
+  sim::SimDuration cost = kernel().Charge(handler, BaseCosts::kHandlerWork);
+  cost += kernel().Charge(handler, BaseCosts::kSignal);
+  simulator().ScheduleIn(cost, [this, req, done = std::move(done)] {
+    SignalResp resp;
+    resp.req_id = req.req_id;
+    if (!running_) {
+      resp.ok = false;
+      resp.error = "manager shutting down";
+      done(resp);
+      return;
+    }
+    std::string err;
+    resp.ok = kernel().PostSignal(req.target.pid, req.sig, uid_, &err);
+    resp.error = err;
+    done(resp);
+  }, "lpm-signal");
+}
+
+std::vector<ProcRecord> Lpm::ScanLocalProcesses() {
+  // Which exited processes still matter?  Those that still anchor
+  // descendants — the paper retains exit information while children are
+  // alive and marks the node as exited in the display.  Anchoring is
+  // *transitive*: an exited parent of an exited-but-anchoring child must
+  // itself be kept, or the chain to its live grandchildren snaps.
+  // (Remote children are counted conservatively: we do not learn of
+  // their deaths, so a parent with any recorded remote child is kept.)
+  std::set<GPid> included;
+  for (const auto& [lpid, info] : local_procs_) {
+    const host::Process* p = kernel().Find(lpid);
+    if ((p && p->alive()) || !info.remote_children.empty()) {
+      included.insert(GPid{host_name(), lpid});
+    }
+  }
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    // Parents of included records must be included too.
+    for (const auto& [lpid, info] : local_procs_) {
+      GPid self{host_name(), lpid};
+      if (!included.count(self) || !info.logical_parent.valid()) continue;
+      if (info.logical_parent.host == host_name() &&
+          local_procs_.count(info.logical_parent.pid) &&
+          !included.count(info.logical_parent)) {
+        included.insert(info.logical_parent);
+        grew = true;
+      }
+    }
+  }
+  std::vector<ProcRecord> out;
+  for (const auto& [lpid, info] : local_procs_) {
+    const host::Process* p = kernel().Find(lpid);
+    bool alive = p && p->alive();
+    GPid self{host_name(), lpid};
+    if (!alive && !included.count(self)) continue;
+    ProcRecord rec;
+    rec.gpid = self;
+    rec.logical_parent = info.logical_parent;
+    rec.uid = uid_;
+    rec.command = info.command;
+    if (alive) {
+      rec.state = p->state;
+      rec.exited = false;
+      rec.start_time = p->start_time;
+      rec.cpu_time = p->rusage.cpu_time;
+    } else {
+      rec.state = host::ProcState::kDead;
+      rec.exited = true;
+      if (p) {
+        rec.start_time = p->start_time;
+        rec.end_time = p->end_time;
+        rec.cpu_time = p->rusage.cpu_time;
+      }
+    }
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+// --- request handlers -----------------------------------------------------------------
+
+void Lpm::HandleCreate(net::ConnId conn, const CreateReq& req) {
+  obs::TraceContext rx = rx_trace_;
+  sim::SimTime t0 = simulator().Now();
+  Dispatch([this, conn, req, rx, t0](Pid h) {
+    bool local = req.target_host.empty() || req.target_host == host_name();
+    if (local) {
+      DoCreateLocal(req, h, [this, conn, h, t0](const CreateResp& resp) {
+        Metrics().create_ms->Observe(
+            static_cast<double>(simulator().Now() - t0) / 1000.0);
+        ReplyMsg(conn, resp);
+        ReleaseHandler(h);
+      });
+      return;
+    }
+    CreateReq fwd = req;
+    uint64_t my_id = NextReqId();
+    fwd.req_id = my_id;
+    uint64_t orig_id = req.req_id;
+    GPid parent = req.logical_parent;
+    ForwardToHost(req.target_host, Msg{fwd}, my_id, h,
+                  [this, conn, h, orig_id, parent, t0](const Msg* m, const std::string& err) {
+                    CreateResp resp;
+                    resp.req_id = orig_id;
+                    if (m != nullptr && std::holds_alternative<CreateResp>(*m)) {
+                      resp = std::get<CreateResp>(*m);
+                      resp.req_id = orig_id;
+                      // (Cross-host parent links are registered with the
+                      // parent's manager by the child's birth-site LPM;
+                      // see DoCreateLocal.)
+                      (void)parent;
+                    } else {
+                      resp.ok = false;
+                      resp.error = err.empty() ? "forward failed" : err;
+                    }
+                    Metrics().create_ms->Observe(
+                        static_cast<double>(simulator().Now() - t0) / 1000.0);
+                    ReplyMsg(conn, resp);
+                    ReleaseHandler(h);
+                  },
+                  rx);
+  });
+}
+
+void Lpm::HandleSignal(net::ConnId conn, const SignalReq& req) {
+  obs::TraceContext rx = rx_trace_;
+  sim::SimTime t0 = simulator().Now();
+  Dispatch([this, conn, req, rx, t0](Pid h) {
+    if (req.target.host == host_name()) {
+      DoSignalLocal(req, h, [this, conn, h, t0](const SignalResp& resp) {
+        Metrics().signal_ms->Observe(
+            static_cast<double>(simulator().Now() - t0) / 1000.0);
+        ReplyMsg(conn, resp);
+        ReleaseHandler(h);
+      });
+      return;
+    }
+    SignalReq fwd = req;
+    uint64_t my_id = NextReqId();
+    fwd.req_id = my_id;
+    uint64_t orig_id = req.req_id;
+    ForwardToHost(req.target.host, Msg{fwd}, my_id, h,
+                  [this, conn, h, orig_id, t0](const Msg* m, const std::string& err) {
+                    SignalResp resp;
+                    resp.req_id = orig_id;
+                    if (m != nullptr && std::holds_alternative<SignalResp>(*m)) {
+                      resp = std::get<SignalResp>(*m);
+                      resp.req_id = orig_id;
+                    } else {
+                      resp.ok = false;
+                      resp.error = err.empty() ? "forward failed" : err;
+                    }
+                    Metrics().signal_ms->Observe(
+                        static_cast<double>(simulator().Now() - t0) / 1000.0);
+                    ReplyMsg(conn, resp);
+                    ReleaseHandler(h);
+                  },
+                  rx);
+  });
+}
+
+void Lpm::HandleRusage(net::ConnId conn, const RusageReq& req) {
+  Dispatch([this, conn, req](Pid h) {
+    bool local = req.target_host.empty() || req.target_host == host_name();
+    if (local) {
+      sim::SimDuration cost = kernel().Charge(h, BaseCosts::kHandlerWork);
+      cost += kernel().Charge(
+          h, BaseCosts::kPerProcessScan * static_cast<int64_t>(exited_stats_.size() + 1));
+      simulator().ScheduleIn(cost, [this, conn, h, req] {
+        RusageResp resp;
+        resp.req_id = req.req_id;
+        resp.ok = true;
+        resp.records = exited_stats_;
+        ReplyMsg(conn, resp);
+        ReleaseHandler(h);
+      }, "lpm-rusage");
+      return;
+    }
+    RusageReq fwd = req;
+    uint64_t my_id = NextReqId();
+    fwd.req_id = my_id;
+    uint64_t orig_id = req.req_id;
+    ForwardToHost(req.target_host, Msg{fwd}, my_id, h,
+                  [this, conn, h, orig_id](const Msg* m, const std::string& err) {
+                    RusageResp resp;
+                    resp.req_id = orig_id;
+                    if (m != nullptr && std::holds_alternative<RusageResp>(*m)) {
+                      resp = std::get<RusageResp>(*m);
+                      resp.req_id = orig_id;
+                    } else {
+                      resp.ok = false;
+                      resp.error = err.empty() ? "forward failed" : err;
+                    }
+                    ReplyMsg(conn, resp);
+                    ReleaseHandler(h);
+                  });
+  });
+}
+
+void Lpm::HandleAdopt(net::ConnId conn, const AdoptReq& req) {
+  Dispatch([this, conn, req](Pid h) {
+    if (req.target.host == host_name()) {
+      sim::SimDuration cost = kernel().Charge(h, BaseCosts::kHandlerWork);
+      simulator().ScheduleIn(cost, [this, conn, h, req] {
+        AdoptResp resp;
+        resp.req_id = req.req_id;
+        std::vector<Pid> adopted;
+        std::string err;
+        if (!running_) {
+          resp.ok = false;
+          resp.error = "manager shutting down";
+        } else if (kernel().Adopt(pid(), req.target.pid, req.trace_mask, uid_, &adopted,
+                                  &err)) {
+          resp.ok = true;
+          for (Pid p : adopted) {
+            resp.adopted_pids.push_back(p);
+            if (!local_procs_.count(p)) {
+              const host::Process* proc = kernel().Find(p);
+              LocalProc info;
+              info.command = proc ? proc->command : "?";
+              // Derive the logical parent from the kernel genealogy when
+              // the parent is also ours.
+              if (proc && local_procs_.count(proc->ppid)) {
+                info.logical_parent = GPid{host_name(), proc->ppid};
+              }
+              local_procs_[p] = std::move(info);
+            }
+          }
+          ReviewTtl();
+        } else {
+          resp.ok = false;
+          resp.error = err;
+        }
+        ReplyMsg(conn, resp);
+        ReleaseHandler(h);
+      }, "lpm-adopt");
+      return;
+    }
+    AdoptReq fwd = req;
+    uint64_t my_id = NextReqId();
+    fwd.req_id = my_id;
+    uint64_t orig_id = req.req_id;
+    ForwardToHost(req.target.host, Msg{fwd}, my_id, h,
+                  [this, conn, h, orig_id](const Msg* m, const std::string& err) {
+                    AdoptResp resp;
+                    resp.req_id = orig_id;
+                    if (m != nullptr && std::holds_alternative<AdoptResp>(*m)) {
+                      resp = std::get<AdoptResp>(*m);
+                      resp.req_id = orig_id;
+                    } else {
+                      resp.ok = false;
+                      resp.error = err.empty() ? "forward failed" : err;
+                    }
+                    ReplyMsg(conn, resp);
+                    ReleaseHandler(h);
+                  });
+  });
+}
+
+void Lpm::HandleTrace(net::ConnId conn, const TraceReq& req) {
+  Dispatch([this, conn, req](Pid h) {
+    if (req.target.host == host_name()) {
+      sim::SimDuration cost = kernel().Charge(h, BaseCosts::kHandlerWork);
+      simulator().ScheduleIn(cost, [this, conn, h, req] {
+        TraceResp resp;
+        resp.req_id = req.req_id;
+        std::string err;
+        if (!running_) {
+          resp.ok = false;
+          resp.error = "manager shutting down";
+        } else {
+          resp.ok = kernel().SetTraceMask(req.target.pid, req.trace_mask, uid_, &err);
+          resp.error = err;
+        }
+        ReplyMsg(conn, resp);
+        ReleaseHandler(h);
+      }, "lpm-trace");
+      return;
+    }
+    TraceReq fwd = req;
+    uint64_t my_id = NextReqId();
+    fwd.req_id = my_id;
+    uint64_t orig_id = req.req_id;
+    ForwardToHost(req.target.host, Msg{fwd}, my_id, h,
+                  [this, conn, h, orig_id](const Msg* m, const std::string& err) {
+                    TraceResp resp;
+                    resp.req_id = orig_id;
+                    if (m != nullptr && std::holds_alternative<TraceResp>(*m)) {
+                      resp = std::get<TraceResp>(*m);
+                      resp.req_id = orig_id;
+                    } else {
+                      resp.ok = false;
+                      resp.error = err.empty() ? "forward failed" : err;
+                    }
+                    ReplyMsg(conn, resp);
+                    ReleaseHandler(h);
+                  });
+  });
+}
+
+void Lpm::HandleHistory(net::ConnId conn, const HistoryReq& req) {
+  Dispatch([this, conn, req](Pid h) {
+    bool local = req.target_host.empty() || req.target_host == host_name();
+    if (local) {
+      sim::SimDuration cost = kernel().Charge(h, BaseCosts::kHandlerWork);
+      simulator().ScheduleIn(cost, [this, conn, h, req] {
+        HistoryResp resp;
+        resp.req_id = req.req_id;
+        resp.ok = true;
+        resp.events = event_log_.Query(req.pid_filter, req.max_events);
+        ReplyMsg(conn, resp);
+        ReleaseHandler(h);
+      }, "lpm-history");
+      return;
+    }
+    HistoryReq fwd = req;
+    uint64_t my_id = NextReqId();
+    fwd.req_id = my_id;
+    uint64_t orig_id = req.req_id;
+    ForwardToHost(req.target_host, Msg{fwd}, my_id, h,
+                  [this, conn, h, orig_id](const Msg* m, const std::string& err) {
+                    HistoryResp resp;
+                    resp.req_id = orig_id;
+                    if (m != nullptr && std::holds_alternative<HistoryResp>(*m)) {
+                      resp = std::get<HistoryResp>(*m);
+                      resp.req_id = orig_id;
+                    } else {
+                      resp.ok = false;
+                      resp.error = err.empty() ? "forward failed" : err;
+                    }
+                    ReplyMsg(conn, resp);
+                    ReleaseHandler(h);
+                  });
+  });
+}
+
+void Lpm::HandleTrigger(net::ConnId conn, const TriggerReq& req) {
+  Dispatch([this, conn, req](Pid h) {
+    bool local = req.target_host.empty() || req.target_host == host_name();
+    if (local) {
+      sim::SimDuration cost = kernel().Charge(h, BaseCosts::kHandlerWork);
+      simulator().ScheduleIn(cost, [this, conn, h, req] {
+        TriggerResp resp;
+        resp.req_id = req.req_id;
+        resp.ok = true;
+        resp.trigger_id = triggers_.Install(req.spec);
+        ReplyMsg(conn, resp);
+        ReleaseHandler(h);
+      }, "lpm-trigger");
+      return;
+    }
+    TriggerReq fwd = req;
+    uint64_t my_id = NextReqId();
+    fwd.req_id = my_id;
+    uint64_t orig_id = req.req_id;
+    ForwardToHost(req.target_host, Msg{fwd}, my_id, h,
+                  [this, conn, h, orig_id](const Msg* m, const std::string& err) {
+                    TriggerResp resp;
+                    resp.req_id = orig_id;
+                    if (m != nullptr && std::holds_alternative<TriggerResp>(*m)) {
+                      resp = std::get<TriggerResp>(*m);
+                      resp.req_id = orig_id;
+                    } else {
+                      resp.ok = false;
+                      resp.error = err.empty() ? "forward failed" : err;
+                    }
+                    ReplyMsg(conn, resp);
+                    ReleaseHandler(h);
+                  });
+  });
+}
+
+void Lpm::HandleFiles(net::ConnId conn, const FilesReq& req) {
+  Dispatch([this, conn, req](Pid h) {
+    if (req.target.host == host_name()) {
+      sim::SimDuration cost = kernel().Charge(h, BaseCosts::kHandlerWork);
+      cost += kernel().Charge(h, BaseCosts::kPerProcessScan);
+      simulator().ScheduleIn(cost, [this, conn, h, req] {
+        FilesResp resp;
+        resp.req_id = req.req_id;
+        const host::Process* p = running_ ? kernel().Find(req.target.pid) : nullptr;
+        if (!p || !p->alive()) {
+          resp.ok = false;
+          resp.error = "no such process";
+        } else if (p->uid != uid_) {
+          resp.ok = false;
+          resp.error = "permission denied";
+        } else {
+          resp.ok = true;
+          for (const host::OpenFile& f : p->open_files) {
+            resp.files.push_back(FileRecord{f.fd, f.path, f.mode});
+          }
+        }
+        ReplyMsg(conn, resp);
+        ReleaseHandler(h);
+      }, "lpm-files");
+      return;
+    }
+    FilesReq fwd = req;
+    uint64_t my_id = NextReqId();
+    fwd.req_id = my_id;
+    uint64_t orig_id = req.req_id;
+    ForwardToHost(req.target.host, Msg{fwd}, my_id, h,
+                  [this, conn, h, orig_id](const Msg* m, const std::string& err) {
+                    FilesResp resp;
+                    resp.req_id = orig_id;
+                    if (m != nullptr && std::holds_alternative<FilesResp>(*m)) {
+                      resp = std::get<FilesResp>(*m);
+                      resp.req_id = orig_id;
+                    } else {
+                      resp.ok = false;
+                      resp.error = err.empty() ? "forward failed" : err;
+                    }
+                    ReplyMsg(conn, resp);
+                    ReleaseHandler(h);
+                  });
+  });
+}
+
+void Lpm::DoMigrateLocal(const MigrateReq& req, Pid handler,
+                         std::function<void(const MigrateResp&)> done) {
+  MigrateResp resp;
+  resp.req_id = req.req_id;
+  const host::Process* proc = kernel().Find(req.target.pid);
+  if (!proc || !proc->alive() || !local_procs_.count(req.target.pid)) {
+    resp.ok = false;
+    resp.error = "no such adopted process";
+    done(resp);
+    return;
+  }
+  if (req.dest_host == host_name()) {
+    resp.ok = false;
+    resp.error = "already on " + host_name();
+    done(resp);
+    return;
+  }
+  // Checkpoint: scan the PCB and ship the image.
+  sim::SimDuration cost = kernel().Charge(handler, BaseCosts::kPerProcessScan);
+  cost += kernel().Charge(handler, BaseCosts::kMigrateImage);
+  bool was_running = proc->state == host::ProcState::kRunning;
+  bool was_stopped = proc->state == host::ProcState::kStopped;
+  CreateReq create;
+  create.req_id = NextReqId();
+  create.target_host = req.dest_host;
+  create.command = proc->command;
+  // The old incarnation becomes the new one's logical parent, so the
+  // genealogical tree stays connected across the move (the old node is
+  // retained, marked exited, exactly like any other exited interior).
+  create.logical_parent = req.target;
+  create.initially_running = was_running;
+  create.trace_mask = proc->trace_mask;
+
+  simulator().ScheduleIn(cost, [this, req, create, handler, was_stopped,
+                                done = std::move(done)]() mutable {
+    MigrateResp resp;
+    resp.req_id = req.req_id;
+    if (!running_) {
+      resp.ok = false;
+      resp.error = "manager shutting down";
+      done(resp);
+      return;
+    }
+    uint64_t my_id = create.req_id;
+    ForwardToHost(
+        req.dest_host, Msg{create}, my_id, handler,
+        [this, req, handler, was_stopped, done = std::move(done)](
+            const Msg* m, const std::string& err) mutable {
+          MigrateResp resp;
+          resp.req_id = req.req_id;
+          if (m == nullptr || !std::holds_alternative<CreateResp>(*m) ||
+              !std::get<CreateResp>(*m).ok) {
+            resp.ok = false;
+            resp.error = m != nullptr && std::holds_alternative<CreateResp>(*m)
+                             ? std::get<CreateResp>(*m).error
+                             : (err.empty() ? "destination unreachable" : err);
+            done(resp);  // the original process is untouched
+            return;
+          }
+          GPid new_gpid = std::get<CreateResp>(*m).gpid;
+          // Commit: terminate the old incarnation and anchor the new one.
+          auto it = local_procs_.find(req.target.pid);
+          if (it != local_procs_.end()) it->second.remote_children.push_back(new_gpid);
+          kernel().PostSignal(req.target.pid, host::Signal::kSigKill, uid_);
+          resp.ok = true;
+          resp.new_gpid = new_gpid;
+          if (!was_stopped) {
+            done(resp);
+            return;
+          }
+          // Preserve the stopped state at the destination.
+          SignalReq stop;
+          stop.req_id = NextReqId();
+          stop.target = new_gpid;
+          stop.sig = host::Signal::kSigStop;
+          uint64_t stop_id = stop.req_id;
+          ForwardToHost(new_gpid.host, Msg{stop}, stop_id, handler,
+                        [resp, done = std::move(done)](const Msg*, const std::string&) {
+                          done(resp);
+                        });
+        });
+  }, "lpm-migrate");
+}
+
+void Lpm::HandleMigrate(net::ConnId conn, const MigrateReq& req) {
+  Dispatch([this, conn, req](Pid h) {
+    if (req.target.host == host_name()) {
+      sim::SimDuration cost = kernel().Charge(h, BaseCosts::kHandlerWork);
+      simulator().ScheduleIn(cost, [this, conn, h, req] {
+        DoMigrateLocal(req, h, [this, conn, h](const MigrateResp& resp) {
+          ReplyMsg(conn, resp);
+          ReleaseHandler(h);
+        });
+      }, "lpm-migrate-local");
+      return;
+    }
+    MigrateReq fwd = req;
+    uint64_t my_id = NextReqId();
+    fwd.req_id = my_id;
+    uint64_t orig_id = req.req_id;
+    ForwardToHost(req.target.host, Msg{fwd}, my_id, h,
+                  [this, conn, h, orig_id](const Msg* m, const std::string& err) {
+                    MigrateResp resp;
+                    resp.req_id = orig_id;
+                    if (m != nullptr && std::holds_alternative<MigrateResp>(*m)) {
+                      resp = std::get<MigrateResp>(*m);
+                      resp.req_id = orig_id;
+                    } else {
+                      resp.ok = false;
+                      resp.error = err.empty() ? "forward failed" : err;
+                    }
+                    ReplyMsg(conn, resp);
+                    ReleaseHandler(h);
+                  });
+  });
+}
+
+void Lpm::MigrateGPid(const GPid& target, const std::string& dest,
+                      std::function<void(bool, std::string)> done) {
+  Dispatch([this, target, dest, done = std::move(done)](Pid h) {
+    MigrateReq req;
+    req.req_id = NextReqId();
+    req.target = target;
+    req.dest_host = dest;
+    if (target.host == host_name()) {
+      DoMigrateLocal(req, h, [this, h, done = std::move(done)](const MigrateResp& resp) {
+        done(resp.ok, resp.error);
+        ReleaseHandler(h);
+      });
+      return;
+    }
+    uint64_t my_id = req.req_id;
+    ForwardToHost(target.host, Msg{req}, my_id, h,
+                  [this, h, done = std::move(done)](const Msg* m, const std::string& err) {
+                    if (m != nullptr && std::holds_alternative<MigrateResp>(*m)) {
+                      const auto& resp = std::get<MigrateResp>(*m);
+                      done(resp.ok, resp.error);
+                    } else {
+                      done(false, err);
+                    }
+                    ReleaseHandler(h);
+                  });
+  });
+}
+
+void Lpm::HandleResponse(const Msg& msg, uint64_t req_id) {
+  auto it = pending_.find(req_id);
+  if (it == pending_.end()) return;  // late response after timeout
+  PendingForward pf = std::move(it->second);
+  pending_.erase(it);
+  simulator().Cancel(pf.timeout_ev);
+  if (pf.on_response) pf.on_response(&msg, "");
+}
+
+// --- forwarding & sibling management ----------------------------------------------------
+
+void Lpm::ForwardToHost(const std::string& host, Msg msg, uint64_t my_req_id,
+                        Pid handler,
+                        std::function<void(const Msg*, const std::string&)> on_response,
+                        const obs::TraceContext& trace) {
+  ++stats_.forwards;
+  sim::SimDuration cost = kernel().Charge(handler, BaseCosts::kForward);
+  simulator().ScheduleIn(cost, [this, host, msg = std::move(msg), my_req_id, handler,
+                                on_response = std::move(on_response), trace]() mutable {
+    if (!running_) {
+      on_response(nullptr, "manager shutting down");
+      return;
+    }
+    EnsureSibling(host, [this, msg = std::move(msg), my_req_id, handler,
+                         on_response = std::move(on_response), trace](
+                            std::optional<net::ConnId> conn) mutable {
+      if (!conn) {
+        on_response(nullptr, "sibling unreachable");
+        return;
+      }
+      PendingForward pf;
+      pf.handler = handler;
+      pf.conn = *conn;
+      pf.on_response = std::move(on_response);
+      pf.timeout_ev = simulator().ScheduleIn(config_.request_timeout, [this, my_req_id] {
+        auto it = pending_.find(my_req_id);
+        if (it == pending_.end()) return;
+        PendingForward dead = std::move(it->second);
+        pending_.erase(it);
+        ++stats_.request_timeouts;
+        if (dead.on_response) dead.on_response(nullptr, "request timed out");
+      }, "lpm-fwd-timeout");
+      pending_[my_req_id] = std::move(pf);
+      obs::TraceContext hop =
+          obs::Tracer::Instance().StartSpan(trace, "forward", host_name());
+      SendToSibling(*conn, std::move(msg), BaseCosts::kSiblingSend, 0, hop);
+    });
+  }, "lpm-forward");
+}
+
+void Lpm::EnsureSibling(const std::string& host,
+                        std::function<void(std::optional<net::ConnId>)> done) {
+  auto it = siblings_.find(host);
+  if (it != siblings_.end()) {
+    done(it->second);
+    return;
+  }
+  bool setup_in_progress = sibling_waiters_.count(host) > 0;
+  sibling_waiters_[host].push_back(std::move(done));
+  if (setup_in_progress) return;
+
+  auto host_id = network().FindHost(host);
+  if (!host_id) {
+    SiblingSetupFailed(host, "unknown host");
+    return;
+  }
+  // Note: no liveness shortcut here — whether the host is up can only be
+  // learned by trying, i.e. by paying the connect timeout, exactly the
+  // cost structure the recovery-list walk has on real networks.
+  // Step (1) of Figure 2: ask the remote inetd for the user's LPM.
+  net::ConnCallbacks cb;
+  cb.on_data = [this, host](net::ConnId c, const std::vector<uint8_t>& bytes) {
+    auto resp = daemon::LpmResponse::Parse(bytes);
+    network().Close(c);
+    if (!resp) {
+      SiblingSetupFailed(host, "bad pmd response");
+      return;
+    }
+    FinishSiblingSetup(host, *resp);
+  };
+  cb.on_close = [](net::ConnId, net::CloseReason) {};
+  network().Connect(host_.net_id(), net::SocketAddr{*host_id, net::kInetdPort},
+                    std::move(cb), [this, host](std::optional<net::ConnId> c) {
+                      if (!running_) return;
+                      if (!c) {
+                        SiblingSetupFailed(host, "inetd unreachable");
+                        return;
+                      }
+                      daemon::LpmRequest req;
+                      req.user = user_;
+                      req.origin_host = host_name();
+                      req.origin_user = user_;
+                      network().Send(*c, req.Serialize());
+                    });
+}
+
+void Lpm::FinishSiblingSetup(const std::string& host, const daemon::LpmResponse& resp) {
+  if (!running_) return;
+  if (!resp.ok) {
+    SiblingSetupFailed(host, resp.error);
+    return;
+  }
+  // Step (4) done: we hold the accept address and the token; open the
+  // private channel (Figure 3) and authenticate.
+  net::ConnCallbacks cb;
+  cb.on_data = [this](net::ConnId c, const std::vector<uint8_t>& b) { OnData(c, b); };
+  cb.on_close = [this](net::ConnId c, net::CloseReason r) { OnClose(c, r); };
+  uint64_t token = resp.token;
+  network().Connect(host_.net_id(), resp.accept_addr, std::move(cb),
+                    [this, host, token](std::optional<net::ConnId> c) {
+                      if (!running_) return;
+                      if (!c) {
+                        SiblingSetupFailed(host, "accept socket unreachable");
+                        return;
+                      }
+                      PeerInfo info;
+                      info.kind = PeerKind::kSibling;
+                      info.host = host;
+                      info.authenticated = false;  // until HelloAck
+                      peers_[*c] = info;
+                      HelloSibling hello;
+                      hello.user = user_;
+                      hello.origin_host = host_name();
+                      hello.origin_lpm_pid = pid();
+                      hello.token = token;
+                      hello.ccs_host = CcsClaim();
+                      SendMsg(*c, hello);
+                    });
+}
+
+void Lpm::SiblingEstablished(const std::string& host, net::ConnId conn) {
+  siblings_[host] = conn;
+  auto waiters = std::move(sibling_waiters_[host]);
+  sibling_waiters_.erase(host);
+  for (auto& cb : waiters) cb(conn);
+  ReviewTtl();
+}
+
+void Lpm::SiblingSetupFailed(const std::string& host, const std::string& why) {
+  PPM_DEBUG("lpm") << host_name() << ": sibling setup to " << host << " failed: " << why;
+  auto it = sibling_waiters_.find(host);
+  if (it == sibling_waiters_.end()) return;
+  auto waiters = std::move(it->second);
+  sibling_waiters_.erase(it);
+  for (auto& cb : waiters) cb(std::nullopt);
+}
+
+// --- snapshots (the graph-covering broadcast of Section 4) ------------------------------
+
+void Lpm::StartSnapshot(net::ConnId tool_conn, uint64_t tool_req_id, Pid handler) {
+  uint64_t seq = NextBcastSeq();
+  ++stats_.bcasts_originated;
+  // Record our own broadcast so an echo through a cycle is suppressed.
+  bcast_filter_.CheckAndRecord(host_name(), seq, simulator().Now());
+
+  sim::SimDuration cost = kernel().Charge(handler, BaseCosts::kHandlerWork);
+  cost += kernel().Charge(
+      handler, BaseCosts::kPerProcessScan * static_cast<int64_t>(local_procs_.size() + 1));
+  simulator().ScheduleIn(cost, [this, tool_conn, tool_req_id, handler, seq] {
+    if (!running_) return;
+    SnapshotRun run;
+    run.tool_req_id = tool_req_id;
+    run.tool_conn = tool_conn;
+    run.handler = handler;
+    run.records = ScanLocalProcesses();
+    // Root of the broadcast's causal trace: every flood hop, reply, and
+    // relay becomes a descendant span, so the finished trace replays the
+    // covering-graph tree (paper Section 4's recorded routes).
+    run.trace = obs::Tracer::Instance().StartTrace("snapshot", host_name());
+    run.start_us = simulator().Now();
+
+    SnapshotReq templ;
+    templ.req_id = seq;
+    templ.origin_host = host_name();
+    templ.bcast_seq = seq;
+    templ.signed_ts = simulator().Now();  // "signed" by naming the origin host
+    templ.route.push_back(host_name());
+
+    std::vector<std::string> sent;
+    FloodSnapshot(seq, templ, /*except_host=*/"", &sent, run.trace);
+    for (const std::string& h : sent) run.outstanding.insert(h);
+    run.replied.insert(host_name());
+
+    if (!run.outstanding.empty()) {
+      run.timeout_ev = simulator().ScheduleIn(config_.snapshot_timeout, [this, seq] {
+        auto it = snapshots_.find(seq);
+        if (it == snapshots_.end()) return;
+        it->second.timeout_ev = sim::kInvalidEventId;
+        FinishSnapshot(it->second, seq);
+      }, "lpm-snapshot-timeout");
+      snapshots_[seq] = std::move(run);
+    } else {
+      snapshots_[seq] = std::move(run);
+      FinishSnapshot(snapshots_[seq], seq);
+    }
+  }, "lpm-snapshot-start");
+}
+
+sim::SimDuration Lpm::FloodSnapshot(uint64_t bcast_seq, const SnapshotReq& templ,
+                                    const std::string& except_host,
+                                    std::vector<std::string>* sent_to,
+                                    const obs::TraceContext& parent) {
+  (void)bcast_seq;
+  // The dispatcher marshals once and then writes the message to each
+  // sibling channel in turn: the first send pays the full marshalling
+  // cost, the rest only the write.
+  sim::SimDuration cum = 0;
+  bool first = true;
+  for (const auto& [host, conn] : siblings_) {
+    if (host == except_host) continue;
+    cum += kernel().Charge(pid(), first ? BaseCosts::kSiblingSend
+                                        : BaseCosts::kSiblingSendExtra);
+    first = false;
+    net::ConnId target = conn;
+    simulator().ScheduleIn(cum, [this, target, templ, parent] {
+      if (!running_) return;
+      // One hop span per fan-out edge, opened at the moment the frame
+      // actually leaves; closed by the receiving LPM's OnData.
+      obs::TraceContext hop =
+          obs::Tracer::Instance().StartSpan(parent, "snapshot.req", host_name());
+      SendMsg(target, templ, hop);
+    }, "lpm-flood-send");
+    if (sent_to) sent_to->push_back(host);
+  }
+  return cum;
+}
+
+void Lpm::HandleSnapshotReq(net::ConnId conn, const SnapshotReq& req) {
+  (void)conn;
+  // The hop span that carried the request here: re-floods and the reply
+  // continue the causal chain under it.
+  obs::TraceContext rx = rx_trace_;
+  if (!bcast_filter_.CheckAndRecord(req.origin_host, req.bcast_seq, simulator().Now())) {
+    ++stats_.bcast_duplicates;
+    return;
+  }
+  std::string sender = req.route.empty() ? std::string() : req.route.back();
+  Dispatch([this, req, sender, rx](Pid h) {
+    ++stats_.snapshots_served;
+    sim::SimDuration cost = kernel().Charge(h, BaseCosts::kHandlerWork);
+    cost += kernel().Charge(
+        h, BaseCosts::kPerProcessScan * static_cast<int64_t>(local_procs_.size() + 1));
+    simulator().ScheduleIn(cost, [this, req, sender, rx, h] {
+      if (!running_) {
+        ReleaseHandler(h);
+        return;
+      }
+      SnapshotReq fwd = req;
+      fwd.route.push_back(host_name());
+      std::vector<std::string> sent;
+      sim::SimDuration flood_cost = FloodSnapshot(req.bcast_seq, fwd, sender, &sent, rx);
+
+      SnapshotResp resp;
+      resp.req_id = req.req_id;
+      resp.origin_host = req.origin_host;
+      resp.bcast_seq = req.bcast_seq;
+      resp.replier_host = host_name();
+      resp.forwarded_to = sent;
+      resp.route = fwd.route;  // origin … us; replies walk it backwards
+      resp.route_index = 0;
+      resp.records = ScanLocalProcesses();
+      // First hop of the return path is whoever handed us the request.
+      // The reply is marshalled after the forwarded floods have left.
+      auto sit = siblings_.find(sender);
+      if (sit != siblings_.end()) {
+        obs::TraceContext hop =
+            obs::Tracer::Instance().StartSpan(rx, "snapshot.resp", host_name());
+        SendToSibling(sit->second, Msg{resp}, BaseCosts::kSiblingSend, flood_cost, hop);
+      }
+      // If the channel back is gone the origin's timeout covers us.
+      ReleaseHandler(h);
+    }, "lpm-snapshot-serve");
+  });
+}
+
+void Lpm::HandleSnapshotResp(const SnapshotResp& resp) {
+  obs::TraceContext rx = rx_trace_;
+  if (resp.origin_host != host_name()) {
+    // Relay toward the origin along the recorded route (paper Section 4:
+    // "All data returned to the originator of a broadcast request
+    // includes the message's source-destination route").
+    auto pos = std::find(resp.route.begin(), resp.route.end(), host_name());
+    if (pos == resp.route.end() || pos == resp.route.begin()) return;
+    const std::string& next = *(pos - 1);
+    auto sit = siblings_.find(next);
+    if (sit == siblings_.end()) return;  // path broke; origin times out
+    // Relaying costs a dispatch plus a channel write ("quick routing" of
+    // replies along the recorded route, but not free).
+    obs::TraceContext hop =
+        obs::Tracer::Instance().StartSpan(rx, "snapshot.resp.relay", host_name());
+    SendToSibling(sit->second, Msg{resp},
+                  BaseCosts::kDispatch + BaseCosts::kHandlerWork + BaseCosts::kSiblingSend,
+                  0, hop);
+    return;
+  }
+  auto it = snapshots_.find(resp.bcast_seq);
+  if (it == snapshots_.end()) return;  // finished or timed out already
+  SnapshotRun& run = it->second;
+  if (run.replied.count(resp.replier_host)) return;  // duplicate reply
+  run.replied.insert(resp.replier_host);
+  run.outstanding.erase(resp.replier_host);
+  for (const ProcRecord& rec : resp.records) run.records.push_back(rec);
+  for (const std::string& h : resp.forwarded_to) {
+    if (!run.replied.count(h)) run.outstanding.insert(h);
+  }
+  MaybeFinishSnapshot(resp.bcast_seq);
+}
+
+void Lpm::MaybeFinishSnapshot(uint64_t bcast_seq) {
+  auto it = snapshots_.find(bcast_seq);
+  if (it == snapshots_.end()) return;
+  if (!it->second.outstanding.empty()) return;
+  FinishSnapshot(it->second, bcast_seq);
+}
+
+void Lpm::FinishSnapshot(SnapshotRun& run, uint64_t bcast_seq) {
+  if (run.complete) return;
+  run.complete = true;
+  simulator().Cancel(run.timeout_ev);
+  Metrics().snapshot_ms->Observe(
+      static_cast<double>(simulator().Now() - run.start_us) / 1000.0);
+  SnapshotResp out;
+  out.req_id = run.tool_req_id;
+  out.origin_host = host_name();
+  out.bcast_seq = bcast_seq;
+  out.replier_host = host_name();
+  // The tool learns which hosts contributed (coverage) via forwarded_to.
+  out.forwarded_to.assign(run.replied.begin(), run.replied.end());
+  out.records = std::move(run.records);
+  // The final hop to the tool closes the trace's outermost branch.
+  obs::TraceContext hop =
+      obs::Tracer::Instance().StartSpan(run.trace, "snapshot.done", host_name());
+  if (peers_.count(run.tool_conn)) SendMsg(run.tool_conn, out, hop);
+  ReleaseHandler(run.handler);
+  snapshots_.erase(bcast_seq);
+}
+
+// --- kernel events, history, triggers ------------------------------------------------------
+
+void Lpm::OnKernelEvent(const host::KernelEvent& ev) {
+  if (!running_) return;
+  ++stats_.kernel_events;
+  HistEvent h;
+  h.at = ev.at;
+  h.kind = ev.kind;
+  h.pid = ev.pid;
+  h.other = ev.other;
+  h.sig = ev.sig;
+  h.status = ev.status;
+  h.detail = ev.detail;
+  event_log_.Record(h, config_.granularity_mask);
+  LpmMetrics& m = Metrics();
+  m.eventlog_size->Set(static_cast<double>(event_log_.size()));
+  m.eventlog_dropped->Set(static_cast<double>(event_log_.total_dropped()));
+  if (event_log_.total_dropped() > eventlog_dropped_seen_) {
+    m.eventlog_dropped_total->Inc(event_log_.total_dropped() - eventlog_dropped_seen_);
+    eventlog_dropped_seen_ = event_log_.total_dropped();
+  }
+
+  switch (ev.kind) {
+    case host::KEvent::kFork: {
+      // A tracked process forked: the child is ours from birth.
+      if (!local_procs_.count(ev.other)) {
+        const host::Process* child = kernel().Find(ev.other);
+        LocalProc info;
+        info.command = child ? child->command : "?";
+        info.logical_parent = GPid{host_name(), ev.pid};
+        local_procs_[ev.other] = std::move(info);
+      }
+      break;
+    }
+    case host::KEvent::kExit: {
+      auto it = local_procs_.find(ev.pid);
+      if (it != local_procs_.end() && !it->second.exited) {
+        it->second.exited = true;
+        // Preserve the resource consumption record before the zombie is
+        // reaped — this is the data the statistics tool serves.
+        const host::Process* p = kernel().Find(ev.pid);
+        if (p) {
+          RusageRecord rec;
+          rec.gpid = GPid{host_name(), ev.pid};
+          rec.command = p->command;
+          rec.exit_status = p->exit_status;
+          rec.killed_by_signal = p->killed_by_signal;
+          rec.death_signal = p->death_signal;
+          rec.start_time = p->start_time;
+          rec.end_time = p->end_time;
+          rec.rusage = p->rusage;
+          exited_stats_.push_back(std::move(rec));
+        }
+        kernel().Reap(pid());  // collect creation-server children
+        ReviewTtl();
+      }
+      break;
+    }
+    default:
+      break;
+  }
+
+  triggers_.Match(h, [this](const TriggerSpec& spec, const HistEvent& hev) {
+    FireTrigger(spec, hev);
+  });
+  m.triggers_size->Set(static_cast<double>(triggers_.size()));
+}
+
+void Lpm::FireTrigger(const TriggerSpec& spec, const HistEvent& ev) {
+  ++stats_.triggers_fired;
+  Metrics().triggers_fired->Inc();
+  if (spec.action == TriggerAction::kMigrate) {
+    PPM_INFO("lpm") << host_name() << ": trigger fired on " << host::ToString(ev.kind)
+                    << " of pid " << ev.pid << " -> migrate "
+                    << ToString(spec.action_target) << " to " << spec.migrate_dest;
+    MigrateGPid(spec.action_target, spec.migrate_dest, [](bool, std::string) {});
+    return;
+  }
+  PPM_INFO("lpm") << host_name() << ": trigger fired on " << host::ToString(ev.kind)
+                  << " of pid " << ev.pid << " -> " << host::ToString(spec.action_signal)
+                  << " to " << ToString(spec.action_target);
+  SignalGPid(spec.action_target, spec.action_signal, [](bool, std::string) {});
+}
+
+void Lpm::SignalGPid(const GPid& target, host::Signal sig,
+                     std::function<void(bool, std::string)> done) {
+  Dispatch([this, target, sig, done = std::move(done)](Pid h) {
+    SignalReq req;
+    req.req_id = NextReqId();
+    req.target = target;
+    req.sig = sig;
+    if (target.host == host_name()) {
+      DoSignalLocal(req, h, [this, h, done = std::move(done)](const SignalResp& resp) {
+        done(resp.ok, resp.error);
+        ReleaseHandler(h);
+      });
+      return;
+    }
+    uint64_t my_id = req.req_id;
+    ForwardToHost(target.host, Msg{req}, my_id, h,
+                  [this, h, done = std::move(done)](const Msg* m, const std::string& err) {
+                    if (m != nullptr && std::holds_alternative<SignalResp>(*m)) {
+                      const auto& resp = std::get<SignalResp>(*m);
+                      done(resp.ok, resp.error);
+                    } else {
+                      done(false, err);
+                    }
+                    ReleaseHandler(h);
+                  });
+  });
+}
+
+// --- time-to-live --------------------------------------------------------------------------
+
+void Lpm::ReviewTtl() {
+  if (!running_) return;
+  size_t tools = 0;
+  for (const auto& [conn, info] : peers_) {
+    if (info.kind == PeerKind::kTool) ++tools;
+  }
+  bool idle = adopted_live_count() == 0 && tools == 0;
+  // "For the CCS, the time-to-live interval has a different meaning: as
+  // long as there is any sibling LPM in the networked system,
+  // time-to-live is not decremented."
+  if (is_ccs_ && !siblings_.empty()) idle = false;
+  if (idle && ttl_event_ == sim::kInvalidEventId) {
+    ttl_event_ = simulator().ScheduleIn(config_.time_to_live, [this] {
+      ttl_event_ = sim::kInvalidEventId;
+      TtlExpired();
+    }, "lpm-ttl");
+  } else if (!idle && ttl_event_ != sim::kInvalidEventId) {
+    simulator().Cancel(ttl_event_);
+    ttl_event_ = sim::kInvalidEventId;
+  }
+}
+
+void Lpm::TtlExpired() {
+  if (!running_) return;
+  PPM_INFO("lpm") << host_name() << ": time-to-live expired";
+  ExitSelf(0);
+}
+
+// --- recovery (paper Section 5) ---------------------------------------------------------------
+
+void Lpm::OnSiblingLost(const std::string& host, net::CloseReason reason) {
+  (void)host;
+  (void)reason;
+  StartRecovery();
+}
+
+void Lpm::StartRecovery() {
+  if (!running_ || recovery_in_progress_) return;
+  ++stats_.recoveries_started;
+  if (is_ccs_) {
+    // The coordinator itself stays put; siblings come to it.
+    return;
+  }
+  recovery_in_progress_ = true;
+  if (!ccs_host_.empty() && ccs_host_ != host_name()) {
+    if (siblings_.count(ccs_host_)) {
+      // Still in touch with the coordinator: nothing to do.
+      recovery_in_progress_ = false;
+      mode_ = LpmMode::kNormal;
+      return;
+    }
+    EnsureSibling(ccs_host_, [this](std::optional<net::ConnId> conn) {
+      if (!running_) return;
+      if (conn) {
+        recovery_in_progress_ = false;
+        mode_ = LpmMode::kNormal;
+        CancelDeath();
+        return;
+      }
+      RecoverEntry();
+    });
+    return;
+  }
+  RecoverEntry();
+}
+
+void Lpm::RecoverEntry() {
+  if (!running_) return;
+  if (!config_.ccs_nameserver.empty()) {
+    RecoverViaNameServer();
+  } else {
+    WalkRecoveryList(0);
+  }
+}
+
+void Lpm::RecoverViaNameServer() {
+  // Paper Section 5 (alternative): "LPMs would query the name server for
+  // a CCS."  A stale or missing answer degrades to self-appointment or
+  // the .recovery walk.
+  NsQuery(host_, config_.ccs_nameserver, user_, config_.ns_query_timeout,
+          [this](std::optional<std::string> answer) {
+            if (!running_) return;
+            if (!answer) {
+              // Server unreachable or no record: the administrators'
+              // coordination is unavailable; use the file mechanism.
+              WalkRecoveryList(0);
+              return;
+            }
+            if (*answer == host_name()) {
+              is_ccs_ = true;
+              ccs_host_ = host_name();
+              mode_ = LpmMode::kNormal;
+              recovery_in_progress_ = false;
+              CancelDeath();
+              AnnounceCcs();
+              ReviewTtl();
+              return;
+            }
+            EnsureSibling(*answer, [this, ccs = *answer](std::optional<net::ConnId> conn) {
+              if (!running_) return;
+              if (conn) {
+                ccs_host_ = ccs;
+                is_ccs_ = false;
+                mode_ = LpmMode::kNormal;
+                recovery_in_progress_ = false;
+                CancelDeath();
+                AnnounceCcs();
+                return;
+              }
+              // The registered CCS is gone too: appoint ourselves and
+              // tell the name server, so later queriers find us.
+              PPM_INFO("lpm") << host_name()
+                              << ": registered CCS unreachable; self-appointing";
+              is_ccs_ = true;
+              ccs_host_ = host_name();
+              mode_ = LpmMode::kNormal;
+              recovery_in_progress_ = false;
+              CancelDeath();
+              RegisterCcsWithNameServer();
+              AnnounceCcs();
+              ReviewTtl();
+              // Two orphaned LPMs can self-appoint concurrently (both saw
+              // the same stale record).  Re-read the server once the dust
+              // settles: the LAST registration wins and the loser defers —
+              // the "better coordinated" assignment the paper wants from
+              // name servers.
+              simulator().ScheduleIn(2 * config_.ns_query_timeout, [this] {
+                if (!running_ || !is_ccs_) return;
+                NsQuery(host_, config_.ccs_nameserver, user_, config_.ns_query_timeout,
+                        [this](std::optional<std::string> winner) {
+                          if (!running_ || !is_ccs_ || !winner ||
+                              *winner == host_name()) {
+                            return;
+                          }
+                          EnsureSibling(*winner,
+                                        [this, w = *winner](std::optional<net::ConnId> c) {
+                                          if (!running_ || !c) return;
+                                          PPM_INFO("lpm") << host_name()
+                                                          << ": deferring CCS role to "
+                                                          << w;
+                                          is_ccs_ = false;
+                                          ccs_host_ = w;
+                                          AnnounceCcs();
+                                          ReviewTtl();
+                                        });
+                        });
+              }, "lpm-ns-reconcile");
+            });
+          });
+}
+
+void Lpm::RegisterCcsWithNameServer() {
+  if (config_.ccs_nameserver.empty() || !is_ccs_) return;
+  NsRegister(host_, config_.ccs_nameserver, user_, host_name());
+}
+
+void Lpm::WalkRecoveryList(size_t index) {
+  if (!running_) return;
+  RecoveryList list = ReadRecoveryList(host_.fs(), uid_);
+  if (index >= list.hosts.size()) {
+    EnterDying();
+    return;
+  }
+  const std::string target = list.hosts[index];
+  if (target == host_name()) {
+    BecomeActingCcs(index);
+    return;
+  }
+  EnsureSibling(target, [this, index, target](std::optional<net::ConnId> conn) {
+    if (!running_) return;
+    if (!conn) {
+      WalkRecoveryList(index + 1);
+      return;
+    }
+    // The reachable recovery host's LPM becomes the coordinator.
+    ccs_host_ = target;
+    is_ccs_ = false;
+    mode_ = LpmMode::kNormal;
+    recovery_in_progress_ = false;
+    CancelDeath();
+    BecomeCcs msg;
+    msg.requested_by = host_name();
+    SendMsg(*conn, msg);
+    AnnounceCcs();
+  });
+}
+
+void Lpm::BecomeActingCcs(size_t list_index) {
+  PPM_INFO("lpm") << host_name() << ": becoming "
+                  << (list_index == 0 ? "CCS" : "acting CCS") << " (priority "
+                  << list_index << ")";
+  is_ccs_ = true;
+  ccs_host_ = host_name();
+  recovery_in_progress_ = false;
+  CancelDeath();
+  RegisterCcsWithNameServer();
+  if (list_index > 0) {
+    // Not the top of the list: keep probing upward at low frequency
+    // until a higher-priority host comes back (partition healing).
+    mode_ = LpmMode::kRecovering;
+    simulator().Cancel(probe_event_);
+    probe_event_ = simulator().ScheduleIn(config_.probe_interval,
+                                          [this] { ProbeHigherPriority(); }, "lpm-probe");
+  } else {
+    mode_ = LpmMode::kNormal;
+  }
+  AnnounceCcs();
+  ReviewTtl();
+}
+
+void Lpm::ProbeHigherPriority() {
+  probe_event_ = sim::kInvalidEventId;
+  if (!running_ || !is_ccs_) return;
+  RecoveryList list = ReadRecoveryList(host_.fs(), uid_);
+  auto my_index = list.IndexOf(host_name());
+  size_t limit = my_index ? *my_index : list.hosts.size();
+  if (limit == 0) {
+    mode_ = LpmMode::kNormal;
+    return;
+  }
+  ProbeStep(0, limit, std::move(list));
+}
+
+void Lpm::ProbeStep(size_t index, size_t limit, RecoveryList list) {
+  if (!running_ || !is_ccs_) return;
+  if (index >= limit) {
+    // Everyone above is still unreachable; probe again later.
+    mode_ = LpmMode::kRecovering;
+    simulator().Cancel(probe_event_);
+    probe_event_ = simulator().ScheduleIn(config_.probe_interval,
+                                          [this] { ProbeHigherPriority(); }, "lpm-probe");
+    return;
+  }
+  const std::string target = list.hosts[index];
+  EnsureSibling(target, [this, index, limit, target,
+                         list = std::move(list)](std::optional<net::ConnId> conn) mutable {
+    if (!running_ || !is_ccs_) return;
+    if (!conn) {
+      ProbeStep(index + 1, limit, std::move(list));
+      return;
+    }
+    YieldCcsTo(target);
+  });
+}
+
+void Lpm::YieldCcsTo(const std::string& host) {
+  PPM_INFO("lpm") << host_name() << ": yielding CCS role to " << host;
+  is_ccs_ = false;
+  ccs_host_ = host;
+  mode_ = LpmMode::kNormal;
+  simulator().Cancel(probe_event_);
+  probe_event_ = sim::kInvalidEventId;
+  auto it = siblings_.find(host);
+  if (it != siblings_.end()) {
+    BecomeCcs msg;
+    msg.requested_by = host_name();
+    SendMsg(it->second, msg);
+  }
+  AnnounceCcs();
+}
+
+void Lpm::EnterDying() {
+  if (!running_) return;
+  recovery_in_progress_ = false;
+  if (mode_ == LpmMode::kDying) return;
+  mode_ = LpmMode::kDying;
+  PPM_WARN("lpm") << host_name() << ": no recovery host reachable; time-to-die armed";
+  if (death_event_ == sim::kInvalidEventId) {
+    death_event_ = simulator().ScheduleIn(config_.time_to_die, [this] {
+      death_event_ = sim::kInvalidEventId;
+      if (!running_ || mode_ != LpmMode::kDying) return;
+      // "…the appropriate action is to close down all the activities."
+      PPM_WARN("lpm") << host_name() << ": time-to-die expired; terminating "
+                      << adopted_live_count() << " user processes";
+      for (const auto& [lpid, info] : local_procs_) {
+        const host::Process* p = kernel().Find(lpid);
+        if (p && p->alive()) kernel().PostSignal(lpid, host::Signal::kSigKill, uid_);
+      }
+      ExitSelf(1);
+    }, "lpm-death");
+  }
+  simulator().Cancel(retry_event_);
+  retry_event_ = simulator().ScheduleIn(config_.retry_interval, [this] {
+    retry_event_ = sim::kInvalidEventId;
+    if (!running_ || mode_ != LpmMode::kDying) return;
+    recovery_in_progress_ = true;
+    RecoverEntry();
+    // If the attempt fails it re-enters dying and re-arms the retry timer.
+  }, "lpm-retry");
+}
+
+void Lpm::CancelDeath() {
+  simulator().Cancel(death_event_);
+  simulator().Cancel(retry_event_);
+  death_event_ = retry_event_ = sim::kInvalidEventId;
+  if (mode_ == LpmMode::kDying) mode_ = LpmMode::kNormal;
+}
+
+void Lpm::AnnounceCcs() {
+  CcsChanged msg;
+  msg.new_ccs = ccs_host_;
+  for (const auto& [host, conn] : siblings_) {
+    if (host == ccs_host_) continue;
+    SendMsg(conn, msg);
+  }
+}
+
+std::string Lpm::CcsClaim() const {
+  if (mode_ != LpmMode::kNormal || recovery_in_progress_) return "";
+  return ccs_host_;
+}
+
+void Lpm::AdoptCcsFromPeer(const std::string& peer_ccs) {
+  if (peer_ccs.empty()) return;  // peer's own knowledge was suspect
+  if (ccs_host_.empty()) {
+    // First CCS knowledge for this LPM: a plain hint.
+    ccs_host_ = peer_ccs;
+    is_ccs_ = (peer_ccs == host_name());
+    return;
+  }
+  // "…a LPM not in contact with a CCS resumes the normal mode of
+  // operation if it … gets a communication request from a LPM in
+  // contact with a valid CCS."  (Peers in trouble claim nothing, so a
+  // nonempty claim implies the sender believes its CCS is valid.)
+  if (mode_ != LpmMode::kNormal) {
+    AcceptCcsAnnouncement(peer_ccs);
+  }
+}
+
+void Lpm::AcceptCcsAnnouncement(const std::string& new_ccs) {
+  if (new_ccs.empty()) return;
+  ccs_host_ = new_ccs;
+  is_ccs_ = (new_ccs == host_name());
+  recovery_in_progress_ = false;
+  CancelDeath();
+  if (is_ccs_) RegisterCcsWithNameServer();
+  if (!is_ccs_) {
+    simulator().Cancel(probe_event_);
+    probe_event_ = sim::kInvalidEventId;
+  }
+  mode_ = LpmMode::kNormal;
+  ReviewTtl();
+}
+
+// --- factory --------------------------------------------------------------------------------
+
+daemon::LpmFactory MakeLpmFactory(LpmConfig config) {
+  return [config](host::Host& host, host::Uid uid, uint64_t token) -> daemon::LpmHandle {
+    // One accept port per user per host; freed when the LPM exits, so a
+    // successor LPM for the same user can reuse it.  If the slot is taken
+    // (e.g. a duplicate LPM after a volatile-registry pmd crash), probe
+    // upward like a bind-retry loop.
+    net::Port port = static_cast<net::Port>(5000 + (static_cast<uint32_t>(uid) % 20000));
+    while (host.network().HasListener(host.net_id(), port)) ++port;
+    std::string user = host.users().NameOf(uid).value_or("uid" + std::to_string(uid));
+    host::Host* host_ptr = &host;
+    auto pmd_getter = [host_ptr]() -> daemon::Pmd* {
+      if (!host_ptr->up()) return nullptr;
+      for (host::Pid p : host_ptr->kernel().AllPids()) {
+        host::Process* proc = host_ptr->kernel().Find(p);
+        if (proc && proc->alive() && proc->command == "pmd") {
+          return dynamic_cast<daemon::Pmd*>(proc->body.get());
+        }
+      }
+      return nullptr;
+    };
+    auto body = std::make_unique<Lpm>(host, uid, user, token, port, config, pmd_getter);
+    host::Pid pid = host.kernel().Spawn(host::kNoPid, uid, "lpm", std::move(body),
+                                        host::ProcState::kSleeping);
+    return daemon::LpmHandle{pid, net::SocketAddr{host.net_id(), port}};
+  };
+}
+
+}  // namespace ppm::core
+

@@ -1,0 +1,363 @@
+// lpm.h — the Local Process Manager.
+//
+// One LPM per <user, host>, created on demand through inetd/pmd (paper
+// Figure 2).  The collection of a user's LPMs *is* the Personal Process
+// Manager: a distributed program whose parts
+//
+//   * act as the process creation server for the user's remote processes,
+//   * track the user's processes via kernel events on the kernel socket,
+//   * keep an event history and exited-process resource statistics,
+//   * answer tool requests (snapshots, signals, adoption, triggers),
+//   * flood broadcast requests over the low-connectivity sibling graph,
+//   * and run the crash-coordinator (CCS) recovery protocol.
+//
+// Internally the LPM mirrors the paper's structure (Section 6): a main
+// *dispatcher* plus a pool of *handler processes*.  Handlers occupy real
+// slots in the simulated process table; creating one costs a fork, and
+// "processes that have handled a request may be given further requests,
+// rather than simply creating new processes" — the reuse policy is a
+// config knob so bench_ablate_handlers can measure the difference.
+// Handlers block while waiting for remote responses without stalling
+// the dispatcher; if a response never comes, the dispatcher returns a
+// failure to the originator of the request.
+//
+// Endpoint inventory (paper Figure 4): one kernel socket (the kernel
+// event sink), one accept socket (address published by pmd), and any
+// number of sibling and tool circuits.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/broadcast.h"
+#include "core/history.h"
+#include "core/recovery.h"
+#include "core/types.h"
+#include "core/wire.h"
+#include "daemon/pmd.h"
+#include "host/host.h"
+#include "net/network.h"
+
+namespace ppm::core {
+
+struct LpmConfig {
+  // How long an idle LPM lingers after its host stops holding processes
+  // of its user (paper Section 3).
+  sim::SimDuration time_to_live = sim::Seconds(600);
+  // How long a disconnected LPM waits before closing down the user's
+  // local processes and exiting (paper Section 5).
+  sim::SimDuration time_to_die = sim::Seconds(300);
+  // Low-frequency probe period of an acting CCS toward higher-priority
+  // recovery hosts (paper Section 5: network partition handling).
+  sim::SimDuration probe_interval = sim::Seconds(60);
+  // Retry period of a dying LPM toward the recovery list.
+  sim::SimDuration retry_interval = sim::Seconds(30);
+  // Broadcast duplicate-suppression window (paper Section 4: "a
+  // configuration parameter whose optimum value will be derived from
+  // experience").
+  sim::SimDuration bcast_window = sim::Seconds(120);
+  // Snapshot completion timeout (partial results are returned).
+  sim::SimDuration snapshot_timeout = sim::Seconds(10);
+  // Forwarded-request timeout.
+  sim::SimDuration request_timeout = sim::Seconds(10);
+  // Host running the CcsNameServer daemon; empty disables name-server-
+  // assisted recovery (paper Section 5's sketched alternative) and the
+  // ~/.recovery walk is used alone.  With a server configured, the LPM
+  // registers whenever it assumes the CCS role and queries on failure,
+  // falling back to the .recovery walk if the server cannot answer.
+  std::string ccs_nameserver;
+  sim::SimDuration ns_query_timeout = sim::Millis(500);
+  // Event history bound.
+  size_t event_log_capacity = 4096;
+  // Which events get recorded in the history (user-settable granularity).
+  uint32_t granularity_mask = host::kTraceAll;
+  // Handler pool policy (paper Section 6).
+  bool handler_reuse = true;
+  size_t max_handlers = 8;
+};
+
+struct LpmStats {
+  uint64_t requests = 0;           // requests dispatched (tools + siblings)
+  uint64_t forwards = 0;           // requests forwarded to a sibling
+  uint64_t kernel_events = 0;      // events received on the kernel socket
+  uint64_t handlers_created = 0;
+  uint64_t handler_reuses = 0;
+  uint64_t snapshots_served = 0;   // local scans on behalf of any origin
+  uint64_t bcasts_originated = 0;
+  uint64_t bcast_duplicates = 0;
+  uint64_t triggers_fired = 0;
+  uint64_t failures_detected = 0;  // sibling channels lost to crash/partition
+  uint64_t recoveries_started = 0;
+  uint64_t request_timeouts = 0;
+};
+
+// Figure 4 exhibit: the LPM's communication end points.
+struct LpmEndpoints {
+  bool kernel_socket = false;
+  net::SocketAddr accept_socket;
+  std::vector<std::pair<std::string, net::ConnId>> siblings;  // host -> circuit
+  size_t tool_circuits = 0;
+};
+
+class Lpm : public host::ProcessBody {
+ public:
+  // `pmd_getter` lets the LPM unregister at exit without a compile-time
+  // dependency cycle (daemon cannot depend on core).
+  Lpm(host::Host& host, host::Uid uid, std::string user, uint64_t token,
+      net::Port accept_port, LpmConfig config,
+      std::function<daemon::Pmd*()> pmd_getter);
+
+  void OnStart() override;
+  bool OnSignal(host::Signal sig) override;
+  void OnShutdown() override;
+
+  // --- introspection (tests, figures, tools running in-process) --------
+  const std::string& user() const { return user_; }
+  host::Uid uid() const { return uid_; }
+  uint64_t token() const { return token_; }
+  net::SocketAddr accept_addr() const;
+  LpmMode mode() const { return mode_; }
+  bool is_ccs() const { return is_ccs_; }
+  const std::string& ccs_host() const { return ccs_host_; }
+  std::vector<std::string> sibling_hosts() const;
+  LpmEndpoints Endpoints() const;
+  const LpmStats& stats() const { return stats_; }
+  const EventLog& event_log() const { return event_log_; }
+  size_t handler_count() const { return handlers_.size(); }
+  size_t adopted_live_count() const;
+  bool ttl_armed() const { return ttl_event_ != sim::kInvalidEventId; }
+
+  // Adjusts history granularity at runtime (also reachable via TraceReq
+  // with the LPM itself as target).
+  void set_granularity_mask(uint32_t mask) { config_.granularity_mask = mask; }
+
+ private:
+  // --- connection bookkeeping ------------------------------------------
+  enum class PeerKind : uint8_t { kUnknown, kSibling, kTool };
+  struct PeerInfo {
+    PeerKind kind = PeerKind::kUnknown;
+    std::string host;        // sibling host name
+    std::string tool_name;   // tool label
+    bool authenticated = false;  // HelloAck exchanged (outbound siblings)
+  };
+
+  // --- handler pool -------------------------------------------------------
+  struct Handler {
+    host::Pid pid;
+    bool busy = false;
+  };
+
+  // --- local process knowledge -------------------------------------------
+  struct LocalProc {
+    GPid logical_parent;      // may be remote or invalid
+    std::string command;
+    bool exited = false;
+    std::vector<GPid> remote_children;  // created through us on other hosts
+  };
+
+  // --- pending forwarded requests -----------------------------------------
+  // on_response receives the response message, or nullptr with an error
+  // string on timeout / channel loss (the handler "informs the
+  // dispatcher of the failure", paper Section 6).
+  struct PendingForward {
+    host::Pid handler = host::kNoPid;
+    net::ConnId conn = net::kInvalidConn;
+    std::function<void(const Msg*, const std::string&)> on_response;
+    sim::EventId timeout_ev = sim::kInvalidEventId;
+  };
+
+  // --- snapshot runs (this LPM as origin) -----------------------------------
+  struct SnapshotRun {
+    uint64_t tool_req_id = 0;
+    net::ConnId tool_conn = net::kInvalidConn;
+    host::Pid handler = host::kNoPid;
+    std::vector<ProcRecord> records;
+    std::set<std::string> replied;
+    std::set<std::string> outstanding;
+    sim::EventId timeout_ev = sim::kInvalidEventId;
+    bool complete = false;
+    obs::TraceContext trace;     // root span of the broadcast's causal trace
+    sim::SimTime start_us = 0;   // for the snapshot round-trip histogram
+  };
+
+  // message plumbing
+  void OnAccept(net::ConnId conn, net::SocketAddr peer);
+  void OnData(net::ConnId conn, const std::vector<uint8_t>& bytes);
+  void OnClose(net::ConnId conn, net::CloseReason reason);
+  // An invalid (default) trace context serializes to the untraced wire
+  // format, so tracing never changes message bytes unless a span exists.
+  void SendMsg(net::ConnId conn, const Msg& msg,
+               const obs::TraceContext& trace = {});
+  // Charges `base_cost` (marshalling + socket write, load-scaled) and
+  // sends after that plus `extra_delay` (already-charged work that must
+  // complete first).
+  void SendToSibling(net::ConnId conn, Msg msg, sim::SimDuration base_cost,
+                     sim::SimDuration extra_delay = 0,
+                     const obs::TraceContext& trace = {});
+  // Replies on `conn`: immediate for local tools, charged at sibling
+  // channel cost for remote managers.
+  void ReplyMsg(net::ConnId conn, const Msg& msg);
+
+  // dispatcher & handlers
+  void Dispatch(std::function<void(host::Pid handler)> work);
+  void AcquireHandler(std::function<void(host::Pid)> cb);
+  void ReleaseHandler(host::Pid pid);
+
+  // hello handling
+  void HandleHello(net::ConnId conn, const Msg& msg, PeerInfo& info);
+
+  // request execution (local side)
+  void HandleCreate(net::ConnId conn, const CreateReq& req);
+  void HandleSignal(net::ConnId conn, const SignalReq& req);
+  void HandleRusage(net::ConnId conn, const RusageReq& req);
+  void HandleAdopt(net::ConnId conn, const AdoptReq& req);
+  void HandleTrace(net::ConnId conn, const TraceReq& req);
+  void HandleHistory(net::ConnId conn, const HistoryReq& req);
+  void HandleTrigger(net::ConnId conn, const TriggerReq& req);
+  void HandleFiles(net::ConnId conn, const FilesReq& req);
+  void HandleMigrate(net::ConnId conn, const MigrateReq& req);
+  void HandleSnapshotReq(net::ConnId conn, const SnapshotReq& req);
+  void HandleSnapshotResp(const SnapshotResp& resp);
+  void HandleResponse(const Msg& msg, uint64_t req_id);
+
+  // local actions
+  void DoCreateLocal(const CreateReq& req, host::Pid handler,
+                     std::function<void(const CreateResp&)> done);
+  // Migrates a *local* adopted process to `req.dest_host` (checkpoint,
+  // re-create there with this process as logical parent, kill here).
+  void DoMigrateLocal(const MigrateReq& req, host::Pid handler,
+                      std::function<void(const MigrateResp&)> done);
+  void DoSignalLocal(const SignalReq& req, host::Pid handler,
+                     std::function<void(const SignalResp&)> done);
+  std::vector<ProcRecord> ScanLocalProcesses();
+
+  // forwarding
+  void ForwardToHost(const std::string& host, Msg msg, uint64_t my_req_id,
+                     host::Pid handler,
+                     std::function<void(const Msg*, const std::string&)> on_response,
+                     const obs::TraceContext& trace = {});
+  void EnsureSibling(const std::string& host,
+                     std::function<void(std::optional<net::ConnId>)> done);
+  void FinishSiblingSetup(const std::string& host, const daemon::LpmResponse& resp);
+  void SiblingEstablished(const std::string& host, net::ConnId conn);
+  void SiblingSetupFailed(const std::string& host, const std::string& why);
+
+  // snapshots
+  void StartSnapshot(net::ConnId tool_conn, uint64_t tool_req_id, host::Pid handler);
+  // Sends the request to every sibling except `except_host`; returns the
+  // accumulated dispatcher cost of the sends.
+  sim::SimDuration FloodSnapshot(uint64_t bcast_seq, const SnapshotReq& templ,
+                                 const std::string& except_host,
+                                 std::vector<std::string>* sent_to,
+                                 const obs::TraceContext& parent = {});
+  void MaybeFinishSnapshot(uint64_t bcast_seq);
+  void FinishSnapshot(SnapshotRun& run, uint64_t bcast_seq);
+
+  // kernel events
+  void OnKernelEvent(const host::KernelEvent& ev);
+  void FireTrigger(const TriggerSpec& spec, const HistEvent& ev);
+
+  // signal delivery to an arbitrary GPid (trigger actions)
+  void SignalGPid(const GPid& target, host::Signal sig,
+                  std::function<void(bool, std::string)> done);
+  // migration of an arbitrary GPid (trigger actions)
+  void MigrateGPid(const GPid& target, const std::string& dest,
+                   std::function<void(bool, std::string)> done);
+
+  // lifetime
+  void ReviewTtl();
+  void TtlExpired();
+  void ExitSelf(int status);
+
+  // recovery
+  void OnSiblingLost(const std::string& host, net::CloseReason reason);
+  void StartRecovery();
+  // Dispatches to the name server (when configured) or the list walk.
+  void RecoverEntry();
+  void RecoverViaNameServer();
+  void RegisterCcsWithNameServer();
+  void WalkRecoveryList(size_t index);
+  void BecomeActingCcs(size_t list_index);
+  void YieldCcsTo(const std::string& host);
+  void ProbeHigherPriority();
+  void ProbeStep(size_t index, size_t limit, RecoveryList list);
+  void EnterDying();
+  void CancelDeath();
+  void AnnounceCcs();
+  // Hello-time CCS handling: a peer's claim is a *hint* (adopted only if
+  // we have no CCS) unless we are in trouble, in which case contact from
+  // a peer in normal operation restores us (paper Section 5: "…gets a
+  // communication request from a LPM in contact with a valid CCS").
+  void AdoptCcsFromPeer(const std::string& peer_ccs);
+  // Authoritative CCS announcement (CcsChanged protocol message).
+  void AcceptCcsAnnouncement(const std::string& new_ccs);
+  // The ccs_host field we put into outgoing hellos: empty while our own
+  // CCS knowledge is suspect, so we never evangelize a stale coordinator.
+  std::string CcsClaim() const;
+
+  uint64_t NextReqId() { return next_req_id_++; }
+  uint64_t NextBcastSeq() { return next_bcast_seq_++; }
+  host::Kernel& kernel() { return host_.kernel(); }
+  net::Network& network() { return host_.network(); }
+  sim::Simulator& simulator() { return host_.simulator(); }
+  const std::string& host_name() const { return host_.name(); }
+
+  host::Host& host_;
+  host::Uid uid_;
+  std::string user_;
+  uint64_t token_;
+  net::Port accept_port_;
+  LpmConfig config_;
+  std::function<daemon::Pmd*()> pmd_getter_;
+
+  bool running_ = false;       // between OnStart and OnShutdown
+  bool graceful_exit_ = false;  // distinguishes exit from being killed
+  std::map<net::ConnId, PeerInfo> peers_;
+  std::map<std::string, net::ConnId> siblings_;
+  std::map<std::string, std::vector<std::function<void(std::optional<net::ConnId>)>>>
+      sibling_waiters_;
+  std::vector<Handler> handlers_;
+  std::deque<std::function<void(host::Pid)>> handler_queue_;
+  std::map<uint64_t, PendingForward> pending_;
+  std::map<uint64_t, SnapshotRun> snapshots_;  // keyed by bcast seq
+  std::map<host::Pid, LocalProc> local_procs_;
+  std::vector<RusageRecord> exited_stats_;
+  BroadcastFilter bcast_filter_;
+  EventLog event_log_;
+  TriggerTable triggers_;
+
+  // recovery state
+  LpmMode mode_ = LpmMode::kNormal;
+  bool is_ccs_ = false;
+  std::string ccs_host_;
+  sim::EventId ttl_event_ = sim::kInvalidEventId;
+  sim::EventId death_event_ = sim::kInvalidEventId;
+  sim::EventId probe_event_ = sim::kInvalidEventId;
+  sim::EventId retry_event_ = sim::kInvalidEventId;
+  bool recovery_in_progress_ = false;
+
+  uint64_t next_req_id_ = 1;
+  uint64_t next_bcast_seq_ = 1;
+  LpmStats stats_;
+
+  // Trace context of the message currently being handled.  OnData fills
+  // it before the synchronous dispatch visit, so Handle* entry code may
+  // copy it; it is meaningless once control returns to the event loop.
+  obs::TraceContext rx_trace_;
+  // Last event_log_.total_dropped() mirrored into the shared registry
+  // counter (multiple LPMs feed one counter, so each adds deltas).
+  uint64_t eventlog_dropped_seen_ = 0;
+};
+
+// The LpmFactory the PPM layer installs into inetd/pmd: spawns an LPM
+// process on `host` for `uid` and returns its handle.  `config` applies
+// to every LPM the factory creates.
+daemon::LpmFactory MakeLpmFactory(LpmConfig config);
+
+}  // namespace ppm::core

@@ -1,0 +1,166 @@
+#include "core/nameserver.h"
+
+#include "host/calibration.h"
+#include "util/bytes.h"
+#include "util/log.h"
+
+namespace ppm::core {
+
+namespace {
+
+constexpr uint8_t kOpRegister = 1;
+constexpr uint8_t kOpQuery = 2;
+constexpr uint8_t kOpAnswer = 3;
+
+// Reply sockets for queries come from this ephemeral range, one per
+// outstanding query per host.
+constexpr net::Port kReplyPortBase = 40000;
+
+std::vector<uint8_t> EncodeRegister(const std::string& user, const std::string& ccs) {
+  util::ByteWriter w;
+  w.U8(kOpRegister);
+  w.Str(user);
+  w.Str(ccs);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeQuery(const std::string& user, net::Port reply_port) {
+  util::ByteWriter w;
+  w.U8(kOpQuery);
+  w.Str(user);
+  w.U16(reply_port);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeAnswer(const std::string& user, const std::string& ccs,
+                                  bool found) {
+  util::ByteWriter w;
+  w.U8(kOpAnswer);
+  w.Str(user);
+  w.Bool(found);
+  w.Str(ccs);
+  return w.Take();
+}
+
+}  // namespace
+
+CcsNameServer::CcsNameServer(host::Host& host) : host_(host) {}
+
+void CcsNameServer::OnStart() {
+  host_.network().BindDgram(host_.net_id(), kCcsNameServerPort,
+                            [this](net::SocketAddr from, const std::vector<uint8_t>& data,
+                                   const std::vector<net::HostId>&) {
+                              OnDgram(from, data);
+                            });
+}
+
+void CcsNameServer::OnShutdown() {
+  if (host_.up()) host_.network().UnbindDgram(host_.net_id(), kCcsNameServerPort);
+}
+
+std::optional<std::string> CcsNameServer::Lookup(const std::string& user) const {
+  auto it = table_.find(user);
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+void CcsNameServer::OnDgram(net::SocketAddr from, const std::vector<uint8_t>& data) {
+  util::ByteReader r(data);
+  auto op = r.U8();
+  if (!op) return;
+  if (*op == kOpRegister) {
+    auto user = r.Str();
+    auto ccs = r.Str();
+    if (!user || !ccs) return;
+    ++stats_.registrations;
+    table_[*user] = *ccs;
+    PPM_DEBUG("ccs-ns") << "registered CCS of " << *user << " at " << *ccs;
+    return;
+  }
+  if (*op == kOpQuery) {
+    auto user = r.Str();
+    auto reply_port = r.U16();
+    if (!user || !reply_port) return;
+    ++stats_.queries;
+    auto it = table_.find(*user);
+    bool found = it != table_.end();
+    if (!found) ++stats_.misses;
+    sim::SimDuration cost = host_.kernel().Charge(pid(), host::BaseCosts::kPmdLookup);
+    net::SocketAddr reply_to{from.host, *reply_port};
+    std::string ccs = found ? it->second : "";
+    std::string u = *user;
+    host_.simulator().ScheduleIn(cost, [this, reply_to, u, ccs, found] {
+      if (!host_.up()) return;
+      host_.network().SendDgram(host_.net_id(), kCcsNameServerPort, reply_to,
+                                EncodeAnswer(u, ccs, found));
+    }, "ccs-ns-answer");
+  }
+}
+
+host::Pid StartCcsNameServer(host::Host& host) {
+  auto body = std::make_unique<CcsNameServer>(host);
+  return host.kernel().Spawn(host::kNoPid, host::kRootUid, "ccs-nameserver",
+                             std::move(body), host::ProcState::kSleeping);
+}
+
+void NsRegister(host::Host& from, const std::string& ns_host, const std::string& user,
+                const std::string& ccs_host) {
+  auto target = from.network().FindHost(ns_host);
+  if (!target) return;
+  from.network().SendDgram(from.net_id(), kReplyPortBase - 1,
+                           net::SocketAddr{*target, kCcsNameServerPort},
+                           EncodeRegister(user, ccs_host));
+}
+
+void NsQuery(host::Host& from, const std::string& ns_host, const std::string& user,
+             sim::SimDuration timeout,
+             std::function<void(std::optional<std::string>)> done) {
+  auto target = from.network().FindHost(ns_host);
+  if (!target) {
+    done(std::nullopt);
+    return;
+  }
+  // Allocate a reply port: a rotating per-host counter (binds panic on
+  // reuse, and queries unbind promptly, so a 20k window never wraps into
+  // a live binding in practice).
+  struct State {
+    bool finished = false;
+  };
+  auto state = std::make_shared<State>();
+  host::Host* from_ptr = &from;
+  static std::map<net::HostId, net::Port> next_port;
+  auto [it, inserted] = next_port.try_emplace(from.net_id(), kReplyPortBase);
+  net::Port reply_port = it->second;
+  it->second = static_cast<net::Port>(it->second + 1);
+  if (it->second >= kReplyPortBase + 20000) it->second = kReplyPortBase;
+
+  from.network().BindDgram(
+      from.net_id(), reply_port,
+      [from_ptr, reply_port, state, done](net::SocketAddr, const std::vector<uint8_t>& data,
+                                          const std::vector<net::HostId>&) {
+        if (state->finished) return;
+        state->finished = true;
+        if (from_ptr->up()) from_ptr->network().UnbindDgram(from_ptr->net_id(), reply_port);
+        util::ByteReader r(data);
+        auto op = r.U8();
+        auto user = r.Str();
+        auto found = r.Bool();
+        auto ccs = r.Str();
+        if (!op || *op != 3 || !user || !found || !ccs || !*found || ccs->empty()) {
+          done(std::nullopt);
+          return;
+        }
+        done(*ccs);
+      });
+  from.network().SendDgram(from.net_id(), reply_port,
+                           net::SocketAddr{*target, kCcsNameServerPort},
+                           EncodeQuery(user, reply_port));
+  from.simulator().ScheduleIn(timeout, [from_ptr, reply_port, state, done] {
+    if (state->finished) return;
+    state->finished = true;
+    if (from_ptr->up()) from_ptr->network().UnbindDgram(from_ptr->net_id(), reply_port);
+    done(std::nullopt);
+  }, "ccs-ns-timeout");
+}
+
+}  // namespace ppm::core

@@ -1,0 +1,72 @@
+// nameserver.h — name-server-assisted crash recovery.
+//
+// Paper Section 5, final paragraph: "The existence of name servers in
+// the network could be used to aid in crash recovery.  LPMs would query
+// the name server for a CCS.  The mechanism based on .recovery files
+// would not be needed.  In this approach the assignment of the CCS could
+// be better coordinated by network administrators to avoid possible
+// bottlenecks."
+//
+// This module implements that alternative: a root-owned CcsNameServer
+// daemon keeps a <user → CCS host> table; LPMs register when they assume
+// the coordinator role and query when they lose theirs.  The protocol is
+// datagram-based — a name lookup is exactly the single-exchange,
+// no-session-state workload datagrams are right for (contrast the
+// sibling channels, which stay on circuits).
+//
+// Enabled per-PPM by LpmConfig::ccs_nameserver; when the server is
+// unreachable the LPM falls back to the ~/.recovery walk, so the
+// mechanism degrades to the paper's baseline instead of failing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "host/host.h"
+#include "net/network.h"
+
+namespace ppm::core {
+
+constexpr net::Port kCcsNameServerPort = 771;
+
+struct NameServerStats {
+  uint64_t registrations = 0;
+  uint64_t queries = 0;
+  uint64_t misses = 0;  // queries for unknown users
+};
+
+class CcsNameServer : public host::ProcessBody {
+ public:
+  explicit CcsNameServer(host::Host& host);
+
+  void OnStart() override;
+  void OnShutdown() override;
+
+  std::optional<std::string> Lookup(const std::string& user) const;
+  const NameServerStats& stats() const { return stats_; }
+
+ private:
+  void OnDgram(net::SocketAddr from, const std::vector<uint8_t>& data);
+
+  host::Host& host_;
+  std::map<std::string, std::string> table_;  // user -> CCS host name
+  NameServerStats stats_;
+};
+
+// Boots the daemon on `host` (root-owned); returns its pid.
+host::Pid StartCcsNameServer(host::Host& host);
+
+// Fire-and-forget registration: "user's CCS now resides on ccs_host".
+void NsRegister(host::Host& from, const std::string& ns_host, const std::string& user,
+                const std::string& ccs_host);
+
+// Asynchronous lookup; `done` receives the CCS host name, or nullopt on
+// unknown user / unreachable server (after `timeout`).
+void NsQuery(host::Host& from, const std::string& ns_host, const std::string& user,
+             sim::SimDuration timeout,
+             std::function<void(std::optional<std::string>)> done);
+
+}  // namespace ppm::core

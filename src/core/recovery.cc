@@ -1,0 +1,52 @@
+#include "core/recovery.h"
+
+#include "util/strings.h"
+
+namespace ppm::core {
+
+const char* ToString(LpmMode m) {
+  switch (m) {
+    case LpmMode::kNormal: return "normal";
+    case LpmMode::kRecovering: return "recovering";
+    case LpmMode::kDying: return "dying";
+  }
+  return "?";
+}
+
+RecoveryList RecoveryList::Parse(const std::string& content) {
+  RecoveryList list;
+  for (const std::string& raw : util::Split(content, '\n')) {
+    std::string line = util::Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    list.hosts.push_back(line);
+  }
+  return list;
+}
+
+std::string RecoveryList::Serialize() const {
+  std::string out;
+  for (const std::string& h : hosts) {
+    out += h;
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<size_t> RecoveryList::IndexOf(const std::string& host) const {
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    if (hosts[i] == host) return i;
+  }
+  return std::nullopt;
+}
+
+RecoveryList ReadRecoveryList(const host::Filesystem& fs, host::Uid uid) {
+  auto content = fs.Read(uid, ".recovery");
+  if (!content) return RecoveryList{};
+  return RecoveryList::Parse(*content);
+}
+
+void WriteRecoveryList(host::Filesystem& fs, host::Uid uid, const RecoveryList& list) {
+  fs.Write(uid, ".recovery", list.Serialize());
+}
+
+}  // namespace ppm::core

@@ -1,0 +1,51 @@
+// recovery.h — crash-coordinator policy helpers.
+//
+// Recovery (paper Section 5) is driven by the per-user ~/.recovery file:
+// "a list of hosts in decreasing order of priority in which their CCS
+// should reside".  The file is expected to be short, present on every
+// host the user frequents, and to name the user's home machines.  This
+// header holds the pure-policy pieces — file parsing and the LPM
+// operating mode — so they can be unit-tested away from the full LPM.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "host/filesystem.h"
+
+namespace ppm::core {
+
+// The LPM's recovery-related operating mode.
+//   kNormal     in contact with a valid CCS (or is the top-priority CCS)
+//   kRecovering acting CCS below the top of the list, probing upward at
+//               low frequency
+//   kDying      no recovery-list host reachable; time-to-die is running
+enum class LpmMode : uint8_t { kNormal, kRecovering, kDying };
+
+const char* ToString(LpmMode m);
+
+// The parsed ~/.recovery file.
+struct RecoveryList {
+  std::vector<std::string> hosts;  // decreasing priority
+
+  // Parses file content: one host per line; blank lines and '#' comments
+  // ignored.
+  static RecoveryList Parse(const std::string& content);
+
+  std::string Serialize() const;
+
+  // Priority index of `host`, or nullopt if absent.
+  std::optional<size_t> IndexOf(const std::string& host) const;
+
+  bool empty() const { return hosts.empty(); }
+};
+
+// Reads and parses uid's ~/.recovery on the given filesystem; empty list
+// if the file does not exist.
+RecoveryList ReadRecoveryList(const host::Filesystem& fs, host::Uid uid);
+
+// Writes the list to uid's home directory.
+void WriteRecoveryList(host::Filesystem& fs, host::Uid uid, const RecoveryList& list);
+
+}  // namespace ppm::core

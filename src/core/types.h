@@ -1,0 +1,96 @@
+// types.h — PPM-level naming and records.
+//
+// "Processes are identified in the network by <host name, pid>" (paper
+// Section 6): GPid is that pair.  ProcRecord is the unit of snapshot
+// information exchanged between LPMs; RusageRecord is the unit of the
+// exited-process resource consumption statistics tool; HistEvent is one
+// entry of the METRIC-style event history an LPM accumulates for its
+// adopted processes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "host/kernel.h"
+#include "host/process.h"
+#include "sim/time.h"
+
+namespace ppm::core {
+
+// Global process identity: <host name, pid>.
+struct GPid {
+  std::string host;
+  host::Pid pid = host::kNoPid;
+
+  bool operator==(const GPid&) const = default;
+  bool operator<(const GPid& o) const {
+    if (host != o.host) return host < o.host;
+    return pid < o.pid;
+  }
+  bool valid() const { return pid != host::kNoPid && !host.empty(); }
+};
+
+std::string ToString(const GPid& g);
+
+// One process as reported in a snapshot.  Exited processes are retained
+// and marked while they still have live (logical) children, so the
+// genealogical display stays a tree as long as possible (paper Section 2).
+struct ProcRecord {
+  GPid gpid;
+  GPid logical_parent;       // invalid when the process is a root
+  host::Uid uid = 0;
+  std::string command;
+  host::ProcState state = host::ProcState::kRunning;
+  bool exited = false;
+  sim::SimTime start_time = 0;
+  sim::SimTime end_time = 0;
+  sim::SimDuration cpu_time = 0;
+};
+
+// Exited-process resource consumption statistics (the second built-in
+// tool of paper Section 4).
+struct RusageRecord {
+  GPid gpid;
+  std::string command;
+  int exit_status = 0;
+  bool killed_by_signal = false;
+  host::Signal death_signal = host::Signal::kSigTerm;
+  sim::SimTime start_time = 0;
+  sim::SimTime end_time = 0;
+  host::Rusage rusage;
+};
+
+// One entry of the per-LPM event history.
+struct HistEvent {
+  sim::SimTime at = 0;
+  host::KEvent kind = host::KEvent::kFork;
+  host::Pid pid = host::kNoPid;
+  host::Pid other = host::kNoPid;
+  host::Signal sig = host::Signal::kSigHup;
+  int status = 0;
+  std::string detail;
+};
+
+// A history-dependent trigger (paper Section 1: "history dependent
+// events can be set by users to trigger process state changes").  When
+// an event of `event_kind` occurs on `subject_pid` (or any adopted
+// process if kNoPid), the LPM performs the action on `action_target`,
+// which may live on any host.  Two actions exist: deliver a signal, or
+// migrate the target to another host — the paper's "change the state of
+// each of its processes and possibly the site of execution", in event-
+// dependent ways (Section 1; migration itself is our extension, the
+// 1986 PPM had none).
+enum class TriggerAction : uint8_t { kSignal = 0, kMigrate = 1 };
+
+struct TriggerSpec {
+  host::KEvent event_kind = host::KEvent::kExit;
+  host::Pid subject_pid = host::kNoPid;  // kNoPid = any adopted process
+  TriggerAction action = TriggerAction::kSignal;
+  host::Signal action_signal = host::Signal::kSigTerm;
+  GPid action_target;
+  std::string migrate_dest;  // destination host for kMigrate
+};
+
+}  // namespace ppm::core

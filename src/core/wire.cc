@@ -1,0 +1,874 @@
+#include "core/wire.h"
+
+#include "util/panic.h"
+
+namespace ppm::core {
+
+std::string ToString(const GPid& g) {
+  return "<" + g.host + "," + std::to_string(g.pid) + ">";
+}
+
+// --- kernel event messages -------------------------------------------------
+
+std::vector<uint8_t> SerializeKernelEvent(const host::KernelEvent& ev) {
+  util::ByteWriter w;
+  w.U8(static_cast<uint8_t>(ev.kind));
+  w.I32(ev.pid);
+  w.I32(ev.other);
+  w.U8(static_cast<uint8_t>(ev.sig));
+  w.I32(ev.status);
+  w.U64(ev.at);
+  // Fixed-size detail field: what remains of the 112 bytes.
+  std::string detail = ev.detail;
+  size_t header = w.size() + 4;  // +4 for the detail length prefix
+  size_t room = kKernelEventWireBytes - header;
+  if (detail.size() > room) detail.resize(room);
+  w.Str(detail);
+  w.Pad(kKernelEventWireBytes - w.size());
+  PPM_CHECK(w.size() == kKernelEventWireBytes);
+  return w.Take();
+}
+
+std::optional<host::KernelEvent> ParseKernelEvent(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() != kKernelEventWireBytes) return std::nullopt;
+  util::ByteReader r(bytes);
+  host::KernelEvent ev;
+  auto kind = r.U8();
+  auto pid = r.I32();
+  auto other = r.I32();
+  auto sig = r.U8();
+  auto status = r.I32();
+  auto at = r.U64();
+  auto detail = r.Str();
+  if (!kind || !pid || !other || !sig || !status || !at || !detail) return std::nullopt;
+  if (*kind > static_cast<uint8_t>(host::KEvent::kIpcRecv)) return std::nullopt;
+  ev.kind = static_cast<host::KEvent>(*kind);
+  ev.pid = *pid;
+  ev.other = *other;
+  ev.sig = static_cast<host::Signal>(*sig);
+  ev.status = *status;
+  ev.at = *at;
+  ev.detail = *detail;
+  return ev;
+}
+
+// --- field helpers -----------------------------------------------------------
+
+namespace {
+
+void PutGPid(util::ByteWriter& w, const GPid& g) {
+  w.Str(g.host);
+  w.I32(g.pid);
+}
+
+std::optional<GPid> GetGPid(util::ByteReader& r) {
+  auto host = r.Str();
+  auto pid = r.I32();
+  if (!host || !pid) return std::nullopt;
+  GPid g;
+  g.host = *host;
+  g.pid = *pid;
+  return g;
+}
+
+void PutStrVec(util::ByteWriter& w, const std::vector<std::string>& v) {
+  w.U32(static_cast<uint32_t>(v.size()));
+  for (const auto& s : v) w.Str(s);
+}
+
+std::optional<std::vector<std::string>> GetStrVec(util::ByteReader& r) {
+  auto n = r.U32();
+  if (!n) return std::nullopt;
+  std::vector<std::string> v;
+  v.reserve(*n);
+  for (uint32_t i = 0; i < *n; ++i) {
+    auto s = r.Str();
+    if (!s) return std::nullopt;
+    v.push_back(std::move(*s));
+  }
+  return v;
+}
+
+void PutProcRecord(util::ByteWriter& w, const ProcRecord& rec) {
+  PutGPid(w, rec.gpid);
+  PutGPid(w, rec.logical_parent);
+  w.I32(rec.uid);
+  w.Str(rec.command);
+  w.U8(static_cast<uint8_t>(rec.state));
+  w.Bool(rec.exited);
+  w.U64(rec.start_time);
+  w.U64(rec.end_time);
+  w.U64(static_cast<uint64_t>(rec.cpu_time));
+}
+
+std::optional<ProcRecord> GetProcRecord(util::ByteReader& r) {
+  ProcRecord rec;
+  auto gpid = GetGPid(r);
+  auto parent = GetGPid(r);
+  auto uid = r.I32();
+  auto command = r.Str();
+  auto state = r.U8();
+  auto exited = r.Bool();
+  auto start = r.U64();
+  auto end = r.U64();
+  auto cpu = r.U64();
+  if (!gpid || !parent || !uid || !command || !state || !exited || !start || !end || !cpu)
+    return std::nullopt;
+  rec.gpid = std::move(*gpid);
+  rec.logical_parent = std::move(*parent);
+  rec.uid = *uid;
+  rec.command = std::move(*command);
+  rec.state = static_cast<host::ProcState>(*state);
+  rec.exited = *exited;
+  rec.start_time = *start;
+  rec.end_time = *end;
+  rec.cpu_time = static_cast<sim::SimDuration>(*cpu);
+  return rec;
+}
+
+void PutRusageRecord(util::ByteWriter& w, const RusageRecord& rec) {
+  PutGPid(w, rec.gpid);
+  w.Str(rec.command);
+  w.I32(rec.exit_status);
+  w.Bool(rec.killed_by_signal);
+  w.U8(static_cast<uint8_t>(rec.death_signal));
+  w.U64(rec.start_time);
+  w.U64(rec.end_time);
+  w.U64(static_cast<uint64_t>(rec.rusage.cpu_time));
+  w.U64(rec.rusage.messages_sent);
+  w.U64(rec.rusage.messages_received);
+  w.U64(rec.rusage.files_opened);
+  w.U64(rec.rusage.max_rss_kb);
+  w.U64(rec.rusage.forks);
+}
+
+std::optional<RusageRecord> GetRusageRecord(util::ByteReader& r) {
+  RusageRecord rec;
+  auto gpid = GetGPid(r);
+  auto command = r.Str();
+  auto status = r.I32();
+  auto killed = r.Bool();
+  auto sig = r.U8();
+  auto start = r.U64();
+  auto end = r.U64();
+  auto cpu = r.U64();
+  auto sent = r.U64();
+  auto recv = r.U64();
+  auto files = r.U64();
+  auto rss = r.U64();
+  auto forks = r.U64();
+  if (!gpid || !command || !status || !killed || !sig || !start || !end || !cpu || !sent ||
+      !recv || !files || !rss || !forks)
+    return std::nullopt;
+  rec.gpid = std::move(*gpid);
+  rec.command = std::move(*command);
+  rec.exit_status = *status;
+  rec.killed_by_signal = *killed;
+  rec.death_signal = static_cast<host::Signal>(*sig);
+  rec.start_time = *start;
+  rec.end_time = *end;
+  rec.rusage.cpu_time = static_cast<sim::SimDuration>(*cpu);
+  rec.rusage.messages_sent = *sent;
+  rec.rusage.messages_received = *recv;
+  rec.rusage.files_opened = *files;
+  rec.rusage.max_rss_kb = *rss;
+  rec.rusage.forks = *forks;
+  return rec;
+}
+
+void PutHistEvent(util::ByteWriter& w, const HistEvent& ev) {
+  w.U64(ev.at);
+  w.U8(static_cast<uint8_t>(ev.kind));
+  w.I32(ev.pid);
+  w.I32(ev.other);
+  w.U8(static_cast<uint8_t>(ev.sig));
+  w.I32(ev.status);
+  w.Str(ev.detail);
+}
+
+std::optional<HistEvent> GetHistEvent(util::ByteReader& r) {
+  HistEvent ev;
+  auto at = r.U64();
+  auto kind = r.U8();
+  auto pid = r.I32();
+  auto other = r.I32();
+  auto sig = r.U8();
+  auto status = r.I32();
+  auto detail = r.Str();
+  if (!at || !kind || !pid || !other || !sig || !status || !detail) return std::nullopt;
+  ev.at = *at;
+  ev.kind = static_cast<host::KEvent>(*kind);
+  ev.pid = *pid;
+  ev.other = *other;
+  ev.sig = static_cast<host::Signal>(*sig);
+  ev.status = *status;
+  ev.detail = std::move(*detail);
+  return ev;
+}
+
+void PutTriggerSpec(util::ByteWriter& w, const TriggerSpec& spec) {
+  w.U8(static_cast<uint8_t>(spec.event_kind));
+  w.I32(spec.subject_pid);
+  w.U8(static_cast<uint8_t>(spec.action));
+  w.U8(static_cast<uint8_t>(spec.action_signal));
+  PutGPid(w, spec.action_target);
+  w.Str(spec.migrate_dest);
+}
+
+std::optional<TriggerSpec> GetTriggerSpec(util::ByteReader& r) {
+  TriggerSpec spec;
+  auto kind = r.U8();
+  auto pid = r.I32();
+  auto action = r.U8();
+  auto sig = r.U8();
+  auto target = GetGPid(r);
+  auto dest = r.Str();
+  if (!kind || !pid || !action || !sig || !target || !dest) return std::nullopt;
+  if (*action > static_cast<uint8_t>(TriggerAction::kMigrate)) return std::nullopt;
+  spec.event_kind = static_cast<host::KEvent>(*kind);
+  spec.subject_pid = *pid;
+  spec.action = static_cast<TriggerAction>(*action);
+  spec.action_signal = static_cast<host::Signal>(*sig);
+  spec.action_target = std::move(*target);
+  spec.migrate_dest = std::move(*dest);
+  return spec;
+}
+
+// --- serialize --------------------------------------------------------------
+
+void EncodeMsg(util::ByteWriter& w, const Msg& msg) {
+  w.U8(static_cast<uint8_t>(msg.index()));
+  std::visit(
+      [&w](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, HelloSibling>) {
+          w.Str(m.user);
+          w.Str(m.origin_host);
+          w.I32(m.origin_lpm_pid);
+          w.U64(m.token);
+          w.Str(m.ccs_host);
+        } else if constexpr (std::is_same_v<T, HelloTool>) {
+          w.Str(m.user);
+          w.I32(m.uid);
+          w.Str(m.tool_name);
+        } else if constexpr (std::is_same_v<T, HelloAck>) {
+          w.Str(m.host);
+          w.I32(m.lpm_pid);
+          w.Str(m.ccs_host);
+        } else if constexpr (std::is_same_v<T, HelloReject>) {
+          w.Str(m.reason);
+        } else if constexpr (std::is_same_v<T, CreateReq>) {
+          w.U64(m.req_id);
+          w.Str(m.target_host);
+          w.Str(m.command);
+          PutGPid(w, m.logical_parent);
+          w.Bool(m.initially_running);
+          w.U32(m.trace_mask);
+        } else if constexpr (std::is_same_v<T, CreateResp>) {
+          w.U64(m.req_id);
+          w.Bool(m.ok);
+          w.Str(m.error);
+          PutGPid(w, m.gpid);
+        } else if constexpr (std::is_same_v<T, SignalReq>) {
+          w.U64(m.req_id);
+          PutGPid(w, m.target);
+          w.U8(static_cast<uint8_t>(m.sig));
+        } else if constexpr (std::is_same_v<T, SignalResp>) {
+          w.U64(m.req_id);
+          w.Bool(m.ok);
+          w.Str(m.error);
+        } else if constexpr (std::is_same_v<T, SnapshotReq>) {
+          w.U64(m.req_id);
+          w.Str(m.origin_host);
+          w.U64(m.bcast_seq);
+          w.U64(m.signed_ts);
+          PutStrVec(w, m.route);
+        } else if constexpr (std::is_same_v<T, SnapshotResp>) {
+          w.U64(m.req_id);
+          w.Str(m.origin_host);
+          w.U64(m.bcast_seq);
+          w.Str(m.replier_host);
+          PutStrVec(w, m.forwarded_to);
+          PutStrVec(w, m.route);
+          w.U32(static_cast<uint32_t>(m.route_index));
+          w.U32(static_cast<uint32_t>(m.records.size()));
+          for (const auto& rec : m.records) PutProcRecord(w, rec);
+        } else if constexpr (std::is_same_v<T, RusageReq>) {
+          w.U64(m.req_id);
+          w.Str(m.target_host);
+        } else if constexpr (std::is_same_v<T, RusageResp>) {
+          w.U64(m.req_id);
+          w.Bool(m.ok);
+          w.Str(m.error);
+          w.U32(static_cast<uint32_t>(m.records.size()));
+          for (const auto& rec : m.records) PutRusageRecord(w, rec);
+        } else if constexpr (std::is_same_v<T, AdoptReq>) {
+          w.U64(m.req_id);
+          PutGPid(w, m.target);
+          w.U32(m.trace_mask);
+        } else if constexpr (std::is_same_v<T, AdoptResp>) {
+          w.U64(m.req_id);
+          w.Bool(m.ok);
+          w.Str(m.error);
+          w.U32(static_cast<uint32_t>(m.adopted_pids.size()));
+          for (int32_t pid : m.adopted_pids) w.I32(pid);
+        } else if constexpr (std::is_same_v<T, TraceReq>) {
+          w.U64(m.req_id);
+          PutGPid(w, m.target);
+          w.U32(m.trace_mask);
+        } else if constexpr (std::is_same_v<T, TraceResp>) {
+          w.U64(m.req_id);
+          w.Bool(m.ok);
+          w.Str(m.error);
+        } else if constexpr (std::is_same_v<T, HistoryReq>) {
+          w.U64(m.req_id);
+          w.Str(m.target_host);
+          w.I32(m.pid_filter);
+          w.U32(m.max_events);
+        } else if constexpr (std::is_same_v<T, HistoryResp>) {
+          w.U64(m.req_id);
+          w.Bool(m.ok);
+          w.Str(m.error);
+          w.U32(static_cast<uint32_t>(m.events.size()));
+          for (const auto& ev : m.events) PutHistEvent(w, ev);
+        } else if constexpr (std::is_same_v<T, TriggerReq>) {
+          w.U64(m.req_id);
+          w.Str(m.target_host);
+          PutTriggerSpec(w, m.spec);
+        } else if constexpr (std::is_same_v<T, TriggerResp>) {
+          w.U64(m.req_id);
+          w.Bool(m.ok);
+          w.Str(m.error);
+          w.U64(m.trigger_id);
+        } else if constexpr (std::is_same_v<T, FilesReq>) {
+          w.U64(m.req_id);
+          PutGPid(w, m.target);
+        } else if constexpr (std::is_same_v<T, FilesResp>) {
+          w.U64(m.req_id);
+          w.Bool(m.ok);
+          w.Str(m.error);
+          w.U32(static_cast<uint32_t>(m.files.size()));
+          for (const auto& f : m.files) {
+            w.I32(f.fd);
+            w.Str(f.path);
+            w.Str(f.mode);
+          }
+        } else if constexpr (std::is_same_v<T, MigrateReq>) {
+          w.U64(m.req_id);
+          PutGPid(w, m.target);
+          w.Str(m.dest_host);
+        } else if constexpr (std::is_same_v<T, MigrateResp>) {
+          w.U64(m.req_id);
+          w.Bool(m.ok);
+          w.Str(m.error);
+          PutGPid(w, m.new_gpid);
+        } else if constexpr (std::is_same_v<T, RegisterChild>) {
+          w.I32(m.parent_pid);
+          PutGPid(w, m.child);
+        } else if constexpr (std::is_same_v<T, BecomeCcs>) {
+          w.Str(m.requested_by);
+        } else if constexpr (std::is_same_v<T, CcsChanged>) {
+          w.Str(m.new_ccs);
+        } else if constexpr (std::is_same_v<T, Probe>) {
+          w.U64(m.req_id);
+        } else if constexpr (std::is_same_v<T, ProbeAck>) {
+          w.U64(m.req_id);
+          w.Str(m.host);
+          w.Bool(m.is_ccs);
+        }
+      },
+      msg);
+}
+
+}  // namespace
+
+std::vector<uint8_t> Serialize(const Msg& msg) {
+  util::ByteWriter w;
+  EncodeMsg(w, msg);
+  return w.Take();
+}
+
+std::vector<uint8_t> Serialize(const Msg& msg, const obs::TraceContext& trace) {
+  if (!trace.valid()) return Serialize(msg);
+  util::ByteWriter w;
+  w.U8(kTraceHeaderTag);
+  w.U64(trace.trace_id);
+  w.U64(trace.span_id);
+  w.U64(trace.parent_span);
+  EncodeMsg(w, msg);
+  return w.Take();
+}
+
+// --- parse ---------------------------------------------------------------------
+
+namespace {
+
+template <typename T>
+std::optional<Msg> Lift(std::optional<T> m) {
+  if (!m) return std::nullopt;
+  return Msg{std::move(*m)};
+}
+
+std::optional<HelloSibling> ParseHelloSibling(util::ByteReader& r) {
+  HelloSibling m;
+  auto user = r.Str();
+  auto oh = r.Str();
+  auto pid = r.I32();
+  auto token = r.U64();
+  auto ccs = r.Str();
+  if (!user || !oh || !pid || !token || !ccs) return std::nullopt;
+  m.user = *user;
+  m.origin_host = *oh;
+  m.origin_lpm_pid = *pid;
+  m.token = *token;
+  m.ccs_host = *ccs;
+  return m;
+}
+
+std::optional<HelloTool> ParseHelloTool(util::ByteReader& r) {
+  HelloTool m;
+  auto user = r.Str();
+  auto uid = r.I32();
+  auto name = r.Str();
+  if (!user || !uid || !name) return std::nullopt;
+  m.user = *user;
+  m.uid = *uid;
+  m.tool_name = *name;
+  return m;
+}
+
+std::optional<HelloAck> ParseHelloAck(util::ByteReader& r) {
+  HelloAck m;
+  auto host = r.Str();
+  auto pid = r.I32();
+  auto ccs = r.Str();
+  if (!host || !pid || !ccs) return std::nullopt;
+  m.host = *host;
+  m.lpm_pid = *pid;
+  m.ccs_host = *ccs;
+  return m;
+}
+
+std::optional<HelloReject> ParseHelloReject(util::ByteReader& r) {
+  auto reason = r.Str();
+  if (!reason) return std::nullopt;
+  HelloReject m;
+  m.reason = *reason;
+  return m;
+}
+
+std::optional<CreateReq> ParseCreateReq(util::ByteReader& r) {
+  CreateReq m;
+  auto id = r.U64();
+  auto host = r.Str();
+  auto cmd = r.Str();
+  auto parent = GetGPid(r);
+  auto running = r.Bool();
+  auto mask = r.U32();
+  if (!id || !host || !cmd || !parent || !running || !mask) return std::nullopt;
+  m.req_id = *id;
+  m.target_host = *host;
+  m.command = *cmd;
+  m.logical_parent = std::move(*parent);
+  m.initially_running = *running;
+  m.trace_mask = *mask;
+  return m;
+}
+
+std::optional<CreateResp> ParseCreateResp(util::ByteReader& r) {
+  CreateResp m;
+  auto id = r.U64();
+  auto ok = r.Bool();
+  auto err = r.Str();
+  auto gpid = GetGPid(r);
+  if (!id || !ok || !err || !gpid) return std::nullopt;
+  m.req_id = *id;
+  m.ok = *ok;
+  m.error = *err;
+  m.gpid = std::move(*gpid);
+  return m;
+}
+
+std::optional<SignalReq> ParseSignalReq(util::ByteReader& r) {
+  SignalReq m;
+  auto id = r.U64();
+  auto target = GetGPid(r);
+  auto sig = r.U8();
+  if (!id || !target || !sig) return std::nullopt;
+  m.req_id = *id;
+  m.target = std::move(*target);
+  m.sig = static_cast<host::Signal>(*sig);
+  return m;
+}
+
+std::optional<SignalResp> ParseSignalResp(util::ByteReader& r) {
+  SignalResp m;
+  auto id = r.U64();
+  auto ok = r.Bool();
+  auto err = r.Str();
+  if (!id || !ok || !err) return std::nullopt;
+  m.req_id = *id;
+  m.ok = *ok;
+  m.error = *err;
+  return m;
+}
+
+std::optional<SnapshotReq> ParseSnapshotReq(util::ByteReader& r) {
+  SnapshotReq m;
+  auto id = r.U64();
+  auto origin = r.Str();
+  auto seq = r.U64();
+  auto ts = r.U64();
+  auto route = GetStrVec(r);
+  if (!id || !origin || !seq || !ts || !route) return std::nullopt;
+  m.req_id = *id;
+  m.origin_host = *origin;
+  m.bcast_seq = *seq;
+  m.signed_ts = *ts;
+  m.route = std::move(*route);
+  return m;
+}
+
+std::optional<SnapshotResp> ParseSnapshotResp(util::ByteReader& r) {
+  SnapshotResp m;
+  auto id = r.U64();
+  auto origin = r.Str();
+  auto seq = r.U64();
+  auto replier = r.Str();
+  auto fwd = GetStrVec(r);
+  auto route = GetStrVec(r);
+  auto idx = r.U32();
+  auto n = r.U32();
+  if (!id || !origin || !seq || !replier || !fwd || !route || !idx || !n)
+    return std::nullopt;
+  m.req_id = *id;
+  m.origin_host = *origin;
+  m.bcast_seq = *seq;
+  m.replier_host = *replier;
+  m.forwarded_to = std::move(*fwd);
+  m.route = std::move(*route);
+  m.route_index = *idx;
+  m.records.reserve(*n);
+  for (uint32_t i = 0; i < *n; ++i) {
+    auto rec = GetProcRecord(r);
+    if (!rec) return std::nullopt;
+    m.records.push_back(std::move(*rec));
+  }
+  return m;
+}
+
+std::optional<RusageReq> ParseRusageReq(util::ByteReader& r) {
+  RusageReq m;
+  auto id = r.U64();
+  auto host = r.Str();
+  if (!id || !host) return std::nullopt;
+  m.req_id = *id;
+  m.target_host = *host;
+  return m;
+}
+
+std::optional<RusageResp> ParseRusageResp(util::ByteReader& r) {
+  RusageResp m;
+  auto id = r.U64();
+  auto ok = r.Bool();
+  auto err = r.Str();
+  auto n = r.U32();
+  if (!id || !ok || !err || !n) return std::nullopt;
+  m.req_id = *id;
+  m.ok = *ok;
+  m.error = *err;
+  m.records.reserve(*n);
+  for (uint32_t i = 0; i < *n; ++i) {
+    auto rec = GetRusageRecord(r);
+    if (!rec) return std::nullopt;
+    m.records.push_back(std::move(*rec));
+  }
+  return m;
+}
+
+std::optional<AdoptReq> ParseAdoptReq(util::ByteReader& r) {
+  AdoptReq m;
+  auto id = r.U64();
+  auto target = GetGPid(r);
+  auto mask = r.U32();
+  if (!id || !target || !mask) return std::nullopt;
+  m.req_id = *id;
+  m.target = std::move(*target);
+  m.trace_mask = *mask;
+  return m;
+}
+
+std::optional<AdoptResp> ParseAdoptResp(util::ByteReader& r) {
+  AdoptResp m;
+  auto id = r.U64();
+  auto ok = r.Bool();
+  auto err = r.Str();
+  auto n = r.U32();
+  if (!id || !ok || !err || !n) return std::nullopt;
+  m.req_id = *id;
+  m.ok = *ok;
+  m.error = *err;
+  for (uint32_t i = 0; i < *n; ++i) {
+    auto pid = r.I32();
+    if (!pid) return std::nullopt;
+    m.adopted_pids.push_back(*pid);
+  }
+  return m;
+}
+
+std::optional<TraceReq> ParseTraceReq(util::ByteReader& r) {
+  TraceReq m;
+  auto id = r.U64();
+  auto target = GetGPid(r);
+  auto mask = r.U32();
+  if (!id || !target || !mask) return std::nullopt;
+  m.req_id = *id;
+  m.target = std::move(*target);
+  m.trace_mask = *mask;
+  return m;
+}
+
+std::optional<TraceResp> ParseTraceResp(util::ByteReader& r) {
+  TraceResp m;
+  auto id = r.U64();
+  auto ok = r.Bool();
+  auto err = r.Str();
+  if (!id || !ok || !err) return std::nullopt;
+  m.req_id = *id;
+  m.ok = *ok;
+  m.error = *err;
+  return m;
+}
+
+std::optional<HistoryReq> ParseHistoryReq(util::ByteReader& r) {
+  HistoryReq m;
+  auto id = r.U64();
+  auto host = r.Str();
+  auto filter = r.I32();
+  auto max = r.U32();
+  if (!id || !host || !filter || !max) return std::nullopt;
+  m.req_id = *id;
+  m.target_host = *host;
+  m.pid_filter = *filter;
+  m.max_events = *max;
+  return m;
+}
+
+std::optional<HistoryResp> ParseHistoryResp(util::ByteReader& r) {
+  HistoryResp m;
+  auto id = r.U64();
+  auto ok = r.Bool();
+  auto err = r.Str();
+  auto n = r.U32();
+  if (!id || !ok || !err || !n) return std::nullopt;
+  m.req_id = *id;
+  m.ok = *ok;
+  m.error = *err;
+  m.events.reserve(*n);
+  for (uint32_t i = 0; i < *n; ++i) {
+    auto ev = GetHistEvent(r);
+    if (!ev) return std::nullopt;
+    m.events.push_back(std::move(*ev));
+  }
+  return m;
+}
+
+std::optional<TriggerReq> ParseTriggerReq(util::ByteReader& r) {
+  TriggerReq m;
+  auto id = r.U64();
+  auto host = r.Str();
+  auto spec = GetTriggerSpec(r);
+  if (!id || !host || !spec) return std::nullopt;
+  m.req_id = *id;
+  m.target_host = *host;
+  m.spec = std::move(*spec);
+  return m;
+}
+
+std::optional<TriggerResp> ParseTriggerResp(util::ByteReader& r) {
+  TriggerResp m;
+  auto id = r.U64();
+  auto ok = r.Bool();
+  auto err = r.Str();
+  auto tid = r.U64();
+  if (!id || !ok || !err || !tid) return std::nullopt;
+  m.req_id = *id;
+  m.ok = *ok;
+  m.error = *err;
+  m.trigger_id = *tid;
+  return m;
+}
+
+std::optional<FilesReq> ParseFilesReq(util::ByteReader& r) {
+  FilesReq m;
+  auto id = r.U64();
+  auto target = GetGPid(r);
+  if (!id || !target) return std::nullopt;
+  m.req_id = *id;
+  m.target = std::move(*target);
+  return m;
+}
+
+std::optional<FilesResp> ParseFilesResp(util::ByteReader& r) {
+  FilesResp m;
+  auto id = r.U64();
+  auto ok = r.Bool();
+  auto err = r.Str();
+  auto n = r.U32();
+  if (!id || !ok || !err || !n) return std::nullopt;
+  for (uint32_t i = 0; i < *n; ++i) {
+    FileRecord f;
+    auto fd = r.I32();
+    auto path = r.Str();
+    auto mode = r.Str();
+    if (!fd || !path || !mode) return std::nullopt;
+    f.fd = *fd;
+    f.path = std::move(*path);
+    f.mode = std::move(*mode);
+    m.files.push_back(std::move(f));
+  }
+  m.req_id = *id;
+  m.ok = *ok;
+  m.error = *err;
+  return m;
+}
+
+std::optional<MigrateReq> ParseMigrateReq(util::ByteReader& r) {
+  MigrateReq m;
+  auto id = r.U64();
+  auto target = GetGPid(r);
+  auto dest = r.Str();
+  if (!id || !target || !dest) return std::nullopt;
+  m.req_id = *id;
+  m.target = std::move(*target);
+  m.dest_host = std::move(*dest);
+  return m;
+}
+
+std::optional<MigrateResp> ParseMigrateResp(util::ByteReader& r) {
+  MigrateResp m;
+  auto id = r.U64();
+  auto ok = r.Bool();
+  auto err = r.Str();
+  auto gpid = GetGPid(r);
+  if (!id || !ok || !err || !gpid) return std::nullopt;
+  m.req_id = *id;
+  m.ok = *ok;
+  m.error = *err;
+  m.new_gpid = std::move(*gpid);
+  return m;
+}
+
+std::optional<RegisterChild> ParseRegisterChild(util::ByteReader& r) {
+  RegisterChild m;
+  auto pid = r.I32();
+  auto child = GetGPid(r);
+  if (!pid || !child) return std::nullopt;
+  m.parent_pid = *pid;
+  m.child = std::move(*child);
+  return m;
+}
+
+std::optional<BecomeCcs> ParseBecomeCcs(util::ByteReader& r) {
+  auto by = r.Str();
+  if (!by) return std::nullopt;
+  BecomeCcs m;
+  m.requested_by = *by;
+  return m;
+}
+
+std::optional<CcsChanged> ParseCcsChanged(util::ByteReader& r) {
+  auto ccs = r.Str();
+  if (!ccs) return std::nullopt;
+  CcsChanged m;
+  m.new_ccs = *ccs;
+  return m;
+}
+
+std::optional<Probe> ParseProbe(util::ByteReader& r) {
+  auto id = r.U64();
+  if (!id) return std::nullopt;
+  Probe m;
+  m.req_id = *id;
+  return m;
+}
+
+std::optional<ProbeAck> ParseProbeAck(util::ByteReader& r) {
+  ProbeAck m;
+  auto id = r.U64();
+  auto host = r.Str();
+  auto is_ccs = r.Bool();
+  if (!id || !host || !is_ccs) return std::nullopt;
+  m.req_id = *id;
+  m.host = *host;
+  m.is_ccs = *is_ccs;
+  return m;
+}
+
+}  // namespace
+
+std::optional<Msg> Parse(const std::vector<uint8_t>& bytes) { return Parse(bytes, nullptr); }
+
+std::optional<Msg> Parse(const std::vector<uint8_t>& bytes, obs::TraceContext* trace) {
+  util::ByteReader r(bytes);
+  if (trace) *trace = obs::TraceContext{};
+  auto tag = r.U8();
+  if (!tag) return std::nullopt;
+  if (*tag == kTraceHeaderTag) {
+    auto tid = r.U64();
+    auto sid = r.U64();
+    auto psid = r.U64();
+    if (!tid || !sid || !psid) return std::nullopt;
+    if (trace) {
+      trace->trace_id = *tid;
+      trace->span_id = *sid;
+      trace->parent_span = *psid;
+    }
+    tag = r.U8();
+    if (!tag) return std::nullopt;
+  }
+  switch (*tag) {
+    case 0: return Lift(ParseHelloSibling(r));
+    case 1: return Lift(ParseHelloTool(r));
+    case 2: return Lift(ParseHelloAck(r));
+    case 3: return Lift(ParseHelloReject(r));
+    case 4: return Lift(ParseCreateReq(r));
+    case 5: return Lift(ParseCreateResp(r));
+    case 6: return Lift(ParseSignalReq(r));
+    case 7: return Lift(ParseSignalResp(r));
+    case 8: return Lift(ParseSnapshotReq(r));
+    case 9: return Lift(ParseSnapshotResp(r));
+    case 10: return Lift(ParseRusageReq(r));
+    case 11: return Lift(ParseRusageResp(r));
+    case 12: return Lift(ParseAdoptReq(r));
+    case 13: return Lift(ParseAdoptResp(r));
+    case 14: return Lift(ParseTraceReq(r));
+    case 15: return Lift(ParseTraceResp(r));
+    case 16: return Lift(ParseHistoryReq(r));
+    case 17: return Lift(ParseHistoryResp(r));
+    case 18: return Lift(ParseTriggerReq(r));
+    case 19: return Lift(ParseTriggerResp(r));
+    case 20: return Lift(ParseBecomeCcs(r));
+    case 21: return Lift(ParseCcsChanged(r));
+    case 22: return Lift(ParseProbe(r));
+    case 23: return Lift(ParseProbeAck(r));
+    case 24: return Lift(ParseFilesReq(r));
+    case 25: return Lift(ParseFilesResp(r));
+    case 26: return Lift(ParseMigrateReq(r));
+    case 27: return Lift(ParseMigrateResp(r));
+    case 28: return Lift(ParseRegisterChild(r));
+    default: return std::nullopt;
+  }
+}
+
+const char* MsgTypeName(const Msg& msg) {
+  static const char* kNames[] = {
+      "HelloSibling", "HelloTool", "HelloAck", "HelloReject", "CreateReq", "CreateResp",
+      "SignalReq", "SignalResp", "SnapshotReq", "SnapshotResp", "RusageReq", "RusageResp",
+      "AdoptReq", "AdoptResp", "TraceReq", "TraceResp", "HistoryReq", "HistoryResp",
+      "TriggerReq", "TriggerResp", "BecomeCcs", "CcsChanged", "Probe", "ProbeAck",
+      "FilesReq", "FilesResp", "MigrateReq", "MigrateResp", "RegisterChild"};
+  return kNames[msg.index()];
+}
+
+}  // namespace ppm::core

@@ -1,0 +1,293 @@
+// wire.h — the PPM wire protocol.
+//
+// Everything that crosses an LPM socket — sibling channels, tool
+// channels, and the 112-byte kernel event messages of Table 1 — is
+// defined here as a typed message with explicit byte-level encode and
+// decode.  Messages are one-per-frame on the (message-preserving)
+// stream circuits of net::Network, so no additional length framing is
+// needed; a real port would prepend a u32 length.
+//
+// Request/response correlation is by req_id, unique per issuing LPM.
+// Broadcast requests additionally carry <origin host, broadcast seq,
+// signed timestamp> for duplicate suppression and a hop route for
+// source-destination reply routing (paper Section 4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/types.h"
+#include "obs/trace.h"
+#include "util/bytes.h"
+
+namespace ppm::core {
+
+// --- 112-byte kernel event messages (Table 1) ---------------------------
+
+// Fixed wire size of one kernel→LPM event record.
+constexpr size_t kKernelEventWireBytes = 112;
+
+std::vector<uint8_t> SerializeKernelEvent(const host::KernelEvent& ev);
+std::optional<host::KernelEvent> ParseKernelEvent(const std::vector<uint8_t>& bytes);
+
+// --- channel establishment ------------------------------------------------
+
+// Sibling LPM → sibling LPM, first message on a new circuit.  The token
+// proves the connector obtained the accept address from the target's pmd
+// (i.e. passed user-level authentication there).
+struct HelloSibling {
+  std::string user;
+  std::string origin_host;
+  int32_t origin_lpm_pid = -1;
+  uint64_t token = 0;      // the *target* LPM's session token
+  std::string ccs_host;    // current crash coordinator site
+};
+
+// Tool → local LPM.  Tools are local by definition; the uid would be
+// carried by SCM_CREDENTIALS on a real system.
+struct HelloTool {
+  std::string user;
+  int32_t uid = -1;
+  std::string tool_name;
+};
+
+struct HelloAck {
+  std::string host;
+  int32_t lpm_pid = -1;
+  std::string ccs_host;
+};
+
+struct HelloReject {
+  std::string reason;
+};
+
+// --- requests / responses ----------------------------------------------------
+
+// Create a process on `target_host` with the LPM there acting as the
+// process creation server.  The new process is adopted at birth.
+struct CreateReq {
+  uint64_t req_id = 0;
+  std::string target_host;
+  std::string command;
+  GPid logical_parent;   // may be invalid: new computation root
+  bool initially_running = true;
+  uint32_t trace_mask = host::kTraceAll;
+};
+
+struct CreateResp {
+  uint64_t req_id = 0;
+  bool ok = false;
+  std::string error;
+  GPid gpid;
+};
+
+// Deliver a signal to any process of the user, anywhere — "with no
+// interprocess constraints based on creation dependencies" (Section 1).
+struct SignalReq {
+  uint64_t req_id = 0;
+  GPid target;
+  host::Signal sig = host::Signal::kSigTerm;
+};
+
+struct SignalResp {
+  uint64_t req_id = 0;
+  bool ok = false;
+  std::string error;
+};
+
+// Distributed snapshot of the genealogical process structure.  Broadcast
+// over the sibling graph with the covering algorithm of Section 4.
+struct SnapshotReq {
+  uint64_t req_id = 0;          // meaningful at the origin only
+  std::string origin_host;
+  uint64_t bcast_seq = 0;       // per-origin sequence number
+  uint64_t signed_ts = 0;       // signed timestamp naming the origin
+  std::vector<std::string> route;  // hosts traversed, origin first
+};
+
+struct SnapshotResp {
+  uint64_t req_id = 0;
+  std::string origin_host;
+  uint64_t bcast_seq = 0;
+  std::string replier_host;
+  std::vector<std::string> forwarded_to;  // hosts this replier re-broadcast to
+  std::vector<std::string> route;         // reverse route for the way back
+  size_t route_index = 0;                 // next hop on the way back
+  std::vector<ProcRecord> records;
+};
+
+// Exited-process resource consumption statistics for one host.
+struct RusageReq {
+  uint64_t req_id = 0;
+  std::string target_host;
+};
+
+struct RusageResp {
+  uint64_t req_id = 0;
+  bool ok = false;
+  std::string error;
+  std::vector<RusageRecord> records;
+};
+
+// Adopt an already-running process (and its descendants).
+struct AdoptReq {
+  uint64_t req_id = 0;
+  GPid target;
+  uint32_t trace_mask = host::kTraceAll;
+};
+
+struct AdoptResp {
+  uint64_t req_id = 0;
+  bool ok = false;
+  std::string error;
+  std::vector<int32_t> adopted_pids;
+};
+
+// Adjust event-tracing granularity on an adopted process.
+struct TraceReq {
+  uint64_t req_id = 0;
+  GPid target;
+  uint32_t trace_mask = 0;
+};
+
+struct TraceResp {
+  uint64_t req_id = 0;
+  bool ok = false;
+  std::string error;
+};
+
+// Query the event history kept by the LPM on `target_host`.
+struct HistoryReq {
+  uint64_t req_id = 0;
+  std::string target_host;
+  int32_t pid_filter = -1;  // -1: all processes
+  uint32_t max_events = 0;  // 0: no limit
+};
+
+struct HistoryResp {
+  uint64_t req_id = 0;
+  bool ok = false;
+  std::string error;
+  std::vector<HistEvent> events;
+};
+
+// Install a history-dependent trigger at the LPM on `target_host`.
+struct TriggerReq {
+  uint64_t req_id = 0;
+  std::string target_host;
+  TriggerSpec spec;
+};
+
+struct TriggerResp {
+  uint64_t req_id = 0;
+  bool ok = false;
+  std::string error;
+  uint64_t trigger_id = 0;
+};
+
+// Open files / file descriptors of one process (the "tool for displaying
+// the open and closed files of processes" of the paper's future work).
+struct FileRecord {
+  int32_t fd = -1;
+  std::string path;
+  std::string mode;
+};
+
+struct FilesReq {
+  uint64_t req_id = 0;
+  GPid target;
+};
+
+struct FilesResp {
+  uint64_t req_id = 0;
+  bool ok = false;
+  std::string error;
+  std::vector<FileRecord> files;
+};
+
+// Migrate a process to another host (our implementation of the paper's
+// future-work direction; the 1986 PPM explicitly had "no process
+// migration facilities").  Cold migration: the image is re-created from
+// the command at the destination after a modelled image-transfer cost;
+// the old incarnation is terminated and retained in the genealogy as the
+// new one's logical parent, so the tree stays connected.
+struct MigrateReq {
+  uint64_t req_id = 0;
+  GPid target;
+  std::string dest_host;
+};
+
+struct MigrateResp {
+  uint64_t req_id = 0;
+  bool ok = false;
+  std::string error;
+  GPid new_gpid;
+};
+
+// Notifies the LPM owning `parent_pid` that a process on another host
+// became its logical child (creations requested by third parties, e.g. a
+// tool on a different machine, would otherwise leave the parent's
+// manager ignorant of the link — and an exited parent would drop out of
+// snapshots while descendants live on).  Fire-and-forget.
+struct RegisterChild {
+  int32_t parent_pid = -1;
+  GPid child;
+};
+
+// --- recovery control ---------------------------------------------------------
+
+// Sent to the LPM that should assume the crash-coordinator role.
+struct BecomeCcs {
+  std::string requested_by;
+};
+
+// CCS change announcement, propagated to siblings.
+struct CcsChanged {
+  std::string new_ccs;
+};
+
+// Lightweight liveness probe over an existing channel.
+struct Probe {
+  uint64_t req_id = 0;
+};
+
+struct ProbeAck {
+  uint64_t req_id = 0;
+  std::string host;
+  bool is_ccs = false;
+};
+
+// --- the envelope -----------------------------------------------------------
+
+using Msg = std::variant<HelloSibling, HelloTool, HelloAck, HelloReject, CreateReq,
+                         CreateResp, SignalReq, SignalResp, SnapshotReq, SnapshotResp,
+                         RusageReq, RusageResp, AdoptReq, AdoptResp, TraceReq, TraceResp,
+                         HistoryReq, HistoryResp, TriggerReq, TriggerResp, BecomeCcs,
+                         CcsChanged, Probe, ProbeAck, FilesReq, FilesResp, MigrateReq,
+                         MigrateResp, RegisterChild>;
+
+// Trace header escape.  A frame whose first byte is kTraceHeaderTag
+// carries a causal-tracing header (trace id, span id, parent span — see
+// obs/trace.h) between the escape byte and the ordinary message tag.
+// The value sits far above the last variant tag, so untraced frames are
+// byte-identical to the pre-tracing wire format and cost nothing.
+constexpr uint8_t kTraceHeaderTag = 0xF5;
+constexpr size_t kTraceHeaderBytes = 1 + 3 * 8;  // escape + three u64s
+
+std::vector<uint8_t> Serialize(const Msg& msg);
+// Prepends the trace header when `trace` is valid; identical to
+// Serialize(msg) otherwise.
+std::vector<uint8_t> Serialize(const Msg& msg, const obs::TraceContext& trace);
+
+std::optional<Msg> Parse(const std::vector<uint8_t>& bytes);
+// Also surfaces the frame's trace context: *trace is filled from the
+// header when present and zeroed ({}) when not.  Accepts both formats.
+std::optional<Msg> Parse(const std::vector<uint8_t>& bytes, obs::TraceContext* trace);
+
+// Human-readable message type name, for traces and tests.
+const char* MsgTypeName(const Msg& msg);
+
+}  // namespace ppm::core

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "host/calibration.h"
+#include "obs/metrics.h"
 #include "util/log.h"
 #include "util/panic.h"
 #include "util/strings.h"
@@ -10,6 +11,29 @@
 namespace ppm::daemon {
 
 using host::BaseCosts;
+
+namespace {
+struct PmdCounters {
+  obs::Counter* requests;
+  obs::Counter* auth_failures;
+  obs::Counter* lookup_hits;
+  obs::Counter* lookup_misses;
+  obs::Counter* lpms_created;
+  obs::Counter* stable_writes;
+};
+
+PmdCounters& Counters() {
+  static PmdCounters c = {
+      obs::Registry::Instance().GetCounter("pmd.requests"),
+      obs::Registry::Instance().GetCounter("pmd.auth.failures"),
+      obs::Registry::Instance().GetCounter("pmd.lookup.hits"),
+      obs::Registry::Instance().GetCounter("pmd.lookup.misses"),
+      obs::Registry::Instance().GetCounter("pmd.lpms.created"),
+      obs::Registry::Instance().GetCounter("pmd.stable.writes"),
+  };
+  return c;
+}
+}  // namespace
 
 Pmd::Pmd(host::Host& host, PmdConfig config, LpmFactory factory)
     : host_(host), config_(config), factory_(std::move(factory)) {}
@@ -58,6 +82,7 @@ bool Pmd::Authenticate(const LpmRequest& request, bool local, host::Uid* uid,
 void Pmd::EnsureLpm(const LpmRequest& request, bool local,
                     std::function<void(const LpmResponse&)> reply) {
   ++stats_.requests;
+  Counters().requests->Inc();
   sim::SimDuration cost = host_.kernel().Charge(pid(), BaseCosts::kPmdLookup);
 
   LpmResponse resp;
@@ -65,6 +90,7 @@ void Pmd::EnsureLpm(const LpmRequest& request, bool local,
   std::string error;
   if (!Authenticate(request, local, &uid, &error)) {
     ++stats_.auth_failures;
+    Counters().auth_failures->Inc();
     resp.ok = false;
     resp.error = error;
     host_.simulator().ScheduleIn(cost, [reply = std::move(reply), resp] { reply(resp); },
@@ -80,6 +106,7 @@ void Pmd::EnsureLpm(const LpmRequest& request, bool local,
   if (it != registry_.end()) {
     const host::Process* proc = host_.kernel().Find(it->second.pid);
     if (proc && proc->alive()) {
+      Counters().lookup_hits->Inc();
       resp.ok = true;
       resp.accept_addr = it->second.accept_addr;
       resp.token = it->second.token;
@@ -94,16 +121,19 @@ void Pmd::EnsureLpm(const LpmRequest& request, bool local,
 
   // Create the LPM (step 3).  The factory pre-assigns the accept address
   // so pmd can answer without waiting for the LPM to come up.
+  Counters().lookup_misses->Inc();
   uint64_t token = host_.simulator().rng().Next();
   LpmHandle handle = factory_(host_, uid, token);
   PPM_CHECK_MSG(handle.pid != host::kNoPid, "LPM factory failed");
   registry_[uid] = Entry{handle.pid, handle.accept_addr, token};
   ReviewIdleExit();
   ++stats_.lpms_created;
+  Counters().lpms_created->Inc();
   cost += host_.kernel().Charge(pid(), BaseCosts::kForkExec);
   if (config_.stable_storage) {
     SaveRegistry();
     ++stats_.stable_writes;
+    Counters().stable_writes->Inc();
     cost += host_.kernel().Charge(pid(), BaseCosts::kPmdStableWrite);
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/metrics.h"
 #include "util/log.h"
 #include "util/panic.h"
 
@@ -13,6 +14,38 @@ namespace {
 // numbers, checksums) — roughly a 1986 TCP/IP header.
 constexpr size_t kFrameHeaderBytes = 40;
 constexpr Port kEphemeralBase = 32768;
+
+struct NetCounters {
+  obs::Counter* frames_sent;
+  obs::Counter* frames_delivered;
+  obs::Counter* frames_dropped;
+  obs::Counter* bytes_sent;
+  obs::Counter* conns_opened;
+  obs::Counter* conns_broken;
+};
+
+NetCounters& Counters() {
+  static NetCounters c = {
+      obs::Registry::Instance().GetCounter("net.frames.sent"),
+      obs::Registry::Instance().GetCounter("net.frames.delivered"),
+      obs::Registry::Instance().GetCounter("net.frames.dropped"),
+      obs::Registry::Instance().GetCounter("net.bytes.sent"),
+      obs::Registry::Instance().GetCounter("net.conns.opened"),
+      obs::Registry::Instance().GetCounter("net.conns.broken"),
+  };
+  return c;
+}
+
+// One counter per circuit close reason, "net.conn.close.<reason>".
+obs::Counter* CloseCounter(CloseReason r) {
+  static obs::Counter* c[4] = {
+      obs::Registry::Instance().GetCounter("net.conn.close.local-close"),
+      obs::Registry::Instance().GetCounter("net.conn.close.peer-close"),
+      obs::Registry::Instance().GetCounter("net.conn.close.peer-crash"),
+      obs::Registry::Instance().GetCounter("net.conn.close.net-broken"),
+  };
+  return c[static_cast<size_t>(r)];
+}
 }  // namespace
 
 const char* ToString(CloseReason r) {
@@ -41,6 +74,13 @@ void Network::AddLink(HostId a, HostId b, LinkParams params) {
   uint64_t key = LinkKey(a, b);
   PPM_CHECK_MSG(!links_.count(key), "duplicate link");
   links_[key] = LinkRec{params, true, {0, 0}};
+  LinkRec& link = links_[key];
+  const std::string edge =
+      hosts_[std::min(a, b)].name + "-" + hosts_[std::max(a, b)].name;
+  obs::Registry& reg = obs::Registry::Instance();
+  link.frames_counter = reg.GetCounter("net.link." + edge + ".frames");
+  link.bytes_counter = reg.GetCounter("net.link." + edge + ".bytes");
+  link.drops_counter = reg.GetCounter("net.link." + edge + ".drops");
   adj_[a].push_back(b);
   adj_[b].push_back(a);
 }
@@ -191,6 +231,8 @@ void Network::BreakConn(Conn& conn, HostId detected_by, CloseReason reason) {
   if (conn.dead) return;
   conn.dead = true;
   ++stats_.conns_broken;
+  Counters().conns_broken->Inc();
+  CloseCounter(reason)->Inc();
   // The endpoint on a crashed host dies silently (its process is gone);
   // every other open endpoint learns of the break after the detection
   // delay, modelling TCP's retransmission give-up.
@@ -301,6 +343,7 @@ void Network::Close(ConnId handle) {
   Endpoint& peer = (handle % 2 == 0) ? conn.b : conn.a;
   if (!self.open) return;
   self.open = false;
+  CloseCounter(CloseReason::kLocalClose)->Inc();
   if (conn.established && !conn.dead) {
     Frame fin;
     fin.kind = FrameKind::kFin;
@@ -325,6 +368,8 @@ void Network::Abort(ConnId handle) {
   // it will never be invoked again.
   if (peer.open && conn.established && !conn.dead) {
     ++stats_.conns_broken;
+    Counters().conns_broken->Inc();
+    CloseCounter(CloseReason::kPeerCrash)->Inc();
     ScheduleBreakNotice(conn.id, /*notify_a=*/(&peer == &conn.a),
                         /*notify_b=*/(&peer == &conn.b), CloseReason::kPeerCrash);
   }
@@ -383,9 +428,12 @@ void Network::SendDgram(HostId from, Port from_port, SocketAddr to,
 void Network::SendFrame(Frame f) {
   ++stats_.frames_sent;
   stats_.bytes_sent += f.payload.size() + kFrameHeaderBytes;
+  Counters().frames_sent->Inc();
+  Counters().bytes_sent->Inc(f.payload.size() + kFrameHeaderBytes);
   auto path = Route(f.src.host, f.dst.host);
   if (!path) {
     ++stats_.frames_dropped;
+    Counters().frames_dropped->Inc();
     return;
   }
   f.path = std::move(*path);
@@ -409,13 +457,18 @@ void Network::ForwardFrame(Frame f) {
   HostId v = f.path[f.hop_index + 1];
   if (!hosts_[u].up) {
     ++stats_.frames_dropped;
+    Counters().frames_dropped->Inc();
     return;
   }
   LinkRec* link = FindLink(u, v);
   if (!link || !link->up) {
     ++stats_.frames_dropped;
+    Counters().frames_dropped->Inc();
+    if (link) link->drops_counter->Inc();
     return;
   }
+  link->frames_counter->Inc();
+  link->bytes_counter->Inc(f.payload.size() + kFrameHeaderBytes);
   int dir = (u < v) ? 0 : 1;
   sim::SimTime now = sim_.Now();
   sim::SimDuration tx =
@@ -431,6 +484,7 @@ void Network::ForwardFrame(Frame f) {
     HostId here = frame.path[frame.hop_index];
     if (!hosts_[here].up) {
       ++stats_.frames_dropped;
+      Counters().frames_dropped->Inc();
       return;
     }
     if (frame.hop_index + 1 == frame.path.size()) {
@@ -456,6 +510,7 @@ void Network::DeliverData(Conn& conn, Endpoint& self, Frame f) {
   }
   ConnId handle = (&self == &conn.a) ? conn.id * 2 : conn.id * 2 + 1;
   ++stats_.frames_delivered;
+  Counters().frames_delivered->Inc();
   if (auto fn = self.cb.on_data) fn(handle, f.payload);
   self.next_recv_seq++;
   while (true) {
@@ -464,6 +519,7 @@ void Network::DeliverData(Conn& conn, Endpoint& self, Frame f) {
     Frame next = std::move(it->second);
     self.reorder.erase(it);
     ++stats_.frames_delivered;
+    Counters().frames_delivered->Inc();
     if (auto fn = self.cb.on_data) fn(handle, next.payload);
     self.next_recv_seq++;
   }
@@ -475,9 +531,11 @@ void Network::DeliverFrame(Frame f) {
       auto it = dgram_binds_.find(f.dst);
       if (it == dgram_binds_.end()) {
         ++stats_.frames_dropped;
+        Counters().frames_dropped->Inc();
         return;
       }
       ++stats_.frames_delivered;
+      Counters().frames_delivered->Inc();
       // Copy before invoking: the handler may unbind itself (one-shot
       // reply sockets do), which would destroy the closure mid-call.
       DgramFn fn = it->second;
@@ -534,6 +592,7 @@ void Network::DeliverFrame(Frame f) {
       conn.established = true;
       conn.a.open = true;
       ++stats_.conns_opened;
+      Counters().conns_opened->Inc();
       if (done_fn) done_fn(conn.id * 2);
       return;
     }
@@ -555,6 +614,7 @@ void Network::DeliverFrame(Frame f) {
       if (!self || !self->open) return;
       self->open = false;
       conn.dead = true;
+      CloseCounter(CloseReason::kNetBroken)->Inc();
       ConnId handle = (self == &conn.a) ? conn.id * 2 : conn.id * 2 + 1;
       if (auto fn = self->cb.on_close) fn(handle, CloseReason::kNetBroken);
       return;
@@ -576,6 +636,7 @@ void Network::DeliverFrame(Frame f) {
       if (!self || !self->open) return;
       self->open = false;
       conn.dead = true;
+      CloseCounter(CloseReason::kPeerClose)->Inc();
       ConnId handle = (self == &conn.a) ? conn.id * 2 : conn.id * 2 + 1;
       if (auto fn = self->cb.on_close) fn(handle, CloseReason::kPeerClose);
       return;

@@ -41,6 +41,10 @@
 #include "net/address.h"
 #include "sim/simulator.h"
 
+namespace ppm::obs {
+class Counter;
+}  // namespace ppm::obs
+
 namespace ppm::net {
 
 // Why a circuit went away.  kLocalClose is the graceful case; the rest
@@ -172,6 +176,11 @@ class Network {
     bool up = true;
     // Directed wire-busy horizon for serialization, indexed [a<b ? 0:1].
     sim::SimTime busy_until[2] = {0, 0};
+    // Per-link registry instruments ("net.link.<a>-<b>.*"), resolved
+    // once at AddLink so the per-frame path is a bare increment.
+    obs::Counter* frames_counter = nullptr;
+    obs::Counter* bytes_counter = nullptr;
+    obs::Counter* drops_counter = nullptr;
   };
   enum class FrameKind : uint8_t { kSyn, kSynAck, kData, kFin, kRst, kDgram };
   struct Frame {

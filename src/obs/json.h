@@ -1,0 +1,45 @@
+// json.h — a minimal JSON reader/escaper for the observability layer.
+//
+// Registry::DumpJson() and the bench reports need machine-readable
+// output, and the tests need to prove the output round-trips — so this
+// is a real (if small) parser, not a regex.  It covers the JSON we
+// emit: objects, arrays, strings with \-escapes, numbers, booleans,
+// null.  It is not a general-purpose validator (no \u surrogate pairs,
+// no depth limit) and is not meant for untrusted input.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppm::obs::json {
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Value> arr;
+  std::map<std::string, Value> obj;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const;
+};
+
+// nullopt on any syntax error or trailing garbage.
+std::optional<Value> Parse(std::string_view text);
+
+// Appends `s` to `out` with JSON string escaping applied (quotes not
+// included).  Shared by every JSON emitter in the repo.
+void AppendEscaped(std::string& out, std::string_view s);
+
+}  // namespace ppm::obs::json

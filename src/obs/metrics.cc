@@ -1,0 +1,203 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace ppm::obs {
+
+namespace {
+
+double Pow10(int e) { return std::pow(10.0, e); }
+
+void AppendNumber(std::string& out, double v) {
+  if (std::isnan(v) || std::isinf(v)) {  // JSON has no NaN/Inf
+    out += "null";
+    return;
+  }
+  char buf[40];
+  if (v == static_cast<double>(static_cast<int64_t>(v)) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out += buf;
+}
+
+void AppendKey(std::string& out, const std::string& key) {
+  out += '"';
+  json::AppendEscaped(out, key);
+  out += "\":";
+}
+
+}  // namespace
+
+// --- Histogram -------------------------------------------------------
+
+int Histogram::BucketIndex(double v) {
+  if (!(v > 0)) return -1;  // zero, negative, NaN -> underflow
+  int d = static_cast<int>(std::floor(std::log10(v)));
+  if (d < kMinDecade) d = kMinDecade;
+  if (d > kMaxDecade) d = kMaxDecade;
+  int digit = static_cast<int>(v / Pow10(d));
+  if (digit < 1) digit = 1;
+  if (digit > 9) digit = 9;
+  return (d - kMinDecade) * 9 + (digit - 1);
+}
+
+Histogram::Bucket Histogram::BucketBounds(int idx) {
+  if (idx < 0 || idx >= kBucketCount) return {0, 0, 0};
+  int d = kMinDecade + idx / 9;
+  int digit = 1 + idx % 9;
+  double scale = Pow10(d);
+  return {digit * scale, (digit == 9) ? Pow10(d + 1) : (digit + 1) * scale, 0};
+}
+
+void Histogram::Observe(double v) {
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+  int idx = BucketIndex(v);
+  if (idx < 0) {
+    ++underflow_;
+  } else {
+    ++buckets_[static_cast<size_t>(idx)];
+  }
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = underflow_;
+  if (rank <= seen) return 0;  // underflow bucket: best lower bound is 0
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (rank <= seen) return BucketBounds(i).lo;
+  }
+  return max_;
+}
+
+std::vector<Histogram::Bucket> Histogram::NonZeroBuckets() const {
+  std::vector<Bucket> out;
+  for (int i = 0; i < kBucketCount; ++i) {
+    uint64_t n = buckets_[static_cast<size_t>(i)];
+    if (n == 0) continue;
+    Bucket b = BucketBounds(i);
+    b.count = n;
+    out.push_back(b);
+  }
+  return out;
+}
+
+// --- Registry --------------------------------------------------------
+
+Registry& Registry::Instance() {
+  static Registry* registry = new Registry();  // never destroyed: handles outlive exit
+  return *registry;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+const Counter* Registry::FindCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* Registry::FindGauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* Registry::FindHistogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void Registry::Reset() {
+  for (auto& [name, c] : counters_) *c = Counter{};
+  for (auto& [name, g] : gauges_) *g = Gauge{};
+  for (auto& [name, h] : histograms_) *h = Histogram{};
+}
+
+std::string Registry::DumpJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    AppendKey(out, name);
+    AppendNumber(out, static_cast<double>(c->value()));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    AppendKey(out, name);
+    AppendNumber(out, g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    AppendKey(out, name);
+    out += "{\"count\":";
+    AppendNumber(out, static_cast<double>(h->count()));
+    out += ",\"sum\":";
+    AppendNumber(out, h->sum());
+    out += ",\"min\":";
+    AppendNumber(out, h->min());
+    out += ",\"max\":";
+    AppendNumber(out, h->max());
+    out += ",\"mean\":";
+    AppendNumber(out, h->mean());
+    out += ",\"p50\":";
+    AppendNumber(out, h->Percentile(50));
+    out += ",\"p90\":";
+    AppendNumber(out, h->Percentile(90));
+    out += ",\"p99\":";
+    AppendNumber(out, h->Percentile(99));
+    out += ",\"underflow\":";
+    AppendNumber(out, static_cast<double>(h->underflow()));
+    out += ",\"buckets\":[";
+    bool bfirst = true;
+    for (const Histogram::Bucket& b : h->NonZeroBuckets()) {
+      if (!bfirst) out += ',';
+      bfirst = false;
+      out += "{\"lo\":";
+      AppendNumber(out, b.lo);
+      out += ",\"hi\":";
+      AppendNumber(out, b.hi);
+      out += ",\"n\":";
+      AppendNumber(out, static_cast<double>(b.count));
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace ppm::obs

@@ -1,0 +1,136 @@
+// metrics.h — the METRIC-style measurement registry of the PPM.
+//
+// The paper couples the PPM to METRIC: LPMs "record historical processing
+// information" whose volume the user tunes, and design rule 3 demands
+// overhead proportional to service provided.  This registry is that idea
+// as a library: named counters, gauges, and log-linear histograms behind
+// a process-wide Registry.  Call sites resolve a name ONCE into a stable
+// handle (Counter*/Gauge*/Histogram*) and the hot path is a plain
+// increment — no map lookups, no allocation, no formatting.
+//
+// Lifetime contract: instruments are never deallocated while the process
+// lives.  Registry::Reset() zeroes every value but keeps every handle
+// valid, so function-local static handles (the common idiom at call
+// sites) survive test-to-test resets.
+//
+// The registry is single-threaded like the rest of the simulation; the
+// interesting concurrency in this codebase is simulated, not native.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ppm::obs {
+
+class Counter {
+ public:
+  void Inc(uint64_t by = 1) { value_ += by; }
+  uint64_t value() const { return value_; }
+
+ private:
+  friend class Registry;
+  uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  friend class Registry;
+  double value_ = 0;
+};
+
+// Decimal log-linear histogram: decades 1e-3 .. 1e12, nine linear
+// sub-buckets per decade (lower bound digit*10^d), 144 buckets total.
+// Values <= 0 land in a separate underflow bucket; values outside the
+// decade range clamp to the first/last bucket.  The scheme is fixed (no
+// per-histogram configuration) so every dump is comparable and the
+// bucket math is trivially testable.
+class Histogram {
+ public:
+  static constexpr int kMinDecade = -3;
+  static constexpr int kMaxDecade = 12;
+  static constexpr int kDecades = kMaxDecade - kMinDecade + 1;  // 16
+  static constexpr int kBucketCount = kDecades * 9;             // 144
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0; }
+  double max() const { return count_ ? max_ : 0; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0; }
+  uint64_t underflow() const { return underflow_; }
+
+  // Lower-bound estimate: the lower edge of the bucket holding the
+  // p-th percentile observation (p in [0,100]).  Deterministic, which
+  // matters more for regression tracking than interpolation accuracy.
+  double Percentile(double p) const;
+
+  struct Bucket {
+    double lo;
+    double hi;
+    uint64_t count;
+  };
+  std::vector<Bucket> NonZeroBuckets() const;
+
+  // Exposed for tests: the bucket index a value maps to (-1 = underflow)
+  // and the [lo, hi) bounds of a bucket index.
+  static int BucketIndex(double v);
+  static Bucket BucketBounds(int idx);
+
+ private:
+  friend class Registry;
+  std::array<uint64_t, kBucketCount> buckets_{};
+  uint64_t underflow_ = 0;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Process-wide instrument registry.  Get* returns the instrument with
+// that name, creating it on first use; the returned pointer is stable
+// for the life of the process.  Names are dotted paths, lowercase:
+// "<subsystem>.<object>.<measure>[.<unit>]" — e.g. "net.frames.sent",
+// "lpm.snapshot.ms" (see DESIGN.md §Observability).
+class Registry {
+ public:
+  static Registry& Instance();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // nullptr when absent — for tests and exporters, not hot paths.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  size_t size() const { return counters_.size() + gauges_.size() + histograms_.size(); }
+
+  // Zeroes every instrument's value.  Handles stay valid (instruments
+  // are never deallocated); names stay registered.
+  void Reset();
+
+  // Full snapshot as one JSON object:
+  //   {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,
+  //    min,max,mean,p50,p90,p99,underflow,buckets:[{lo,hi,n},...]}}}
+  // Keys are emitted in sorted order so dumps diff cleanly.
+  std::string DumpJson() const;
+
+ private:
+  Registry() = default;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ppm::obs

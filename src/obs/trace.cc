@@ -1,0 +1,108 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace ppm::obs {
+
+Tracer& Tracer::Instance() {
+  static Tracer* tracer = new Tracer();  // never destroyed: mirrors Registry
+  return *tracer;
+}
+
+void Tracer::set_capacity(size_t spans) {
+  capacity_ = spans == 0 ? 1 : spans;
+  while (spans_.size() > capacity_) {
+    spans_.pop_front();
+    ++dropped_;
+  }
+}
+
+void Tracer::Push(SpanRecord rec) {
+  if (spans_.size() >= capacity_) {
+    spans_.pop_front();
+    ++dropped_;
+  }
+  spans_.push_back(std::move(rec));
+}
+
+TraceContext Tracer::StartTrace(const std::string& name, const std::string& host) {
+  static Counter* traces = Registry::Instance().GetCounter("obs.traces.started");
+  traces->Inc();
+  TraceContext ctx;
+  ctx.trace_id = next_trace_id_++;
+  ctx.span_id = next_span_id_++;
+  ctx.parent_span = 0;
+  SpanRecord rec;
+  rec.trace_id = ctx.trace_id;
+  rec.span_id = ctx.span_id;
+  rec.parent_span = 0;
+  rec.name = name;
+  rec.src_host = host;
+  rec.dst_host = host;
+  rec.start_us = Now();
+  rec.end_us = rec.start_us;
+  rec.arrived = true;
+  Push(std::move(rec));
+  return ctx;
+}
+
+TraceContext Tracer::StartSpan(const TraceContext& parent, const std::string& name,
+                               const std::string& src_host) {
+  if (!parent.valid()) return {};
+  static Counter* spans = Registry::Instance().GetCounter("obs.spans.started");
+  spans->Inc();
+  TraceContext ctx;
+  ctx.trace_id = parent.trace_id;
+  ctx.span_id = next_span_id_++;
+  ctx.parent_span = parent.span_id;
+  SpanRecord rec;
+  rec.trace_id = ctx.trace_id;
+  rec.span_id = ctx.span_id;
+  rec.parent_span = ctx.parent_span;
+  rec.name = name;
+  rec.src_host = src_host;
+  rec.start_us = Now();
+  rec.end_us = rec.start_us;
+  Push(std::move(rec));
+  return ctx;
+}
+
+SpanRecord* Tracer::Find(uint64_t span_id) {
+  // Arrivals close spans opened moments (of virtual time) ago, so scan
+  // from the newest end.
+  for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
+    if (it->span_id == span_id) return &*it;
+  }
+  return nullptr;
+}
+
+void Tracer::RecordArrival(const TraceContext& ctx, const std::string& dst_host) {
+  if (!ctx.valid()) return;
+  SpanRecord* rec = Find(ctx.span_id);
+  if (rec == nullptr) {  // evicted before arrival
+    static Counter* lost = Registry::Instance().GetCounter("obs.spans.arrival_after_evict");
+    lost->Inc();
+    return;
+  }
+  rec->dst_host = dst_host;
+  rec->end_us = Now();
+  rec->arrived = true;
+}
+
+std::vector<SpanRecord> Tracer::Trace(uint64_t trace_id) const {
+  std::vector<SpanRecord> out;
+  for (const SpanRecord& rec : spans_) {
+    if (rec.trace_id == trace_id) out.push_back(rec);
+  }
+  std::stable_sort(out.begin(), out.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    if (a.start_us != b.start_us) return a.start_us < b.start_us;
+    return a.span_id < b.span_id;
+  });
+  return out;
+}
+
+void Tracer::Clear() { spans_.clear(); }
+
+}  // namespace ppm::obs

@@ -1,0 +1,104 @@
+// trace.h — causal tracing across the PPM's message fabric.
+//
+// The paper's snapshot broadcast records "the exact source-destination
+// route" every request travelled so replies can retrace it.  Tracing
+// generalises that: a TraceContext (trace id + span id + parent span)
+// rides on wire messages (core/wire.h prepends a compact trace header
+// when a context is present), every hop opens a child span at the
+// sender and closes it when the message arrives, and all spans are
+// stamped in VIRTUAL time.  A finished snapshot therefore replays as
+// the covering-graph tree it actually traversed — render it with
+// tools/trace_export.h.
+//
+// Like the Logger and the metrics Registry, the Tracer is a process
+// singleton with a pluggable time source; the Simulator registers its
+// virtual clock on construction.  Span storage is bounded (a ring like
+// core/history's EventLog): old spans fall off, the span counter does
+// not — design rule 3 again.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ppm::obs {
+
+// The context carried on a wire message.  trace_id == 0 means "not
+// traced" — the wire format then stays byte-identical to the untraced
+// encoding, so tracing costs nothing when off.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+// One hop (or one root) of a trace: opened at the sender, closed when
+// the message reaches the destination.  Times are virtual microseconds.
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span = 0;  // 0 for the root span
+  std::string name;          // usually the wire message type
+  std::string src_host;
+  std::string dst_host;  // empty until the message arrives
+  uint64_t start_us = 0;
+  uint64_t end_us = 0;
+  bool arrived = false;
+};
+
+class Tracer {
+ public:
+  static Tracer& Instance();
+
+  // Virtual-time provider (registered by sim::Simulator, like the
+  // Logger's); nullptr reverts to zero stamps.
+  void set_time_source(std::function<uint64_t()> now) { now_ = std::move(now); }
+
+  // Bounded span storage; oldest spans are evicted first.
+  void set_capacity(size_t spans);
+  size_t capacity() const { return capacity_; }
+
+  // Opens a new trace rooted at `host`; the returned context seeds the
+  // first sends.  The root span is complete immediately (it represents
+  // the originating operation, not a hop).
+  TraceContext StartTrace(const std::string& name, const std::string& host);
+
+  // Opens a hop span under `parent`.  No-op ({}) when the parent is
+  // invalid, so call sites need no "is tracing on?" branches.
+  TraceContext StartSpan(const TraceContext& parent, const std::string& name,
+                         const std::string& src_host);
+
+  // Closes the hop: the message carrying `ctx` reached `dst_host` now.
+  void RecordArrival(const TraceContext& ctx, const std::string& dst_host);
+
+  // All retained spans of a trace, ordered by start time then span id.
+  std::vector<SpanRecord> Trace(uint64_t trace_id) const;
+
+  uint64_t last_trace_id() const { return next_trace_id_ - 1; }
+  uint64_t traces_started() const { return next_trace_id_ - 1; }
+  size_t span_count() const { return spans_.size(); }
+  uint64_t spans_dropped() const { return dropped_; }
+
+  // Forgets retained spans; ids keep advancing (a cleared tracer never
+  // reuses a trace id).
+  void Clear();
+
+ private:
+  Tracer() = default;
+  uint64_t Now() const { return now_ ? now_() : 0; }
+  SpanRecord* Find(uint64_t span_id);
+  void Push(SpanRecord rec);
+
+  std::function<uint64_t()> now_;
+  std::deque<SpanRecord> spans_;
+  size_t capacity_ = 65536;
+  uint64_t next_trace_id_ = 1;
+  uint64_t next_span_id_ = 1;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace ppm::obs

@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/panic.h"
 
@@ -7,9 +9,15 @@ namespace ppm::sim {
 
 Simulator::Simulator(uint64_t seed) : rng_(seed) {
   util::Logger::Instance().set_time_source([this] { return now_; });
+  obs::Tracer::Instance().set_time_source([this] { return now_; });
+  fired_counter_ = obs::Registry::Instance().GetCounter("sim.events.fired");
+  queue_gauge_ = obs::Registry::Instance().GetGauge("sim.queue.depth");
 }
 
-Simulator::~Simulator() { util::Logger::Instance().set_time_source(nullptr); }
+Simulator::~Simulator() {
+  util::Logger::Instance().set_time_source(nullptr);
+  obs::Tracer::Instance().set_time_source(nullptr);
+}
 
 EventId Simulator::ScheduleIn(SimDuration delay, EventFn fn, const char* label) {
   if (delay < 0) delay = 0;
@@ -21,6 +29,7 @@ EventId Simulator::ScheduleAt(SimTime at, EventFn fn, const char* label) {
   if (at < now_) at = now_;
   EventId id = next_id_++;
   queue_.push(Event{at, seq_++, id, std::move(fn), label});
+  queue_gauge_->Set(static_cast<double>(pending_events()));
   return id;
 }
 
@@ -46,6 +55,18 @@ bool Simulator::PopNext(Event& out) {
   return false;
 }
 
+void Simulator::CountFire(const char* label) {
+  fired_counter_->Inc();
+  queue_gauge_->Set(static_cast<double>(pending_events()));
+  obs::Counter*& slot = label_counters_[label];
+  if (slot == nullptr) {
+    std::string name = "sim.events.";
+    name += (label != nullptr && label[0] != '\0') ? label : "unlabeled";
+    slot = obs::Registry::Instance().GetCounter(name);
+  }
+  slot->Inc();
+}
+
 size_t Simulator::RunUntil(SimTime until) {
   size_t n = 0;
   Event ev;
@@ -58,6 +79,7 @@ size_t Simulator::RunUntil(SimTime until) {
     now_ = ev.at;
     ++fired_;
     ++n;
+    CountFire(ev.label);
     ev.fn();
   }
   // Advance the clock to the horizon even if the queue drained early so
@@ -73,6 +95,7 @@ size_t Simulator::Run(size_t max_events) {
     now_ = ev.at;
     ++fired_;
     ++n;
+    CountFire(ev.label);
     ev.fn();
   }
   PPM_CHECK_MSG(n < max_events, "simulator exceeded max_events; runaway event loop?");
@@ -84,6 +107,7 @@ bool Simulator::Step() {
   if (!PopNext(ev)) return false;
   now_ = ev.at;
   ++fired_;
+  CountFire(ev.label);
   ev.fn();
   return true;
 }

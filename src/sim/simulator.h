@@ -16,11 +16,17 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "sim/rng.h"
 #include "sim/time.h"
+
+namespace ppm::obs {
+class Counter;
+class Gauge;
+}  // namespace ppm::obs
 
 namespace ppm::sim {
 
@@ -83,6 +89,10 @@ class Simulator {
   };
 
   bool PopNext(Event& out);
+  // Bumps the per-label fire counter ("sim.events.<label>") and the
+  // queue-depth gauge.  Labels are string literals, so the cache is
+  // keyed by pointer — no hashing of the text on the hot path.
+  void CountFire(const char* label);
 
   SimTime now_ = 0;
   uint64_t seq_ = 0;
@@ -91,6 +101,9 @@ class Simulator {
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
   Rng rng_;
+  obs::Counter* fired_counter_ = nullptr;
+  obs::Gauge* queue_gauge_ = nullptr;
+  std::unordered_map<const char*, obs::Counter*> label_counters_;
 };
 
 }  // namespace ppm::sim

@@ -1,0 +1,95 @@
+#include "tools/trace_export.h"
+
+#include <cstdio>
+#include <map>
+
+namespace ppm::tools {
+
+namespace {
+
+std::string Ms(uint64_t us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(us) / 1000.0);
+  return buf;
+}
+
+// Children of each span, in the Trace() order (start time, then id).
+std::map<uint64_t, std::vector<const obs::SpanRecord*>> ChildIndex(
+    const std::vector<obs::SpanRecord>& spans) {
+  std::map<uint64_t, std::vector<const obs::SpanRecord*>> kids;
+  for (const obs::SpanRecord& s : spans) kids[s.parent_span].push_back(&s);
+  return kids;
+}
+
+void RenderSpan(const obs::SpanRecord& span, uint64_t t0, int depth,
+                const std::map<uint64_t, std::vector<const obs::SpanRecord*>>& kids,
+                std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += Ms(span.start_us - t0);
+  *out += "  +";
+  *out += span.arrived ? Ms(span.end_us - span.start_us) : Ms(0);
+  *out += "  ";
+  *out += span.name;
+  if (span.dst_host.empty()) {
+    *out += " [" + span.src_host + "]";
+  } else {
+    *out += " " + span.src_host + " -> " + span.dst_host;
+  }
+  if (!span.arrived && span.parent_span != 0) *out += " (in flight)";
+  *out += "\n";
+  auto it = kids.find(span.span_id);
+  if (it == kids.end()) return;
+  for (const obs::SpanRecord* child : it->second) {
+    RenderSpan(*child, t0, depth + 1, kids, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderTraceTimeline(const std::vector<obs::SpanRecord>& spans) {
+  if (spans.empty()) return "trace (empty)\n";
+  std::string out = "trace " + std::to_string(spans.front().trace_id) + " (" +
+                    std::to_string(spans.size()) + " spans)\n";
+  uint64_t t0 = spans.front().start_us;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.start_us < t0) t0 = s.start_us;
+  }
+  auto kids = ChildIndex(spans);
+  // Roots: spans whose parent is 0 or not retained (evicted from the
+  // tracer's ring) — render each as its own top-level tree.
+  std::map<uint64_t, bool> present;
+  for (const obs::SpanRecord& s : spans) present[s.span_id] = true;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.parent_span == 0 || !present.count(s.parent_span)) {
+      RenderSpan(s, t0, 1, kids, &out);
+    }
+  }
+  return out;
+}
+
+std::string ExportTraceDot(const std::vector<obs::SpanRecord>& spans) {
+  std::string out = "digraph trace {\n  rankdir=TB;\n  node [shape=box];\n";
+  std::map<uint64_t, bool> present;
+  for (const obs::SpanRecord& s : spans) present[s.span_id] = true;
+  for (const obs::SpanRecord& s : spans) {
+    out += "  s" + std::to_string(s.span_id) + " [label=\"" + s.name;
+    if (s.dst_host.empty()) {
+      out += "\\n" + s.src_host;
+    } else {
+      out += "\\n" + s.src_host + " -> " + s.dst_host;
+    }
+    out += "\\n@" + Ms(s.start_us) + "\"";
+    if (!s.arrived && s.parent_span != 0) out += ", style=dashed";
+    out += "];\n";
+  }
+  for (const obs::SpanRecord& s : spans) {
+    if (s.parent_span != 0 && present.count(s.parent_span)) {
+      out += "  s" + std::to_string(s.parent_span) + " -> s" +
+             std::to_string(s.span_id) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ppm::tools

@@ -1,0 +1,34 @@
+// trace_export.h — rendering of causal traces (obs/trace.h).
+//
+// A snapshot broadcast's trace is the covering-graph tree the request
+// actually traversed: each span is one hop (sender -> receiver) in
+// virtual time.  These exporters make that tree readable:
+//
+//   * RenderTraceTimeline — indented text, one line per span, children
+//     under parents, with virtual-ms start/duration columns;
+//   * ExportTraceDot — Graphviz DOT, nodes labelled by hop and host,
+//     edges following the parent-span links.
+//
+// Both take the span list from obs::Tracer::Trace(trace_id).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace ppm::tools {
+
+// Indented timeline, e.g.:
+//
+//   trace 3 (4 spans)
+//   0.000ms  +12.500ms  snapshot [alpha]
+//     0.300ms  +1.200ms  snapshot.req alpha -> beta
+//       1.500ms  +1.100ms  snapshot.req beta -> gamma
+// Spans whose message never arrived are marked "(in flight)".
+std::string RenderTraceTimeline(const std::vector<obs::SpanRecord>& spans);
+
+// DOT digraph of the span tree; node shape encodes arrival.
+std::string ExportTraceDot(const std::vector<obs::SpanRecord>& spans);
+
+}  // namespace ppm::tools

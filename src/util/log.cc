@@ -1,8 +1,44 @@
 #include "util/log.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace ppm::util {
+
+const char* ToString(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+std::optional<LogLevel> ParseLogLevel(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
+Logger::Logger() {
+  if (const char* env = std::getenv("PPM_LOG_LEVEL")) {
+    if (auto lvl = ParseLogLevel(env)) {
+      level_ = *lvl;
+    } else {
+      std::fprintf(stderr, "WARN log: ignoring unknown PPM_LOG_LEVEL=%s\n", env);
+    }
+  }
+}
 
 Logger& Logger::Instance() {
   static Logger logger;
@@ -10,7 +46,10 @@ Logger& Logger::Instance() {
 }
 
 void Logger::Write(LogLevel lvl, const char* component, const std::string& msg) {
-  static const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
+  if (!component_filter_.empty() &&
+      std::strncmp(component, component_filter_.c_str(), component_filter_.size()) != 0) {
+    return;
+  }
   std::string line;
   if (now_) {
     char stamp[32];
@@ -18,7 +57,7 @@ void Logger::Write(LogLevel lvl, const char* component, const std::string& msg) 
                   static_cast<unsigned long long>(now_()));
     line += stamp;
   }
-  line += kNames[static_cast<int>(lvl)];
+  line += ToString(lvl);
   line += " ";
   line += component;
   line += ": ";

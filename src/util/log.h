@@ -9,12 +9,18 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace ppm::util {
 
 enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+const char* ToString(LogLevel lvl);
+// Case-insensitive level name ("trace" … "error"); nullopt on anything else.
+std::optional<LogLevel> ParseLogLevel(std::string_view name);
 
 class Logger {
  public:
@@ -31,14 +37,23 @@ class Logger {
   // stderr.
   void set_sink(std::function<void(const std::string&)> sink) { sink_ = std::move(sink); }
 
+  // Restricts output to components whose name starts with `prefix`
+  // (e.g. "lpm" keeps "lpm" and "lpm.snapshot" but drops "net").  Empty
+  // prefix — the default — passes everything.
+  void set_component_filter(std::string prefix) { component_filter_ = std::move(prefix); }
+  const std::string& component_filter() const { return component_filter_; }
+
   bool Enabled(LogLevel lvl) const { return lvl >= level_; }
   void Write(LogLevel lvl, const char* component, const std::string& msg);
 
  private:
-  Logger() = default;
+  // Applies the PPM_LOG_LEVEL environment override ("debug", "info", …)
+  // so headless runs can raise verbosity without recompiling.
+  Logger();
   LogLevel level_ = LogLevel::kWarn;
   std::function<uint64_t()> now_;
   std::function<void(const std::string&)> sink_;
+  std::string component_filter_;
 };
 
 namespace detail {

@@ -1,0 +1,387 @@
+// obs_test.cc — the observability layer: metrics registry semantics,
+// log-linear histogram bucketing, JSON dump round-trips, the tracer,
+// the trace exporters, and — the integration piece — causal trace
+// propagation across a two-hop snapshot broadcast, where the recorded
+// span tree must reconstruct the covering-graph route the flood
+// actually travelled.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/wire.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tests/test_util.h"
+#include "tools/trace_export.h"
+
+namespace ppm {
+namespace {
+
+using obs::Histogram;
+using obs::Registry;
+using obs::SpanRecord;
+using obs::TraceContext;
+using obs::Tracer;
+
+// --- Registry --------------------------------------------------------
+
+TEST(RegistryTest, HandlesAreStableAndSharedByName) {
+  Registry& reg = Registry::Instance();
+  obs::Counter* a = reg.GetCounter("test.reg.counter");
+  obs::Counter* b = reg.GetCounter("test.reg.counter");
+  EXPECT_EQ(a, b);
+  a->Inc();
+  a->Inc(4);
+  EXPECT_EQ(b->value(), 5u);
+  EXPECT_EQ(reg.FindCounter("test.reg.counter"), a);
+  EXPECT_EQ(reg.FindCounter("test.reg.absent"), nullptr);
+}
+
+TEST(RegistryTest, ResetZeroesValuesButKeepsHandlesValid) {
+  Registry& reg = Registry::Instance();
+  obs::Counter* c = reg.GetCounter("test.reset.counter");
+  obs::Gauge* g = reg.GetGauge("test.reset.gauge");
+  Histogram* h = reg.GetHistogram("test.reset.hist");
+  c->Inc(7);
+  g->Set(3.5);
+  h->Observe(12);
+  reg.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+  // The handle survives the reset and keeps working.
+  c->Inc();
+  EXPECT_EQ(reg.FindCounter("test.reset.counter")->value(), 1u);
+}
+
+TEST(RegistryTest, GaugeSetAndAdd) {
+  obs::Gauge* g = Registry::Instance().GetGauge("test.gauge.setadd");
+  g->Set(10);
+  g->Add(-2.5);
+  EXPECT_DOUBLE_EQ(g->value(), 7.5);
+}
+
+// --- Histogram bucketing ---------------------------------------------
+
+TEST(HistogramTest, BucketIndexMatchesLogLinearScheme) {
+  // Decade 0 starts at index (0 - kMinDecade) * 9 = 27; lower bound is
+  // digit * 10^decade.
+  EXPECT_EQ(Histogram::BucketIndex(1.0), 27);
+  EXPECT_EQ(Histogram::BucketIndex(5.5), 31);
+  EXPECT_EQ(Histogram::BucketIndex(9.99), 35);
+  EXPECT_EQ(Histogram::BucketIndex(10.0), 36);
+  EXPECT_EQ(Histogram::BucketIndex(0.001), 0);  // first bucket
+  // Out-of-range values clamp; non-positive go to underflow.
+  EXPECT_EQ(Histogram::BucketIndex(1e-7), 0);
+  EXPECT_EQ(Histogram::BucketIndex(9e12), Histogram::kBucketCount - 1);
+  EXPECT_EQ(Histogram::BucketIndex(0), -1);
+  EXPECT_EQ(Histogram::BucketIndex(-3), -1);
+
+  Histogram::Bucket b = Histogram::BucketBounds(31);
+  EXPECT_DOUBLE_EQ(b.lo, 5.0);
+  EXPECT_DOUBLE_EQ(b.hi, 6.0);
+  // Digit-9 buckets roll over into the next decade.
+  Histogram::Bucket top = Histogram::BucketBounds(35);
+  EXPECT_DOUBLE_EQ(top.lo, 9.0);
+  EXPECT_DOUBLE_EQ(top.hi, 10.0);
+}
+
+TEST(HistogramTest, ObserveTracksStatsAndPercentiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Observe(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1);
+  EXPECT_DOUBLE_EQ(h.max(), 100);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  // Percentile returns the lower edge of the covering bucket.
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 90.0);  // 99th obs is 99 -> bucket [90,100)
+  h.Observe(0);
+  h.Observe(-1);
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.count(), 102u);
+
+  // Every non-zero bucket's count sums back to the non-underflow total.
+  uint64_t total = 0;
+  for (const auto& bucket : h.NonZeroBuckets()) total += bucket.count;
+  EXPECT_EQ(total, 100u);
+}
+
+// --- JSON dump round-trip --------------------------------------------
+
+TEST(RegistryTest, DumpJsonRoundTrips) {
+  Registry& reg = Registry::Instance();
+  reg.Reset();
+  reg.GetCounter("test.dump.counter")->Inc(42);
+  reg.GetGauge("test.dump.gauge")->Set(2.25);
+  Histogram* h = reg.GetHistogram("test.dump.hist");
+  h->Observe(3);
+  h->Observe(30);
+
+  auto parsed = obs::json::Parse(reg.DumpJson());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->is_object());
+
+  const obs::json::Value* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const obs::json::Value* c = counters->Find("test.dump.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->number, 42);
+
+  const obs::json::Value* gauges = parsed->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->Find("test.dump.gauge")->number, 2.25);
+
+  const obs::json::Value* hists = parsed->Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const obs::json::Value* hv = hists->Find("test.dump.hist");
+  ASSERT_NE(hv, nullptr);
+  EXPECT_DOUBLE_EQ(hv->Find("count")->number, 2);
+  EXPECT_DOUBLE_EQ(hv->Find("sum")->number, 33);
+  const obs::json::Value* buckets = hv->Find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->arr.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets->arr[0].Find("lo")->number, 3.0);
+  EXPECT_DOUBLE_EQ(buckets->arr[1].Find("n")->number, 1);
+}
+
+TEST(JsonTest, ParsesEscapesAndNesting) {
+  auto v = obs::json::Parse(R"({"a":[1,true,null,"x\n\"y\\z"],"b":{"c":-2.5e1}})");
+  ASSERT_TRUE(v.has_value());
+  const obs::json::Value* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->arr.size(), 4u);
+  EXPECT_DOUBLE_EQ(a->arr[0].number, 1);
+  EXPECT_TRUE(a->arr[1].boolean);
+  EXPECT_EQ(a->arr[2].type, obs::json::Value::Type::kNull);
+  EXPECT_EQ(a->arr[3].str, "x\n\"y\\z");
+  EXPECT_DOUBLE_EQ(v->Find("b")->Find("c")->number, -25);
+}
+
+TEST(JsonTest, RejectsSyntaxErrorsAndTrailingGarbage) {
+  EXPECT_FALSE(obs::json::Parse("{").has_value());
+  EXPECT_FALSE(obs::json::Parse("{\"a\":}").has_value());
+  EXPECT_FALSE(obs::json::Parse("[1,]").has_value());
+  EXPECT_FALSE(obs::json::Parse("123 garbage").has_value());
+  EXPECT_FALSE(obs::json::Parse("\"unterminated").has_value());
+  EXPECT_TRUE(obs::json::Parse(" 123 ").has_value());
+}
+
+// --- Tracer ----------------------------------------------------------
+
+TEST(TracerTest, SpanLifecycleAndInvalidParentNoOp) {
+  Tracer& tracer = Tracer::Instance();
+  tracer.Clear();
+  tracer.set_time_source(nullptr);
+
+  TraceContext root = tracer.StartTrace("op", "hostX");
+  ASSERT_TRUE(root.valid());
+  EXPECT_EQ(root.parent_span, 0u);
+
+  TraceContext hop = tracer.StartSpan(root, "op.hop", "hostX");
+  ASSERT_TRUE(hop.valid());
+  EXPECT_EQ(hop.trace_id, root.trace_id);
+  EXPECT_EQ(hop.parent_span, root.span_id);
+  tracer.RecordArrival(hop, "hostY");
+
+  // An invalid parent yields an invalid child — call sites never branch.
+  TraceContext none = tracer.StartSpan(TraceContext{}, "op.hop", "hostX");
+  EXPECT_FALSE(none.valid());
+  EXPECT_EQ(tracer.span_count(), 2u);
+
+  std::vector<SpanRecord> spans = tracer.Trace(root.trace_id);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_TRUE(spans[0].arrived);  // root completes immediately
+  EXPECT_EQ(spans[1].dst_host, "hostY");
+  EXPECT_TRUE(spans[1].arrived);
+}
+
+TEST(TracerTest, BoundedStorageEvictsOldestButKeepsCounting) {
+  Tracer& tracer = Tracer::Instance();
+  tracer.Clear();
+  tracer.set_capacity(4);
+  for (int i = 0; i < 10; ++i) tracer.StartTrace("op", "h");
+  EXPECT_EQ(tracer.span_count(), 4u);
+  EXPECT_EQ(tracer.spans_dropped(), 6u);
+  tracer.set_capacity(65536);
+  tracer.Clear();
+}
+
+// --- Wire trace header -----------------------------------------------
+
+TEST(WireTraceTest, TracedFrameRoundTripsAndUntracedStaysIdentical) {
+  core::Msg msg{core::SignalReq{9, {"vaxB", 12}, host::Signal::kSigStop}};
+  std::vector<uint8_t> plain = core::Serialize(msg);
+  // An invalid context must not change the encoding at all.
+  EXPECT_EQ(core::Serialize(msg, TraceContext{}), plain);
+
+  TraceContext ctx{0x1111, 0x2222, 0x3333};
+  std::vector<uint8_t> traced = core::Serialize(msg, ctx);
+  EXPECT_GT(traced.size(), plain.size());
+
+  TraceContext out;
+  auto parsed = core::Parse(traced, &out);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(out.trace_id, ctx.trace_id);
+  EXPECT_EQ(out.span_id, ctx.span_id);
+  EXPECT_EQ(out.parent_span, ctx.parent_span);
+  // A receiver that ignores tracing still parses the message.
+  EXPECT_TRUE(core::Parse(traced).has_value());
+  // And an untraced frame leaves the output context invalid.
+  TraceContext untouched;
+  EXPECT_TRUE(core::Parse(plain, &untouched).has_value());
+  EXPECT_FALSE(untouched.valid());
+}
+
+// --- Trace exporters -------------------------------------------------
+
+std::vector<SpanRecord> SyntheticTrace() {
+  SpanRecord root;
+  root.trace_id = 1;
+  root.span_id = 1;
+  root.name = "snapshot";
+  root.src_host = "root";
+  root.arrived = true;
+  SpanRecord hop;
+  hop.trace_id = 1;
+  hop.span_id = 2;
+  hop.parent_span = 1;
+  hop.name = "snapshot.req";
+  hop.src_host = "root";
+  hop.dst_host = "hostA";
+  hop.start_us = 1000;
+  hop.end_us = 36000;
+  hop.arrived = true;
+  SpanRecord lost;
+  lost.trace_id = 1;
+  lost.span_id = 3;
+  lost.parent_span = 2;
+  lost.name = "snapshot.req";
+  lost.src_host = "hostA";
+  lost.start_us = 40000;
+  return {root, hop, lost};
+}
+
+TEST(TraceExportTest, TimelineIndentsChildrenAndMarksInFlight) {
+  std::string text = tools::RenderTraceTimeline(SyntheticTrace());
+  EXPECT_NE(text.find("trace 1"), std::string::npos);
+  EXPECT_NE(text.find("snapshot.req root -> hostA"), std::string::npos);
+  EXPECT_NE(text.find("(in flight)"), std::string::npos);
+  // The grandchild hop is indented deeper than its parent.
+  size_t hop_pos = text.find("snapshot.req root");
+  size_t lost_pos = text.find("snapshot.req [hostA]");
+  ASSERT_NE(hop_pos, std::string::npos);
+  ASSERT_NE(lost_pos, std::string::npos);
+  EXPECT_LT(hop_pos, lost_pos);
+}
+
+TEST(TraceExportTest, DotNamesEverySpan) {
+  std::string dot = tools::ExportTraceDot(SyntheticTrace());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("s1"), std::string::npos);
+  EXPECT_NE(dot.find("s2 -> s3"), std::string::npos);
+}
+
+// --- Causal propagation across a two-hop snapshot ---------------------
+
+// Builds root — hostA — hostB (sibling chain shaped by creation, as in
+// the paper: a tool on each interior host creates the next host's
+// processes), snapshots from root, and asserts the recorded span tree
+// is exactly the covering-graph route of the flood and its replies.
+TEST(TracePropagationTest, TwoHopSnapshotReconstructsCoveringGraphRoute) {
+  Tracer& tracer = Tracer::Instance();
+  tracer.Clear();
+
+  core::Cluster cluster;
+  cluster.AddHost("root");
+  cluster.AddHost("hostA");
+  cluster.AddHost("hostB");
+  cluster.Link("root", "hostA");
+  cluster.Link("hostA", "hostB");
+  test::InstallTestUser(cluster);
+  cluster.RunFor(sim::Millis(10));
+
+  tools::PpmClient* root_tool = test::ConnectTool(cluster, "root", "snapshot");
+  ASSERT_NE(root_tool, nullptr);
+  std::optional<core::CreateResp> created;
+  root_tool->CreateProcess("hostA", "w1", {},
+                           [&](const core::CreateResp& r) { created = r; }, false);
+  ASSERT_TRUE(test::RunUntil(cluster, [&] { return created.has_value(); }));
+  ASSERT_TRUE(created->ok);
+
+  tools::PpmClient* spawner = test::ConnectTool(cluster, "hostA", "spawner");
+  ASSERT_NE(spawner, nullptr);
+  std::optional<core::CreateResp> created2;
+  spawner->CreateProcess("hostB", "w2", {},
+                         [&](const core::CreateResp& r) { created2 = r; }, false);
+  ASSERT_TRUE(test::RunUntil(cluster, [&] { return created2.has_value(); }));
+  ASSERT_TRUE(created2->ok);
+  spawner->Disconnect();
+  cluster.RunFor(sim::Seconds(1));
+
+  std::optional<core::SnapshotResp> snap;
+  root_tool->Snapshot([&](const core::SnapshotResp& r) { snap = r; });
+  ASSERT_TRUE(test::RunUntil(cluster, [&] { return snap.has_value(); }));
+  cluster.RunFor(sim::Millis(500));
+
+  uint64_t tid = tracer.last_trace_id();
+  ASSERT_NE(tid, 0u);
+  std::vector<SpanRecord> spans = tracer.Trace(tid);
+  ASSERT_FALSE(spans.empty());
+  for (const SpanRecord& s : spans) {
+    EXPECT_EQ(s.trace_id, tid);
+    if (s.arrived) {
+      EXPECT_GE(s.end_us, s.start_us);
+    }
+  }
+
+  auto find = [&](const std::string& name, const std::string& src,
+                  const std::string& dst) -> const SpanRecord* {
+    for (const SpanRecord& s : spans) {
+      if (s.name == name && s.src_host == src && s.dst_host == dst) return &s;
+    }
+    return nullptr;
+  };
+
+  // The root span is the snapshot operation itself, opened (and closed)
+  // at root — it represents the operation, not a hop.
+  const SpanRecord* root_span = find("snapshot", "root", "root");
+  ASSERT_NE(root_span, nullptr);
+  EXPECT_EQ(root_span->parent_span, 0u);
+
+  // The request flood: root -> hostA, then hostA -> hostB, each hop a
+  // child of the hop that delivered the request — the covering graph.
+  const SpanRecord* req_a = find("snapshot.req", "root", "hostA");
+  ASSERT_NE(req_a, nullptr);
+  EXPECT_EQ(req_a->parent_span, root_span->span_id);
+  EXPECT_TRUE(req_a->arrived);
+
+  const SpanRecord* req_b = find("snapshot.req", "hostA", "hostB");
+  ASSERT_NE(req_b, nullptr);
+  EXPECT_EQ(req_b->parent_span, req_a->span_id);
+  EXPECT_TRUE(req_b->arrived);
+  EXPECT_GE(req_b->start_us, req_a->end_us);  // causality in virtual time
+
+  // The replies retrace the recorded route: hostA answers root directly;
+  // hostB's reply goes to hostA and is relayed to root.
+  const SpanRecord* resp_a = find("snapshot.resp", "hostA", "root");
+  ASSERT_NE(resp_a, nullptr);
+  EXPECT_EQ(resp_a->parent_span, req_a->span_id);
+
+  const SpanRecord* resp_b = find("snapshot.resp", "hostB", "hostA");
+  ASSERT_NE(resp_b, nullptr);
+  EXPECT_EQ(resp_b->parent_span, req_b->span_id);
+
+  const SpanRecord* relay = find("snapshot.resp.relay", "hostA", "root");
+  ASSERT_NE(relay, nullptr);
+  EXPECT_EQ(relay->parent_span, resp_b->span_id);
+
+  // The exporter renders this real trace with every hop present.
+  std::string text = tools::RenderTraceTimeline(spans);
+  EXPECT_NE(text.find("snapshot.req hostA -> hostB"), std::string::npos);
+  EXPECT_NE(text.find("snapshot.resp.relay hostA -> root"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppm
