@@ -1,0 +1,433 @@
+#include "chaos/engine.h"
+
+#include <memory>
+#include <optional>
+#include <sstream>
+
+#include "core/lpm.h"
+#include "core/wire.h"
+#include "obs/metrics.h"
+#include "sim/rng.h"
+#include "tools/client.h"
+
+namespace ppm::chaos {
+
+namespace {
+
+// Advances the simulation until `pred()` holds, up to `horizon` from now.
+template <typename Pred>
+bool RunUntil(core::Cluster& cluster, Pred pred, sim::SimDuration horizon,
+              sim::SimDuration step = sim::Millis(10)) {
+  sim::SimTime deadline =
+      cluster.simulator().Now() + static_cast<sim::SimTime>(horizon);
+  while (!pred()) {
+    if (cluster.simulator().Now() >= deadline) return false;
+    cluster.RunFor(step);
+  }
+  return true;
+}
+
+// The engine's action alphabet; a plan's weights select from it.
+enum class Action : uint8_t {
+  kCreate,
+  kSignal,
+  kSnapshot,
+  kKillLpm,
+  kCrashHost,
+  kRebootHost,
+  kPartition,
+  kHeal,
+};
+
+struct WeightedAction {
+  Action action;
+  uint32_t weight;
+};
+
+std::vector<WeightedAction> ActionTable(const ChaosPlan& plan) {
+  std::vector<WeightedAction> table;
+  auto add = [&](Action a, uint32_t w) {
+    if (w > 0) table.push_back({a, w});
+  };
+  add(Action::kCreate, plan.workload.create);
+  add(Action::kSignal, plan.workload.signal);
+  add(Action::kSnapshot, plan.workload.snapshot);
+  add(Action::kKillLpm, plan.faults.kill_lpm);
+  add(Action::kCrashHost, plan.faults.crash_host);
+  add(Action::kRebootHost, plan.faults.reboot_host);
+  add(Action::kPartition, plan.faults.partition);
+  add(Action::kHeal, plan.faults.heal);
+  return table;
+}
+
+// Quiescence predicate of the recovery phase: with the network whole, no
+// LPM may still be dying and at most one may hold the CCS role.
+// (kRecovering is a legitimate stable state while a top-priority recovery
+// host simply has no LPM yet, so it does not block convergence.)
+bool Quiet(core::Cluster& cluster, const ChaosPlan& plan) {
+  size_t ccs = 0;
+  for (const std::string& h : plan.hosts) {
+    if (core::Lpm* lpm = cluster.FindLpm(h, kChaosUid)) {
+      if (lpm->mode() == core::LpmMode::kDying) return false;
+      if (lpm->is_ccs()) ++ccs;
+    }
+  }
+  return ccs <= 1;
+}
+
+}  // namespace
+
+core::ClusterConfig MakeClusterConfig(const ChaosPlan& plan, uint64_t seed) {
+  core::ClusterConfig config;
+  config.seed = seed;
+  config.lpm.time_to_die = plan.time_to_die;
+  config.lpm.retry_interval = plan.retry_interval;
+  config.lpm.probe_interval = plan.probe_interval;
+  return config;
+}
+
+void SetupCluster(core::Cluster& cluster, const ChaosPlan& plan) {
+  for (const std::string& h : plan.hosts) cluster.AddHost(h);
+  cluster.Ethernet(plan.hosts);
+  cluster.AddUserEverywhere(kChaosUser, kChaosUid);
+  cluster.TrustUserEverywhere(kChaosUser, kChaosUid);
+  cluster.SetRecoveryList(kChaosUid, plan.recovery);
+}
+
+std::string ChaosOutcome::Summary() const {
+  std::ostringstream os;
+  os << "chaos run: plan=" << plan_name << " seed=" << seed
+     << "  [replay: RunChaos(" << seed << ", " << plan_name << " plan)]\n";
+  os << "  workload: creates=" << creates_ok << " signals=" << signals_sent
+     << " snapshots=" << snapshots_completed << "/" << snapshots_attempted
+     << "\n";
+  os << "  faults: crashes=" << host_crashes << " reboots=" << host_reboots
+     << " lpm-kills=" << lpm_kills << " partitions=" << partitions
+     << " heals=" << heals << "\n";
+  os << "  link: drop=" << frames_drop_injected
+     << " dup=" << frames_dup_injected << " reorder=" << frames_reorder_injected
+     << " corrupt=" << corrupt_injected << " detected=" << corrupt_detected
+     << "\n";
+  if (converged) {
+    os << "  converged in " << convergence_time / 1000 << " ms";
+  } else {
+    os << "  DID NOT CONVERGE within settle";
+  }
+  os << ", verify " << (verify_ok ? "ok" : "FAILED") << "\n";
+  for (const InvariantViolation& v : violations) {
+    os << "  VIOLATION [" << v.name << "] " << v.detail << "\n";
+  }
+  return os.str();
+}
+
+ChaosOutcome RunChaosPlan(uint64_t seed, const ChaosPlan& plan) {
+  core::Cluster cluster(MakeClusterConfig(plan, seed));
+  SetupCluster(cluster, plan);
+  return RunChaosPlan(cluster, seed, plan);
+}
+
+ChaosOutcome RunChaosPlan(core::Cluster& cluster, uint64_t seed,
+                          const ChaosPlan& plan) {
+  ChaosOutcome out;
+  out.seed = seed;
+  out.plan_name = plan.name;
+
+  net::Network& net = cluster.network();
+  sim::Rng& rng = cluster.simulator().rng();
+
+  // Baselines for delta accounting: NetStats belong to this cluster, but
+  // the corruption-detection counter is registry-global and survives
+  // earlier runs in the same process (seed sweeps, benches).
+  const net::NetStats start_stats = net.stats();
+  obs::Counter* corrupt_counter =
+      obs::Registry::Instance().GetCounter("net.corrupt_frames");
+  const uint64_t start_detected = corrupt_counter->value();
+
+  cluster.RunFor(sim::Millis(10));  // let inetd come up everywhere
+  if (plan.link_faults.active()) net.SetAllLinkFaults(plan.link_faults);
+
+  auto random_host = [&]() -> const std::string& {
+    return plan.hosts[rng.Below(plan.hosts.size())];
+  };
+
+  // The workload tool, re-established whenever its host dies.  The body
+  // pointer is owned by the process table, so it is re-validated through
+  // the kernel before every use.
+  std::string tool_host;
+  host::Pid tool_pid = host::kNoPid;
+  auto current_tool = [&]() -> tools::PpmClient* {
+    if (tool_host.empty()) return nullptr;
+    host::Host& h = cluster.host(tool_host);
+    if (!h.up()) return nullptr;
+    host::Process* proc = h.kernel().Find(tool_pid);
+    if (!proc || !proc->alive()) return nullptr;
+    auto* client = dynamic_cast<tools::PpmClient*>(proc->body.get());
+    return (client && client->connected()) ? client : nullptr;
+  };
+  auto ensure_tool = [&]() -> tools::PpmClient* {
+    if (tools::PpmClient* alive = current_tool()) return alive;
+    tool_host.clear();
+    for (const std::string& h : plan.hosts) {
+      if (!cluster.host(h).up()) continue;
+      tools::PpmClient* candidate =
+          tools::SpawnTool(cluster.host(h), kChaosUser, kChaosUid, "chaos");
+      // Response holders live on the heap: a request the wait below gives
+      // up on can still fail (and call back) much later, e.g. when the
+      // carrying circuit finally breaks.
+      auto started = std::make_shared<std::optional<bool>>();
+      candidate->Start(
+          [started](bool success, std::string) { *started = success; });
+      RunUntil(cluster, [&] { return started->has_value(); },
+               sim::Seconds(30));
+      if (started->value_or(false)) {
+        tool_host = h;
+        tool_pid = candidate->pid();
+        return candidate;
+      }
+    }
+    return nullptr;
+  };
+
+  // --- phase 1: the schedule -------------------------------------------
+  const std::vector<WeightedAction> table = ActionTable(plan);
+  uint32_t total_weight = 0;
+  for (const WeightedAction& wa : table) total_weight += wa.weight;
+
+  std::vector<core::GPid> procs;
+  for (size_t step = 0; step < plan.steps && total_weight > 0; ++step) {
+    uint64_t roll = rng.Below(total_weight);
+    Action action = table.back().action;
+    for (const WeightedAction& wa : table) {
+      if (roll < wa.weight) {
+        action = wa.action;
+        break;
+      }
+      roll -= wa.weight;
+    }
+
+    switch (action) {
+      case Action::kCreate: {
+        if (tools::PpmClient* t = ensure_tool()) {
+          const std::string& target = random_host();
+          if (cluster.host(target).up()) {
+            auto resp = std::make_shared<std::optional<core::CreateResp>>();
+            t->CreateProcess(target, "chaos-w", {},
+                             [resp](const core::CreateResp& r) { *resp = r; });
+            RunUntil(cluster, [&] { return resp->has_value(); },
+                     sim::Seconds(30));
+            if (*resp && (*resp)->ok) {
+              procs.push_back((*resp)->gpid);
+              ++out.creates_ok;
+            }
+          }
+        }
+        break;
+      }
+      case Action::kSignal: {
+        if (procs.empty()) break;
+        if (tools::PpmClient* t = ensure_tool()) {
+          const core::GPid& target = procs[rng.Below(procs.size())];
+          host::Signal sig = rng.Chance(0.5) ? host::Signal::kSigStop
+                                             : host::Signal::kSigKill;
+          auto resp = std::make_shared<std::optional<core::SignalResp>>();
+          t->Signal(target, sig,
+                    [resp](const core::SignalResp& r) { *resp = r; });
+          RunUntil(cluster, [&] { return resp->has_value(); },
+                   sim::Seconds(30));
+          ++out.signals_sent;
+        }
+        break;
+      }
+      case Action::kSnapshot: {
+        if (tools::PpmClient* t = ensure_tool()) {
+          ++out.snapshots_attempted;
+          auto resp = std::make_shared<std::optional<core::SnapshotResp>>();
+          t->Snapshot([resp](const core::SnapshotResp& r) { *resp = r; });
+          RunUntil(cluster, [&] { return resp->has_value(); },
+                   sim::Seconds(60));
+          if (resp->has_value()) ++out.snapshots_completed;
+        }
+        break;
+      }
+      case Action::kKillLpm: {
+        const std::string& victim = random_host();
+        if (core::Lpm* lpm = cluster.FindLpm(victim, kChaosUid)) {
+          cluster.host(victim).kernel().PostSignal(
+              lpm->pid(), host::Signal::kSigKill, host::kRootUid);
+          ++out.lpm_kills;
+        }
+        break;
+      }
+      case Action::kCrashHost: {
+        size_t up = 0;
+        for (const std::string& h : plan.hosts) up += cluster.host(h).up();
+        if (up > plan.min_hosts_up) {
+          const std::string& victim = random_host();
+          if (cluster.host(victim).up()) {
+            cluster.Crash(victim);
+            ++out.host_crashes;
+          }
+        }
+        break;
+      }
+      case Action::kRebootHost: {
+        for (const std::string& h : plan.hosts) {
+          if (!cluster.host(h).up()) {
+            cluster.Reboot(h);
+            ++out.host_reboots;
+            break;
+          }
+        }
+        break;
+      }
+      case Action::kPartition: {
+        std::vector<net::HostId> left, right;
+        for (const std::string& h : plan.hosts) {
+          net::HostId id = *net.FindHost(h);
+          (rng.Chance(0.5) ? left : right).push_back(id);
+        }
+        if (!left.empty() && !right.empty()) {
+          net.Partition({left, right});
+          ++out.partitions;
+        }
+        break;
+      }
+      case Action::kHeal: {
+        net.Heal();
+        ++out.heals;
+        break;
+      }
+    }
+    cluster.RunFor(
+        static_cast<sim::SimDuration>(rng.Range(plan.min_gap, plan.max_gap)));
+  }
+
+  // --- phase 2: heal and converge --------------------------------------
+  net.ClearLinkFaults();
+  net.Heal();
+  for (const std::string& h : plan.hosts) {
+    if (!cluster.host(h).up()) cluster.Reboot(h);
+  }
+  const sim::SimTime heal_at = cluster.simulator().Now();
+  out.converged = RunUntil(
+      cluster, [&] { return Quiet(cluster, plan); }, plan.settle,
+      sim::Seconds(1));
+  if (out.converged) {
+    out.convergence_time =
+        static_cast<sim::SimDuration>(cluster.simulator().Now() - heal_at);
+    cluster.RunFor(sim::Seconds(10));  // quiet period before checks
+    if (!Quiet(cluster, plan)) {
+      out.violations.push_back(
+          {"unstable-quiescence",
+           "cluster left the quiet state again within 10 s of converging"});
+    }
+  }
+
+  // --- phase 3: verify end to end --------------------------------------
+  out.verify_ok = true;
+  for (const std::string& h : plan.hosts) {
+    tools::PpmClient* fresh =
+        tools::SpawnTool(cluster.host(h), kChaosUser, kChaosUid, "verify");
+    auto started = std::make_shared<std::optional<bool>>();
+    auto err = std::make_shared<std::string>();
+    fresh->Start([started, err](bool success, std::string e) {
+      *started = success;
+      *err = std::move(e);
+    });
+    if (!RunUntil(cluster, [&] { return started->has_value(); },
+                  sim::Seconds(30)) ||
+        !started->value_or(false)) {
+      out.verify_ok = false;
+      out.violations.push_back(
+          {"verify-session", h + ": tool session failed: " + *err});
+      continue;
+    }
+
+    auto created = std::make_shared<std::optional<core::CreateResp>>();
+    fresh->CreateProcess(h, "verify-w", {},
+                         [created](const core::CreateResp& r) { *created = r; });
+    RunUntil(cluster, [&] { return created->has_value(); }, sim::Seconds(30));
+    if (!*created || !(*created)->ok) {
+      out.verify_ok = false;
+      out.violations.push_back(
+          {"verify-create",
+           h + ": " + (*created ? (*created)->error : "create hung")});
+    } else {
+      auto sig = std::make_shared<std::optional<core::SignalResp>>();
+      fresh->Signal((*created)->gpid, host::Signal::kSigKill,
+                    [sig](const core::SignalResp& r) { *sig = r; });
+      RunUntil(cluster, [&] { return sig->has_value(); }, sim::Seconds(30));
+      if (!*sig || !(*sig)->ok) {
+        out.verify_ok = false;
+        out.violations.push_back(
+            {"verify-signal",
+             h + ": " + (*sig ? (*sig)->error : "signal hung")});
+      }
+    }
+    fresh->Disconnect();
+    cluster.RunFor(sim::Millis(50));
+  }
+
+  // Verification itself spawned fresh LPMs, each of which may have
+  // claimed the coordinator role on first tool contact.  Give them two
+  // probe cycles to defer to the recovery-list head, so the sibling
+  // graph is stable before snapshots are judged for coverage and the
+  // single-CCS invariant is checked.
+  cluster.RunFor(plan.probe_interval * 2 + sim::Seconds(5));
+
+  for (const std::string& h : plan.hosts) {
+    tools::PpmClient* snapper =
+        tools::SpawnTool(cluster.host(h), kChaosUser, kChaosUid, "verify-snap");
+    auto started = std::make_shared<std::optional<bool>>();
+    snapper->Start(
+        [started](bool success, std::string) { *started = success; });
+    if (!RunUntil(cluster, [&] { return started->has_value(); },
+                  sim::Seconds(30)) ||
+        !started->value_or(false)) {
+      out.verify_ok = false;
+      out.violations.push_back(
+          {"verify-session", h + ": snapshot tool session failed"});
+      continue;
+    }
+    auto snap = std::make_shared<std::optional<core::SnapshotResp>>();
+    snapper->Snapshot([snap](const core::SnapshotResp& r) { *snap = r; });
+    RunUntil(cluster, [&] { return snap->has_value(); }, sim::Seconds(60));
+    if (!*snap) {
+      out.verify_ok = false;
+      out.violations.push_back({"verify-snapshot", h + ": snapshot hung"});
+    } else {
+      CheckSnapshotCoverage(cluster, kChaosUid, snapper->lpm_host(),
+                            (*snap)->records, &out.violations);
+    }
+    snapper->Disconnect();
+    cluster.RunFor(sim::Millis(50));
+  }
+
+  // --- books ------------------------------------------------------------
+  const net::NetStats& end_stats = net.stats();
+  out.frames_drop_injected = end_stats.faults_dropped - start_stats.faults_dropped;
+  out.frames_dup_injected =
+      end_stats.faults_duplicated - start_stats.faults_duplicated;
+  out.frames_reorder_injected =
+      end_stats.faults_reordered - start_stats.faults_reordered;
+  out.corrupt_injected = end_stats.faults_corrupted - start_stats.faults_corrupted;
+  out.corrupt_detected = corrupt_counter->value() - start_detected;
+
+  // Checksum rejections can only come from injected corruption; a
+  // detection without an injection is a wire-layer bug.
+  if (out.corrupt_detected > out.corrupt_injected) {
+    std::ostringstream os;
+    os << "checksum rejected " << out.corrupt_detected
+       << " frames but only " << out.corrupt_injected << " were corrupted";
+    out.violations.push_back({"corruption-books", os.str()});
+  }
+
+  std::vector<InvariantViolation> cluster_violations =
+      CheckClusterInvariants(cluster, kChaosUid);
+  out.violations.insert(out.violations.end(), cluster_violations.begin(),
+                        cluster_violations.end());
+
+  return out;
+}
+
+}  // namespace ppm::chaos

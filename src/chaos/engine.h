@@ -1,0 +1,92 @@
+// engine.h — executes a ChaosPlan against a live cluster.
+//
+// The engine is deliberately policy-free: every decision it makes — which
+// action, which victim host, how long between rounds, which side of a
+// partition — draws from the cluster simulator's single seeded RNG.  A
+// run is therefore a pure function of (seed, plan), which is the replay
+// pair every failure message carries.
+//
+// A run has three phases:
+//   1. chaos     — `plan.steps` rounds of weighted fault/workload actions
+//                  with `plan.link_faults` in force on every link;
+//   2. recovery  — link faults cleared, network healed, every host
+//                  rebooted; the engine polls until the cluster converges
+//                  (no dying LPM, at most one CCS) and records how long
+//                  that took;
+//   3. verify    — a fresh tool session on every host runs create /
+//                  signal / snapshot end to end, snapshot coverage and
+//                  the cluster-wide invariants are checked, and the
+//                  corruption books are reconciled (checksum detections
+//                  must not exceed injected corruptions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/invariants.h"
+#include "chaos/plan.h"
+#include "core/cluster.h"
+
+namespace ppm::chaos {
+
+// The chaos account, matching the suite-wide test identity.
+constexpr host::Uid kChaosUid = 100;
+inline const char* kChaosUser = "leslie";
+
+// Cluster configuration for a chaos run: the seed plus the plan's LPM
+// recovery knobs (scaled-down death/retry/probe periods).
+core::ClusterConfig MakeClusterConfig(const ChaosPlan& plan, uint64_t seed);
+
+// Builds the plan's world inside `cluster`: hosts, one Ethernet, the
+// chaos account with full trust, and the recovery list.
+void SetupCluster(core::Cluster& cluster, const ChaosPlan& plan);
+
+// Everything a run observed, for assertions and bench reporting.
+struct ChaosOutcome {
+  uint64_t seed = 0;
+  std::string plan_name;
+
+  // Workload served during the chaos phase.
+  size_t creates_ok = 0;
+  size_t signals_sent = 0;
+  size_t snapshots_attempted = 0;
+  size_t snapshots_completed = 0;
+
+  // Faults injected by the schedule.
+  size_t host_crashes = 0;
+  size_t host_reboots = 0;
+  size_t lpm_kills = 0;
+  size_t partitions = 0;
+  size_t heals = 0;
+
+  // Link-fault fallout (deltas over this run).
+  uint64_t frames_drop_injected = 0;
+  uint64_t frames_dup_injected = 0;
+  uint64_t frames_reorder_injected = 0;
+  uint64_t corrupt_injected = 0;
+  uint64_t corrupt_detected = 0;  // checksum rejections ("net.corrupt_frames")
+
+  // Recovery phase.
+  bool converged = false;
+  sim::SimDuration convergence_time = 0;  // heal -> quiescence
+
+  // Verify phase.
+  bool verify_ok = false;
+  std::vector<InvariantViolation> violations;
+
+  bool ok() const { return converged && verify_ok && violations.empty(); }
+  // Multi-line report; always leads with the (seed, plan) replay pair.
+  std::string Summary() const;
+};
+
+// Runs `plan` in a fresh cluster seeded with `seed`.
+ChaosOutcome RunChaosPlan(uint64_t seed, const ChaosPlan& plan);
+
+// Same, against a caller-owned cluster already built with
+// MakeClusterConfig + SetupCluster (benches keep the cluster for extra
+// measurements afterwards).
+ChaosOutcome RunChaosPlan(core::Cluster& cluster, uint64_t seed,
+                          const ChaosPlan& plan);
+
+}  // namespace ppm::chaos

@@ -1,0 +1,219 @@
+#include "chaos/invariants.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "core/lpm.h"
+#include "core/recovery.h"
+#include "host/kernel.h"
+#include "host/process.h"
+
+namespace ppm::chaos {
+
+namespace {
+
+void Add(std::vector<InvariantViolation>* out, std::string name,
+         std::string detail) {
+  out->push_back({std::move(name), std::move(detail)});
+}
+
+}  // namespace
+
+std::vector<InvariantViolation> CheckClusterInvariants(core::Cluster& cluster,
+                                                       host::Uid uid) {
+  std::vector<InvariantViolation> out;
+  net::Network& net = cluster.network();
+
+  size_t ccs_count = 0;
+  std::vector<std::string> ccs_hosts;
+
+  for (const std::string& name : cluster.host_names()) {
+    host::Host& h = cluster.host(name);
+    net::HostId nid = h.net_id();
+
+    if (!h.up()) {
+      // A crashed host must hold no network resources: its sockets died
+      // with the kernel, and every circuit touching it must have been
+      // torn down (break detection ran during settle).
+      if (size_t n = net.ListenerCount(nid); n != 0) {
+        Add(&out, "bind-leak",
+            "down host " + name + " still has " + std::to_string(n) +
+                " stream listener(s)");
+      }
+      if (size_t n = net.DgramBindCount(nid); n != 0) {
+        Add(&out, "bind-leak",
+            "down host " + name + " still has " + std::to_string(n) +
+                " datagram bind(s)");
+      }
+      if (size_t n = net.ConnsTouching(nid).size(); n != 0) {
+        Add(&out, "circuit-leak",
+            "down host " + name + " still touches " + std::to_string(n) +
+                " circuit(s)");
+      }
+      continue;
+    }
+
+    host::Kernel& k = h.kernel();
+
+    // Genealogy is a consistent forest: every live process either is
+    // init or has a parent that exists in the table (live or zombie
+    // pending reap — what must never happen is a dangling ppid).
+    for (host::Pid pid : k.AllPids()) {
+      const host::Process* p = k.Find(pid);
+      if (!p) continue;
+      if (pid == host::Kernel::kInitPid) continue;
+      if (k.Find(p->ppid) == nullptr) {
+        Add(&out, "genealogy-forest",
+            name + " pid " + std::to_string(pid) + " (" + p->command +
+                ") has dangling parent pid " + std::to_string(p->ppid));
+      }
+    }
+
+    // At most one live LPM per (host, user).
+    size_t lpms_here = 0;
+    for (host::Pid pid : k.ProcessesOf(uid)) {
+      const host::Process* p = k.Find(pid);
+      if (p && p->alive() && p->command == "lpm") ++lpms_here;
+    }
+    if (lpms_here > 1) {
+      Add(&out, "one-lpm-per-host",
+          name + " runs " + std::to_string(lpms_here) +
+              " live LPMs for uid " + std::to_string(uid));
+    }
+
+    core::Lpm* lpm = cluster.FindLpm(name, uid);
+    if (lpm == nullptr) continue;
+
+    // The LPM's model of its local processes matches the kernel: every
+    // pid it tracks as live exists and belongs to its user.
+    for (host::Pid pid : lpm->TrackedLocalPids()) {
+      const host::Process* p = k.Find(pid);
+      if (p == nullptr) {
+        Add(&out, "tracked-pid",
+            name + " LPM tracks pid " + std::to_string(pid) +
+                " which is not in the kernel table");
+      } else if (p->uid != uid) {
+        Add(&out, "tracked-pid",
+            name + " LPM tracks pid " + std::to_string(pid) +
+                " owned by uid " + std::to_string(p->uid));
+      }
+    }
+
+    if (lpm->is_ccs()) {
+      ++ccs_count;
+      ccs_hosts.push_back(name);
+    }
+
+    // After heal + settle no LPM may still be dying: either it rescued
+    // itself through the recovery list or it expired and exited.
+    if (lpm->mode() == core::LpmMode::kDying) {
+      Add(&out, "no-dying-after-heal",
+          name + " LPM still in kDying after heal and settle");
+    }
+  }
+
+  if (ccs_count > 1) {
+    std::ostringstream os;
+    os << ccs_count << " LPMs claim the CCS role:";
+    for (const auto& hn : ccs_hosts) os << ' ' << hn;
+    Add(&out, "single-ccs", os.str());
+  }
+
+  // Conservation of frames: every frame put on a wire was delivered,
+  // dropped, or is still in flight — so sent >= delivered + dropped.
+  // Injected duplicates count as sent, so the inequality survives
+  // duplication faults.
+  const net::NetStats& ns = net.stats();
+  if (ns.frames_sent < ns.frames_delivered + ns.frames_dropped) {
+    std::ostringstream os;
+    os << "frames_sent=" << ns.frames_sent
+       << " < delivered=" << ns.frames_delivered
+       << " + dropped=" << ns.frames_dropped;
+    Add(&out, "frame-accounting", os.str());
+  }
+
+  return out;
+}
+
+void CheckSnapshotCoverage(core::Cluster& cluster, host::Uid uid,
+                           const std::string& origin_host,
+                           const std::vector<core::ProcRecord>& records,
+                           std::vector<InvariantViolation>* out) {
+  // Component of the sibling graph reachable from the origin, restricted
+  // to up hosts that actually run an LPM for the user.  This is exactly
+  // the set of hosts the flood broadcast can have reached.
+  std::set<std::string> component;
+  std::vector<std::string> frontier;
+  if (cluster.HasHost(origin_host) && cluster.FindLpm(origin_host, uid)) {
+    component.insert(origin_host);
+    frontier.push_back(origin_host);
+  }
+  while (!frontier.empty()) {
+    std::string cur = frontier.back();
+    frontier.pop_back();
+    core::Lpm* lpm = cluster.FindLpm(cur, uid);
+    if (!lpm) continue;
+    for (const std::string& sib : lpm->sibling_hosts()) {
+      if (component.count(sib)) continue;
+      if (!cluster.HasHost(sib)) continue;
+      if (!cluster.host(sib).up()) continue;
+      if (cluster.FindLpm(sib, uid) == nullptr) continue;
+      component.insert(sib);
+      frontier.push_back(sib);
+    }
+  }
+
+  // No gpid may appear twice (duplicate suppression in the broadcast
+  // layer must have deduplicated re-floods).
+  std::set<core::GPid> seen;
+  for (const core::ProcRecord& r : records) {
+    if (!seen.insert(r.gpid).second) {
+      Add(out, "snapshot-dup",
+          "snapshot from " + origin_host + " lists " +
+              core::ToString(r.gpid) + " twice");
+    }
+    if (!component.count(r.gpid.host)) {
+      Add(out, "snapshot-scope",
+          "snapshot from " + origin_host + " contains record for " +
+              core::ToString(r.gpid) + " outside the reachable component");
+    }
+  }
+
+  // Completeness: every process the component hosts' LPMs track as live
+  // (and the kernel confirms) must appear.  Both sides derive from the
+  // same LPM-local table, so a restarted LPM that lost adoption of some
+  // orphan is judged against what *it* knows, not against history.
+  for (const std::string& name : component) {
+    core::Lpm* lpm = cluster.FindLpm(name, uid);
+    if (!lpm) continue;
+    host::Kernel& k = cluster.host(name).kernel();
+    for (host::Pid pid : lpm->TrackedLocalPids()) {
+      const host::Process* p = k.Find(pid);
+      if (!p || !p->alive()) continue;  // raced with an exit; scan skips it
+      core::GPid g{name, pid};
+      if (!seen.count(g)) {
+        // Reconstructing the sibling graph is the first step of any
+        // replay, so the message carries it.
+        std::ostringstream os;
+        os << "snapshot from " << origin_host
+           << " misses live tracked process " << core::ToString(g) << " ("
+           << p->command << "); sibling graph:";
+        for (const std::string& c : component) {
+          os << ' ' << c << "->[";
+          if (core::Lpm* l = cluster.FindLpm(c, uid)) {
+            bool first = true;
+            for (const std::string& s : l->sibling_hosts()) {
+              os << (first ? "" : ",") << s;
+              first = false;
+            }
+          }
+          os << ']';
+        }
+        Add(out, "snapshot-coverage", os.str());
+      }
+    }
+  }
+}
+
+}  // namespace ppm::chaos

@@ -1,0 +1,51 @@
+// invariants.h — cluster-wide correctness conditions checked at
+// quiescent points of a chaos run.
+//
+// The paper's robustness story (Section 5, Section 8) makes claims that
+// hold *after convergence*, not during a partition: one crash
+// coordinator per user, no manager stuck dying once its recovery hosts
+// answer again, genealogy a consistent forest, snapshots covering the
+// reachable sibling graph, and no kernel/network resources leaked by
+// crashes.  These checkers turn each claim into a predicate over a
+// Cluster; the chaos engine evaluates them after heal + settle, and any
+// violation is reported with enough detail to debug the (seed, plan)
+// replay.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/types.h"
+
+namespace ppm::chaos {
+
+struct InvariantViolation {
+  std::string name;    // which invariant (stable identifier)
+  std::string detail;  // human-readable specifics
+};
+
+// Checks the always-true invariants at a quiescent point (final heal +
+// settle already done):
+//   genealogy-forest      every alive process has an alive parent
+//   one-lpm-per-host      at most one live LPM per (host, uid)
+//   tracked-pid           LPM-tracked pids exist in the kernel, same uid
+//   single-ccs            at most one LPM claims the CCS role
+//   no-dying-after-heal   no LPM still dying with the network whole
+//   bind-leak/circuit-leak  crashed hosts hold no sockets or circuits
+//   frame-accounting      frames sent >= delivered + dropped
+// Returns the violations found; empty means every invariant holds.
+std::vector<InvariantViolation> CheckClusterInvariants(core::Cluster& cluster,
+                                                       host::Uid uid);
+
+// Checks one *completed* snapshot against the cluster: the records must
+// cover exactly the sibling-graph component reachable from
+// `origin_host` — every live tracked process of every component host
+// appears, no gpid appears twice, and no record names a host outside
+// the component.  Violations are appended to `out`.
+void CheckSnapshotCoverage(core::Cluster& cluster, host::Uid uid,
+                           const std::string& origin_host,
+                           const std::vector<core::ProcRecord>& records,
+                           std::vector<InvariantViolation>* out);
+
+}  // namespace ppm::chaos

@@ -1,0 +1,47 @@
+#include "chaos/plan.h"
+
+namespace ppm::chaos {
+
+ChaosPlan CrashPlan() {
+  ChaosPlan plan;
+  plan.name = "crash";
+  plan.faults.crash_host = 20;
+  plan.faults.reboot_host = 20;
+  plan.faults.kill_lpm = 15;
+  plan.workload.create = 25;
+  plan.workload.signal = 10;
+  plan.workload.snapshot = 10;
+  return plan;
+}
+
+ChaosPlan PartitionPlan() {
+  ChaosPlan plan;
+  plan.name = "partition";
+  plan.faults.partition = 25;
+  plan.faults.heal = 15;
+  plan.faults.kill_lpm = 5;
+  plan.workload.create = 25;
+  plan.workload.signal = 15;
+  plan.workload.snapshot = 15;
+  // Long partitions relative to time_to_die exercise the dying/rescue
+  // races of paper Section 5.
+  plan.max_gap = sim::Seconds(8);
+  return plan;
+}
+
+ChaosPlan CorruptionPlan() {
+  ChaosPlan plan;
+  plan.name = "corruption";
+  plan.workload.create = 35;
+  plan.workload.signal = 20;
+  plan.workload.snapshot = 20;
+  plan.faults.kill_lpm = 5;
+  plan.link_faults.drop = 0.02;
+  plan.link_faults.duplicate = 0.05;
+  plan.link_faults.reorder = 0.10;
+  plan.link_faults.corrupt = 0.08;
+  plan.link_faults.reorder_delay_max = sim::Millis(80);
+  return plan;
+}
+
+}  // namespace ppm::chaos

@@ -1,0 +1,83 @@
+// plan.h — declarative chaos schedules.
+//
+// A ChaosPlan is a *description* of an adversarial run: the topology,
+// how many fault steps, the relative weights of the fault and workload
+// actions, and the adversarial link behaviour in force while the
+// schedule runs.  The plan deliberately contains no randomness of its
+// own — every stochastic choice during execution draws from the cluster
+// simulator's single seeded RNG — so a run is reproduced exactly by the
+// (seed, plan) pair, which is what failure messages print.
+//
+// This is the "reproducible fault scenario artifact" style of harness
+// (cf. DPM-Bench): the scenario is data, the engine is policy-free, and
+// the invariants are checked at a quiescent point after heal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/time.h"
+
+namespace ppm::chaos {
+
+// Relative weights of the fault actions the engine may take at each
+// schedule step.  Zero disables an action; weights need not sum to
+// anything in particular.
+struct FaultWeights {
+  uint32_t crash_host = 0;   // hard host crash (keeps >= min_hosts_up)
+  uint32_t reboot_host = 0;  // revive one crashed host
+  uint32_t kill_lpm = 0;     // SIGKILL a random LPM (software failure)
+  uint32_t partition = 0;    // random bipartition of the network
+  uint32_t heal = 0;         // restore every link
+};
+
+// Relative weights of the workload operations interleaved between
+// faults — the administration traffic the faults are trying to break.
+struct WorkloadWeights {
+  uint32_t create = 0;    // create a process on a random host
+  uint32_t signal = 0;    // signal a previously created process
+  uint32_t snapshot = 0;  // genealogy snapshot (may be partial)
+};
+
+struct ChaosPlan {
+  std::string name;  // replay key, printed by failure messages
+
+  // Topology: one Ethernet over these hosts; the first hosts double as
+  // the user's ~/.recovery list (decreasing priority).
+  std::vector<std::string> hosts = {"h0", "h1", "h2", "h3", "h4"};
+  std::vector<std::string> recovery = {"h0", "h1", "h2"};
+
+  size_t steps = 20;                           // fault/workload rounds
+  sim::SimDuration min_gap = sim::Seconds(1);  // pause between rounds
+  sim::SimDuration max_gap = sim::Seconds(5);
+  size_t min_hosts_up = 2;  // crash_host refuses below this floor
+
+  FaultWeights faults;
+  WorkloadWeights workload;
+
+  // Adversarial behaviour of every link while the schedule runs
+  // (cleared before the final heal so convergence is measurable).
+  net::LinkFaultProfile link_faults;
+
+  // How long after the final heal the cluster gets to converge before
+  // the invariants are checked.
+  sim::SimDuration settle = sim::Seconds(120);
+
+  // LPM recovery knobs, scaled down so death/retry/probe cycles fit
+  // inside the run.
+  sim::SimDuration time_to_die = sim::Seconds(90);
+  sim::SimDuration retry_interval = sim::Seconds(10);
+  sim::SimDuration probe_interval = sim::Seconds(15);
+};
+
+// The canned plans of the seed sweep.  Each stresses one failure family
+// of the paper: host/LPM death (Section 5's CCS handoff), partitions
+// (time-to-die and probe-upward), and a hostile wire (checksummed
+// corruption, duplication, reordering, loss).
+ChaosPlan CrashPlan();
+ChaosPlan PartitionPlan();
+ChaosPlan CorruptionPlan();
+
+}  // namespace ppm::chaos

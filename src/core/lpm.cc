@@ -62,6 +62,14 @@ Lpm::Lpm(host::Host& host, host::Uid uid, std::string user, uint64_t token,
 
 void Lpm::OnStart() {
   running_ = true;
+  // Broadcast sequences must be monotonic per origin *host* across LPM
+  // incarnations: sibling duplicate-suppression filters remember
+  // <origin, seq> pairs for bcast_window, so a restarted LPM that
+  // restarted its counter at 1 would have its first floods silently
+  // swallowed as duplicates of its predecessor's.  Seeding from the
+  // clock keeps the sequence strictly above anything a previous
+  // incarnation can have used.
+  next_bcast_seq_ = static_cast<uint64_t>(simulator().Now()) + 1;
   network().Listen(host_.net_id(), accept_port_,
                    [this](net::ConnId conn, net::SocketAddr peer) {
                      OnAccept(conn, peer);
@@ -173,6 +181,14 @@ size_t Lpm::adopted_live_count() const {
     if (p && p->alive()) ++n;
   }
   return n;
+}
+
+std::vector<host::Pid> Lpm::TrackedLocalPids() const {
+  std::vector<host::Pid> out;
+  for (const auto& [pid, info] : local_procs_) {
+    if (!info.exited) out.push_back(pid);
+  }
+  return out;
 }
 
 // --- dispatcher & handler pool ------------------------------------------------------
@@ -316,7 +332,12 @@ void Lpm::OnData(net::ConnId conn, const std::vector<uint8_t>& bytes) {
   if (!msg) {
     PPM_WARN("lpm") << host_name() << ": unparseable message, closing circuit";
     network().Close(conn);
-    peers_.erase(conn);
+    // A corrupted channel is a failed channel: run the same bookkeeping
+    // as a detected break, so sibling entries and pending forwards don't
+    // keep pointing at a circuit that no longer exists (a zombie sibling
+    // would swallow every future flood sent its way) and recovery runs
+    // if the lost peer mattered.
+    OnClose(conn, net::CloseReason::kNetBroken);
     return;
   }
   auto it = peers_.find(conn);
@@ -459,6 +480,20 @@ void Lpm::HandleHello(net::ConnId conn, const Msg& msg, PeerInfo& info) {
       is_ccs_ = true;
       ccs_host_ = host_name();
       RegisterCcsWithNameServer();
+      // A default coordinator still owes deference to ~/.recovery: if a
+      // higher-priority listed host (or any listed host, when we are
+      // unlisted) runs an LPM, probe upward and yield to it, exactly
+      // like an acting CCS after a partition heals.  Without this, tool
+      // sessions started independently on different hosts would create
+      // coordinator islands that never reconcile.
+      auto list = ReadRecoveryList(host_.fs(), uid_);
+      auto idx = list.IndexOf(host_name());
+      if (!list.hosts.empty() && (!idx || *idx > 0)) {
+        simulator().Cancel(probe_event_);
+        probe_event_ = simulator().ScheduleIn(config_.probe_interval,
+                                              [this] { ProbeHigherPriority(); },
+                                              "lpm-probe");
+      }
     }
     HelloAck ack;
     ack.host = host_name();
@@ -1287,6 +1322,12 @@ void Lpm::StartSnapshot(net::ConnId tool_conn, uint64_t tool_req_id, Pid handler
     FloodSnapshot(seq, templ, /*except_host=*/"", &sent, run.trace);
     for (const std::string& h : sent) run.outstanding.insert(h);
     run.replied.insert(host_name());
+    {
+      std::string to;
+      for (const std::string& h : sent) to += h + " ";
+      PPM_DEBUG("lpm") << host_name() << ": snapshot seq " << seq
+                       << " flooded to [ " << to << "]";
+    }
 
     if (!run.outstanding.empty()) {
       run.timeout_ev = simulator().ScheduleIn(config_.snapshot_timeout, [this, seq] {
@@ -1339,6 +1380,8 @@ void Lpm::HandleSnapshotReq(net::ConnId conn, const SnapshotReq& req) {
   obs::TraceContext rx = rx_trace_;
   if (!bcast_filter_.CheckAndRecord(req.origin_host, req.bcast_seq, simulator().Now())) {
     ++stats_.bcast_duplicates;
+    PPM_DEBUG("lpm") << host_name() << ": suppressed duplicate snapshot flood from "
+                     << req.origin_host << " seq " << req.bcast_seq;
     return;
   }
   std::string sender = req.route.empty() ? std::string() : req.route.back();
@@ -1820,9 +1863,14 @@ void Lpm::YieldCcsTo(const std::string& host) {
 void Lpm::EnterDying() {
   if (!running_) return;
   recovery_in_progress_ = false;
-  if (mode_ == LpmMode::kDying) return;
-  mode_ = LpmMode::kDying;
-  PPM_WARN("lpm") << host_name() << ": no recovery host reachable; time-to-die armed";
+  // Re-entered after a failed retry walk: the death timer keeps ticking,
+  // but the retry below must be re-armed — rescue may come from any
+  // retry before the deadline, not just the first.
+  if (mode_ != LpmMode::kDying) {
+    mode_ = LpmMode::kDying;
+    PPM_WARN("lpm") << host_name()
+                    << ": no recovery host reachable; time-to-die armed";
+  }
   if (death_event_ == sim::kInvalidEventId) {
     death_event_ = simulator().ScheduleIn(config_.time_to_die, [this] {
       death_event_ = sim::kInvalidEventId;

@@ -131,6 +131,10 @@ class Lpm : public host::ProcessBody {
   const EventLog& event_log() const { return event_log_; }
   size_t handler_count() const { return handlers_.size(); }
   size_t adopted_live_count() const;
+  // Pids of the local processes this LPM currently tracks as live (the
+  // chaos invariant checkers compare them against the kernel table and
+  // snapshot records).
+  std::vector<host::Pid> TrackedLocalPids() const;
   bool ttl_armed() const { return ttl_event_ != sim::kInvalidEventId; }
 
   // Adjusts history granularity at runtime (also reachable via TraceReq

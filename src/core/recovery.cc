@@ -1,5 +1,7 @@
 #include "core/recovery.h"
 
+#include <cctype>
+
 #include "util/strings.h"
 
 namespace ppm::core {
@@ -13,11 +15,31 @@ const char* ToString(LpmMode m) {
   return "?";
 }
 
+namespace {
+// Host names compare case-insensitively (1986 hosts tables were sloppy
+// about case); the list keeps the first spelling it saw, since host
+// lookup elsewhere is exact.
+bool SameHost(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
 RecoveryList RecoveryList::Parse(const std::string& content) {
   RecoveryList list;
   for (const std::string& raw : util::Split(content, '\n')) {
     std::string line = util::Trim(raw);
     if (line.empty() || line[0] == '#') continue;
+    // A host repeated further down the file must not shadow its first
+    // (higher-priority) entry — a duplicate would make the recovery walk
+    // retry a dead host and stall the CCS handoff.
+    if (list.IndexOf(line)) continue;
     list.hosts.push_back(line);
   }
   return list;
@@ -34,7 +56,7 @@ std::string RecoveryList::Serialize() const {
 
 std::optional<size_t> RecoveryList::IndexOf(const std::string& host) const {
   for (size_t i = 0; i < hosts.size(); ++i) {
-    if (hosts[i] == host) return i;
+    if (SameHost(hosts[i], host)) return i;
   }
   return std::nullopt;
 }

@@ -30,12 +30,13 @@ struct RecoveryList {
   std::vector<std::string> hosts;  // decreasing priority
 
   // Parses file content: one host per line; blank lines and '#' comments
-  // ignored.
+  // ignored; repeated hosts (compared case-insensitively) keep only
+  // their first, highest-priority entry.
   static RecoveryList Parse(const std::string& content);
 
   std::string Serialize() const;
 
-  // Priority index of `host`, or nullopt if absent.
+  // Priority index of `host` (case-insensitive), or nullopt if absent.
   std::optional<size_t> IndexOf(const std::string& host) const;
 
   bool empty() const { return hosts.empty(); }

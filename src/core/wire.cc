@@ -1,5 +1,6 @@
 #include "core/wire.h"
 
+#include "obs/metrics.h"
 #include "util/panic.h"
 
 namespace ppm::core {
@@ -79,6 +80,10 @@ void PutStrVec(util::ByteWriter& w, const std::vector<std::string>& v) {
 std::optional<std::vector<std::string>> GetStrVec(util::ByteReader& r) {
   auto n = r.U32();
   if (!n) return std::nullopt;
+  // Every element costs at least one byte on the wire, so a count larger
+  // than the remaining bytes is corrupt — reject it before reserve()
+  // turns it into a giant allocation.
+  if (*n > r.remaining()) return std::nullopt;
   std::vector<std::string> v;
   v.reserve(*n);
   for (uint32_t i = 0; i < *n; ++i) {
@@ -382,10 +387,43 @@ void EncodeMsg(util::ByteWriter& w, const Msg& msg) {
 
 }  // namespace
 
+namespace {
+
+// Fletcher-16 over `n` bytes.  Detects every single-byte change — which
+// is exactly the corruption a LinkFaultProfile injects — at two bytes of
+// header cost.
+uint16_t Fletcher16(const uint8_t* p, size_t n) {
+  uint32_t lo = 0, hi = 0;
+  for (size_t i = 0; i < n; ++i) {
+    lo = (lo + p[i]) % 255;
+    hi = (hi + lo) % 255;
+  }
+  return static_cast<uint16_t>((hi << 8) | lo);
+}
+
+// Prepends the checksum header to an encoded frame body.
+std::vector<uint8_t> WrapChecksum(const std::vector<uint8_t>& body) {
+  uint16_t ck = Fletcher16(body.data(), body.size());
+  std::vector<uint8_t> out;
+  out.reserve(body.size() + kChecksumHeaderBytes);
+  out.push_back(kChecksumHeaderTag);
+  out.push_back(static_cast<uint8_t>(ck & 0xff));
+  out.push_back(static_cast<uint8_t>(ck >> 8));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+obs::Counter* CorruptFramesCounter() {
+  static obs::Counter* c = obs::Registry::Instance().GetCounter("net.corrupt_frames");
+  return c;
+}
+
+}  // namespace
+
 std::vector<uint8_t> Serialize(const Msg& msg) {
   util::ByteWriter w;
   EncodeMsg(w, msg);
-  return w.Take();
+  return WrapChecksum(w.Take());
 }
 
 std::vector<uint8_t> Serialize(const Msg& msg, const obs::TraceContext& trace) {
@@ -396,7 +434,7 @@ std::vector<uint8_t> Serialize(const Msg& msg, const obs::TraceContext& trace) {
   w.U64(trace.span_id);
   w.U64(trace.parent_span);
   EncodeMsg(w, msg);
-  return w.Take();
+  return WrapChecksum(w.Take());
 }
 
 // --- parse ---------------------------------------------------------------------
@@ -548,6 +586,7 @@ std::optional<SnapshotResp> ParseSnapshotResp(util::ByteReader& r) {
   m.forwarded_to = std::move(*fwd);
   m.route = std::move(*route);
   m.route_index = *idx;
+  if (*n > r.remaining()) return std::nullopt;  // corrupt count
   m.records.reserve(*n);
   for (uint32_t i = 0; i < *n; ++i) {
     auto rec = GetProcRecord(r);
@@ -577,6 +616,7 @@ std::optional<RusageResp> ParseRusageResp(util::ByteReader& r) {
   m.req_id = *id;
   m.ok = *ok;
   m.error = *err;
+  if (*n > r.remaining()) return std::nullopt;  // corrupt count
   m.records.reserve(*n);
   for (uint32_t i = 0; i < *n; ++i) {
     auto rec = GetRusageRecord(r);
@@ -664,6 +704,7 @@ std::optional<HistoryResp> ParseHistoryResp(util::ByteReader& r) {
   m.req_id = *id;
   m.ok = *ok;
   m.error = *err;
+  if (*n > r.remaining()) return std::nullopt;  // corrupt count
   m.events.reserve(*n);
   for (uint32_t i = 0; i < *n; ++i) {
     auto ev = GetHistEvent(r);
@@ -814,6 +855,21 @@ std::optional<Msg> Parse(const std::vector<uint8_t>& bytes, obs::TraceContext* t
   if (trace) *trace = obs::TraceContext{};
   auto tag = r.U8();
   if (!tag) return std::nullopt;
+  if (*tag == kChecksumHeaderTag) {
+    auto lo = r.U8();
+    auto hi = r.U8();
+    if (!lo || !hi) return std::nullopt;
+    uint16_t want = static_cast<uint16_t>(*lo | (static_cast<uint16_t>(*hi) << 8));
+    uint16_t got = Fletcher16(bytes.data() + kChecksumHeaderBytes,
+                              bytes.size() - kChecksumHeaderBytes);
+    if (want != got) {
+      // Corruption detected in flight: reject and count, never deliver.
+      CorruptFramesCounter()->Inc();
+      return std::nullopt;
+    }
+    tag = r.U8();
+    if (!tag) return std::nullopt;
+  }
   if (*tag == kTraceHeaderTag) {
     auto tid = r.U64();
     auto sid = r.U64();
@@ -827,38 +883,43 @@ std::optional<Msg> Parse(const std::vector<uint8_t>& bytes, obs::TraceContext* t
     tag = r.U8();
     if (!tag) return std::nullopt;
   }
+  std::optional<Msg> msg;
   switch (*tag) {
-    case 0: return Lift(ParseHelloSibling(r));
-    case 1: return Lift(ParseHelloTool(r));
-    case 2: return Lift(ParseHelloAck(r));
-    case 3: return Lift(ParseHelloReject(r));
-    case 4: return Lift(ParseCreateReq(r));
-    case 5: return Lift(ParseCreateResp(r));
-    case 6: return Lift(ParseSignalReq(r));
-    case 7: return Lift(ParseSignalResp(r));
-    case 8: return Lift(ParseSnapshotReq(r));
-    case 9: return Lift(ParseSnapshotResp(r));
-    case 10: return Lift(ParseRusageReq(r));
-    case 11: return Lift(ParseRusageResp(r));
-    case 12: return Lift(ParseAdoptReq(r));
-    case 13: return Lift(ParseAdoptResp(r));
-    case 14: return Lift(ParseTraceReq(r));
-    case 15: return Lift(ParseTraceResp(r));
-    case 16: return Lift(ParseHistoryReq(r));
-    case 17: return Lift(ParseHistoryResp(r));
-    case 18: return Lift(ParseTriggerReq(r));
-    case 19: return Lift(ParseTriggerResp(r));
-    case 20: return Lift(ParseBecomeCcs(r));
-    case 21: return Lift(ParseCcsChanged(r));
-    case 22: return Lift(ParseProbe(r));
-    case 23: return Lift(ParseProbeAck(r));
-    case 24: return Lift(ParseFilesReq(r));
-    case 25: return Lift(ParseFilesResp(r));
-    case 26: return Lift(ParseMigrateReq(r));
-    case 27: return Lift(ParseMigrateResp(r));
-    case 28: return Lift(ParseRegisterChild(r));
+    case 0: msg = Lift(ParseHelloSibling(r)); break;
+    case 1: msg = Lift(ParseHelloTool(r)); break;
+    case 2: msg = Lift(ParseHelloAck(r)); break;
+    case 3: msg = Lift(ParseHelloReject(r)); break;
+    case 4: msg = Lift(ParseCreateReq(r)); break;
+    case 5: msg = Lift(ParseCreateResp(r)); break;
+    case 6: msg = Lift(ParseSignalReq(r)); break;
+    case 7: msg = Lift(ParseSignalResp(r)); break;
+    case 8: msg = Lift(ParseSnapshotReq(r)); break;
+    case 9: msg = Lift(ParseSnapshotResp(r)); break;
+    case 10: msg = Lift(ParseRusageReq(r)); break;
+    case 11: msg = Lift(ParseRusageResp(r)); break;
+    case 12: msg = Lift(ParseAdoptReq(r)); break;
+    case 13: msg = Lift(ParseAdoptResp(r)); break;
+    case 14: msg = Lift(ParseTraceReq(r)); break;
+    case 15: msg = Lift(ParseTraceResp(r)); break;
+    case 16: msg = Lift(ParseHistoryReq(r)); break;
+    case 17: msg = Lift(ParseHistoryResp(r)); break;
+    case 18: msg = Lift(ParseTriggerReq(r)); break;
+    case 19: msg = Lift(ParseTriggerResp(r)); break;
+    case 20: msg = Lift(ParseBecomeCcs(r)); break;
+    case 21: msg = Lift(ParseCcsChanged(r)); break;
+    case 22: msg = Lift(ParseProbe(r)); break;
+    case 23: msg = Lift(ParseProbeAck(r)); break;
+    case 24: msg = Lift(ParseFilesReq(r)); break;
+    case 25: msg = Lift(ParseFilesResp(r)); break;
+    case 26: msg = Lift(ParseMigrateReq(r)); break;
+    case 27: msg = Lift(ParseMigrateResp(r)); break;
+    case 28: msg = Lift(ParseRegisterChild(r)); break;
     default: return std::nullopt;
   }
+  // A well-formed frame is consumed exactly; trailing bytes mean the
+  // length fields inside were tampered with.
+  if (msg && !r.AtEnd()) return std::nullopt;
+  return msg;
 }
 
 const char* MsgTypeName(const Msg& msg) {

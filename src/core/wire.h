@@ -272,10 +272,20 @@ using Msg = std::variant<HelloSibling, HelloTool, HelloAck, HelloReject, CreateR
 // Trace header escape.  A frame whose first byte is kTraceHeaderTag
 // carries a causal-tracing header (trace id, span id, parent span — see
 // obs/trace.h) between the escape byte and the ordinary message tag.
-// The value sits far above the last variant tag, so untraced frames are
-// byte-identical to the pre-tracing wire format and cost nothing.
+// The escape values sit far above the last variant tag, so they can
+// never collide with a message type.
 constexpr uint8_t kTraceHeaderTag = 0xF5;
 constexpr size_t kTraceHeaderBytes = 1 + 3 * 8;  // escape + three u64s
+
+// Integrity header escape.  Every frame Serialize emits now begins with
+// kChecksumHeaderTag followed by a 16-bit Fletcher checksum of all the
+// remaining bytes (trace header included).  Parse verifies it and
+// rejects mismatches, counting them under the "net.corrupt_frames"
+// registry counter, so chaos-injected corruption is *detected* rather
+// than fed to handlers.  Decoding is version-gated: frames without the
+// header (the pre-checksum format) still parse.
+constexpr uint8_t kChecksumHeaderTag = 0xF4;
+constexpr size_t kChecksumHeaderBytes = 1 + 2;  // escape + u16 checksum
 
 std::vector<uint8_t> Serialize(const Msg& msg);
 // Prepends the trace header when `trace` is valid; identical to

@@ -22,6 +22,7 @@ struct NetCounters {
   obs::Counter* bytes_sent;
   obs::Counter* conns_opened;
   obs::Counter* conns_broken;
+  obs::Counter* dup_suppressed;
 };
 
 NetCounters& Counters() {
@@ -32,6 +33,25 @@ NetCounters& Counters() {
       obs::Registry::Instance().GetCounter("net.bytes.sent"),
       obs::Registry::Instance().GetCounter("net.conns.opened"),
       obs::Registry::Instance().GetCounter("net.conns.broken"),
+      obs::Registry::Instance().GetCounter("net.frames.dup-suppressed"),
+  };
+  return c;
+}
+
+// Chaos-injection counters, one per LinkFaultProfile knob.
+struct FaultCounterSet {
+  obs::Counter* dropped;
+  obs::Counter* duplicated;
+  obs::Counter* reordered;
+  obs::Counter* corrupted;
+};
+
+FaultCounterSet& FaultCounters() {
+  static FaultCounterSet c = {
+      obs::Registry::Instance().GetCounter("net.faults.dropped"),
+      obs::Registry::Instance().GetCounter("net.faults.duplicated"),
+      obs::Registry::Instance().GetCounter("net.faults.reordered"),
+      obs::Registry::Instance().GetCounter("net.faults.corrupted"),
   };
   return c;
 }
@@ -227,6 +247,18 @@ void Network::Heal() {
   }
 }
 
+void Network::SetLinkFaults(HostId a, HostId b, LinkFaultProfile profile) {
+  LinkRec* link = FindLink(a, b);
+  PPM_CHECK_MSG(link != nullptr, "no such link");
+  link->faults = profile;
+}
+
+void Network::SetAllLinkFaults(LinkFaultProfile profile) {
+  for (auto& [key, link] : links_) link.faults = profile;
+}
+
+void Network::ClearLinkFaults() { SetAllLinkFaults(LinkFaultProfile{}); }
+
 void Network::BreakConn(Conn& conn, HostId detected_by, CloseReason reason) {
   if (conn.dead) return;
   conn.dead = true;
@@ -402,6 +434,18 @@ std::vector<ConnId> Network::ConnsTouching(HostId h) const {
   return out;
 }
 
+size_t Network::ListenerCount(HostId h) const {
+  size_t n = 0;
+  for (const auto& [addr, fn] : listeners_) n += (addr.host == h);
+  return n;
+}
+
+size_t Network::DgramBindCount(HostId h) const {
+  size_t n = 0;
+  for (const auto& [addr, fn] : dgram_binds_) n += (addr.host == h);
+  return n;
+}
+
 // --- datagrams ----------------------------------------------------------
 
 void Network::BindDgram(HostId h, Port p, DgramFn fn) {
@@ -467,15 +511,71 @@ void Network::ForwardFrame(Frame f) {
     if (link) link->drops_counter->Inc();
     return;
   }
-  link->frames_counter->Inc();
-  link->bytes_counter->Inc(f.payload.size() + kFrameHeaderBytes);
+  if (link->faults.active()) {
+    sim::Rng& rng = sim_.rng();
+    if (link->faults.drop > 0 && rng.Chance(link->faults.drop)) {
+      ++stats_.frames_dropped;
+      ++stats_.faults_dropped;
+      Counters().frames_dropped->Inc();
+      FaultCounters().dropped->Inc();
+      link->drops_counter->Inc();
+      // A dropped circuit frame is unrecoverable (there is no
+      // retransmission), so the circuit's FIFO contract is already
+      // broken: the receiver would wedge on the sequence gap forever,
+      // silently if the stream then goes idle.  Declare the break now,
+      // after the usual detection window, so both ends learn and can
+      // re-establish — the analogue of TCP giving up on a link this bad.
+      if (f.kind == FrameKind::kData || f.kind == FrameKind::kFin) {
+        const ConnId id = f.conn;
+        sim_.ScheduleIn(params_.break_detection_delay, [this, id] {
+          auto it = conns_.find(id);
+          if (it == conns_.end() || it->second.dead) return;
+          BreakConn(it->second, kInvalidHost, CloseReason::kNetBroken);
+        }, "circuit-drop-break");
+      }
+      return;
+    }
+    if (link->faults.duplicate > 0 && rng.Chance(link->faults.duplicate)) {
+      // The duplicate is a real extra frame: it occupies the wire and is
+      // counted as sent, so `sent >= delivered + dropped` still holds.
+      ++stats_.frames_sent;
+      ++stats_.faults_duplicated;
+      Counters().frames_sent->Inc();
+      FaultCounters().duplicated->Inc();
+      TransmitOnLink(*link, u, v, f);
+    }
+  }
+  TransmitOnLink(*link, u, v, std::move(f));
+}
+
+void Network::TransmitOnLink(LinkRec& link, HostId u, HostId v, Frame f) {
+  sim::SimDuration extra = 0;
+  if (link.faults.active()) {
+    sim::Rng& rng = sim_.rng();
+    if (link.faults.corrupt > 0 && !f.payload.empty() && rng.Chance(link.faults.corrupt)) {
+      size_t idx = static_cast<size_t>(rng.Below(f.payload.size()));
+      f.payload[idx] ^= static_cast<uint8_t>(rng.Range(1, 255));
+      ++stats_.faults_corrupted;
+      FaultCounters().corrupted->Inc();
+    }
+    if (link.faults.reorder > 0 && link.faults.reorder_delay_max > 0 &&
+        rng.Chance(link.faults.reorder)) {
+      // The extra delay does not occupy the wire, so a later frame can
+      // overtake this one.
+      extra = static_cast<sim::SimDuration>(rng.Range(1, link.faults.reorder_delay_max));
+      ++stats_.faults_reordered;
+      FaultCounters().reordered->Inc();
+    }
+  }
+  link.frames_counter->Inc();
+  link.bytes_counter->Inc(f.payload.size() + kFrameHeaderBytes);
   int dir = (u < v) ? 0 : 1;
   sim::SimTime now = sim_.Now();
   sim::SimDuration tx =
-      static_cast<sim::SimDuration>(f.payload.size() + kFrameHeaderBytes) * link->params.per_byte;
-  sim::SimTime start = std::max(now, link->busy_until[dir]);
-  sim::SimTime arrival = start + static_cast<sim::SimTime>(tx + link->params.latency);
-  link->busy_until[dir] = start + static_cast<sim::SimTime>(tx);
+      static_cast<sim::SimDuration>(f.payload.size() + kFrameHeaderBytes) * link.params.per_byte;
+  sim::SimTime start = std::max(now, link.busy_until[dir]);
+  sim::SimTime arrival = start + static_cast<sim::SimTime>(tx + link.params.latency + extra);
+  link.busy_until[dir] = start + static_cast<sim::SimTime>(tx);
 
   Frame frame = std::move(f);
   frame.route.push_back(v);
@@ -502,10 +602,46 @@ Network::Endpoint* Network::EndpointAt(Conn& conn, HostId h, Port p) {
 }
 
 void Network::DeliverData(Conn& conn, Endpoint& self, Frame f) {
+  // Duplicate suppression: chaos duplication (and only it) can replay a
+  // sequence number that was already delivered or is already queued.
+  // Discarding here keeps the circuit's exactly-once FIFO contract.
+  if (f.seq < self.next_recv_seq) {
+    ++stats_.frames_dropped;
+    ++stats_.dup_frames_discarded;
+    Counters().frames_dropped->Inc();
+    Counters().dup_suppressed->Inc();
+    return;
+  }
   // FIFO reassembly: per-link serialization normally preserves order,
-  // but a route change mid-stream (after a heal) can reorder frames.
+  // but a reorder fault or a route change mid-stream (after a heal) can
+  // reorder frames.
   if (f.seq != self.next_recv_seq) {
-    self.reorder.emplace(f.seq, std::move(f));
+    // A gap can be a reordered frame still in flight — or a frame a drop
+    // fault ate, which will never arrive: the circuit would wedge
+    // silently, since there is no retransmission.  Give the gap one
+    // break-detection window to fill; if the receive cursor has not
+    // advanced past it by then, declare the circuit broken so both ends
+    // learn (TCP's retransmission give-up).
+    const bool is_a = (&self == &conn.a);
+    const ConnId id = conn.id;
+    const uint64_t stalled_at = self.next_recv_seq;
+    sim_.ScheduleIn(params_.break_detection_delay,
+                    [this, id, is_a, stalled_at] {
+                      auto cit = conns_.find(id);
+                      if (cit == conns_.end() || cit->second.dead) return;
+                      Endpoint& ep = is_a ? cit->second.a : cit->second.b;
+                      if (!ep.open || ep.next_recv_seq > stalled_at) return;
+                      // Neither endpoint crashed: notify both sides.
+                      BreakConn(cit->second, kInvalidHost,
+                                CloseReason::kNetBroken);
+                    },
+                    "circuit-gap-stall");
+    if (!self.reorder.emplace(f.seq, std::move(f)).second) {
+      ++stats_.frames_dropped;
+      ++stats_.dup_frames_discarded;
+      Counters().frames_dropped->Inc();
+      Counters().dup_suppressed->Inc();
+    }
     return;
   }
   ConnId handle = (&self == &conn.a) ? conn.id * 2 : conn.id * 2 + 1;
@@ -546,6 +682,10 @@ void Network::DeliverFrame(Frame f) {
       auto cit = conns_.find(f.conn);
       if (cit == conns_.end() || cit->second.dead) return;
       Conn& conn = cit->second;
+      // A duplicated SYN must not re-run the accept path (it would
+      // clobber the acceptor state or answer a refused connect twice).
+      if (conn.syn_seen) return;
+      conn.syn_seen = true;
       auto lit = listeners_.find(f.dst);
       bool accepted = false;
       if (lit != listeners_.end()) {
@@ -576,6 +716,9 @@ void Network::DeliverFrame(Frame f) {
       auto pit = pending_connects_.find(f.conn);
       auto cit = conns_.find(f.conn);
       if (pit == pending_connects_.end() || cit == conns_.end()) {
+        // A duplicated SYN-ACK for an already-established circuit is
+        // ignored; answering with a RST would kill the live circuit.
+        if (cit != conns_.end() && cit->second.established) return;
         // Initiator timed out already; tell the acceptor to clean up.
         Frame rst;
         rst.kind = FrameKind::kRst;
@@ -621,11 +764,24 @@ void Network::DeliverFrame(Frame f) {
     }
     case FrameKind::kData: {
       auto cit = conns_.find(f.conn);
-      if (cit == conns_.end()) return;
-      Conn& conn = cit->second;
-      Endpoint* self = EndpointAt(conn, f.dst.host, f.dst.port);
-      if (!self || !self->open) return;
-      DeliverData(conn, *self, std::move(f));
+      Endpoint* self = nullptr;
+      if (cit != conns_.end()) {
+        self = EndpointAt(cit->second, f.dst.host, f.dst.port);
+      }
+      if (!self || !self->open) {
+        // Data for a circuit this endpoint no longer holds — typically
+        // the FIN that closed it was lost on a faulty link.  Answer RST
+        // so the sender tears down its half instead of feeding a black
+        // hole forever (TCP's data-after-close behaviour).
+        Frame rst;
+        rst.kind = FrameKind::kRst;
+        rst.src = f.dst;
+        rst.dst = f.src;
+        rst.conn = f.conn;
+        SendFrame(std::move(rst));
+        return;
+      }
+      DeliverData(cit->second, *self, std::move(f));
       return;
     }
     case FrameKind::kFin: {

@@ -99,6 +99,30 @@ struct NetStats {
   uint64_t bytes_sent = 0;
   uint64_t conns_opened = 0;
   uint64_t conns_broken = 0;
+  // Chaos accounting (LinkFaultProfile injections and their fallout).
+  uint64_t faults_dropped = 0;     // frames eaten by a drop fault
+  uint64_t faults_duplicated = 0;  // extra copies injected on the wire
+  uint64_t faults_reordered = 0;   // frames held back by a reorder delay
+  uint64_t faults_corrupted = 0;   // frames with a payload byte flipped
+  uint64_t dup_frames_discarded = 0;  // stale circuit frames suppressed
+};
+
+// Adversarial per-link behaviour for chaos testing.  Probabilities are
+// per frame per traversal of the link; every roll draws from the
+// simulator's single seeded RNG, so a fault sequence replays from the
+// seed alone.  Corruption flips one payload byte, which the PPM wire
+// checksum detects on parse; control frames (empty payload) pass
+// through unchanged.
+struct LinkFaultProfile {
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;
+  double corrupt = 0.0;
+  sim::SimDuration reorder_delay_max = sim::Millis(50);
+
+  bool active() const {
+    return drop > 0 || duplicate > 0 || reorder > 0 || corrupt > 0;
+  }
 };
 
 class Network {
@@ -128,6 +152,11 @@ class Network {
   // Restores every link.
   void Heal();
 
+  // --- adversarial link behaviour (chaos testing) ---------------------
+  void SetLinkFaults(HostId a, HostId b, LinkFaultProfile profile);
+  void SetAllLinkFaults(LinkFaultProfile profile);  // every existing link
+  void ClearLinkFaults();
+
   // --- stream circuits ----------------------------------------------
   void Listen(HostId h, Port p, AcceptFn accept);
   void Unlisten(HostId h, Port p);
@@ -155,6 +184,11 @@ class Network {
   bool ConnAlive(ConnId c) const;
   std::optional<std::pair<SocketAddr, SocketAddr>> ConnEndpoints(ConnId c) const;
   std::vector<ConnId> ConnsTouching(HostId h) const;
+  // Socket-leak checks for the chaos invariants: how many stream
+  // listeners / datagram binds currently sit on `h` (a crashed host must
+  // have none).
+  size_t ListenerCount(HostId h) const;
+  size_t DgramBindCount(HostId h) const;
 
   // --- datagrams ------------------------------------------------------
   void BindDgram(HostId h, Port p, DgramFn fn);
@@ -174,6 +208,7 @@ class Network {
   struct LinkRec {
     LinkParams params;
     bool up = true;
+    LinkFaultProfile faults;
     // Directed wire-busy horizon for serialization, indexed [a<b ? 0:1].
     sim::SimTime busy_until[2] = {0, 0};
     // Per-link registry instruments ("net.link.<a>-<b>.*"), resolved
@@ -206,6 +241,7 @@ class Network {
     Endpoint a, b;           // a = initiator
     bool established = false;
     bool dead = false;
+    bool syn_seen = false;   // guards the accept path against duplicated SYNs
   };
   struct PendingConnect {
     ConnId conn;
@@ -219,6 +255,9 @@ class Network {
   std::optional<std::vector<HostId>> Route(HostId from, HostId to) const;
   void SendFrame(Frame f);
   void ForwardFrame(Frame f);
+  // Puts one frame on the u->v wire, applying the link's corruption and
+  // reordering faults to this copy.
+  void TransmitOnLink(LinkRec& link, HostId u, HostId v, Frame f);
   void DeliverFrame(Frame f);
   void DeliverData(Conn& conn, Endpoint& self, Frame f);
   Endpoint* EndpointAt(Conn& conn, HostId h, Port p);

@@ -31,6 +31,30 @@ TEST(RecoveryListTest, SerializeRoundTrip) {
   EXPECT_EQ(RecoveryList::Parse(list.Serialize()).hosts, list.hosts);
 }
 
+TEST(RecoveryListTest, ParseDeduplicatesKeepingHighestPriority) {
+  RecoveryList list = RecoveryList::Parse("vaxA\nvaxB\nvaxA\nvaxC\nvaxB\n");
+  EXPECT_EQ(list.hosts, (std::vector<std::string>{"vaxA", "vaxB", "vaxC"}));
+}
+
+TEST(RecoveryListTest, ParseDeduplicatesCaseInsensitively) {
+  // The first spelling wins; later respellings name the same host and
+  // must not re-enter the walk order at lower priority.
+  RecoveryList list = RecoveryList::Parse("VaxA\nvaxa\nVAXB\n  vAxA \nvaxb\n");
+  EXPECT_EQ(list.hosts, (std::vector<std::string>{"VaxA", "VAXB"}));
+  EXPECT_EQ(list.IndexOf("vaxa"), 0u);
+  EXPECT_EQ(list.IndexOf("VaxB"), 1u);
+}
+
+TEST(RecoveryListTest, ParseCommentOnlyFileYieldsEmpty) {
+  EXPECT_TRUE(RecoveryList::Parse("# nothing\n\n   \n# but comments\n").empty());
+  EXPECT_TRUE(RecoveryList::Parse("").empty());
+}
+
+TEST(RecoveryListTest, ParseTrimsWhitespaceAroundHosts) {
+  RecoveryList list = RecoveryList::Parse("\tvaxA  \n   vaxB\t\r\n");
+  EXPECT_EQ(list.hosts, (std::vector<std::string>{"vaxA", "vaxB"}));
+}
+
 TEST(RecoveryListTest, MissingFileYieldsEmpty) {
   host::Filesystem fs;
   EXPECT_TRUE(ReadRecoveryList(fs, 100).empty());
@@ -203,6 +227,64 @@ TEST_F(RecoveryTest, DyingLpmRescuedByRetryBeforeDeadline) {
   EXPECT_EQ(c->ccs_host(), "vaxA");
 }
 
+TEST_F(RecoveryTest, TimeToDieExpiresOnSchedule) {
+  // The close-down must happen at the configured deadline — neither a
+  // premature death (a retry would have rescued it) nor an open-ended
+  // zombie (the paper's point is bounded autonomy).
+  cluster_.SetRecoveryList(kTestUid, {"vaxA", "vaxB"});
+  BuildSession();
+  cluster_.network().Partition({{*cluster_.network().FindHost("vaxC")},
+                                {*cluster_.network().FindHost("vaxA"),
+                                 *cluster_.network().FindHost("vaxB"),
+                                 *cluster_.network().FindHost("sun1"),
+                                 *cluster_.network().FindHost("sun2"),
+                                 *cluster_.network().FindHost("vaxD")}});
+  Lpm* c = cluster_.FindLpm("vaxC", kTestUid);
+  ASSERT_NE(c, nullptr);
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return c->mode() == LpmMode::kDying; },
+                       sim::Seconds(120)));
+  const sim::SimTime dying_at = cluster_.simulator().Now();
+  ASSERT_TRUE(RunUntil(cluster_,
+                       [&] { return cluster_.FindLpm("vaxC", kTestUid) == nullptr; },
+                       sim::Seconds(180)));
+  const auto lived =
+      static_cast<sim::SimDuration>(cluster_.simulator().Now() - dying_at);
+  // time_to_die is 60 s; allow poll granularity below and the close-down
+  // walk (killing local processes, deregistering) above.
+  EXPECT_GE(lived, sim::Seconds(59));
+  EXPECT_LE(lived, sim::Seconds(70));
+}
+
+TEST_F(RecoveryTest, HealJustBeforeExpiryCancelsDeath) {
+  cluster_.SetRecoveryList(kTestUid, {"vaxA", "vaxB"});
+  BuildSession();
+  cluster_.network().Partition({{*cluster_.network().FindHost("vaxC")},
+                                {*cluster_.network().FindHost("vaxA"),
+                                 *cluster_.network().FindHost("vaxB"),
+                                 *cluster_.network().FindHost("sun1"),
+                                 *cluster_.network().FindHost("sun2"),
+                                 *cluster_.network().FindHost("vaxD")}});
+  Lpm* c = cluster_.FindLpm("vaxC", kTestUid);
+  ASSERT_NE(c, nullptr);
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return c->mode() == LpmMode::kDying; },
+                       sim::Seconds(120)));
+  // Ride the death timer to 40 s of its 60 s, then heal: exactly one
+  // 15 s-interval retry (at 45 s) is left before expiry.
+  cluster_.RunFor(sim::Seconds(40));
+  ASSERT_NE(cluster_.FindLpm("vaxC", kTestUid), nullptr)
+      << "LPM expired before its time-to-die deadline";
+  ASSERT_EQ(c->mode(), LpmMode::kDying);
+  cluster_.network().Heal();
+  ASSERT_TRUE(RunUntil(cluster_,
+                       [&] {
+                         Lpm* l = cluster_.FindLpm("vaxC", kTestUid);
+                         return l && l->mode() == LpmMode::kNormal;
+                       },
+                       sim::Seconds(30)));
+  EXPECT_TRUE(cluster_.host("vaxC").kernel().Find(worker_c_.pid)->alive());
+  EXPECT_EQ(c->ccs_host(), "vaxA");
+}
+
 TEST_F(RecoveryTest, PartitionProducesTwoCcsAndHealsToOne) {
   BuildSession();
   // Partition: {vaxA, sun1} | {vaxB, vaxC, sun2, vaxD}.  Both sides
@@ -248,7 +330,9 @@ TEST_F(RecoveryTest, LpmCrashHandledLikeHostCrash) {
   GPid new_worker = CreateOn("vaxB");
   Lpm* b2 = cluster_.FindLpm("vaxB", kTestUid);
   ASSERT_NE(b2, nullptr);
-  EXPECT_NE(b2, b);
+  // Identity via pid, not object address: the allocator may legally
+  // reuse the dead LPM's storage for its replacement.
+  EXPECT_NE(b2->pid(), lpm_pid);
   std::optional<SnapshotResp> snap;
   client_->Snapshot([&](const SnapshotResp& r) { snap = r; });
   ASSERT_TRUE(RunUntil(cluster_, [&] { return snap.has_value(); }, sim::Seconds(120)));

@@ -1,11 +1,15 @@
 // test_util.h — shared fixtures and helpers for the PPM test suite.
 #pragma once
 
+#include <gtest/gtest.h>
+
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "chaos/engine.h"
+#include "chaos/plan.h"
 #include "core/cluster.h"
 #include "tools/client.h"
 
@@ -67,6 +71,16 @@ inline tools::PpmClient* ConnectTool(core::Cluster& cluster, const std::string& 
   });
   if (!RunUntil(cluster, [&] { return done; })) return nullptr;
   return ok ? client : nullptr;
+}
+
+// Runs a chaos plan at a seed and folds the outcome into a gtest
+// assertion.  The failure message always leads with the (seed, plan)
+// replay pair, which reproduces the run exactly.
+inline ::testing::AssertionResult RunChaos(uint64_t seed,
+                                           const chaos::ChaosPlan& plan) {
+  chaos::ChaosOutcome outcome = chaos::RunChaosPlan(seed, plan);
+  if (outcome.ok()) return ::testing::AssertionSuccess() << outcome.Summary();
+  return ::testing::AssertionFailure() << outcome.Summary();
 }
 
 }  // namespace ppm::test
