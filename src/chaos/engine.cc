@@ -83,6 +83,9 @@ core::ClusterConfig MakeClusterConfig(const ChaosPlan& plan, uint64_t seed) {
   config.lpm.time_to_die = plan.time_to_die;
   config.lpm.retry_interval = plan.retry_interval;
   config.lpm.probe_interval = plan.probe_interval;
+  config.lpm.durable_store = plan.durable_store;
+  config.lpm.store_group_commit = plan.store_group_commit;
+  config.lpm.store_checkpoint_every = plan.store_checkpoint_every;
   return config;
 }
 
@@ -426,6 +429,10 @@ ChaosOutcome RunChaosPlan(core::Cluster& cluster, uint64_t seed,
       CheckClusterInvariants(cluster, kChaosUid);
   out.violations.insert(out.violations.end(), cluster_violations.begin(),
                         cluster_violations.end());
+  // Every chaos run doubles as a durability test: at this quiescent
+  // point a read-only replay of each LPM's checkpoint + journal must
+  // reconstruct its live state exactly.
+  CheckStoreDurability(cluster, kChaosUid, &out.violations);
 
   return out;
 }

@@ -216,4 +216,61 @@ void CheckSnapshotCoverage(core::Cluster& cluster, host::Uid uid,
   }
 }
 
+void CheckStoreDurability(core::Cluster& cluster, host::Uid uid,
+                          std::vector<InvariantViolation>* out) {
+  for (const std::string& name : cluster.host_names()) {
+    host::Host& h = cluster.host(name);
+    if (!h.up()) continue;
+    core::Lpm* lpm = cluster.FindLpm(name, uid);
+    if (!lpm || !lpm->store()) continue;
+
+    store::RecoveredState replayed =
+        store::LpmStore::Recover(host::Disk(h.fs(), uid));
+
+    if (!replayed.found) {
+      Add(out, "store-empty",
+          name + ": LPM runs a store but replay found no state at all");
+      continue;
+    }
+    if (replayed.torn_bytes != 0) {
+      // At quiescence the journal read is the live view; a torn tail can
+      // only be crash garbage that open-time compaction failed to purge.
+      Add(out, "store-torn-at-rest",
+          name + ": " + std::to_string(replayed.torn_bytes) +
+              " torn journal byte(s) survived to a quiescent point");
+    }
+
+    // Replay must reconstruct exactly the live state: nothing lost,
+    // nothing invented.  Events are compared under the ring bound.
+    std::vector<core::HistEvent> events = replayed.events;
+    size_t cap = lpm->event_log().capacity();
+    if (events.size() > cap) {
+      events.erase(events.begin(),
+                   events.end() - static_cast<ptrdiff_t>(cap));
+    }
+    std::vector<core::HistEvent> live = lpm->event_log().Query();
+    if (events != live) {
+      Add(out, "store-events-diverge",
+          name + ": replayed " + std::to_string(events.size()) +
+              " event(s) but the live log holds " +
+              std::to_string(live.size()) +
+              " (or contents differ): replay must equal live history");
+    }
+    if (replayed.triggers != lpm->triggers().entries()) {
+      Add(out, "store-triggers-diverge",
+          name + ": replayed " + std::to_string(replayed.triggers.size()) +
+              " trigger(s), live table holds " +
+              std::to_string(lpm->triggers().entries().size()) +
+              " (or specs differ)");
+    }
+    if (replayed.rusage != lpm->exited_stats()) {
+      Add(out, "store-rusage-diverge",
+          name + ": replayed " + std::to_string(replayed.rusage.size()) +
+              " rusage record(s), live list holds " +
+              std::to_string(lpm->exited_stats().size()) +
+              " (or records differ)");
+    }
+  }
+}
+
 }  // namespace ppm::chaos

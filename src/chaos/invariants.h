@@ -48,4 +48,15 @@ void CheckSnapshotCoverage(core::Cluster& cluster, host::Uid uid,
                            const std::vector<core::ProcRecord>& records,
                            std::vector<InvariantViolation>* out);
 
+// Durable-store invariant, checked at quiescence on every up host whose
+// LPM runs with a store.  The journal is write-through (a read returns
+// the live view, synced or not), so a read-only replay of checkpoint +
+// journal must reconstruct EXACTLY the manager's in-memory state —
+// event history (up to the ring bound), installed triggers, and rusage
+// records.  Any divergence means the store either lost a record
+// (replayed ⊉ live) or invented one (live ⊉ replayed); a nonzero torn
+// tail at quiescence means a crash's garbage survived compaction.
+void CheckStoreDurability(core::Cluster& cluster, host::Uid uid,
+                          std::vector<InvariantViolation>* out);
+
 }  // namespace ppm::chaos

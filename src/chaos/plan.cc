@@ -44,4 +44,24 @@ ChaosPlan CorruptionPlan() {
   return plan;
 }
 
+ChaosPlan StorePlan() {
+  ChaosPlan plan;
+  plan.name = "store";
+  // Crash-heavy: the point is to die mid-write, reboot, and warm-restart.
+  plan.faults.crash_host = 25;
+  plan.faults.reboot_host = 25;
+  plan.faults.kill_lpm = 20;
+  // Busy workload keeps the journal hot so crashes land inside batches.
+  plan.workload.create = 30;
+  plan.workload.signal = 15;
+  plan.workload.snapshot = 10;
+  plan.min_gap = sim::Millis(500);
+  plan.max_gap = sim::Seconds(3);
+  // Wide group commit: up to 31 frames of unsynced tail to tear.
+  plan.store_group_commit = 32;
+  // Tight checkpoints: compaction races crashes often.
+  plan.store_checkpoint_every = 32;
+  return plan;
+}
+
 }  // namespace ppm::chaos

@@ -70,6 +70,15 @@ struct ChaosPlan {
   sim::SimDuration time_to_die = sim::Seconds(90);
   sim::SimDuration retry_interval = sim::Seconds(10);
   sim::SimDuration probe_interval = sim::Seconds(15);
+
+  // Durable store knobs.  Chaos runs always turn the store on: every
+  // plan doubles as a crash-recovery test, and the store-durability
+  // invariant is only meaningful with it.  A larger group_commit makes
+  // crashes land mid-batch (an unsynced tail to tear); a small
+  // checkpoint interval exercises compaction under fire.
+  bool durable_store = true;
+  uint32_t store_group_commit = 8;
+  uint32_t store_checkpoint_every = 64;
 };
 
 // The canned plans of the seed sweep.  Each stresses one failure family
@@ -79,5 +88,10 @@ struct ChaosPlan {
 ChaosPlan CrashPlan();
 ChaosPlan PartitionPlan();
 ChaosPlan CorruptionPlan();
+// Crash-mid-write stressor for the durable store: heavy host crashes and
+// LPM kills under constant workload, with group commit wide enough that
+// most crashes catch a journal batch unsynced — the torn tail must be
+// detected and discarded, never parsed.
+ChaosPlan StorePlan();
 
 }  // namespace ppm::chaos

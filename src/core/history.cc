@@ -18,10 +18,10 @@ uint32_t TraceFlagOf(host::KEvent kind) {
   return 0;
 }
 
-void EventLog::Record(const HistEvent& ev, uint32_t granularity_mask) {
+bool EventLog::Record(const HistEvent& ev, uint32_t granularity_mask) {
   if (!(TraceFlagOf(ev.kind) & granularity_mask)) {
     ++filtered_;
-    return;
+    return false;
   }
   ++total_;
   events_.push_back(ev);
@@ -29,6 +29,12 @@ void EventLog::Record(const HistEvent& ev, uint32_t granularity_mask) {
     events_.pop_front();
     ++dropped_;
   }
+  return true;
+}
+
+void EventLog::Restore(const std::vector<HistEvent>& events) {
+  events_.assign(events.begin(), events.end());
+  while (events_.size() > capacity_) events_.pop_front();
 }
 
 std::vector<HistEvent> EventLog::Query(host::Pid pid_filter, uint32_t max) const {
@@ -36,8 +42,12 @@ std::vector<HistEvent> EventLog::Query(host::Pid pid_filter, uint32_t max) const
   for (const HistEvent& ev : events_) {
     if (pid_filter != host::kNoPid && ev.pid != pid_filter) continue;
     out.push_back(ev);
-    if (max != 0 && out.size() >= max) break;
   }
+  // A bounded query returns the *most recent* `max` matches — a user
+  // asking for "the last 10 events" wants the tail of the history, not
+  // its long-forgotten head — still ordered oldest first.
+  if (max != 0 && out.size() > max)
+    out.erase(out.begin(), out.end() - static_cast<ptrdiff_t>(max));
   return out;
 }
 
@@ -60,8 +70,14 @@ void TriggerTable::Match(const HistEvent& ev, const FireFn& fire) {
     TriggerSpec spec = triggers_[id];
     triggers_.erase(id);
     ++fired_;
-    fire(spec, ev);
+    fire(id, spec, ev);
   }
+}
+
+void TriggerTable::Restore(const std::map<uint64_t, TriggerSpec>& triggers) {
+  triggers_ = triggers;
+  for (const auto& [id, _] : triggers_)
+    if (id >= next_id_) next_id_ = id + 1;
 }
 
 }  // namespace ppm::core

@@ -30,10 +30,17 @@ class EventLog {
  public:
   explicit EventLog(size_t capacity = 4096) : capacity_(capacity) {}
 
-  // Appends if `kind` passes `granularity_mask` (TraceFlag bits).
-  void Record(const HistEvent& ev, uint32_t granularity_mask);
+  // Appends if `kind` passes `granularity_mask` (TraceFlag bits);
+  // returns whether the event was recorded (false: filtered out).
+  bool Record(const HistEvent& ev, uint32_t granularity_mask);
 
-  // Events, oldest first, optionally filtered by pid; max 0 = unlimited.
+  // Seeds the log from replayed durable state (warm restart).  Trims to
+  // capacity keeping the newest; lifetime counters are not touched —
+  // they describe this incarnation's traffic.
+  void Restore(const std::vector<HistEvent>& events);
+
+  // Events, oldest first, optionally filtered by pid.  With max != 0,
+  // returns the most recent `max` matches (still oldest first).
   std::vector<HistEvent> Query(host::Pid pid_filter = host::kNoPid,
                                uint32_t max = 0) const;
 
@@ -59,7 +66,7 @@ uint32_t TraceFlagOf(host::KEvent kind);
 
 class TriggerTable {
  public:
-  using FireFn = std::function<void(const TriggerSpec&, const HistEvent&)>;
+  using FireFn = std::function<void(uint64_t id, const TriggerSpec&, const HistEvent&)>;
 
   // Installs a trigger; returns its id.
   uint64_t Install(const TriggerSpec& spec);
@@ -69,6 +76,13 @@ class TriggerTable {
   // each hit.  Triggers are one-shot: a fired trigger is removed, which
   // keeps retry loops from delivering the same signal forever.
   void Match(const HistEvent& ev, const FireFn& fire);
+
+  // Seeds the table from replayed durable state (warm restart).  The id
+  // counter resumes past the highest restored id so re-installed and new
+  // triggers never collide.
+  void Restore(const std::map<uint64_t, TriggerSpec>& triggers);
+
+  const std::map<uint64_t, TriggerSpec>& entries() const { return triggers_; }
 
   size_t size() const { return triggers_.size(); }
   uint64_t fired_count() const { return fired_; }

@@ -91,6 +91,33 @@ void Lpm::OnStart() {
     PPM_CHECK_MSG(parsed.has_value(), "kernel event wire corruption");
     OnKernelEvent(*parsed);
   });
+  if (config_.durable_store) {
+    store::StoreConfig scfg;
+    scfg.group_commit = config_.store_group_commit;
+    scfg.checkpoint_every = config_.store_checkpoint_every;
+    scfg.event_capacity = config_.event_log_capacity;
+    store_ = std::make_unique<store::LpmStore>(host::Disk(host_.fs(), uid_), scfg);
+    // A physical sync is real kernel work.  Charge it as CPU consumed by
+    // the LPM (it shows up in load and rusage) without stretching the
+    // operation that triggered it: group commit means the sync overlaps
+    // request handling rather than serializing it.
+    store_->journal().set_sync_hook([this](size_t) {
+      if (running_ && host_.up()) {
+        kernel().Charge(pid(), BaseCosts::kStoreSync);
+      }
+    });
+    store::RecoveredState recovered = store_->Recover();
+    if (recovered.found) WarmRestart(recovered);
+    store_->Open(recovered, host_.generation());
+    // Re-adopted processes forked *after* the predecessor's last journal
+    // write exist in local_procs_ but not on disk yet: journal them now
+    // that the store accepts records.
+    for (const auto& [lp, info] : local_procs_) {
+      if (!recovered.procs.count(lp)) {
+        store_->RecordProcNew(lp, info.logical_parent, info.command);
+      }
+    }
+  }
   PPM_INFO("lpm") << "LPM for " << user_ << " up on " << host_name() << " pid " << pid();
   ReviewTtl();
 }
@@ -140,9 +167,77 @@ void Lpm::OnShutdown() {
   snapshots_.clear();
 }
 
+// Warm restart (the tentpole of the durable store): seed in-memory state
+// from what the previous incarnation journaled.  History, triggers and
+// rusage records are valid across any restart; genealogy hints are only
+// actionable within the same kernel generation, because a reboot killed
+// every process and pids will be reused.
+void Lpm::WarmRestart(const store::RecoveredState& recovered) {
+  event_log_.Restore(recovered.events);
+  triggers_.Restore(recovered.triggers);
+  exited_stats_ = recovered.rusage;
+  // Never self-appoint CCS from disk: the cluster may have elected
+  // someone else while we were down.  A foreign hint is safe — worst
+  // case it names a dead host and the normal timeout path clears it.
+  if (!recovered.ccs_host.empty() && recovered.ccs_host != host_name()) {
+    ccs_host_ = recovered.ccs_host;
+  }
+  size_t readopted = 0;
+  if (recovered.generation == host_.generation()) {
+    for (const auto& [rpid, hint] : recovered.procs) {
+      const host::Process* p = kernel().Find(rpid);
+      if (!p || !p->alive() || p->uid != uid_) continue;
+      if (local_procs_.count(rpid)) continue;
+      std::vector<Pid> adopted;
+      if (!kernel().Adopt(pid(), rpid, host::kTraceAll, uid_, &adopted)) {
+        continue;
+      }
+      for (Pid ap : adopted) {
+        if (local_procs_.count(ap)) continue;
+        LocalProc info;
+        auto hit = recovered.procs.find(ap);
+        const host::Process* proc = kernel().Find(ap);
+        if (hit != recovered.procs.end()) {
+          info.logical_parent = hit->second.logical_parent;
+          info.command = hit->second.command;
+        } else if (proc) {
+          // Forked after our last journal write: its parent is local.
+          info.logical_parent = GPid{host_name(), proc->ppid};
+          info.command = proc->command;
+        }
+        local_procs_[ap] = std::move(info);
+        ++readopted;
+      }
+    }
+    for (const auto& [rpid, child] : recovered.remote_children) {
+      auto it = local_procs_.find(rpid);
+      if (it == local_procs_.end()) continue;
+      auto& kids = it->second.remote_children;
+      if (std::find(kids.begin(), kids.end(), child) == kids.end()) {
+        kids.push_back(child);
+      }
+    }
+  }
+  PPM_INFO("lpm") << "LPM for " << user_ << " on " << host_name()
+                  << " warm restart: " << recovered.events.size() << " events, "
+                  << recovered.triggers.size() << " triggers, "
+                  << recovered.rusage.size() << " rusage records, " << readopted
+                  << " processes re-adopted"
+                  << (recovered.torn_bytes
+                          ? " (torn journal tail discarded)"
+                          : "");
+}
+
+void Lpm::PersistCcs() {
+  if (store_) store_->RecordCcs(ccs_host_);
+}
+
 void Lpm::ExitSelf(int status) {
   if (!running_) return;
   graceful_exit_ = true;
+  // A clean exit leaves a fresh checkpoint and an empty journal: the
+  // successor warm-restarts from the checkpoint alone.
+  if (store_) store_->Checkpoint();
   if (daemon::Pmd* pmd = pmd_getter_ ? pmd_getter_() : nullptr) {
     pmd->Unregister(uid_, pid());
   }
@@ -391,6 +486,7 @@ void Lpm::OnData(net::ConnId conn, const std::vector<uint8_t>& bytes) {
                           << m.requested_by << ")";
           is_ccs_ = true;
           ccs_host_ = host_name();
+          PersistCcs();
           CancelDeath();
           mode_ = LpmMode::kNormal;
           recovery_in_progress_ = false;
@@ -412,6 +508,7 @@ void Lpm::OnData(net::ConnId conn, const std::vector<uint8_t>& bytes) {
             auto& kids = it->second.remote_children;
             if (std::find(kids.begin(), kids.end(), m.child) == kids.end()) {
               kids.push_back(m.child);
+              if (store_) store_->RecordRemoteChild(m.parent_pid, m.child);
             }
           }
         } else if constexpr (std::is_same_v<T, CcsChanged>) {
@@ -479,6 +576,7 @@ void Lpm::HandleHello(net::ConnId conn, const Msg& msg, PeerInfo& info) {
     if (ccs_host_.empty()) {
       is_ccs_ = true;
       ccs_host_ = host_name();
+      PersistCcs();
       RegisterCcsWithNameServer();
       // A default coordinator still owes deference to ~/.recovery: if a
       // higher-priority listed host (or any listed host, when we are
@@ -553,6 +651,7 @@ void Lpm::DoCreateLocal(const CreateReq& req, Pid handler,
     LocalProc info;
     info.logical_parent = req.logical_parent;
     info.command = req.command;
+    if (store_) store_->RecordProcNew(child, info.logical_parent, info.command);
     local_procs_[child] = std::move(info);
     resp.ok = true;
     resp.gpid = GPid{host_name(), child};
@@ -801,6 +900,9 @@ void Lpm::HandleAdopt(net::ConnId conn, const AdoptReq& req) {
               if (proc && local_procs_.count(proc->ppid)) {
                 info.logical_parent = GPid{host_name(), proc->ppid};
               }
+              if (store_) {
+                store_->RecordProcNew(p, info.logical_parent, info.command);
+              }
               local_procs_[p] = std::move(info);
             }
           }
@@ -922,6 +1024,7 @@ void Lpm::HandleTrigger(net::ConnId conn, const TriggerReq& req) {
         resp.req_id = req.req_id;
         resp.ok = true;
         resp.trigger_id = triggers_.Install(req.spec);
+        if (store_) store_->RecordTriggerInstall(resp.trigger_id, req.spec);
         ReplyMsg(conn, resp);
         ReleaseHandler(h);
       }, "lpm-trigger");
@@ -1057,7 +1160,10 @@ void Lpm::DoMigrateLocal(const MigrateReq& req, Pid handler,
           GPid new_gpid = std::get<CreateResp>(*m).gpid;
           // Commit: terminate the old incarnation and anchor the new one.
           auto it = local_procs_.find(req.target.pid);
-          if (it != local_procs_.end()) it->second.remote_children.push_back(new_gpid);
+          if (it != local_procs_.end()) {
+            it->second.remote_children.push_back(new_gpid);
+            if (store_) store_->RecordRemoteChild(req.target.pid, new_gpid);
+          }
           kernel().PostSignal(req.target.pid, host::Signal::kSigKill, uid_);
           resp.ok = true;
           resp.new_gpid = new_gpid;
@@ -1498,7 +1604,9 @@ void Lpm::OnKernelEvent(const host::KernelEvent& ev) {
   h.sig = ev.sig;
   h.status = ev.status;
   h.detail = ev.detail;
-  event_log_.Record(h, config_.granularity_mask);
+  if (event_log_.Record(h, config_.granularity_mask) && store_) {
+    store_->RecordEvent(h);
+  }
   LpmMetrics& m = Metrics();
   m.eventlog_size->Set(static_cast<double>(event_log_.size()));
   m.eventlog_dropped->Set(static_cast<double>(event_log_.total_dropped()));
@@ -1515,6 +1623,9 @@ void Lpm::OnKernelEvent(const host::KernelEvent& ev) {
         LocalProc info;
         info.command = child ? child->command : "?";
         info.logical_parent = GPid{host_name(), ev.pid};
+        if (store_) {
+          store_->RecordProcNew(ev.other, info.logical_parent, info.command);
+        }
         local_procs_[ev.other] = std::move(info);
       }
       break;
@@ -1536,8 +1647,10 @@ void Lpm::OnKernelEvent(const host::KernelEvent& ev) {
           rec.start_time = p->start_time;
           rec.end_time = p->end_time;
           rec.rusage = p->rusage;
+          if (store_) store_->RecordRusage(rec);
           exited_stats_.push_back(std::move(rec));
         }
+        if (store_) store_->RecordProcExit(ev.pid);
         kernel().Reap(pid());  // collect creation-server children
         ReviewTtl();
       }
@@ -1547,7 +1660,11 @@ void Lpm::OnKernelEvent(const host::KernelEvent& ev) {
       break;
   }
 
-  triggers_.Match(h, [this](const TriggerSpec& spec, const HistEvent& hev) {
+  triggers_.Match(h, [this](uint64_t id, const TriggerSpec& spec,
+                            const HistEvent& hev) {
+    // Triggers are one-shot: journal the removal so a warm restart does
+    // not re-arm (and re-fire) an already-consumed trigger.
+    if (store_) store_->RecordTriggerRemove(id);
     FireTrigger(spec, hev);
   });
   m.triggers_size->Set(static_cast<double>(triggers_.size()));
@@ -1690,6 +1807,7 @@ void Lpm::RecoverViaNameServer() {
             if (*answer == host_name()) {
               is_ccs_ = true;
               ccs_host_ = host_name();
+              PersistCcs();
               mode_ = LpmMode::kNormal;
               recovery_in_progress_ = false;
               CancelDeath();
@@ -1702,6 +1820,7 @@ void Lpm::RecoverViaNameServer() {
               if (conn) {
                 ccs_host_ = ccs;
                 is_ccs_ = false;
+                PersistCcs();
                 mode_ = LpmMode::kNormal;
                 recovery_in_progress_ = false;
                 CancelDeath();
@@ -1714,6 +1833,7 @@ void Lpm::RecoverViaNameServer() {
                               << ": registered CCS unreachable; self-appointing";
               is_ccs_ = true;
               ccs_host_ = host_name();
+              PersistCcs();
               mode_ = LpmMode::kNormal;
               recovery_in_progress_ = false;
               CancelDeath();
@@ -1741,6 +1861,7 @@ void Lpm::RecoverViaNameServer() {
                                                           << w;
                                           is_ccs_ = false;
                                           ccs_host_ = w;
+                                          PersistCcs();
                                           AnnounceCcs();
                                           ReviewTtl();
                                         });
@@ -1776,6 +1897,7 @@ void Lpm::WalkRecoveryList(size_t index) {
     // The reachable recovery host's LPM becomes the coordinator.
     ccs_host_ = target;
     is_ccs_ = false;
+    PersistCcs();
     mode_ = LpmMode::kNormal;
     recovery_in_progress_ = false;
     CancelDeath();
@@ -1792,6 +1914,7 @@ void Lpm::BecomeActingCcs(size_t list_index) {
                   << list_index << ")";
   is_ccs_ = true;
   ccs_host_ = host_name();
+  PersistCcs();
   recovery_in_progress_ = false;
   CancelDeath();
   RegisterCcsWithNameServer();
@@ -1848,6 +1971,7 @@ void Lpm::YieldCcsTo(const std::string& host) {
   PPM_INFO("lpm") << host_name() << ": yielding CCS role to " << host;
   is_ccs_ = false;
   ccs_host_ = host;
+  PersistCcs();
   mode_ = LpmMode::kNormal;
   simulator().Cancel(probe_event_);
   probe_event_ = sim::kInvalidEventId;
@@ -1922,6 +2046,7 @@ void Lpm::AdoptCcsFromPeer(const std::string& peer_ccs) {
     // First CCS knowledge for this LPM: a plain hint.
     ccs_host_ = peer_ccs;
     is_ccs_ = (peer_ccs == host_name());
+    PersistCcs();
     return;
   }
   // "…a LPM not in contact with a CCS resumes the normal mode of
@@ -1937,6 +2062,7 @@ void Lpm::AcceptCcsAnnouncement(const std::string& new_ccs) {
   if (new_ccs.empty()) return;
   ccs_host_ = new_ccs;
   is_ccs_ = (new_ccs == host_name());
+  PersistCcs();
   recovery_in_progress_ = false;
   CancelDeath();
   if (is_ccs_) RegisterCcsWithNameServer();

@@ -43,6 +43,7 @@
 #include "daemon/pmd.h"
 #include "host/host.h"
 #include "net/network.h"
+#include "store/lpm_store.h"
 
 namespace ppm::core {
 
@@ -80,6 +81,19 @@ struct LpmConfig {
   // Handler pool policy (paper Section 6).
   bool handler_reuse = true;
   size_t max_handlers = 8;
+  // Durable state store (src/store/): when enabled, every history event,
+  // trigger change, rusage record and genealogy change is written ahead
+  // to a CRC-framed journal (with periodic checkpoints), and a restarted
+  // LPM warm-restarts from it — replaying its event history, triggers
+  // and exited-process statistics, and re-adopting still-live processes
+  // of the same kernel generation.  Off by default so the journal's cost
+  // is an opt-in (chaos plans and the durability tests turn it on; the
+  // knob also lets benches measure exactly what durability costs).
+  bool durable_store = false;
+  // Journal frames per physical sync (group commit width).
+  uint32_t store_group_commit = 8;
+  // Records between checkpoint+compaction cycles; bounds replay cost.
+  uint32_t store_checkpoint_every = 256;
 };
 
 struct LpmStats {
@@ -129,6 +143,10 @@ class Lpm : public host::ProcessBody {
   LpmEndpoints Endpoints() const;
   const LpmStats& stats() const { return stats_; }
   const EventLog& event_log() const { return event_log_; }
+  const TriggerTable& triggers() const { return triggers_; }
+  const std::vector<RusageRecord>& exited_stats() const { return exited_stats_; }
+  // The durable store, or nullptr when config.durable_store is off.
+  store::LpmStore* store() { return store_.get(); }
   size_t handler_count() const { return handlers_.size(); }
   size_t adopted_live_count() const;
   // Pids of the local processes this LPM currently tracks as live (the
@@ -267,6 +285,14 @@ class Lpm : public host::ProcessBody {
   void OnKernelEvent(const host::KernelEvent& ev);
   void FireTrigger(const TriggerSpec& spec, const HistEvent& ev);
 
+  // durable store (src/store/)
+  // Replays checkpoint+journal at boot and seeds the event log, trigger
+  // table, rusage records, CCS hint and genealogy; re-adopts still-live
+  // processes when the kernel generation matches.
+  void WarmRestart(const store::RecoveredState& recovered);
+  // Journals a CCS change (no-op without a store).
+  void PersistCcs();
+
   // signal delivery to an arbitrary GPid (trigger actions)
   void SignalGPid(const GPid& target, host::Signal sig,
                   std::function<void(bool, std::string)> done);
@@ -335,6 +361,7 @@ class Lpm : public host::ProcessBody {
   BroadcastFilter bcast_filter_;
   EventLog event_log_;
   TriggerTable triggers_;
+  std::unique_ptr<store::LpmStore> store_;  // null unless config.durable_store
 
   // recovery state
   LpmMode mode_ = LpmMode::kNormal;

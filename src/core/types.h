@@ -60,6 +60,8 @@ struct RusageRecord {
   sim::SimTime start_time = 0;
   sim::SimTime end_time = 0;
   host::Rusage rusage;
+
+  bool operator==(const RusageRecord&) const = default;
 };
 
 // One entry of the per-LPM event history.
@@ -71,6 +73,8 @@ struct HistEvent {
   host::Signal sig = host::Signal::kSigHup;
   int status = 0;
   std::string detail;
+
+  bool operator==(const HistEvent&) const = default;
 };
 
 // A history-dependent trigger (paper Section 1: "history dependent
@@ -91,6 +95,8 @@ struct TriggerSpec {
   host::Signal action_signal = host::Signal::kSigTerm;
   GPid action_target;
   std::string migrate_dest;  // destination host for kMigrate
+
+  bool operator==(const TriggerSpec&) const = default;
 };
 
 }  // namespace ppm::core

@@ -8,12 +8,16 @@
 // requesters that pass user-level authentication (.rhosts for remote
 // requests).
 //
-// The registry is volatile by default.  The paper notes that keeping it
+// The registry is durable by default.  The paper notes that keeping it
 // in stable storage would let the mechanism survive pmd-only crashes at
 // the price of extra LPM-creation overhead, but left that unimplemented;
 // we implement it behind PmdConfig::stable_storage so the trade-off can
 // be measured (bench_ablate_pmd_storage) and the failure mode of the
-// volatile variant demonstrated (a duplicate LPM after a pmd restart).
+// volatile variant demonstrated (a duplicate LPM after a pmd restart —
+// see daemon_test's PmdCrashTest, which opts out of durability to show
+// it).  Since the durable state store landed (src/store/), stable
+// registrations are the default: a pmd restart re-reads pmd.state and
+// re-binds to still-live LPMs instead of minting duplicates.
 #pragma once
 
 #include <cstdint>
@@ -41,7 +45,9 @@ using LpmFactory =
 
 struct PmdConfig {
   // Keep the registry in a disk file so a pmd-only crash is survivable.
-  bool stable_storage = false;
+  // On by default; turn off to reproduce the paper's volatile pmd and
+  // its duplicate-LPM failure mode.
+  bool stable_storage = true;
   // The paper: pmd "is present in an installation as long as there is
   // any LPM present".  Once the registry empties, pmd lingers this long
   // and then exits; inetd re-creates it on the next request.  0 = never

@@ -89,6 +89,10 @@ struct BaseCosts {
   // Checkpoint + image transfer of one migrating process (our extension;
   // sized like shipping a few hundred KB over a mid-80s Ethernet).
   static constexpr sim::SimDuration kMigrateImage = sim::Micros(150'000);
+  // One journal fsync of the durable store (src/store/): a synchronous
+  // seek + write on a mid-80s Winchester disk.  Group commit exists to
+  // amortize exactly this cost (measured by bench_store).
+  static constexpr sim::SimDuration kStoreSync = sim::Micros(30'000);
 };
 
 // Scales a base cost by host speed and current load:

@@ -3,7 +3,23 @@
 namespace ppm::host {
 
 void Filesystem::Write(Uid uid, const std::string& name, const std::string& content) {
-  homes_[uid][name] = content;
+  File& f = homes_[uid][name];
+  f.content = content;
+  f.synced_len = content.size();
+}
+
+void Filesystem::Append(Uid uid, const std::string& name, const std::string& data) {
+  homes_[uid][name].content += data;
+}
+
+size_t Filesystem::Sync(Uid uid, const std::string& name) {
+  auto uit = homes_.find(uid);
+  if (uit == homes_.end()) return 0;
+  auto fit = uit->second.find(name);
+  if (fit == uit->second.end()) return 0;
+  size_t flushed = fit->second.content.size() - fit->second.synced_len;
+  fit->second.synced_len = fit->second.content.size();
+  return flushed;
 }
 
 std::optional<std::string> Filesystem::Read(Uid uid, const std::string& name) const {
@@ -11,7 +27,7 @@ std::optional<std::string> Filesystem::Read(Uid uid, const std::string& name) co
   if (uit == homes_.end()) return std::nullopt;
   auto fit = uit->second.find(name);
   if (fit == uit->second.end()) return std::nullopt;
-  return fit->second;
+  return fit->second.content;
 }
 
 bool Filesystem::Remove(Uid uid, const std::string& name) {
@@ -30,6 +46,35 @@ std::vector<std::string> Filesystem::List(Uid uid) const {
   if (uit == homes_.end()) return out;
   for (const auto& [name, _] : uit->second) out.push_back(name);
   return out;
+}
+
+size_t Filesystem::Size(Uid uid, const std::string& name) const {
+  auto uit = homes_.find(uid);
+  if (uit == homes_.end()) return 0;
+  auto fit = uit->second.find(name);
+  if (fit == uit->second.end()) return 0;
+  return fit->second.content.size();
+}
+
+size_t Filesystem::SyncedSize(Uid uid, const std::string& name) const {
+  auto uit = homes_.find(uid);
+  if (uit == homes_.end()) return 0;
+  auto fit = uit->second.find(name);
+  if (fit == uit->second.end()) return 0;
+  return fit->second.synced_len;
+}
+
+void Filesystem::TearUnsynced(sim::Rng& rng) {
+  for (auto& [uid, home] : homes_) {
+    for (auto& [name, f] : home) {
+      if (f.content.size() <= f.synced_len) continue;
+      size_t keep = static_cast<size_t>(
+          rng.Range(static_cast<int64_t>(f.synced_len),
+                    static_cast<int64_t>(f.content.size())));
+      f.content.resize(keep);
+      f.synced_len = keep;
+    }
+  }
 }
 
 }  // namespace ppm::host

@@ -1,7 +1,7 @@
 // filesystem.h — a miniature per-host filesystem.
 //
 // Only what the PPM needs from disk: per-user home directories holding
-// small text files.  Two files carry policy, exactly as in the paper:
+// small files.  Two text files carry policy, exactly as in the paper:
 //
 //   ~/.recovery   hosts in decreasing priority where the crash
 //                 coordinator site should reside (paper Section 5);
@@ -10,6 +10,19 @@
 //
 // The filesystem survives host crashes (it is a disk), which is what
 // makes .recovery usable as the driving search strategy for recovery.
+//
+// Durability model.  Each file tracks how much of its content has
+// reached stable storage (`synced_len`):
+//
+//   * Write()  atomically replaces a file and syncs it — the whole new
+//     content is durable.  This models the small-file rename trick and
+//     is what the policy files and checkpoints use.
+//   * Append() grows a file WITHOUT syncing: the new tail sits in the
+//     buffer cache until Sync() is called.  This is the journal path.
+//   * On Crash() the host calls TearUnsynced(): every file keeps at
+//     least its synced prefix, but the unsynced tail is cut at a
+//     random byte drawn from the simulation RNG — possibly mid-record,
+//     exactly the torn write a journal's framing must detect.
 #pragma once
 
 #include <map>
@@ -18,23 +31,79 @@
 #include <vector>
 
 #include "host/process.h"
+#include "sim/rng.h"
 
 namespace ppm::host {
 
 class Filesystem {
  public:
   // Writes (creates or replaces) a file in uid's home directory.
+  // Atomic and durable: the entire content is synced.
   void Write(Uid uid, const std::string& name, const std::string& content);
 
-  // Reads a file; nullopt if absent.
+  // Appends to a file (creating it empty first if absent) without
+  // syncing; the appended bytes are vulnerable until Sync().
+  void Append(Uid uid, const std::string& name, const std::string& data);
+
+  // Flushes a file's unsynced tail to stable storage.  Returns the
+  // number of bytes that became durable (0 if already clean or absent).
+  size_t Sync(Uid uid, const std::string& name);
+
+  // Reads a file; nullopt if absent.  Returns the live view, unsynced
+  // tail included (a crash-free reader sees the buffer cache).
   std::optional<std::string> Read(Uid uid, const std::string& name) const;
 
   bool Remove(Uid uid, const std::string& name);
   bool Exists(Uid uid, const std::string& name) const;
+  // Names in a user's home, sorted — iteration order is stable.
   std::vector<std::string> List(Uid uid) const;
 
+  size_t Size(Uid uid, const std::string& name) const;
+  size_t SyncedSize(Uid uid, const std::string& name) const;
+
+  // Crash semantics: every file is cut at a uniformly random point in
+  // [synced_len, size] — the synced prefix always survives, any part of
+  // the unsynced tail may be lost, including a cut mid-record.  Called
+  // by Host::Crash() with the simulator's RNG so runs stay reproducible.
+  void TearUnsynced(sim::Rng& rng);
+
  private:
-  std::map<Uid, std::map<std::string, std::string>> homes_;
+  struct File {
+    std::string content;
+    size_t synced_len = 0;
+  };
+
+  std::map<Uid, std::map<std::string, File>> homes_;
+};
+
+// Disk — the append-oriented view of one user's home that the durable
+// store (src/store/) writes through.  A thin handle: it adds no state,
+// it just binds a Filesystem reference to a uid so store code cannot
+// stray outside its owner's home directory.
+class Disk {
+ public:
+  Disk(Filesystem& fs, Uid uid) : fs_(fs), uid_(uid) {}
+
+  void Write(const std::string& name, const std::string& content) {
+    fs_.Write(uid_, name, content);
+  }
+  void Append(const std::string& name, const std::string& data) {
+    fs_.Append(uid_, name, data);
+  }
+  size_t Sync(const std::string& name) { return fs_.Sync(uid_, name); }
+  std::optional<std::string> Read(const std::string& name) const {
+    return fs_.Read(uid_, name);
+  }
+  bool Remove(const std::string& name) { return fs_.Remove(uid_, name); }
+  bool Exists(const std::string& name) const { return fs_.Exists(uid_, name); }
+  size_t Size(const std::string& name) const { return fs_.Size(uid_, name); }
+  size_t SyncedSize(const std::string& name) const { return fs_.SyncedSize(uid_, name); }
+
+  Uid uid() const { return uid_; }
+
+ private:
+  Filesystem& fs_;
+  Uid uid_;
 };
 
 }  // namespace ppm::host

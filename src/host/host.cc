@@ -23,6 +23,9 @@ void Host::Crash() {
   // body does in OnShutdown can still reach the wire.
   network_.SetHostUp(net_id_, false);
   kernel_->CrashAll();
+  // The disk keeps every synced prefix but the buffer cache is gone:
+  // unsynced appended tails tear at a random byte (possibly mid-record).
+  fs_.TearUnsynced(sim_.rng());
 }
 
 void Host::Reboot() {

@@ -47,7 +47,8 @@ class Host {
   void set_boot_fn(std::function<void(Host&)> fn) { boot_fn_ = std::move(fn); }
 
   // Machine failure: all processes are destroyed (no events, no exits —
-  // the power is simply gone) and the network sees the host down.
+  // the power is simply gone), the network sees the host down, and every
+  // file's unsynced appended tail tears (Filesystem::TearUnsynced).
   void Crash();
 
   // Power-on after a crash: fresh kernel, network back up, boot function

@@ -75,6 +75,8 @@ struct Rusage {
   uint64_t files_opened = 0;
   uint64_t max_rss_kb = 0;
   uint64_t forks = 0;
+
+  bool operator==(const Rusage&) const = default;
 };
 
 class Kernel;

@@ -1,0 +1,95 @@
+#include "store/journal.h"
+
+#include "obs/metrics.h"
+#include "util/bytes.h"
+
+namespace ppm::store {
+
+namespace {
+
+struct JournalMetrics {
+  obs::Counter* appends;
+  obs::Counter* append_bytes;
+  obs::Counter* fsyncs;
+  obs::Counter* fsync_bytes;
+  obs::Counter* replays;
+  obs::Counter* replay_frames;
+  obs::Counter* replay_torn_bytes;
+};
+
+JournalMetrics& Metrics() {
+  static JournalMetrics m = [] {
+    auto& r = obs::Registry::Instance();
+    JournalMetrics mm;
+    mm.appends = r.GetCounter("store.journal.appends");
+    mm.append_bytes = r.GetCounter("store.append_bytes");
+    mm.fsyncs = r.GetCounter("store.fsyncs");
+    mm.fsync_bytes = r.GetCounter("store.fsync_bytes");
+    mm.replays = r.GetCounter("store.replays");
+    mm.replay_frames = r.GetCounter("store.replay_frames");
+    mm.replay_torn_bytes = r.GetCounter("store.replay_torn_bytes");
+    return mm;
+  }();
+  return m;
+}
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
+
+}  // namespace
+
+Journal::Journal(host::Disk disk, std::string name, uint32_t group_commit)
+    : disk_(disk), name_(std::move(name)), group_commit_(group_commit ? group_commit : 1) {}
+
+bool Journal::Append(const std::vector<uint8_t>& payload) {
+  util::ByteWriter w;
+  w.U32(static_cast<uint32_t>(payload.size()));
+  w.U32(util::Crc32(payload));
+  std::vector<uint8_t> frame = w.Take();
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  disk_.Append(name_, std::string(frame.begin(), frame.end()));
+  Metrics().appends->Inc();
+  Metrics().append_bytes->Inc(frame.size());
+  if (++pending_ < group_commit_) return false;
+  Sync();
+  return true;
+}
+
+size_t Journal::Sync() {
+  pending_ = 0;
+  size_t flushed = disk_.Sync(name_);
+  Metrics().fsyncs->Inc();
+  Metrics().fsync_bytes->Inc(flushed);
+  if (sync_hook_) sync_hook_(flushed);
+  return flushed;
+}
+
+void Journal::Reset() {
+  pending_ = 0;
+  disk_.Write(name_, "");
+}
+
+Journal::Replayed Journal::Replay(const host::Disk& disk, const std::string& name) {
+  Replayed out;
+  Metrics().replays->Inc();
+  std::optional<std::string> content = disk.Read(name);
+  if (!content) return out;
+  const auto* data = reinterpret_cast<const uint8_t*>(content->data());
+  size_t pos = 0;
+  const size_t size = content->size();
+  while (pos + kFrameHeaderBytes <= size) {
+    uint32_t len = 0, crc = 0;
+    for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(data[pos + i]) << (8 * i);
+    for (int i = 0; i < 4; ++i) crc |= static_cast<uint32_t>(data[pos + 4 + i]) << (8 * i);
+    if (pos + kFrameHeaderBytes + len > size) break;        // torn mid-payload
+    if (util::Crc32(data + pos + kFrameHeaderBytes, len) != crc) break;  // corrupt
+    out.payloads.emplace_back(data + pos + kFrameHeaderBytes,
+                              data + pos + kFrameHeaderBytes + len);
+    pos += kFrameHeaderBytes + len;
+  }
+  out.torn_bytes = size - pos;
+  Metrics().replay_frames->Inc(out.payloads.size());
+  Metrics().replay_torn_bytes->Inc(out.torn_bytes);
+  return out;
+}
+
+}  // namespace ppm::store

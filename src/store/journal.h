@@ -1,0 +1,81 @@
+// journal.h — a CRC32-framed append-only write-ahead journal.
+//
+// The journal is the durability primitive of the PPM (ROADMAP: "what a
+// production process manager's daemons remember across failures").  It
+// writes length-prefixed, checksummed frames through host::Disk::Append
+// — which models a buffer cache: appended bytes are NOT durable until a
+// Sync, and a host crash tears the unsynced tail at an arbitrary byte.
+//
+// Frame layout (all little-endian):
+//
+//   [u32 payload length][u32 CRC-32 of payload][payload bytes]
+//
+// Group commit: Append() batches physical syncs — one fsync per
+// `group_commit` appended frames — because the fsync is the expensive
+// part (BaseCosts::kStoreSync models a mid-80s Winchester seek+write).
+// Callers place explicit sync points with Sync() wherever a record must
+// be durable *now* (e.g. before acknowledging a trigger install).
+//
+// Replay walks frames from the front and stops at the first frame that
+// is short, torn, or fails its CRC: a torn tail is *detected and
+// discarded*, never parsed as garbage.  Everything before the tear is
+// returned in append order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "host/filesystem.h"
+
+namespace ppm::store {
+
+class Journal {
+ public:
+  // `group_commit` >= 1: number of appended frames per physical sync.
+  Journal(host::Disk disk, std::string name, uint32_t group_commit);
+
+  // Frames and appends one payload (write-through to the buffer cache);
+  // issues a physical sync when the batch is full.  Returns true when
+  // this append triggered a sync.
+  bool Append(const std::vector<uint8_t>& payload);
+
+  // Explicit sync point: flushes the batch regardless of fill.  Returns
+  // the number of bytes that became durable (0 when already clean).
+  size_t Sync();
+
+  // Compaction: truncates the journal to empty, durably (checkpoint
+  // callers invoke this after the checkpoint file is safely written).
+  void Reset();
+
+  struct Replayed {
+    std::vector<std::vector<uint8_t>> payloads;  // intact frames, in order
+    size_t torn_bytes = 0;  // trailing bytes discarded as torn/corrupt
+  };
+
+  // Read-only decode of the journal as found on disk.  Static so a
+  // freshly rebooted LPM (and the chaos store invariant) can replay
+  // without constructing a writer.
+  static Replayed Replay(const host::Disk& disk, const std::string& name);
+  Replayed Replay() const { return Replay(disk_, name_); }
+
+  // Frames appended since the last physical sync.
+  size_t pending_appends() const { return pending_; }
+  const std::string& name() const { return name_; }
+  size_t size_bytes() const { return disk_.Size(name_); }
+
+  // Invoked after every physical sync with the bytes flushed; the LPM
+  // installs a hook that charges the kernel BaseCosts::kStoreSync so
+  // durability is visible in the cost model (and in bench_store).
+  void set_sync_hook(std::function<void(size_t flushed)> fn) { sync_hook_ = std::move(fn); }
+
+ private:
+  host::Disk disk_;
+  std::string name_;
+  uint32_t group_commit_;
+  size_t pending_ = 0;
+  std::function<void(size_t)> sync_hook_;
+};
+
+}  // namespace ppm::store

@@ -1,0 +1,492 @@
+#include "store/lpm_store.h"
+
+#include "obs/metrics.h"
+#include "util/bytes.h"
+
+namespace ppm::store {
+
+namespace {
+
+struct StoreMetrics {
+  obs::Counter* records;
+  obs::Counter* checkpoints;
+  obs::Counter* checkpoint_bytes;
+  obs::Counter* compactions;
+  obs::Counter* recoveries;
+  obs::Counter* replay_events;
+  obs::Counter* replay_records;
+};
+
+StoreMetrics& Metrics() {
+  static StoreMetrics m = [] {
+    auto& r = obs::Registry::Instance();
+    StoreMetrics mm;
+    mm.records = r.GetCounter("store.records");
+    mm.checkpoints = r.GetCounter("store.checkpoints");
+    mm.checkpoint_bytes = r.GetCounter("store.checkpoint_bytes");
+    mm.compactions = r.GetCounter("store.compactions");
+    mm.recoveries = r.GetCounter("store.recoveries");
+    mm.replay_events = r.GetCounter("store.replay_events");
+    mm.replay_records = r.GetCounter("store.replay_records");
+    return mm;
+  }();
+  return m;
+}
+
+// Checkpoint file magic: "PCK" + version byte.
+constexpr uint32_t kCkptMagic = 0x314B4350;  // 'P' 'C' 'K' '1'
+
+// --- shared-type field encoders --------------------------------------------
+// Same field rules as core/wire.cc (little-endian, u32-length strings).
+// Re-encoded here so the store does not depend on core's wire code.
+
+void PutGPid(util::ByteWriter& w, const core::GPid& g) {
+  w.Str(g.host);
+  w.I32(g.pid);
+}
+
+std::optional<core::GPid> GetGPid(util::ByteReader& r) {
+  auto host = r.Str();
+  auto pid = r.I32();
+  if (!host || !pid) return std::nullopt;
+  core::GPid g;
+  g.host = *host;
+  g.pid = *pid;
+  return g;
+}
+
+void PutHistEvent(util::ByteWriter& w, const core::HistEvent& ev) {
+  w.U64(ev.at);
+  w.U8(static_cast<uint8_t>(ev.kind));
+  w.I32(ev.pid);
+  w.I32(ev.other);
+  w.U8(static_cast<uint8_t>(ev.sig));
+  w.I32(ev.status);
+  w.Str(ev.detail);
+}
+
+std::optional<core::HistEvent> GetHistEvent(util::ByteReader& r) {
+  core::HistEvent ev;
+  auto at = r.U64();
+  auto kind = r.U8();
+  auto pid = r.I32();
+  auto other = r.I32();
+  auto sig = r.U8();
+  auto status = r.I32();
+  auto detail = r.Str();
+  if (!at || !kind || !pid || !other || !sig || !status || !detail) return std::nullopt;
+  ev.at = *at;
+  ev.kind = static_cast<host::KEvent>(*kind);
+  ev.pid = *pid;
+  ev.other = *other;
+  ev.sig = static_cast<host::Signal>(*sig);
+  ev.status = *status;
+  ev.detail = std::move(*detail);
+  return ev;
+}
+
+void PutTriggerSpec(util::ByteWriter& w, const core::TriggerSpec& spec) {
+  w.U8(static_cast<uint8_t>(spec.event_kind));
+  w.I32(spec.subject_pid);
+  w.U8(static_cast<uint8_t>(spec.action));
+  w.U8(static_cast<uint8_t>(spec.action_signal));
+  PutGPid(w, spec.action_target);
+  w.Str(spec.migrate_dest);
+}
+
+std::optional<core::TriggerSpec> GetTriggerSpec(util::ByteReader& r) {
+  core::TriggerSpec spec;
+  auto kind = r.U8();
+  auto pid = r.I32();
+  auto action = r.U8();
+  auto sig = r.U8();
+  auto target = GetGPid(r);
+  auto dest = r.Str();
+  if (!kind || !pid || !action || !sig || !target || !dest) return std::nullopt;
+  if (*action > static_cast<uint8_t>(core::TriggerAction::kMigrate)) return std::nullopt;
+  spec.event_kind = static_cast<host::KEvent>(*kind);
+  spec.subject_pid = *pid;
+  spec.action = static_cast<core::TriggerAction>(*action);
+  spec.action_signal = static_cast<host::Signal>(*sig);
+  spec.action_target = std::move(*target);
+  spec.migrate_dest = std::move(*dest);
+  return spec;
+}
+
+void PutRusageRecord(util::ByteWriter& w, const core::RusageRecord& rec) {
+  PutGPid(w, rec.gpid);
+  w.Str(rec.command);
+  w.I32(rec.exit_status);
+  w.Bool(rec.killed_by_signal);
+  w.U8(static_cast<uint8_t>(rec.death_signal));
+  w.U64(rec.start_time);
+  w.U64(rec.end_time);
+  w.U64(static_cast<uint64_t>(rec.rusage.cpu_time));
+  w.U64(rec.rusage.messages_sent);
+  w.U64(rec.rusage.messages_received);
+  w.U64(rec.rusage.files_opened);
+  w.U64(rec.rusage.max_rss_kb);
+  w.U64(rec.rusage.forks);
+}
+
+std::optional<core::RusageRecord> GetRusageRecord(util::ByteReader& r) {
+  core::RusageRecord rec;
+  auto gpid = GetGPid(r);
+  auto command = r.Str();
+  auto status = r.I32();
+  auto killed = r.Bool();
+  auto sig = r.U8();
+  auto start = r.U64();
+  auto end = r.U64();
+  auto cpu = r.U64();
+  auto sent = r.U64();
+  auto recv = r.U64();
+  auto files = r.U64();
+  auto rss = r.U64();
+  auto forks = r.U64();
+  if (!gpid || !command || !status || !killed || !sig || !start || !end || !cpu ||
+      !sent || !recv || !files || !rss || !forks)
+    return std::nullopt;
+  rec.gpid = std::move(*gpid);
+  rec.command = std::move(*command);
+  rec.exit_status = *status;
+  rec.killed_by_signal = *killed;
+  rec.death_signal = static_cast<host::Signal>(*sig);
+  rec.start_time = *start;
+  rec.end_time = *end;
+  rec.rusage.cpu_time = static_cast<sim::SimDuration>(*cpu);
+  rec.rusage.messages_sent = *sent;
+  rec.rusage.messages_received = *recv;
+  rec.rusage.files_opened = *files;
+  rec.rusage.max_rss_kb = *rss;
+  rec.rusage.forks = *forks;
+  return rec;
+}
+
+// --- record application ------------------------------------------------------
+
+// Applies one decoded journal payload to `st`.  Returns false when the
+// payload is malformed (a CRC-valid frame whose fields do not decode —
+// should not happen, but a store must never crash its manager).
+bool ApplyRecord(RecoveredState& st, const std::vector<uint8_t>& payload) {
+  util::ByteReader r(payload);
+  auto seq = r.U64();
+  auto type = r.U8();
+  if (!seq || !type) return false;
+  if (*seq <= st.last_seq && st.found) {
+    // Pre-checkpoint record surviving an interrupted compaction: the
+    // checkpoint already covers it.
+    return true;
+  }
+  switch (static_cast<RecordType>(*type)) {
+    case RecordType::kBoot: {
+      auto gen = r.U32();
+      if (!gen) return false;
+      // A new kernel generation means every process of the previous one
+      // died with the host; those pids may be reused, so the genealogy
+      // hints are void.  History, triggers, rusage and the CCS hint
+      // survive — that is the point of the store.
+      if (*gen != st.generation) {
+        st.procs.clear();
+        st.remote_children.clear();
+      }
+      st.generation = *gen;
+      break;
+    }
+    case RecordType::kEvent: {
+      auto ev = GetHistEvent(r);
+      if (!ev) return false;
+      st.events.push_back(std::move(*ev));
+      break;
+    }
+    case RecordType::kTriggerInstall: {
+      auto id = r.U64();
+      auto spec = GetTriggerSpec(r);
+      if (!id || !spec) return false;
+      st.triggers[*id] = std::move(*spec);
+      break;
+    }
+    case RecordType::kTriggerRemove: {
+      auto id = r.U64();
+      if (!id) return false;
+      st.triggers.erase(*id);
+      break;
+    }
+    case RecordType::kRusage: {
+      auto rec = GetRusageRecord(r);
+      if (!rec) return false;
+      st.rusage.push_back(std::move(*rec));
+      break;
+    }
+    case RecordType::kProcNew: {
+      auto pid = r.I32();
+      auto parent = GetGPid(r);
+      auto command = r.Str();
+      if (!pid || !parent || !command) return false;
+      st.procs[*pid] = ProcHint{std::move(*parent), std::move(*command)};
+      break;
+    }
+    case RecordType::kProcExit: {
+      auto pid = r.I32();
+      if (!pid) return false;
+      st.procs.erase(*pid);
+      break;
+    }
+    case RecordType::kRemoteChild: {
+      auto pid = r.I32();
+      auto child = GetGPid(r);
+      if (!pid || !child) return false;
+      st.remote_children.emplace_back(*pid, std::move(*child));
+      break;
+    }
+    case RecordType::kCcs: {
+      auto ccs = r.Str();
+      if (!ccs) return false;
+      st.ccs_host = std::move(*ccs);
+      break;
+    }
+    default:
+      return false;
+  }
+  st.last_seq = *seq;
+  st.found = true;
+  return true;
+}
+
+std::string EncodeCheckpoint(const RecoveredState& st) {
+  util::ByteWriter w;
+  w.U32(kCkptMagic);
+  w.U64(st.last_seq);
+  w.U32(st.generation);
+  w.Str(st.ccs_host);
+  w.U32(static_cast<uint32_t>(st.events.size()));
+  for (const auto& ev : st.events) PutHistEvent(w, ev);
+  w.U32(static_cast<uint32_t>(st.triggers.size()));
+  for (const auto& [id, spec] : st.triggers) {
+    w.U64(id);
+    PutTriggerSpec(w, spec);
+  }
+  w.U32(static_cast<uint32_t>(st.rusage.size()));
+  for (const auto& rec : st.rusage) PutRusageRecord(w, rec);
+  w.U32(static_cast<uint32_t>(st.procs.size()));
+  for (const auto& [pid, hint] : st.procs) {
+    w.I32(pid);
+    PutGPid(w, hint.logical_parent);
+    w.Str(hint.command);
+  }
+  w.U32(static_cast<uint32_t>(st.remote_children.size()));
+  for (const auto& [pid, child] : st.remote_children) {
+    w.I32(pid);
+    PutGPid(w, child);
+  }
+  std::vector<uint8_t> body = w.Take();
+  return std::string(body.begin(), body.end());
+}
+
+bool DecodeCheckpoint(const std::string& content, RecoveredState& st) {
+  std::vector<uint8_t> bytes(content.begin(), content.end());
+  util::ByteReader r(bytes);
+  auto magic = r.U32();
+  if (!magic || *magic != kCkptMagic) return false;
+  auto seq = r.U64();
+  auto gen = r.U32();
+  auto ccs = r.Str();
+  if (!seq || !gen || !ccs) return false;
+  RecoveredState out;
+  out.last_seq = *seq;
+  out.generation = *gen;
+  out.ccs_host = std::move(*ccs);
+  auto nev = r.U32();
+  if (!nev) return false;
+  for (uint32_t i = 0; i < *nev; ++i) {
+    auto ev = GetHistEvent(r);
+    if (!ev) return false;
+    out.events.push_back(std::move(*ev));
+  }
+  auto ntr = r.U32();
+  if (!ntr) return false;
+  for (uint32_t i = 0; i < *ntr; ++i) {
+    auto id = r.U64();
+    auto spec = GetTriggerSpec(r);
+    if (!id || !spec) return false;
+    out.triggers[*id] = std::move(*spec);
+  }
+  auto nru = r.U32();
+  if (!nru) return false;
+  for (uint32_t i = 0; i < *nru; ++i) {
+    auto rec = GetRusageRecord(r);
+    if (!rec) return false;
+    out.rusage.push_back(std::move(*rec));
+  }
+  auto npr = r.U32();
+  if (!npr) return false;
+  for (uint32_t i = 0; i < *npr; ++i) {
+    auto pid = r.I32();
+    auto parent = GetGPid(r);
+    auto command = r.Str();
+    if (!pid || !parent || !command) return false;
+    out.procs[*pid] = ProcHint{std::move(*parent), std::move(*command)};
+  }
+  auto nrc = r.U32();
+  if (!nrc) return false;
+  for (uint32_t i = 0; i < *nrc; ++i) {
+    auto pid = r.I32();
+    auto child = GetGPid(r);
+    if (!pid || !child) return false;
+    out.remote_children.emplace_back(*pid, std::move(*child));
+  }
+  out.found = true;
+  st = std::move(out);
+  return true;
+}
+
+}  // namespace
+
+LpmStore::LpmStore(host::Disk disk, StoreConfig config)
+    : disk_(disk),
+      config_(config),
+      journal_(disk, kJournalFile, config.group_commit) {}
+
+RecoveredState LpmStore::Recover(const host::Disk& disk) {
+  Metrics().recoveries->Inc();
+  RecoveredState st;
+  if (auto ckpt = disk.Read(kCheckpointFile)) {
+    // A checkpoint is written atomically-durably (Filesystem::Write), so
+    // a decode failure means a format change, not a tear; start empty.
+    DecodeCheckpoint(*ckpt, st);
+  }
+  Journal::Replayed replayed = Journal::Replay(disk, kJournalFile);
+  for (const auto& payload : replayed.payloads) {
+    if (ApplyRecord(st, payload)) ++st.replayed_records;
+  }
+  st.torn_bytes = replayed.torn_bytes;
+  Metrics().replay_records->Inc(st.replayed_records);
+  Metrics().replay_events->Inc(st.events.size());
+  return st;
+}
+
+void LpmStore::Open(const RecoveredState& recovered, uint32_t generation) {
+  mirror_ = recovered;
+  mirror_.replayed_records = 0;
+  mirror_.torn_bytes = 0;
+  seq_ = recovered.last_seq;
+  open_ = true;
+  if (generation != mirror_.generation) {
+    mirror_.procs.clear();
+    mirror_.remote_children.clear();
+  }
+  mirror_.generation = generation;
+  // Checkpoint-on-open serves two purposes.  It bounds the next replay
+  // to this incarnation's records, and — crucially — it truncates any
+  // torn tail the previous crash left in the journal file: appending
+  // the boot record AFTER surviving garbage would hide it (and every
+  // later record) from the next replay, which stops at the first bad
+  // frame.
+  Checkpoint();
+  util::ByteWriter w;
+  w.U32(generation);
+  AppendRecord(RecordType::kBoot, w.Take());
+  // The boot record is a natural sync point: after it is durable, any
+  // later replay knows which generation the genealogy hints belong to.
+  journal_.Sync();
+}
+
+void LpmStore::AppendRecord(RecordType type, const std::vector<uint8_t>& fields) {
+  if (!open_) return;  // nothing may be journaled before Open() resumes seq
+  util::ByteWriter w;
+  w.U64(++seq_);
+  w.U8(static_cast<uint8_t>(type));
+  std::vector<uint8_t> payload = w.Take();
+  payload.insert(payload.end(), fields.begin(), fields.end());
+  journal_.Append(payload);
+  Metrics().records->Inc();
+  mirror_.last_seq = seq_;
+  mirror_.found = true;
+  if (config_.checkpoint_every != 0 && ++records_since_ckpt_ >= config_.checkpoint_every)
+    Checkpoint();
+}
+
+void LpmStore::RecordEvent(const core::HistEvent& ev) {
+  util::ByteWriter w;
+  PutHistEvent(w, ev);
+  mirror_.events.push_back(ev);
+  // Mirror the EventLog's ring bound so checkpoints stay proportional
+  // to the history a query could actually return.
+  while (mirror_.events.size() > config_.event_capacity)
+    mirror_.events.erase(mirror_.events.begin());
+  AppendRecord(RecordType::kEvent, w.Take());
+}
+
+void LpmStore::RecordTriggerInstall(uint64_t id, const core::TriggerSpec& spec) {
+  util::ByteWriter w;
+  w.U64(id);
+  PutTriggerSpec(w, spec);
+  mirror_.triggers[id] = spec;
+  AppendRecord(RecordType::kTriggerInstall, w.Take());
+  // A trigger acknowledged to the user must survive a crash: explicit
+  // sync point (the paper's "history dependent events" are a contract).
+  journal_.Sync();
+}
+
+void LpmStore::RecordTriggerRemove(uint64_t id) {
+  util::ByteWriter w;
+  w.U64(id);
+  mirror_.triggers.erase(id);
+  AppendRecord(RecordType::kTriggerRemove, w.Take());
+}
+
+void LpmStore::RecordRusage(const core::RusageRecord& rec) {
+  util::ByteWriter w;
+  PutRusageRecord(w, rec);
+  mirror_.rusage.push_back(rec);
+  AppendRecord(RecordType::kRusage, w.Take());
+}
+
+void LpmStore::RecordProcNew(host::Pid pid, const core::GPid& logical_parent,
+                             const std::string& command) {
+  util::ByteWriter w;
+  w.I32(pid);
+  PutGPid(w, logical_parent);
+  w.Str(command);
+  mirror_.procs[pid] = ProcHint{logical_parent, command};
+  AppendRecord(RecordType::kProcNew, w.Take());
+}
+
+void LpmStore::RecordProcExit(host::Pid pid) {
+  util::ByteWriter w;
+  w.I32(pid);
+  mirror_.procs.erase(pid);
+  AppendRecord(RecordType::kProcExit, w.Take());
+}
+
+void LpmStore::RecordRemoteChild(host::Pid parent, const core::GPid& child) {
+  util::ByteWriter w;
+  w.I32(parent);
+  PutGPid(w, child);
+  mirror_.remote_children.emplace_back(parent, child);
+  AppendRecord(RecordType::kRemoteChild, w.Take());
+}
+
+void LpmStore::RecordCcs(const std::string& ccs_host) {
+  util::ByteWriter w;
+  w.Str(ccs_host);
+  mirror_.ccs_host = ccs_host;
+  AppendRecord(RecordType::kCcs, w.Take());
+}
+
+void LpmStore::Checkpoint() {
+  if (!open_) return;
+  records_since_ckpt_ = 0;
+  std::string body = EncodeCheckpoint(mirror_);
+  // Order is the whole crash-safety argument: (1) the checkpoint lands
+  // atomically-durably under a name replay reads first; (2) only then is
+  // the journal compacted.  A crash between the two leaves stale journal
+  // records whose seq <= last_seq — replay skips them.
+  disk_.Write(kCheckpointFile, body);
+  Metrics().checkpoints->Inc();
+  Metrics().checkpoint_bytes->Inc(body.size());
+  journal_.Reset();
+  Metrics().compactions->Inc();
+}
+
+}  // namespace ppm::store

@@ -79,4 +79,12 @@ class ByteReader {
   size_t pos_ = 0;
 };
 
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected), the framing
+// checksum of the durable-store journal (src/store/).  Stronger than the
+// Fletcher-16 used on wire frames because journal frames must survive a
+// different adversary: a crash can cut a frame at any byte, and a torn
+// tail must never be mistaken for a record.
+uint32_t Crc32(const uint8_t* data, size_t len);
+uint32_t Crc32(const std::vector<uint8_t>& data);
+
 }  // namespace ppm::util

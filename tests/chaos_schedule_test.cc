@@ -36,6 +36,7 @@ using test::RunChaos;
 class CrashScheduleTest : public ::testing::TestWithParam<uint64_t> {};
 class PartitionScheduleTest : public ::testing::TestWithParam<uint64_t> {};
 class CorruptionScheduleTest : public ::testing::TestWithParam<uint64_t> {};
+class StoreScheduleTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CrashScheduleTest, InvariantsHold) {
   EXPECT_TRUE(RunChaos(GetParam(), chaos::CrashPlan()));
@@ -56,11 +57,26 @@ TEST_P(CorruptionScheduleTest, InvariantsHold) {
   EXPECT_GT(outcome.corrupt_injected, 0u) << outcome.Summary();
 }
 
+TEST_P(StoreScheduleTest, CrashMidWriteRecoversExactly) {
+  // The store plan crashes hosts mid-journal-batch: the torn unsynced
+  // tail must be detected and discarded (never parsed), warm restarts
+  // must recover history/triggers/rusage up to the last sync, and at
+  // the final quiescent point every LPM's on-disk state must replay to
+  // exactly its live state (the store-durability invariant).
+  chaos::ChaosOutcome outcome =
+      chaos::RunChaosPlan(GetParam(), chaos::StorePlan());
+  EXPECT_TRUE(outcome.ok()) << outcome.Summary();
+  // The plan's whole point is crashing under write load.
+  EXPECT_GT(outcome.host_crashes + outcome.lpm_kills, 0u) << outcome.Summary();
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, CrashScheduleTest,
                          ::testing::Range<uint64_t>(1, PPM_CHAOS_SEEDS + 1));
 INSTANTIATE_TEST_SUITE_P(Seeds, PartitionScheduleTest,
                          ::testing::Range<uint64_t>(1, PPM_CHAOS_SEEDS + 1));
 INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionScheduleTest,
+                         ::testing::Range<uint64_t>(1, PPM_CHAOS_SEEDS + 1));
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreScheduleTest,
                          ::testing::Range<uint64_t>(1, PPM_CHAOS_SEEDS + 1));
 
 }  // namespace

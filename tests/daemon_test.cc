@@ -169,7 +169,11 @@ TEST_F(DaemonTest, MalformedRequestClosedQuietly) {
 // --- pmd crash: the paper's stable-storage discussion ------------------------------
 
 TEST(PmdCrashTest, VolatileRegistryCreatesDuplicateLpm) {
-  Cluster cluster;  // stable_storage off (default)
+  // Opt out of the (now default) durable registry to reproduce the
+  // paper's failure mode.
+  ClusterConfig config;
+  config.pmd.stable_storage = false;
+  Cluster cluster(config);
   cluster.AddHost("alpha");
   test::InstallTestUser(cluster);
   cluster.RunFor(sim::Millis(10));
@@ -216,6 +220,30 @@ TEST(PmdCrashTest, StableStorageSurvivesPmdCrash) {
   EXPECT_FALSE(second->created);
   EXPECT_EQ(second->lpm_pid, first->lpm_pid);
   EXPECT_EQ(second->token, first->token);
+}
+
+TEST(PmdCrashTest, DefaultConfigSurvivesPmdRestartWithoutDuplicateLpm) {
+  // Regression for the durable-store PR: registrations are durable OUT
+  // OF THE BOX, so a pmd restart plus an LPM re-registration request
+  // must never mint a second LPM for the same user.
+  Cluster cluster;  // all defaults
+  cluster.AddHost("alpha");
+  test::InstallTestUser(cluster);
+  cluster.RunFor(sim::Millis(10));
+  auto first = RequestLpm(cluster, "alpha", "alpha", kTestUser, kTestUser);
+  ASSERT_TRUE(first && first->ok);
+  cluster.RunFor(sim::Millis(100));
+
+  Pmd* pmd = cluster.FindPmd("alpha");
+  ASSERT_NE(pmd, nullptr);
+  cluster.host("alpha").kernel().PostSignal(pmd->pid(), host::Signal::kSigKill,
+                                            host::kRootUid);
+  cluster.RunFor(sim::Millis(100));
+
+  auto second = RequestLpm(cluster, "alpha", "alpha", kTestUser, kTestUser);
+  ASSERT_TRUE(second && second->ok);
+  EXPECT_FALSE(second->created);
+  EXPECT_EQ(second->lpm_pid, first->lpm_pid);
 }
 
 TEST(PmdCrashTest, StableStorageIgnoresStaleEntriesAfterHostCrash) {

@@ -66,6 +66,32 @@ TEST(EventLog, QueryFiltersAndLimits) {
   EXPECT_EQ(log.Query(99).size(), 0u);
 }
 
+TEST(EventLog, QueryWithMaxReturnsMostRecent) {
+  // Regression: Query(pid, max) used to return the *oldest* max matching
+  // events.  A tool asking for "the last 3 things that happened" must get
+  // the newest ones, oldest-first within the window.
+  EventLog log;
+  for (host::Pid i = 1; i <= 6; ++i) {
+    log.Record(Ev(host::KEvent::kExec, i, /*at=*/i * 10), host::kTraceAll);
+  }
+  auto events = log.Query(host::kNoPid, 3);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].pid, 4);
+  EXPECT_EQ(events[1].pid, 5);
+  EXPECT_EQ(events[2].pid, 6);
+
+  // Same for a pid-filtered query: only even pids, last two.
+  EventLog filtered;
+  for (host::Pid i = 1; i <= 8; ++i) {
+    filtered.Record(Ev(host::KEvent::kExec, i % 2 ? 7 : 8, /*at=*/i),
+                    host::kTraceAll);
+  }
+  auto recent = filtered.Query(8, 2);
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0].at, 6);
+  EXPECT_EQ(recent[1].at, 8);
+}
+
 TEST(TriggerTable, MatchesKindAndSubject) {
   TriggerTable table;
   TriggerSpec spec;
@@ -73,7 +99,7 @@ TEST(TriggerTable, MatchesKindAndSubject) {
   spec.subject_pid = 5;
   table.Install(spec);
   int fired = 0;
-  auto fire = [&](const TriggerSpec&, const HistEvent&) { ++fired; };
+  auto fire = [&](uint64_t, const TriggerSpec&, const HistEvent&) { ++fired; };
   table.Match(Ev(host::KEvent::kExit, 6), fire);   // wrong subject
   table.Match(Ev(host::KEvent::kFork, 5), fire);   // wrong kind
   EXPECT_EQ(fired, 0);
@@ -89,7 +115,7 @@ TEST(TriggerTable, WildcardSubjectMatchesAnyPid) {
   table.Install(spec);
   int fired = 0;
   table.Match(Ev(host::KEvent::kStop, 123),
-              [&](const TriggerSpec&, const HistEvent&) { ++fired; });
+              [&](uint64_t, const TriggerSpec&, const HistEvent&) { ++fired; });
   EXPECT_EQ(fired, 1);
 }
 
@@ -100,7 +126,7 @@ TEST(TriggerTable, OneShotSemantics) {
   spec.subject_pid = host::kNoPid;
   table.Install(spec);
   int fired = 0;
-  auto fire = [&](const TriggerSpec&, const HistEvent&) { ++fired; };
+  auto fire = [&](uint64_t, const TriggerSpec&, const HistEvent&) { ++fired; };
   table.Match(Ev(host::KEvent::kExit, 1), fire);
   table.Match(Ev(host::KEvent::kExit, 2), fire);
   EXPECT_EQ(fired, 1);
@@ -117,7 +143,7 @@ TEST(TriggerTable, RemoveBeforeFire) {
   EXPECT_FALSE(table.Remove(id));
   int fired = 0;
   table.Match(Ev(host::KEvent::kExit, 1),
-              [&](const TriggerSpec&, const HistEvent&) { ++fired; });
+              [&](uint64_t, const TriggerSpec&, const HistEvent&) { ++fired; });
   EXPECT_EQ(fired, 0);
 }
 
@@ -132,7 +158,7 @@ TEST(TriggerTable, MultipleTriggersOnOneEvent) {
   table.Install(a);
   table.Install(b);
   std::vector<host::Signal> fired;
-  table.Match(Ev(host::KEvent::kExit, 9), [&](const TriggerSpec& spec, const HistEvent&) {
+  table.Match(Ev(host::KEvent::kExit, 9), [&](uint64_t, const TriggerSpec& spec, const HistEvent&) {
     fired.push_back(spec.action_signal);
   });
   ASSERT_EQ(fired.size(), 2u);
@@ -148,7 +174,7 @@ TEST(TriggerTable, InstallDuringFireIsSafe) {
   spec.event_kind = host::KEvent::kExit;
   table.Install(spec);
   int fired = 0;
-  table.Match(Ev(host::KEvent::kExit, 1), [&](const TriggerSpec&, const HistEvent&) {
+  table.Match(Ev(host::KEvent::kExit, 1), [&](uint64_t, const TriggerSpec&, const HistEvent&) {
     ++fired;
     TriggerSpec nested;
     nested.event_kind = host::KEvent::kExit;
@@ -156,7 +182,7 @@ TEST(TriggerTable, InstallDuringFireIsSafe) {
   });
   EXPECT_EQ(fired, 1);
   EXPECT_EQ(table.size(), 1u);  // the nested one awaits the next event
-  table.Match(Ev(host::KEvent::kExit, 2), [&](const TriggerSpec&, const HistEvent&) {
+  table.Match(Ev(host::KEvent::kExit, 2), [&](uint64_t, const TriggerSpec&, const HistEvent&) {
     ++fired;
   });
   EXPECT_EQ(fired, 2);

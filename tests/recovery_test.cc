@@ -177,7 +177,9 @@ TEST_F(RecoveryTest, ActingCcsYieldsWhenTopHostReturns) {
   EXPECT_EQ(b->mode(), LpmMode::kNormal);
   Lpm* new_a = cluster_.FindLpm("vaxA", kTestUid);
   ASSERT_NE(new_a, nullptr);
-  EXPECT_TRUE(new_a->is_ccs());
+  // The BecomeCcs handoff message may still be in flight at the instant
+  // vaxB flips its own flag; wait for delivery rather than racing it.
+  ASSERT_TRUE(RunUntil(cluster_, [&] { return new_a->is_ccs(); }, sim::Seconds(120)));
 }
 
 TEST_F(RecoveryTest, TimeToDieKillsLocalProcessesWhenNoRecoveryHostReachable) {
