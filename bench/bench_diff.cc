@@ -1,0 +1,126 @@
+// bench_diff — compares a fresh bench run against committed baselines.
+//
+//   bench_diff <baseline-dir> <fresh-dir> [threshold-pct]
+//
+// Scans <baseline-dir> for BENCH_*.json files (the committed baselines
+// at the repo root), pairs each with the same-named file in <fresh-dir>,
+// and compares their "results" maps.  Exit status 1 when any shared
+// metric regressed by more than the threshold (default 25%), which is
+// what the CI bench-smoke job gates on.
+//
+// The comparison is symmetric — a large *improvement* also trips the
+// gate — because either direction means the baseline no longer describes
+// the code and should be recommitted.  Metrics present on only one side
+// are reported but never fail the run (benches grow columns).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace fs = std::filesystem;
+using ppm::obs::json::Parse;
+using ppm::obs::json::Value;
+
+namespace {
+
+std::map<std::string, double> LoadResults(const fs::path& path, bool* ok) {
+  *ok = false;
+  std::map<std::string, double> out;
+  std::ifstream in(path);
+  if (!in) return out;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto doc = Parse(buf.str());
+  if (!doc || !doc->is_object()) return out;
+  const Value* results = doc->Find("results");
+  if (!results || !results->is_object()) return out;
+  for (const auto& [key, value] : results->obj) {
+    if (value.is_number()) out[key] = value.number;
+  }
+  *ok = true;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3 || argc > 4) {
+    std::fprintf(stderr, "usage: %s <baseline-dir> <fresh-dir> [threshold-pct]\n",
+                 argv[0]);
+    return 2;
+  }
+  const fs::path baseline_dir = argv[1];
+  const fs::path fresh_dir = argv[2];
+  const double threshold = argc == 4 ? std::atof(argv[3]) : 25.0;
+
+  std::vector<fs::path> baselines;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(baseline_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && entry.path().extension() == ".json") {
+      baselines.push_back(entry.path());
+    }
+  }
+  if (ec || baselines.empty()) {
+    std::fprintf(stderr, "bench_diff: no BENCH_*.json baselines in %s\n",
+                 baseline_dir.string().c_str());
+    return 2;
+  }
+  std::sort(baselines.begin(), baselines.end());
+
+  int regressions = 0;
+  int compared = 0;
+  for (const fs::path& base_path : baselines) {
+    const std::string name = base_path.filename().string();
+    bool base_ok = false, fresh_ok = false;
+    auto base = LoadResults(base_path, &base_ok);
+    auto fresh = LoadResults(fresh_dir / name, &fresh_ok);
+    if (!base_ok) {
+      std::printf("%-28s unreadable baseline — skipped\n", name.c_str());
+      continue;
+    }
+    if (!fresh_ok) {
+      // A bench that stopped producing output is itself a regression.
+      std::printf("%-28s missing from fresh run: FAIL\n", name.c_str());
+      ++regressions;
+      continue;
+    }
+    std::printf("%s\n", name.c_str());
+    for (const auto& [key, base_val] : base) {
+      auto it = fresh.find(key);
+      if (it == fresh.end()) {
+        std::printf("  %-34s baseline-only (ignored)\n", key.c_str());
+        continue;
+      }
+      ++compared;
+      const double fresh_val = it->second;
+      double pct;
+      if (base_val == 0.0) {
+        pct = fresh_val == 0.0 ? 0.0 : 100.0;
+      } else {
+        pct = (fresh_val - base_val) / std::fabs(base_val) * 100.0;
+      }
+      const bool fail = std::fabs(pct) > threshold;
+      std::printf("  %-34s %12.4g -> %12.4g  %+7.1f%%%s\n", key.c_str(), base_val,
+                  fresh_val, pct, fail ? "  FAIL" : "");
+      if (fail) ++regressions;
+    }
+    for (const auto& [key, val] : fresh) {
+      if (!base.count(key)) {
+        std::printf("  %-34s new metric %.4g (ignored)\n", key.c_str(), val);
+      }
+    }
+  }
+
+  std::printf("\n%d metrics compared, %d beyond %.0f%%\n", compared, regressions,
+              threshold);
+  return regressions > 0 ? 1 : 0;
+}

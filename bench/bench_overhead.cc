@@ -14,10 +14,12 @@
 // ways on one host — user not using the PPM at all; PPM user tracking
 // at full granularity; PPM user tracking exits only.  We report kernel
 // events emitted, LPM CPU consumed, and events per unit of service.
+#include <chrono>
 #include <cstdio>
 
 #include "bench/bench_common.h"
 #include "core/lpm.h"
+#include "obs/flight.h"
 
 using namespace ppm;
 
@@ -124,6 +126,74 @@ int main() {
   report.Result("exits_only.kernel_events",
                 static_cast<double>(exits_only.kernel_events));
   report.Result("exits_only.lpm_cpu.ms", sim::ToMillis(exits_only.lpm_cpu));
+
+  // Flight recorder on the kernel-message hot path.  Record() charges no
+  // virtual time (it is bookkeeping, not simulated work), so the claim
+  // "always-on costs <5%" is about the bench's own wall clock: the same
+  // tracked churn with the recorder off, then on.  Wall-clock numbers
+  // are machine-dependent, so they are printed but kept out of the JSON
+  // report; only the deterministic record count is committed.
+  auto& flight = obs::FlightRecorder::Instance();
+  constexpr int kReps = 5;
+  // Min-of-reps: scheduler hiccups only ever make a run slower, so the
+  // minimum is the least-noisy estimate of each configuration's cost.
+  double off_ms = 1e300, on_ms = 1e300;
+  Churn flight_off, flight_on;
+  flight.Clear();
+  for (int rep = 0; rep < kReps; ++rep) {
+    flight.set_enabled(false);
+    auto w0 = std::chrono::steady_clock::now();
+    flight_off = RunChurn(true, host::kTraceAll, kProcs);
+    auto w1 = std::chrono::steady_clock::now();
+    off_ms = std::min(off_ms, std::chrono::duration<double, std::milli>(w1 - w0).count());
+    flight.set_enabled(true);
+    auto w2 = std::chrono::steady_clock::now();
+    flight_on = RunChurn(true, host::kTraceAll, kProcs);
+    auto w3 = std::chrono::steady_clock::now();
+    on_ms = std::min(on_ms, std::chrono::duration<double, std::milli>(w3 - w2).count());
+  }
+  const double overhead_pct = off_ms > 0 ? (on_ms - off_ms) / off_ms * 100.0 : 0.0;
+  std::printf(
+      "\nflight recorder, best of %d churns: off %.2f ms wall, on %.2f ms wall "
+      "(%+.1f%%), %llu records recorded\n",
+      kReps, off_ms, on_ms, overhead_pct,
+      static_cast<unsigned long long>(flight.total_recorded()));
+  report.Result("flight.records_recorded",
+                static_cast<double>(flight.total_recorded()));
+  // The hot path itself, isolated: a raw Record() loop shaped like the
+  // kernel-event call site.  ns/record is the whole per-event tax.
+  constexpr uint64_t kHot = 1'000'000;
+  auto h0 = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < kHot; ++i) {
+    flight.Record(obs::FlightKind::kKernelEvent, "solo", "exec", 0, i & 0xff);
+  }
+  auto h1 = std::chrono::steady_clock::now();
+  const double ns_per_record =
+      std::chrono::duration<double, std::nano>(h1 - h0).count() / kHot;
+  std::printf("raw Record() on the kernel-event hot path: %.1f ns/record\n",
+              ns_per_record);
+  // The recorder's share of a whole churn, computed from the stable
+  // microtiming (the A/B wall numbers above jitter at this scale): the
+  // always-on claim is that this stays under 5%.
+  const double records_per_churn =
+      static_cast<double>(flight.total_recorded() - kHot) / kReps;
+  const double share_pct =
+      on_ms > 0 ? records_per_churn * ns_per_record / (on_ms * 1e6) * 100.0 : 0.0;
+  std::printf(
+      "hot-path share: %.0f records x %.1f ns = %.1f us of a %.2f ms churn "
+      "= %.2f%% (claim: <5%%)\n",
+      records_per_churn, ns_per_record, records_per_churn * ns_per_record / 1000.0,
+      on_ms, share_pct);
+  if (flight_on.kernel_events != flight_off.kernel_events) {
+    std::printf("warning: recorder toggled kernel event count (%llu vs %llu)?\n",
+                static_cast<unsigned long long>(flight_on.kernel_events),
+                static_cast<unsigned long long>(flight_off.kernel_events));
+  }
+  // Wall-clock percentages are machine noise at this scale; only the
+  // deterministic counters go into the committed JSON.
+  report.Result("flight.kernel_events", static_cast<double>(flight_on.kernel_events));
+  flight.Clear();
+
   std::printf(
       "(the untracked run emits ZERO kernel events — the mask test is the whole\n"
       " cost; with the PPM the cost scales with events traced, and the user-set\n"

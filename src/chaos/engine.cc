@@ -6,6 +6,7 @@
 
 #include "core/lpm.h"
 #include "core/wire.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "sim/rng.h"
 #include "tools/client.h"
@@ -433,6 +434,24 @@ ChaosOutcome RunChaosPlan(core::Cluster& cluster, uint64_t seed,
   // point a read-only replay of each LPM's checkpoint + journal must
   // reconstruct its live state exactly.
   CheckStoreDurability(cluster, kChaosUid, &out.violations);
+
+  if (plan.forced_violation) {
+    out.violations.push_back(
+        {"forced-violation",
+         "deliberately injected by plan.forced_violation (test seam)"});
+  }
+
+  // Black-box rule: any failed invariant dumps the flight recorder, so
+  // the last N structured events leading up to the violation survive as
+  // a post-mortem artifact.
+  if (!out.violations.empty()) {
+    auto& flight = obs::FlightRecorder::Instance();
+    for (const InvariantViolation& v : out.violations) {
+      flight.Record(obs::FlightKind::kInvariantViolation, "chaos", v.name);
+    }
+    out.flight_dump = flight.Dump("chaos invariant failure: plan=" + plan.name +
+                                  " seed=" + std::to_string(seed));
+  }
 
   return out;
 }

@@ -75,6 +75,12 @@ struct ChaosOutcome {
   bool verify_ok = false;
   std::vector<InvariantViolation> violations;
 
+  // The flight-recorder dump emitted automatically when any invariant
+  // failed (empty on a clean run).  Tests and CI write it out as a
+  // post-mortem artifact; trace_export can interleave it with the causal
+  // timeline.
+  std::string flight_dump;
+
   bool ok() const { return converged && verify_ok && violations.empty(); }
   // Multi-line report; always leads with the (seed, plan) replay pair.
   std::string Summary() const;

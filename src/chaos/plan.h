@@ -71,6 +71,11 @@ struct ChaosPlan {
   sim::SimDuration retry_interval = sim::Seconds(10);
   sim::SimDuration probe_interval = sim::Seconds(15);
 
+  // Test seam: append a deliberate violation to the outcome so the
+  // flight-recorder auto-dump path can be exercised without finding a
+  // real bug on demand.
+  bool forced_violation = false;
+
   // Durable store knobs.  Chaos runs always turn the store on: every
   // plan doubles as a crash-recovery test, and the store-durability
   // invariant is only meaningful with it.  A larger group_commit makes

@@ -26,6 +26,7 @@ bool EventLog::Record(const HistEvent& ev, uint32_t granularity_mask) {
   ++total_;
   events_.push_back(ev);
   while (events_.size() > capacity_) {
+    ++dropped_by_pid_[events_.front().pid];
     events_.pop_front();
     ++dropped_;
   }

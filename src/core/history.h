@@ -51,6 +51,11 @@ class EventLog {
   // ones.  A nonzero value means the computation is chattier than the
   // ring and history queries are missing the oldest events.
   uint64_t total_dropped() const { return dropped_; }
+  // Eviction counts broken down by the pid of the evicted event, so an
+  // operator can see *whose* history was lost (surfaced in STAT records).
+  const std::map<host::Pid, uint64_t>& dropped_by_pid() const {
+    return dropped_by_pid_;
+  }
   size_t capacity() const { return capacity_; }
 
  private:
@@ -59,6 +64,7 @@ class EventLog {
   uint64_t total_ = 0;
   uint64_t filtered_ = 0;  // suppressed by granularity mask
   uint64_t dropped_ = 0;   // evicted by ring overflow
+  std::map<host::Pid, uint64_t> dropped_by_pid_;
 };
 
 // Maps a KEvent kind to its TraceFlag bit.

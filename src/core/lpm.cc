@@ -5,6 +5,8 @@
 #include <algorithm>
 
 #include "daemon/protocol.h"
+#include "obs/flight.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/log.h"
@@ -22,6 +24,7 @@ struct LpmMetrics {
   obs::Histogram* create_ms;
   obs::Histogram* signal_ms;
   obs::Histogram* snapshot_ms;
+  obs::Histogram* stat_ms;
   obs::Gauge* eventlog_size;
   obs::Gauge* eventlog_dropped;
   obs::Counter* eventlog_dropped_total;
@@ -35,6 +38,7 @@ LpmMetrics& Metrics() {
       reg.GetHistogram("lpm.create.ms"),
       reg.GetHistogram("lpm.signal.ms"),
       reg.GetHistogram("lpm.snapshot.ms"),
+      reg.GetHistogram("lpm.stat.ms"),
       reg.GetGauge("core.eventlog.size"),
       reg.GetGauge("core.eventlog.dropped"),
       reg.GetCounter("core.eventlog.dropped.total"),
@@ -101,9 +105,14 @@ void Lpm::OnStart() {
     // the LPM (it shows up in load and rusage) without stretching the
     // operation that triggered it: group commit means the sync overlaps
     // request handling rather than serializing it.
-    store_->journal().set_sync_hook([this](size_t) {
+    store_->journal().set_sync_hook([this](size_t flushed) {
       if (running_ && host_.up()) {
         kernel().Charge(pid(), BaseCosts::kStoreSync);
+        obs::FlightRecorder::Instance().Record(obs::FlightKind::kJournalSync,
+                                               host_name(), "", 0, flushed);
+        obs::HealthMonitor::Instance().Watermark(
+            "store.journal.pending",
+            static_cast<double>(store_->journal().pending_appends()));
       }
     });
     store::RecoveredState recovered = store_->Recover();
@@ -165,6 +174,7 @@ void Lpm::OnShutdown() {
   sibling_waiters_.clear();
   pending_.clear();
   snapshots_.clear();
+  stat_runs_.clear();
 }
 
 // Warm restart (the tentpole of the durable store): seed in-memory state
@@ -331,6 +341,11 @@ void Lpm::AcquireHandler(std::function<void(Pid)> cb) {
     return;
   }
   handler_queue_.push_back(std::move(cb));
+  if (handler_queue_.size() > queue_watermark_) {
+    queue_watermark_ = static_cast<uint32_t>(handler_queue_.size());
+  }
+  obs::HealthMonitor::Instance().Watermark("lpm.queue.depth",
+                                           static_cast<double>(handler_queue_.size()));
 }
 
 void Lpm::ReleaseHandler(Pid hpid) {
@@ -363,6 +378,9 @@ void Lpm::OnAccept(net::ConnId conn, net::SocketAddr peer) {
 
 void Lpm::SendMsg(net::ConnId conn, const Msg& msg, const obs::TraceContext& trace) {
   kernel().RecordIpc(pid(), /*sent=*/true, 0);
+  obs::FlightRecorder::Instance().Record(obs::FlightKind::kFrameSent, host_name(),
+                                         MsgTypeName(msg), trace.trace_id,
+                                         static_cast<uint64_t>(conn));
   network().Send(conn, Serialize(msg, trace));
 }
 
@@ -420,6 +438,11 @@ void Lpm::OnClose(net::ConnId conn, net::CloseReason reason) {
 void Lpm::OnData(net::ConnId conn, const std::vector<uint8_t>& bytes) {
   kernel().RecordIpc(pid(), /*sent=*/false, bytes.size());
   auto msg = Parse(bytes, &rx_trace_);
+  if (msg) {
+    obs::FlightRecorder::Instance().Record(obs::FlightKind::kFrameRecv, host_name(),
+                                           MsgTypeName(*msg), rx_trace_.trace_id,
+                                           static_cast<uint64_t>(conn));
+  }
   if (msg && rx_trace_.valid()) {
     // Close the hop span: the message reached this manager now.
     obs::Tracer::Instance().RecordArrival(rx_trace_, host_name());
@@ -475,6 +498,19 @@ void Lpm::OnData(net::ConnId conn, const std::vector<uint8_t>& bytes) {
           }
         } else if constexpr (std::is_same_v<T, SnapshotResp>) {
           HandleSnapshotResp(m);
+        } else if constexpr (std::is_same_v<T, StatReq>) {
+          if (m.origin_host.empty()) {
+            // A tool asking us to originate a cluster-wide stat round.
+            uint64_t tool_req = m.req_id;
+            bool dump = m.dump_flight;
+            Dispatch([this, conn, tool_req, dump](Pid h) {
+              StartStat(conn, tool_req, dump, h);
+            });
+          } else {
+            HandleStatReq(conn, m);
+          }
+        } else if constexpr (std::is_same_v<T, StatResp>) {
+          HandleStatResp(m);
         } else if constexpr (std::is_same_v<T, CreateResp> || std::is_same_v<T, SignalResp> ||
                              std::is_same_v<T, RusageResp> || std::is_same_v<T, AdoptResp> ||
                              std::is_same_v<T, TraceResp> || std::is_same_v<T, HistoryResp> ||
@@ -488,13 +524,13 @@ void Lpm::OnData(net::ConnId conn, const std::vector<uint8_t>& bytes) {
           ccs_host_ = host_name();
           PersistCcs();
           CancelDeath();
-          mode_ = LpmMode::kNormal;
+          SetMode(LpmMode::kNormal);
           recovery_in_progress_ = false;
           RegisterCcsWithNameServer();
           auto list = ReadRecoveryList(host_.fs(), uid_);
           auto idx = list.IndexOf(host_name());
           if (idx && *idx > 0) {
-            mode_ = LpmMode::kRecovering;
+            SetMode(LpmMode::kRecovering);
             simulator().Cancel(probe_event_);
             probe_event_ = simulator().ScheduleIn(config_.probe_interval,
                                                   [this] { ProbeHigherPriority(); },
@@ -1486,6 +1522,7 @@ void Lpm::HandleSnapshotReq(net::ConnId conn, const SnapshotReq& req) {
   obs::TraceContext rx = rx_trace_;
   if (!bcast_filter_.CheckAndRecord(req.origin_host, req.bcast_seq, simulator().Now())) {
     ++stats_.bcast_duplicates;
+    obs::HealthMonitor::Instance().RateEvent("lpm.bcast.dup");
     PPM_DEBUG("lpm") << host_name() << ": suppressed duplicate snapshot flood from "
                      << req.origin_host << " seq " << req.bcast_seq;
     return;
@@ -1591,11 +1628,271 @@ void Lpm::FinishSnapshot(SnapshotRun& run, uint64_t bcast_seq) {
   snapshots_.erase(bcast_seq);
 }
 
+// --- live introspection (the STAT protocol) ------------------------------------------------
+//
+// Same covering-graph broadcast as the snapshot above — one flood, one
+// reverse-routed reply per manager — but the payload is each manager's
+// structured self-description (BuildStatRecord) rather than a process
+// scan.  ppmstat renders the collected records as a cluster-wide table.
+
+LpmStatRecord Lpm::BuildStatRecord() {
+  LpmStatRecord rec;
+  rec.host = host_name();
+  rec.lpm_pid = pid();
+  rec.mode = static_cast<uint8_t>(mode_);
+  rec.is_ccs = is_ccs_;
+  rec.ccs_host = ccs_host_;
+  auto list = ReadRecoveryList(host_.fs(), uid_);
+  auto idx = list.IndexOf(host_name());
+  rec.recovery_rank = idx ? static_cast<int32_t>(*idx) : -1;
+  rec.siblings = sibling_hosts();
+
+  rec.handlers = static_cast<uint32_t>(handlers_.size());
+  for (const Handler& h : handlers_) {
+    if (h.busy) ++rec.handlers_busy;
+  }
+  rec.queue_depth = static_cast<uint32_t>(handler_queue_.size());
+  rec.queue_watermark = queue_watermark_;
+  for (const auto& [conn, info] : peers_) {
+    if (info.kind == PeerKind::kTool) ++rec.tool_circuits;
+  }
+
+  rec.requests = stats_.requests;
+  rec.forwards = stats_.forwards;
+  rec.kernel_events = stats_.kernel_events;
+  rec.handlers_created = stats_.handlers_created;
+  rec.handler_reuses = stats_.handler_reuses;
+  rec.snapshots_served = stats_.snapshots_served;
+  rec.bcasts_originated = stats_.bcasts_originated;
+  rec.bcast_duplicates = stats_.bcast_duplicates;
+  rec.triggers_fired = stats_.triggers_fired;
+  rec.failures_detected = stats_.failures_detected;
+  rec.recoveries_started = stats_.recoveries_started;
+  rec.request_timeouts = stats_.request_timeouts;
+
+  rec.eventlog_size = event_log_.size();
+  rec.eventlog_recorded = event_log_.total_recorded();
+  rec.eventlog_filtered = event_log_.total_filtered();
+  rec.eventlog_dropped = event_log_.total_dropped();
+  for (const auto& [dpid, n] : event_log_.dropped_by_pid()) {
+    rec.dropped_by_pid.push_back(PidDrop{dpid, n});
+  }
+
+  if (store_) {
+    rec.store_enabled = true;
+    rec.journal_seq = store_->seq();
+    rec.journal_bytes = store_->journal().size_bytes();
+    rec.journal_pending = static_cast<uint32_t>(store_->journal().pending_appends());
+  }
+
+  if (daemon::Pmd* pmd = pmd_getter_ ? pmd_getter_() : nullptr) {
+    rec.pmd_registry = static_cast<uint32_t>(pmd->registry_size());
+    rec.pmd_requests = pmd->stats().requests;
+  }
+
+  rec.flight_records = obs::FlightRecorder::Instance().total_recorded();
+  rec.flight_dumps = obs::FlightRecorder::Instance().dump_count();
+
+  obs::LpmHealthInputs in;
+  in.eventlog_recorded = event_log_.total_recorded();
+  in.eventlog_dropped = event_log_.total_dropped();
+  in.bcasts_handled = stats_.bcasts_originated + stats_.snapshots_served;
+  in.bcast_duplicates = stats_.bcast_duplicates;
+  in.requests = stats_.requests;
+  in.request_timeouts = stats_.request_timeouts;
+  in.handler_queue_depth = handler_queue_.size();
+  in.journal_pending = store_ ? store_->journal().pending_appends() : 0;
+  obs::HealthReport report = obs::ClassifyLpm(in);
+  rec.health = static_cast<uint8_t>(report.level);
+  rec.health_reasons = std::move(report.reasons);
+
+  rec.procs = ScanLocalProcesses();
+  return rec;
+}
+
+void Lpm::StartStat(net::ConnId tool_conn, uint64_t tool_req_id, bool dump_flight,
+                    Pid handler) {
+  uint64_t seq = NextBcastSeq();
+  ++stats_.bcasts_originated;
+  bcast_filter_.CheckAndRecord(host_name(), seq, simulator().Now());
+  if (dump_flight) {
+    // On-demand black-box dump; the text is retained in last_dump() for
+    // the tool side (ppmstat fetches it out of the in-process recorder).
+    obs::FlightRecorder::Instance().Dump("stat request from tool");
+  }
+
+  sim::SimDuration cost = kernel().Charge(handler, BaseCosts::kHandlerWork);
+  cost += kernel().Charge(
+      handler, BaseCosts::kPerProcessScan * static_cast<int64_t>(local_procs_.size() + 1));
+  simulator().ScheduleIn(cost, [this, tool_conn, tool_req_id, handler, seq] {
+    if (!running_) return;
+    StatRun run;
+    run.tool_req_id = tool_req_id;
+    run.tool_conn = tool_conn;
+    run.handler = handler;
+    run.records.push_back(BuildStatRecord());
+    run.trace = obs::Tracer::Instance().StartTrace("stat", host_name());
+    run.start_us = simulator().Now();
+
+    StatReq templ;
+    templ.req_id = seq;
+    templ.origin_host = host_name();
+    templ.bcast_seq = seq;
+    templ.signed_ts = simulator().Now();
+    templ.route.push_back(host_name());
+
+    std::vector<std::string> sent;
+    FloodStat(seq, templ, /*except_host=*/"", &sent, run.trace);
+    for (const std::string& h : sent) run.outstanding.insert(h);
+    run.replied.insert(host_name());
+
+    if (!run.outstanding.empty()) {
+      run.timeout_ev = simulator().ScheduleIn(config_.snapshot_timeout, [this, seq] {
+        auto it = stat_runs_.find(seq);
+        if (it == stat_runs_.end()) return;
+        it->second.timeout_ev = sim::kInvalidEventId;
+        FinishStat(it->second, seq);
+      }, "lpm-stat-timeout");
+      stat_runs_[seq] = std::move(run);
+    } else {
+      stat_runs_[seq] = std::move(run);
+      FinishStat(stat_runs_[seq], seq);
+    }
+  }, "lpm-stat-start");
+}
+
+sim::SimDuration Lpm::FloodStat(uint64_t bcast_seq, const StatReq& templ,
+                                const std::string& except_host,
+                                std::vector<std::string>* sent_to,
+                                const obs::TraceContext& parent) {
+  (void)bcast_seq;
+  sim::SimDuration cum = 0;
+  bool first = true;
+  for (const auto& [host, conn] : siblings_) {
+    if (host == except_host) continue;
+    cum += kernel().Charge(pid(), first ? BaseCosts::kSiblingSend
+                                        : BaseCosts::kSiblingSendExtra);
+    first = false;
+    net::ConnId target = conn;
+    simulator().ScheduleIn(cum, [this, target, templ, parent] {
+      if (!running_) return;
+      obs::TraceContext hop =
+          obs::Tracer::Instance().StartSpan(parent, "stat.req", host_name());
+      SendMsg(target, templ, hop);
+    }, "lpm-flood-send");
+    if (sent_to) sent_to->push_back(host);
+  }
+  return cum;
+}
+
+void Lpm::HandleStatReq(net::ConnId conn, const StatReq& req) {
+  (void)conn;
+  obs::TraceContext rx = rx_trace_;
+  if (!bcast_filter_.CheckAndRecord(req.origin_host, req.bcast_seq, simulator().Now())) {
+    ++stats_.bcast_duplicates;
+    obs::HealthMonitor::Instance().RateEvent("lpm.bcast.dup");
+    return;
+  }
+  std::string sender = req.route.empty() ? std::string() : req.route.back();
+  Dispatch([this, req, sender, rx](Pid h) {
+    ++stats_.snapshots_served;  // a stat serve is a local scan too
+    sim::SimDuration cost = kernel().Charge(h, BaseCosts::kHandlerWork);
+    cost += kernel().Charge(
+        h, BaseCosts::kPerProcessScan * static_cast<int64_t>(local_procs_.size() + 1));
+    simulator().ScheduleIn(cost, [this, req, sender, rx, h] {
+      if (!running_) {
+        ReleaseHandler(h);
+        return;
+      }
+      StatReq fwd = req;
+      fwd.route.push_back(host_name());
+      std::vector<std::string> sent;
+      sim::SimDuration flood_cost = FloodStat(req.bcast_seq, fwd, sender, &sent, rx);
+
+      StatResp resp;
+      resp.req_id = req.req_id;
+      resp.origin_host = req.origin_host;
+      resp.bcast_seq = req.bcast_seq;
+      resp.replier_host = host_name();
+      resp.forwarded_to = sent;
+      resp.route = fwd.route;
+      resp.route_index = 0;
+      resp.records.push_back(BuildStatRecord());
+      auto sit = siblings_.find(sender);
+      if (sit != siblings_.end()) {
+        obs::TraceContext hop =
+            obs::Tracer::Instance().StartSpan(rx, "stat.resp", host_name());
+        SendToSibling(sit->second, Msg{resp}, BaseCosts::kSiblingSend, flood_cost, hop);
+      }
+      ReleaseHandler(h);
+    }, "lpm-stat-serve");
+  });
+}
+
+void Lpm::HandleStatResp(const StatResp& resp) {
+  obs::TraceContext rx = rx_trace_;
+  if (resp.origin_host != host_name()) {
+    auto pos = std::find(resp.route.begin(), resp.route.end(), host_name());
+    if (pos == resp.route.end() || pos == resp.route.begin()) return;
+    const std::string& next = *(pos - 1);
+    auto sit = siblings_.find(next);
+    if (sit == siblings_.end()) return;  // path broke; origin times out
+    obs::TraceContext hop =
+        obs::Tracer::Instance().StartSpan(rx, "stat.resp.relay", host_name());
+    SendToSibling(sit->second, Msg{resp},
+                  BaseCosts::kDispatch + BaseCosts::kHandlerWork + BaseCosts::kSiblingSend,
+                  0, hop);
+    return;
+  }
+  auto it = stat_runs_.find(resp.bcast_seq);
+  if (it == stat_runs_.end()) return;  // finished or timed out already
+  StatRun& run = it->second;
+  if (run.replied.count(resp.replier_host)) return;  // duplicate reply
+  run.replied.insert(resp.replier_host);
+  run.outstanding.erase(resp.replier_host);
+  for (const LpmStatRecord& rec : resp.records) run.records.push_back(rec);
+  for (const std::string& h : resp.forwarded_to) {
+    if (!run.replied.count(h)) run.outstanding.insert(h);
+  }
+  MaybeFinishStat(resp.bcast_seq);
+}
+
+void Lpm::MaybeFinishStat(uint64_t bcast_seq) {
+  auto it = stat_runs_.find(bcast_seq);
+  if (it == stat_runs_.end()) return;
+  if (!it->second.outstanding.empty()) return;
+  FinishStat(it->second, bcast_seq);
+}
+
+void Lpm::FinishStat(StatRun& run, uint64_t bcast_seq) {
+  if (run.complete) return;
+  run.complete = true;
+  simulator().Cancel(run.timeout_ev);
+  Metrics().stat_ms->Observe(
+      static_cast<double>(simulator().Now() - run.start_us) / 1000.0);
+  StatResp out;
+  out.req_id = run.tool_req_id;
+  out.origin_host = host_name();
+  out.bcast_seq = bcast_seq;
+  out.replier_host = host_name();
+  out.forwarded_to.assign(run.replied.begin(), run.replied.end());
+  out.records = std::move(run.records);
+  obs::TraceContext hop =
+      obs::Tracer::Instance().StartSpan(run.trace, "stat.done", host_name());
+  if (peers_.count(run.tool_conn)) SendMsg(run.tool_conn, out, hop);
+  ReleaseHandler(run.handler);
+  stat_runs_.erase(bcast_seq);
+}
+
 // --- kernel events, history, triggers ------------------------------------------------------
 
 void Lpm::OnKernelEvent(const host::KernelEvent& ev) {
   if (!running_) return;
   ++stats_.kernel_events;
+  // Hot path: one O(1) ring write, measured by bench_overhead.
+  obs::FlightRecorder::Instance().Record(obs::FlightKind::kKernelEvent, host_name(),
+                                         host::ToString(ev.kind), 0,
+                                         static_cast<uint64_t>(ev.pid));
   HistEvent h;
   h.at = ev.at;
   h.kind = ev.kind;
@@ -1740,11 +2037,21 @@ void Lpm::ReviewTtl() {
 
 void Lpm::TtlExpired() {
   if (!running_) return;
+  obs::FlightRecorder::Instance().Record(obs::FlightKind::kTimerFired, host_name(),
+                                         "ttl");
   PPM_INFO("lpm") << host_name() << ": time-to-live expired";
   ExitSelf(0);
 }
 
 // --- recovery (paper Section 5) ---------------------------------------------------------------
+
+void Lpm::SetMode(LpmMode m) {
+  if (m == mode_) return;
+  std::string transition = std::string(ToString(mode_)) + "->" + ToString(m);
+  obs::FlightRecorder::Instance().Record(obs::FlightKind::kStateTransition,
+                                         host_name(), transition);
+  mode_ = m;
+}
 
 void Lpm::OnSiblingLost(const std::string& host, net::CloseReason reason) {
   (void)host;
@@ -1764,14 +2071,14 @@ void Lpm::StartRecovery() {
     if (siblings_.count(ccs_host_)) {
       // Still in touch with the coordinator: nothing to do.
       recovery_in_progress_ = false;
-      mode_ = LpmMode::kNormal;
+      SetMode(LpmMode::kNormal);
       return;
     }
     EnsureSibling(ccs_host_, [this](std::optional<net::ConnId> conn) {
       if (!running_) return;
       if (conn) {
         recovery_in_progress_ = false;
-        mode_ = LpmMode::kNormal;
+        SetMode(LpmMode::kNormal);
         CancelDeath();
         return;
       }
@@ -1808,7 +2115,7 @@ void Lpm::RecoverViaNameServer() {
               is_ccs_ = true;
               ccs_host_ = host_name();
               PersistCcs();
-              mode_ = LpmMode::kNormal;
+              SetMode(LpmMode::kNormal);
               recovery_in_progress_ = false;
               CancelDeath();
               AnnounceCcs();
@@ -1821,7 +2128,7 @@ void Lpm::RecoverViaNameServer() {
                 ccs_host_ = ccs;
                 is_ccs_ = false;
                 PersistCcs();
-                mode_ = LpmMode::kNormal;
+                SetMode(LpmMode::kNormal);
                 recovery_in_progress_ = false;
                 CancelDeath();
                 AnnounceCcs();
@@ -1834,7 +2141,7 @@ void Lpm::RecoverViaNameServer() {
               is_ccs_ = true;
               ccs_host_ = host_name();
               PersistCcs();
-              mode_ = LpmMode::kNormal;
+              SetMode(LpmMode::kNormal);
               recovery_in_progress_ = false;
               CancelDeath();
               RegisterCcsWithNameServer();
@@ -1898,7 +2205,7 @@ void Lpm::WalkRecoveryList(size_t index) {
     ccs_host_ = target;
     is_ccs_ = false;
     PersistCcs();
-    mode_ = LpmMode::kNormal;
+    SetMode(LpmMode::kNormal);
     recovery_in_progress_ = false;
     CancelDeath();
     BecomeCcs msg;
@@ -1921,12 +2228,12 @@ void Lpm::BecomeActingCcs(size_t list_index) {
   if (list_index > 0) {
     // Not the top of the list: keep probing upward at low frequency
     // until a higher-priority host comes back (partition healing).
-    mode_ = LpmMode::kRecovering;
+    SetMode(LpmMode::kRecovering);
     simulator().Cancel(probe_event_);
     probe_event_ = simulator().ScheduleIn(config_.probe_interval,
                                           [this] { ProbeHigherPriority(); }, "lpm-probe");
   } else {
-    mode_ = LpmMode::kNormal;
+    SetMode(LpmMode::kNormal);
   }
   AnnounceCcs();
   ReviewTtl();
@@ -1935,11 +2242,13 @@ void Lpm::BecomeActingCcs(size_t list_index) {
 void Lpm::ProbeHigherPriority() {
   probe_event_ = sim::kInvalidEventId;
   if (!running_ || !is_ccs_) return;
+  obs::FlightRecorder::Instance().Record(obs::FlightKind::kTimerFired, host_name(),
+                                         "probe");
   RecoveryList list = ReadRecoveryList(host_.fs(), uid_);
   auto my_index = list.IndexOf(host_name());
   size_t limit = my_index ? *my_index : list.hosts.size();
   if (limit == 0) {
-    mode_ = LpmMode::kNormal;
+    SetMode(LpmMode::kNormal);
     return;
   }
   ProbeStep(0, limit, std::move(list));
@@ -1949,7 +2258,7 @@ void Lpm::ProbeStep(size_t index, size_t limit, RecoveryList list) {
   if (!running_ || !is_ccs_) return;
   if (index >= limit) {
     // Everyone above is still unreachable; probe again later.
-    mode_ = LpmMode::kRecovering;
+    SetMode(LpmMode::kRecovering);
     simulator().Cancel(probe_event_);
     probe_event_ = simulator().ScheduleIn(config_.probe_interval,
                                           [this] { ProbeHigherPriority(); }, "lpm-probe");
@@ -1972,7 +2281,7 @@ void Lpm::YieldCcsTo(const std::string& host) {
   is_ccs_ = false;
   ccs_host_ = host;
   PersistCcs();
-  mode_ = LpmMode::kNormal;
+  SetMode(LpmMode::kNormal);
   simulator().Cancel(probe_event_);
   probe_event_ = sim::kInvalidEventId;
   auto it = siblings_.find(host);
@@ -1991,7 +2300,7 @@ void Lpm::EnterDying() {
   // but the retry below must be re-armed — rescue may come from any
   // retry before the deadline, not just the first.
   if (mode_ != LpmMode::kDying) {
-    mode_ = LpmMode::kDying;
+    SetMode(LpmMode::kDying);
     PPM_WARN("lpm") << host_name()
                     << ": no recovery host reachable; time-to-die armed";
   }
@@ -1999,6 +2308,8 @@ void Lpm::EnterDying() {
     death_event_ = simulator().ScheduleIn(config_.time_to_die, [this] {
       death_event_ = sim::kInvalidEventId;
       if (!running_ || mode_ != LpmMode::kDying) return;
+      obs::FlightRecorder::Instance().Record(obs::FlightKind::kTimerFired, host_name(),
+                                             "death");
       // "…the appropriate action is to close down all the activities."
       PPM_WARN("lpm") << host_name() << ": time-to-die expired; terminating "
                       << adopted_live_count() << " user processes";
@@ -2013,6 +2324,8 @@ void Lpm::EnterDying() {
   retry_event_ = simulator().ScheduleIn(config_.retry_interval, [this] {
     retry_event_ = sim::kInvalidEventId;
     if (!running_ || mode_ != LpmMode::kDying) return;
+    obs::FlightRecorder::Instance().Record(obs::FlightKind::kTimerFired, host_name(),
+                                           "retry");
     recovery_in_progress_ = true;
     RecoverEntry();
     // If the attempt fails it re-enters dying and re-arms the retry timer.
@@ -2023,7 +2336,7 @@ void Lpm::CancelDeath() {
   simulator().Cancel(death_event_);
   simulator().Cancel(retry_event_);
   death_event_ = retry_event_ = sim::kInvalidEventId;
-  if (mode_ == LpmMode::kDying) mode_ = LpmMode::kNormal;
+  if (mode_ == LpmMode::kDying) SetMode(LpmMode::kNormal);
 }
 
 void Lpm::AnnounceCcs() {
@@ -2070,7 +2383,7 @@ void Lpm::AcceptCcsAnnouncement(const std::string& new_ccs) {
     simulator().Cancel(probe_event_);
     probe_event_ = sim::kInvalidEventId;
   }
-  mode_ = LpmMode::kNormal;
+  SetMode(LpmMode::kNormal);
   ReviewTtl();
 }
 

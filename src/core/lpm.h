@@ -208,6 +208,22 @@ class Lpm : public host::ProcessBody {
     sim::SimTime start_us = 0;   // for the snapshot round-trip histogram
   };
 
+  // --- stat runs (this LPM as origin) ---------------------------------------
+  // Same shape as SnapshotRun: one covering-graph broadcast, replies
+  // carrying LpmStatRecords instead of process scans.
+  struct StatRun {
+    uint64_t tool_req_id = 0;
+    net::ConnId tool_conn = net::kInvalidConn;
+    host::Pid handler = host::kNoPid;
+    std::vector<LpmStatRecord> records;
+    std::set<std::string> replied;
+    std::set<std::string> outstanding;
+    sim::EventId timeout_ev = sim::kInvalidEventId;
+    bool complete = false;
+    obs::TraceContext trace;
+    sim::SimTime start_us = 0;
+  };
+
   // message plumbing
   void OnAccept(net::ConnId conn, net::SocketAddr peer);
   void OnData(net::ConnId conn, const std::vector<uint8_t>& bytes);
@@ -281,6 +297,21 @@ class Lpm : public host::ProcessBody {
   void MaybeFinishSnapshot(uint64_t bcast_seq);
   void FinishSnapshot(SnapshotRun& run, uint64_t bcast_seq);
 
+  // live introspection (the STAT protocol; see wire.h)
+  void StartStat(net::ConnId tool_conn, uint64_t tool_req_id, bool dump_flight,
+                 host::Pid handler);
+  sim::SimDuration FloodStat(uint64_t bcast_seq, const StatReq& templ,
+                             const std::string& except_host,
+                             std::vector<std::string>* sent_to,
+                             const obs::TraceContext& parent = {});
+  void HandleStatReq(net::ConnId conn, const StatReq& req);
+  void HandleStatResp(const StatResp& resp);
+  void MaybeFinishStat(uint64_t bcast_seq);
+  void FinishStat(StatRun& run, uint64_t bcast_seq);
+  // Samples this manager's structured self-description (one StatResp
+  // record): role, queues, counters, store, flight recorder, health.
+  LpmStatRecord BuildStatRecord();
+
   // kernel events
   void OnKernelEvent(const host::KernelEvent& ev);
   void FireTrigger(const TriggerSpec& spec, const HistEvent& ev);
@@ -304,6 +335,10 @@ class Lpm : public host::ProcessBody {
   void ReviewTtl();
   void TtlExpired();
   void ExitSelf(int status);
+
+  // Every mode change goes through here so the flight recorder sees the
+  // "from->to" transition.
+  void SetMode(LpmMode m);
 
   // recovery
   void OnSiblingLost(const std::string& host, net::CloseReason reason);
@@ -356,6 +391,8 @@ class Lpm : public host::ProcessBody {
   std::deque<std::function<void(host::Pid)>> handler_queue_;
   std::map<uint64_t, PendingForward> pending_;
   std::map<uint64_t, SnapshotRun> snapshots_;  // keyed by bcast seq
+  std::map<uint64_t, StatRun> stat_runs_;      // keyed by bcast seq
+  uint32_t queue_watermark_ = 0;  // handler queue depth high-watermark
   std::map<host::Pid, LocalProc> local_procs_;
   std::vector<RusageRecord> exited_stats_;
   BroadcastFilter bcast_filter_;

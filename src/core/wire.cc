@@ -239,9 +239,181 @@ std::optional<TriggerSpec> GetTriggerSpec(util::ByteReader& r) {
   return spec;
 }
 
+void PutLpmStatRecord(util::ByteWriter& w, const LpmStatRecord& rec) {
+  w.Str(rec.host);
+  w.I32(rec.lpm_pid);
+  w.U8(rec.mode);
+  w.Bool(rec.is_ccs);
+  w.Str(rec.ccs_host);
+  w.I32(rec.recovery_rank);
+  PutStrVec(w, rec.siblings);
+  w.U32(rec.handlers);
+  w.U32(rec.handlers_busy);
+  w.U32(rec.queue_depth);
+  w.U32(rec.queue_watermark);
+  w.U32(rec.tool_circuits);
+  w.U64(rec.requests);
+  w.U64(rec.forwards);
+  w.U64(rec.kernel_events);
+  w.U64(rec.handlers_created);
+  w.U64(rec.handler_reuses);
+  w.U64(rec.snapshots_served);
+  w.U64(rec.bcasts_originated);
+  w.U64(rec.bcast_duplicates);
+  w.U64(rec.triggers_fired);
+  w.U64(rec.failures_detected);
+  w.U64(rec.recoveries_started);
+  w.U64(rec.request_timeouts);
+  w.U64(rec.eventlog_size);
+  w.U64(rec.eventlog_recorded);
+  w.U64(rec.eventlog_filtered);
+  w.U64(rec.eventlog_dropped);
+  w.U32(static_cast<uint32_t>(rec.dropped_by_pid.size()));
+  for (const PidDrop& d : rec.dropped_by_pid) {
+    w.I32(d.pid);
+    w.U64(d.dropped);
+  }
+  w.Bool(rec.store_enabled);
+  w.U64(rec.journal_seq);
+  w.U64(rec.journal_bytes);
+  w.U32(rec.journal_pending);
+  w.U32(rec.pmd_registry);
+  w.U64(rec.pmd_requests);
+  w.U64(rec.flight_records);
+  w.U64(rec.flight_dumps);
+  w.U8(rec.health);
+  PutStrVec(w, rec.health_reasons);
+  w.U32(static_cast<uint32_t>(rec.procs.size()));
+  for (const auto& p : rec.procs) PutProcRecord(w, p);
+}
+
+std::optional<LpmStatRecord> GetLpmStatRecord(util::ByteReader& r) {
+  LpmStatRecord rec;
+  auto host = r.Str();
+  auto pid = r.I32();
+  auto mode = r.U8();
+  auto is_ccs = r.Bool();
+  auto ccs = r.Str();
+  auto rank = r.I32();
+  auto siblings = GetStrVec(r);
+  if (!host || !pid || !mode || !is_ccs || !ccs || !rank || !siblings)
+    return std::nullopt;
+  rec.host = std::move(*host);
+  rec.lpm_pid = *pid;
+  rec.mode = *mode;
+  rec.is_ccs = *is_ccs;
+  rec.ccs_host = std::move(*ccs);
+  rec.recovery_rank = *rank;
+  rec.siblings = std::move(*siblings);
+  auto handlers = r.U32();
+  auto busy = r.U32();
+  auto qdepth = r.U32();
+  auto qwater = r.U32();
+  auto tools = r.U32();
+  if (!handlers || !busy || !qdepth || !qwater || !tools) return std::nullopt;
+  rec.handlers = *handlers;
+  rec.handlers_busy = *busy;
+  rec.queue_depth = *qdepth;
+  rec.queue_watermark = *qwater;
+  rec.tool_circuits = *tools;
+  // The twelve LpmStats counters plus the four event-log counters, in
+  // declaration order.
+  uint64_t* counters[] = {
+      &rec.requests,         &rec.forwards,          &rec.kernel_events,
+      &rec.handlers_created, &rec.handler_reuses,    &rec.snapshots_served,
+      &rec.bcasts_originated, &rec.bcast_duplicates, &rec.triggers_fired,
+      &rec.failures_detected, &rec.recoveries_started, &rec.request_timeouts,
+      &rec.eventlog_size,    &rec.eventlog_recorded, &rec.eventlog_filtered,
+      &rec.eventlog_dropped};
+  for (uint64_t* c : counters) {
+    auto v = r.U64();
+    if (!v) return std::nullopt;
+    *c = *v;
+  }
+  auto ndrop = r.U32();
+  if (!ndrop) return std::nullopt;
+  if (*ndrop > r.remaining()) return std::nullopt;  // corrupt count
+  rec.dropped_by_pid.reserve(*ndrop);
+  for (uint32_t i = 0; i < *ndrop; ++i) {
+    auto dpid = r.I32();
+    auto dn = r.U64();
+    if (!dpid || !dn) return std::nullopt;
+    rec.dropped_by_pid.push_back(PidDrop{*dpid, *dn});
+  }
+  auto store = r.Bool();
+  auto jseq = r.U64();
+  auto jbytes = r.U64();
+  auto jpend = r.U32();
+  auto preg = r.U32();
+  auto preq = r.U64();
+  auto frecs = r.U64();
+  auto fdumps = r.U64();
+  auto health = r.U8();
+  auto reasons = GetStrVec(r);
+  if (!store || !jseq || !jbytes || !jpend || !preg || !preq || !frecs || !fdumps ||
+      !health || !reasons)
+    return std::nullopt;
+  rec.store_enabled = *store;
+  rec.journal_seq = *jseq;
+  rec.journal_bytes = *jbytes;
+  rec.journal_pending = *jpend;
+  rec.pmd_registry = *preg;
+  rec.pmd_requests = *preq;
+  rec.flight_records = *frecs;
+  rec.flight_dumps = *fdumps;
+  rec.health = *health;
+  rec.health_reasons = std::move(*reasons);
+  auto nprocs = r.U32();
+  if (!nprocs) return std::nullopt;
+  if (*nprocs > r.remaining()) return std::nullopt;  // corrupt count
+  rec.procs.reserve(*nprocs);
+  for (uint32_t i = 0; i < *nprocs; ++i) {
+    auto p = GetProcRecord(r);
+    if (!p) return std::nullopt;
+    rec.procs.push_back(std::move(*p));
+  }
+  return rec;
+}
+
+void PutStatReq(util::ByteWriter& w, const StatReq& m) {
+  w.U64(m.req_id);
+  w.Str(m.origin_host);
+  w.U64(m.bcast_seq);
+  w.U64(m.signed_ts);
+  PutStrVec(w, m.route);
+  w.Bool(m.dump_flight);
+}
+
+void PutStatResp(util::ByteWriter& w, const StatResp& m) {
+  w.U64(m.req_id);
+  w.Str(m.origin_host);
+  w.U64(m.bcast_seq);
+  w.Str(m.replier_host);
+  PutStrVec(w, m.forwarded_to);
+  PutStrVec(w, m.route);
+  w.U32(static_cast<uint32_t>(m.route_index));
+  w.U32(static_cast<uint32_t>(m.records.size()));
+  for (const auto& rec : m.records) PutLpmStatRecord(w, rec);
+}
+
 // --- serialize --------------------------------------------------------------
 
 void EncodeMsg(util::ByteWriter& w, const Msg& msg) {
+  // STAT frames do not use the variant index as their wire tag: they
+  // ride under the 0xF6 escape opcode plus a request/response sub-byte,
+  // so pre-STAT decoders reject them instead of misreading.
+  if (const auto* req = std::get_if<StatReq>(&msg)) {
+    w.U8(kStatMsgTag);
+    w.U8(kStatReqSub);
+    PutStatReq(w, *req);
+    return;
+  }
+  if (const auto* resp = std::get_if<StatResp>(&msg)) {
+    w.U8(kStatMsgTag);
+    w.U8(kStatRespSub);
+    PutStatResp(w, *resp);
+    return;
+  }
   w.U8(static_cast<uint8_t>(msg.index()));
   std::visit(
       [&w](const auto& m) {
@@ -834,6 +1006,53 @@ std::optional<Probe> ParseProbe(util::ByteReader& r) {
   return m;
 }
 
+std::optional<StatReq> ParseStatReq(util::ByteReader& r) {
+  StatReq m;
+  auto id = r.U64();
+  auto origin = r.Str();
+  auto seq = r.U64();
+  auto ts = r.U64();
+  auto route = GetStrVec(r);
+  auto dump = r.Bool();
+  if (!id || !origin || !seq || !ts || !route || !dump) return std::nullopt;
+  m.req_id = *id;
+  m.origin_host = *origin;
+  m.bcast_seq = *seq;
+  m.signed_ts = *ts;
+  m.route = std::move(*route);
+  m.dump_flight = *dump;
+  return m;
+}
+
+std::optional<StatResp> ParseStatResp(util::ByteReader& r) {
+  StatResp m;
+  auto id = r.U64();
+  auto origin = r.Str();
+  auto seq = r.U64();
+  auto replier = r.Str();
+  auto fwd = GetStrVec(r);
+  auto route = GetStrVec(r);
+  auto idx = r.U32();
+  auto n = r.U32();
+  if (!id || !origin || !seq || !replier || !fwd || !route || !idx || !n)
+    return std::nullopt;
+  m.req_id = *id;
+  m.origin_host = *origin;
+  m.bcast_seq = *seq;
+  m.replier_host = *replier;
+  m.forwarded_to = std::move(*fwd);
+  m.route = std::move(*route);
+  m.route_index = *idx;
+  if (*n > r.remaining()) return std::nullopt;  // corrupt count
+  m.records.reserve(*n);
+  for (uint32_t i = 0; i < *n; ++i) {
+    auto rec = GetLpmStatRecord(r);
+    if (!rec) return std::nullopt;
+    m.records.push_back(std::move(*rec));
+  }
+  return m;
+}
+
 std::optional<ProbeAck> ParseProbeAck(util::ByteReader& r) {
   ProbeAck m;
   auto id = r.U64();
@@ -914,6 +1133,18 @@ std::optional<Msg> Parse(const std::vector<uint8_t>& bytes, obs::TraceContext* t
     case 26: msg = Lift(ParseMigrateReq(r)); break;
     case 27: msg = Lift(ParseMigrateResp(r)); break;
     case 28: msg = Lift(ParseRegisterChild(r)); break;
+    case kStatMsgTag: {
+      auto sub = r.U8();
+      if (!sub) return std::nullopt;
+      if (*sub == kStatReqSub) {
+        msg = Lift(ParseStatReq(r));
+      } else if (*sub == kStatRespSub) {
+        msg = Lift(ParseStatResp(r));
+      } else {
+        return std::nullopt;
+      }
+      break;
+    }
     default: return std::nullopt;
   }
   // A well-formed frame is consumed exactly; trailing bytes mean the
@@ -928,7 +1159,8 @@ const char* MsgTypeName(const Msg& msg) {
       "SignalReq", "SignalResp", "SnapshotReq", "SnapshotResp", "RusageReq", "RusageResp",
       "AdoptReq", "AdoptResp", "TraceReq", "TraceResp", "HistoryReq", "HistoryResp",
       "TriggerReq", "TriggerResp", "BecomeCcs", "CcsChanged", "Probe", "ProbeAck",
-      "FilesReq", "FilesResp", "MigrateReq", "MigrateResp", "RegisterChild"};
+      "FilesReq", "FilesResp", "MigrateReq", "MigrateResp", "RegisterChild",
+      "StatReq", "StatResp"};
   return kNames[msg.index()];
 }
 

@@ -237,6 +237,105 @@ struct RegisterChild {
   GPid child;
 };
 
+// --- live introspection (the STAT protocol) ---------------------------------
+
+// Per-pid event-log eviction count, surfaced so an operator can see
+// *which* chatty process pushed everyone else's history out of the ring.
+struct PidDrop {
+  int32_t pid = -1;
+  uint64_t dropped = 0;
+  bool operator==(const PidDrop&) const = default;
+};
+
+// One manager's structured self-description: everything ppmstat renders
+// for a host.  Sampled by the LPM answering a StatReq — genealogy
+// subtree (procs), CCS role and recovery-list position, peer circuits
+// and dispatcher queue depths, journal statistics, flight-recorder
+// counters, and a health verdict with human-readable reasons.
+struct LpmStatRecord {
+  std::string host;
+  int32_t lpm_pid = -1;
+  uint8_t mode = 0;        // core::LpmMode
+  bool is_ccs = false;
+  std::string ccs_host;
+  int32_t recovery_rank = -1;  // position in ~/.recovery; -1 when absent
+  std::vector<std::string> siblings;
+
+  // Dispatcher and endpoint load.
+  uint32_t handlers = 0;
+  uint32_t handlers_busy = 0;
+  uint32_t queue_depth = 0;      // handler queue, current
+  uint32_t queue_watermark = 0;  // handler queue, high-watermark
+  uint32_t tool_circuits = 0;
+
+  // LpmStats counters.
+  uint64_t requests = 0;
+  uint64_t forwards = 0;
+  uint64_t kernel_events = 0;
+  uint64_t handlers_created = 0;
+  uint64_t handler_reuses = 0;
+  uint64_t snapshots_served = 0;
+  uint64_t bcasts_originated = 0;
+  uint64_t bcast_duplicates = 0;
+  uint64_t triggers_fired = 0;
+  uint64_t failures_detected = 0;
+  uint64_t recoveries_started = 0;
+  uint64_t request_timeouts = 0;
+
+  // Event-log accounting, including the per-pid eviction breakdown.
+  uint64_t eventlog_size = 0;
+  uint64_t eventlog_recorded = 0;
+  uint64_t eventlog_filtered = 0;
+  uint64_t eventlog_dropped = 0;
+  std::vector<PidDrop> dropped_by_pid;
+
+  // Durable store (zeroed when the store is off).
+  bool store_enabled = false;
+  uint64_t journal_seq = 0;
+  uint64_t journal_bytes = 0;
+  uint32_t journal_pending = 0;
+
+  // The pmd living next door (zeroed if it cannot be reached).
+  uint32_t pmd_registry = 0;
+  uint64_t pmd_requests = 0;
+
+  // Flight recorder counters at this host.
+  uint64_t flight_records = 0;
+  uint64_t flight_dumps = 0;
+
+  // Health verdict (obs::HealthLevel) and the tripped-threshold reasons.
+  uint8_t health = 0;
+  std::vector<std::string> health_reasons;
+
+  // The genealogy subtree this manager tracks (same records a snapshot
+  // would contribute).
+  std::vector<ProcRecord> procs;
+};
+
+// Broadcast over the sibling graph exactly like SnapshotReq — same
+// covering algorithm, same duplicate suppression, same reverse-route
+// replies — but each manager answers with an LpmStatRecord instead of a
+// bare process scan.
+struct StatReq {
+  uint64_t req_id = 0;          // meaningful at the origin only
+  std::string origin_host;      // empty: a tool asking its LPM to originate
+  uint64_t bcast_seq = 0;
+  uint64_t signed_ts = 0;
+  std::vector<std::string> route;
+  bool dump_flight = false;     // also dump the origin's flight recorder
+};
+
+struct StatResp {
+  uint64_t req_id = 0;
+  std::string origin_host;
+  uint64_t bcast_seq = 0;
+  std::string replier_host;
+  std::vector<std::string> forwarded_to;
+  std::vector<std::string> route;
+  size_t route_index = 0;
+  std::vector<LpmStatRecord> records;
+};
+
 // --- recovery control ---------------------------------------------------------
 
 // Sent to the LPM that should assume the crash-coordinator role.
@@ -267,7 +366,7 @@ using Msg = std::variant<HelloSibling, HelloTool, HelloAck, HelloReject, CreateR
                          RusageReq, RusageResp, AdoptReq, AdoptResp, TraceReq, TraceResp,
                          HistoryReq, HistoryResp, TriggerReq, TriggerResp, BecomeCcs,
                          CcsChanged, Probe, ProbeAck, FilesReq, FilesResp, MigrateReq,
-                         MigrateResp, RegisterChild>;
+                         MigrateResp, RegisterChild, StatReq, StatResp>;
 
 // Trace header escape.  A frame whose first byte is kTraceHeaderTag
 // carries a causal-tracing header (trace id, span id, parent span — see
@@ -286,6 +385,15 @@ constexpr size_t kTraceHeaderBytes = 1 + 3 * 8;  // escape + three u64s
 // header (the pre-checksum format) still parse.
 constexpr uint8_t kChecksumHeaderTag = 0xF4;
 constexpr size_t kChecksumHeaderBytes = 1 + 2;  // escape + u16 checksum
+
+// STAT protocol escape.  StatReq/StatResp do not encode under their
+// variant index like the other messages: they ride under this opcode
+// (the next escape value after the trace header) followed by a sub-byte
+// (0 = StatReq, 1 = StatResp).  Pre-STAT parsers see an unknown tag and
+// reject the frame cleanly instead of misdecoding it.
+constexpr uint8_t kStatMsgTag = 0xF6;
+constexpr uint8_t kStatReqSub = 0;
+constexpr uint8_t kStatRespSub = 1;
 
 std::vector<uint8_t> Serialize(const Msg& msg);
 // Prepends the trace header when `trace` is valid; identical to

@@ -1,5 +1,6 @@
 #include "host/host.h"
 
+#include "obs/flight.h"
 #include "util/log.h"
 #include "util/panic.h"
 
@@ -18,6 +19,8 @@ Host::Host(sim::Simulator& simulator, net::Network& network, net::HostId net_id,
 void Host::Crash() {
   if (!up_) return;
   PPM_INFO("host") << name_ << " crashing";
+  obs::FlightRecorder::Instance().Record(obs::FlightKind::kHostCrash, name_, "");
+  obs::FlightRecorder::Instance().Dump("host crash: " + name_);
   up_ = false;
   // Order matters: take the network down first so that nothing a dying
   // body does in OnShutdown can still reach the wire.

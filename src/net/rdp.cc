@@ -1,5 +1,6 @@
 #include "net/rdp.h"
 
+#include "obs/health.h"
 #include "util/bytes.h"
 #include "util/panic.h"
 
@@ -90,6 +91,7 @@ void RdpEndpoint::TransmitHead(const PeerKey& key, PeerState& peer) {
           return;
         }
         ++stats_.retransmits;
+        obs::HealthMonitor::Instance().RateEvent("net.rdp.retransmit");
         TransmitHead(key_copy, p);
       },
       "rdp-retransmit");

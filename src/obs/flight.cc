@@ -1,0 +1,120 @@
+#include "obs/flight.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ppm::obs {
+
+namespace {
+
+constexpr size_t kDefaultCapacity = 256;
+
+void CopyField(char* dst, size_t cap, std::string_view src) {
+  size_t n = src.size() < cap - 1 ? src.size() : cap - 1;
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+const char* ToString(FlightKind k) {
+  switch (k) {
+    case FlightKind::kFrameSent: return "frame.sent";
+    case FlightKind::kFrameRecv: return "frame.recv";
+    case FlightKind::kKernelEvent: return "kernel.event";
+    case FlightKind::kStateTransition: return "state";
+    case FlightKind::kTimerFired: return "timer";
+    case FlightKind::kJournalSync: return "journal.sync";
+    case FlightKind::kInvariantViolation: return "invariant.violation";
+    case FlightKind::kHostCrash: return "host.crash";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder() : ring_(kDefaultCapacity) {}
+
+FlightRecorder& FlightRecorder::Instance() {
+  static FlightRecorder* recorder = new FlightRecorder();  // never destroyed
+  return *recorder;
+}
+
+void FlightRecorder::set_capacity(size_t n) {
+  if (n == 0) n = 1;
+  ring_.assign(n, FlightRecord{});
+  head_ = 0;
+  count_ = 0;
+}
+
+void FlightRecorder::Record(FlightKind kind, std::string_view host,
+                            std::string_view detail, uint64_t trace_id, uint64_t a,
+                            uint64_t b) {
+  if (!enabled_) return;
+  FlightRecord& slot = ring_[head_];
+  slot.at_us = Now();
+  slot.trace_id = trace_id;
+  slot.a = a;
+  slot.b = b;
+  slot.kind = kind;
+  CopyField(slot.host, sizeof(slot.host), host);
+  CopyField(slot.detail, sizeof(slot.detail), detail);
+  head_ = (head_ + 1) % ring_.size();
+  ++count_;
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  std::vector<FlightRecord> out;
+  size_t n = size();
+  out.reserve(n);
+  // Oldest retained record sits at head_ once the ring has wrapped;
+  // before that, slot 0.
+  size_t start = (count_ >= ring_.size()) ? head_ : 0;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string FormatFlightRecord(const FlightRecord& rec) {
+  char buf[160];
+  int len = std::snprintf(buf, sizeof(buf), "[%10llu us] %-19s %-12s %s",
+                          static_cast<unsigned long long>(rec.at_us), ToString(rec.kind),
+                          rec.host, rec.detail);
+  std::string out(buf, len > 0 ? static_cast<size_t>(len) : 0);
+  if (rec.a != 0 || rec.b != 0) {
+    out += " a=" + std::to_string(rec.a);
+    if (rec.b != 0) out += " b=" + std::to_string(rec.b);
+  }
+  if (rec.trace_id != 0) out += " trace=" + std::to_string(rec.trace_id);
+  return out;
+}
+
+std::string FlightRecorder::Dump(std::string_view reason) {
+  std::vector<FlightRecord> records = Snapshot();
+  std::string out = "=== flight recorder dump: ";
+  out += reason;
+  out += " ===\n";
+  out += "last " + std::to_string(records.size()) + " of " + std::to_string(count_) +
+         " records";
+  if (count_ > records.size()) {
+    out += " (" + std::to_string(count_ - records.size()) + " older records lost to the ring)";
+  }
+  out += "\n";
+  for (const FlightRecord& rec : records) {
+    out += FormatFlightRecord(rec);
+    out += '\n';
+  }
+  out += "=== end of dump ===\n";
+  ++dumps_;
+  last_dump_ = out;
+  return out;
+}
+
+void FlightRecorder::Clear() {
+  for (FlightRecord& rec : ring_) rec = FlightRecord{};
+  head_ = 0;
+  count_ = 0;
+  dumps_ = 0;
+  last_dump_.clear();
+}
+
+}  // namespace ppm::obs

@@ -1,0 +1,112 @@
+// flight.h — the black-box flight recorder.
+//
+// A crashed aircraft is reconstructed from its last N seconds of
+// instrument readings; a failed chaos seed should be reconstructible the
+// same way.  The FlightRecorder is an always-on, fixed-size ring of
+// compact structured records — wire frames sent and received, LPM state
+// transitions, timer fires, journal syncs — each tagged with the trace
+// id it belongs to, so a dump interleaves with the causal trace timeline
+// (tools/trace_export.h).
+//
+// Cost discipline (design rule 3 again): one Record() is O(1) — a slot
+// overwrite in a preallocated ring, no allocation, no formatting.  The
+// record is plain-old-data with fixed char fields; long details truncate
+// rather than allocate.  bench_overhead measures the recorder's cost on
+// the kernel-message hot path and holds it under 5%.
+//
+// Dumps happen when a chaos invariant fails (chaos/engine.cc), when a
+// Host crashes (host/host.cc), or on demand through the STAT protocol
+// (a StatReq with dump_flight set).  Like the Tracer and the metrics
+// Registry, the recorder is a process singleton with a pluggable
+// virtual-time source registered by sim::Simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppm::obs {
+
+enum class FlightKind : uint8_t {
+  kFrameSent = 0,       // wire frame left an LPM (a = conn id)
+  kFrameRecv,           // wire frame arrived (a = conn id)
+  kKernelEvent,         // 112-byte kernel event hit the kernel socket (a = pid)
+  kStateTransition,     // LPM mode change (detail = "from->to")
+  kTimerFired,          // ttl / death / retry / probe timer fired
+  kJournalSync,         // journal physical sync (a = bytes flushed)
+  kInvariantViolation,  // chaos invariant failed (detail = invariant name)
+  kHostCrash,           // host hard-crashed
+};
+
+const char* ToString(FlightKind k);
+
+// One ring slot.  Fixed-size so the ring is a flat preallocated vector;
+// host and detail truncate to their fields (NUL-terminated).
+struct FlightRecord {
+  uint64_t at_us = 0;
+  uint64_t trace_id = 0;  // 0 = not part of a causal trace
+  uint64_t a = 0;         // kind-specific numeric args
+  uint64_t b = 0;
+  FlightKind kind = FlightKind::kFrameSent;
+  char host[16] = {0};
+  char detail[24] = {0};
+};
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& Instance();
+
+  // Virtual-time provider (registered by sim::Simulator); nullptr
+  // reverts to zero stamps.
+  void set_time_source(std::function<uint64_t()> now) { now_ = std::move(now); }
+
+  // Ring size; resizing clears retained records (counters survive).
+  void set_capacity(size_t n);
+  size_t capacity() const { return ring_.size(); }
+
+  // The recorder is always-on by default; benches flip this to measure
+  // exactly what always-on costs.
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  // O(1): overwrite the oldest slot.  Never allocates.
+  void Record(FlightKind kind, std::string_view host, std::string_view detail,
+              uint64_t trace_id = 0, uint64_t a = 0, uint64_t b = 0);
+
+  // Retained records, oldest first (at most capacity(), the newest ones).
+  std::vector<FlightRecord> Snapshot() const;
+
+  size_t size() const { return count_ < ring_.size() ? count_ : ring_.size(); }
+  uint64_t total_recorded() const { return count_; }
+  uint64_t dump_count() const { return dumps_; }
+  // The text of the most recent Dump(), retained so post-mortem tooling
+  // (and CI artifact upload) can fetch it after the fact.
+  const std::string& last_dump() const { return last_dump_; }
+
+  // Formats the retained records as a readable report headed by
+  // `reason`, bumps dump_count(), and retains the text as last_dump().
+  std::string Dump(std::string_view reason);
+
+  // Forgets retained records and zeroes counters (test isolation).
+  void Clear();
+
+ private:
+  FlightRecorder();
+  uint64_t Now() const { return now_ ? now_() : 0; }
+
+  std::function<uint64_t()> now_;
+  std::vector<FlightRecord> ring_;
+  size_t head_ = 0;       // next slot to overwrite
+  uint64_t count_ = 0;    // lifetime records (count_ - size() were lost)
+  uint64_t dumps_ = 0;
+  bool enabled_ = true;
+  std::string last_dump_;
+};
+
+// One record as a single report line (shared by Dump and the trace
+// interleaving in tools/trace_export).
+std::string FormatFlightRecord(const FlightRecord& rec);
+
+}  // namespace ppm::obs

@@ -1,0 +1,188 @@
+#include "obs/health.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace ppm::obs {
+
+namespace {
+
+void AppendNum(std::string& out, double v) {
+  char buf[40];
+  if (v == static_cast<double>(static_cast<int64_t>(v)) && v < 1e15 && v > -1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out += buf;
+}
+
+std::string Ratio(uint64_t num, uint64_t den) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                den ? static_cast<double>(num) / static_cast<double>(den) : 0.0);
+  return buf;
+}
+
+}  // namespace
+
+const char* ToString(HealthLevel level) {
+  return level == HealthLevel::kHealthy ? "healthy" : "degraded";
+}
+
+HealthReport ClassifyLpm(const LpmHealthInputs& in, const HealthThresholds& t) {
+  HealthReport out;
+  if (in.eventlog_recorded > 0) {
+    double drop = static_cast<double>(in.eventlog_dropped) /
+                  static_cast<double>(in.eventlog_recorded);
+    if (drop > t.eventlog_drop_ratio) {
+      out.reasons.push_back("event log dropping (" +
+                            Ratio(in.eventlog_dropped, in.eventlog_recorded) +
+                            " of recorded events evicted)");
+    }
+  }
+  if (in.bcasts_handled > 0) {
+    double dup = static_cast<double>(in.bcast_duplicates) /
+                 static_cast<double>(in.bcasts_handled);
+    if (dup > t.bcast_dup_ratio) {
+      out.reasons.push_back("broadcast duplicate storm (" +
+                            Ratio(in.bcast_duplicates, in.bcasts_handled) +
+                            " dups per broadcast)");
+    }
+  }
+  if (in.requests > 0) {
+    double to = static_cast<double>(in.request_timeouts) /
+                static_cast<double>(in.requests);
+    if (to > t.timeout_ratio) {
+      out.reasons.push_back("request timeouts (" +
+                            Ratio(in.request_timeouts, in.requests) + " of requests)");
+    }
+  }
+  if (in.handler_queue_depth > t.handler_queue_depth) {
+    out.reasons.push_back("dispatcher backlog (" +
+                          std::to_string(in.handler_queue_depth) + " queued)");
+  }
+  if (in.journal_pending > t.journal_pending) {
+    out.reasons.push_back("journal sync lag (" + std::to_string(in.journal_pending) +
+                          " frames unsynced)");
+  }
+  out.level = out.reasons.empty() ? HealthLevel::kHealthy : HealthLevel::kDegraded;
+  return out;
+}
+
+HealthMonitor::HealthMonitor() {
+  // Default SLO thresholds for the cluster-wide signals; call sites and
+  // tests may override.  Units: watermarks in their native unit, rates
+  // in events/second.
+  thresholds_["lpm.queue.depth"] = 8;
+  thresholds_["store.journal.pending"] = 64;
+  thresholds_["net.rdp.retransmit"] = 50;
+  thresholds_["lpm.bcast.dup"] = 100;
+}
+
+HealthMonitor& HealthMonitor::Instance() {
+  static HealthMonitor* monitor = new HealthMonitor();  // never destroyed
+  return *monitor;
+}
+
+void HealthMonitor::Watermark(const std::string& name, double v) {
+  auto it = watermarks_.find(name);
+  if (it == watermarks_.end()) {
+    watermarks_[name] = v;
+  } else if (v > it->second) {
+    it->second = v;
+  }
+}
+
+double HealthMonitor::WatermarkOf(const std::string& name) const {
+  auto it = watermarks_.find(name);
+  return it == watermarks_.end() ? 0 : it->second;
+}
+
+void HealthMonitor::EvictOld(std::deque<std::pair<uint64_t, uint64_t>>& window) const {
+  uint64_t now = Now();
+  uint64_t cutoff = now > window_us_ ? now - window_us_ : 0;
+  while (!window.empty() && window.front().first < cutoff) window.pop_front();
+}
+
+void HealthMonitor::RateEvent(const std::string& name, uint64_t n) {
+  auto& window = rates_[name];
+  window.emplace_back(Now(), n);
+  EvictOld(window);
+}
+
+double HealthMonitor::RateOf(const std::string& name) const {
+  auto it = rates_.find(name);
+  if (it == rates_.end()) return 0;
+  EvictOld(it->second);
+  uint64_t total = 0;
+  for (const auto& [at, n] : it->second) total += n;
+  return static_cast<double>(total) / (static_cast<double>(window_us_) / 1e6);
+}
+
+bool HealthMonitor::degraded() const {
+  for (const auto& [name, hi] : watermarks_) {
+    auto t = thresholds_.find(name);
+    if (t != thresholds_.end() && hi > t->second) return true;
+  }
+  for (const auto& [name, window] : rates_) {
+    auto t = thresholds_.find(name);
+    if (t != thresholds_.end() && RateOf(name) > t->second) return true;
+  }
+  return false;
+}
+
+std::string HealthMonitor::DumpJsonFragment() const {
+  std::string out = "{\"level\":\"";
+  out += ToString(degraded() ? HealthLevel::kDegraded : HealthLevel::kHealthy);
+  out += "\",\"watermarks\":{";
+  bool first = true;
+  for (const auto& [name, hi] : watermarks_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    json::AppendEscaped(out, name);
+    out += "\":{\"hi\":";
+    AppendNum(out, hi);
+    auto t = thresholds_.find(name);
+    if (t != thresholds_.end()) {
+      out += ",\"threshold\":";
+      AppendNum(out, t->second);
+      out += ",\"degraded\":";
+      out += hi > t->second ? "true" : "false";
+    }
+    out += '}';
+  }
+  out += "},\"rates\":{";
+  first = true;
+  for (const auto& [name, window] : rates_) {
+    if (!first) out += ',';
+    first = false;
+    double rate = RateOf(name);
+    out += '"';
+    json::AppendEscaped(out, name);
+    out += "\":{\"per_sec\":";
+    AppendNum(out, rate);
+    auto t = thresholds_.find(name);
+    if (t != thresholds_.end()) {
+      out += ",\"threshold\":";
+      AppendNum(out, t->second);
+      out += ",\"degraded\":";
+      out += rate > t->second ? "true" : "false";
+    }
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+void HealthMonitor::Reset() {
+  watermarks_.clear();
+  rates_.clear();
+  thresholds_.clear();
+  HealthMonitor defaults;
+  thresholds_ = defaults.thresholds_;
+}
+
+}  // namespace ppm::obs

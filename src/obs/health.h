@@ -1,0 +1,116 @@
+// health.h — health/SLO watermarks and degraded/healthy classification.
+//
+// The METRIC registry (obs/metrics.h) answers "how much"; this module
+// answers "is that OK".  Two pieces:
+//
+//   * ClassifyLpm — a pure function mapping one LPM's raw counters
+//     (event-log drop ratio, broadcast duplicate ratio, request timeout
+//     ratio, dispatcher backlog, journal sync lag) to a healthy/degraded
+//     verdict with human-readable reasons.  The LPM embeds the verdict in
+//     its STAT record so ppmstat can flag sick hosts; the thresholds are
+//     plain data so tests pin them exactly.
+//
+//   * HealthMonitor — a process singleton keeping per-component
+//     high-watermarks (the worst value ever seen) and rate windows
+//     (events per second over a sliding virtual-time window) for the
+//     cluster-wide signals that don't belong to any single LPM: RDP
+//     retransmit rate, broadcast dup-suppression rate, journal sync
+//     bytes, endpoint queue depth.  Registry::DumpJson() embeds its
+//     JSON fragment under "health", so every bench report and metrics
+//     dump carries the SLO view for free.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ppm::obs {
+
+enum class HealthLevel : uint8_t { kHealthy = 0, kDegraded = 1 };
+
+const char* ToString(HealthLevel level);
+
+// Classification thresholds.  Defaults are deliberately forgiving: a
+// healthy cluster under normal load must classify healthy everywhere,
+// and only sustained pathology (event loss, a jammed dispatcher, an
+// unreachable sibling set) should trip them.
+struct HealthThresholds {
+  double eventlog_drop_ratio = 0.01;  // dropped / recorded
+  double bcast_dup_ratio = 2.0;       // duplicates per broadcast handled
+  double timeout_ratio = 0.10;        // request timeouts / requests
+  uint64_t handler_queue_depth = 8;   // dispatcher backlog (current)
+  uint64_t journal_pending = 64;      // journal frames awaiting sync
+};
+
+// One LPM's raw health inputs, as sampled for a STAT record.
+struct LpmHealthInputs {
+  uint64_t eventlog_recorded = 0;
+  uint64_t eventlog_dropped = 0;
+  uint64_t bcasts_handled = 0;  // originated + served
+  uint64_t bcast_duplicates = 0;
+  uint64_t requests = 0;
+  uint64_t request_timeouts = 0;
+  uint64_t handler_queue_depth = 0;
+  uint64_t journal_pending = 0;
+};
+
+struct HealthReport {
+  HealthLevel level = HealthLevel::kHealthy;
+  std::vector<std::string> reasons;  // one per tripped threshold
+};
+
+HealthReport ClassifyLpm(const LpmHealthInputs& in,
+                         const HealthThresholds& thresholds = {});
+
+class HealthMonitor {
+ public:
+  static HealthMonitor& Instance();
+
+  // Virtual-time provider (registered by sim::Simulator); the rate
+  // windows are meaningless without one.
+  void set_time_source(std::function<uint64_t()> now) { now_ = std::move(now); }
+
+  // Sliding window of the rate estimators, virtual microseconds.
+  void set_window_us(uint64_t us) { window_us_ = us ? us : 1; }
+
+  // Keeps the maximum ever observed for `name`.
+  void Watermark(const std::string& name, double v);
+  double WatermarkOf(const std::string& name) const;
+
+  // Counts `n` events for `name` now; RateOf is events/second over the
+  // sliding window.
+  void RateEvent(const std::string& name, uint64_t n = 1);
+  double RateOf(const std::string& name) const;
+
+  // Degradation threshold for a watermark or rate name; entries without
+  // one are informational only.
+  void set_threshold(const std::string& name, double v) { thresholds_[name] = v; }
+
+  // True when any thresholded watermark or rate is above its threshold.
+  bool degraded() const;
+
+  // {"level":"healthy","watermarks":{name:{"hi":v,"threshold":v,
+  //  "degraded":b}},"rates":{name:{"per_sec":v,...}}} — embedded by
+  // Registry::DumpJson() under the "health" key.
+  std::string DumpJsonFragment() const;
+
+  // Forgets everything, thresholds included (test isolation).
+  void Reset();
+
+ private:
+  HealthMonitor();
+  uint64_t Now() const { return now_ ? now_() : 0; }
+  void EvictOld(std::deque<std::pair<uint64_t, uint64_t>>& window) const;
+
+  std::function<uint64_t()> now_;
+  uint64_t window_us_ = 60'000'000;  // 60 virtual seconds
+  std::map<std::string, double> watermarks_;
+  // name -> (timestamp us, count) events inside the window.
+  mutable std::map<std::string, std::deque<std::pair<uint64_t, uint64_t>>> rates_;
+  std::map<std::string, double> thresholds_;
+};
+
+}  // namespace ppm::obs

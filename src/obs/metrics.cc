@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/health.h"
 #include "obs/json.h"
 
 namespace ppm::obs {
@@ -55,6 +56,14 @@ Histogram::Bucket Histogram::BucketBounds(int idx) {
 }
 
 void Histogram::Observe(double v) {
+  // A non-finite observation must not poison min/max/sum: one stray NaN
+  // would turn every summary statistic (and the JSON dump) into nulls
+  // for the rest of the run.  Count it under underflow and move on.
+  if (!std::isfinite(v)) {
+    ++count_;
+    ++underflow_;
+    return;
+  }
   if (count_ == 0 || v < min_) min_ = v;
   if (count_ == 0 || v > max_) max_ = v;
   ++count_;
@@ -196,7 +205,9 @@ std::string Registry::DumpJson() const {
     }
     out += "]}";
   }
-  out += "}}";
+  out += "},\"health\":";
+  out += HealthMonitor::Instance().DumpJsonFragment();
+  out += "}";
   return out;
 }
 

@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include "obs/flight.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/log.h"
@@ -10,6 +12,8 @@ namespace ppm::sim {
 Simulator::Simulator(uint64_t seed) : rng_(seed) {
   util::Logger::Instance().set_time_source([this] { return now_; });
   obs::Tracer::Instance().set_time_source([this] { return now_; });
+  obs::FlightRecorder::Instance().set_time_source([this] { return now_; });
+  obs::HealthMonitor::Instance().set_time_source([this] { return now_; });
   fired_counter_ = obs::Registry::Instance().GetCounter("sim.events.fired");
   queue_gauge_ = obs::Registry::Instance().GetGauge("sim.queue.depth");
 }
@@ -17,6 +21,8 @@ Simulator::Simulator(uint64_t seed) : rng_(seed) {
 Simulator::~Simulator() {
   util::Logger::Instance().set_time_source(nullptr);
   obs::Tracer::Instance().set_time_source(nullptr);
+  obs::FlightRecorder::Instance().set_time_source(nullptr);
+  obs::HealthMonitor::Instance().set_time_source(nullptr);
 }
 
 EventId Simulator::ScheduleIn(SimDuration delay, EventFn fn, const char* label) {

@@ -155,6 +155,22 @@ void PpmClient::Expect(uint64_t req_id, std::function<void(const RespT&)> done) 
   };
 }
 
+// StatResp has no ok/error fields either; an empty response (no records)
+// is the channel-lost shape.
+template <>
+void PpmClient::Expect<core::StatResp>(
+    uint64_t req_id, std::function<void(const core::StatResp&)> done) {
+  pending_[req_id] = [done = std::move(done)](const Msg* msg) {
+    if (msg != nullptr) {
+      if (const auto* resp = std::get_if<core::StatResp>(msg)) {
+        done(*resp);
+        return;
+      }
+    }
+    done(core::StatResp{});
+  };
+}
+
 // SnapshotResp has no ok/error fields; specialize its failure shape.
 template <>
 void PpmClient::Expect<core::SnapshotResp>(
@@ -199,6 +215,16 @@ void PpmClient::Snapshot(std::function<void(const core::SnapshotResp&)> done) {
   req.req_id = NextReqId();
   // origin_host empty = "originate a snapshot for me".
   Expect<core::SnapshotResp>(req.req_id, std::move(done));
+  SendRequest(Msg{req});
+}
+
+void PpmClient::Stat(bool dump_flight,
+                     std::function<void(const core::StatResp&)> done) {
+  core::StatReq req;
+  req.req_id = NextReqId();
+  // origin_host empty = "originate a stat broadcast for me".
+  req.dump_flight = dump_flight;
+  Expect<core::StatResp>(req.req_id, std::move(done));
   SendRequest(Msg{req});
 }
 

@@ -50,6 +50,10 @@ class PpmClient : public host::ProcessBody {
   void Signal(const core::GPid& target, host::Signal sig,
               std::function<void(const core::SignalResp&)> done);
   void Snapshot(std::function<void(const core::SnapshotResp&)> done);
+  // Live cluster introspection: one covering-graph broadcast gathers an
+  // LpmStatRecord from every reachable LPM.  `dump_flight` also asks the
+  // local LPM to dump its flight recorder.
+  void Stat(bool dump_flight, std::function<void(const core::StatResp&)> done);
   void Rusage(const std::string& target_host,
               std::function<void(const core::RusageResp&)> done);
   void Adopt(const core::GPid& target, uint32_t trace_mask,

@@ -1,0 +1,173 @@
+#include "tools/ppmstat.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "core/recovery.h"
+#include "obs/health.h"
+#include "obs/json.h"
+
+namespace ppm::tools {
+
+namespace {
+
+// Sorted copy so the table is stable regardless of reply arrival order.
+std::vector<core::LpmStatRecord> Sorted(std::vector<core::LpmStatRecord> records) {
+  std::sort(records.begin(), records.end(),
+            [](const core::LpmStatRecord& a, const core::LpmStatRecord& b) {
+              return a.host < b.host;
+            });
+  return records;
+}
+
+// Appends `s` as a quoted, escaped JSON string.
+void Quoted(std::string& out, std::string_view s) {
+  out += '"';
+  obs::json::AppendEscaped(out, s);
+  out += '"';
+}
+
+}  // namespace
+
+std::string RenderStatTable(const std::vector<core::LpmStatRecord>& in) {
+  auto records = Sorted(in);
+  std::ostringstream out;
+  out << std::left << std::setw(12) << "HOST" << std::setw(6) << "MODE"
+      << std::setw(5) << "CCS" << std::setw(6) << "RANK" << std::setw(7) << "PROCS"
+      << std::setw(9) << "HANDLERS" << std::setw(9) << "QUEUE" << std::setw(9)
+      << "KEVENTS" << std::setw(7) << "DROPS" << std::setw(9) << "JOURNAL"
+      << std::setw(8) << "FLIGHT" << "HEALTH\n";
+  for (const core::LpmStatRecord& r : records) {
+    size_t live = 0;
+    for (const core::ProcRecord& p : r.procs) {
+      if (!p.exited) ++live;
+    }
+    std::ostringstream handlers, queue, journal, rank;
+    handlers << r.handlers_busy << "/" << r.handlers;
+    // current depth plus the high-watermark the dispatcher ever saw
+    queue << r.queue_depth << "/" << r.queue_watermark;
+    if (r.store_enabled) {
+      journal << r.journal_seq << "+" << r.journal_pending;
+    } else {
+      journal << "-";
+    }
+    if (r.recovery_rank >= 0) {
+      rank << r.recovery_rank;
+    } else {
+      rank << "-";
+    }
+    out << std::left << std::setw(12) << r.host << std::setw(6)
+        << core::ToString(static_cast<core::LpmMode>(r.mode)) << std::setw(5)
+        << (r.is_ccs ? "*" : "") << std::setw(6) << rank.str() << std::setw(7) << live
+        << std::setw(9) << handlers.str() << std::setw(9) << queue.str() << std::setw(9)
+        << r.kernel_events << std::setw(7) << r.eventlog_dropped << std::setw(9)
+        << journal.str() << std::setw(8) << r.flight_records
+        << obs::ToString(static_cast<obs::HealthLevel>(r.health)) << "\n";
+    for (const std::string& reason : r.health_reasons) {
+      out << "  ! " << reason << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string RenderStatJson(const std::vector<core::LpmStatRecord>& in) {
+  auto records = Sorted(in);
+  std::string out = "{\"hosts\":[";
+  bool first_host = true;
+  for (const core::LpmStatRecord& r : records) {
+    if (!first_host) out += ",";
+    first_host = false;
+    out += "{\"host\":";
+    Quoted(out, r.host);
+    out += ",\"lpm_pid\":" + std::to_string(r.lpm_pid);
+    out += ",\"mode\":";
+    Quoted(out, core::ToString(static_cast<core::LpmMode>(r.mode)));
+    out += std::string(",\"is_ccs\":") + (r.is_ccs ? "true" : "false");
+    out += ",\"ccs_host\":";
+    Quoted(out, r.ccs_host);
+    out += ",\"recovery_rank\":" + std::to_string(r.recovery_rank);
+    out += ",\"siblings\":[";
+    for (size_t i = 0; i < r.siblings.size(); ++i) {
+      if (i) out += ",";
+      Quoted(out, r.siblings[i]);
+    }
+    out += "],\"dispatcher\":{\"handlers\":" + std::to_string(r.handlers);
+    out += ",\"busy\":" + std::to_string(r.handlers_busy);
+    out += ",\"queue_depth\":" + std::to_string(r.queue_depth);
+    out += ",\"queue_watermark\":" + std::to_string(r.queue_watermark);
+    out += ",\"tool_circuits\":" + std::to_string(r.tool_circuits);
+    out += "},\"counters\":{\"requests\":" + std::to_string(r.requests);
+    out += ",\"forwards\":" + std::to_string(r.forwards);
+    out += ",\"kernel_events\":" + std::to_string(r.kernel_events);
+    out += ",\"snapshots_served\":" + std::to_string(r.snapshots_served);
+    out += ",\"bcasts_originated\":" + std::to_string(r.bcasts_originated);
+    out += ",\"bcast_duplicates\":" + std::to_string(r.bcast_duplicates);
+    out += ",\"triggers_fired\":" + std::to_string(r.triggers_fired);
+    out += ",\"failures_detected\":" + std::to_string(r.failures_detected);
+    out += ",\"recoveries_started\":" + std::to_string(r.recoveries_started);
+    out += ",\"request_timeouts\":" + std::to_string(r.request_timeouts);
+    out += "},\"eventlog\":{\"size\":" + std::to_string(r.eventlog_size);
+    out += ",\"recorded\":" + std::to_string(r.eventlog_recorded);
+    out += ",\"filtered\":" + std::to_string(r.eventlog_filtered);
+    out += ",\"dropped\":" + std::to_string(r.eventlog_dropped);
+    out += ",\"dropped_by_pid\":{";
+    for (size_t i = 0; i < r.dropped_by_pid.size(); ++i) {
+      if (i) out += ",";
+      Quoted(out, std::to_string(r.dropped_by_pid[i].pid));
+      out += ":" + std::to_string(r.dropped_by_pid[i].dropped);
+    }
+    out += std::string("}},\"store\":{\"enabled\":") + (r.store_enabled ? "true" : "false");
+    out += ",\"journal_seq\":" + std::to_string(r.journal_seq);
+    out += ",\"journal_bytes\":" + std::to_string(r.journal_bytes);
+    out += ",\"journal_pending\":" + std::to_string(r.journal_pending);
+    out += "},\"pmd\":{\"registry\":" + std::to_string(r.pmd_registry);
+    out += ",\"requests\":" + std::to_string(r.pmd_requests);
+    out += "},\"flight\":{\"records\":" + std::to_string(r.flight_records);
+    out += ",\"dumps\":" + std::to_string(r.flight_dumps);
+    out += "},\"health\":{\"level\":";
+    Quoted(out, obs::ToString(static_cast<obs::HealthLevel>(r.health)));
+    out += ",\"reasons\":[";
+    for (size_t i = 0; i < r.health_reasons.size(); ++i) {
+      if (i) out += ",";
+      Quoted(out, r.health_reasons[i]);
+    }
+    out += "]},\"procs\":[";
+    for (size_t i = 0; i < r.procs.size(); ++i) {
+      const core::ProcRecord& p = r.procs[i];
+      if (i) out += ",";
+      out += "{\"gpid\":";
+      Quoted(out, core::ToString(p.gpid));
+      out += ",\"parent\":";
+      Quoted(out, core::ToString(p.logical_parent));
+      out += ",\"command\":";
+      Quoted(out, p.command);
+      out += ",\"state\":";
+      Quoted(out, host::ToString(p.state));
+      out += std::string(",\"exited\":") + (p.exited ? "true" : "false") + "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+void RunPpmStatTool(PpmClient& client, std::function<void(const PpmStatResult&)> done,
+                    bool dump_flight) {
+  client.Stat(dump_flight, [done = std::move(done)](const core::StatResp& resp) {
+    PpmStatResult result;
+    result.records = resp.records;
+    result.ok = !resp.records.empty();
+    for (const core::LpmStatRecord& r : resp.records) {
+      result.hosts_covered.push_back(r.host);
+      result.procs_total += r.procs.size();
+      if (r.health != 0) ++result.degraded_hosts;
+    }
+    std::sort(result.hosts_covered.begin(), result.hosts_covered.end());
+    result.table = RenderStatTable(resp.records);
+    result.json = RenderStatJson(resp.records);
+    done(result);
+  });
+}
+
+}  // namespace ppm::tools

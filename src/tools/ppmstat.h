@@ -1,0 +1,38 @@
+// ppmstat.h — live cluster introspection (a distributed ps for the PPM).
+//
+// Where the snapshot tool answers "what processes exist", ppmstat
+// answers "how are their managers doing": one covering-graph broadcast
+// collects an LpmStatRecord from every reachable LPM — mode, CCS role,
+// recovery-list rank, dispatcher load and queue watermarks, journal
+// state, flight-recorder counters, and a health verdict — and renders
+// the lot as a ps-like per-host table, or as JSON for scripting.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tools/client.h"
+
+namespace ppm::tools {
+
+struct PpmStatResult {
+  bool ok = false;                     // at least one manager answered
+  std::vector<core::LpmStatRecord> records;
+  std::vector<std::string> hosts_covered;
+  size_t procs_total = 0;
+  size_t degraded_hosts = 0;
+  std::string table;                   // ps-like rendering
+  std::string json;                    // machine-readable (--json)
+};
+
+// Runs one stat broadcast through `client`'s LPM.  `dump_flight` also
+// makes the origin LPM dump its flight recorder to the log.
+void RunPpmStatTool(PpmClient& client, std::function<void(const PpmStatResult&)> done,
+                    bool dump_flight = false);
+
+// Pure formatters, exposed for tests.
+std::string RenderStatTable(const std::vector<core::LpmStatRecord>& records);
+std::string RenderStatJson(const std::vector<core::LpmStatRecord>& records);
+
+}  // namespace ppm::tools

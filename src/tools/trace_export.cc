@@ -1,5 +1,6 @@
 #include "tools/trace_export.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 
@@ -89,6 +90,53 @@ std::string ExportTraceDot(const std::vector<obs::SpanRecord>& spans) {
     }
   }
   out += "}\n";
+  return out;
+}
+
+std::string RenderTimelineWithFlight(const std::vector<obs::SpanRecord>& spans,
+                                     const std::vector<obs::FlightRecord>& flight) {
+  // One merged event per span start and per flight record.  Spans are
+  // rendered in the flight-record line format so the columns align; ties
+  // keep flight records after the span that caused them.
+  struct Line {
+    uint64_t at_us;
+    int order;  // 0 = span, 1 = flight; stable tiebreak at equal times
+    std::string text;
+  };
+  std::vector<Line> lines;
+  lines.reserve(spans.size() + flight.size());
+  for (const obs::SpanRecord& s : spans) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "[%10llu us] %-19s ",
+                  static_cast<unsigned long long>(s.start_us), "span");
+    std::string text = buf;
+    text += s.name;
+    if (s.dst_host.empty()) {
+      text += " [" + s.src_host + "]";
+    } else {
+      text += " " + s.src_host + " -> " + s.dst_host;
+    }
+    if (s.arrived) {
+      text += " (+" + Ms(s.end_us - s.start_us) + ")";
+    } else if (s.parent_span != 0) {
+      text += " (in flight)";
+    }
+    text += " trace=" + std::to_string(s.trace_id);
+    lines.push_back({s.start_us, 0, std::move(text)});
+  }
+  for (const obs::FlightRecord& r : flight) {
+    lines.push_back({r.at_us, 1, obs::FormatFlightRecord(r)});
+  }
+  std::stable_sort(lines.begin(), lines.end(), [](const Line& a, const Line& b) {
+    if (a.at_us != b.at_us) return a.at_us < b.at_us;
+    return a.order < b.order;
+  });
+  std::string out = "merged timeline (" + std::to_string(spans.size()) + " spans, " +
+                    std::to_string(flight.size()) + " flight records)\n";
+  for (const Line& l : lines) {
+    out += l.text;
+    out += "\n";
+  }
   return out;
 }
 

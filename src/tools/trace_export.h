@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight.h"
 #include "obs/trace.h"
 
 namespace ppm::tools {
@@ -30,5 +31,13 @@ std::string RenderTraceTimeline(const std::vector<obs::SpanRecord>& spans);
 
 // DOT digraph of the span tree; node shape encodes arrival.
 std::string ExportTraceDot(const std::vector<obs::SpanRecord>& spans);
+
+// Flat chronological timeline merging a trace's spans with flight
+// recorder records (e.g. a chaos post-mortem dump): every span start and
+// every flight record becomes one line, ordered by virtual time, so wire
+// frames, timer fires, and state transitions read in context against the
+// causal hops they happened between.
+std::string RenderTimelineWithFlight(const std::vector<obs::SpanRecord>& spans,
+                                     const std::vector<obs::FlightRecord>& flight);
 
 }  // namespace ppm::tools

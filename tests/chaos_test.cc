@@ -18,8 +18,11 @@
 
 #include "core/cluster.h"
 #include "core/lpm.h"
+#include "obs/flight.h"
+#include "obs/trace.h"
 #include "tests/test_util.h"
 #include "tools/client.h"
+#include "tools/trace_export.h"
 
 namespace ppm::core {
 namespace {
@@ -211,6 +214,61 @@ TEST_P(ChaosTest, SystemSurvivesRandomFaults) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 1986, 4242));
+
+// A failing invariant must auto-emit exactly one flight-recorder dump
+// containing the violating event.  The plan injects no faults at all
+// (a host crash would dump on its own) and instead uses the
+// forced_violation test seam, so the one dump is the engine's.
+TEST(ChaosFlightDump, InvariantFailureEmitsExactlyOneDump) {
+  obs::FlightRecorder& flight = obs::FlightRecorder::Instance();
+  flight.Clear();
+
+  chaos::ChaosPlan plan;
+  plan.name = "forced-violation-dump";
+  plan.steps = 4;
+  plan.workload.create = 1;
+  plan.workload.snapshot = 1;
+  plan.forced_violation = true;
+
+  uint64_t dumps_before = flight.dump_count();
+  chaos::ChaosOutcome outcome = chaos::RunChaosPlan(7, plan);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(flight.dump_count(), dumps_before + 1) << outcome.Summary();
+  ASSERT_FALSE(outcome.flight_dump.empty());
+  EXPECT_EQ(outcome.flight_dump, flight.last_dump());
+  // The dump leads with the replay pair and contains the violation
+  // record itself.
+  EXPECT_NE(outcome.flight_dump.find("plan=forced-violation-dump seed=7"),
+            std::string::npos);
+  EXPECT_NE(outcome.flight_dump.find("invariant.violation"), std::string::npos);
+  EXPECT_NE(outcome.flight_dump.find("forced-violation"), std::string::npos);
+
+  // The dump interleaves with the causal trace timeline: the merged
+  // rendering orders flight records against the run's recorded spans.
+  uint64_t tid = obs::Tracer::Instance().last_trace_id();
+  std::vector<obs::SpanRecord> spans =
+      tid ? obs::Tracer::Instance().Trace(tid) : std::vector<obs::SpanRecord>{};
+  std::string merged = tools::RenderTimelineWithFlight(spans, flight.Snapshot());
+  EXPECT_NE(merged.find("invariant.violation"), std::string::npos);
+  flight.Clear();
+}
+
+// A clean run must NOT dump: always-on recording is free of side
+// effects until something actually goes wrong.
+TEST(ChaosFlightDump, CleanRunEmitsNoDump) {
+  obs::FlightRecorder& flight = obs::FlightRecorder::Instance();
+  flight.Clear();
+  chaos::ChaosPlan plan;
+  plan.name = "clean-run";
+  plan.steps = 4;
+  plan.workload.create = 1;
+  plan.workload.signal = 1;
+  chaos::ChaosOutcome outcome = chaos::RunChaosPlan(11, plan);
+  EXPECT_TRUE(outcome.ok()) << outcome.Summary();
+  EXPECT_EQ(flight.dump_count(), 0u);
+  EXPECT_TRUE(outcome.flight_dump.empty());
+  flight.Clear();
+}
 
 }  // namespace
 }  // namespace ppm::core

@@ -55,6 +55,31 @@ TEST(EventLog, RingDropsOldest) {
   EXPECT_EQ(log.total_recorded(), 5u);
 }
 
+TEST(EventLog, DropAccountingIsPerPidAndConserved) {
+  // Regression: eviction used to bump only the aggregate counter, so a
+  // STAT reader could not tell whose history was lost.  Each evicted
+  // event must be charged to the pid of the event that was evicted — not
+  // the pid of the arriving one — and the breakdown must sum to the
+  // total.
+  EventLog log(2);
+  log.Record(Ev(host::KEvent::kExec, 1), host::kTraceAll);
+  log.Record(Ev(host::KEvent::kExec, 1), host::kTraceAll);
+  log.Record(Ev(host::KEvent::kExec, 2), host::kTraceAll);  // evicts a pid-1
+  log.Record(Ev(host::KEvent::kExec, 2), host::kTraceAll);  // evicts a pid-1
+  log.Record(Ev(host::KEvent::kExec, 3), host::kTraceAll);  // evicts a pid-2
+  EXPECT_EQ(log.total_dropped(), 3u);
+  const auto& by_pid = log.dropped_by_pid();
+  ASSERT_EQ(by_pid.size(), 2u);
+  EXPECT_EQ(by_pid.at(1), 2u);
+  EXPECT_EQ(by_pid.at(2), 1u);
+  uint64_t sum = 0;
+  for (const auto& [pid, n] : by_pid) sum += n;
+  EXPECT_EQ(sum, log.total_dropped());
+  // Filtered events are not drops and charge nobody.
+  log.Record(Ev(host::KEvent::kIpcSend, 9), 0);
+  EXPECT_EQ(log.total_dropped(), 3u);
+}
+
 TEST(EventLog, QueryFiltersAndLimits) {
   EventLog log;
   for (int i = 0; i < 10; ++i) {

@@ -7,8 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <limits>
 
 #include "core/wire.h"
+#include "obs/flight.h"
+#include "obs/health.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -381,6 +385,260 @@ TEST(TracePropagationTest, TwoHopSnapshotReconstructsCoveringGraphRoute) {
   std::string text = tools::RenderTraceTimeline(spans);
   EXPECT_NE(text.find("snapshot.req hostA -> hostB"), std::string::npos);
   EXPECT_NE(text.find("snapshot.resp.relay hostA -> root"), std::string::npos);
+}
+
+// --- degenerate histogram JSON ---------------------------------------
+//
+// Empty histograms and single-sample quantiles used to emit NaN/inf,
+// which is not JSON; the dump must parse whatever the histograms hold.
+
+TEST(HistogramTest, EmptyHistogramDumpsValidJson) {
+  Registry& reg = Registry::Instance();
+  reg.Reset();
+  reg.GetHistogram("test.empty.hist");  // created, never observed
+  auto parsed = obs::json::Parse(reg.DumpJson());
+  ASSERT_TRUE(parsed.has_value());
+  const obs::json::Value* hv = parsed->Find("histograms")->Find("test.empty.hist");
+  ASSERT_NE(hv, nullptr);
+  EXPECT_DOUBLE_EQ(hv->Find("count")->number, 0);
+}
+
+TEST(HistogramTest, SingleSampleQuantilesAreFinite) {
+  Registry& reg = Registry::Instance();
+  reg.Reset();
+  reg.GetHistogram("test.single.hist")->Observe(7.5);
+  auto parsed = obs::json::Parse(reg.DumpJson());
+  ASSERT_TRUE(parsed.has_value());
+  const obs::json::Value* hv = parsed->Find("histograms")->Find("test.single.hist");
+  ASSERT_NE(hv, nullptr);
+  EXPECT_DOUBLE_EQ(hv->Find("count")->number, 1);
+  EXPECT_DOUBLE_EQ(hv->Find("sum")->number, 7.5);
+}
+
+TEST(HistogramTest, NonFiniteObservationsCannotPoisonTheDump) {
+  Registry& reg = Registry::Instance();
+  reg.Reset();
+  Histogram* h = reg.GetHistogram("test.nan.hist");
+  h->Observe(std::numeric_limits<double>::quiet_NaN());
+  h->Observe(std::numeric_limits<double>::infinity());
+  h->Observe(-std::numeric_limits<double>::infinity());
+  h->Observe(2.0);
+  auto parsed = obs::json::Parse(reg.DumpJson());
+  ASSERT_TRUE(parsed.has_value()) << reg.DumpJson();
+  const obs::json::Value* hv = parsed->Find("histograms")->Find("test.nan.hist");
+  ASSERT_NE(hv, nullptr);
+  // All four observations counted; only the finite one contributes sum.
+  EXPECT_DOUBLE_EQ(hv->Find("count")->number, 4);
+  EXPECT_DOUBLE_EQ(hv->Find("sum")->number, 2.0);
+}
+
+// --- flight recorder -------------------------------------------------
+
+TEST(FlightRecorderTest, RingWraparoundKeepsNewestInOrder) {
+  obs::FlightRecorder& flight = obs::FlightRecorder::Instance();
+  flight.Clear();
+  flight.set_capacity(8);
+  for (uint64_t i = 0; i < 20; ++i) {
+    flight.Record(obs::FlightKind::kKernelEvent, "h", "e", 0, i);
+  }
+  EXPECT_EQ(flight.total_recorded(), 20u);
+  EXPECT_EQ(flight.size(), 8u);
+  std::vector<obs::FlightRecord> kept = flight.Snapshot();
+  ASSERT_EQ(kept.size(), 8u);
+  for (size_t i = 0; i < kept.size(); ++i) {
+    // The newest 8 (a = 12..19), oldest first.
+    EXPECT_EQ(kept[i].a, 12 + i);
+  }
+  flight.Clear();
+  flight.set_capacity(256);  // restore the default for later tests
+}
+
+TEST(FlightRecorderTest, DumpReportsLossAndRetainsText) {
+  obs::FlightRecorder& flight = obs::FlightRecorder::Instance();
+  flight.Clear();
+  flight.set_capacity(4);
+  for (uint64_t i = 0; i < 6; ++i) {
+    flight.Record(obs::FlightKind::kTimerFired, "vax", "ttl", 0, i);
+  }
+  std::string dump = flight.Dump("unit test");
+  EXPECT_NE(dump.find("unit test"), std::string::npos);
+  EXPECT_NE(dump.find("last 4 of 6"), std::string::npos);
+  EXPECT_NE(dump.find("older records lost"), std::string::npos);
+  EXPECT_EQ(flight.dump_count(), 1u);
+  EXPECT_EQ(flight.last_dump(), dump);
+  flight.Clear();
+  flight.set_capacity(256);
+}
+
+TEST(FlightRecorderTest, DisabledRecorderRecordsNothing) {
+  obs::FlightRecorder& flight = obs::FlightRecorder::Instance();
+  flight.Clear();
+  flight.set_enabled(false);
+  flight.Record(obs::FlightKind::kHostCrash, "vax", "");
+  EXPECT_EQ(flight.total_recorded(), 0u);
+  flight.set_enabled(true);
+}
+
+TEST(FlightRecorderTest, LongFieldsTruncateWithoutOverflow) {
+  obs::FlightRecorder& flight = obs::FlightRecorder::Instance();
+  flight.Clear();
+  flight.Record(obs::FlightKind::kStateTransition,
+                "a-very-long-host-name-indeed",
+                "a-detail-string-much-longer-than-the-fixed-field");
+  auto records = flight.Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  // NUL-terminated truncation into the fixed fields.
+  EXPECT_LT(std::string(records[0].host).size(), sizeof records[0].host);
+  EXPECT_LT(std::string(records[0].detail).size(), sizeof records[0].detail);
+  flight.Clear();
+}
+
+// --- timeline interleaving -------------------------------------------
+
+TEST(TraceExportTest, TimelineWithFlightMergesByTimestamp) {
+  SpanRecord span;
+  span.trace_id = 9;
+  span.span_id = 1;
+  span.name = "stat.req";
+  span.src_host = "a";
+  span.dst_host = "b";
+  span.start_us = 500;
+  span.end_us = 900;
+  span.arrived = true;
+
+  obs::FlightRecord before, after;
+  before.at_us = 100;
+  before.kind = obs::FlightKind::kTimerFired;
+  std::snprintf(before.host, sizeof before.host, "a");
+  std::snprintf(before.detail, sizeof before.detail, "ttl");
+  after.at_us = 700;
+  after.kind = obs::FlightKind::kFrameRecv;
+  std::snprintf(after.host, sizeof after.host, "b");
+
+  std::string text = tools::RenderTimelineWithFlight({span}, {after, before});
+  size_t timer_at = text.find("timer");
+  size_t span_at = text.find("stat.req");
+  size_t recv_at = text.find("frame.recv");
+  ASSERT_NE(timer_at, std::string::npos);
+  ASSERT_NE(span_at, std::string::npos);
+  ASSERT_NE(recv_at, std::string::npos);
+  EXPECT_LT(timer_at, span_at);
+  EXPECT_LT(span_at, recv_at);
+}
+
+// --- health classification -------------------------------------------
+
+TEST(HealthTest, QuietLpmClassifiesHealthy) {
+  obs::LpmHealthInputs in;
+  in.eventlog_recorded = 1000;
+  in.requests = 50;
+  in.bcasts_handled = 10;
+  obs::HealthReport report = obs::ClassifyLpm(in);
+  EXPECT_EQ(report.level, obs::HealthLevel::kHealthy);
+  EXPECT_TRUE(report.reasons.empty());
+}
+
+TEST(HealthTest, EachThresholdTripsItsOwnReason) {
+  obs::LpmHealthInputs in;
+  in.eventlog_recorded = 1000;
+  in.eventlog_dropped = 100;  // 10% > 1%
+  obs::HealthReport r1 = obs::ClassifyLpm(in);
+  EXPECT_EQ(r1.level, obs::HealthLevel::kDegraded);
+  ASSERT_EQ(r1.reasons.size(), 1u);
+  EXPECT_NE(r1.reasons[0].find("event log"), std::string::npos);
+
+  in = {};
+  in.bcasts_handled = 10;
+  in.bcast_duplicates = 50;  // 5 dups per broadcast > 2
+  EXPECT_NE(obs::ClassifyLpm(in).reasons[0].find("duplicate"), std::string::npos);
+
+  in = {};
+  in.requests = 10;
+  in.request_timeouts = 5;  // 50% > 10%
+  EXPECT_NE(obs::ClassifyLpm(in).reasons[0].find("timeout"), std::string::npos);
+
+  in = {};
+  in.handler_queue_depth = 9;  // > 8
+  EXPECT_NE(obs::ClassifyLpm(in).reasons[0].find("backlog"), std::string::npos);
+
+  in = {};
+  in.journal_pending = 65;  // > 64
+  EXPECT_NE(obs::ClassifyLpm(in).reasons[0].find("journal"), std::string::npos);
+}
+
+TEST(HealthTest, ThresholdsArePlainDataAndOverridable) {
+  obs::LpmHealthInputs in;
+  in.handler_queue_depth = 5;
+  obs::HealthThresholds relaxed;
+  relaxed.handler_queue_depth = 100;
+  EXPECT_EQ(obs::ClassifyLpm(in, relaxed).level, obs::HealthLevel::kHealthy);
+  obs::HealthThresholds strict;
+  strict.handler_queue_depth = 4;
+  EXPECT_EQ(obs::ClassifyLpm(in, strict).level, obs::HealthLevel::kDegraded);
+}
+
+// --- health monitor --------------------------------------------------
+
+TEST(HealthMonitorTest, WatermarkKeepsMaximum) {
+  obs::HealthMonitor& mon = obs::HealthMonitor::Instance();
+  mon.Reset();
+  mon.Watermark("test.depth", 3);
+  mon.Watermark("test.depth", 9);
+  mon.Watermark("test.depth", 5);
+  EXPECT_DOUBLE_EQ(mon.WatermarkOf("test.depth"), 9);
+  mon.Reset();
+}
+
+TEST(HealthMonitorTest, RateWindowSlidesWithVirtualTime) {
+  obs::HealthMonitor& mon = obs::HealthMonitor::Instance();
+  mon.Reset();
+  uint64_t now_us = 0;
+  mon.set_time_source([&now_us] { return now_us; });
+  mon.set_window_us(1'000'000);  // 1 virtual second
+  mon.RateEvent("test.rate", 10);
+  now_us = 500'000;
+  mon.RateEvent("test.rate", 10);
+  // 20 events over the 1s window.
+  EXPECT_DOUBLE_EQ(mon.RateOf("test.rate"), 20.0);
+  now_us = 1'400'000;  // the first batch (t=0) has aged out
+  EXPECT_DOUBLE_EQ(mon.RateOf("test.rate"), 10.0);
+  mon.set_time_source(nullptr);
+  mon.Reset();
+}
+
+TEST(HealthMonitorTest, DegradedWhenThresholdExceededAndJsonParses) {
+  obs::HealthMonitor& mon = obs::HealthMonitor::Instance();
+  mon.Reset();
+  EXPECT_FALSE(mon.degraded());
+  mon.set_threshold("test.wm", 10);
+  mon.Watermark("test.wm", 5);
+  EXPECT_FALSE(mon.degraded());
+  mon.Watermark("test.wm", 15);
+  EXPECT_TRUE(mon.degraded());
+  auto parsed = obs::json::Parse(mon.DumpJsonFragment());
+  ASSERT_TRUE(parsed.has_value()) << mon.DumpJsonFragment();
+  EXPECT_EQ(parsed->Find("level")->str, "degraded");
+  const obs::json::Value* wm = parsed->Find("watermarks")->Find("test.wm");
+  ASSERT_NE(wm, nullptr);
+  EXPECT_DOUBLE_EQ(wm->Find("hi")->number, 15);
+  EXPECT_TRUE(wm->Find("degraded")->boolean);
+  mon.Reset();
+}
+
+TEST(HealthMonitorTest, RegistryDumpEmbedsHealthFragment) {
+  Registry& reg = Registry::Instance();
+  reg.Reset();
+  obs::HealthMonitor& mon = obs::HealthMonitor::Instance();
+  mon.Reset();
+  mon.Watermark("lpm.queue.depth", 4);
+  auto parsed = obs::json::Parse(reg.DumpJson());
+  ASSERT_TRUE(parsed.has_value());
+  const obs::json::Value* health = parsed->Find("health");
+  ASSERT_NE(health, nullptr);
+  const obs::json::Value* wm = health->Find("watermarks")->Find("lpm.queue.depth");
+  ASSERT_NE(wm, nullptr);
+  EXPECT_DOUBLE_EQ(wm->Find("hi")->number, 4);
+  mon.Reset();
 }
 
 }  // namespace

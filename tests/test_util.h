@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
@@ -80,6 +81,13 @@ inline ::testing::AssertionResult RunChaos(uint64_t seed,
                                            const chaos::ChaosPlan& plan) {
   chaos::ChaosOutcome outcome = chaos::RunChaosPlan(seed, plan);
   if (outcome.ok()) return ::testing::AssertionSuccess() << outcome.Summary();
+  // Post-mortem: drop the auto-emitted flight dump next to the test
+  // binary so CI can upload it as an artifact.
+  if (!outcome.flight_dump.empty()) {
+    std::string path = "flight-" + plan.name + "-" + std::to_string(seed) + ".txt";
+    std::ofstream f(path);
+    if (f) f << outcome.flight_dump;
+  }
   return ::testing::AssertionFailure() << outcome.Summary();
 }
 

@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include "core/cluster.h"
+#include "core/lpm.h"
+#include "obs/json.h"
 #include "tests/test_util.h"
 #include "tools/builtin_tools.h"
 #include "tools/client.h"
 #include "tools/display.h"
+#include "tools/ppmstat.h"
 
 namespace ppm::tools {
 namespace {
@@ -226,6 +229,134 @@ TEST_F(ToolsTest, IpcTraceToolAggregates) {
   EXPECT_EQ(result->receives, 1u);
   EXPECT_EQ(result->bytes, 175u);
   EXPECT_NE(result->report.find("2 sends"), std::string::npos);
+}
+
+// --- ppmstat: live cluster introspection --------------------------------------
+
+// The acceptance scenario: a 16-host star, one process per host, and a
+// single stat broadcast from a tool on the hub must come back with all
+// 16 manager records — genealogy, health verdicts, queue watermarks —
+// in ONE covering-graph round (the origin's broadcast counter moves by
+// exactly one).
+TEST(PpmStat, SixteenHostStarInOneBroadcastRound) {
+  core::Cluster cluster;
+  std::vector<std::string> hosts;
+  for (int i = 0; i < 16; ++i) hosts.push_back("h" + std::to_string(i));
+  for (const std::string& h : hosts) cluster.AddHost(h);
+  for (int i = 1; i < 16; ++i) cluster.Link("h0", hosts[static_cast<size_t>(i)]);
+  InstallTestUser(cluster, {"h0", "h1"});
+  cluster.RunFor(sim::Millis(10));
+
+  PpmClient* client = ConnectTool(cluster, "h0", "ppmstat");
+  ASSERT_NE(client, nullptr);
+  GPid root;
+  for (const std::string& h : hosts) {
+    std::optional<core::CreateResp> created;
+    client->CreateProcess(h, "worker-" + h, h == "h0" ? GPid{} : root,
+                          [&](const core::CreateResp& r) { created = r; }, false);
+    ASSERT_TRUE(RunUntil(cluster, [&] { return created.has_value(); })) << h;
+    ASSERT_TRUE(created->ok) << h << ": " << created->error;
+    if (h == "h0") root = created->gpid;
+  }
+  cluster.RunFor(sim::Seconds(1));
+
+  core::Lpm* origin = cluster.FindLpm("h0", kTestUid);
+  ASSERT_NE(origin, nullptr);
+  uint64_t bcasts_before = origin->stats().bcasts_originated;
+
+  std::optional<PpmStatResult> result;
+  RunPpmStatTool(*client, [&](const PpmStatResult& r) { result = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return result.has_value(); }, sim::Seconds(60)));
+  ASSERT_TRUE(result->ok);
+
+  // One record per host, exactly one broadcast originated.
+  EXPECT_EQ(result->records.size(), 16u);
+  EXPECT_EQ(result->hosts_covered.size(), 16u);
+  EXPECT_EQ(origin->stats().bcasts_originated, bcasts_before + 1);
+
+  // Full genealogy: every worker shows up in some manager's subtree.
+  EXPECT_GE(result->procs_total, 16u);
+  size_t workers = 0;
+  for (const core::LpmStatRecord& rec : result->records) {
+    for (const core::ProcRecord& p : rec.procs) {
+      if (p.command.rfind("worker-", 0) == 0) ++workers;
+    }
+  }
+  EXPECT_EQ(workers, 16u);
+
+  for (const core::LpmStatRecord& rec : result->records) {
+    // Per-host health classification: idle hosts must read healthy.
+    EXPECT_EQ(rec.health, 0u) << rec.host << ": "
+                              << (rec.health_reasons.empty() ? ""
+                                                             : rec.health_reasons[0]);
+    // Dispatcher instrumentation: the queue watermark is monotone over
+    // the current depth and the LPM reports live handler counts.
+    EXPECT_GE(rec.queue_watermark, rec.queue_depth) << rec.host;
+    EXPECT_GE(rec.handlers, 1u) << rec.host;
+    EXPECT_FALSE(rec.ccs_host.empty()) << rec.host;
+  }
+
+  // Exactly one CCS in the answers, and the recovery ranks follow the
+  // installed ~/.recovery list.
+  size_t ccs_count = 0;
+  for (const core::LpmStatRecord& rec : result->records) {
+    if (rec.is_ccs) ++ccs_count;
+    if (rec.host == "h0") EXPECT_EQ(rec.recovery_rank, 0);
+    if (rec.host == "h1") EXPECT_EQ(rec.recovery_rank, 1);
+    if (rec.host == "h2") EXPECT_EQ(rec.recovery_rank, -1);
+  }
+  EXPECT_EQ(ccs_count, 1u);
+
+  // Renderings: every host appears in the table; the JSON parses and
+  // carries all sixteen host objects.
+  for (const std::string& h : hosts) {
+    EXPECT_NE(result->table.find(h), std::string::npos) << h;
+  }
+  auto parsed = obs::json::Parse(result->json);
+  ASSERT_TRUE(parsed.has_value());
+  const obs::json::Value* hosts_json = parsed->Find("hosts");
+  ASSERT_NE(hosts_json, nullptr);
+  EXPECT_EQ(hosts_json->arr.size(), 16u);
+}
+
+TEST(PpmStat, ReportsEventLogDropBreakdown) {
+  // A tiny event log so one chatty process forces evictions, which the
+  // STAT record must break down per pid.
+  core::ClusterConfig config;
+  config.lpm.event_log_capacity = 64;
+  core::Cluster cluster(config);
+  cluster.AddHost("solo");
+  InstallTestUser(cluster);
+  cluster.RunFor(sim::Millis(10));
+  PpmClient* client = ConnectTool(cluster, "solo");
+  ASSERT_NE(client, nullptr);
+
+  std::optional<core::CreateResp> created;
+  client->CreateProcess("solo", "chatty", {},
+                        [&](const core::CreateResp& r) { created = r; }, false);
+  ASSERT_TRUE(RunUntil(cluster, [&] { return created.has_value(); }));
+  ASSERT_TRUE(created->ok);
+  host::Pid pid = created->gpid.pid;
+  host::Kernel& kernel = cluster.host("solo").kernel();
+  for (int i = 0; i < 500; ++i) kernel.RecordIpc(pid, true, 1);
+  cluster.RunFor(sim::Seconds(2));
+
+  std::optional<PpmStatResult> result;
+  RunPpmStatTool(*client, [&](const PpmStatResult& r) { result = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return result.has_value(); }, sim::Seconds(60)));
+  ASSERT_TRUE(result->ok);
+  ASSERT_EQ(result->records.size(), 1u);
+  const core::LpmStatRecord& rec = result->records[0];
+  EXPECT_GT(rec.eventlog_dropped, 0u);
+  uint64_t from_pid = 0;
+  for (const core::PidDrop& d : rec.dropped_by_pid) {
+    if (d.pid == pid) from_pid = d.dropped;
+  }
+  EXPECT_GT(from_pid, 0u);
+  // The breakdown never loses events: per-pid counts sum to the total.
+  uint64_t sum = 0;
+  for (const core::PidDrop& d : rec.dropped_by_pid) sum += d.dropped;
+  EXPECT_EQ(sum, rec.eventlog_dropped);
 }
 
 }  // namespace

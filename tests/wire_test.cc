@@ -40,6 +40,51 @@ RusageRecord MakeRusageRecord() {
   return rec;
 }
 
+LpmStatRecord MakeLpmStatRecord() {
+  LpmStatRecord rec;
+  rec.host = "vaxA";
+  rec.lpm_pid = 31;
+  rec.mode = 1;
+  rec.is_ccs = true;
+  rec.ccs_host = "vaxA";
+  rec.recovery_rank = 0;
+  rec.siblings = {"vaxB", "vaxC"};
+  rec.handlers = 4;
+  rec.handlers_busy = 2;
+  rec.queue_depth = 1;
+  rec.queue_watermark = 7;
+  rec.tool_circuits = 1;
+  rec.requests = 100;
+  rec.forwards = 10;
+  rec.kernel_events = 5000;
+  rec.handlers_created = 4;
+  rec.handler_reuses = 96;
+  rec.snapshots_served = 12;
+  rec.bcasts_originated = 3;
+  rec.bcast_duplicates = 2;
+  rec.triggers_fired = 1;
+  rec.failures_detected = 1;
+  rec.recoveries_started = 1;
+  rec.request_timeouts = 2;
+  rec.eventlog_size = 256;
+  rec.eventlog_recorded = 4000;
+  rec.eventlog_filtered = 1000;
+  rec.eventlog_dropped = 3744;
+  rec.dropped_by_pid = {{42, 3000}, {43, 744}};
+  rec.store_enabled = true;
+  rec.journal_seq = 88;
+  rec.journal_bytes = 4096;
+  rec.journal_pending = 3;
+  rec.pmd_registry = 2;
+  rec.pmd_requests = 9;
+  rec.flight_records = 777;
+  rec.flight_dumps = 1;
+  rec.health = 1;
+  rec.health_reasons = {"dispatcher backlog (9 queued)"};
+  rec.procs = {MakeProcRecord()};
+  return rec;
+}
+
 // One representative of every message type.
 std::vector<Msg> AllMessages() {
   std::vector<Msg> msgs;
@@ -127,6 +172,24 @@ std::vector<Msg> AllMessages() {
   mig_trig.spec.migrate_dest = "vaxB";
   msgs.push_back(mig_trig);
   msgs.push_back(RegisterChild{17, {"vaxC", 4}});
+  StatReq stat_req;
+  stat_req.req_id = 18;
+  stat_req.origin_host = "vaxA";
+  stat_req.bcast_seq = 5;
+  stat_req.signed_ts = 777;
+  stat_req.route = {"vaxA", "vaxB"};
+  stat_req.dump_flight = true;
+  msgs.push_back(stat_req);
+  StatResp stat_resp;
+  stat_resp.req_id = 18;
+  stat_resp.origin_host = "vaxA";
+  stat_resp.bcast_seq = 5;
+  stat_resp.replier_host = "vaxB";
+  stat_resp.forwarded_to = {"vaxC"};
+  stat_resp.route = {"vaxA", "vaxB"};
+  stat_resp.route_index = 1;
+  stat_resp.records = {MakeLpmStatRecord()};
+  msgs.push_back(stat_resp);
   return msgs;
 }
 
@@ -205,6 +268,62 @@ TEST(Wire, SnapshotRecordsSurvive) {
   EXPECT_EQ(got.records[0].logical_parent, (GPid{"vaxB", 7}));
   EXPECT_EQ(got.records[0].state, host::ProcState::kStopped);
   EXPECT_EQ(got.records[0].cpu_time, 12345);
+}
+
+// --- the STAT escape opcode (0xF6) ---------------------------------------
+
+TEST(Wire, StatRecordFieldsSurvive) {
+  StatResp resp;
+  resp.req_id = 99;
+  resp.origin_host = "o";
+  resp.replier_host = "r";
+  resp.records = {MakeLpmStatRecord()};
+  auto parsed = Parse(Serialize(Msg{resp}));
+  ASSERT_TRUE(parsed.has_value());
+  const auto& got = std::get<StatResp>(*parsed);
+  ASSERT_EQ(got.records.size(), 1u);
+  const LpmStatRecord& rec = got.records[0];
+  const LpmStatRecord want = MakeLpmStatRecord();
+  EXPECT_EQ(rec.host, want.host);
+  EXPECT_EQ(rec.mode, want.mode);
+  EXPECT_EQ(rec.is_ccs, want.is_ccs);
+  EXPECT_EQ(rec.recovery_rank, want.recovery_rank);
+  EXPECT_EQ(rec.siblings, want.siblings);
+  EXPECT_EQ(rec.queue_watermark, want.queue_watermark);
+  EXPECT_EQ(rec.kernel_events, want.kernel_events);
+  EXPECT_EQ(rec.request_timeouts, want.request_timeouts);
+  EXPECT_EQ(rec.eventlog_dropped, want.eventlog_dropped);
+  EXPECT_EQ(rec.dropped_by_pid, want.dropped_by_pid);
+  EXPECT_EQ(rec.store_enabled, want.store_enabled);
+  EXPECT_EQ(rec.journal_pending, want.journal_pending);
+  EXPECT_EQ(rec.flight_records, want.flight_records);
+  EXPECT_EQ(rec.health, want.health);
+  EXPECT_EQ(rec.health_reasons, want.health_reasons);
+  ASSERT_EQ(rec.procs.size(), 1u);
+  EXPECT_EQ(rec.procs[0].gpid, (GPid{"vaxA", 42}));
+}
+
+TEST(Wire, StatUsesEscapeOpcodeNotVariantIndex) {
+  // The body (after the checksum header) must lead with 0xF6 + sub-byte,
+  // so a pre-STAT decoder sees an unknown opcode instead of misparsing.
+  StatReq req;
+  req.req_id = 1;
+  auto bytes = Serialize(Msg{req});
+  ASSERT_GT(bytes.size(), kChecksumHeaderBytes + 1);
+  EXPECT_EQ(bytes[kChecksumHeaderBytes], kStatMsgTag);
+  EXPECT_EQ(bytes[kChecksumHeaderBytes + 1], kStatReqSub);
+}
+
+TEST(Wire, StatUnknownSubByteRejected) {
+  StatReq req;
+  req.req_id = 1;
+  auto bytes = Serialize(Msg{req});
+  // Flip the sub-byte to something undefined; the checksum must be
+  // recomputed or the frame dies earlier for the wrong reason.
+  std::vector<uint8_t> body(bytes.begin() + kChecksumHeaderBytes, bytes.end());
+  body[1] = 0x7e;
+  auto reframed = Parse(body);  // unchecksummed frames are still parsed
+  EXPECT_FALSE(reframed.has_value());
 }
 
 TEST(Wire, MsgTypeNamesDistinct) {
