@@ -141,8 +141,19 @@ class BenchReport {
   BenchReport& operator=(const BenchReport&) = delete;
 
   // Records one headline number (insertion order is preserved).
+  // Results are deterministic (virtual-time or counter) by default and
+  // gated tightly by bench_diff.
   void Result(const std::string& key, double value) {
     results_.emplace_back(key, value);
+  }
+
+  // Records a *wall-clock* number: machine-dependent, so the committed
+  // baseline tags it with the "wallclock" tolerance class and bench_diff
+  // gates it by ratio (order-of-magnitude drift) instead of the tight
+  // percent threshold used for deterministic counters.
+  void ResultWallClock(const std::string& key, double value) {
+    results_.emplace_back(key, value);
+    wallclock_.push_back(key);
   }
 
   std::string Path() const { return "BENCH_" + name_ + ".json"; }
@@ -162,6 +173,15 @@ class BenchReport {
       std::snprintf(buf, sizeof(buf), "%.17g", value);
       out += buf;
     }
+    out += "},\"classes\":{";
+    first = true;
+    for (const std::string& key : wallclock_) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"";
+      obs::json::AppendEscaped(out, key);
+      out += "\":\"wallclock\"";
+    }
     out += "},\"metrics\":";
     out += obs::Registry::Instance().DumpJson();
     out += "}\n";
@@ -177,6 +197,7 @@ class BenchReport {
  private:
   std::string name_;
   std::vector<std::pair<std::string, double>> results_;
+  std::vector<std::string> wallclock_;
 };
 
 }  // namespace ppm::bench

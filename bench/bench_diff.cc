@@ -1,12 +1,20 @@
 // bench_diff — compares a fresh bench run against committed baselines.
 //
-//   bench_diff <baseline-dir> <fresh-dir> [threshold-pct]
+//   bench_diff <baseline-dir> <fresh-dir> [threshold-pct] [wallclock-factor]
 //
 // Scans <baseline-dir> for BENCH_*.json files (the committed baselines
 // at the repo root), pairs each with the same-named file in <fresh-dir>,
 // and compares their "results" maps.  Exit status 1 when any shared
-// metric regressed by more than the threshold (default 25%), which is
-// what the CI bench-smoke job gates on.
+// metric regressed by more than its tolerance, which is what the CI
+// bench-smoke / perf-smoke jobs gate on.
+//
+// Per-metric tolerance classes: a baseline's optional "classes" map tags
+// metrics as "wallclock".  Deterministic metrics (the default class) use
+// the symmetric percent threshold (default 25%); wallclock metrics are
+// machine- and load-dependent, so they gate on the *ratio* between the
+// two values (default factor 8 — an order-of-magnitude cliff, not
+// noise).  A percent threshold cannot express that looseness: a slowdown
+// bottoms out at -100%, so any percent gate above 100% would never fire.
 //
 // The comparison is symmetric — a large *improvement* also trips the
 // gate — because either direction means the baseline no longer describes
@@ -31,7 +39,8 @@ using ppm::obs::json::Value;
 
 namespace {
 
-std::map<std::string, double> LoadResults(const fs::path& path, bool* ok) {
+std::map<std::string, double> LoadResults(const fs::path& path, bool* ok,
+                                          std::map<std::string, std::string>* classes) {
   *ok = false;
   std::map<std::string, double> out;
   std::ifstream in(path);
@@ -45,6 +54,16 @@ std::map<std::string, double> LoadResults(const fs::path& path, bool* ok) {
   for (const auto& [key, value] : results->obj) {
     if (value.is_number()) out[key] = value.number;
   }
+  // Tolerance classes are read from the BASELINE side only: the
+  // committed file is the contract, a fresh run cannot loosen it.
+  if (classes != nullptr) {
+    const Value* cls = doc->Find("classes");
+    if (cls != nullptr && cls->is_object()) {
+      for (const auto& [key, value] : cls->obj) {
+        if (value.is_string()) (*classes)[key] = value.str;
+      }
+    }
+  }
   *ok = true;
   return out;
 }
@@ -52,14 +71,17 @@ std::map<std::string, double> LoadResults(const fs::path& path, bool* ok) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3 || argc > 4) {
-    std::fprintf(stderr, "usage: %s <baseline-dir> <fresh-dir> [threshold-pct]\n",
+  if (argc < 3 || argc > 5) {
+    std::fprintf(stderr,
+                 "usage: %s <baseline-dir> <fresh-dir> [threshold-pct] "
+                 "[wallclock-factor]\n",
                  argv[0]);
     return 2;
   }
   const fs::path baseline_dir = argv[1];
   const fs::path fresh_dir = argv[2];
-  const double threshold = argc == 4 ? std::atof(argv[3]) : 25.0;
+  const double threshold = argc >= 4 ? std::atof(argv[3]) : 25.0;
+  const double wallclock_factor = argc >= 5 ? std::atof(argv[4]) : 8.0;
 
   std::vector<fs::path> baselines;
   std::error_code ec;
@@ -81,8 +103,9 @@ int main(int argc, char** argv) {
   for (const fs::path& base_path : baselines) {
     const std::string name = base_path.filename().string();
     bool base_ok = false, fresh_ok = false;
-    auto base = LoadResults(base_path, &base_ok);
-    auto fresh = LoadResults(fresh_dir / name, &fresh_ok);
+    std::map<std::string, std::string> classes;
+    auto base = LoadResults(base_path, &base_ok, &classes);
+    auto fresh = LoadResults(fresh_dir / name, &fresh_ok, nullptr);
     if (!base_ok) {
       std::printf("%-28s unreadable baseline — skipped\n", name.c_str());
       continue;
@@ -102,15 +125,31 @@ int main(int argc, char** argv) {
       }
       ++compared;
       const double fresh_val = it->second;
-      double pct;
-      if (base_val == 0.0) {
-        pct = fresh_val == 0.0 ? 0.0 : 100.0;
+      auto cls = classes.find(key);
+      const bool wallclock = cls != classes.end() && cls->second == "wallclock";
+      bool fail;
+      if (wallclock) {
+        // Ratio gate: either direction beyond the factor is a cliff.
+        double ratio;
+        if (base_val <= 0.0 || fresh_val <= 0.0) {
+          ratio = (base_val == fresh_val) ? 1.0 : wallclock_factor + 1.0;
+        } else {
+          ratio = std::max(fresh_val / base_val, base_val / fresh_val);
+        }
+        fail = ratio > wallclock_factor;
+        std::printf("  %-34s %12.4g -> %12.4g  x%-6.2f [wallclock]%s\n", key.c_str(),
+                    base_val, fresh_val, ratio, fail ? "  FAIL" : "");
       } else {
-        pct = (fresh_val - base_val) / std::fabs(base_val) * 100.0;
+        double pct;
+        if (base_val == 0.0) {
+          pct = fresh_val == 0.0 ? 0.0 : 100.0;
+        } else {
+          pct = (fresh_val - base_val) / std::fabs(base_val) * 100.0;
+        }
+        fail = std::fabs(pct) > threshold;
+        std::printf("  %-34s %12.4g -> %12.4g  %+7.1f%%%s\n", key.c_str(), base_val,
+                    fresh_val, pct, fail ? "  FAIL" : "");
       }
-      const bool fail = std::fabs(pct) > threshold;
-      std::printf("  %-34s %12.4g -> %12.4g  %+7.1f%%%s\n", key.c_str(), base_val,
-                  fresh_val, pct, fail ? "  FAIL" : "");
       if (fail) ++regressions;
     }
     for (const auto& [key, val] : fresh) {
@@ -120,7 +159,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("\n%d metrics compared, %d beyond %.0f%%\n", compared, regressions,
-              threshold);
+  std::printf("\n%d metrics compared, %d beyond tolerance (%.0f%% tight, x%.1f wallclock)\n",
+              compared, regressions, threshold, wallclock_factor);
   return regressions > 0 ? 1 : 0;
 }

@@ -5,7 +5,13 @@
 namespace ppm::core {
 
 Cluster::Cluster(ClusterConfig config)
-    : config_(config), sim_(config.seed), net_(sim_, config.net) {}
+    : config_(config), sim_(config.seed), net_(sim_, config.net) {
+  // The net layer cannot see inside circuit payloads (core depends on
+  // net, not the reverse), so the cluster injects the wire codec's
+  // opcode classifier: from here on net.bytes.sent decomposes into
+  // per-message-type "net.op.*" counters.
+  net_.set_payload_classifier(&ClassifyWireFrame);
+}
 
 Cluster::~Cluster() = default;
 

@@ -8,6 +8,7 @@
 #include "obs/flight.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "util/log.h"
 #include "util/panic.h"
@@ -299,6 +300,7 @@ std::vector<host::Pid> Lpm::TrackedLocalPids() const {
 // --- dispatcher & handler pool ------------------------------------------------------
 
 void Lpm::Dispatch(std::function<void(Pid)> work) {
+  PPM_PROF_SCOPE("lpm.dispatch");
   ++stats_.requests;
   sim::SimDuration cost = kernel().Charge(pid(), BaseCosts::kDispatch);
   simulator().ScheduleIn(cost, [this, work = std::move(work)] {
@@ -436,6 +438,7 @@ void Lpm::OnClose(net::ConnId conn, net::CloseReason reason) {
 }
 
 void Lpm::OnData(net::ConnId conn, const std::vector<uint8_t>& bytes) {
+  PPM_PROF_SCOPE("lpm.on_data");
   kernel().RecordIpc(pid(), /*sent=*/false, bytes.size());
   auto msg = Parse(bytes, &rx_trace_);
   if (msg) {
@@ -1887,6 +1890,7 @@ void Lpm::FinishStat(StatRun& run, uint64_t bcast_seq) {
 // --- kernel events, history, triggers ------------------------------------------------------
 
 void Lpm::OnKernelEvent(const host::KernelEvent& ev) {
+  PPM_PROF_SCOPE("lpm.kernel_event");
   if (!running_) return;
   ++stats_.kernel_events;
   // Hot path: one O(1) ring write, measured by bench_overhead.

@@ -1,9 +1,48 @@
 #include "core/wire.h"
 
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "util/panic.h"
 
 namespace ppm::core {
+
+namespace {
+
+// Indexed by Msg variant tag; kStatMsgTag frames map to the last two.
+const char* const kMsgTypeNames[] = {
+    "HelloSibling", "HelloTool", "HelloAck", "HelloReject", "CreateReq", "CreateResp",
+    "SignalReq", "SignalResp", "SnapshotReq", "SnapshotResp", "RusageReq", "RusageResp",
+    "AdoptReq", "AdoptResp", "TraceReq", "TraceResp", "HistoryReq", "HistoryResp",
+    "TriggerReq", "TriggerResp", "BecomeCcs", "CcsChanged", "Probe", "ProbeAck",
+    "FilesReq", "FilesResp", "MigrateReq", "MigrateResp", "RegisterChild",
+    "StatReq", "StatResp"};
+constexpr size_t kPlainTagCount = 29;  // tags 0..28 encode under the variant index
+
+// Codec-level accounting: how many frames pass through encode/decode and
+// how much of each frame is escape-header overhead (the 0xF4 checksum
+// and 0xF5 trace headers ppmprof's wire table decomposes).
+struct WireMetrics {
+  obs::Counter* frames_encoded;
+  obs::Counter* frames_decoded;
+  obs::Counter* hdr_checksum_bytes;
+  obs::Counter* hdr_trace_bytes;
+  obs::Counter* kevent_encoded;
+  obs::Counter* kevent_decoded;
+};
+
+WireMetrics& Metrics() {
+  static WireMetrics m = {
+      obs::Registry::Instance().GetCounter("wire.frames.encoded"),
+      obs::Registry::Instance().GetCounter("wire.frames.decoded"),
+      obs::Registry::Instance().GetCounter("wire.hdr.checksum.bytes"),
+      obs::Registry::Instance().GetCounter("wire.hdr.trace.bytes"),
+      obs::Registry::Instance().GetCounter("wire.kevent.encoded"),
+      obs::Registry::Instance().GetCounter("wire.kevent.decoded"),
+  };
+  return m;
+}
+
+}  // namespace
 
 std::string ToString(const GPid& g) {
   return "<" + g.host + "," + std::to_string(g.pid) + ">";
@@ -12,6 +51,8 @@ std::string ToString(const GPid& g) {
 // --- kernel event messages -------------------------------------------------
 
 std::vector<uint8_t> SerializeKernelEvent(const host::KernelEvent& ev) {
+  PPM_PROF_SCOPE("wire.kevent.encode");
+  Metrics().kevent_encoded->Inc();
   util::ByteWriter w;
   w.U8(static_cast<uint8_t>(ev.kind));
   w.I32(ev.pid);
@@ -31,6 +72,8 @@ std::vector<uint8_t> SerializeKernelEvent(const host::KernelEvent& ev) {
 }
 
 std::optional<host::KernelEvent> ParseKernelEvent(const std::vector<uint8_t>& bytes) {
+  PPM_PROF_SCOPE("wire.kevent.decode");
+  Metrics().kevent_decoded->Inc();
   if (bytes.size() != kKernelEventWireBytes) return std::nullopt;
   util::ByteReader r(bytes);
   host::KernelEvent ev;
@@ -593,6 +636,9 @@ obs::Counter* CorruptFramesCounter() {
 }  // namespace
 
 std::vector<uint8_t> Serialize(const Msg& msg) {
+  PPM_PROF_SCOPE("wire.encode");
+  Metrics().frames_encoded->Inc();
+  Metrics().hdr_checksum_bytes->Inc(kChecksumHeaderBytes);
   util::ByteWriter w;
   EncodeMsg(w, msg);
   return WrapChecksum(w.Take());
@@ -600,6 +646,10 @@ std::vector<uint8_t> Serialize(const Msg& msg) {
 
 std::vector<uint8_t> Serialize(const Msg& msg, const obs::TraceContext& trace) {
   if (!trace.valid()) return Serialize(msg);
+  PPM_PROF_SCOPE("wire.encode");
+  Metrics().frames_encoded->Inc();
+  Metrics().hdr_checksum_bytes->Inc(kChecksumHeaderBytes);
+  Metrics().hdr_trace_bytes->Inc(kTraceHeaderBytes);
   util::ByteWriter w;
   w.U8(kTraceHeaderTag);
   w.U64(trace.trace_id);
@@ -1070,6 +1120,8 @@ std::optional<ProbeAck> ParseProbeAck(util::ByteReader& r) {
 std::optional<Msg> Parse(const std::vector<uint8_t>& bytes) { return Parse(bytes, nullptr); }
 
 std::optional<Msg> Parse(const std::vector<uint8_t>& bytes, obs::TraceContext* trace) {
+  PPM_PROF_SCOPE("wire.decode");
+  Metrics().frames_decoded->Inc();
   util::ByteReader r(bytes);
   if (trace) *trace = obs::TraceContext{};
   auto tag = r.U8();
@@ -1153,15 +1205,27 @@ std::optional<Msg> Parse(const std::vector<uint8_t>& bytes, obs::TraceContext* t
   return msg;
 }
 
-const char* MsgTypeName(const Msg& msg) {
-  static const char* kNames[] = {
-      "HelloSibling", "HelloTool", "HelloAck", "HelloReject", "CreateReq", "CreateResp",
-      "SignalReq", "SignalResp", "SnapshotReq", "SnapshotResp", "RusageReq", "RusageResp",
-      "AdoptReq", "AdoptResp", "TraceReq", "TraceResp", "HistoryReq", "HistoryResp",
-      "TriggerReq", "TriggerResp", "BecomeCcs", "CcsChanged", "Probe", "ProbeAck",
-      "FilesReq", "FilesResp", "MigrateReq", "MigrateResp", "RegisterChild",
-      "StatReq", "StatResp"};
-  return kNames[msg.index()];
+const char* MsgTypeName(const Msg& msg) { return kMsgTypeNames[msg.index()]; }
+
+const char* ClassifyWireFrame(const std::vector<uint8_t>& frame) {
+  size_t pos = 0;
+  if (pos < frame.size() && frame[pos] == kChecksumHeaderTag) {
+    pos += kChecksumHeaderBytes;
+  }
+  if (pos < frame.size() && frame[pos] == kTraceHeaderTag) {
+    pos += kTraceHeaderBytes;
+  }
+  if (pos >= frame.size()) return "malformed";
+  const uint8_t tag = frame[pos];
+  if (tag == kStatMsgTag) {
+    if (pos + 1 >= frame.size()) return "malformed";
+    const uint8_t sub = frame[pos + 1];
+    if (sub == kStatReqSub) return kMsgTypeNames[kPlainTagCount];
+    if (sub == kStatRespSub) return kMsgTypeNames[kPlainTagCount + 1];
+    return "unknown";
+  }
+  if (tag < kPlainTagCount) return kMsgTypeNames[tag];
+  return "unknown";
 }
 
 }  // namespace ppm::core

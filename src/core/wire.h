@@ -408,4 +408,14 @@ std::optional<Msg> Parse(const std::vector<uint8_t>& bytes, obs::TraceContext* t
 // Human-readable message type name, for traces and tests.
 const char* MsgTypeName(const Msg& msg);
 
+// Classifies an encoded circuit frame by its opcode WITHOUT decoding the
+// fields: skips the 0xF4 checksum and 0xF5 trace escapes, then names the
+// message tag ("CreateReq", "StatResp", ...).  Returns a stable pointer
+// usable as a counter-cache key.  Unrecognized tags classify as
+// "unknown", truncated frames as "malformed" — the classification is
+// total, so per-opcode frame/byte counters partition the net totals
+// exactly.  Installed into net::Network by core::Cluster as the payload
+// classifier behind the "net.op.<class>.{frames,bytes}" counters.
+const char* ClassifyWireFrame(const std::vector<uint8_t>& frame);
+
 }  // namespace ppm::core

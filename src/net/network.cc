@@ -56,6 +56,28 @@ FaultCounterSet& FaultCounters() {
   return c;
 }
 
+// Per-opcode accounting: "net.op.<class>.{frames,bytes}".  The cache is
+// keyed by the stable class pointer the classifier returns, so the
+// per-frame cost after the first occurrence of a class is one pointer
+// hash.  Two distinct pointers with equal text resolve to the same
+// registry counters, so the sums stay exact either way.
+struct OpCounterSet {
+  obs::Counter* frames;
+  obs::Counter* bytes;
+};
+
+OpCounterSet& OpCounters(const char* cls) {
+  static std::unordered_map<const char*, OpCounterSet> cache;
+  auto [it, inserted] = cache.try_emplace(cls);
+  if (inserted) {
+    std::string base = "net.op.";
+    base += cls;
+    it->second.frames = obs::Registry::Instance().GetCounter(base + ".frames");
+    it->second.bytes = obs::Registry::Instance().GetCounter(base + ".bytes");
+  }
+  return it->second;
+}
+
 // One counter per circuit close reason, "net.conn.close.<reason>".
 obs::Counter* CloseCounter(CloseReason r) {
   static obs::Counter* c[4] = {
@@ -469,11 +491,30 @@ void Network::SendDgram(HostId from, Port from_port, SocketAddr to,
 
 // --- frame plumbing -----------------------------------------------------
 
+const char* Network::FrameClass(const Frame& f) const {
+  switch (f.kind) {
+    case FrameKind::kSyn: return "ctl.syn";
+    case FrameKind::kSynAck: return "ctl.synack";
+    case FrameKind::kFin: return "ctl.fin";
+    case FrameKind::kRst: return "ctl.rst";
+    case FrameKind::kDgram: return "dgram";
+    case FrameKind::kData: return classify_ ? classify_(f.payload) : "data";
+  }
+  return "data";
+}
+
+void Network::CountOpFrame(const Frame& f, size_t wire_bytes) {
+  OpCounterSet& c = OpCounters(FrameClass(f));
+  c.frames->Inc();
+  if (wire_bytes > 0) c.bytes->Inc(wire_bytes);
+}
+
 void Network::SendFrame(Frame f) {
   ++stats_.frames_sent;
   stats_.bytes_sent += f.payload.size() + kFrameHeaderBytes;
   Counters().frames_sent->Inc();
   Counters().bytes_sent->Inc(f.payload.size() + kFrameHeaderBytes);
+  CountOpFrame(f, f.payload.size() + kFrameHeaderBytes);
   auto path = Route(f.src.host, f.dst.host);
   if (!path) {
     ++stats_.frames_dropped;
@@ -538,10 +579,13 @@ void Network::ForwardFrame(Frame f) {
     if (link->faults.duplicate > 0 && rng.Chance(link->faults.duplicate)) {
       // The duplicate is a real extra frame: it occupies the wire and is
       // counted as sent, so `sent >= delivered + dropped` still holds.
+      // Mirrored in the per-opcode accounting (frame but no bytes, like
+      // the totals) so net.op.* keeps summing to net.frames.sent.
       ++stats_.frames_sent;
       ++stats_.faults_duplicated;
       Counters().frames_sent->Inc();
       FaultCounters().duplicated->Inc();
+      CountOpFrame(f, 0);
       TransmitOnLink(*link, u, v, f);
     }
   }

@@ -200,6 +200,18 @@ class Network {
   sim::Simulator& simulator() { return sim_; }
   const NetworkParams& params() const { return params_; }
 
+  // Per-opcode wire accounting.  Every frame put on the wire increments
+  // "net.op.<class>.frames" / "net.op.<class>.bytes" alongside the
+  // net.frames.sent / net.bytes.sent totals, so the totals decompose
+  // exactly by opcode.  Control frames and datagrams classify here by
+  // frame kind ("ctl.syn", "dgram", ...); data payloads are opaque to
+  // this layer, so their class comes from the installed classifier
+  // (core::Cluster installs core::ClassifyWireFrame) — "data" when none
+  // is installed.  The returned pointer must be stable (a literal or a
+  // name-table entry): it keys the counter cache.
+  using PayloadClassFn = const char* (*)(const std::vector<uint8_t>& payload);
+  void set_payload_classifier(PayloadClassFn fn) { classify_ = fn; }
+
  private:
   struct HostRec {
     std::string name;
@@ -250,6 +262,12 @@ class Network {
   };
 
   uint64_t LinkKey(HostId a, HostId b) const;
+  // Opcode class of a frame (see set_payload_classifier), and the
+  // "sent" side of the per-opcode accounting.  `wire_bytes` is 0 for a
+  // chaos-duplicated copy, which (like the totals) counts the extra
+  // frame but no extra bytes.
+  const char* FrameClass(const Frame& f) const;
+  void CountOpFrame(const Frame& f, size_t wire_bytes);
   LinkRec* FindLink(HostId a, HostId b);
   const LinkRec* FindLinkConst(HostId a, HostId b) const;
   std::optional<std::vector<HostId>> Route(HostId from, HostId to) const;
@@ -277,6 +295,7 @@ class Network {
   std::unordered_map<HostId, Port> next_ephemeral_;
   ConnId next_conn_id_ = 1;
   NetStats stats_;
+  PayloadClassFn classify_ = nullptr;
 };
 
 }  // namespace ppm::net

@@ -68,6 +68,13 @@ void Histogram::Observe(double v) {
   if (count_ == 0 || v > max_) max_ = v;
   ++count_;
   sum_ += v;
+  // At or beyond the top bucket's upper edge: count as overflow rather
+  // than silently clamping into the 9e12 bucket, symmetric with
+  // underflow below.  BucketIndex itself keeps its clamping contract.
+  if (v >= Pow10(kMaxDecade + 1)) {
+    ++overflow_;
+    return;
+  }
   int idx = BucketIndex(v);
   if (idx < 0) {
     ++underflow_;
@@ -190,6 +197,8 @@ std::string Registry::DumpJson() const {
     AppendNumber(out, h->Percentile(99));
     out += ",\"underflow\":";
     AppendNumber(out, static_cast<double>(h->underflow()));
+    out += ",\"overflow\":";
+    AppendNumber(out, static_cast<double>(h->overflow()));
     out += ",\"buckets\":[";
     bool bfirst = true;
     for (const Histogram::Bucket& b : h->NonZeroBuckets()) {

@@ -49,10 +49,12 @@ class Gauge {
 
 // Decimal log-linear histogram: decades 1e-3 .. 1e12, nine linear
 // sub-buckets per decade (lower bound digit*10^d), 144 buckets total.
-// Values <= 0 land in a separate underflow bucket; values outside the
-// decade range clamp to the first/last bucket.  The scheme is fixed (no
-// per-histogram configuration) so every dump is comparable and the
-// bucket math is trivially testable.
+// Values <= 0 land in a separate underflow bucket; values at or beyond
+// the top bucket's upper edge (1e13) land in a symmetric overflow
+// bucket.  Within the decade range, BucketIndex clamps small values to
+// the first bucket.  The scheme is fixed (no per-histogram
+// configuration) so every dump is comparable and the bucket math is
+// trivially testable.
 class Histogram {
  public:
   static constexpr int kMinDecade = -3;
@@ -68,6 +70,7 @@ class Histogram {
   double max() const { return count_ ? max_ : 0; }
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0; }
   uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
 
   // Lower-bound estimate: the lower edge of the bucket holding the
   // p-th percentile observation (p in [0,100]).  Deterministic, which
@@ -90,6 +93,7 @@ class Histogram {
   friend class Registry;
   std::array<uint64_t, kBucketCount> buckets_{};
   uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
   uint64_t count_ = 0;
   double sum_ = 0;
   double min_ = 0;

@@ -1,0 +1,188 @@
+#include "obs/prof.h"
+
+namespace ppm::obs::prof {
+
+thread_local Scope* Scope::tls_current = nullptr;
+
+namespace {
+
+void AtomicMin(std::atomic<uint64_t>& slot, uint64_t v) {
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>& slot, uint64_t v) {
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+// --- Site ------------------------------------------------------------
+
+void Site::AddSample(uint64_t dur_ns, uint64_t child_ns, const Site* parent) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(dur_ns, std::memory_order_relaxed);
+  child_ns_.fetch_add(child_ns, std::memory_order_relaxed);
+  AtomicMin(min_ns_, dur_ns);
+  AtomicMax(max_ns_, dur_ns);
+  for (size_t i = 0; i < kEdgeSlots; ++i) {
+    Edge& e = edges_[i];
+    if (!e.claimed.load(std::memory_order_acquire)) {
+      // Claim the slot for this parent; losing the race just means
+      // re-inspecting the slot the winner claimed.
+      bool expected = false;
+      if (e.claimed.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+        e.parent.store(parent, std::memory_order_release);
+      }
+    }
+    if (e.parent.load(std::memory_order_acquire) == parent) {
+      e.count.fetch_add(1, std::memory_order_relaxed);
+      e.total_ns.fetch_add(dur_ns, std::memory_order_relaxed);
+      return;
+    }
+  }
+  overflow_edge_.count.fetch_add(1, std::memory_order_relaxed);
+  overflow_edge_.total_ns.fetch_add(dur_ns, std::memory_order_relaxed);
+}
+
+void Site::ResetStats() {
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+  min_ns_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+  child_ns_.store(0, std::memory_order_relaxed);
+  for (Edge& e : edges_) {
+    e.count.store(0, std::memory_order_relaxed);
+    e.total_ns.store(0, std::memory_order_relaxed);
+    e.parent.store(nullptr, std::memory_order_relaxed);
+    e.claimed.store(false, std::memory_order_release);
+  }
+  overflow_edge_.count.store(0, std::memory_order_relaxed);
+  overflow_edge_.total_ns.store(0, std::memory_order_relaxed);
+}
+
+// --- Scope -----------------------------------------------------------
+
+Scope::~Scope() {
+  auto end = std::chrono::steady_clock::now();
+  auto dur = std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_);
+  uint64_t dur_ns = dur.count() > 0 ? static_cast<uint64_t>(dur.count()) : 0;
+  tls_current = parent_;
+  site_->AddSample(dur_ns, child_ns_, parent_ ? parent_->site_ : nullptr);
+  if (parent_ != nullptr) parent_->child_ns_ += dur_ns;
+  ProfRegistry& reg = ProfRegistry::Instance();
+  if (reg.timeline_active()) {
+    uint32_t depth = 0;
+    for (Scope* s = parent_; s != nullptr; s = s->parent_) ++depth;
+    reg.RecordTimelineSpan(site_, start_, end, depth);
+  }
+}
+
+// --- ProfRegistry ----------------------------------------------------
+
+ProfRegistry& ProfRegistry::Instance() {
+  static ProfRegistry* registry = new ProfRegistry();  // never destroyed
+  return *registry;
+}
+
+Site* ProfRegistry::GetSite(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = sites_[name];
+  if (!slot) slot.reset(new Site(name));
+  return slot.get();
+}
+
+const Site* ProfRegistry::FindSite(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(name);
+  return it == sites_.end() ? nullptr : it->second.get();
+}
+
+size_t ProfRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sites_.size();
+}
+
+std::vector<SiteSnapshot> ProfRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SiteSnapshot> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) {
+    SiteSnapshot s;
+    s.name = name;
+    s.count = site->count_.load(std::memory_order_relaxed);
+    s.total_ns = site->total_ns_.load(std::memory_order_relaxed);
+    uint64_t mn = site->min_ns_.load(std::memory_order_relaxed);
+    s.min_ns = mn == UINT64_MAX ? 0 : mn;
+    s.max_ns = site->max_ns_.load(std::memory_order_relaxed);
+    s.child_ns = site->child_ns_.load(std::memory_order_relaxed);
+    auto add_edge = [&s](const Site::Edge& e, const std::string& label) {
+      uint64_t n = e.count.load(std::memory_order_relaxed);
+      if (n == 0) return;
+      EdgeSnapshot es;
+      es.parent = label;
+      es.count = n;
+      es.total_ns = e.total_ns.load(std::memory_order_relaxed);
+      s.edges.push_back(std::move(es));
+    };
+    for (const Site::Edge& e : site->edges_) {
+      if (!e.claimed.load(std::memory_order_acquire)) continue;
+      const Site* p = e.parent.load(std::memory_order_acquire);
+      add_edge(e, p == nullptr ? std::string() : p->name());
+    }
+    add_edge(site->overflow_edge_, "(other)");
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void ProfRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, site] : sites_) site->ResetStats();
+  timeline_.clear();
+  timeline_dropped_ = 0;
+}
+
+void ProfRegistry::StartTimeline(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  timeline_.clear();
+  timeline_.reserve(capacity);
+  timeline_capacity_ = capacity;
+  timeline_dropped_ = 0;
+  timeline_epoch_ = std::chrono::steady_clock::now();
+  timeline_on_.store(capacity > 0, std::memory_order_release);
+}
+
+std::vector<TimelineSpan> ProfRegistry::StopTimeline() {
+  timeline_on_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::move(timeline_);
+}
+
+void ProfRegistry::RecordTimelineSpan(const Site* site,
+                                      std::chrono::steady_clock::time_point start,
+                                      std::chrono::steady_clock::time_point end,
+                                      uint32_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (timeline_.size() >= timeline_capacity_) {
+    ++timeline_dropped_;
+    return;
+  }
+  if (start < timeline_epoch_) start = timeline_epoch_;
+  if (end < start) end = start;
+  TimelineSpan span;
+  span.site = site;
+  span.start_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(start - timeline_epoch_)
+          .count());
+  span.dur_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
+  span.depth = depth;
+  timeline_.push_back(span);
+}
+
+}  // namespace ppm::obs::prof

@@ -1,0 +1,202 @@
+// prof.h — the wall-clock hot-path profiler (ppmprof's data source).
+//
+// Everything else in obs/ is denominated in *virtual* time; ROADMAP
+// item 2 ("millions of events/sec wall-clock") needs the other clock.
+// PPM_PROF_SCOPE("name") opens a scoped span over steady_clock; spans
+// accumulate into a process-wide flat registry of Sites holding
+// count/total/min/max nanoseconds plus the time spent in *child* spans,
+// so self (exclusive) time falls out as total - child.  A thread-local
+// stack of open scopes provides the parent links, and each Site keeps a
+// small parent->edge table so a top-down (caller tree) view can be
+// reconstructed offline by tools/ppmprof.
+//
+// Cost model: one steady_clock read at open, one at close, and a handful
+// of relaxed atomic adds — no allocation, no locking, no formatting on
+// the hot path.  Site lookup happens once per call site (function-local
+// static) or once per dynamic name (caller-cached pointer).
+//
+// Compile-out: building with -DPPM_PROFILE=OFF (which defines
+// PPM_PROFILE_DISABLED) turns PPM_PROF_SCOPE into `(void)0` — zero code
+// on the hot path.  The registry API itself stays compiled in both
+// modes so report tooling links unconditionally; it simply sees no data.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#if defined(PPM_PROFILE_DISABLED)
+#define PPM_PROF_ENABLED 0
+#else
+#define PPM_PROF_ENABLED 1
+#endif
+
+namespace ppm::obs::prof {
+
+class Site;
+
+// One caller edge of a site, as captured by Snapshot().  `parent` is the
+// enclosing span's site name, "" when the span opened with no enclosing
+// span (a root), "(other)" for callers beyond the fixed edge table.
+struct EdgeSnapshot {
+  std::string parent;
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+};
+
+// Point-in-time copy of one site's accumulators.
+struct SiteSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t min_ns = 0;
+  uint64_t max_ns = 0;
+  uint64_t child_ns = 0;  // wall time spent inside nested spans
+  std::vector<EdgeSnapshot> edges;
+
+  // Exclusive (self) time: total minus nested spans.
+  uint64_t self_ns() const { return total_ns >= child_ns ? total_ns - child_ns : 0; }
+};
+
+// One captured span occurrence (timeline mode only; see
+// ProfRegistry::StartTimeline).  Times are wall nanoseconds relative to
+// the capture epoch.
+struct TimelineSpan {
+  const Site* site = nullptr;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint32_t depth = 0;  // open scopes above this one when it closed
+};
+
+// A named accumulation point.  Sites are created by the registry, never
+// destroyed, and safe to hammer from any thread: the accumulators are
+// relaxed atomics and the edge table is a fixed array claimed by CAS.
+class Site {
+ public:
+  const std::string& name() const { return name_; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t total_ns() const { return total_ns_.load(std::memory_order_relaxed); }
+
+  // Folds one closed span into the accumulators.  `parent` is the site
+  // of the enclosing open span (nullptr = root).
+  void AddSample(uint64_t dur_ns, uint64_t child_ns, const Site* parent);
+
+ private:
+  friend class ProfRegistry;
+  explicit Site(std::string name) : name_(std::move(name)) {}
+  void ResetStats();
+
+  // Distinct parents per site are few (typically 1-3); kEdgeSlots slots
+  // are claimed first-come by CAS and everything past them lands in one
+  // shared overflow edge reported as "(other)".
+  static constexpr size_t kEdgeSlots = 8;
+  struct Edge {
+    std::atomic<const Site*> parent{nullptr};
+    std::atomic<bool> claimed{false};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> total_ns{0};
+  };
+
+  std::string name_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_ns_{0};
+  std::atomic<uint64_t> min_ns_{UINT64_MAX};
+  std::atomic<uint64_t> max_ns_{0};
+  std::atomic<uint64_t> child_ns_{0};
+  Edge edges_[kEdgeSlots];
+  Edge overflow_edge_;
+};
+
+// Process-wide span registry, the wall-clock sibling of obs::Registry.
+// GetSite resolves a name once into a stable Site*; Reset() zeroes the
+// accumulators but keeps every handle valid (same lifetime contract as
+// the metrics registry).
+class ProfRegistry {
+ public:
+  static ProfRegistry& Instance();
+
+  Site* GetSite(const std::string& name);
+  // nullptr when absent — for tests and exporters.
+  const Site* FindSite(const std::string& name) const;
+
+  std::vector<SiteSnapshot> Snapshot() const;
+  void Reset();
+  size_t size() const;
+
+  // Timeline capture: while active, every closed scope appends one
+  // TimelineSpan (up to `capacity`; later spans are dropped and counted).
+  // Used to merge profiler spans into the trace_export timeline.
+  void StartTimeline(size_t capacity);
+  std::vector<TimelineSpan> StopTimeline();
+  bool timeline_active() const {
+    return timeline_on_.load(std::memory_order_relaxed);
+  }
+  uint64_t timeline_dropped() const { return timeline_dropped_; }
+
+  // Internal: called by Scope's destructor in timeline mode.
+  void RecordTimelineSpan(const Site* site,
+                          std::chrono::steady_clock::time_point start,
+                          std::chrono::steady_clock::time_point end,
+                          uint32_t depth);
+
+ private:
+  ProfRegistry() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Site>> sites_;
+  std::atomic<bool> timeline_on_{false};
+  std::chrono::steady_clock::time_point timeline_epoch_{};
+  size_t timeline_capacity_ = 0;
+  uint64_t timeline_dropped_ = 0;
+  std::vector<TimelineSpan> timeline_;
+};
+
+// RAII span.  Construction pushes onto the thread-local open-scope
+// stack; destruction pops, charges the duration to the site, and adds it
+// to the parent's child time (that is the whole exclusive-time scheme).
+class Scope {
+ public:
+  explicit Scope(Site* site) noexcept
+      : site_(site), parent_(tls_current), start_(std::chrono::steady_clock::now()) {
+    tls_current = this;
+  }
+  ~Scope();
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+  static Scope* Current() { return tls_current; }
+
+ private:
+  Site* site_;
+  Scope* parent_;
+  std::chrono::steady_clock::time_point start_;
+  uint64_t child_ns_ = 0;
+  static thread_local Scope* tls_current;
+};
+
+}  // namespace ppm::obs::prof
+
+#define PPM_PROF_CONCAT_(a, b) a##b
+#define PPM_PROF_CONCAT(a, b) PPM_PROF_CONCAT_(a, b)
+
+#if PPM_PROF_ENABLED
+// Opens a span named `name` (a string literal or std::string; resolved
+// to a Site* once per call site) covering the rest of the block.
+#define PPM_PROF_SCOPE(name)                                                 \
+  static ::ppm::obs::prof::Site* PPM_PROF_CONCAT(ppm_prof_site_, __LINE__) = \
+      ::ppm::obs::prof::ProfRegistry::Instance().GetSite(name);              \
+  ::ppm::obs::prof::Scope PPM_PROF_CONCAT(ppm_prof_scope_, __LINE__)(        \
+      PPM_PROF_CONCAT(ppm_prof_site_, __LINE__))
+// Opens a span on an already-resolved Site* (for dynamic names whose
+// lookup the caller caches, e.g. the simulator's per-label sites).
+#define PPM_PROF_SCOPE_SITE(site) \
+  ::ppm::obs::prof::Scope PPM_PROF_CONCAT(ppm_prof_scope_, __LINE__)(site)
+#else
+#define PPM_PROF_SCOPE(name) static_cast<void>(0)
+#define PPM_PROF_SCOPE_SITE(site) static_cast<void>(0)
+#endif

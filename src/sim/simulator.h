@@ -28,6 +28,10 @@ class Counter;
 class Gauge;
 }  // namespace ppm::obs
 
+namespace ppm::obs::prof {
+class Site;
+}  // namespace ppm::obs::prof
+
 namespace ppm::sim {
 
 using EventFn = std::function<void()>;
@@ -89,10 +93,17 @@ class Simulator {
   };
 
   bool PopNext(Event& out);
+  // Runs the event's handler, wrapped in a "sim.dispatch.<label>"
+  // profiler span when the profiler is compiled in.
+  void DispatchEvent(const Event& ev);
   // Bumps the per-label fire counter ("sim.events.<label>") and the
   // queue-depth gauge.  Labels are string literals, so the cache is
   // keyed by pointer — no hashing of the text on the hot path.
   void CountFire(const char* label);
+  // Profiler site "sim.dispatch.<label>" for an event label, cached by
+  // pointer like the counters.  Only called when the profiler is
+  // compiled in; defined unconditionally so the header stays identical.
+  obs::prof::Site* DispatchSite(const char* label);
 
   SimTime now_ = 0;
   uint64_t seq_ = 0;
@@ -104,6 +115,7 @@ class Simulator {
   obs::Counter* fired_counter_ = nullptr;
   obs::Gauge* queue_gauge_ = nullptr;
   std::unordered_map<const char*, obs::Counter*> label_counters_;
+  std::unordered_map<const char*, obs::prof::Site*> label_sites_;
 };
 
 }  // namespace ppm::sim

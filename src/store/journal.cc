@@ -1,6 +1,7 @@
 #include "store/journal.h"
 
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "util/bytes.h"
 
 namespace ppm::store {
@@ -41,6 +42,7 @@ Journal::Journal(host::Disk disk, std::string name, uint32_t group_commit)
     : disk_(disk), name_(std::move(name)), group_commit_(group_commit ? group_commit : 1) {}
 
 bool Journal::Append(const std::vector<uint8_t>& payload) {
+  PPM_PROF_SCOPE("store.journal.append");
   util::ByteWriter w;
   w.U32(static_cast<uint32_t>(payload.size()));
   w.U32(util::Crc32(payload));
@@ -55,6 +57,7 @@ bool Journal::Append(const std::vector<uint8_t>& payload) {
 }
 
 size_t Journal::Sync() {
+  PPM_PROF_SCOPE("store.journal.sync");
   pending_ = 0;
   size_t flushed = disk_.Sync(name_);
   Metrics().fsyncs->Inc();
@@ -69,6 +72,7 @@ void Journal::Reset() {
 }
 
 Journal::Replayed Journal::Replay(const host::Disk& disk, const std::string& name) {
+  PPM_PROF_SCOPE("store.journal.replay");
   Replayed out;
   Metrics().replays->Inc();
   std::optional<std::string> content = disk.Read(name);

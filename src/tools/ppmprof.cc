@@ -1,0 +1,294 @@
+#include "tools/ppmprof.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace ppm::tools {
+
+namespace {
+
+using obs::prof::EdgeSnapshot;
+using obs::prof::SiteSnapshot;
+
+std::string Ms(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+std::string Pct(uint64_t part, uint64_t whole) {
+  char buf[32];
+  if (whole == 0) return "-";
+  std::snprintf(buf, sizeof(buf), "%.1f%%",
+                static_cast<double>(part) / static_cast<double>(whole) * 100.0);
+  return buf;
+}
+
+// One caller->callee edge of the top-down tree, as indexed below.
+struct TreeEdge {
+  std::string child;
+  uint64_t count;
+  uint64_t total_ns;
+};
+
+std::map<std::string, std::vector<TreeEdge>> BuildTree(
+    const std::vector<SiteSnapshot>& sites) {
+  std::map<std::string, std::vector<TreeEdge>> children;
+  for (const SiteSnapshot& s : sites) {
+    for (const EdgeSnapshot& e : s.edges) {
+      children[e.parent].push_back(TreeEdge{s.name, e.count, e.total_ns});
+    }
+  }
+  for (auto& [parent, kids] : children) {
+    std::sort(kids.begin(), kids.end(), [](const TreeEdge& a, const TreeEdge& b) {
+      return a.total_ns > b.total_ns;
+    });
+  }
+  return children;
+}
+
+// The profiler records per-site caller edges, not full call paths, so
+// when a site runs under several parents its children's edges are
+// aggregates across all contexts.  Like gprof, the tree apportions a
+// child edge to each context by the context's share of the child's
+// site-wide total (`scale`) — an estimate in that case, exact when
+// every site has a single caller.
+void RenderNode(std::string& out,
+                const std::map<std::string, std::vector<TreeEdge>>& children,
+                const std::map<std::string, uint64_t>& site_totals,
+                const TreeEdge& edge, double scale, uint64_t parent_ns, int depth,
+                std::set<std::string>& path) {
+  constexpr int kMaxDepth = 16;
+  const uint64_t shown_ns =
+      static_cast<uint64_t>(static_cast<double>(edge.total_ns) * scale);
+  out += std::string(static_cast<size_t>(depth) * 2, ' ');
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-40s %12s ms %10llu x  %s\n",
+                (std::string(edge.child) + (path.count(edge.child) ? " (recursive)" : ""))
+                    .c_str(),
+                Ms(shown_ns).c_str(),
+                static_cast<unsigned long long>(edge.count),
+                parent_ns ? Pct(shown_ns, parent_ns).c_str() : "root");
+  out += buf;
+  if (depth >= kMaxDepth || path.count(edge.child)) return;
+  auto it = children.find(edge.child);
+  if (it == children.end()) return;
+  auto total_it = site_totals.find(edge.child);
+  const uint64_t child_total =
+      total_it != site_totals.end() ? total_it->second : 0;
+  const double child_scale =
+      child_total > 0 ? static_cast<double>(shown_ns) / static_cast<double>(child_total)
+                      : 1.0;
+  path.insert(edge.child);
+  for (const TreeEdge& kid : it->second) {
+    RenderNode(out, children, site_totals, kid, child_scale, shown_ns, depth + 1, path);
+  }
+  path.erase(edge.child);
+}
+
+// Counter values from the registry dump (the registry exposes no
+// iteration API; its JSON dump is the stable enumeration surface).
+std::map<std::string, uint64_t> RegistryCounters() {
+  std::map<std::string, uint64_t> out;
+  auto doc = obs::json::Parse(obs::Registry::Instance().DumpJson());
+  if (!doc || !doc->is_object()) return out;
+  const obs::json::Value* counters = doc->Find("counters");
+  if (!counters || !counters->is_object()) return out;
+  for (const auto& [key, value] : counters->obj) {
+    if (value.is_number()) out[key] = static_cast<uint64_t>(value.number);
+  }
+  return out;
+}
+
+// Splits "net.op.<class>.frames|bytes" keys into per-class rows.
+struct OpRow {
+  uint64_t frames = 0;
+  uint64_t bytes = 0;
+};
+
+std::map<std::string, OpRow> OpRows(const std::map<std::string, uint64_t>& counters) {
+  std::map<std::string, OpRow> rows;
+  const std::string prefix = "net.op.";
+  for (const auto& [key, value] : counters) {
+    if (key.rfind(prefix, 0) != 0) continue;
+    size_t dot = key.rfind('.');
+    std::string cls = key.substr(prefix.size(), dot - prefix.size());
+    std::string measure = key.substr(dot + 1);
+    if (measure == "frames") rows[cls].frames = value;
+    if (measure == "bytes") rows[cls].bytes = value;
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::string RenderProfFlat(const std::vector<SiteSnapshot>& sites, size_t top_n) {
+  std::vector<SiteSnapshot> sorted = sites;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SiteSnapshot& a, const SiteSnapshot& b) {
+              return a.self_ns() > b.self_ns();
+            });
+  uint64_t grand_self = 0;
+  for (const SiteSnapshot& s : sorted) grand_self += s.self_ns();
+  if (top_n != 0 && sorted.size() > top_n) sorted.resize(top_n);
+
+  std::string out = "flat profile (by self time)\n";
+  char buf[200];
+  std::snprintf(buf, sizeof(buf), "%-34s %10s %12s %12s %7s %10s %10s %10s\n", "site",
+                "count", "total ms", "self ms", "self%", "avg ns", "min ns", "max ns");
+  out += buf;
+  for (const SiteSnapshot& s : sorted) {
+    if (s.count == 0) continue;
+    std::snprintf(buf, sizeof(buf), "%-34s %10llu %12s %12s %7s %10llu %10llu %10llu\n",
+                  s.name.c_str(), static_cast<unsigned long long>(s.count),
+                  Ms(s.total_ns).c_str(), Ms(s.self_ns()).c_str(),
+                  Pct(s.self_ns(), grand_self).c_str(),
+                  static_cast<unsigned long long>(s.count ? s.total_ns / s.count : 0),
+                  static_cast<unsigned long long>(s.min_ns),
+                  static_cast<unsigned long long>(s.max_ns));
+    out += buf;
+  }
+  out += "total self time: " + Ms(grand_self) + " ms\n";
+  return out;
+}
+
+std::string RenderProfTopDown(const std::vector<SiteSnapshot>& sites) {
+  auto children = BuildTree(sites);
+  std::string out = "top-down profile (caller tree, by inclusive time)\n";
+  auto roots = children.find("");
+  if (roots == children.end()) {
+    out += "(no root spans)\n";
+    return out;
+  }
+  uint64_t root_ns = 0;
+  for (const TreeEdge& r : roots->second) root_ns += r.total_ns;
+  std::map<std::string, uint64_t> site_totals;
+  for (const SiteSnapshot& s : sites) site_totals[s.name] = s.total_ns;
+  std::set<std::string> path;
+  for (const TreeEdge& root : roots->second) {
+    RenderNode(out, children, site_totals, root, 1.0, root_ns, 0, path);
+  }
+  out += "total root time: " + Ms(root_ns) + " ms\n";
+  return out;
+}
+
+std::string RenderWireAccounting() {
+  auto counters = RegistryCounters();
+  auto rows = OpRows(counters);
+  const uint64_t total_frames = counters.count("net.frames.sent")
+                                    ? counters["net.frames.sent"]
+                                    : 0;
+  const uint64_t total_bytes = counters.count("net.bytes.sent")
+                                   ? counters["net.bytes.sent"]
+                                   : 0;
+
+  std::string out = "per-opcode wire accounting\n";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-20s %12s %14s %8s\n", "opcode class", "frames",
+                "bytes", "bytes%");
+  out += buf;
+  // Biggest byte-consumers first.
+  std::vector<std::pair<std::string, OpRow>> sorted(rows.begin(), rows.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second.bytes > b.second.bytes;
+  });
+  uint64_t sum_frames = 0, sum_bytes = 0;
+  for (const auto& [cls, row] : sorted) {
+    sum_frames += row.frames;
+    sum_bytes += row.bytes;
+    std::snprintf(buf, sizeof(buf), "%-20s %12llu %14llu %8s\n", cls.c_str(),
+                  static_cast<unsigned long long>(row.frames),
+                  static_cast<unsigned long long>(row.bytes),
+                  Pct(row.bytes, total_bytes).c_str());
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%-20s %12llu %14llu %8s\n", "sum",
+                static_cast<unsigned long long>(sum_frames),
+                static_cast<unsigned long long>(sum_bytes),
+                Pct(sum_bytes, total_bytes).c_str());
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "%-20s %12llu %14llu  %s\n", "net totals",
+                static_cast<unsigned long long>(total_frames),
+                static_cast<unsigned long long>(total_bytes),
+                (sum_frames == total_frames && sum_bytes == total_bytes)
+                    ? "(opcode sums match)"
+                    : "(MISMATCH)");
+  out += buf;
+  // The codec's escape-header overhead (inside the payload bytes above).
+  for (const char* key : {"wire.hdr.checksum.bytes", "wire.hdr.trace.bytes"}) {
+    auto it = counters.find(key);
+    if (it == counters.end()) continue;
+    std::snprintf(buf, sizeof(buf), "%-20s %12s %14llu %8s\n", key, "",
+                  static_cast<unsigned long long>(it->second),
+                  Pct(it->second, total_bytes).c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::string RenderProfJson(const std::vector<SiteSnapshot>& sites) {
+  std::string out = "{\"sites\":[";
+  bool first = true;
+  for (const SiteSnapshot& s : sites) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    obs::json::AppendEscaped(out, s.name);
+    out += "\",\"count\":" + std::to_string(s.count);
+    out += ",\"total_ns\":" + std::to_string(s.total_ns);
+    out += ",\"self_ns\":" + std::to_string(s.self_ns());
+    out += ",\"min_ns\":" + std::to_string(s.min_ns);
+    out += ",\"max_ns\":" + std::to_string(s.max_ns);
+    out += ",\"edges\":[";
+    bool efirst = true;
+    for (const EdgeSnapshot& e : s.edges) {
+      if (!efirst) out += ',';
+      efirst = false;
+      out += "{\"parent\":\"";
+      obs::json::AppendEscaped(out, e.parent);
+      out += "\",\"count\":" + std::to_string(e.count);
+      out += ",\"total_ns\":" + std::to_string(e.total_ns);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "],\"wire\":{";
+  auto rows = OpRows(RegistryCounters());
+  first = true;
+  for (const auto& [cls, row] : rows) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    obs::json::AppendEscaped(out, cls);
+    out += "\":{\"frames\":" + std::to_string(row.frames);
+    out += ",\"bytes\":" + std::to_string(row.bytes) + '}';
+  }
+  out += "}}";
+  return out;
+}
+
+uint64_t RootTotalNs(const std::vector<SiteSnapshot>& sites) {
+  uint64_t total = 0;
+  for (const SiteSnapshot& s : sites) {
+    for (const EdgeSnapshot& e : s.edges) {
+      if (e.parent.empty()) total += e.total_ns;
+    }
+  }
+  return total;
+}
+
+std::string RenderProfReport(const std::vector<SiteSnapshot>& sites) {
+  std::string out = RenderProfFlat(sites);
+  out += '\n';
+  out += RenderProfTopDown(sites);
+  out += '\n';
+  out += RenderWireAccounting();
+  return out;
+}
+
+}  // namespace ppm::tools

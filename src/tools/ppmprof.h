@@ -1,0 +1,55 @@
+// ppmprof.h — report rendering for the wall-clock profiler (obs/prof.h).
+//
+// The profiler accumulates raw spans; this library turns a Snapshot()
+// into something a person (or CI artifact diff) can read:
+//
+//   * RenderProfFlat — flat hotspot table sorted by self (exclusive)
+//     time, with count, total/self ms, self %, and avg/min/max ns;
+//   * RenderProfTopDown — caller tree reconstructed from the per-site
+//     parent edges, inclusive time and share-of-parent per node;
+//   * RenderWireAccounting — the per-opcode decomposition of
+//     net.frames.sent / net.bytes.sent from the "net.op.*" counters,
+//     plus the wire codec's escape-header overhead counters;
+//   * RenderProfJson — the same data machine-readable.
+//
+// All renderers are pure functions of their inputs (the wire table reads
+// the metrics registry), so tests can feed synthetic snapshots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/prof.h"
+
+namespace ppm::tools {
+
+// Flat table, most exclusive time first.  `top_n` 0 means all sites.
+std::string RenderProfFlat(const std::vector<obs::prof::SiteSnapshot>& sites,
+                           size_t top_n = 0);
+
+// Caller tree: roots are spans that opened with no enclosing span; each
+// node shows the edge's inclusive time and its share of the parent.
+// Sites reached from several callers have their children apportioned to
+// each context by that context's share of the site total (gprof-style
+// estimate; exact when every site has a single caller).
+std::string RenderProfTopDown(const std::vector<obs::prof::SiteSnapshot>& sites);
+
+// Per-opcode wire table from the current metrics registry, with a
+// trailer line checking that the net.op.* sums reproduce
+// net.frames.sent / net.bytes.sent exactly.
+std::string RenderWireAccounting();
+
+// {"sites":[{name,count,total_ns,self_ns,min_ns,max_ns,
+//            edges:[{parent,count,total_ns}]}],
+//  "wire":{"<class>":{"frames":n,"bytes":n},...}}
+std::string RenderProfJson(const std::vector<obs::prof::SiteSnapshot>& sites);
+
+// Total wall nanoseconds attributed to root spans (edges whose parent is
+// "") — the denominator-side of "ppmprof attributes >= 90% of wall
+// time": compare against a wall-clock measurement of the same window.
+uint64_t RootTotalNs(const std::vector<obs::prof::SiteSnapshot>& sites);
+
+// Convenience: flat + top-down + wire accounting in one text report.
+std::string RenderProfReport(const std::vector<obs::prof::SiteSnapshot>& sites);
+
+}  // namespace ppm::tools

@@ -140,4 +140,21 @@ std::string RenderTimelineWithFlight(const std::vector<obs::SpanRecord>& spans,
   return out;
 }
 
+std::string RenderTimelineWithProf(const std::vector<obs::SpanRecord>& spans,
+                                   const std::vector<obs::prof::TimelineSpan>& prof) {
+  std::string out = RenderTraceTimeline(spans);
+  out += "\nprofiler spans (wall clock, " + std::to_string(prof.size()) + " captured)\n";
+  for (const obs::prof::TimelineSpan& p : prof) {
+    out.append(static_cast<size_t>(p.depth) * 2, ' ');
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3fus  +%.3fus  ",
+                  static_cast<double>(p.start_ns) / 1000.0,
+                  static_cast<double>(p.dur_ns) / 1000.0);
+    out += buf;
+    out += p.site != nullptr ? p.site->name() : "?";
+    out += "\n";
+  }
+  return out;
+}
+
 }  // namespace ppm::tools

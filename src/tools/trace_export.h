@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "obs/flight.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 
 namespace ppm::tools {
@@ -39,5 +40,15 @@ std::string ExportTraceDot(const std::vector<obs::SpanRecord>& spans);
 // causal hops they happened between.
 std::string RenderTimelineWithFlight(const std::vector<obs::SpanRecord>& spans,
                                      const std::vector<obs::FlightRecord>& flight);
+
+// Causal timeline with the profiler's wall-clock spans appended: the
+// virtual-time span tree first (what happened, in simulation order),
+// then a wall-clock section listing each captured profiler span (from
+// ProfRegistry::StartTimeline/StopTimeline) indented by nesting depth.
+// The two clocks are incommensurable — virtual µs vs wall ns — so the
+// sections sit side by side rather than interleaved: the causal tree
+// names the work, the profiler section prices it.
+std::string RenderTimelineWithProf(const std::vector<obs::SpanRecord>& spans,
+                                   const std::vector<obs::prof::TimelineSpan>& prof);
 
 }  // namespace ppm::tools

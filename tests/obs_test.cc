@@ -112,6 +112,39 @@ TEST(HistogramTest, ObserveTracksStatsAndPercentiles) {
   EXPECT_EQ(total, 100u);
 }
 
+TEST(HistogramTest, OverflowCountsSymmetricWithUnderflow) {
+  Histogram h;
+  // The top bucket is [9e12, 1e13): a value inside it is a regular
+  // observation, a value at or past its upper edge is overflow.
+  h.Observe(9e12);
+  EXPECT_EQ(h.overflow(), 0u);
+  h.Observe(1e13);
+  h.Observe(5e14);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.count(), 3u);
+  // Overflow observations still feed the summary stats...
+  EXPECT_DOUBLE_EQ(h.max(), 5e14);
+  // ...but not the buckets; the percentile lower bound past the buckets
+  // is the observed max.
+  uint64_t bucketed = 0;
+  for (const auto& bucket : h.NonZeroBuckets()) bucketed += bucket.count;
+  EXPECT_EQ(bucketed, 1u);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 5e14);
+
+  // The dump carries overflow symmetric with underflow.
+  Registry& reg = Registry::Instance();
+  reg.Reset();
+  reg.GetHistogram("test.overflow.hist")->Observe(2e13);
+  auto parsed = obs::json::Parse(reg.DumpJson());
+  ASSERT_TRUE(parsed.has_value());
+  const obs::json::Value* hv = parsed->Find("histograms")->Find("test.overflow.hist");
+  ASSERT_NE(hv, nullptr);
+  ASSERT_NE(hv->Find("overflow"), nullptr);
+  EXPECT_DOUBLE_EQ(hv->Find("overflow")->number, 1);
+  EXPECT_DOUBLE_EQ(hv->Find("underflow")->number, 0);
+}
+
 // --- JSON dump round-trip --------------------------------------------
 
 TEST(RegistryTest, DumpJsonRoundTrips) {

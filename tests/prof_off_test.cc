@@ -1,0 +1,50 @@
+// prof_off_test — the compile-out contract of obs/prof.h.
+//
+// This TU forces PPM_PROFILE_DISABLED regardless of the build-wide
+// PPM_PROFILE option (the CMake target adds the define; the #ifndef
+// keeps -DPPM_PROFILE=OFF builds from redefining it).  PPM_PROF_SCOPE
+// must expand to nothing: no site registered, no code on the hot path —
+// while the registry API itself stays linked and usable, which is what
+// lets ppmprof tooling build unconditionally.
+#ifndef PPM_PROFILE_DISABLED
+#define PPM_PROFILE_DISABLED
+#endif
+
+#include <gtest/gtest.h>
+
+#include "obs/prof.h"
+
+static_assert(PPM_PROF_ENABLED == 0,
+              "PPM_PROFILE_DISABLED must compile the scope macros out");
+
+namespace ppm {
+namespace {
+
+TEST(ProfOffTest, ScopeMacroExpandsToNothing) {
+  {
+    // With the profiler compiled out this is a plain (void)0 — in
+    // particular it must be valid in expression-statement position and
+    // must not register "prof.off.test.unique" anywhere.
+    PPM_PROF_SCOPE("prof.off.test.unique");
+    PPM_PROF_SCOPE_SITE(nullptr);
+  }
+  EXPECT_EQ(obs::prof::ProfRegistry::Instance().FindSite("prof.off.test.unique"),
+            nullptr);
+}
+
+TEST(ProfOffTest, RegistryApiStaysUsableWhenCompiledOut) {
+  // Tooling (ppmprof, trace_export) links against the registry in both
+  // modes; a disabled build just sees no macro-fed data.
+  auto& reg = obs::prof::ProfRegistry::Instance();
+  obs::prof::Site* site = reg.GetSite("prof.off.test.manual");
+  ASSERT_NE(site, nullptr);
+  {
+    obs::prof::Scope s(site);
+  }
+  EXPECT_EQ(site->count(), 1u);
+  reg.Reset();
+  EXPECT_EQ(site->count(), 0u);
+}
+
+}  // namespace
+}  // namespace ppm

@@ -1,0 +1,302 @@
+// prof_test — the wall-clock profiler (obs/prof.h) and its report
+// tooling (tools/ppmprof.h).
+//
+// The timing-sensitive tests assert *identities* of the accounting
+// scheme (parent child-time == sum of child durations, exact to the
+// nanosecond, because both sides fold in the same measured number) —
+// never absolute durations, which would flake under load.  The Scope /
+// Site classes are compiled in both PPM_PROFILE modes, so those tests
+// drive them directly; only the macro-expansion test is mode-dependent.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "bench/bench_common.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/prof.h"
+#include "tools/ppmprof.h"
+#include "tools/trace_export.h"
+
+namespace ppm {
+namespace {
+
+using obs::prof::ProfRegistry;
+using obs::prof::Scope;
+using obs::prof::Site;
+using obs::prof::SiteSnapshot;
+
+// Busy-waits so a span has a measurable, strictly positive duration.
+void SpinFor(std::chrono::nanoseconds d) {
+  auto until = std::chrono::steady_clock::now() + d;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+const SiteSnapshot* FindSnap(const std::vector<SiteSnapshot>& sites,
+                             const std::string& name) {
+  for (const SiteSnapshot& s : sites) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+class ProfTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ProfRegistry::Instance().Reset(); }
+};
+
+TEST_F(ProfTest, NestedScopesAttributeExclusiveTimeExactly) {
+  Site* outer = ProfRegistry::Instance().GetSite("prof.test.outer");
+  Site* inner = ProfRegistry::Instance().GetSite("prof.test.inner");
+  constexpr int kIters = 20;
+  for (int i = 0; i < kIters; ++i) {
+    Scope a(outer);
+    SpinFor(std::chrono::microseconds(5));
+    {
+      Scope b(inner);
+      SpinFor(std::chrono::microseconds(5));
+    }
+  }
+  auto sites = ProfRegistry::Instance().Snapshot();
+  const SiteSnapshot* o = FindSnap(sites, "prof.test.outer");
+  const SiteSnapshot* in = FindSnap(sites, "prof.test.inner");
+  ASSERT_NE(o, nullptr);
+  ASSERT_NE(in, nullptr);
+  EXPECT_EQ(o->count, kIters);
+  EXPECT_EQ(in->count, kIters);
+  // The identity of the exclusive-time scheme: every nanosecond the
+  // inner site accumulated was also added to the outer site's child
+  // time — exactly, because both sides fold in the same measured dur.
+  EXPECT_EQ(o->child_ns, in->total_ns);
+  EXPECT_EQ(o->self_ns(), o->total_ns - in->total_ns);
+  // Both spans spin, so each side's exclusive time is strictly positive.
+  EXPECT_GT(o->self_ns(), 0u);
+  EXPECT_GT(in->self_ns(), 0u);
+  EXPECT_GE(o->total_ns, in->total_ns);
+  // Edges: outer is a root, inner's only caller is outer.
+  ASSERT_EQ(o->edges.size(), 1u);
+  EXPECT_EQ(o->edges[0].parent, "");
+  EXPECT_EQ(o->edges[0].count, kIters);
+  ASSERT_EQ(in->edges.size(), 1u);
+  EXPECT_EQ(in->edges[0].parent, "prof.test.outer");
+  EXPECT_EQ(in->edges[0].count, kIters);
+}
+
+TEST_F(ProfTest, ReentrantScopesKeepSelfAndChildSeparate) {
+  Site* site = ProfRegistry::Instance().GetSite("prof.test.rec");
+  std::function<void(int)> recurse = [&](int depth) {
+    Scope s(site);
+    SpinFor(std::chrono::microseconds(5));
+    if (depth > 1) recurse(depth - 1);
+  };
+  recurse(3);
+  auto sites = ProfRegistry::Instance().Snapshot();
+  const SiteSnapshot* r = FindSnap(sites, "prof.test.rec");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->count, 3u);
+  // The two nested invocations charge the site as its own caller; the
+  // outermost is a root.  child_ns counts the nested spans, so the
+  // site's self time stays below its (double-counted) total.
+  EXPECT_GT(r->child_ns, 0u);
+  EXPECT_LT(r->child_ns, r->total_ns);
+  EXPECT_GT(r->self_ns(), 0u);
+  uint64_t root_count = 0, self_count = 0;
+  for (const auto& e : r->edges) {
+    if (e.parent.empty()) root_count += e.count;
+    if (e.parent == "prof.test.rec") self_count += e.count;
+  }
+  EXPECT_EQ(root_count, 1u);
+  EXPECT_EQ(self_count, 2u);
+}
+
+TEST_F(ProfTest, MinMaxCountAccumulate) {
+  Site* site = ProfRegistry::Instance().GetSite("prof.test.stats");
+  for (int i = 1; i <= 3; ++i) {
+    Scope s(site);
+    SpinFor(std::chrono::microseconds(2 * i));
+  }
+  auto sites = ProfRegistry::Instance().Snapshot();
+  const SiteSnapshot* s = FindSnap(sites, "prof.test.stats");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 3u);
+  EXPECT_GT(s->min_ns, 0u);
+  EXPECT_LE(s->min_ns, s->max_ns);
+  EXPECT_GE(s->total_ns, s->max_ns);
+  EXPECT_EQ(s->child_ns, 0u);
+  EXPECT_EQ(s->self_ns(), s->total_ns);
+}
+
+TEST_F(ProfTest, ResetZeroesStatsButKeepsHandles) {
+  Site* site = ProfRegistry::Instance().GetSite("prof.test.reset");
+  { Scope s(site); }
+  EXPECT_EQ(site->count(), 1u);
+  ProfRegistry::Instance().Reset();
+  EXPECT_EQ(ProfRegistry::Instance().GetSite("prof.test.reset"), site);
+  EXPECT_EQ(site->count(), 0u);
+  { Scope s(site); }
+  EXPECT_EQ(site->count(), 1u);
+}
+
+TEST_F(ProfTest, TimelineCapturesNestingDepthAndOrder) {
+  Site* outer = ProfRegistry::Instance().GetSite("prof.test.tl.outer");
+  Site* inner = ProfRegistry::Instance().GetSite("prof.test.tl.inner");
+  ProfRegistry::Instance().StartTimeline(16);
+  {
+    Scope a(outer);
+    SpinFor(std::chrono::microseconds(2));
+    {
+      Scope b(inner);
+      SpinFor(std::chrono::microseconds(2));
+    }
+  }
+  auto spans = ProfRegistry::Instance().StopTimeline();
+  ASSERT_EQ(spans.size(), 2u);
+  // Spans are recorded at close: inner first, at depth 1.
+  EXPECT_EQ(spans[0].site, inner);
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].site, outer);
+  EXPECT_EQ(spans[1].depth, 0u);
+  EXPECT_GE(spans[0].start_ns, spans[1].start_ns);
+  EXPECT_LE(spans[0].dur_ns, spans[1].dur_ns);
+
+  std::string merged = tools::RenderTimelineWithProf({}, spans);
+  EXPECT_NE(merged.find("prof.test.tl.inner"), std::string::npos);
+  EXPECT_NE(merged.find("prof.test.tl.outer"), std::string::npos);
+  EXPECT_NE(merged.find("2 captured"), std::string::npos);
+}
+
+TEST_F(ProfTest, TimelineDropsBeyondCapacity) {
+  Site* site = ProfRegistry::Instance().GetSite("prof.test.tl.cap");
+  ProfRegistry::Instance().StartTimeline(2);
+  for (int i = 0; i < 5; ++i) {
+    Scope s(site);
+  }
+  EXPECT_EQ(ProfRegistry::Instance().timeline_dropped(), 3u);
+  auto spans = ProfRegistry::Instance().StopTimeline();
+  EXPECT_EQ(spans.size(), 2u);
+}
+
+TEST_F(ProfTest, RenderersOnSyntheticSnapshot) {
+  std::vector<SiteSnapshot> sites(2);
+  sites[0].name = "alpha";
+  sites[0].count = 4;
+  sites[0].total_ns = 4'000'000;
+  sites[0].min_ns = 900'000;
+  sites[0].max_ns = 1'100'000;
+  sites[0].child_ns = 1'000'000;
+  sites[0].edges = {{"", 4, 4'000'000}};
+  sites[1].name = "beta";
+  sites[1].count = 2;
+  sites[1].total_ns = 1'000'000;
+  sites[1].min_ns = 400'000;
+  sites[1].max_ns = 600'000;
+  sites[1].edges = {{"alpha", 2, 1'000'000}};
+
+  std::string flat = tools::RenderProfFlat(sites);
+  // alpha self = 3 ms > beta self = 1 ms: alpha sorts first.
+  EXPECT_LT(flat.find("alpha"), flat.find("beta"));
+
+  std::string tree = tools::RenderProfTopDown(sites);
+  // beta renders as a child of alpha, not a root.
+  EXPECT_NE(tree.find("alpha"), std::string::npos);
+  EXPECT_LT(tree.find("alpha"), tree.find("beta"));
+
+  EXPECT_EQ(tools::RootTotalNs(sites), 4'000'000u);
+
+  std::string json_text = tools::RenderProfJson(sites);
+  auto doc = obs::json::Parse(json_text);
+  ASSERT_TRUE(doc && doc->is_object());
+  const auto* parsed_sites = doc->Find("sites");
+  ASSERT_NE(parsed_sites, nullptr);
+}
+
+#if PPM_PROF_ENABLED
+TEST_F(ProfTest, MacroRegistersAndChargesSite) {
+  {
+    PPM_PROF_SCOPE("prof.test.macro");
+    SpinFor(std::chrono::microseconds(1));
+  }
+  const Site* site = ProfRegistry::Instance().FindSite("prof.test.macro");
+  ASSERT_NE(site, nullptr);
+  EXPECT_EQ(site->count(), 1u);
+  EXPECT_GT(site->total_ns(), 0u);
+}
+#endif
+
+// --- per-opcode wire accounting --------------------------------------
+
+// Sums the net.op.*.frames / net.op.*.bytes counters from a registry
+// dump (the same enumeration path ppmprof uses).
+void SumOpCounters(uint64_t* frames, uint64_t* bytes) {
+  *frames = 0;
+  *bytes = 0;
+  auto doc = obs::json::Parse(obs::Registry::Instance().DumpJson());
+  ASSERT_TRUE(doc && doc->is_object());
+  const auto* counters = doc->Find("counters");
+  ASSERT_TRUE(counters && counters->is_object());
+  for (const auto& [key, value] : counters->obj) {
+    if (key.rfind("net.op.", 0) != 0 || !value.is_number()) continue;
+    if (key.size() > 7 && key.rfind(".frames") == key.size() - 7) {
+      *frames += static_cast<uint64_t>(value.number);
+    } else if (key.rfind(".bytes") == key.size() - 6) {
+      *bytes += static_cast<uint64_t>(value.number);
+    }
+  }
+}
+
+TEST(WireAccountingTest, PerOpcodeCountersPartitionNetTotalsExactly) {
+  obs::Registry::Instance().Reset();
+  core::ClusterConfig config;
+  core::Cluster cluster(config);
+  cluster.AddHost("a");
+  cluster.AddHost("b");
+  cluster.Ethernet({"a", "b"});
+  bench::InstallUser(cluster);
+  cluster.RunFor(sim::Millis(10));
+
+  tools::PpmClient* client = bench::Connect(cluster, "a");
+  ASSERT_NE(client, nullptr);
+  // Traffic across every opcode family: control handshakes (connect),
+  // data (create/signal), the snapshot broadcast, and the 0xF6 STAT
+  // escape.
+  auto g1 = bench::CreateSync(cluster, *client, "a", "worker", {}, true);
+  ASSERT_TRUE(g1.has_value());
+  auto g2 = bench::CreateSync(cluster, *client, "b", "remote-worker", {}, true);
+  ASSERT_TRUE(g2.has_value());
+  EXPECT_TRUE(bench::SignalSync(cluster, *client, *g2, host::Signal::kSigHup));
+  auto snap = bench::SnapshotSync(cluster, *client);
+  ASSERT_TRUE(snap.has_value());
+  std::optional<core::StatResp> stat;
+  client->Stat(false, [&](const core::StatResp& r) { stat = r; });
+  ASSERT_TRUE(bench::RunUntil(cluster, [&] { return stat.has_value(); }));
+  cluster.RunFor(sim::Seconds(2));
+
+  const obs::Counter* frames_sent =
+      obs::Registry::Instance().FindCounter("net.frames.sent");
+  const obs::Counter* bytes_sent =
+      obs::Registry::Instance().FindCounter("net.bytes.sent");
+  ASSERT_NE(frames_sent, nullptr);
+  ASSERT_NE(bytes_sent, nullptr);
+  ASSERT_GT(frames_sent->value(), 0u);
+  ASSERT_GT(bytes_sent->value(), 0u);
+
+  uint64_t op_frames = 0, op_bytes = 0;
+  SumOpCounters(&op_frames, &op_bytes);
+  // The partition is exact, not approximate: every frame the network
+  // sent was classified into exactly one net.op.* class.
+  EXPECT_EQ(op_frames, frames_sent->value());
+  EXPECT_EQ(op_bytes, bytes_sent->value());
+
+  // The classifier saw real kernel-path opcodes, not just "unknown".
+  const obs::Counter* syn = obs::Registry::Instance().FindCounter("net.op.ctl.syn.frames");
+  ASSERT_NE(syn, nullptr);
+  EXPECT_GT(syn->value(), 0u);
+
+  std::string table = tools::RenderWireAccounting();
+  EXPECT_NE(table.find("opcode sums match"), std::string::npos);
+  EXPECT_EQ(table.find("MISMATCH"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppm
