@@ -40,7 +40,8 @@ using ppm::obs::json::Value;
 namespace {
 
 std::map<std::string, double> LoadResults(const fs::path& path, bool* ok,
-                                          std::map<std::string, std::string>* classes) {
+                                          std::map<std::string, std::string>* classes,
+                                          std::string* health_level) {
   *ok = false;
   std::map<std::string, double> out;
   std::ifstream in(path);
@@ -53,6 +54,17 @@ std::map<std::string, double> LoadResults(const fs::path& path, bool* ok,
   if (!results || !results->is_object()) return out;
   for (const auto& [key, value] : results->obj) {
     if (value.is_number()) out[key] = value.number;
+  }
+  // The health verdict of the run that produced the file ("healthy" /
+  // "degraded"); absent in benches that predate health reporting.
+  if (health_level != nullptr) {
+    if (const Value* metrics = doc->Find("metrics"); metrics && metrics->is_object()) {
+      if (const Value* health = metrics->Find("health"); health && health->is_object()) {
+        if (const Value* level = health->Find("level"); level && level->is_string()) {
+          *health_level = level->str;
+        }
+      }
+    }
   }
   // Tolerance classes are read from the BASELINE side only: the
   // committed file is the contract, a fresh run cannot loosen it.
@@ -104,8 +116,9 @@ int main(int argc, char** argv) {
     const std::string name = base_path.filename().string();
     bool base_ok = false, fresh_ok = false;
     std::map<std::string, std::string> classes;
-    auto base = LoadResults(base_path, &base_ok, &classes);
-    auto fresh = LoadResults(fresh_dir / name, &fresh_ok, nullptr);
+    std::string base_health, fresh_health;
+    auto base = LoadResults(base_path, &base_ok, &classes, &base_health);
+    auto fresh = LoadResults(fresh_dir / name, &fresh_ok, nullptr, &fresh_health);
     if (!base_ok) {
       std::printf("%-28s unreadable baseline — skipped\n", name.c_str());
       continue;
@@ -117,6 +130,20 @@ int main(int argc, char** argv) {
       continue;
     }
     std::printf("%s\n", name.c_str());
+    // A committed baseline must describe a healthy run: "degraded" means
+    // the bench tripped a health SLO and the file was committed anyway,
+    // so every later comparison would silently normalize the breach.
+    // The fresh side gates too — a run that newly degrades is a live
+    // regression even when every numeric metric stays inside tolerance.
+    if (base_health == "degraded") {
+      std::printf("  %-34s baseline health is degraded: FAIL (recommit from a healthy run)\n",
+                  "health.level");
+      ++regressions;
+    } else if (fresh_health == "degraded") {
+      std::printf("  %-34s fresh run health is degraded: FAIL (baseline %s)\n",
+                  "health.level", base_health.empty() ? "n/a" : base_health.c_str());
+      ++regressions;
+    }
     for (const auto& [key, base_val] : base) {
       auto it = fresh.find(key);
       if (it == fresh.end()) {

@@ -1,0 +1,89 @@
+// flat_map.h — a sorted-vector map for the LPM's hot lookup tables.
+//
+// The per-LPM tables (circuit → peer, pid → local process, sequence →
+// broadcast run) are small — tens of entries — and are hit on every
+// message and every kernel event.  A node-based std::map pays a heap
+// allocation per entry and a pointer chase per comparison; at these
+// sizes a contiguous sorted vector wins on every operation and keeps
+// the same ordered-iteration semantics the deterministic counters rely
+// on (iteration is in strict key order, exactly like std::map).
+//
+// The interface is the subset of std::map the LPM uses: find / count /
+// erase(key) / erase(iterator) / operator[] / clear / size / empty and
+// ordered iteration with structured bindings.  Unlike std::map, ANY
+// insert or erase invalidates ALL iterators and references — callers
+// must not hold a reference across a mutation of the same map (lpm.cc
+// was audited for this; see DESIGN.md §12).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace ppm::core {
+
+template <typename Key, typename T, typename Compare = std::less<Key>>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, T>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  iterator begin() { return v_.begin(); }
+  iterator end() { return v_.end(); }
+  const_iterator begin() const { return v_.begin(); }
+  const_iterator end() const { return v_.end(); }
+
+  size_t size() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+  void clear() { v_.clear(); }
+
+  iterator find(const Key& k) {
+    iterator it = LowerBound(k);
+    return (it != v_.end() && !cmp_(k, it->first)) ? it : v_.end();
+  }
+  const_iterator find(const Key& k) const {
+    const_iterator it = LowerBound(k);
+    return (it != v_.end() && !cmp_(k, it->first)) ? it : v_.end();
+  }
+  size_t count(const Key& k) const { return find(k) != v_.end() ? 1 : 0; }
+
+  // Inserts a default-constructed value at the sorted position when the
+  // key is absent, exactly like std::map::operator[].
+  T& operator[](const Key& k) {
+    iterator it = LowerBound(k);
+    if (it == v_.end() || cmp_(k, it->first)) {
+      it = v_.insert(it, value_type(k, T()));
+    }
+    return it->second;
+  }
+
+  size_t erase(const Key& k) {
+    iterator it = find(k);
+    if (it == v_.end()) return 0;
+    v_.erase(it);
+    return 1;
+  }
+  iterator erase(iterator it) { return v_.erase(it); }
+
+ private:
+  iterator LowerBound(const Key& k) {
+    return std::lower_bound(v_.begin(), v_.end(), k,
+                            [this](const value_type& e, const Key& key) {
+                              return cmp_(e.first, key);
+                            });
+  }
+  const_iterator LowerBound(const Key& k) const {
+    return std::lower_bound(v_.begin(), v_.end(), k,
+                            [this](const value_type& e, const Key& key) {
+                              return cmp_(e.first, key);
+                            });
+  }
+
+  std::vector<value_type> v_;
+  [[no_unique_address]] Compare cmp_;
+};
+
+}  // namespace ppm::core

@@ -91,8 +91,10 @@ void Lpm::OnStart() {
   // messages, so the serializer is on the hot path exactly as the paper
   // measured in Table 1.
   kernel().RegisterEventSink(uid_, pid(), [this](const host::KernelEvent& ev) {
-    auto wire = SerializeKernelEvent(ev);
-    auto parsed = ParseKernelEvent(wire);
+    // Encode into the reusable buffer and decode in place — the frame
+    // crosses the socket without ever owning a heap allocation.
+    SerializeKernelEvent(ev, kmsg_buf_);
+    auto parsed = ParseKernelEvent(WireView(kmsg_buf_));
     PPM_CHECK_MSG(parsed.has_value(), "kernel event wire corruption");
     OnKernelEvent(*parsed);
   });
@@ -383,7 +385,8 @@ void Lpm::SendMsg(net::ConnId conn, const Msg& msg, const obs::TraceContext& tra
   obs::FlightRecorder::Instance().Record(obs::FlightKind::kFrameSent, host_name(),
                                          MsgTypeName(msg), trace.trace_id,
                                          static_cast<uint64_t>(conn));
-  network().Send(conn, Serialize(msg, trace));
+  Serialize(msg, trace, send_buf_);
+  network().Send(conn, send_buf_.CopyOut());
 }
 
 void Lpm::SendToSibling(net::ConnId conn, Msg msg, sim::SimDuration base_cost,

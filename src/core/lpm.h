@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/broadcast.h"
+#include "core/flat_map.h"
 #include "core/history.h"
 #include "core/recovery.h"
 #include "core/types.h"
@@ -383,17 +384,17 @@ class Lpm : public host::ProcessBody {
 
   bool running_ = false;       // between OnStart and OnShutdown
   bool graceful_exit_ = false;  // distinguishes exit from being killed
-  std::map<net::ConnId, PeerInfo> peers_;
-  std::map<std::string, net::ConnId> siblings_;
+  FlatMap<net::ConnId, PeerInfo> peers_;
+  FlatMap<std::string, net::ConnId> siblings_;
   std::map<std::string, std::vector<std::function<void(std::optional<net::ConnId>)>>>
       sibling_waiters_;
   std::vector<Handler> handlers_;
   std::deque<std::function<void(host::Pid)>> handler_queue_;
-  std::map<uint64_t, PendingForward> pending_;
-  std::map<uint64_t, SnapshotRun> snapshots_;  // keyed by bcast seq
-  std::map<uint64_t, StatRun> stat_runs_;      // keyed by bcast seq
+  FlatMap<uint64_t, PendingForward> pending_;
+  FlatMap<uint64_t, SnapshotRun> snapshots_;  // keyed by bcast seq
+  FlatMap<uint64_t, StatRun> stat_runs_;      // keyed by bcast seq
   uint32_t queue_watermark_ = 0;  // handler queue depth high-watermark
-  std::map<host::Pid, LocalProc> local_procs_;
+  FlatMap<host::Pid, LocalProc> local_procs_;
   std::vector<RusageRecord> exited_stats_;
   BroadcastFilter bcast_filter_;
   EventLog event_log_;
@@ -413,6 +414,12 @@ class Lpm : public host::ProcessBody {
   uint64_t next_req_id_ = 1;
   uint64_t next_bcast_seq_ = 1;
   LpmStats stats_;
+
+  // Reusable encode buffers for the two hot serialization paths: the
+  // kernel socket (112-byte kernel events) and sibling sends.  Cleared,
+  // not reallocated, per message (wire.h §ownership).
+  WireBuffer kmsg_buf_;
+  WireBuffer send_buf_;
 
   // Trace context of the message currently being handled.  OnData fills
   // it before the synchronous dispatch visit, so Handle* entry code may

@@ -47,6 +47,7 @@ struct ProcRecord {
   sim::SimTime start_time = 0;
   sim::SimTime end_time = 0;
   sim::SimDuration cpu_time = 0;
+  bool operator==(const ProcRecord&) const = default;
 };
 
 // Exited-process resource consumption statistics (the second built-in

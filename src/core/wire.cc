@@ -1,5 +1,7 @@
 #include "core/wire.h"
 
+#include <cstring>
+
 #include "obs/metrics.h"
 #include "obs/prof.h"
 #include "util/panic.h"
@@ -50,49 +52,87 @@ std::string ToString(const GPid& g) {
 
 // --- kernel event messages -------------------------------------------------
 
-std::vector<uint8_t> SerializeKernelEvent(const host::KernelEvent& ev) {
-  PPM_PROF_SCOPE("wire.kevent.encode");
-  Metrics().kevent_encoded->Inc();
-  util::ByteWriter w;
-  w.U8(static_cast<uint8_t>(ev.kind));
-  w.I32(ev.pid);
-  w.I32(ev.other);
-  w.U8(static_cast<uint8_t>(ev.sig));
-  w.I32(ev.status);
-  w.U64(ev.at);
-  // Fixed-size detail field: what remains of the 112 bytes.
-  std::string detail = ev.detail;
-  size_t header = w.size() + 4;  // +4 for the detail length prefix
-  size_t room = kKernelEventWireBytes - header;
-  if (detail.size() > room) detail.resize(room);
-  w.Str(detail);
-  w.Pad(kKernelEventWireBytes - w.size());
-  PPM_CHECK(w.size() == kKernelEventWireBytes);
-  return w.Take();
+// Fixed layout of the 112-byte record.  The format is the historical
+// field-by-field little-endian encoding (U8 kind, I32 pid, I32 other,
+// U8 sig, I32 status, U64 at, length-prefixed detail, zero pad); because
+// every offset is a constant the codec reads and writes it directly —
+// no per-field bounds checks on a frame already known to be 112 bytes.
+namespace kevent_layout {
+constexpr size_t kKind = 0;
+constexpr size_t kPid = 1;
+constexpr size_t kOther = 5;
+constexpr size_t kSig = 9;
+constexpr size_t kStatus = 10;
+constexpr size_t kAt = 14;
+constexpr size_t kDetailLen = 22;
+constexpr size_t kDetail = 26;
+constexpr size_t kDetailRoom = kKernelEventWireBytes - kDetail;  // 86
+}  // namespace kevent_layout
+
+namespace {
+
+inline void StoreU32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+inline void StoreU64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+inline uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+inline uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
 }
 
-std::optional<host::KernelEvent> ParseKernelEvent(const std::vector<uint8_t>& bytes) {
+}  // namespace
+
+void SerializeKernelEvent(const host::KernelEvent& ev, WireBuffer& out) {
+  PPM_PROF_SCOPE("wire.kevent.encode");
+  Metrics().kevent_encoded->Inc();
+  namespace L = kevent_layout;
+  uint8_t* p = out.FillZeroed(kKernelEventWireBytes);  // one memset: pad comes free
+  p[L::kKind] = static_cast<uint8_t>(ev.kind);
+  StoreU32(p + L::kPid, static_cast<uint32_t>(ev.pid));
+  StoreU32(p + L::kOther, static_cast<uint32_t>(ev.other));
+  p[L::kSig] = static_cast<uint8_t>(ev.sig);
+  StoreU32(p + L::kStatus, static_cast<uint32_t>(ev.status));
+  StoreU64(p + L::kAt, ev.at);
+  // Fixed-size detail field: what remains of the 112 bytes.  Truncation
+  // is by length — no copy of the detail string is made.
+  const size_t dlen = ev.detail.size() < L::kDetailRoom ? ev.detail.size() : L::kDetailRoom;
+  StoreU32(p + L::kDetailLen, static_cast<uint32_t>(dlen));
+  std::memcpy(p + L::kDetail, ev.detail.data(), dlen);
+  PPM_CHECK(out.size() == kKernelEventWireBytes);
+}
+
+std::vector<uint8_t> SerializeKernelEvent(const host::KernelEvent& ev) {
+  WireBuffer b;
+  SerializeKernelEvent(ev, b);
+  return b.TakeOut();
+}
+
+std::optional<host::KernelEvent> ParseKernelEvent(WireView bytes) {
   PPM_PROF_SCOPE("wire.kevent.decode");
   Metrics().kevent_decoded->Inc();
+  namespace L = kevent_layout;
   if (bytes.size() != kKernelEventWireBytes) return std::nullopt;
-  util::ByteReader r(bytes);
+  const uint8_t* p = bytes.data();
+  const uint8_t kind = p[L::kKind];
+  if (kind > static_cast<uint8_t>(host::KEvent::kIpcRecv)) return std::nullopt;
+  const uint32_t dlen = LoadU32(p + L::kDetailLen);
+  if (dlen > L::kDetailRoom) return std::nullopt;
   host::KernelEvent ev;
-  auto kind = r.U8();
-  auto pid = r.I32();
-  auto other = r.I32();
-  auto sig = r.U8();
-  auto status = r.I32();
-  auto at = r.U64();
-  auto detail = r.Str();
-  if (!kind || !pid || !other || !sig || !status || !at || !detail) return std::nullopt;
-  if (*kind > static_cast<uint8_t>(host::KEvent::kIpcRecv)) return std::nullopt;
-  ev.kind = static_cast<host::KEvent>(*kind);
-  ev.pid = *pid;
-  ev.other = *other;
-  ev.sig = static_cast<host::Signal>(*sig);
-  ev.status = *status;
-  ev.at = *at;
-  ev.detail = *detail;
+  ev.kind = static_cast<host::KEvent>(kind);
+  ev.pid = static_cast<host::Pid>(static_cast<int32_t>(LoadU32(p + L::kPid)));
+  ev.other = static_cast<host::Pid>(static_cast<int32_t>(LoadU32(p + L::kOther)));
+  ev.sig = static_cast<host::Signal>(p[L::kSig]);
+  ev.status = static_cast<int32_t>(LoadU32(p + L::kStatus));
+  ev.at = LoadU64(p + L::kAt);
+  ev.detail.assign(reinterpret_cast<const char*>(p + L::kDetail), dlen);
   return ev;
 }
 
@@ -100,7 +140,7 @@ std::optional<host::KernelEvent> ParseKernelEvent(const std::vector<uint8_t>& by
 
 namespace {
 
-void PutGPid(util::ByteWriter& w, const GPid& g) {
+void PutGPid(WireBuffer& w, const GPid& g) {
   w.Str(g.host);
   w.I32(g.pid);
 }
@@ -115,7 +155,7 @@ std::optional<GPid> GetGPid(util::ByteReader& r) {
   return g;
 }
 
-void PutStrVec(util::ByteWriter& w, const std::vector<std::string>& v) {
+void PutStrVec(WireBuffer& w, const std::vector<std::string>& v) {
   w.U32(static_cast<uint32_t>(v.size()));
   for (const auto& s : v) w.Str(s);
 }
@@ -137,7 +177,7 @@ std::optional<std::vector<std::string>> GetStrVec(util::ByteReader& r) {
   return v;
 }
 
-void PutProcRecord(util::ByteWriter& w, const ProcRecord& rec) {
+void PutProcRecord(WireBuffer& w, const ProcRecord& rec) {
   PutGPid(w, rec.gpid);
   PutGPid(w, rec.logical_parent);
   w.I32(rec.uid);
@@ -174,7 +214,7 @@ std::optional<ProcRecord> GetProcRecord(util::ByteReader& r) {
   return rec;
 }
 
-void PutRusageRecord(util::ByteWriter& w, const RusageRecord& rec) {
+void PutRusageRecord(WireBuffer& w, const RusageRecord& rec) {
   PutGPid(w, rec.gpid);
   w.Str(rec.command);
   w.I32(rec.exit_status);
@@ -224,7 +264,7 @@ std::optional<RusageRecord> GetRusageRecord(util::ByteReader& r) {
   return rec;
 }
 
-void PutHistEvent(util::ByteWriter& w, const HistEvent& ev) {
+void PutHistEvent(WireBuffer& w, const HistEvent& ev) {
   w.U64(ev.at);
   w.U8(static_cast<uint8_t>(ev.kind));
   w.I32(ev.pid);
@@ -254,7 +294,7 @@ std::optional<HistEvent> GetHistEvent(util::ByteReader& r) {
   return ev;
 }
 
-void PutTriggerSpec(util::ByteWriter& w, const TriggerSpec& spec) {
+void PutTriggerSpec(WireBuffer& w, const TriggerSpec& spec) {
   w.U8(static_cast<uint8_t>(spec.event_kind));
   w.I32(spec.subject_pid);
   w.U8(static_cast<uint8_t>(spec.action));
@@ -282,7 +322,7 @@ std::optional<TriggerSpec> GetTriggerSpec(util::ByteReader& r) {
   return spec;
 }
 
-void PutLpmStatRecord(util::ByteWriter& w, const LpmStatRecord& rec) {
+void PutLpmStatRecord(WireBuffer& w, const LpmStatRecord& rec) {
   w.Str(rec.host);
   w.I32(rec.lpm_pid);
   w.U8(rec.mode);
@@ -418,7 +458,7 @@ std::optional<LpmStatRecord> GetLpmStatRecord(util::ByteReader& r) {
   return rec;
 }
 
-void PutStatReq(util::ByteWriter& w, const StatReq& m) {
+void PutStatReq(WireBuffer& w, const StatReq& m) {
   w.U64(m.req_id);
   w.Str(m.origin_host);
   w.U64(m.bcast_seq);
@@ -427,7 +467,7 @@ void PutStatReq(util::ByteWriter& w, const StatReq& m) {
   w.Bool(m.dump_flight);
 }
 
-void PutStatResp(util::ByteWriter& w, const StatResp& m) {
+void PutStatResp(WireBuffer& w, const StatResp& m) {
   w.U64(m.req_id);
   w.Str(m.origin_host);
   w.U64(m.bcast_seq);
@@ -441,7 +481,7 @@ void PutStatResp(util::ByteWriter& w, const StatResp& m) {
 
 // --- serialize --------------------------------------------------------------
 
-void EncodeMsg(util::ByteWriter& w, const Msg& msg) {
+void EncodeMsg(WireBuffer& w, const Msg& msg) {
   // STAT frames do not use the variant index as their wire tag: they
   // ride under the 0xF6 escape opcode plus a request/response sub-byte,
   // so pre-STAT decoders reject them instead of misreading.
@@ -616,18 +656,6 @@ uint16_t Fletcher16(const uint8_t* p, size_t n) {
   return static_cast<uint16_t>((hi << 8) | lo);
 }
 
-// Prepends the checksum header to an encoded frame body.
-std::vector<uint8_t> WrapChecksum(const std::vector<uint8_t>& body) {
-  uint16_t ck = Fletcher16(body.data(), body.size());
-  std::vector<uint8_t> out;
-  out.reserve(body.size() + kChecksumHeaderBytes);
-  out.push_back(kChecksumHeaderTag);
-  out.push_back(static_cast<uint8_t>(ck & 0xff));
-  out.push_back(static_cast<uint8_t>(ck >> 8));
-  out.insert(out.end(), body.begin(), body.end());
-  return out;
-}
-
 obs::Counter* CorruptFramesCounter() {
   static obs::Counter* c = obs::Registry::Instance().GetCounter("net.corrupt_frames");
   return c;
@@ -635,28 +663,37 @@ obs::Counter* CorruptFramesCounter() {
 
 }  // namespace
 
-std::vector<uint8_t> Serialize(const Msg& msg) {
+void Serialize(const Msg& msg, const obs::TraceContext& trace, WireBuffer& out) {
   PPM_PROF_SCOPE("wire.encode");
   Metrics().frames_encoded->Inc();
   Metrics().hdr_checksum_bytes->Inc(kChecksumHeaderBytes);
-  util::ByteWriter w;
-  EncodeMsg(w, msg);
-  return WrapChecksum(w.Take());
+  out.Clear();
+  // Checksum header first, with a placeholder checksum patched in after
+  // the body is encoded — one pass, no copy of the frame body.
+  out.U8(kChecksumHeaderTag);
+  out.U16(0);
+  if (trace.valid()) {
+    Metrics().hdr_trace_bytes->Inc(kTraceHeaderBytes);
+    out.U8(kTraceHeaderTag);
+    out.U64(trace.trace_id);
+    out.U64(trace.span_id);
+    out.U64(trace.parent_span);
+  }
+  EncodeMsg(out, msg);
+  uint16_t ck = Fletcher16(out.data() + kChecksumHeaderBytes, out.size() - kChecksumHeaderBytes);
+  out.PatchU16(1, ck);
+}
+
+std::vector<uint8_t> Serialize(const Msg& msg) {
+  WireBuffer b;
+  Serialize(msg, obs::TraceContext{}, b);
+  return b.TakeOut();
 }
 
 std::vector<uint8_t> Serialize(const Msg& msg, const obs::TraceContext& trace) {
-  if (!trace.valid()) return Serialize(msg);
-  PPM_PROF_SCOPE("wire.encode");
-  Metrics().frames_encoded->Inc();
-  Metrics().hdr_checksum_bytes->Inc(kChecksumHeaderBytes);
-  Metrics().hdr_trace_bytes->Inc(kTraceHeaderBytes);
-  util::ByteWriter w;
-  w.U8(kTraceHeaderTag);
-  w.U64(trace.trace_id);
-  w.U64(trace.span_id);
-  w.U64(trace.parent_span);
-  EncodeMsg(w, msg);
-  return WrapChecksum(w.Take());
+  WireBuffer b;
+  Serialize(msg, trace, b);
+  return b.TakeOut();
 }
 
 // --- parse ---------------------------------------------------------------------
@@ -1117,12 +1154,12 @@ std::optional<ProbeAck> ParseProbeAck(util::ByteReader& r) {
 
 }  // namespace
 
-std::optional<Msg> Parse(const std::vector<uint8_t>& bytes) { return Parse(bytes, nullptr); }
+std::optional<Msg> Parse(WireView bytes) { return Parse(bytes, nullptr); }
 
-std::optional<Msg> Parse(const std::vector<uint8_t>& bytes, obs::TraceContext* trace) {
+std::optional<Msg> Parse(WireView bytes, obs::TraceContext* trace) {
   PPM_PROF_SCOPE("wire.decode");
   Metrics().frames_decoded->Inc();
-  util::ByteReader r(bytes);
+  util::ByteReader r(bytes.data(), bytes.size());
   if (trace) *trace = obs::TraceContext{};
   auto tag = r.U8();
   if (!tag) return std::nullopt;
@@ -1207,18 +1244,18 @@ std::optional<Msg> Parse(const std::vector<uint8_t>& bytes, obs::TraceContext* t
 
 const char* MsgTypeName(const Msg& msg) { return kMsgTypeNames[msg.index()]; }
 
-const char* ClassifyWireFrame(const std::vector<uint8_t>& frame) {
+const char* ClassifyWireFrame(const uint8_t* frame, size_t len) {
   size_t pos = 0;
-  if (pos < frame.size() && frame[pos] == kChecksumHeaderTag) {
+  if (pos < len && frame[pos] == kChecksumHeaderTag) {
     pos += kChecksumHeaderBytes;
   }
-  if (pos < frame.size() && frame[pos] == kTraceHeaderTag) {
+  if (pos < len && frame[pos] == kTraceHeaderTag) {
     pos += kTraceHeaderBytes;
   }
-  if (pos >= frame.size()) return "malformed";
+  if (pos >= len) return "malformed";
   const uint8_t tag = frame[pos];
   if (tag == kStatMsgTag) {
-    if (pos + 1 >= frame.size()) return "malformed";
+    if (pos + 1 >= len) return "malformed";
     const uint8_t sub = frame[pos + 1];
     if (sub == kStatReqSub) return kMsgTypeNames[kPlainTagCount];
     if (sub == kStatRespSub) return kMsgTypeNames[kPlainTagCount + 1];

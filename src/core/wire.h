@@ -25,13 +25,106 @@
 
 namespace ppm::core {
 
+// --- zero-copy codec primitives ------------------------------------------
+
+// Caller-owned append-only encode buffer.  The encode hot path writes
+// every frame into one of these instead of minting a fresh
+// std::vector<uint8_t> per frame: Clear() resets the length but keeps
+// the capacity, so a steady-state sender allocates nothing per frame.
+// Fixed-width appends are inline memcpy-sized stores (little-endian,
+// matching util::ByteWriter byte for byte).
+class WireBuffer {
+ public:
+  void Clear() { buf_.clear(); }  // keeps capacity
+  void Reserve(size_t n) { buf_.reserve(n); }
+
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U16(uint16_t v) {
+    uint8_t b[2] = {static_cast<uint8_t>(v), static_cast<uint8_t>(v >> 8)};
+    Append(b, 2);
+  }
+  void U32(uint32_t v) {
+    uint8_t b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<uint8_t>(v >> (8 * i));
+    Append(b, 4);
+  }
+  void U64(uint64_t v) {
+    uint8_t b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<uint8_t>(v >> (8 * i));
+    Append(b, 8);
+  }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Append(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+  void Pad(size_t n) { buf_.insert(buf_.end(), n, 0); }
+
+  // Clears, then sizes the buffer to exactly `n` zero bytes and returns
+  // the mutable base — the fixed-layout fast path for frames whose size
+  // is a compile-time constant (the 112-byte kernel event): one memset,
+  // then direct stores at known offsets.
+  uint8_t* FillZeroed(size_t n) {
+    buf_.assign(n, 0);
+    return buf_.data();
+  }
+
+  // Overwrites two already-written bytes (little-endian) — how the
+  // Fletcher-16 header is patched in after a single encode pass, where
+  // the owning path used to copy the whole body into a fresh vector.
+  void PatchU16(size_t pos, uint16_t v) {
+    buf_[pos] = static_cast<uint8_t>(v);
+    buf_[pos + 1] = static_cast<uint8_t>(v >> 8);
+  }
+
+  const uint8_t* data() const { return buf_.data(); }
+  size_t size() const { return buf_.size(); }
+
+  // An owning copy of the current contents, for sinks that must own
+  // their bytes (net::Network::Send).  One allocation, one memcpy.
+  std::vector<uint8_t> CopyOut() const { return buf_; }
+  // Moves the contents out, leaving the buffer empty (capacity gone);
+  // for one-shot callers of the owning Serialize wrappers.
+  std::vector<uint8_t> TakeOut() { return std::move(buf_); }
+
+ private:
+  void Append(const uint8_t* p, size_t n) { buf_.insert(buf_.end(), p, p + n); }
+
+  std::vector<uint8_t> buf_;
+};
+
+// Non-owning window over an encoded frame.  Parsers decode in place —
+// no copy of the payload is made; only variable-length fields (strings,
+// record vectors) allocate, because the decoded message owns those.
+// The viewed bytes must outlive the Parse call (they need not outlive
+// the returned message).
+class WireView {
+ public:
+  WireView(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+  // Implicit: every existing vector-based call site is a view.
+  WireView(const std::vector<uint8_t>& bytes) : data_(bytes.data()), len_(bytes.size()) {}
+  WireView(const WireBuffer& buf) : data_(buf.data()), len_(buf.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return len_; }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+};
+
 // --- 112-byte kernel event messages (Table 1) ---------------------------
 
 // Fixed wire size of one kernel→LPM event record.
 constexpr size_t kKernelEventWireBytes = 112;
 
+// Zero-copy primary: encodes into `out` (cleared first, capacity kept).
+void SerializeKernelEvent(const host::KernelEvent& ev, WireBuffer& out);
+// Owning convenience wrapper over the same encoder.
 std::vector<uint8_t> SerializeKernelEvent(const host::KernelEvent& ev);
-std::optional<host::KernelEvent> ParseKernelEvent(const std::vector<uint8_t>& bytes);
+std::optional<host::KernelEvent> ParseKernelEvent(WireView bytes);
 
 // --- channel establishment ------------------------------------------------
 
@@ -44,6 +137,7 @@ struct HelloSibling {
   int32_t origin_lpm_pid = -1;
   uint64_t token = 0;      // the *target* LPM's session token
   std::string ccs_host;    // current crash coordinator site
+  bool operator==(const HelloSibling&) const = default;
 };
 
 // Tool → local LPM.  Tools are local by definition; the uid would be
@@ -52,16 +146,19 @@ struct HelloTool {
   std::string user;
   int32_t uid = -1;
   std::string tool_name;
+  bool operator==(const HelloTool&) const = default;
 };
 
 struct HelloAck {
   std::string host;
   int32_t lpm_pid = -1;
   std::string ccs_host;
+  bool operator==(const HelloAck&) const = default;
 };
 
 struct HelloReject {
   std::string reason;
+  bool operator==(const HelloReject&) const = default;
 };
 
 // --- requests / responses ----------------------------------------------------
@@ -75,6 +172,7 @@ struct CreateReq {
   GPid logical_parent;   // may be invalid: new computation root
   bool initially_running = true;
   uint32_t trace_mask = host::kTraceAll;
+  bool operator==(const CreateReq&) const = default;
 };
 
 struct CreateResp {
@@ -82,6 +180,7 @@ struct CreateResp {
   bool ok = false;
   std::string error;
   GPid gpid;
+  bool operator==(const CreateResp&) const = default;
 };
 
 // Deliver a signal to any process of the user, anywhere — "with no
@@ -90,12 +189,14 @@ struct SignalReq {
   uint64_t req_id = 0;
   GPid target;
   host::Signal sig = host::Signal::kSigTerm;
+  bool operator==(const SignalReq&) const = default;
 };
 
 struct SignalResp {
   uint64_t req_id = 0;
   bool ok = false;
   std::string error;
+  bool operator==(const SignalResp&) const = default;
 };
 
 // Distributed snapshot of the genealogical process structure.  Broadcast
@@ -106,6 +207,7 @@ struct SnapshotReq {
   uint64_t bcast_seq = 0;       // per-origin sequence number
   uint64_t signed_ts = 0;       // signed timestamp naming the origin
   std::vector<std::string> route;  // hosts traversed, origin first
+  bool operator==(const SnapshotReq&) const = default;
 };
 
 struct SnapshotResp {
@@ -117,12 +219,14 @@ struct SnapshotResp {
   std::vector<std::string> route;         // reverse route for the way back
   size_t route_index = 0;                 // next hop on the way back
   std::vector<ProcRecord> records;
+  bool operator==(const SnapshotResp&) const = default;
 };
 
 // Exited-process resource consumption statistics for one host.
 struct RusageReq {
   uint64_t req_id = 0;
   std::string target_host;
+  bool operator==(const RusageReq&) const = default;
 };
 
 struct RusageResp {
@@ -130,6 +234,7 @@ struct RusageResp {
   bool ok = false;
   std::string error;
   std::vector<RusageRecord> records;
+  bool operator==(const RusageResp&) const = default;
 };
 
 // Adopt an already-running process (and its descendants).
@@ -137,6 +242,7 @@ struct AdoptReq {
   uint64_t req_id = 0;
   GPid target;
   uint32_t trace_mask = host::kTraceAll;
+  bool operator==(const AdoptReq&) const = default;
 };
 
 struct AdoptResp {
@@ -144,6 +250,7 @@ struct AdoptResp {
   bool ok = false;
   std::string error;
   std::vector<int32_t> adopted_pids;
+  bool operator==(const AdoptResp&) const = default;
 };
 
 // Adjust event-tracing granularity on an adopted process.
@@ -151,12 +258,14 @@ struct TraceReq {
   uint64_t req_id = 0;
   GPid target;
   uint32_t trace_mask = 0;
+  bool operator==(const TraceReq&) const = default;
 };
 
 struct TraceResp {
   uint64_t req_id = 0;
   bool ok = false;
   std::string error;
+  bool operator==(const TraceResp&) const = default;
 };
 
 // Query the event history kept by the LPM on `target_host`.
@@ -165,6 +274,7 @@ struct HistoryReq {
   std::string target_host;
   int32_t pid_filter = -1;  // -1: all processes
   uint32_t max_events = 0;  // 0: no limit
+  bool operator==(const HistoryReq&) const = default;
 };
 
 struct HistoryResp {
@@ -172,6 +282,7 @@ struct HistoryResp {
   bool ok = false;
   std::string error;
   std::vector<HistEvent> events;
+  bool operator==(const HistoryResp&) const = default;
 };
 
 // Install a history-dependent trigger at the LPM on `target_host`.
@@ -179,6 +290,7 @@ struct TriggerReq {
   uint64_t req_id = 0;
   std::string target_host;
   TriggerSpec spec;
+  bool operator==(const TriggerReq&) const = default;
 };
 
 struct TriggerResp {
@@ -186,6 +298,7 @@ struct TriggerResp {
   bool ok = false;
   std::string error;
   uint64_t trigger_id = 0;
+  bool operator==(const TriggerResp&) const = default;
 };
 
 // Open files / file descriptors of one process (the "tool for displaying
@@ -194,11 +307,13 @@ struct FileRecord {
   int32_t fd = -1;
   std::string path;
   std::string mode;
+  bool operator==(const FileRecord&) const = default;
 };
 
 struct FilesReq {
   uint64_t req_id = 0;
   GPid target;
+  bool operator==(const FilesReq&) const = default;
 };
 
 struct FilesResp {
@@ -206,6 +321,7 @@ struct FilesResp {
   bool ok = false;
   std::string error;
   std::vector<FileRecord> files;
+  bool operator==(const FilesResp&) const = default;
 };
 
 // Migrate a process to another host (our implementation of the paper's
@@ -218,6 +334,7 @@ struct MigrateReq {
   uint64_t req_id = 0;
   GPid target;
   std::string dest_host;
+  bool operator==(const MigrateReq&) const = default;
 };
 
 struct MigrateResp {
@@ -225,6 +342,7 @@ struct MigrateResp {
   bool ok = false;
   std::string error;
   GPid new_gpid;
+  bool operator==(const MigrateResp&) const = default;
 };
 
 // Notifies the LPM owning `parent_pid` that a process on another host
@@ -235,6 +353,7 @@ struct MigrateResp {
 struct RegisterChild {
   int32_t parent_pid = -1;
   GPid child;
+  bool operator==(const RegisterChild&) const = default;
 };
 
 // --- live introspection (the STAT protocol) ---------------------------------
@@ -310,6 +429,7 @@ struct LpmStatRecord {
   // The genealogy subtree this manager tracks (same records a snapshot
   // would contribute).
   std::vector<ProcRecord> procs;
+  bool operator==(const LpmStatRecord&) const = default;
 };
 
 // Broadcast over the sibling graph exactly like SnapshotReq — same
@@ -323,6 +443,7 @@ struct StatReq {
   uint64_t signed_ts = 0;
   std::vector<std::string> route;
   bool dump_flight = false;     // also dump the origin's flight recorder
+  bool operator==(const StatReq&) const = default;
 };
 
 struct StatResp {
@@ -334,6 +455,7 @@ struct StatResp {
   std::vector<std::string> route;
   size_t route_index = 0;
   std::vector<LpmStatRecord> records;
+  bool operator==(const StatResp&) const = default;
 };
 
 // --- recovery control ---------------------------------------------------------
@@ -341,22 +463,26 @@ struct StatResp {
 // Sent to the LPM that should assume the crash-coordinator role.
 struct BecomeCcs {
   std::string requested_by;
+  bool operator==(const BecomeCcs&) const = default;
 };
 
 // CCS change announcement, propagated to siblings.
 struct CcsChanged {
   std::string new_ccs;
+  bool operator==(const CcsChanged&) const = default;
 };
 
 // Lightweight liveness probe over an existing channel.
 struct Probe {
   uint64_t req_id = 0;
+  bool operator==(const Probe&) const = default;
 };
 
 struct ProbeAck {
   uint64_t req_id = 0;
   std::string host;
   bool is_ccs = false;
+  bool operator==(const ProbeAck&) const = default;
 };
 
 // --- the envelope -----------------------------------------------------------
@@ -395,15 +521,24 @@ constexpr uint8_t kStatMsgTag = 0xF6;
 constexpr uint8_t kStatReqSub = 0;
 constexpr uint8_t kStatRespSub = 1;
 
+// Zero-copy primary: encodes the frame (checksum header, optional trace
+// header, body) into `out` in one pass — the buffer is cleared first and
+// its capacity is kept, so a reusing caller pays no per-frame
+// allocation.  Pass an invalid (default) TraceContext for no trace
+// header.  The emitted bytes are identical to the owning wrappers'.
+void Serialize(const Msg& msg, const obs::TraceContext& trace, WireBuffer& out);
+
+// Owning convenience wrappers over the same encoder.
 std::vector<uint8_t> Serialize(const Msg& msg);
 // Prepends the trace header when `trace` is valid; identical to
 // Serialize(msg) otherwise.
 std::vector<uint8_t> Serialize(const Msg& msg, const obs::TraceContext& trace);
 
-std::optional<Msg> Parse(const std::vector<uint8_t>& bytes);
+std::optional<Msg> Parse(WireView bytes);
 // Also surfaces the frame's trace context: *trace is filled from the
 // header when present and zeroed ({}) when not.  Accepts both formats.
-std::optional<Msg> Parse(const std::vector<uint8_t>& bytes, obs::TraceContext* trace);
+// Decodes in place: the viewed bytes are never copied wholesale.
+std::optional<Msg> Parse(WireView bytes, obs::TraceContext* trace);
 
 // Human-readable message type name, for traces and tests.
 const char* MsgTypeName(const Msg& msg);
@@ -415,7 +550,12 @@ const char* MsgTypeName(const Msg& msg);
 // "unknown", truncated frames as "malformed" — the classification is
 // total, so per-opcode frame/byte counters partition the net totals
 // exactly.  Installed into net::Network by core::Cluster as the payload
-// classifier behind the "net.op.<class>.{frames,bytes}" counters.
-const char* ClassifyWireFrame(const std::vector<uint8_t>& frame);
+// classifier behind the "net.op.<class>.{frames,bytes}" counters.  The
+// raw-pointer form matches net::Network::PayloadClassFn, which hands the
+// classifier a view rather than the owning vector.
+const char* ClassifyWireFrame(const uint8_t* frame, size_t len);
+inline const char* ClassifyWireFrame(const std::vector<uint8_t>& frame) {
+  return ClassifyWireFrame(frame.data(), frame.size());
+}
 
 }  // namespace ppm::core

@@ -62,6 +62,7 @@ struct KernelEvent {
   int status = 0;          // exit status for kExit
   sim::SimTime at = 0;     // kernel-side timestamp
   std::string detail;      // path for file events, etc.
+  bool operator==(const KernelEvent&) const = default;
 };
 
 struct KernelStats {

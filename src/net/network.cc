@@ -498,7 +498,8 @@ const char* Network::FrameClass(const Frame& f) const {
     case FrameKind::kFin: return "ctl.fin";
     case FrameKind::kRst: return "ctl.rst";
     case FrameKind::kDgram: return "dgram";
-    case FrameKind::kData: return classify_ ? classify_(f.payload) : "data";
+    case FrameKind::kData:
+      return classify_ ? classify_(f.payload.data(), f.payload.size()) : "data";
   }
   return "data";
 }

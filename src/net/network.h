@@ -209,7 +209,7 @@ class Network {
   // (core::Cluster installs core::ClassifyWireFrame) — "data" when none
   // is installed.  The returned pointer must be stable (a literal or a
   // name-table entry): it keys the counter cache.
-  using PayloadClassFn = const char* (*)(const std::vector<uint8_t>& payload);
+  using PayloadClassFn = const char* (*)(const uint8_t* payload, size_t len);
   void set_payload_classifier(PayloadClassFn fn) { classify_ = fn; }
 
  private:

@@ -4,18 +4,61 @@ namespace ppm::obs::prof {
 
 thread_local Scope* Scope::tls_current = nullptr;
 
-namespace {
+#if defined(__x86_64__)
+namespace fastclock {
 
-void AtomicMin(std::atomic<uint64_t>& slot, uint64_t v) {
-  uint64_t cur = slot.load(std::memory_order_relaxed);
-  while (v < cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+// One-shot TSC calibration: sample (steady_clock, tsc) at both ends of
+// a ~1ms spin and take the slope.  Preemption inside the window shifts
+// both clocks equally, so the estimate's error is dominated by the two
+// ~30ns steady_clock reads — parts-per-million over a 1ms window.
+double NsPerTickSlow() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const uint64_t c0 = NowTicks();
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now - t0 >= std::chrono::milliseconds(1)) {
+      const uint64_t c1 = NowTicks();
+      const double ns = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(now - t0).count());
+      const double ticks = static_cast<double>(c1 - c0);
+      // A TSC that did not advance (emulators, clamped counters) would
+      // make every span zero; fall back to a 1 tick = 1 ns identity so
+      // the profiler degrades to "wrong scale" rather than "no data".
+      return ticks > 0.0 ? ns / ticks : 1.0;
+    }
   }
 }
 
-void AtomicMax(std::atomic<uint64_t>& slot, uint64_t v) {
-  uint64_t cur = slot.load(std::memory_order_relaxed);
-  while (v > cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
-  }
+}  // namespace fastclock
+
+namespace {
+// Force calibration during static init: the ~1ms spin must not land
+// inside the first live span, where it would inflate every enclosing
+// span's measured duration.
+[[maybe_unused]] const double ppm_tsc_calibrated = fastclock::NsPerTick();
+}  // namespace
+#endif
+
+namespace {
+
+// The accumulator discipline: relaxed load + store instead of lock-
+// prefixed fetch_add.  Every access is still atomic (no torn reads, no
+// UB), but two threads racing on the same site can lose an update —
+// acceptable for statistics, and exact in the single-threaded simulator
+// where every hot span lives.  A locked RMW costs 10-20ns on this
+// class of machine; a span closes with ~7 of these, so the swap is the
+// difference between the profiler being observable and being the
+// bottleneck it is meant to find.
+inline void BumpAdd(std::atomic<uint64_t>& slot, uint64_t v) {
+  slot.store(slot.load(std::memory_order_relaxed) + v, std::memory_order_relaxed);
+}
+
+inline void BumpMin(std::atomic<uint64_t>& slot, uint64_t v) {
+  if (v < slot.load(std::memory_order_relaxed)) slot.store(v, std::memory_order_relaxed);
+}
+
+inline void BumpMax(std::atomic<uint64_t>& slot, uint64_t v) {
+  if (v > slot.load(std::memory_order_relaxed)) slot.store(v, std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -23,16 +66,18 @@ void AtomicMax(std::atomic<uint64_t>& slot, uint64_t v) {
 // --- Site ------------------------------------------------------------
 
 void Site::AddSample(uint64_t dur_ns, uint64_t child_ns, const Site* parent) {
-  count_.fetch_add(1, std::memory_order_relaxed);
-  total_ns_.fetch_add(dur_ns, std::memory_order_relaxed);
-  child_ns_.fetch_add(child_ns, std::memory_order_relaxed);
-  AtomicMin(min_ns_, dur_ns);
-  AtomicMax(max_ns_, dur_ns);
+  BumpAdd(count_, 1);
+  BumpAdd(total_ns_, dur_ns);
+  BumpAdd(child_ns_, child_ns);
+  BumpMin(min_ns_, dur_ns);
+  BumpMax(max_ns_, dur_ns);
   for (size_t i = 0; i < kEdgeSlots; ++i) {
     Edge& e = edges_[i];
     if (!e.claimed.load(std::memory_order_acquire)) {
       // Claim the slot for this parent; losing the race just means
-      // re-inspecting the slot the winner claimed.
+      // re-inspecting the slot the winner claimed.  Slot claims are the
+      // one place that keeps a real CAS: a mis-claimed slot would skew
+      // every later sample, not just drop one.
       bool expected = false;
       if (e.claimed.compare_exchange_strong(expected, true,
                                             std::memory_order_acq_rel)) {
@@ -40,13 +85,13 @@ void Site::AddSample(uint64_t dur_ns, uint64_t child_ns, const Site* parent) {
       }
     }
     if (e.parent.load(std::memory_order_acquire) == parent) {
-      e.count.fetch_add(1, std::memory_order_relaxed);
-      e.total_ns.fetch_add(dur_ns, std::memory_order_relaxed);
+      BumpAdd(e.count, 1);
+      BumpAdd(e.total_ns, dur_ns);
       return;
     }
   }
-  overflow_edge_.count.fetch_add(1, std::memory_order_relaxed);
-  overflow_edge_.total_ns.fetch_add(dur_ns, std::memory_order_relaxed);
+  BumpAdd(overflow_edge_.count, 1);
+  BumpAdd(overflow_edge_.total_ns, dur_ns);
 }
 
 void Site::ResetStats() {
@@ -68,9 +113,10 @@ void Site::ResetStats() {
 // --- Scope -----------------------------------------------------------
 
 Scope::~Scope() {
-  auto end = std::chrono::steady_clock::now();
-  auto dur = std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_);
-  uint64_t dur_ns = dur.count() > 0 ? static_cast<uint64_t>(dur.count()) : 0;
+  const uint64_t end_ticks = fastclock::NowTicks();
+  // end < start only on exotic unsynchronized-TSC migrations; clamp.
+  const uint64_t dur_ns =
+      end_ticks > start_ticks_ ? fastclock::TicksToNs(end_ticks - start_ticks_) : 0;
   tls_current = parent_;
   site_->AddSample(dur_ns, child_ns_, parent_ ? parent_->site_ : nullptr);
   if (parent_ != nullptr) parent_->child_ns_ += dur_ns;
@@ -78,7 +124,7 @@ Scope::~Scope() {
   if (reg.timeline_active()) {
     uint32_t depth = 0;
     for (Scope* s = parent_; s != nullptr; s = s->parent_) ++depth;
-    reg.RecordTimelineSpan(site_, start_, end, depth);
+    reg.RecordTimelineSpan(site_, start_ticks_, end_ticks, depth);
   }
 }
 
@@ -153,7 +199,7 @@ void ProfRegistry::StartTimeline(size_t capacity) {
   timeline_.reserve(capacity);
   timeline_capacity_ = capacity;
   timeline_dropped_ = 0;
-  timeline_epoch_ = std::chrono::steady_clock::now();
+  timeline_epoch_ticks_ = fastclock::NowTicks();
   timeline_on_.store(capacity > 0, std::memory_order_release);
 }
 
@@ -163,24 +209,19 @@ std::vector<TimelineSpan> ProfRegistry::StopTimeline() {
   return std::move(timeline_);
 }
 
-void ProfRegistry::RecordTimelineSpan(const Site* site,
-                                      std::chrono::steady_clock::time_point start,
-                                      std::chrono::steady_clock::time_point end,
-                                      uint32_t depth) {
+void ProfRegistry::RecordTimelineSpan(const Site* site, uint64_t start_ticks,
+                                      uint64_t end_ticks, uint32_t depth) {
   std::lock_guard<std::mutex> lock(mu_);
   if (timeline_.size() >= timeline_capacity_) {
     ++timeline_dropped_;
     return;
   }
-  if (start < timeline_epoch_) start = timeline_epoch_;
-  if (end < start) end = start;
+  if (start_ticks < timeline_epoch_ticks_) start_ticks = timeline_epoch_ticks_;
+  if (end_ticks < start_ticks) end_ticks = start_ticks;
   TimelineSpan span;
   span.site = site;
-  span.start_ns = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(start - timeline_epoch_)
-          .count());
-  span.dur_ns = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
+  span.start_ns = fastclock::TicksToNs(start_ticks - timeline_epoch_ticks_);
+  span.dur_ns = fastclock::TicksToNs(end_ticks - start_ticks);
   span.depth = depth;
   timeline_.push_back(span);
 }

@@ -1,5 +1,8 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "obs/flight.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
@@ -26,6 +29,12 @@ Simulator::~Simulator() {
   obs::HealthMonitor::Instance().set_time_source(nullptr);
 }
 
+Simulator::LabelInfo* Simulator::ResolveLabel(const char* label) {
+  LabelInfo& slot = labels_[label];
+  slot.label = label;
+  return &slot;
+}
+
 EventId Simulator::ScheduleIn(SimDuration delay, EventFn fn, const char* label) {
   if (delay < 0) delay = 0;
   return ScheduleAt(now_ + static_cast<SimTime>(delay), std::move(fn), label);
@@ -35,7 +44,8 @@ EventId Simulator::ScheduleAt(SimTime at, EventFn fn, const char* label) {
   PPM_CHECK(fn != nullptr);
   if (at < now_) at = now_;
   EventId id = next_id_++;
-  queue_.push(Event{at, seq_++, id, std::move(fn), label});
+  heap_.push_back(Event{at, seq_++, id, std::move(fn), ResolveLabel(label)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   queue_gauge_->Set(static_cast<double>(pending_events()));
   return id;
 }
@@ -43,55 +53,71 @@ EventId Simulator::ScheduleAt(SimTime at, EventFn fn, const char* label) {
 bool Simulator::Cancel(EventId id) {
   if (id == kInvalidEventId) return false;
   // Only mark as cancelled if it could still be pending; the set is
-  // cleaned as cancelled events surface at the queue head.
+  // cleaned as cancelled events surface.
   return cancelled_.insert(id).second;
 }
 
-bool Simulator::PopNext(Event& out) {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
+void Simulator::FireEvent(const Event& ev) {
+  // The scheduler's virtual clock advances only when an event actually
+  // fires — cancelled entries never move time.
+  now_ = ev.at;
+  ++fired_;
+  fired_counter_->Inc();
+  queue_gauge_->Set(static_cast<double>(pending_events()));
+  if (ev.info->counter == nullptr) {
+    // First fire of this label: register its counter (and profiler
+    // site).  Scheduled-but-never-fired labels register nothing.
+    const char* base =
+        (ev.info->label != nullptr && ev.info->label[0] != '\0') ? ev.info->label : "unlabeled";
+    ev.info->counter = obs::Registry::Instance().GetCounter(std::string("sim.events.") + base);
+#if PPM_PROF_ENABLED
+    ev.info->site =
+        obs::prof::ProfRegistry::Instance().GetSite(std::string("sim.dispatch.") + base);
+#endif
+  }
+  ev.info->counter->Inc();
+#if PPM_PROF_ENABLED
+  // "sim.dispatch.<label>" wraps the whole handler so ppmprof's
+  // per-event-kind phase breakdown accounts for (nearly) all of Run's
+  // wall time.  Compiled out, the dispatch is exactly `ev.fn()`.
+  PPM_PROF_SCOPE_SITE(ev.info->site);
+#endif
+  ev.fn();
+}
+
+size_t Simulator::RunLoop(SimTime horizon, size_t max_events) {
+  size_t n = 0;
+  while (n < max_events) {
+    if (batch_pos_ >= batch_.size()) {
+      // Refill: drain the whole run of head-timestamp events in one
+      // pass.  Events a handler schedules at the same timestamp carry
+      // later sequence numbers, so they land in a subsequent batch and
+      // still fire in global (time, seq) order.
+      batch_.clear();
+      batch_pos_ = 0;
+      if (heap_.empty()) break;
+      SimTime ts = heap_.front().at;
+      if (ts > horizon) break;  // peek, don't pop: no re-heapify on the way out
+      do {
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        batch_.push_back(std::move(heap_.back()));
+        heap_.pop_back();
+      } while (!heap_.empty() && heap_.front().at == ts);
+    }
+    Event& ev = batch_[batch_pos_++];
     auto it = cancelled_.find(ev.id);
     if (it != cancelled_.end()) {
       cancelled_.erase(it);
       continue;
     }
-    out = std::move(ev);
-    return true;
+    ++n;
+    FireEvent(ev);
   }
-  return false;
-}
-
-void Simulator::CountFire(const char* label) {
-  fired_counter_->Inc();
-  queue_gauge_->Set(static_cast<double>(pending_events()));
-  obs::Counter*& slot = label_counters_[label];
-  if (slot == nullptr) {
-    std::string name = "sim.events.";
-    name += (label != nullptr && label[0] != '\0') ? label : "unlabeled";
-    slot = obs::Registry::Instance().GetCounter(name);
+  if (batch_pos_ >= batch_.size()) {
+    batch_.clear();  // drop the fired handlers; capacity is kept
+    batch_pos_ = 0;
   }
-  slot->Inc();
-}
-
-obs::prof::Site* Simulator::DispatchSite(const char* label) {
-  obs::prof::Site*& slot = label_sites_[label];
-  if (slot == nullptr) {
-    std::string name = "sim.dispatch.";
-    name += (label != nullptr && label[0] != '\0') ? label : "unlabeled";
-    slot = obs::prof::ProfRegistry::Instance().GetSite(name);
-  }
-  return slot;
-}
-
-void Simulator::DispatchEvent(const Event& ev) {
-#if PPM_PROF_ENABLED
-  // "sim.dispatch.<label>" wraps the whole handler so ppmprof's
-  // per-event-kind phase breakdown accounts for (nearly) all of Run's
-  // wall time.  Compiled out, this function is exactly `ev.fn()`.
-  PPM_PROF_SCOPE_SITE(DispatchSite(ev.label));
-#endif
-  ev.fn();
+  return n;
 }
 
 size_t Simulator::RunUntil(SimTime until) {
@@ -99,20 +125,7 @@ size_t Simulator::RunUntil(SimTime until) {
   // bookkeeping (heap pops, counters) is attributed too: the dispatch
   // spans nest under "sim.run", whose self time IS the loop overhead.
   PPM_PROF_SCOPE("sim.run");
-  size_t n = 0;
-  Event ev;
-  while (PopNext(ev)) {
-    if (ev.at > until) {
-      // Past the horizon: put it back untouched for a later call.
-      queue_.push(std::move(ev));
-      break;
-    }
-    now_ = ev.at;
-    ++fired_;
-    ++n;
-    CountFire(ev.label);
-    DispatchEvent(ev);
-  }
+  size_t n = RunLoop(until, std::numeric_limits<size_t>::max());
   // Advance the clock to the horizon even if the queue drained early so
   // that repeated RunUntil calls form a monotonic timeline.
   if (now_ < until) now_ = until;
@@ -121,43 +134,46 @@ size_t Simulator::RunUntil(SimTime until) {
 
 size_t Simulator::Run(size_t max_events) {
   PPM_PROF_SCOPE("sim.run");
-  size_t n = 0;
-  Event ev;
-  while (n < max_events && PopNext(ev)) {
-    now_ = ev.at;
-    ++fired_;
-    ++n;
-    CountFire(ev.label);
-    DispatchEvent(ev);
-  }
+  size_t n = RunLoop(kSimTimeNever, max_events);
   PPM_CHECK_MSG(n < max_events, "simulator exceeded max_events; runaway event loop?");
   return n;
 }
 
 bool Simulator::Step() {
-  Event ev;
-  if (!PopNext(ev)) return false;
-  now_ = ev.at;
-  ++fired_;
-  CountFire(ev.label);
-  DispatchEvent(ev);
-  return true;
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    FireEvent(ev);
+    return true;
+  }
+  return false;
 }
 
 SimTime Simulator::NextEventTime() const {
-  // The queue may have cancelled events at the head; peek past them by
-  // copying (cheap: only happens for the few cancelled-at-head cases).
-  auto copy = queue_;
-  while (!copy.empty()) {
-    const Event& ev = copy.top();
-    if (!cancelled_.count(ev.id)) return ev.at;
-    copy.pop();
+  // Unfired batch entries are the nearest pending events (they already
+  // left the heap); otherwise the heap head answers in O(1) unless it
+  // is cancelled, in which case scan — no copy of the queue.
+  for (size_t i = batch_pos_; i < batch_.size(); ++i) {
+    if (!cancelled_.count(batch_[i].id)) return batch_[i].at;
   }
-  return kSimTimeNever;
+  if (heap_.empty()) return kSimTimeNever;
+  if (!cancelled_.count(heap_.front().id)) return heap_.front().at;
+  SimTime best = kSimTimeNever;
+  for (const Event& ev : heap_) {
+    if (ev.at < best && !cancelled_.count(ev.id)) best = ev.at;
+  }
+  return best;
 }
 
 size_t Simulator::pending_events() const {
-  return queue_.size() >= cancelled_.size() ? queue_.size() - cancelled_.size() : 0;
+  size_t queued = heap_.size() + (batch_.size() - batch_pos_);
+  return queued >= cancelled_.size() ? queued - cancelled_.size() : 0;
 }
 
 }  // namespace ppm::sim

@@ -9,13 +9,25 @@
 //
 // Cancellation is by token: schedulers receive an EventId and may cancel
 // it later (e.g. an LPM cancels its time-to-live timer when a new tool
-// connects).  Cancelled events stay in the heap but are skipped on pop,
-// which keeps cancel O(1).
+// connects).  Cancelled events stay in the heap but are skipped as they
+// surface, which keeps cancel O(1).
+//
+// Hot-path structure (see DESIGN.md §12):
+//   * The heap is a plain vector managed with std::push_heap/pop_heap,
+//     so pops MOVE the event out (no std::function copy per event).
+//   * Run drains every ready event that shares the head timestamp into
+//     a reusable batch vector in one pass, then fires the batch.  Events
+//     scheduled during a batch carry later sequence numbers, so firing
+//     them in a subsequent batch at the same timestamp preserves the
+//     global (time, seq) order exactly.
+//   * Per-label fire counters and profiler sites are resolved once at
+//     schedule time; each event carries a pre-resolved handle, so the
+//     fire path does no hashing.
+// Run/RunUntil/Step must not be called from inside an event handler.
 #pragma once
 
 #include <functional>
 #include <memory>
-#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -78,12 +90,23 @@ class Simulator {
   uint64_t total_fired() const { return fired_; }
 
  private:
+  // Per-label observability handles.  The slot is allocated when a label
+  // is first scheduled; the counter ("sim.events.<label>") and profiler
+  // site ("sim.dispatch.<label>", only when the profiler is compiled in)
+  // are resolved when the label first FIRES — so labels that only ever
+  // get scheduled-and-cancelled register nothing, exactly as before.
+  // Addresses are stable: unordered_map never moves its nodes.
+  struct LabelInfo {
+    const char* label = nullptr;
+    obs::Counter* counter = nullptr;
+    obs::prof::Site* site = nullptr;
+  };
   struct Event {
     SimTime at;
     uint64_t seq;
     EventId id;
     EventFn fn;
-    const char* label;
+    LabelInfo* info;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -92,30 +115,27 @@ class Simulator {
     }
   };
 
-  bool PopNext(Event& out);
-  // Runs the event's handler, wrapped in a "sim.dispatch.<label>"
-  // profiler span when the profiler is compiled in.
-  void DispatchEvent(const Event& ev);
-  // Bumps the per-label fire counter ("sim.events.<label>") and the
-  // queue-depth gauge.  Labels are string literals, so the cache is
-  // keyed by pointer — no hashing of the text on the hot path.
-  void CountFire(const char* label);
-  // Profiler site "sim.dispatch.<label>" for an event label, cached by
-  // pointer like the counters.  Only called when the profiler is
-  // compiled in; defined unconditionally so the header stays identical.
-  obs::prof::Site* DispatchSite(const char* label);
+  LabelInfo* ResolveLabel(const char* label);
+  // Shared Run/RunUntil loop: fires events with at <= horizon, at most
+  // max_events of them, batching same-timestamp runs.
+  size_t RunLoop(SimTime horizon, size_t max_events);
+  void FireEvent(const Event& ev);
 
   SimTime now_ = 0;
   uint64_t seq_ = 0;
   EventId next_id_ = 1;
   uint64_t fired_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Event> heap_;  // binary min-heap via std::push_heap/pop_heap
+  // Current same-timestamp batch: entries [batch_pos_, batch_.size())
+  // are drained from the heap but not yet fired, and still count as
+  // pending.  Cleared (capacity kept) between batches.
+  std::vector<Event> batch_;
+  size_t batch_pos_ = 0;
   std::unordered_set<EventId> cancelled_;
   Rng rng_;
   obs::Counter* fired_counter_ = nullptr;
   obs::Gauge* queue_gauge_ = nullptr;
-  std::unordered_map<const char*, obs::Counter*> label_counters_;
-  std::unordered_map<const char*, obs::prof::Site*> label_sites_;
+  std::unordered_map<const char*, LabelInfo> labels_;
 };
 
 }  // namespace ppm::sim

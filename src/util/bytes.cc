@@ -27,56 +27,10 @@ void ByteWriter::Blob(const std::vector<uint8_t>& b) {
   buf_.insert(buf_.end(), b.begin(), b.end());
 }
 
-std::optional<uint8_t> ByteReader::U8() {
-  if (remaining() < 1) return std::nullopt;
-  return buf_[pos_++];
-}
-
-std::optional<uint16_t> ByteReader::U16() {
-  if (remaining() < 2) return std::nullopt;
-  uint16_t v = static_cast<uint16_t>(buf_[pos_] | (buf_[pos_ + 1] << 8));
-  pos_ += 2;
-  return v;
-}
-
-std::optional<uint32_t> ByteReader::U32() {
-  if (remaining() < 4) return std::nullopt;
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(buf_[pos_ + i]) << (8 * i);
-  pos_ += 4;
-  return v;
-}
-
-std::optional<uint64_t> ByteReader::U64() {
-  if (remaining() < 8) return std::nullopt;
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(buf_[pos_ + i]) << (8 * i);
-  pos_ += 8;
-  return v;
-}
-
-std::optional<int32_t> ByteReader::I32() {
-  auto v = U32();
-  if (!v) return std::nullopt;
-  return static_cast<int32_t>(*v);
-}
-
-std::optional<int64_t> ByteReader::I64() {
-  auto v = U64();
-  if (!v) return std::nullopt;
-  return static_cast<int64_t>(*v);
-}
-
-std::optional<bool> ByteReader::Bool() {
-  auto v = U8();
-  if (!v) return std::nullopt;
-  return *v != 0;
-}
-
 std::optional<std::string> ByteReader::Str() {
   auto n = U32();
   if (!n || remaining() < *n) return std::nullopt;
-  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), *n);
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), *n);
   pos_ += *n;
   return s;
 }
@@ -84,16 +38,9 @@ std::optional<std::string> ByteReader::Str() {
 std::optional<std::vector<uint8_t>> ByteReader::Blob() {
   auto n = U32();
   if (!n || remaining() < *n) return std::nullopt;
-  std::vector<uint8_t> b(buf_.begin() + static_cast<long>(pos_),
-                         buf_.begin() + static_cast<long>(pos_ + *n));
+  std::vector<uint8_t> b(data_ + pos_, data_ + pos_ + *n);
   pos_ += *n;
   return b;
-}
-
-bool ByteReader::Skip(size_t n) {
-  if (remaining() < n) return false;
-  pos_ += n;
-  return true;
 }
 
 namespace {

@@ -54,28 +54,71 @@ class ByteWriter {
 // std::nullopt on underflow instead of trusting the peer; a malformed
 // message must never crash an LPM (the paper's managers survive sibling
 // failures, so they must also survive sibling garbage).
+//
+// The reader does not own the bytes: it walks a borrowed (pointer,
+// length) window, so it decodes owning vectors and zero-copy views
+// (core::WireView) alike.  The window must outlive the reader.
 class ByteReader {
  public:
-  explicit ByteReader(const std::vector<uint8_t>& buf) : buf_(buf) {}
+  explicit ByteReader(const std::vector<uint8_t>& buf)
+      : data_(buf.data()), len_(buf.size()) {}
+  ByteReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
 
-  std::optional<uint8_t> U8();
-  std::optional<uint16_t> U16();
-  std::optional<uint32_t> U32();
-  std::optional<uint64_t> U64();
-  std::optional<int32_t> I32();
-  std::optional<int64_t> I64();
-  std::optional<bool> Bool();
+  std::optional<uint8_t> U8() {
+    if (remaining() < 1) return std::nullopt;
+    return data_[pos_++];
+  }
+  std::optional<uint16_t> U16() {
+    if (remaining() < 2) return std::nullopt;
+    uint16_t v = static_cast<uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::optional<uint32_t> U32() {
+    if (remaining() < 4) return std::nullopt;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  std::optional<uint64_t> U64() {
+    if (remaining() < 8) return std::nullopt;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  std::optional<int32_t> I32() {
+    auto v = U32();
+    if (!v) return std::nullopt;
+    return static_cast<int32_t>(*v);
+  }
+  std::optional<int64_t> I64() {
+    auto v = U64();
+    if (!v) return std::nullopt;
+    return static_cast<int64_t>(*v);
+  }
+  std::optional<bool> Bool() {
+    auto v = U8();
+    if (!v) return std::nullopt;
+    return *v != 0;
+  }
   std::optional<std::string> Str();
   std::optional<std::vector<uint8_t>> Blob();
 
   // Skips `n` bytes of padding; false on underflow.
-  bool Skip(size_t n);
+  bool Skip(size_t n) {
+    if (remaining() < n) return false;
+    pos_ += n;
+    return true;
+  }
 
-  size_t remaining() const { return buf_.size() - pos_; }
-  bool AtEnd() const { return pos_ == buf_.size(); }
+  size_t remaining() const { return len_ - pos_; }
+  bool AtEnd() const { return pos_ == len_; }
 
  private:
-  const std::vector<uint8_t>& buf_;
+  const uint8_t* data_;
+  size_t len_;
   size_t pos_ = 0;
 };
 

@@ -1,0 +1,290 @@
+// sim_queue_property_test.cc — pins the batched same-timestamp dispatch
+// to the scheduler's ordering contract.  A naive reference model (one
+// linear scan per pop, no heap, no batching) executes the same seeded
+// random schedules — including events whose handlers schedule more
+// events and cancel others at the head and middle of a timestamp run —
+// and every observable must agree: global (timestamp, schedule-order)
+// firing order, the virtual-clock trajectory, and the sim.events.fired
+// counter.  If the batch refill ever reorders a tie or lets a cancelled
+// entry advance the clock, these tests see it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+
+namespace ppm::sim {
+namespace {
+
+uint64_t FiredCount() {
+  return obs::Registry::Instance().GetCounter("sim.events.fired")->value();
+}
+
+// --- the randomized schedule script ----------------------------------------
+
+// One schedulable unit.  Firing it schedules `children` (by spec index,
+// at a relative delay) and cancels `cancels` (by spec index, skipped if
+// that spec has not been scheduled yet — deterministic in both the real
+// simulator and the model).
+struct Spec {
+  std::vector<std::pair<size_t, SimDuration>> children;
+  std::vector<size_t> cancels;
+};
+
+struct Script {
+  std::vector<Spec> specs;
+  std::vector<std::pair<size_t, SimTime>> roots;  // scheduled before running
+};
+
+Script MakeScript(uint64_t seed, size_t n_specs) {
+  std::mt19937_64 rng(seed);
+  Script s;
+  s.specs.resize(n_specs);
+  const size_t n_roots = n_specs / 3 + 1;
+  // Indices n_roots.. are handed out to parents one by one, so every
+  // spec is scheduled at most once.
+  size_t next_child = n_roots;
+  for (size_t i = 0; i < n_roots; ++i) {
+    // Few distinct timestamps on purpose: ties are the interesting case.
+    s.roots.emplace_back(i, static_cast<SimTime>(rng() % 8));
+  }
+  for (size_t i = 0; i < n_specs; ++i) {
+    const size_t n_children = rng() % 3;
+    for (size_t c = 0; c < n_children && next_child < n_specs; ++c) {
+      // Delay 0 lands the child on the parent's own timestamp — it must
+      // still fire after everything already queued there.
+      s.specs[i].children.emplace_back(next_child++, static_cast<SimDuration>(rng() % 3));
+    }
+    if (rng() % 4 == 0) {
+      s.specs[i].cancels.push_back(rng() % n_specs);
+    }
+  }
+  return s;
+}
+
+// --- reference model: linear scan, fire-one-at-a-time ----------------------
+
+struct ModelRun {
+  std::vector<size_t> order;   // spec indices in firing order
+  std::vector<SimTime> times;  // virtual clock at each firing
+};
+
+ModelRun RunModel(const Script& script, SimTime horizon) {
+  struct Pending {
+    SimTime at;
+    uint64_t seq;
+    size_t spec;
+    bool cancelled = false;
+  };
+  ModelRun out;
+  std::vector<Pending> pending;
+  std::vector<bool> scheduled(script.specs.size(), false);
+  uint64_t seq = 0;
+  SimTime now = 0;
+  for (const auto& [spec, at] : script.roots) {
+    pending.push_back(Pending{at, seq++, spec});
+    scheduled[spec] = true;
+  }
+  for (;;) {
+    // Naive pop: linear scan for the earliest (at, seq).
+    size_t best = pending.size();
+    for (size_t i = 0; i < pending.size(); ++i) {
+      if (best == pending.size() || pending[i].at < pending[best].at ||
+          (pending[i].at == pending[best].at && pending[i].seq < pending[best].seq)) {
+        best = i;
+      }
+    }
+    if (best == pending.size() || pending[best].at > horizon) break;
+    Pending ev = pending[best];
+    pending.erase(pending.begin() + best);
+    if (ev.cancelled) continue;  // surfaced cancelled events do not advance time
+    now = ev.at;
+    out.order.push_back(ev.spec);
+    out.times.push_back(now);
+    const Spec& spec = script.specs[ev.spec];
+    for (const auto& [child, delay] : spec.children) {
+      pending.push_back(Pending{now + delay, seq++, child});
+      scheduled[child] = true;
+    }
+    for (size_t target : spec.cancels) {
+      if (!scheduled[target]) continue;
+      for (Pending& p : pending) {
+        if (p.spec == target) p.cancelled = true;
+      }
+    }
+  }
+  return out;
+}
+
+// --- driving the real simulator with the same script ------------------------
+
+struct SimRun {
+  std::vector<size_t> order;
+  std::vector<SimTime> times;
+};
+
+SimRun RunSimulator(Simulator& sim, const Script& script, SimTime horizon) {
+  SimRun out;
+  std::vector<EventId> ids(script.specs.size(), kInvalidEventId);
+  std::function<EventFn(size_t)> make_fn = [&](size_t idx) -> EventFn {
+    return [&, idx] {
+      out.order.push_back(idx);
+      out.times.push_back(sim.Now());
+      const Spec& spec = script.specs[idx];
+      for (const auto& [child, delay] : spec.children) {
+        ids[child] = sim.ScheduleIn(delay, make_fn(child), "prop");
+      }
+      for (size_t target : spec.cancels) {
+        if (ids[target] != kInvalidEventId) sim.Cancel(ids[target]);
+      }
+    };
+  };
+  for (const auto& [spec, at] : script.roots) {
+    ids[spec] = sim.ScheduleAt(at, make_fn(spec), "prop");
+  }
+  sim.RunUntil(horizon);
+  return out;
+}
+
+// --- property: batched dispatch == naive reference ---------------------------
+
+TEST(SimQueueProperty, MatchesReferenceSchedulerAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    const Script script = MakeScript(seed * 0x9e3779b9u, /*n_specs=*/120);
+    const ModelRun want = RunModel(script, /*horizon=*/1000);
+
+    Simulator sim(seed);
+    const uint64_t fired_before = FiredCount();
+    const SimRun got = RunSimulator(sim, script, 1000);
+
+    ASSERT_EQ(want.order, got.order) << "seed " << seed;
+    ASSERT_EQ(want.times, got.times) << "seed " << seed;
+    // Every model firing is a counter tick — no more, no fewer: a
+    // cancelled-in-batch entry must not count.
+    ASSERT_EQ(want.order.size(), FiredCount() - fired_before) << "seed " << seed;
+    EXPECT_EQ(static_cast<SimTime>(1000), sim.Now()) << "seed " << seed;
+  }
+}
+
+// Split horizons must not change the firing order: the batch is an
+// implementation detail, never visible across RunUntil boundaries.
+TEST(SimQueueProperty, SplitHorizonsMatchSingleRun) {
+  const Script script = MakeScript(0xabcdef, 120);
+  const ModelRun want = RunModel(script, 1000);
+
+  Simulator sim(7);
+  SimRun got;
+  std::vector<EventId> ids(script.specs.size(), kInvalidEventId);
+  std::function<EventFn(size_t)> make_fn = [&](size_t idx) -> EventFn {
+    return [&, idx] {
+      got.order.push_back(idx);
+      got.times.push_back(sim.Now());
+      for (const auto& [child, delay] : script.specs[idx].children) {
+        ids[child] = sim.ScheduleIn(delay, make_fn(child), "prop");
+      }
+      for (size_t target : script.specs[idx].cancels) {
+        if (ids[target] != kInvalidEventId) sim.Cancel(ids[target]);
+      }
+    };
+  };
+  for (const auto& [spec, at] : script.roots) {
+    ids[spec] = sim.ScheduleAt(at, make_fn(spec), "prop");
+  }
+  for (SimTime h : {2, 3, 5, 9, 250, 1000}) {
+    sim.RunUntil(h);
+    EXPECT_EQ(h, sim.Now());
+  }
+  EXPECT_EQ(want.order, got.order);
+  EXPECT_EQ(want.times, got.times);
+}
+
+// --- directed tie and cancellation cases -------------------------------------
+
+TEST(SimQueueProperty, SameTimestampFifoIsStable) {
+  Simulator sim(1);
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    sim.ScheduleAt(50, [&order, i] { order.push_back(i); }, "tie");
+  }
+  sim.RunUntil(100);
+  ASSERT_EQ(100u, order.size());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(i, order[i]);
+}
+
+TEST(SimQueueProperty, CancelHeadOfTimestampRun) {
+  Simulator sim(1);
+  std::vector<int> order;
+  EventId head = sim.ScheduleAt(10, [&order] { order.push_back(1); }, "t");
+  sim.ScheduleAt(10, [&order] { order.push_back(2); }, "t");
+  sim.ScheduleAt(10, [&order] { order.push_back(3); }, "t");
+  EXPECT_TRUE(sim.Cancel(head));
+  const uint64_t fired_before = FiredCount();
+  sim.RunUntil(20);
+  EXPECT_EQ((std::vector<int>{2, 3}), order);
+  EXPECT_EQ(2u, FiredCount() - fired_before);
+}
+
+TEST(SimQueueProperty, CancelMiddleOfTimestampRun) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.ScheduleAt(10, [&order] { order.push_back(1); }, "t");
+  EventId mid = sim.ScheduleAt(10, [&order] { order.push_back(2); }, "t");
+  sim.ScheduleAt(10, [&order] { order.push_back(3); }, "t");
+  EXPECT_TRUE(sim.Cancel(mid));
+  sim.RunUntil(20);
+  EXPECT_EQ((std::vector<int>{1, 3}), order);
+}
+
+// A handler cancelling a later event in the SAME timestamp run: the
+// victim is already sitting in the drained batch, so this is exactly
+// the case where skip-at-fire-time must work without re-heapifying.
+TEST(SimQueueProperty, HandlerCancelsLaterEventInSameBatch) {
+  Simulator sim(1);
+  std::vector<int> order;
+  EventId victim = kInvalidEventId;
+  sim.ScheduleAt(10, [&] {
+    order.push_back(1);
+    sim.Cancel(victim);
+  }, "t");
+  victim = sim.ScheduleAt(10, [&order] { order.push_back(2); }, "t");
+  sim.ScheduleAt(10, [&order] { order.push_back(3); }, "t");
+  const uint64_t fired_before = FiredCount();
+  sim.RunUntil(20);
+  EXPECT_EQ((std::vector<int>{1, 3}), order);
+  EXPECT_EQ(2u, FiredCount() - fired_before);
+}
+
+// A handler scheduling at its own timestamp: the new event fires in the
+// same virtual instant but strictly after everything already queued
+// there (it carries a later sequence number, hence a later batch).
+TEST(SimQueueProperty, SameTimestampSelfScheduleFiresAfterQueued) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.ScheduleAt(10, [&] {
+    order.push_back(1);
+    sim.ScheduleAt(10, [&order] { order.push_back(4); }, "t");
+  }, "t");
+  sim.ScheduleAt(10, [&order] { order.push_back(2); }, "t");
+  sim.ScheduleAt(10, [&order] { order.push_back(3); }, "t");
+  sim.RunUntil(20);
+  EXPECT_EQ((std::vector<int>{1, 2, 3, 4}), order);
+  EXPECT_EQ(static_cast<SimTime>(20), sim.Now());
+}
+
+// Cancelling the sole queued event must leave the clock untouched even
+// after a run — cancelled entries never advance time.
+TEST(SimQueueProperty, CancelledSoleEventDoesNotAdvanceClockViaRun) {
+  Simulator sim(1);
+  bool fired = false;
+  EventId id = sim.ScheduleAt(42, [&fired] { fired = true; }, "t");
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_EQ(0u, sim.Run(100));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(static_cast<SimTime>(0), sim.Now());
+}
+
+}  // namespace
+}  // namespace ppm::sim

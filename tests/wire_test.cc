@@ -230,9 +230,9 @@ INSTANTIATE_TEST_SUITE_P(AllTypes, WireTruncation,
                          ::testing::Range<size_t>(0, AllMessages().size()));
 
 TEST(Wire, GarbageRejected) {
-  EXPECT_FALSE(Parse({}).has_value());
-  EXPECT_FALSE(Parse({0xff}).has_value());
-  EXPECT_FALSE(Parse({200, 1, 2, 3}).has_value());
+  EXPECT_FALSE(Parse(std::vector<uint8_t>{}).has_value());
+  EXPECT_FALSE(Parse(std::vector<uint8_t>{0xff}).has_value());
+  EXPECT_FALSE(Parse(std::vector<uint8_t>{200, 1, 2, 3}).has_value());
 }
 
 TEST(Wire, FieldValuesSurvive) {
