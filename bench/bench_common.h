@@ -156,6 +156,13 @@ class BenchReport {
     wallclock_.push_back(key);
   }
 
+  // Declares that this bench drives its world past the health SLOs on
+  // purpose (e.g. the overload bench's collapse arm floods a queue), so
+  // a "degraded" verdict in the registry snapshot is the expected
+  // outcome, not a sick baseline.  bench_diff skips the health gate for
+  // files carrying the declaration.
+  void ExpectDegradedHealth() { expects_degraded_ = true; }
+
   std::string Path() const { return "BENCH_" + name_ + ".json"; }
 
   ~BenchReport() {
@@ -182,7 +189,9 @@ class BenchReport {
       obs::json::AppendEscaped(out, key);
       out += "\":\"wallclock\"";
     }
-    out += "},\"metrics\":";
+    out += "},";
+    if (expects_degraded_) out += "\"expects_degraded\":true,";
+    out += "\"metrics\":";
     out += obs::Registry::Instance().DumpJson();
     out += "}\n";
     std::FILE* f = std::fopen(Path().c_str(), "w");
@@ -198,6 +207,7 @@ class BenchReport {
   std::string name_;
   std::vector<std::pair<std::string, double>> results_;
   std::vector<std::string> wallclock_;
+  bool expects_degraded_ = false;
 };
 
 }  // namespace ppm::bench

@@ -41,7 +41,8 @@ namespace {
 
 std::map<std::string, double> LoadResults(const fs::path& path, bool* ok,
                                           std::map<std::string, std::string>* classes,
-                                          std::string* health_level) {
+                                          std::string* health_level,
+                                          bool* expects_degraded = nullptr) {
   *ok = false;
   std::map<std::string, double> out;
   std::ifstream in(path);
@@ -65,6 +66,13 @@ std::map<std::string, double> LoadResults(const fs::path& path, bool* ok,
         }
       }
     }
+  }
+  // Benches that overload their world on purpose declare it, which
+  // exempts both sides of the comparison from the health gate.
+  if (expects_degraded != nullptr) {
+    const Value* flag = doc->Find("expects_degraded");
+    *expects_degraded =
+        flag != nullptr && flag->type == Value::Type::kBool && flag->boolean;
   }
   // Tolerance classes are read from the BASELINE side only: the
   // committed file is the contract, a fresh run cannot loosen it.
@@ -117,7 +125,9 @@ int main(int argc, char** argv) {
     bool base_ok = false, fresh_ok = false;
     std::map<std::string, std::string> classes;
     std::string base_health, fresh_health;
-    auto base = LoadResults(base_path, &base_ok, &classes, &base_health);
+    bool expects_degraded = false;
+    auto base =
+        LoadResults(base_path, &base_ok, &classes, &base_health, &expects_degraded);
     auto fresh = LoadResults(fresh_dir / name, &fresh_ok, nullptr, &fresh_health);
     if (!base_ok) {
       std::printf("%-28s unreadable baseline — skipped\n", name.c_str());
@@ -135,7 +145,11 @@ int main(int argc, char** argv) {
     // so every later comparison would silently normalize the breach.
     // The fresh side gates too — a run that newly degrades is a live
     // regression even when every numeric metric stays inside tolerance.
-    if (base_health == "degraded") {
+    if (expects_degraded) {
+      // The baseline declares its world is overloaded by design; the
+      // health verdict carries no signal for this bench.
+      std::printf("  %-34s degraded-by-design (health gate skipped)\n", "health.level");
+    } else if (base_health == "degraded") {
       std::printf("  %-34s baseline health is degraded: FAIL (recommit from a healthy run)\n",
                   "health.level");
       ++regressions;

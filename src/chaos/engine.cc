@@ -6,6 +6,7 @@
 
 #include "core/lpm.h"
 #include "core/wire.h"
+#include "host/loadgen.h"
 #include "obs/flight.h"
 #include "obs/metrics.h"
 #include "sim/rng.h"
@@ -70,6 +71,10 @@ bool Quiet(core::Cluster& cluster, const ChaosPlan& plan) {
   for (const std::string& h : plan.hosts) {
     if (core::Lpm* lpm = cluster.FindLpm(h, kChaosUid)) {
       if (lpm->mode() == core::LpmMode::kDying) return false;
+      // A recovery walk begun under the partition can straddle the heal
+      // and only afterwards conclude "nobody reachable", tipping the LPM
+      // into kDying; convergence must not be declared over its head.
+      if (lpm->recovery_in_progress()) return false;
       if (lpm->is_ccs()) ++ccs;
     }
   }
@@ -149,6 +154,16 @@ ChaosOutcome RunChaosPlan(core::Cluster& cluster, uint64_t seed,
 
   cluster.RunFor(sim::Millis(10));  // let inetd come up everywhere
   if (plan.link_faults.active()) net.SetAllLinkFaults(plan.link_faults);
+
+  // Noisy neighbor: pin CPU hogs on the last host for the whole run.
+  // Duty 1.0 schedules no toggle events, so the generator's lifetime is
+  // simply this scope (Stop() kills the hogs, generation-guarded against
+  // an intervening crash of the host).
+  std::optional<host::LoadGenerator> noisy;
+  if (plan.noisy_procs > 0) {
+    noisy.emplace(cluster.host(plan.hosts.back()), kChaosUid,
+                  static_cast<int>(plan.noisy_procs), /*duty=*/1.0);
+  }
 
   auto random_host = [&]() -> const std::string& {
     return plan.hosts[rng.Below(plan.hosts.size())];

@@ -32,6 +32,17 @@ std::vector<InvariantViolation> CheckClusterInvariants(core::Cluster& cluster,
     host::Host& h = cluster.host(name);
     net::HostId nid = h.net_id();
 
+    // Up or down, no host may sit on a half-open circuit at quiescence:
+    // every connect that failed to establish (timeout, refusal, crash
+    // mid-handshake) must have been fully unwound — acceptor notified,
+    // entry reaped.  Guards the connect-path cleanup against chaos
+    // faults that eat the SYN-ACK.
+    if (size_t n = net.HalfOpenConnCount(nid); n != 0) {
+      Add(&out, "circuit-leak",
+          "host " + name + " touches " + std::to_string(n) +
+              " half-open circuit(s): connect neither established nor reaped");
+    }
+
     if (!h.up()) {
       // A crashed host must hold no network resources: its sockets died
       // with the kernel, and every circuit touching it must have been
@@ -110,6 +121,32 @@ std::vector<InvariantViolation> CheckClusterInvariants(core::Cluster& cluster,
     if (lpm->mode() == core::LpmMode::kDying) {
       Add(&out, "no-dying-after-heal",
           name + " LPM still in kDying after heal and settle");
+    }
+
+    // No silent loss: at a quiescent point every admitted request has
+    // terminated — in a reply, an explicit error, or a recorded expiry —
+    // so nothing may still sit in the handler queue and no forward may
+    // still await a response (each carries a timeout that has long since
+    // fired).
+    if (size_t n = lpm->queued_request_count(); n != 0) {
+      Add(&out, "no-silent-loss",
+          name + " LPM still holds " + std::to_string(n) +
+              " queued request(s) at quiescence");
+    }
+    if (size_t n = lpm->pending_forward_count(); n != 0) {
+      Add(&out, "no-silent-loss",
+          name + " LPM still awaits " + std::to_string(n) +
+              " forwarded response(s) at quiescence");
+    }
+
+    // Shed accounting partitions the rejected requests exactly: every
+    // shed sent an explicit BUSY, never a silent drop.
+    const core::LpmStats& ls = lpm->stats();
+    if (ls.requests_shed != ls.busy_sent) {
+      Add(&out, "shed-partition",
+          name + " LPM shed " + std::to_string(ls.requests_shed) +
+              " request(s) but sent " + std::to_string(ls.busy_sent) +
+              " BUSY replies");
     }
   }
 

@@ -64,4 +64,30 @@ ChaosPlan StorePlan() {
   return plan;
 }
 
+ChaosPlan OverloadPlan() {
+  ChaosPlan plan;
+  plan.name = "overload";
+  // Flood: more rounds with much shorter gaps than any other plan, so
+  // requests arrive faster than handler pools drain them and the
+  // admission path actually sheds.
+  plan.steps = 30;
+  plan.min_gap = sim::Millis(100);
+  plan.max_gap = sim::Millis(500);
+  plan.workload.create = 6;
+  plan.workload.signal = 6;
+  plan.workload.snapshot = 2;
+  // Partition-under-load: splits while the flood runs, healed often
+  // enough that the breaker's quarantine/readmission cycle completes
+  // inside the schedule.
+  plan.faults.partition = 2;
+  plan.faults.heal = 3;
+  // A mildly lossy wire makes forwards fail fast (channel breaks), which
+  // drives retries — and duplication exercises their idempotency tokens.
+  plan.link_faults.drop = 0.02;
+  plan.link_faults.duplicate = 0.02;
+  // One host serves the flood with a contended CPU.
+  plan.noisy_procs = 4;
+  return plan;
+}
+
 }  // namespace ppm::chaos

@@ -71,6 +71,12 @@ struct ChaosPlan {
   sim::SimDuration retry_interval = sim::Seconds(10);
   sim::SimDuration probe_interval = sim::Seconds(15);
 
+  // Noisy neighbor: this many CPU-pinned processes are spawned on the
+  // last host at run start (duty 1.0, so they sit on the run queue for
+  // the whole run) — that host then serves the same administration
+  // traffic with a contended CPU.  0 = none.
+  size_t noisy_procs = 0;
+
   // Test seam: append a deliberate violation to the outcome so the
   // flight-recorder auto-dump path can be exercised without finding a
   // real bug on demand.
@@ -98,5 +104,12 @@ ChaosPlan CorruptionPlan();
 // most crashes catch a journal batch unsynced — the torn tail must be
 // detected and discarded, never parsed.
 ChaosPlan StorePlan();
+// Overload stressor: a request flood (short gaps, workload-heavy
+// weights) against a cluster with a noisy-neighbor host and occasional
+// partitions under load, on a mildly lossy wire.  Exercises admission
+// control, deadline expiry, retry/backoff with duplicate suppression,
+// and the per-host circuit breaker; judged by the no-silent-loss and
+// shed-partition invariants on top of the standard set.
+ChaosPlan OverloadPlan();
 
 }  // namespace ppm::chaos

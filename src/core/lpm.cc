@@ -31,6 +31,12 @@ struct LpmMetrics {
   obs::Counter* eventlog_dropped_total;
   obs::Gauge* triggers_size;
   obs::Counter* triggers_fired;
+  // Overload protection (fleet totals; per-LPM numbers are in LpmStats).
+  obs::Counter* requests_shed;
+  obs::Counter* retries;
+  obs::Counter* deadline_expired;
+  obs::Counter* dup_suppressed;
+  obs::Gauge* breaker_open;
 };
 
 LpmMetrics& Metrics() {
@@ -45,8 +51,42 @@ LpmMetrics& Metrics() {
       reg.GetCounter("core.eventlog.dropped.total"),
       reg.GetGauge("core.triggers.size"),
       reg.GetCounter("core.triggers.fired"),
+      reg.GetCounter("lpm.shed.requests"),
+      reg.GetCounter("lpm.retry.attempts"),
+      reg.GetCounter("lpm.deadline.expired"),
+      reg.GetCounter("lpm.dup.suppressed"),
+      reg.GetGauge("lpm.breaker.open"),
   };
   return m;
+}
+
+// The response's req_id, when the message type carries one (all typed
+// responses do; Hello/CCS control traffic does not).
+std::optional<uint64_t> MsgReqId(const Msg& msg) {
+  return std::visit(
+      [](const auto& m) -> std::optional<uint64_t> {
+        if constexpr (requires { m.req_id; }) {
+          return m.req_id;
+        } else {
+          return std::nullopt;
+        }
+      },
+      msg);
+}
+
+// FNV-1a over the origin host name, folded with the request id: a
+// deterministic idempotency token, unique per <origin, req_id>, that
+// costs no rng draw (the simulator rng stream feeds the deterministic
+// bench baselines and must not shift with every forward).
+uint64_t MakeIdemToken(const std::string& origin, uint64_t req_id) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : origin) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  h ^= req_id;
+  h *= 1099511628211ull;
+  return h != 0 ? h : 1;  // 0 means "no token" on the wire
 }
 }  // namespace
 
@@ -170,6 +210,9 @@ void Lpm::OnShutdown() {
   simulator().Cancel(probe_event_);
   simulator().Cancel(retry_event_);
   ttl_event_ = death_event_ = probe_event_ = retry_event_ = sim::kInvalidEventId;
+  for (auto& [host, ev] : sibling_setup_timeout_ev_) simulator().Cancel(ev);
+  sibling_setup_timeout_ev_.clear();
+  sibling_setup_conn_.clear();
   // Fail anything still waiting.
   for (auto& [host, waiters] : sibling_waiters_) {
     for (auto& cb : waiters) cb(std::nullopt);
@@ -178,6 +221,16 @@ void Lpm::OnShutdown() {
   pending_.clear();
   snapshots_.clear();
   stat_runs_.clear();
+  // A dying LPM must not leave its open breakers counted in the
+  // fleet-wide gauge forever.
+  for (const auto& [host, b] : breakers_) {
+    if (b.open) Metrics().breaker_open->Add(-1);
+  }
+  breakers_.clear();
+  inflight_tokens_.clear();
+  done_cache_.clear();
+  done_order_.clear();
+  idem_replies_.clear();
 }
 
 // Warm restart (the tentpole of the durable store): seed in-memory state
@@ -302,16 +355,20 @@ std::vector<host::Pid> Lpm::TrackedLocalPids() const {
 // --- dispatcher & handler pool ------------------------------------------------------
 
 void Lpm::Dispatch(std::function<void(Pid)> work) {
+  Dispatch(RequestMeta{}, std::move(work));
+}
+
+void Lpm::Dispatch(const RequestMeta& meta, std::function<void(Pid)> work) {
   PPM_PROF_SCOPE("lpm.dispatch");
   ++stats_.requests;
   sim::SimDuration cost = kernel().Charge(pid(), BaseCosts::kDispatch);
-  simulator().ScheduleIn(cost, [this, work = std::move(work)] {
+  simulator().ScheduleIn(cost, [this, meta, work = std::move(work)] {
     if (!running_) return;
-    AcquireHandler(work);
+    AcquireHandler(meta, work);
   }, "lpm-dispatch");
 }
 
-void Lpm::AcquireHandler(std::function<void(Pid)> cb) {
+void Lpm::AcquireHandler(const RequestMeta& meta, std::function<void(Pid)> cb) {
   // Prune handlers that died under us (the user may kill them — they are
   // ordinary user processes) so the pool can refill.
   std::erase_if(handlers_, [this](const Handler& h) {
@@ -344,7 +401,7 @@ void Lpm::AcquireHandler(std::function<void(Pid)> cb) {
     }, "lpm-handler-fork");
     return;
   }
-  handler_queue_.push_back(std::move(cb));
+  handler_queue_.push_back(QueuedWork{meta, std::move(cb)});
   if (handler_queue_.size() > queue_watermark_) {
     queue_watermark_ = static_cast<uint32_t>(handler_queue_.size());
   }
@@ -364,13 +421,173 @@ void Lpm::ReleaseHandler(Pid hpid) {
     handlers_.erase(it);
     return;
   }
-  if (!handler_queue_.empty()) {
-    auto next = std::move(handler_queue_.front());
+  while (!handler_queue_.empty()) {
+    QueuedWork next = std::move(handler_queue_.front());
     handler_queue_.pop_front();
-    next(hpid);  // stays busy
+    if (next.meta.deadline_us != 0 &&
+        static_cast<uint64_t>(simulator().Now()) > next.meta.deadline_us) {
+      // The origin's timeout has already reported this request as failed;
+      // running it now would burn a handler on work nobody is waiting
+      // for.  Cancel it out of the queue, record the expiry, and release
+      // any idempotency bookkeeping it registered on arrival.
+      ++stats_.deadline_expired;
+      Metrics().deadline_expired->Inc();
+      obs::FlightRecorder::Instance().Record(obs::FlightKind::kRequestExpired,
+                                             host_name(), "queued", 0,
+                                             next.meta.req_id);
+      ReleaseIdem(next.meta.conn, next.meta.req_id);
+      continue;
+    }
+    next.fn(hpid);  // stays busy
     return;
   }
   it->busy = false;
+}
+
+// --- overload protection: admission, dedup, breaker --------------------------
+
+Lpm::RequestMeta Lpm::RxMeta(net::ConnId conn, uint64_t req_id) const {
+  RequestMeta meta;
+  meta.deadline_us = rx_stamp_.deadline_us;
+  meta.conn = conn;
+  meta.req_id = req_id;
+  return meta;
+}
+
+bool Lpm::AdmitRequest(net::ConnId conn, uint64_t req_id) {
+  if (!config_.overload_protection) return true;
+  // Expired on arrival: the origin gave up before the frame landed.
+  // Executing it would be pure waste; no reply either — the origin's
+  // own timeout already produced the explicit error.
+  if (rx_stamp_.deadline_us != 0 &&
+      static_cast<uint64_t>(simulator().Now()) > rx_stamp_.deadline_us) {
+    ++stats_.deadline_expired;
+    Metrics().deadline_expired->Inc();
+    obs::FlightRecorder::Instance().Record(obs::FlightKind::kRequestExpired,
+                                           host_name(), "arrival", 0, req_id);
+    ReleaseIdem(conn, req_id);
+    return false;
+  }
+  if (config_.max_queue_depth == 0 ||
+      handler_queue_.size() < config_.max_queue_depth) {
+    return true;
+  }
+  // Reject-newest shed: queued work is older and closer to its deadline,
+  // so the arriving request is the one turned away — with an explicit
+  // BUSY carrying a retry hint, never silently (shed-partition
+  // invariant: requests_shed == busy_sent).
+  ++stats_.requests_shed;
+  Metrics().requests_shed->Inc();
+  obs::FlightRecorder::Instance().Record(obs::FlightKind::kRequestShed,
+                                         host_name(), "queue full", 0, req_id,
+                                         handler_queue_.size());
+  // Release first so the BusyResp is not captured as this token's
+  // "result" — a later retry must be allowed to actually execute.
+  ReleaseIdem(conn, req_id);
+  BusyResp busy;
+  busy.req_id = req_id;
+  busy.error = "handler queue full";
+  busy.retry_after_us = static_cast<uint64_t>(config_.retry_base);
+  ++stats_.busy_sent;
+  ReplyMsg(conn, busy);
+  return false;
+}
+
+bool Lpm::SuppressDuplicate(net::ConnId conn, const Msg& msg) {
+  if (!config_.overload_protection || rx_stamp_.idem_token == 0) return false;
+  // Only mutating requests need exactly-once protection; reads are
+  // harmless to re-execute.
+  bool mutating = std::holds_alternative<CreateReq>(msg) ||
+                  std::holds_alternative<SignalReq>(msg) ||
+                  std::holds_alternative<AdoptReq>(msg) ||
+                  std::holds_alternative<TraceReq>(msg) ||
+                  std::holds_alternative<TriggerReq>(msg) ||
+                  std::holds_alternative<MigrateReq>(msg);
+  if (!mutating) return false;
+  const uint64_t token = rx_stamp_.idem_token;
+  auto done = done_cache_.find(token);
+  if (done != done_cache_.end()) {
+    // Already executed: replay the captured response (same req_id — the
+    // sender reuses it across attempts) instead of executing twice.
+    ++stats_.dup_suppressed;
+    Metrics().dup_suppressed->Inc();
+    ReplyMsg(conn, done->second);
+    return true;
+  }
+  if (inflight_tokens_.count(token)) {
+    // First attempt is still executing; its reply will go out when it
+    // finishes.  Swallow the retransmit.
+    ++stats_.dup_suppressed;
+    Metrics().dup_suppressed->Inc();
+    return true;
+  }
+  inflight_tokens_.insert(token);
+  if (auto rid = MsgReqId(msg)) {
+    idem_replies_[{conn, *rid}] = token;
+  }
+  return false;
+}
+
+void Lpm::ReleaseIdem(net::ConnId conn, uint64_t req_id) {
+  auto it = idem_replies_.find({conn, req_id});
+  if (it == idem_replies_.end()) return;
+  inflight_tokens_.erase(it->second);
+  idem_replies_.erase(it);
+}
+
+bool Lpm::PeerQuarantined(const std::string& host) const {
+  auto it = breakers_.find(host);
+  if (it == breakers_.end() || !it->second.open) return false;
+  // Past open_until the breaker is half-open: one probe attempt may pay
+  // the connect cost and decide readmission.
+  return static_cast<uint64_t>(host_.simulator().Now()) < it->second.open_until;
+}
+
+void Lpm::RecordPeerFailure(const std::string& host) {
+  if (!config_.overload_protection) return;
+  Breaker& b = breakers_[host];
+  ++b.failures;
+  if (b.failures < config_.breaker_threshold && !b.open) return;
+  // Quarantine doubles per failed half-open probe, capped so a healed
+  // peer is readmitted within one chaos settle window.
+  constexpr sim::SimDuration kMaxQuarantine = sim::Seconds(16);
+  bool was_open = b.open;
+  b.backoff = was_open ? std::min<sim::SimDuration>(b.backoff * 2, kMaxQuarantine)
+                       : config_.breaker_probe;
+  b.open_until = static_cast<uint64_t>(simulator().Now() + b.backoff);
+  if (!was_open) {
+    b.open = true;
+    Metrics().breaker_open->Add(1);
+    obs::FlightRecorder::Instance().Record(obs::FlightKind::kBreakerOpen,
+                                           host_name(), host, 0, b.failures);
+    PPM_INFO("lpm") << host_name() << ": circuit breaker OPEN for " << host
+                    << " after " << b.failures << " failures";
+  }
+}
+
+void Lpm::RecordPeerSuccess(const std::string& host) {
+  auto it = breakers_.find(host);
+  if (it == breakers_.end()) return;
+  if (it->second.open) {
+    Metrics().breaker_open->Add(-1);
+    obs::FlightRecorder::Instance().Record(obs::FlightKind::kBreakerClose,
+                                           host_name(), host, 0, 0);
+    PPM_INFO("lpm") << host_name() << ": circuit breaker closed for " << host;
+  }
+  breakers_.erase(it);
+}
+
+size_t Lpm::open_breaker_count() const {
+  size_t n = 0;
+  for (const auto& [host, b] : breakers_) {
+    if (b.open) ++n;
+  }
+  return n;
+}
+
+bool Lpm::breaker_open_for(const std::string& host) const {
+  auto it = breakers_.find(host);
+  return it != breakers_.end() && it->second.open;
 }
 
 // --- connection plumbing ----------------------------------------------------------------
@@ -380,25 +597,48 @@ void Lpm::OnAccept(net::ConnId conn, net::SocketAddr peer) {
   peers_[conn] = PeerInfo{};  // unknown until Hello
 }
 
-void Lpm::SendMsg(net::ConnId conn, const Msg& msg, const obs::TraceContext& trace) {
+void Lpm::SendMsg(net::ConnId conn, const Msg& msg, const obs::TraceContext& trace,
+                  const DeadlineStamp& stamp) {
   kernel().RecordIpc(pid(), /*sent=*/true, 0);
   obs::FlightRecorder::Instance().Record(obs::FlightKind::kFrameSent, host_name(),
                                          MsgTypeName(msg), trace.trace_id,
                                          static_cast<uint64_t>(conn));
-  Serialize(msg, trace, send_buf_);
+  Serialize(msg, trace, stamp, send_buf_);
   network().Send(conn, send_buf_.CopyOut());
 }
 
 void Lpm::SendToSibling(net::ConnId conn, Msg msg, sim::SimDuration base_cost,
-                        sim::SimDuration extra_delay, const obs::TraceContext& trace) {
+                        sim::SimDuration extra_delay, const obs::TraceContext& trace,
+                        const DeadlineStamp& stamp) {
   sim::SimDuration cost = kernel().Charge(pid(), base_cost) + extra_delay;
-  simulator().ScheduleIn(cost, [this, conn, msg = std::move(msg), trace] {
+  simulator().ScheduleIn(cost, [this, conn, msg = std::move(msg), trace, stamp] {
     if (!running_) return;
-    SendMsg(conn, msg, trace);
+    SendMsg(conn, msg, trace, stamp);
   }, "lpm-sibling-send");
 }
 
 void Lpm::ReplyMsg(net::ConnId conn, const Msg& msg) {
+  // Settle idempotency bookkeeping: if this reply answers a tokened
+  // mutating request, capture it so a retransmit of the same token
+  // replays this exact response instead of re-executing.  Conn ids are
+  // never reused, so capture is safe even after the circuit died (the
+  // retry then arrives on a fresh conn and hits the cache).
+  if (!idem_replies_.empty()) {
+    if (auto rid = MsgReqId(msg)) {
+      auto it = idem_replies_.find({conn, *rid});
+      if (it != idem_replies_.end()) {
+        const uint64_t token = it->second;
+        idem_replies_.erase(it);
+        inflight_tokens_.erase(token);
+        done_cache_[token] = msg;
+        done_order_.push_back(token);
+        if (done_order_.size() > kIdemCacheCap) {
+          done_cache_.erase(done_order_.front());
+          done_order_.pop_front();
+        }
+      }
+    }
+  }
   auto it = peers_.find(conn);
   if (it != peers_.end() && it->second.kind == PeerKind::kSibling) {
     SendToSibling(conn, msg, BaseCosts::kSiblingSend);
@@ -413,16 +653,15 @@ void Lpm::OnClose(net::ConnId conn, net::CloseReason reason) {
   PeerInfo info = it->second;
   peers_.erase(it);
 
-  // Fail every forwarded request that was waiting on this circuit.
+  // Every forwarded request waiting on this circuit lost its channel:
+  // a fast failure, eligible for a backoff retry under the deadline
+  // (the receiver's duplicate suppression makes the retry safe).
   std::vector<uint64_t> dead;
   for (auto& [id, pf] : pending_) {
     if (pf.conn == conn) dead.push_back(id);
   }
   for (uint64_t id : dead) {
-    PendingForward pf = std::move(pending_[id]);
-    pending_.erase(id);
-    simulator().Cancel(pf.timeout_ev);
-    if (pf.on_response) pf.on_response(nullptr, "channel lost");
+    ForwardAttemptFailed(id, "channel lost");
   }
 
   if (info.kind == PeerKind::kSibling) {
@@ -443,7 +682,7 @@ void Lpm::OnClose(net::ConnId conn, net::CloseReason reason) {
 void Lpm::OnData(net::ConnId conn, const std::vector<uint8_t>& bytes) {
   PPM_PROF_SCOPE("lpm.on_data");
   kernel().RecordIpc(pid(), /*sent=*/false, bytes.size());
-  auto msg = Parse(bytes, &rx_trace_);
+  auto msg = Parse(bytes, &rx_trace_, &rx_stamp_);
   if (msg) {
     obs::FlightRecorder::Instance().Record(obs::FlightKind::kFrameRecv, host_name(),
                                            MsgTypeName(*msg), rx_trace_.trace_id,
@@ -473,6 +712,11 @@ void Lpm::OnData(net::ConnId conn, const std::vector<uint8_t>& bytes) {
     return;
   }
 
+  // A retried mutating request (idempotency token on the frame) must
+  // never execute twice: replay the cached response or swallow the
+  // retransmit before the dispatch visit sees it.
+  if (SuppressDuplicate(conn, *msg)) return;
+
   std::visit(
       [&](auto&& m) {
         using T = std::decay_t<decltype(m)>;
@@ -497,8 +741,10 @@ void Lpm::OnData(net::ConnId conn, const std::vector<uint8_t>& bytes) {
         } else if constexpr (std::is_same_v<T, SnapshotReq>) {
           if (m.origin_host.empty()) {
             // A tool asking us to originate a snapshot.
+            if (!AdmitRequest(conn, m.req_id)) return;
             uint64_t tool_req = m.req_id;
-            Dispatch([this, conn, tool_req](Pid h) { StartSnapshot(conn, tool_req, h); });
+            Dispatch(RxMeta(conn, tool_req),
+                     [this, conn, tool_req](Pid h) { StartSnapshot(conn, tool_req, h); });
           } else {
             HandleSnapshotReq(conn, m);
           }
@@ -507,9 +753,10 @@ void Lpm::OnData(net::ConnId conn, const std::vector<uint8_t>& bytes) {
         } else if constexpr (std::is_same_v<T, StatReq>) {
           if (m.origin_host.empty()) {
             // A tool asking us to originate a cluster-wide stat round.
+            if (!AdmitRequest(conn, m.req_id)) return;
             uint64_t tool_req = m.req_id;
             bool dump = m.dump_flight;
-            Dispatch([this, conn, tool_req, dump](Pid h) {
+            Dispatch(RxMeta(conn, tool_req), [this, conn, tool_req, dump](Pid h) {
               StartStat(conn, tool_req, dump, h);
             });
           } else {
@@ -517,6 +764,8 @@ void Lpm::OnData(net::ConnId conn, const std::vector<uint8_t>& bytes) {
           }
         } else if constexpr (std::is_same_v<T, StatResp>) {
           HandleStatResp(m);
+        } else if constexpr (std::is_same_v<T, BusyResp>) {
+          HandleBusy(m);
         } else if constexpr (std::is_same_v<T, CreateResp> || std::is_same_v<T, SignalResp> ||
                              std::is_same_v<T, RusageResp> || std::is_same_v<T, AdoptResp> ||
                              std::is_same_v<T, TraceResp> || std::is_same_v<T, HistoryResp> ||
@@ -587,14 +836,18 @@ void Lpm::HandleHello(net::ConnId conn, const Msg& msg, PeerInfo& info) {
     info.kind = PeerKind::kSibling;
     info.host = hs->origin_host;
     info.authenticated = true;
-    siblings_[hs->origin_host] = conn;
     HelloAck ack;
     ack.host = host_name();
     ack.lpm_pid = pid();
     ack.ccs_host = CcsClaim();
     SendMsg(conn, ack);
     if (!hs->ccs_host.empty()) AdoptCcsFromPeer(hs->ccs_host);
-    ReviewTtl();
+    // Crossing setups: if our own outbound exchange to this host is
+    // still in flight, this inbound circuit settles it — the waiters
+    // (possibly a recovery walk) must not sit out the setup timeout.
+    // The ack goes first so the peer authenticates the circuit before
+    // any forwarded traffic the waiters emit on it.
+    SiblingEstablished(hs->origin_host, conn);
     return;
   }
   if (const auto* ht = std::get_if<HelloTool>(&msg)) {
@@ -799,9 +1052,10 @@ std::vector<ProcRecord> Lpm::ScanLocalProcesses() {
 // --- request handlers -----------------------------------------------------------------
 
 void Lpm::HandleCreate(net::ConnId conn, const CreateReq& req) {
+  if (!AdmitRequest(conn, req.req_id)) return;
   obs::TraceContext rx = rx_trace_;
   sim::SimTime t0 = simulator().Now();
-  Dispatch([this, conn, req, rx, t0](Pid h) {
+  Dispatch(RxMeta(conn, req.req_id), [this, conn, req, rx, t0](Pid h) {
     bool local = req.target_host.empty() || req.target_host == host_name();
     if (local) {
       DoCreateLocal(req, h, [this, conn, h, t0](const CreateResp& resp) {
@@ -842,9 +1096,10 @@ void Lpm::HandleCreate(net::ConnId conn, const CreateReq& req) {
 }
 
 void Lpm::HandleSignal(net::ConnId conn, const SignalReq& req) {
+  if (!AdmitRequest(conn, req.req_id)) return;
   obs::TraceContext rx = rx_trace_;
   sim::SimTime t0 = simulator().Now();
-  Dispatch([this, conn, req, rx, t0](Pid h) {
+  Dispatch(RxMeta(conn, req.req_id), [this, conn, req, rx, t0](Pid h) {
     if (req.target.host == host_name()) {
       DoSignalLocal(req, h, [this, conn, h, t0](const SignalResp& resp) {
         Metrics().signal_ms->Observe(
@@ -879,7 +1134,8 @@ void Lpm::HandleSignal(net::ConnId conn, const SignalReq& req) {
 }
 
 void Lpm::HandleRusage(net::ConnId conn, const RusageReq& req) {
-  Dispatch([this, conn, req](Pid h) {
+  if (!AdmitRequest(conn, req.req_id)) return;
+  Dispatch(RxMeta(conn, req.req_id), [this, conn, req](Pid h) {
     bool local = req.target_host.empty() || req.target_host == host_name();
     if (local) {
       sim::SimDuration cost = kernel().Charge(h, BaseCosts::kHandlerWork);
@@ -917,7 +1173,8 @@ void Lpm::HandleRusage(net::ConnId conn, const RusageReq& req) {
 }
 
 void Lpm::HandleAdopt(net::ConnId conn, const AdoptReq& req) {
-  Dispatch([this, conn, req](Pid h) {
+  if (!AdmitRequest(conn, req.req_id)) return;
+  Dispatch(RxMeta(conn, req.req_id), [this, conn, req](Pid h) {
     if (req.target.host == host_name()) {
       sim::SimDuration cost = kernel().Charge(h, BaseCosts::kHandlerWork);
       simulator().ScheduleIn(cost, [this, conn, h, req] {
@@ -980,7 +1237,8 @@ void Lpm::HandleAdopt(net::ConnId conn, const AdoptReq& req) {
 }
 
 void Lpm::HandleTrace(net::ConnId conn, const TraceReq& req) {
-  Dispatch([this, conn, req](Pid h) {
+  if (!AdmitRequest(conn, req.req_id)) return;
+  Dispatch(RxMeta(conn, req.req_id), [this, conn, req](Pid h) {
     if (req.target.host == host_name()) {
       sim::SimDuration cost = kernel().Charge(h, BaseCosts::kHandlerWork);
       simulator().ScheduleIn(cost, [this, conn, h, req] {
@@ -1021,7 +1279,8 @@ void Lpm::HandleTrace(net::ConnId conn, const TraceReq& req) {
 }
 
 void Lpm::HandleHistory(net::ConnId conn, const HistoryReq& req) {
-  Dispatch([this, conn, req](Pid h) {
+  if (!AdmitRequest(conn, req.req_id)) return;
+  Dispatch(RxMeta(conn, req.req_id), [this, conn, req](Pid h) {
     bool local = req.target_host.empty() || req.target_host == host_name();
     if (local) {
       sim::SimDuration cost = kernel().Charge(h, BaseCosts::kHandlerWork);
@@ -1057,7 +1316,8 @@ void Lpm::HandleHistory(net::ConnId conn, const HistoryReq& req) {
 }
 
 void Lpm::HandleTrigger(net::ConnId conn, const TriggerReq& req) {
-  Dispatch([this, conn, req](Pid h) {
+  if (!AdmitRequest(conn, req.req_id)) return;
+  Dispatch(RxMeta(conn, req.req_id), [this, conn, req](Pid h) {
     bool local = req.target_host.empty() || req.target_host == host_name();
     if (local) {
       sim::SimDuration cost = kernel().Charge(h, BaseCosts::kHandlerWork);
@@ -1094,7 +1354,8 @@ void Lpm::HandleTrigger(net::ConnId conn, const TriggerReq& req) {
 }
 
 void Lpm::HandleFiles(net::ConnId conn, const FilesReq& req) {
-  Dispatch([this, conn, req](Pid h) {
+  if (!AdmitRequest(conn, req.req_id)) return;
+  Dispatch(RxMeta(conn, req.req_id), [this, conn, req](Pid h) {
     if (req.target.host == host_name()) {
       sim::SimDuration cost = kernel().Charge(h, BaseCosts::kHandlerWork);
       cost += kernel().Charge(h, BaseCosts::kPerProcessScan);
@@ -1228,7 +1489,8 @@ void Lpm::DoMigrateLocal(const MigrateReq& req, Pid handler,
 }
 
 void Lpm::HandleMigrate(net::ConnId conn, const MigrateReq& req) {
-  Dispatch([this, conn, req](Pid h) {
+  if (!AdmitRequest(conn, req.req_id)) return;
+  Dispatch(RxMeta(conn, req.req_id), [this, conn, req](Pid h) {
     if (req.target.host == host_name()) {
       sim::SimDuration cost = kernel().Charge(h, BaseCosts::kHandlerWork);
       simulator().ScheduleIn(cost, [this, conn, h, req] {
@@ -1311,31 +1573,109 @@ void Lpm::ForwardToHost(const std::string& host, Msg msg, uint64_t my_req_id,
       on_response(nullptr, "manager shutting down");
       return;
     }
-    EnsureSibling(host, [this, msg = std::move(msg), my_req_id, handler,
-                         on_response = std::move(on_response), trace](
-                            std::optional<net::ConnId> conn) mutable {
-      if (!conn) {
-        on_response(nullptr, "sibling unreachable");
-        return;
-      }
-      PendingForward pf;
-      pf.handler = handler;
-      pf.conn = *conn;
-      pf.on_response = std::move(on_response);
-      pf.timeout_ev = simulator().ScheduleIn(config_.request_timeout, [this, my_req_id] {
-        auto it = pending_.find(my_req_id);
-        if (it == pending_.end()) return;
-        PendingForward dead = std::move(it->second);
-        pending_.erase(it);
-        ++stats_.request_timeouts;
-        if (dead.on_response) dead.on_response(nullptr, "request timed out");
-      }, "lpm-fwd-timeout");
-      pending_[my_req_id] = std::move(pf);
-      obs::TraceContext hop =
-          obs::Tracer::Instance().StartSpan(trace, "forward", host_name());
-      SendToSibling(*conn, std::move(msg), BaseCosts::kSiblingSend, 0, hop);
-    });
+    // Install the pending entry before the first attempt: the overall
+    // deadline (one request_timeout from now) covers every retry, and a
+    // timeout expiry is final — only fast failures (BUSY, channel lost,
+    // sibling setup failure) re-attempt under it.  The deadline and the
+    // idempotency token ride the wire on every attempt, so downstream
+    // hops can cancel expired work and suppress duplicate execution.
+    PendingForward pf;
+    pf.handler = handler;
+    pf.on_response = std::move(on_response);
+    pf.host = host;
+    pf.msg = std::move(msg);
+    pf.trace = trace;
+    if (config_.overload_protection) {
+      pf.deadline_us =
+          static_cast<uint64_t>(simulator().Now() + config_.request_timeout);
+      pf.idem_token = MakeIdemToken(host_name(), my_req_id);
+    }
+    pf.timeout_ev = simulator().ScheduleIn(config_.request_timeout, [this, my_req_id] {
+      auto it = pending_.find(my_req_id);
+      if (it == pending_.end()) return;
+      ++stats_.request_timeouts;
+      FailForward(my_req_id, "request timed out");
+    }, "lpm-fwd-timeout");
+    pending_[my_req_id] = std::move(pf);
+    StartForwardAttempt(my_req_id);
   }, "lpm-forward");
+}
+
+void Lpm::StartForwardAttempt(uint64_t req_id) {
+  auto it = pending_.find(req_id);
+  if (it == pending_.end() || !running_) return;
+  const std::string host = it->second.host;
+  if (config_.overload_protection && PeerQuarantined(host)) {
+    // Fast-fail without paying the connect timeout; quarantine is not
+    // itself evidence of a new failure, so the breaker stays untouched.
+    FailForward(req_id, "peer quarantined");
+    return;
+  }
+  EnsureSibling(host, [this, req_id](std::optional<net::ConnId> conn) {
+    auto it = pending_.find(req_id);
+    if (it == pending_.end()) return;  // overall timeout beat the connect
+    if (!conn) {
+      ForwardAttemptFailed(req_id, "sibling unreachable");
+      return;
+    }
+    PendingForward& pf = it->second;
+    pf.conn = *conn;
+    obs::TraceContext hop =
+        obs::Tracer::Instance().StartSpan(pf.trace, "forward", host_name());
+    DeadlineStamp stamp;
+    stamp.deadline_us = pf.deadline_us;
+    stamp.idem_token = pf.idem_token;
+    SendToSibling(*conn, pf.msg, BaseCosts::kSiblingSend, 0, hop, stamp);
+  });
+}
+
+void Lpm::ForwardAttemptFailed(uint64_t req_id, const std::string& why,
+                               uint64_t min_backoff_us) {
+  auto it = pending_.find(req_id);
+  if (it == pending_.end()) return;
+  PendingForward& pf = it->second;
+  pf.conn = net::kInvalidConn;  // no attempt in flight while backing off
+  if (!config_.overload_protection || pf.attempts >= config_.max_retries) {
+    FailForward(req_id, why);
+    return;
+  }
+  // Exponential backoff with seeded jitter (0.5x-1.5x) so a burst of
+  // simultaneous failures does not retry in lockstep; a BUSY peer's
+  // retry-after hint floors the wait.
+  const uint32_t attempt = ++pf.attempts;
+  ++stats_.retries;
+  Metrics().retries->Inc();
+  double jitter = 0.5 + simulator().rng().NextDouble();
+  auto backoff = static_cast<sim::SimDuration>(
+      static_cast<double>(config_.retry_base << (attempt - 1)) * jitter);
+  backoff = std::max(backoff, static_cast<sim::SimDuration>(min_backoff_us));
+  if (pf.deadline_us != 0 &&
+      static_cast<uint64_t>(simulator().Now() + backoff) >= pf.deadline_us) {
+    // No room left under the deadline for another round trip.
+    FailForward(req_id, why);
+    return;
+  }
+  obs::FlightRecorder::Instance().Record(obs::FlightKind::kRetry, host_name(),
+                                         pf.host, 0, req_id, attempt);
+  simulator().ScheduleIn(backoff, [this, req_id] { StartForwardAttempt(req_id); },
+                         "lpm-fwd-retry");
+}
+
+void Lpm::FailForward(uint64_t req_id, const std::string& why) {
+  auto it = pending_.find(req_id);
+  if (it == pending_.end()) return;
+  PendingForward pf = std::move(it->second);
+  pending_.erase(it);
+  simulator().Cancel(pf.timeout_ev);
+  if (pf.on_response) pf.on_response(nullptr, why);
+}
+
+void Lpm::HandleBusy(const BusyResp& busy) {
+  auto it = pending_.find(busy.req_id);
+  if (it == pending_.end()) return;  // late BUSY after timeout
+  ForwardAttemptFailed(busy.req_id,
+                       busy.error.empty() ? "peer busy" : busy.error,
+                       busy.retry_after_us);
 }
 
 void Lpm::EnsureSibling(const std::string& host,
@@ -1345,6 +1685,11 @@ void Lpm::EnsureSibling(const std::string& host,
     done(it->second);
     return;
   }
+  // No quarantine check here: the forward path fast-fails in
+  // StartForwardAttempt before it ever reaches this point, and the
+  // control-plane callers (recovery walk, CCS probe) must pay the real
+  // connect cost — a breaker left open across a heal would otherwise make
+  // a healthy recovery host look dead and march the LPM into time-to-die.
   bool setup_in_progress = sibling_waiters_.count(host) > 0;
   sibling_waiters_[host].push_back(std::move(done));
   if (setup_in_progress) return;
@@ -1354,6 +1699,12 @@ void Lpm::EnsureSibling(const std::string& host,
     SiblingSetupFailed(host, "unknown host");
     return;
   }
+  // The exchange as a whole runs against a deadline: a frame lost on a
+  // faulty link can leave a circuit open-but-silent, and without a bound
+  // every waiter (most critically the recovery walk) would hang forever.
+  sibling_setup_timeout_ev_[host] = simulator().ScheduleIn(
+      config_.sibling_setup_timeout, [this, host] { SiblingSetupTimedOut(host); },
+      "lpm-sibling-setup-timeout");
   // Note: no liveness shortcut here — whether the host is up can only be
   // learned by trying, i.e. by paying the connect timeout, exactly the
   // cost structure the recovery-list walk has on real networks.
@@ -1361,6 +1712,7 @@ void Lpm::EnsureSibling(const std::string& host,
   net::ConnCallbacks cb;
   cb.on_data = [this, host](net::ConnId c, const std::vector<uint8_t>& bytes) {
     auto resp = daemon::LpmResponse::Parse(bytes);
+    sibling_setup_conn_.erase(host);
     network().Close(c);
     if (!resp) {
       SiblingSetupFailed(host, "bad pmd response");
@@ -1376,6 +1728,7 @@ void Lpm::EnsureSibling(const std::string& host,
                         SiblingSetupFailed(host, "inetd unreachable");
                         return;
                       }
+                      sibling_setup_conn_[host] = *c;
                       daemon::LpmRequest req;
                       req.user = user_;
                       req.origin_host = host_name();
@@ -1387,7 +1740,9 @@ void Lpm::EnsureSibling(const std::string& host,
 void Lpm::FinishSiblingSetup(const std::string& host, const daemon::LpmResponse& resp) {
   if (!running_) return;
   if (!resp.ok) {
-    SiblingSetupFailed(host, resp.error);
+    // A busy pmd is reachable — an overload signal, not unreachability;
+    // retry under backoff without feeding the circuit breaker.
+    SiblingSetupFailed(host, resp.error, /*count_failure=*/!resp.busy);
     return;
   }
   // Step (4) done: we hold the accept address and the token; open the
@@ -1403,6 +1758,7 @@ void Lpm::FinishSiblingSetup(const std::string& host, const daemon::LpmResponse&
                         SiblingSetupFailed(host, "accept socket unreachable");
                         return;
                       }
+                      sibling_setup_conn_[host] = *c;
                       PeerInfo info;
                       info.kind = PeerKind::kSibling;
                       info.host = host;
@@ -1419,20 +1775,63 @@ void Lpm::FinishSiblingSetup(const std::string& host, const daemon::LpmResponse&
 }
 
 void Lpm::SiblingEstablished(const std::string& host, net::ConnId conn) {
+  auto tit = sibling_setup_timeout_ev_.find(host);
+  if (tit != sibling_setup_timeout_ev_.end()) {
+    simulator().Cancel(tit->second);
+    sibling_setup_timeout_ev_.erase(tit);
+  }
+  // A crossing inbound setup can win while our own outbound exchange is
+  // mid-flight on a different circuit; close the abandoned one.
+  auto cit = sibling_setup_conn_.find(host);
+  if (cit != sibling_setup_conn_.end()) {
+    if (cit->second != conn) {
+      peers_.erase(cit->second);
+      network().Close(cit->second);
+    }
+    sibling_setup_conn_.erase(cit);
+  }
   siblings_[host] = conn;
+  RecordPeerSuccess(host);  // closes (and forgets) any open breaker
   auto waiters = std::move(sibling_waiters_[host]);
   sibling_waiters_.erase(host);
   for (auto& cb : waiters) cb(conn);
   ReviewTtl();
 }
 
-void Lpm::SiblingSetupFailed(const std::string& host, const std::string& why) {
+void Lpm::SiblingSetupFailed(const std::string& host, const std::string& why,
+                             bool count_failure) {
   PPM_DEBUG("lpm") << host_name() << ": sibling setup to " << host << " failed: " << why;
+  auto tit = sibling_setup_timeout_ev_.find(host);
+  if (tit != sibling_setup_timeout_ev_.end()) {
+    simulator().Cancel(tit->second);
+    sibling_setup_timeout_ev_.erase(tit);
+  }
+  // Tear down whatever circuit the exchange was using, so an abandoned
+  // setup never leaks a half-open connection.  No forward is attached to
+  // it yet (attachment happens only after the waiters fire), so a plain
+  // close is safe.
+  auto cit = sibling_setup_conn_.find(host);
+  if (cit != sibling_setup_conn_.end()) {
+    net::ConnId c = cit->second;
+    sibling_setup_conn_.erase(cit);
+    peers_.erase(c);
+    network().Close(c);
+  }
+  if (count_failure) RecordPeerFailure(host);
   auto it = sibling_waiters_.find(host);
   if (it == sibling_waiters_.end()) return;
   auto waiters = std::move(it->second);
   sibling_waiters_.erase(it);
   for (auto& cb : waiters) cb(std::nullopt);
+}
+
+void Lpm::SiblingSetupTimedOut(const std::string& host) {
+  sibling_setup_timeout_ev_.erase(host);
+  if (!running_ || siblings_.count(host) > 0) return;
+  PPM_INFO("lpm") << host_name() << ": sibling setup to " << host
+                  << " timed out after "
+                  << config_.sibling_setup_timeout / 1000 << " ms";
+  SiblingSetupFailed(host, "sibling setup timed out");
 }
 
 // --- snapshots (the graph-covering broadcast of Section 4) ------------------------------
@@ -1675,6 +2074,12 @@ LpmStatRecord Lpm::BuildStatRecord() {
   rec.failures_detected = stats_.failures_detected;
   rec.recoveries_started = stats_.recoveries_started;
   rec.request_timeouts = stats_.request_timeouts;
+  rec.requests_shed = stats_.requests_shed;
+  rec.busy_sent = stats_.busy_sent;
+  rec.retries = stats_.retries;
+  rec.deadline_expired = stats_.deadline_expired;
+  rec.dup_suppressed = stats_.dup_suppressed;
+  rec.breaker_open = static_cast<uint32_t>(open_breaker_count());
 
   rec.eventlog_size = event_log_.size();
   rec.eventlog_recorded = event_log_.total_recorded();
@@ -1708,6 +2113,9 @@ LpmStatRecord Lpm::BuildStatRecord() {
   in.request_timeouts = stats_.request_timeouts;
   in.handler_queue_depth = handler_queue_.size();
   in.journal_pending = store_ ? store_->journal().pending_appends() : 0;
+  in.deadline_expired = stats_.deadline_expired;
+  in.requests_shed = stats_.requests_shed;
+  in.breaker_open = open_breaker_count();
   obs::HealthReport report = obs::ClassifyLpm(in);
   rec.health = static_cast<uint8_t>(report.level);
   rec.health_reasons = std::move(report.reasons);

@@ -95,6 +95,34 @@ struct LpmConfig {
   uint32_t store_group_commit = 8;
   // Records between checkpoint+compaction cycles; bounds replay cost.
   uint32_t store_checkpoint_every = 256;
+  // --- overload protection (deadlines, retry, shedding, breaker) -------
+  // Master switch: off restores the pre-protection behaviour exactly
+  // (unbounded queue, no deadline stamps, no retries, no breaker), so
+  // bench_overload can measure the collapse it prevents.
+  bool overload_protection = true;
+  // Dispatcher backlog bound: a request arriving while handler_queue_
+  // holds this many entries is shed with an explicit BusyResp
+  // (reject-newest — queued work is older and closer to its deadline).
+  // 0 = unbounded.
+  size_t max_queue_depth = 64;
+  // Fast-failure retries per forwarded request (BUSY, channel lost,
+  // sibling setup failure).  A full request_timeout expiry is final.
+  uint32_t max_retries = 2;
+  // First retry backoff; doubles per attempt, jittered 0.5x-1.5x from
+  // the simulator rng so synchronized retry storms decorrelate.
+  sim::SimDuration retry_base = sim::Millis(200);
+  // Consecutive sibling-setup failures that trip the per-host circuit
+  // breaker, and the initial quarantine before a half-open probe.
+  uint32_t breaker_threshold = 3;
+  sim::SimDuration breaker_probe = sim::Seconds(5);
+  // Deadline on the whole sibling-setup exchange (pmd query, private
+  // channel connect, hello/ack).  A frame lost on a faulty link can
+  // otherwise leave the exchange half-done forever — conn open, no data,
+  // no close — which wedges every waiter, including the recovery walk.
+  // Unlike the rest of the overload knobs this is not gated on
+  // overload_protection: an unbounded wait is a liveness bug, not a
+  // degraded mode.
+  sim::SimDuration sibling_setup_timeout = sim::Seconds(6);
 };
 
 struct LpmStats {
@@ -110,6 +138,13 @@ struct LpmStats {
   uint64_t failures_detected = 0;  // sibling channels lost to crash/partition
   uint64_t recoveries_started = 0;
   uint64_t request_timeouts = 0;
+  // Overload protection (shed-partition invariant: requests_shed ==
+  // busy_sent — every shed request got an explicit BUSY, never silence).
+  uint64_t requests_shed = 0;      // rejected at admission (queue full)
+  uint64_t busy_sent = 0;          // explicit BusyResp frames sent back
+  uint64_t retries = 0;            // forward attempts beyond the first
+  uint64_t deadline_expired = 0;   // work cancelled past its deadline
+  uint64_t dup_suppressed = 0;     // retried requests caught by idem token
 };
 
 // Figure 4 exhibit: the LPM's communication end points.
@@ -139,6 +174,11 @@ class Lpm : public host::ProcessBody {
   net::SocketAddr accept_addr() const;
   LpmMode mode() const { return mode_; }
   bool is_ccs() const { return is_ccs_; }
+  // True while a recovery walk is in flight and undecided.  Chaos
+  // quiescence checks need this: a walk started under a partition can
+  // straddle the heal and only then tip the LPM into kDying, so "no walk
+  // pending" is part of the cluster being genuinely settled.
+  bool recovery_in_progress() const { return recovery_in_progress_; }
   const std::string& ccs_host() const { return ccs_host_; }
   std::vector<std::string> sibling_hosts() const;
   LpmEndpoints Endpoints() const;
@@ -149,6 +189,14 @@ class Lpm : public host::ProcessBody {
   // The durable store, or nullptr when config.durable_store is off.
   store::LpmStore* store() { return store_.get(); }
   size_t handler_count() const { return handlers_.size(); }
+  // Overload-protection introspection (chaos no-silent-loss invariant:
+  // at quiescence both must be zero on every live LPM — every admitted
+  // request terminated in a reply, an explicit error, or a recorded
+  // expiry, never in a forgotten queue entry).
+  size_t pending_forward_count() const { return pending_.size(); }
+  size_t queued_request_count() const { return handler_queue_.size(); }
+  size_t open_breaker_count() const;
+  bool breaker_open_for(const std::string& host) const;
   size_t adopted_live_count() const;
   // Pids of the local processes this LPM currently tracks as live (the
   // chaos invariant checkers compare them against the kernel table and
@@ -187,12 +235,50 @@ class Lpm : public host::ProcessBody {
   // --- pending forwarded requests -----------------------------------------
   // on_response receives the response message, or nullptr with an error
   // string on timeout / channel loss (the handler "informs the
-  // dispatcher of the failure", paper Section 6).
+  // dispatcher of the failure", paper Section 6).  The message, target
+  // host and trace are retained so fast failures (BUSY, channel lost,
+  // setup failure) can retry with backoff under the overall deadline;
+  // retries reuse the same req_id and idempotency token, so the receiver
+  // can suppress duplicates and replay the cached response.
   struct PendingForward {
     host::Pid handler = host::kNoPid;
     net::ConnId conn = net::kInvalidConn;
     std::function<void(const Msg*, const std::string&)> on_response;
     sim::EventId timeout_ev = sim::kInvalidEventId;
+    std::string host;
+    Msg msg;
+    obs::TraceContext trace;
+    uint32_t attempts = 0;        // retries used so far
+    uint64_t deadline_us = 0;     // overall deadline (stamped on the wire)
+    uint64_t idem_token = 0;      // stamped on every attempt
+  };
+
+  // --- per-host circuit breaker ---------------------------------------------
+  // Trips after breaker_threshold consecutive sibling-setup failures;
+  // while open (and before open_until) EnsureSibling fast-fails instead
+  // of paying the connect timeout.  At open_until one half-open probe is
+  // allowed: success closes the breaker, failure re-opens it with the
+  // quarantine doubled (capped so a healed peer is readmitted promptly).
+  struct Breaker {
+    uint32_t failures = 0;
+    bool open = false;
+    uint64_t open_until = 0;         // virtual us; probe allowed after this
+    sim::SimDuration backoff = 0;    // current quarantine length
+  };
+
+  // --- admission metadata carried with dispatched work ----------------------
+  // Snapshot of the rx deadline stamp plus the reply route, taken at
+  // request entry: the deadline rides into handler_queue_ so expired
+  // work is cancelled instead of executed, and the (conn, req_id) pair
+  // lets an expiry release the idempotency bookkeeping it would leak.
+  struct RequestMeta {
+    uint64_t deadline_us = 0;
+    net::ConnId conn = net::kInvalidConn;
+    uint64_t req_id = 0;
+  };
+  struct QueuedWork {
+    RequestMeta meta;
+    std::function<void(host::Pid)> fn;
   };
 
   // --- snapshot runs (this LPM as origin) -----------------------------------
@@ -232,21 +318,49 @@ class Lpm : public host::ProcessBody {
   // An invalid (default) trace context serializes to the untraced wire
   // format, so tracing never changes message bytes unless a span exists.
   void SendMsg(net::ConnId conn, const Msg& msg,
-               const obs::TraceContext& trace = {});
+               const obs::TraceContext& trace = {},
+               const DeadlineStamp& stamp = {});
   // Charges `base_cost` (marshalling + socket write, load-scaled) and
   // sends after that plus `extra_delay` (already-charged work that must
   // complete first).
   void SendToSibling(net::ConnId conn, Msg msg, sim::SimDuration base_cost,
                      sim::SimDuration extra_delay = 0,
-                     const obs::TraceContext& trace = {});
+                     const obs::TraceContext& trace = {},
+                     const DeadlineStamp& stamp = {});
   // Replies on `conn`: immediate for local tools, charged at sibling
   // channel cost for remote managers.
   void ReplyMsg(net::ConnId conn, const Msg& msg);
 
   // dispatcher & handlers
   void Dispatch(std::function<void(host::Pid handler)> work);
-  void AcquireHandler(std::function<void(host::Pid)> cb);
+  void Dispatch(const RequestMeta& meta, std::function<void(host::Pid handler)> work);
+  void AcquireHandler(const RequestMeta& meta, std::function<void(host::Pid)> cb);
   void ReleaseHandler(host::Pid pid);
+
+  // overload protection
+  // Admission check at request entry: false = the request was shed (an
+  // explicit BusyResp went back) or arrived already past its deadline
+  // (recorded expiry; the origin's own timeout reports the error).
+  bool AdmitRequest(net::ConnId conn, uint64_t req_id);
+  // Duplicate suppression for mutating requests carrying an idempotency
+  // token: replays the cached response for an already-executed token,
+  // swallows a token still in flight.  True = suppressed, do not execute.
+  bool SuppressDuplicate(net::ConnId conn, const Msg& msg);
+  // Releases the idempotency bookkeeping registered for (conn, req_id)
+  // when the request will never produce a capturable reply.
+  void ReleaseIdem(net::ConnId conn, uint64_t req_id);
+  // Snapshot of the rx stamp + reply route at request entry.
+  RequestMeta RxMeta(net::ConnId conn, uint64_t req_id) const;
+  // Retry machinery for forwarded requests.
+  void StartForwardAttempt(uint64_t req_id);
+  void ForwardAttemptFailed(uint64_t req_id, const std::string& why,
+                            uint64_t min_backoff_us = 0);
+  void FailForward(uint64_t req_id, const std::string& why);
+  void HandleBusy(const BusyResp& busy);
+  // Circuit breaker.
+  bool PeerQuarantined(const std::string& host) const;
+  void RecordPeerFailure(const std::string& host);
+  void RecordPeerSuccess(const std::string& host);
 
   // hello handling
   void HandleHello(net::ConnId conn, const Msg& msg, PeerInfo& info);
@@ -285,7 +399,11 @@ class Lpm : public host::ProcessBody {
                      std::function<void(std::optional<net::ConnId>)> done);
   void FinishSiblingSetup(const std::string& host, const daemon::LpmResponse& resp);
   void SiblingEstablished(const std::string& host, net::ConnId conn);
-  void SiblingSetupFailed(const std::string& host, const std::string& why);
+  // `count_failure` is false for overload signals (pmd busy): the peer
+  // is reachable, just saturated, so the circuit breaker stays out of it.
+  void SiblingSetupFailed(const std::string& host, const std::string& why,
+                          bool count_failure = true);
+  void SiblingSetupTimedOut(const std::string& host);
 
   // snapshots
   void StartSnapshot(net::ConnId tool_conn, uint64_t tool_req_id, host::Pid handler);
@@ -388,8 +506,13 @@ class Lpm : public host::ProcessBody {
   FlatMap<std::string, net::ConnId> siblings_;
   std::map<std::string, std::vector<std::function<void(std::optional<net::ConnId>)>>>
       sibling_waiters_;
+  // Per-host deadline on an in-flight sibling setup, plus the connection
+  // it is currently using (pmd circuit, then the private channel) so a
+  // timeout can tear it down instead of leaking it half-open.
+  std::map<std::string, sim::EventId> sibling_setup_timeout_ev_;
+  std::map<std::string, net::ConnId> sibling_setup_conn_;
   std::vector<Handler> handlers_;
-  std::deque<std::function<void(host::Pid)>> handler_queue_;
+  std::deque<QueuedWork> handler_queue_;
   FlatMap<uint64_t, PendingForward> pending_;
   FlatMap<uint64_t, SnapshotRun> snapshots_;  // keyed by bcast seq
   FlatMap<uint64_t, StatRun> stat_runs_;      // keyed by bcast seq
@@ -425,6 +548,24 @@ class Lpm : public host::ProcessBody {
   // it before the synchronous dispatch visit, so Handle* entry code may
   // copy it; it is meaningless once control returns to the event loop.
   obs::TraceContext rx_trace_;
+  // Deadline/idempotency stamp of the message currently being handled
+  // (same lifetime discipline as rx_trace_).
+  DeadlineStamp rx_stamp_;
+
+  // --- overload-protection state -----------------------------------------
+  // Per-host circuit breakers (cold path; host set is small).
+  std::map<std::string, Breaker> breakers_;
+  // Receiver-side duplicate suppression.  A mutating request's token is
+  // held in inflight_tokens_ while it executes; ReplyMsg captures the
+  // response into done_cache_ (FIFO-evicted at kIdemCacheCap) so a
+  // retransmit replays the original answer instead of re-executing.
+  static constexpr size_t kIdemCacheCap = 256;
+  std::set<uint64_t> inflight_tokens_;
+  FlatMap<uint64_t, Msg> done_cache_;       // token -> captured response
+  std::deque<uint64_t> done_order_;         // FIFO eviction order
+  // (conn, response req_id) -> token: how ReplyMsg finds the token a
+  // reply settles.  Keyed by conn too because req_ids are per-origin.
+  std::map<std::pair<net::ConnId, uint64_t>, uint64_t> idem_replies_;
   // Last event_log_.total_dropped() mirrored into the shared registry
   // counter (multiple LPMs feed one counter, so each adds deltas).
   uint64_t eventlog_dropped_seen_ = 0;

@@ -17,7 +17,7 @@ const char* const kMsgTypeNames[] = {
     "AdoptReq", "AdoptResp", "TraceReq", "TraceResp", "HistoryReq", "HistoryResp",
     "TriggerReq", "TriggerResp", "BecomeCcs", "CcsChanged", "Probe", "ProbeAck",
     "FilesReq", "FilesResp", "MigrateReq", "MigrateResp", "RegisterChild",
-    "StatReq", "StatResp"};
+    "StatReq", "StatResp", "BusyResp"};
 constexpr size_t kPlainTagCount = 29;  // tags 0..28 encode under the variant index
 
 // Codec-level accounting: how many frames pass through encode/decode and
@@ -28,6 +28,7 @@ struct WireMetrics {
   obs::Counter* frames_decoded;
   obs::Counter* hdr_checksum_bytes;
   obs::Counter* hdr_trace_bytes;
+  obs::Counter* hdr_deadline_bytes;
   obs::Counter* kevent_encoded;
   obs::Counter* kevent_decoded;
 };
@@ -38,6 +39,7 @@ WireMetrics& Metrics() {
       obs::Registry::Instance().GetCounter("wire.frames.decoded"),
       obs::Registry::Instance().GetCounter("wire.hdr.checksum.bytes"),
       obs::Registry::Instance().GetCounter("wire.hdr.trace.bytes"),
+      obs::Registry::Instance().GetCounter("wire.hdr.deadline.bytes"),
       obs::Registry::Instance().GetCounter("wire.kevent.encoded"),
       obs::Registry::Instance().GetCounter("wire.kevent.decoded"),
   };
@@ -347,6 +349,12 @@ void PutLpmStatRecord(WireBuffer& w, const LpmStatRecord& rec) {
   w.U64(rec.failures_detected);
   w.U64(rec.recoveries_started);
   w.U64(rec.request_timeouts);
+  w.U64(rec.requests_shed);
+  w.U64(rec.busy_sent);
+  w.U64(rec.retries);
+  w.U64(rec.deadline_expired);
+  w.U64(rec.dup_suppressed);
+  w.U32(rec.breaker_open);
   w.U64(rec.eventlog_size);
   w.U64(rec.eventlog_recorded);
   w.U64(rec.eventlog_filtered);
@@ -399,16 +407,26 @@ std::optional<LpmStatRecord> GetLpmStatRecord(util::ByteReader& r) {
   rec.queue_depth = *qdepth;
   rec.queue_watermark = *qwater;
   rec.tool_circuits = *tools;
-  // The twelve LpmStats counters plus the four event-log counters, in
-  // declaration order.
+  // The LpmStats counters (twelve classic plus five overload), the
+  // breaker gauge, and the four event-log counters, in declaration order.
   uint64_t* counters[] = {
       &rec.requests,         &rec.forwards,          &rec.kernel_events,
       &rec.handlers_created, &rec.handler_reuses,    &rec.snapshots_served,
       &rec.bcasts_originated, &rec.bcast_duplicates, &rec.triggers_fired,
       &rec.failures_detected, &rec.recoveries_started, &rec.request_timeouts,
-      &rec.eventlog_size,    &rec.eventlog_recorded, &rec.eventlog_filtered,
-      &rec.eventlog_dropped};
+      &rec.requests_shed,    &rec.busy_sent,         &rec.retries,
+      &rec.deadline_expired, &rec.dup_suppressed};
   for (uint64_t* c : counters) {
+    auto v = r.U64();
+    if (!v) return std::nullopt;
+    *c = *v;
+  }
+  auto breaker = r.U32();
+  if (!breaker) return std::nullopt;
+  rec.breaker_open = *breaker;
+  uint64_t* elog[] = {&rec.eventlog_size, &rec.eventlog_recorded,
+                      &rec.eventlog_filtered, &rec.eventlog_dropped};
+  for (uint64_t* c : elog) {
     auto v = r.U64();
     if (!v) return std::nullopt;
     *c = *v;
@@ -495,6 +513,15 @@ void EncodeMsg(WireBuffer& w, const Msg& msg) {
     w.U8(kStatMsgTag);
     w.U8(kStatRespSub);
     PutStatResp(w, *resp);
+    return;
+  }
+  // BUSY rejections likewise ride under their own escape opcode so
+  // pre-overload decoders reject rather than misread them.
+  if (const auto* busy = std::get_if<BusyResp>(&msg)) {
+    w.U8(kBusyMsgTag);
+    w.U64(busy->req_id);
+    w.Str(busy->error);
+    w.U64(busy->retry_after_us);
     return;
   }
   w.U8(static_cast<uint8_t>(msg.index()));
@@ -663,7 +690,8 @@ obs::Counter* CorruptFramesCounter() {
 
 }  // namespace
 
-void Serialize(const Msg& msg, const obs::TraceContext& trace, WireBuffer& out) {
+void Serialize(const Msg& msg, const obs::TraceContext& trace,
+               const DeadlineStamp& stamp, WireBuffer& out) {
   PPM_PROF_SCOPE("wire.encode");
   Metrics().frames_encoded->Inc();
   Metrics().hdr_checksum_bytes->Inc(kChecksumHeaderBytes);
@@ -679,20 +707,37 @@ void Serialize(const Msg& msg, const obs::TraceContext& trace, WireBuffer& out) 
     out.U64(trace.span_id);
     out.U64(trace.parent_span);
   }
+  if (stamp.valid()) {
+    Metrics().hdr_deadline_bytes->Inc(kDeadlineHeaderBytes);
+    out.U8(kDeadlineHeaderTag);
+    out.U64(stamp.deadline_us);
+    out.U64(stamp.idem_token);
+  }
   EncodeMsg(out, msg);
   uint16_t ck = Fletcher16(out.data() + kChecksumHeaderBytes, out.size() - kChecksumHeaderBytes);
   out.PatchU16(1, ck);
 }
 
+void Serialize(const Msg& msg, const obs::TraceContext& trace, WireBuffer& out) {
+  Serialize(msg, trace, DeadlineStamp{}, out);
+}
+
 std::vector<uint8_t> Serialize(const Msg& msg) {
   WireBuffer b;
-  Serialize(msg, obs::TraceContext{}, b);
+  Serialize(msg, obs::TraceContext{}, DeadlineStamp{}, b);
   return b.TakeOut();
 }
 
 std::vector<uint8_t> Serialize(const Msg& msg, const obs::TraceContext& trace) {
   WireBuffer b;
-  Serialize(msg, trace, b);
+  Serialize(msg, trace, DeadlineStamp{}, b);
+  return b.TakeOut();
+}
+
+std::vector<uint8_t> Serialize(const Msg& msg, const obs::TraceContext& trace,
+                               const DeadlineStamp& stamp) {
+  WireBuffer b;
+  Serialize(msg, trace, stamp, b);
   return b.TakeOut();
 }
 
@@ -1154,13 +1199,19 @@ std::optional<ProbeAck> ParseProbeAck(util::ByteReader& r) {
 
 }  // namespace
 
-std::optional<Msg> Parse(WireView bytes) { return Parse(bytes, nullptr); }
+std::optional<Msg> Parse(WireView bytes) { return Parse(bytes, nullptr, nullptr); }
 
 std::optional<Msg> Parse(WireView bytes, obs::TraceContext* trace) {
+  return Parse(bytes, trace, nullptr);
+}
+
+std::optional<Msg> Parse(WireView bytes, obs::TraceContext* trace,
+                         DeadlineStamp* stamp) {
   PPM_PROF_SCOPE("wire.decode");
   Metrics().frames_decoded->Inc();
   util::ByteReader r(bytes.data(), bytes.size());
   if (trace) *trace = obs::TraceContext{};
+  if (stamp) *stamp = DeadlineStamp{};
   auto tag = r.U8();
   if (!tag) return std::nullopt;
   if (*tag == kChecksumHeaderTag) {
@@ -1187,6 +1238,17 @@ std::optional<Msg> Parse(WireView bytes, obs::TraceContext* trace) {
       trace->trace_id = *tid;
       trace->span_id = *sid;
       trace->parent_span = *psid;
+    }
+    tag = r.U8();
+    if (!tag) return std::nullopt;
+  }
+  if (*tag == kDeadlineHeaderTag) {
+    auto deadline = r.U64();
+    auto idem = r.U64();
+    if (!deadline || !idem) return std::nullopt;
+    if (stamp) {
+      stamp->deadline_us = *deadline;
+      stamp->idem_token = *idem;
     }
     tag = r.U8();
     if (!tag) return std::nullopt;
@@ -1234,6 +1296,18 @@ std::optional<Msg> Parse(WireView bytes, obs::TraceContext* trace) {
       }
       break;
     }
+    case kBusyMsgTag: {
+      auto req_id = r.U64();
+      auto error = r.Str();
+      auto after = r.U64();
+      if (!req_id || !error || !after) return std::nullopt;
+      BusyResp busy;
+      busy.req_id = *req_id;
+      busy.error = std::move(*error);
+      busy.retry_after_us = *after;
+      msg = Msg{std::move(busy)};
+      break;
+    }
     default: return std::nullopt;
   }
   // A well-formed frame is consumed exactly; trailing bytes mean the
@@ -1252,6 +1326,9 @@ const char* ClassifyWireFrame(const uint8_t* frame, size_t len) {
   if (pos < len && frame[pos] == kTraceHeaderTag) {
     pos += kTraceHeaderBytes;
   }
+  if (pos < len && frame[pos] == kDeadlineHeaderTag) {
+    pos += kDeadlineHeaderBytes;
+  }
   if (pos >= len) return "malformed";
   const uint8_t tag = frame[pos];
   if (tag == kStatMsgTag) {
@@ -1261,6 +1338,7 @@ const char* ClassifyWireFrame(const uint8_t* frame, size_t len) {
     if (sub == kStatRespSub) return kMsgTypeNames[kPlainTagCount + 1];
     return "unknown";
   }
+  if (tag == kBusyMsgTag) return kMsgTypeNames[kPlainTagCount + 2];
   if (tag < kPlainTagCount) return kMsgTypeNames[tag];
   return "unknown";
 }

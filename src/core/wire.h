@@ -401,6 +401,14 @@ struct LpmStatRecord {
   uint64_t recoveries_started = 0;
   uint64_t request_timeouts = 0;
 
+  // Overload protection.
+  uint64_t requests_shed = 0;      // admission control rejected (BUSY sent)
+  uint64_t busy_sent = 0;          // explicit BUSY replies put on the wire
+  uint64_t retries = 0;            // forwarded requests re-sent after backoff
+  uint64_t deadline_expired = 0;   // queued work cancelled past its deadline
+  uint64_t dup_suppressed = 0;     // retried requests answered from cache
+  uint32_t breaker_open = 0;       // peers currently quarantined
+
   // Event-log accounting, including the per-pid eviction breakdown.
   uint64_t eventlog_size = 0;
   uint64_t eventlog_recorded = 0;
@@ -485,6 +493,19 @@ struct ProbeAck {
   bool operator==(const ProbeAck&) const = default;
 };
 
+// --- overload protection ------------------------------------------------------
+
+// Admission-control rejection: the receiving manager (or daemon) refused
+// to enqueue the request because its bounded queue is full.  An explicit
+// answer — never a silent drop — so the sender can retry after the hinted
+// delay with the same idempotency token.
+struct BusyResp {
+  uint64_t req_id = 0;
+  std::string error;            // e.g. "handler queue full"
+  uint64_t retry_after_us = 0;  // sender should back off at least this long
+  bool operator==(const BusyResp&) const = default;
+};
+
 // --- the envelope -----------------------------------------------------------
 
 using Msg = std::variant<HelloSibling, HelloTool, HelloAck, HelloReject, CreateReq,
@@ -492,7 +513,7 @@ using Msg = std::variant<HelloSibling, HelloTool, HelloAck, HelloReject, CreateR
                          RusageReq, RusageResp, AdoptReq, AdoptResp, TraceReq, TraceResp,
                          HistoryReq, HistoryResp, TriggerReq, TriggerResp, BecomeCcs,
                          CcsChanged, Probe, ProbeAck, FilesReq, FilesResp, MigrateReq,
-                         MigrateResp, RegisterChild, StatReq, StatResp>;
+                         MigrateResp, RegisterChild, StatReq, StatResp, BusyResp>;
 
 // Trace header escape.  A frame whose first byte is kTraceHeaderTag
 // carries a causal-tracing header (trace id, span id, parent span — see
@@ -521,11 +542,39 @@ constexpr uint8_t kStatMsgTag = 0xF6;
 constexpr uint8_t kStatReqSub = 0;
 constexpr uint8_t kStatRespSub = 1;
 
+// Deadline / idempotency header escape.  A frame may carry a
+// DeadlineStamp between the trace header (if any) and the message body:
+// an absolute expiry time (virtual microseconds) checked at every hop so
+// queued work whose origin has already given up is cancelled instead of
+// executed, plus an idempotency token under which the receiver
+// duplicate-suppresses retried mutating requests.  Optional and
+// version-gated like 0xF4/0xF5/0xF6: frames without it parse unchanged,
+// and pre-deadline parsers reject stamped frames cleanly (unknown tag)
+// rather than misdecoding them.
+constexpr uint8_t kDeadlineHeaderTag = 0xF7;
+constexpr size_t kDeadlineHeaderBytes = 1 + 2 * 8;  // escape + two u64s
+
+// BUSY rejection escape.  BusyResp rides under this opcode (below the
+// checksum escape, above the plain tags) rather than its variant index,
+// so pre-overload parsers see an unknown tag and reject the frame
+// cleanly.
+constexpr uint8_t kBusyMsgTag = 0xF3;
+
+struct DeadlineStamp {
+  uint64_t deadline_us = 0;  // absolute sim time; 0 = no deadline
+  uint64_t idem_token = 0;   // 0 = not idempotent / no suppression
+  bool valid() const { return deadline_us != 0 || idem_token != 0; }
+  bool operator==(const DeadlineStamp&) const = default;
+};
+
 // Zero-copy primary: encodes the frame (checksum header, optional trace
-// header, body) into `out` in one pass — the buffer is cleared first and
-// its capacity is kept, so a reusing caller pays no per-frame
-// allocation.  Pass an invalid (default) TraceContext for no trace
-// header.  The emitted bytes are identical to the owning wrappers'.
+// header, optional deadline header, body) into `out` in one pass — the
+// buffer is cleared first and its capacity is kept, so a reusing caller
+// pays no per-frame allocation.  Pass an invalid (default) TraceContext
+// for no trace header and an empty DeadlineStamp for no deadline header.
+// The emitted bytes are identical to the owning wrappers'.
+void Serialize(const Msg& msg, const obs::TraceContext& trace,
+               const DeadlineStamp& stamp, WireBuffer& out);
 void Serialize(const Msg& msg, const obs::TraceContext& trace, WireBuffer& out);
 
 // Owning convenience wrappers over the same encoder.
@@ -533,12 +582,18 @@ std::vector<uint8_t> Serialize(const Msg& msg);
 // Prepends the trace header when `trace` is valid; identical to
 // Serialize(msg) otherwise.
 std::vector<uint8_t> Serialize(const Msg& msg, const obs::TraceContext& trace);
+std::vector<uint8_t> Serialize(const Msg& msg, const obs::TraceContext& trace,
+                               const DeadlineStamp& stamp);
 
 std::optional<Msg> Parse(WireView bytes);
 // Also surfaces the frame's trace context: *trace is filled from the
 // header when present and zeroed ({}) when not.  Accepts both formats.
 // Decodes in place: the viewed bytes are never copied wholesale.
 std::optional<Msg> Parse(WireView bytes, obs::TraceContext* trace);
+// Also surfaces the frame's deadline stamp the same way: filled when the
+// 0xF7 header is present, zeroed ({}) when not.
+std::optional<Msg> Parse(WireView bytes, obs::TraceContext* trace,
+                         DeadlineStamp* stamp);
 
 // Human-readable message type name, for traces and tests.
 const char* MsgTypeName(const Msg& msg);

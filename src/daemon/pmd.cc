@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "host/calibration.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "util/log.h"
 #include "util/panic.h"
@@ -20,6 +21,7 @@ struct PmdCounters {
   obs::Counter* lookup_misses;
   obs::Counter* lpms_created;
   obs::Counter* stable_writes;
+  obs::Counter* requests_shed;
 };
 
 PmdCounters& Counters() {
@@ -30,6 +32,7 @@ PmdCounters& Counters() {
       obs::Registry::Instance().GetCounter("pmd.lookup.misses"),
       obs::Registry::Instance().GetCounter("pmd.lpms.created"),
       obs::Registry::Instance().GetCounter("pmd.stable.writes"),
+      obs::Registry::Instance().GetCounter("pmd.shed.requests"),
   };
   return c;
 }
@@ -79,10 +82,41 @@ bool Pmd::Authenticate(const LpmRequest& request, bool local, host::Uid* uid,
   return false;
 }
 
+void Pmd::ReplyAfter(sim::SimDuration cost, LpmResponse resp,
+                     std::function<void(const LpmResponse&)> reply) {
+  ++*inflight_;
+  host_.simulator().ScheduleIn(
+      cost,
+      [inflight = inflight_, reply = std::move(reply), resp] {
+        --*inflight;
+        reply(resp);
+      },
+      "pmd-reply");
+}
+
 void Pmd::EnsureLpm(const LpmRequest& request, bool local,
                     std::function<void(const LpmResponse&)> reply) {
   ++stats_.requests;
   Counters().requests->Inc();
+
+  // Admission control: a full inflight window sheds the request with an
+  // explicit busy + retry-after before any lookup work is charged.  The
+  // shed reply itself is immediate and does not occupy the window.
+  if (config_.max_inflight != 0 && *inflight_ >= config_.max_inflight) {
+    ++stats_.requests_shed;
+    Counters().requests_shed->Inc();
+    obs::FlightRecorder::Instance().Record(obs::FlightKind::kRequestShed,
+                                           host_.name(), "pmd", 0, 0, *inflight_);
+    LpmResponse busy;
+    busy.ok = false;
+    busy.busy = true;
+    busy.error = "pmd busy";
+    busy.retry_after_us = 200'000;
+    host_.simulator().ScheduleIn(0, [reply = std::move(reply), busy] { reply(busy); },
+                                 "pmd-reply");
+    return;
+  }
+
   sim::SimDuration cost = host_.kernel().Charge(pid(), BaseCosts::kPmdLookup);
 
   LpmResponse resp;
@@ -93,8 +127,7 @@ void Pmd::EnsureLpm(const LpmRequest& request, bool local,
     Counters().auth_failures->Inc();
     resp.ok = false;
     resp.error = error;
-    host_.simulator().ScheduleIn(cost, [reply = std::move(reply), resp] { reply(resp); },
-                                 "pmd-reply");
+    ReplyAfter(cost, resp, std::move(reply));
     return;
   }
 
@@ -112,8 +145,7 @@ void Pmd::EnsureLpm(const LpmRequest& request, bool local,
       resp.token = it->second.token;
       resp.lpm_pid = it->second.pid;
       resp.created = false;
-      host_.simulator().ScheduleIn(cost, [reply = std::move(reply), resp] { reply(resp); },
-                                   "pmd-reply");
+      ReplyAfter(cost, resp, std::move(reply));
       return;
     }
     registry_.erase(it);
@@ -144,8 +176,7 @@ void Pmd::EnsureLpm(const LpmRequest& request, bool local,
   resp.created = true;
   PPM_DEBUG("pmd") << "created LPM pid " << handle.pid << " for uid " << uid << " on "
                    << host_.name();
-  host_.simulator().ScheduleIn(cost, [reply = std::move(reply), resp] { reply(resp); },
-                               "pmd-reply");
+  ReplyAfter(cost, resp, std::move(reply));
 }
 
 void Pmd::Unregister(host::Uid uid, host::Pid lpm_pid) {

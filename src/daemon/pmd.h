@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -53,6 +54,10 @@ struct PmdConfig {
   // and then exits; inetd re-creates it on the next request.  0 = never
   // exit.
   sim::SimDuration idle_exit = sim::Seconds(600);
+  // Overload protection: requests in flight (charged but not yet
+  // replied) beyond this bound are shed with an explicit busy response
+  // and a retry-after hint.  0 = unbounded (the pre-protection pmd).
+  size_t max_inflight = 32;
 };
 
 struct PmdStats {
@@ -60,6 +65,7 @@ struct PmdStats {
   uint64_t lpms_created = 0;
   uint64_t auth_failures = 0;
   uint64_t stable_writes = 0;
+  uint64_t requests_shed = 0;  // rejected at admission (inflight window full)
 };
 
 class Pmd : public host::ProcessBody {
@@ -106,12 +112,19 @@ class Pmd : public host::ProcessBody {
   void LoadRegistry();
   void ReviewIdleExit();
 
+  // Schedules `reply(resp)` after `cost`, counting it against the
+  // inflight window until it fires.  The counter is shared-ptr-owned so
+  // a reply scheduled before pmd's idle exit can still settle safely.
+  void ReplyAfter(sim::SimDuration cost, LpmResponse resp,
+                  std::function<void(const LpmResponse&)> reply);
+
   host::Host& host_;
   PmdConfig config_;
   LpmFactory factory_;
   std::map<host::Uid, Entry> registry_;
   sim::EventId idle_event_ = sim::kInvalidEventId;
   PmdStats stats_;
+  std::shared_ptr<size_t> inflight_ = std::make_shared<size_t>(0);
 };
 
 }  // namespace ppm::daemon

@@ -41,6 +41,12 @@ std::vector<uint8_t> LpmResponse::Serialize() const {
   w.U64(token);
   w.I32(lpm_pid);
   w.Bool(created);
+  // Overload-protection trailer (PR 8).  Appended after the original
+  // fields so an old parser that stopped at `created` would still have
+  // seen a well-formed prefix; our parser tolerates its absence for the
+  // same reason in reverse.
+  w.Bool(busy);
+  w.U64(retry_after_us);
   return w.Take();
 }
 
@@ -56,7 +62,7 @@ std::optional<LpmResponse> LpmResponse::Parse(const std::vector<uint8_t>& bytes)
   auto token = r.U64();
   auto pid = r.I32();
   auto created = r.Bool();
-  if (!ok || !error || !host || !port || !token || !pid || !created || !r.AtEnd())
+  if (!ok || !error || !host || !port || !token || !pid || !created)
     return std::nullopt;
   resp.ok = *ok;
   resp.error = *error;
@@ -64,6 +70,14 @@ std::optional<LpmResponse> LpmResponse::Parse(const std::vector<uint8_t>& bytes)
   resp.token = *token;
   resp.lpm_pid = *pid;
   resp.created = *created;
+  // Version-tolerant trailer: absent on frames from the original format.
+  if (!r.AtEnd()) {
+    auto busy = r.Bool();
+    auto retry = r.U64();
+    if (!busy || !retry || !r.AtEnd()) return std::nullopt;
+    resp.busy = *busy;
+    resp.retry_after_us = *retry;
+  }
   return resp;
 }
 

@@ -44,6 +44,12 @@ struct LpmResponse {
   uint64_t token = 0;          // session token for sibling authentication
   int32_t lpm_pid = -1;
   bool created = false;        // true if this request created the LPM
+  // Overload protection: true when pmd shed the request at admission
+  // (its inflight window was full); retry after the hinted backoff.
+  // Serialized as a version-tolerant trailer — a frame without it parses
+  // with both fields defaulted.
+  bool busy = false;
+  uint64_t retry_after_us = 0;
 
   std::vector<uint8_t> Serialize() const;
   static std::optional<LpmResponse> Parse(const std::vector<uint8_t>& bytes);

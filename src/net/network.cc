@@ -23,6 +23,8 @@ struct NetCounters {
   obs::Counter* conns_opened;
   obs::Counter* conns_broken;
   obs::Counter* dup_suppressed;
+  obs::Counter* connect_timeouts;
+  obs::Counter* half_open_reaped;
 };
 
 NetCounters& Counters() {
@@ -34,6 +36,8 @@ NetCounters& Counters() {
       obs::Registry::Instance().GetCounter("net.conns.opened"),
       obs::Registry::Instance().GetCounter("net.conns.broken"),
       obs::Registry::Instance().GetCounter("net.frames.dup-suppressed"),
+      obs::Registry::Instance().GetCounter("net.conns.connect-timeouts"),
+      obs::Registry::Instance().GetCounter("net.conns.half-open-reaped"),
   };
   return c;
 }
@@ -225,8 +229,19 @@ void Network::SetHostUp(HostId h, bool up) {
     bool mine = conn_it != conns_.end() && conn_it->second.a.addr.host == h;
     if (mine) {
       sim_.Cancel(it->second.timeout_ev);
-      if (conn_it != conns_.end()) conn_it->second.dead = true;
+      ConnId id = it->first;
       it = pending_connects_.erase(it);
+      Conn& conn = conn_it->second;
+      conn.dead = true;
+      if (conn.b.open) {
+        // The acceptor already opened its endpoint for this handshake;
+        // marking the conn dead here would make the BreakConn sweep
+        // below skip it and leave the acceptor half-open forever.
+        ScheduleBreakNotice(id, /*notify_a=*/false, /*notify_b=*/true,
+                            CloseReason::kPeerCrash, /*reap_after=*/true);
+      } else {
+        conns_.erase(conn_it);
+      }
     } else {
       ++it;
     }
@@ -298,8 +313,9 @@ void Network::BreakConn(Conn& conn, HostId detected_by, CloseReason reason) {
 }
 
 void Network::ScheduleBreakNotice(ConnId id, bool notify_a, bool notify_b,
-                                  CloseReason reason) {
-  sim_.ScheduleIn(params_.break_detection_delay, [this, id, notify_a, notify_b, reason] {
+                                  CloseReason reason, bool reap_after) {
+  sim_.ScheduleIn(params_.break_detection_delay,
+                  [this, id, notify_a, notify_b, reason, reap_after] {
     auto it = conns_.find(id);
     if (it == conns_.end()) return;
     Conn& conn = it->second;
@@ -310,6 +326,13 @@ void Network::ScheduleBreakNotice(ConnId id, bool notify_a, bool notify_b,
     if (notify_b && conn.b.open) {
       conn.b.open = false;
       if (auto fn = conn.b.cb.on_close) fn(id * 2 + 1, reason);
+    }
+    if (reap_after) {
+      // Re-find: an on_close callback may have opened new circuits and
+      // rehashed the map (which invalidates iterators, not references).
+      ++stats_.half_open_reaped;
+      Counters().half_open_reaped->Inc();
+      conns_.erase(id);
     }
   }, "conn-break-notice");
 }
@@ -355,8 +378,24 @@ void Network::Connect(HostId from, SocketAddr to, ConnCallbacks cb, ConnectResul
     if (pit == pending_connects_.end()) return;
     ConnectResultFn done_fn = std::move(pit->second.done);
     pending_connects_.erase(pit);
+    ++stats_.connects_timed_out;
+    Counters().connect_timeouts->Inc();
     auto cit = conns_.find(id);
-    if (cit != conns_.end()) cit->second.dead = true;
+    if (cit != conns_.end()) {
+      Conn& conn = cit->second;
+      conn.dead = true;
+      if (conn.b.open) {
+        // The acceptor answered the SYN but the SYN-ACK never made it
+        // back (dropped, or the route broke mid-handshake).  Its
+        // endpoint is half-open: notify it after the usual detection
+        // window, then reap the entry — nothing else ever will.
+        ScheduleBreakNotice(id, /*notify_a=*/false, /*notify_b=*/true,
+                            CloseReason::kNetBroken, /*reap_after=*/true);
+      } else {
+        // The SYN never reached a listener: no peer state to unwind.
+        conns_.erase(cit);
+      }
+    }
     if (done_fn) done_fn(std::nullopt);
   }, "connect-timeout");
   pending_connects_[id] = std::move(pending);
@@ -465,6 +504,20 @@ size_t Network::ListenerCount(HostId h) const {
 size_t Network::DgramBindCount(HostId h) const {
   size_t n = 0;
   for (const auto& [addr, fn] : dgram_binds_) n += (addr.host == h);
+  return n;
+}
+
+size_t Network::HalfOpenConnCount(HostId h) const {
+  // Established entries linger after close by design (ids are never
+  // reused); what must NOT linger is a handshake that concluded without
+  // establishing — those are reaped on timeout/refusal/crash.  A
+  // not-yet-expired pending connect is a legitimate transient.
+  size_t n = 0;
+  for (const auto& [id, conn] : conns_) {
+    if (conn.established) continue;
+    if (pending_connects_.count(id)) continue;
+    if (conn.a.addr.host == h || conn.b.addr.host == h) ++n;
+  }
   return n;
 }
 
@@ -791,7 +844,12 @@ void Network::DeliverFrame(Frame f) {
         ConnectResultFn done_fn = std::move(pit->second.done);
         pending_connects_.erase(pit);
         auto cit = conns_.find(f.conn);
-        if (cit != conns_.end()) cit->second.dead = true;
+        if (cit != conns_.end()) {
+          cit->second.dead = true;
+          // Refused connect: the acceptor never opened (a RST means the
+          // accept path declined), so the entry can go right away.
+          if (!cit->second.b.open) conns_.erase(cit);
+        }
         if (done_fn) done_fn(std::nullopt);
         return;
       }

@@ -99,6 +99,8 @@ struct NetStats {
   uint64_t bytes_sent = 0;
   uint64_t conns_opened = 0;
   uint64_t conns_broken = 0;
+  uint64_t connects_timed_out = 0;  // handshakes that never completed
+  uint64_t half_open_reaped = 0;    // accepted-but-unestablished endpoints torn down
   // Chaos accounting (LinkFaultProfile injections and their fallout).
   uint64_t faults_dropped = 0;     // frames eaten by a drop fault
   uint64_t faults_duplicated = 0;  // extra copies injected on the wire
@@ -189,6 +191,11 @@ class Network {
   // have none).
   size_t ListenerCount(HostId h) const;
   size_t DgramBindCount(HostId h) const;
+  // Circuits touching `h` that are neither established nor still inside
+  // the handshake window (no pending connect).  Any such entry at a
+  // quiescent point is a half-open leak: a connect that timed out or was
+  // refused but left state behind.  Must be zero once the dust settles.
+  size_t HalfOpenConnCount(HostId h) const;
 
   // --- datagrams ------------------------------------------------------
   void BindDgram(HostId h, Port p, DgramFn fn);
@@ -280,7 +287,10 @@ class Network {
   void DeliverData(Conn& conn, Endpoint& self, Frame f);
   Endpoint* EndpointAt(Conn& conn, HostId h, Port p);
   void BreakConn(Conn& conn, HostId detected_by, CloseReason reason);
-  void ScheduleBreakNotice(ConnId id, bool notify_a, bool notify_b, CloseReason reason);
+  // `reap_after` erases the conns_ entry once the notice has fired —
+  // used for never-established circuits, which nothing else will reap.
+  void ScheduleBreakNotice(ConnId id, bool notify_a, bool notify_b, CloseReason reason,
+                           bool reap_after = false);
   Port NextEphemeral(HostId h);
 
   sim::Simulator& sim_;

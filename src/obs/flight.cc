@@ -27,6 +27,11 @@ const char* ToString(FlightKind k) {
     case FlightKind::kJournalSync: return "journal.sync";
     case FlightKind::kInvariantViolation: return "invariant.violation";
     case FlightKind::kHostCrash: return "host.crash";
+    case FlightKind::kRequestShed: return "request.shed";
+    case FlightKind::kRequestExpired: return "request.expired";
+    case FlightKind::kRetry: return "request.retry";
+    case FlightKind::kBreakerOpen: return "breaker.open";
+    case FlightKind::kBreakerClose: return "breaker.close";
   }
   return "?";
 }

@@ -38,6 +38,12 @@ enum class FlightKind : uint8_t {
   kJournalSync,         // journal physical sync (a = bytes flushed)
   kInvariantViolation,  // chaos invariant failed (detail = invariant name)
   kHostCrash,           // host hard-crashed
+  // Overload protection (PR 8):
+  kRequestShed,         // admission rejected a request (a = req_id, b = depth)
+  kRequestExpired,      // deadline-expired work cancelled (a = req_id)
+  kRetry,               // forward attempt retried (a = req_id, b = attempt)
+  kBreakerOpen,         // per-host circuit breaker tripped (detail = host)
+  kBreakerClose,        // breaker readmitted the peer (detail = host)
 };
 
 const char* ToString(FlightKind k);

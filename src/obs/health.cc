@@ -52,11 +52,13 @@ HealthReport ClassifyLpm(const LpmHealthInputs& in, const HealthThresholds& t) {
     }
   }
   if (in.requests > 0) {
-    double to = static_cast<double>(in.request_timeouts) /
-                static_cast<double>(in.requests);
+    // Deadline-expired cancellations are missed requests just like
+    // explicit timeouts — the origin got an error either way.
+    uint64_t missed = in.request_timeouts + in.deadline_expired;
+    double to = static_cast<double>(missed) / static_cast<double>(in.requests);
     if (to > t.timeout_ratio) {
-      out.reasons.push_back("request timeouts (" +
-                            Ratio(in.request_timeouts, in.requests) + " of requests)");
+      out.reasons.push_back("request timeouts (" + Ratio(missed, in.requests) +
+                            " of requests timed out or expired)");
     }
   }
   if (in.handler_queue_depth > t.handler_queue_depth) {
@@ -66,6 +68,21 @@ HealthReport ClassifyLpm(const LpmHealthInputs& in, const HealthThresholds& t) {
   if (in.journal_pending > t.journal_pending) {
     out.reasons.push_back("journal sync lag (" + std::to_string(in.journal_pending) +
                           " frames unsynced)");
+  }
+  // Shed requests never entered `requests` (rejected at admission), so
+  // the offered load is requests + shed.
+  uint64_t offered = in.requests + in.requests_shed;
+  if (offered > 0) {
+    double shed = static_cast<double>(in.requests_shed) /
+                  static_cast<double>(offered);
+    if (shed > t.shed_ratio) {
+      out.reasons.push_back("load shedding (" + Ratio(in.requests_shed, offered) +
+                            " of offered requests rejected)");
+    }
+  }
+  if (in.breaker_open >= t.breaker_open && in.breaker_open > 0) {
+    out.reasons.push_back("circuit breakers open (" +
+                          std::to_string(in.breaker_open) + " peers quarantined)");
   }
   out.level = out.reasons.empty() ? HealthLevel::kHealthy : HealthLevel::kDegraded;
   return out;

@@ -40,9 +40,17 @@ const char* ToString(HealthLevel level);
 struct HealthThresholds {
   double eventlog_drop_ratio = 0.01;  // dropped / recorded
   double bcast_dup_ratio = 2.0;       // duplicates per broadcast handled
-  double timeout_ratio = 0.10;        // request timeouts / requests
+  // Deadline misses count alongside explicit timeouts: the numerator is
+  // request_timeouts + deadline_expired, so a manager cancelling expired
+  // work out of its queue classifies degraded exactly like one timing
+  // out, even though the cancellations saved the handler-pool burn.
+  double timeout_ratio = 0.10;        // (timeouts + expiries) / requests
   uint64_t handler_queue_depth = 8;   // dispatcher backlog (current)
   uint64_t journal_pending = 64;      // journal frames awaiting sync
+  // Sustained load shedding is degradation even when it is the correct
+  // response: callers are being turned away.
+  double shed_ratio = 0.25;           // requests_shed / (requests + shed)
+  uint64_t breaker_open = 1;          // open circuit breakers (current)
 };
 
 // One LPM's raw health inputs, as sampled for a STAT record.
@@ -55,6 +63,9 @@ struct LpmHealthInputs {
   uint64_t request_timeouts = 0;
   uint64_t handler_queue_depth = 0;
   uint64_t journal_pending = 0;
+  uint64_t deadline_expired = 0;
+  uint64_t requests_shed = 0;
+  uint64_t breaker_open = 0;
 };
 
 struct HealthReport {

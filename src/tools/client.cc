@@ -147,6 +147,17 @@ void PpmClient::Expect(uint64_t req_id, std::function<void(const RespT&)> done) 
         done(*resp);
         return;
       }
+      // The LPM shed this request at admission (handler queue full):
+      // surface the explicit BUSY as a typed failure with the retry
+      // hint, so no tool request ever vanishes silently.
+      if (const auto* busy = std::get_if<core::BusyResp>(msg)) {
+        RespT shed;
+        shed.ok = false;
+        shed.error = "busy: " + busy->error + " (retry after " +
+                     std::to_string(busy->retry_after_us) + "us)";
+        done(shed);
+        return;
+      }
     }
     RespT failed;
     failed.ok = false;

@@ -35,7 +35,8 @@ std::string RenderStatTable(const std::vector<core::LpmStatRecord>& in) {
   std::ostringstream out;
   out << std::left << std::setw(12) << "HOST" << std::setw(6) << "MODE"
       << std::setw(5) << "CCS" << std::setw(6) << "RANK" << std::setw(7) << "PROCS"
-      << std::setw(9) << "HANDLERS" << std::setw(9) << "QUEUE" << std::setw(9)
+      << std::setw(9) << "HANDLERS" << std::setw(9) << "QUEUE" << std::setw(6)
+      << "SHED" << std::setw(7) << "RETRY" << std::setw(6) << "BRKR" << std::setw(9)
       << "KEVENTS" << std::setw(7) << "DROPS" << std::setw(9) << "JOURNAL"
       << std::setw(8) << "FLIGHT" << "HEALTH\n";
   for (const core::LpmStatRecord& r : records) {
@@ -60,7 +61,9 @@ std::string RenderStatTable(const std::vector<core::LpmStatRecord>& in) {
     out << std::left << std::setw(12) << r.host << std::setw(6)
         << core::ToString(static_cast<core::LpmMode>(r.mode)) << std::setw(5)
         << (r.is_ccs ? "*" : "") << std::setw(6) << rank.str() << std::setw(7) << live
-        << std::setw(9) << handlers.str() << std::setw(9) << queue.str() << std::setw(9)
+        << std::setw(9) << handlers.str() << std::setw(9) << queue.str() << std::setw(6)
+        << r.requests_shed << std::setw(7) << r.retries << std::setw(6)
+        << r.breaker_open << std::setw(9)
         << r.kernel_events << std::setw(7) << r.eventlog_dropped << std::setw(9)
         << journal.str() << std::setw(8) << r.flight_records
         << obs::ToString(static_cast<obs::HealthLevel>(r.health)) << "\n";
@@ -107,6 +110,12 @@ std::string RenderStatJson(const std::vector<core::LpmStatRecord>& in) {
     out += ",\"failures_detected\":" + std::to_string(r.failures_detected);
     out += ",\"recoveries_started\":" + std::to_string(r.recoveries_started);
     out += ",\"request_timeouts\":" + std::to_string(r.request_timeouts);
+    out += "},\"overload\":{\"requests_shed\":" + std::to_string(r.requests_shed);
+    out += ",\"busy_sent\":" + std::to_string(r.busy_sent);
+    out += ",\"retries\":" + std::to_string(r.retries);
+    out += ",\"deadline_expired\":" + std::to_string(r.deadline_expired);
+    out += ",\"dup_suppressed\":" + std::to_string(r.dup_suppressed);
+    out += ",\"breaker_open\":" + std::to_string(r.breaker_open);
     out += "},\"eventlog\":{\"size\":" + std::to_string(r.eventlog_size);
     out += ",\"recorded\":" + std::to_string(r.eventlog_recorded);
     out += ",\"filtered\":" + std::to_string(r.eventlog_filtered);

@@ -37,6 +37,7 @@ class CrashScheduleTest : public ::testing::TestWithParam<uint64_t> {};
 class PartitionScheduleTest : public ::testing::TestWithParam<uint64_t> {};
 class CorruptionScheduleTest : public ::testing::TestWithParam<uint64_t> {};
 class StoreScheduleTest : public ::testing::TestWithParam<uint64_t> {};
+class OverloadScheduleTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CrashScheduleTest, InvariantsHold) {
   EXPECT_TRUE(RunChaos(GetParam(), chaos::CrashPlan()));
@@ -70,6 +71,17 @@ TEST_P(StoreScheduleTest, CrashMidWriteRecoversExactly) {
   EXPECT_GT(outcome.host_crashes + outcome.lpm_kills, 0u) << outcome.Summary();
 }
 
+TEST_P(OverloadScheduleTest, FloodTerminatesEveryRequest) {
+  // A request flood against a noisy-neighbor host with partitions under
+  // load: judged by the no-silent-loss invariant (every admitted request
+  // terminates in a reply, an explicit error, or a recorded expiry) and
+  // the shed-partition invariant (every shed request got an explicit
+  // BUSY), on top of the standard set.
+  chaos::ChaosOutcome outcome =
+      chaos::RunChaosPlan(GetParam(), chaos::OverloadPlan());
+  EXPECT_TRUE(outcome.ok()) << outcome.Summary();
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, CrashScheduleTest,
                          ::testing::Range<uint64_t>(1, PPM_CHAOS_SEEDS + 1));
 INSTANTIATE_TEST_SUITE_P(Seeds, PartitionScheduleTest,
@@ -77,6 +89,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PartitionScheduleTest,
 INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionScheduleTest,
                          ::testing::Range<uint64_t>(1, PPM_CHAOS_SEEDS + 1));
 INSTANTIATE_TEST_SUITE_P(Seeds, StoreScheduleTest,
+                         ::testing::Range<uint64_t>(1, PPM_CHAOS_SEEDS + 1));
+INSTANTIATE_TEST_SUITE_P(Seeds, OverloadScheduleTest,
                          ::testing::Range<uint64_t>(1, PPM_CHAOS_SEEDS + 1));
 
 }  // namespace

@@ -128,6 +128,12 @@ void PutLpmStatRecord(util::ByteWriter& w, const LpmStatRecord& rec) {
   w.U64(rec.failures_detected);
   w.U64(rec.recoveries_started);
   w.U64(rec.request_timeouts);
+  w.U64(rec.requests_shed);
+  w.U64(rec.busy_sent);
+  w.U64(rec.retries);
+  w.U64(rec.deadline_expired);
+  w.U64(rec.dup_suppressed);
+  w.U32(rec.breaker_open);
   w.U64(rec.eventlog_size);
   w.U64(rec.eventlog_recorded);
   w.U64(rec.eventlog_filtered);
@@ -183,6 +189,13 @@ void EncodeMsg(util::ByteWriter& w, const Msg& msg) {
     w.U8(kStatMsgTag);
     w.U8(kStatRespSub);
     PutStatResp(w, *resp);
+    return;
+  }
+  if (const auto* busy = std::get_if<BusyResp>(&msg)) {
+    w.U8(kBusyMsgTag);
+    w.U64(busy->req_id);
+    w.Str(busy->error);
+    w.U64(busy->retry_after_us);
     return;
   }
   w.U8(static_cast<uint8_t>(msg.index()));
@@ -328,13 +341,19 @@ void EncodeMsg(util::ByteWriter& w, const Msg& msg) {
       msg);
 }
 
-std::vector<uint8_t> Serialize(const Msg& msg, const obs::TraceContext& trace) {
+std::vector<uint8_t> Serialize(const Msg& msg, const obs::TraceContext& trace,
+                               const DeadlineStamp& stamp = {}) {
   util::ByteWriter w;
   if (trace.valid()) {
     w.U8(kTraceHeaderTag);
     w.U64(trace.trace_id);
     w.U64(trace.span_id);
     w.U64(trace.parent_span);
+  }
+  if (stamp.valid()) {
+    w.U8(kDeadlineHeaderTag);
+    w.U64(stamp.deadline_us);
+    w.U64(stamp.idem_token);
   }
   EncodeMsg(w, msg);
   return WrapChecksum(w.Take());
@@ -372,10 +391,10 @@ class Gen {
   bool B() { return (rng_() & 1) != 0; }
   size_t Size(size_t max) { return rng_() % (max + 1); }
 
-  // Strings deliberately include NULs and the 0xF4/0xF5/0xF6 escape
-  // bytes: the length-prefixed format must be 8-bit clean.
+  // Strings deliberately include NULs and the 0xF3..0xF7 escape bytes:
+  // the length-prefixed format must be 8-bit clean.
   std::string Str(size_t max_len = 12) {
-    static const char kSpice[] = {'\0', '\xF4', '\xF5', '\xF6', '\xFF'};
+    static const char kSpice[] = {'\0', '\xF3', '\xF4', '\xF5', '\xF6', '\xF7', '\xFF'};
     std::string s;
     size_t n = Size(max_len);
     s.reserve(n);
@@ -482,9 +501,12 @@ class Gen {
         &rec.handlers_created,  &rec.handler_reuses,     &rec.snapshots_served,
         &rec.bcasts_originated, &rec.bcast_duplicates,   &rec.triggers_fired,
         &rec.failures_detected, &rec.recoveries_started, &rec.request_timeouts,
+        &rec.requests_shed,     &rec.busy_sent,          &rec.retries,
+        &rec.deadline_expired,  &rec.dup_suppressed,
         &rec.eventlog_size,     &rec.eventlog_recorded,  &rec.eventlog_filtered,
         &rec.eventlog_dropped};
     for (uint64_t* c : counters) *c = U64();
+    rec.breaker_open = U32();
     rec.dropped_by_pid.resize(Size(2));
     for (auto& d : rec.dropped_by_pid) d = PidDrop{I32(), U64()};
     rec.store_enabled = B();
@@ -514,8 +536,8 @@ class Gen {
     return ev;
   }
 
-  // One random message of the variant alternative `tag` (0..30, where
-  // 29/30 are the STAT escape pair).
+  // One random message of the variant alternative `tag` (0..31, where
+  // 29/30 are the STAT escape pair and 31 the BUSY escape).
   Msg MsgForTag(size_t tag) {
     switch (tag) {
       case 0: {
@@ -745,7 +767,7 @@ class Gen {
         m.dump_flight = B();
         return m;
       }
-      default: {
+      case 30: {
         StatResp m;
         m.req_id = U64();
         m.origin_host = Str(6);
@@ -756,6 +778,13 @@ class Gen {
         m.route_index = Size(4);
         m.records.resize(Size(2));
         for (auto& rec : m.records) rec = Stat();
+        return m;
+      }
+      default: {
+        BusyResp m;
+        m.req_id = U64();
+        m.error = Str(20);
+        m.retry_after_us = U64();
         return m;
       }
     }
@@ -771,17 +800,27 @@ class Gen {
     return t;
   }
 
+  DeadlineStamp Stamp(bool valid) {
+    DeadlineStamp s;
+    if (valid) {
+      s.deadline_us = U64() | 1;  // nonzero: valid()
+      s.idem_token = U64();
+    }
+    return s;
+  }
+
  private:
   std::mt19937_64 rng_;
 };
 
-constexpr size_t kTagCount = 31;     // 29 plain + the STAT escape pair
-constexpr size_t kItersPerTag = 160;  // x31 tags x2 header combos ≈ 9.9k frames
+constexpr size_t kTagCount = 32;     // 29 plain + STAT escape pair + BUSY escape
+constexpr size_t kItersPerTag = 160;  // x32 tags x header combos ≈ 10k frames
 
-// Every opcode, randomized payloads, both header combinations: the new
-// encoder's bytes must equal the reference encoder's, and both parse
-// paths (owning vector and zero-copy view) must round-trip the value
-// and the trace header.
+// Every opcode, randomized payloads, all four header combinations
+// (trace on/off x deadline on/off): the new encoder's bytes must equal
+// the reference encoder's, and both parse paths (owning vector and
+// zero-copy view) must round-trip the value, the trace header, and the
+// deadline stamp.
 TEST(WireDifferential, EncoderMatchesReferenceAllOpcodes) {
   Gen gen(0x9e3779b97f4a7c15ull);
   WireBuffer buf;
@@ -789,22 +828,28 @@ TEST(WireDifferential, EncoderMatchesReferenceAllOpcodes) {
     for (size_t iter = 0; iter < kItersPerTag; ++iter) {
       const Msg msg = gen.MsgForTag(tag);
       const obs::TraceContext trace = gen.Trace(/*valid=*/iter % 2 == 0);
+      const DeadlineStamp stamp = gen.Stamp(/*valid=*/iter % 4 < 2);
 
-      const std::vector<uint8_t> want = ref::Serialize(msg, trace);
-      Serialize(msg, trace, buf);
+      const std::vector<uint8_t> want = ref::Serialize(msg, trace, stamp);
+      Serialize(msg, trace, stamp, buf);
       ASSERT_EQ(want, buf.CopyOut()) << "tag " << tag << " iter " << iter;
 
       // The owning wrapper is the same codec behind a copy.
-      ASSERT_EQ(want, trace.valid() ? Serialize(msg, trace) : Serialize(msg))
+      ASSERT_EQ(want, stamp.valid()    ? Serialize(msg, trace, stamp)
+                      : trace.valid()  ? Serialize(msg, trace)
+                                       : Serialize(msg))
           << "tag " << tag << " iter " << iter;
 
       // Round trip, zero-copy path.
       obs::TraceContext got_trace;
-      auto parsed = Parse(WireView(buf), &got_trace);
+      DeadlineStamp got_stamp;
+      auto parsed = Parse(WireView(buf), &got_trace, &got_stamp);
       ASSERT_TRUE(parsed.has_value()) << "tag " << tag << " iter " << iter;
       ASSERT_TRUE(msg == *parsed) << "tag " << tag << " iter " << iter;
       EXPECT_EQ(trace.valid() ? trace.trace_id : 0u, got_trace.trace_id);
       EXPECT_EQ(trace.valid() ? trace.span_id : 0u, got_trace.span_id);
+      EXPECT_EQ(stamp.valid() ? stamp.deadline_us : 0u, got_stamp.deadline_us);
+      EXPECT_EQ(stamp.valid() ? stamp.idem_token : 0u, got_stamp.idem_token);
 
       // Round trip, owning path.
       auto parsed2 = Parse(want);
@@ -849,9 +894,10 @@ TEST(WireDifferential, BufferReuseIsStateless) {
   for (size_t iter = 0; iter < 500; ++iter) {
     const Msg msg = gen.MsgForTag(iter % kTagCount);
     const obs::TraceContext trace = gen.Trace(iter % 2 == 0);
+    const DeadlineStamp stamp = gen.Stamp(iter % 4 < 2);
     WireBuffer fresh;
-    Serialize(msg, trace, reused);
-    Serialize(msg, trace, fresh);
+    Serialize(msg, trace, stamp, reused);
+    Serialize(msg, trace, stamp, fresh);
     ASSERT_EQ(fresh.CopyOut(), reused.CopyOut()) << "iter " << iter;
   }
 }

@@ -82,6 +82,15 @@ std::vector<std::vector<uint8_t>> FramePool() {
   trace.span_id = 0x5678;
   trace.parent_span = 0x9abc;
   pool.push_back(Serialize(Msg{Probe{31337}}, trace));
+  DeadlineStamp stamp;
+  stamp.deadline_us = 0x44556677;
+  stamp.idem_token = 0x8899aabbccddeeffull;
+  pool.push_back(Serialize(Msg{Probe{31338}}, trace, stamp));
+  BusyResp busy;
+  busy.req_id = 7;
+  busy.error = "handler queue full";
+  busy.retry_after_us = 200000;
+  pool.push_back(Serialize(Msg{busy}, obs::TraceContext{}, stamp));
   return pool;
 }
 

@@ -190,6 +190,11 @@ std::vector<Msg> AllMessages() {
   stat_resp.route_index = 1;
   stat_resp.records = {MakeLpmStatRecord()};
   msgs.push_back(stat_resp);
+  BusyResp busy;
+  busy.req_id = 19;
+  busy.error = "handler queue full";
+  busy.retry_after_us = 250000;
+  msgs.push_back(busy);
   return msgs;
 }
 
