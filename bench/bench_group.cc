@@ -1,0 +1,226 @@
+// bench_group — latency of the group-operations subsystem (PR 9).
+//
+// Three questions an operator of an event-parallel farm asks:
+//
+//   1. Gang-spawn: what does all-or-nothing creation of an n-member
+//      group cost, and how does it scale with n?  The coordinator fans
+//      GroupPartReq out to the member hosts in parallel, so the latency
+//      should track the *slowest* member, not the sum.
+//   2. Barrier: what is the release round-trip when every host of an
+//      n-host cluster contributes one participant?  Each member LPM
+//      aggregates its local waiters into one BarrierJoinReq to the CCS;
+//      the verdict fans back out — two sibling-graph hops end to end.
+//   3. Envar fan-out: after a GenvSet at one host, how long until every
+//      LPM's replicated table holds the new value?  The update floods
+//      the covering graph like a snapshot broadcast.
+//
+// Everything runs in virtual time from a fixed seed, so every number is
+// deterministic and bench_diff gates the committed baseline tightly.
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "group/group.h"
+
+using namespace ppm;
+
+namespace {
+
+core::ClusterConfig Config() {
+  core::ClusterConfig config;
+  config.seed = 9;
+  // Fast CCS discovery: the member managers probe the listed
+  // coordinator and yield within a probe round, so cluster assembly
+  // stays out of the measured numbers.
+  config.lpm.probe_interval = sim::Seconds(1);
+  return config;
+}
+
+std::vector<std::string> HostNames(int n) {
+  std::vector<std::string> names;
+  for (int i = 0; i < n; ++i) names.push_back("h" + std::to_string(i));
+  return names;
+}
+
+// An n-host Ethernet segment with one connected tool per host (which
+// also guarantees an LPM is running everywhere).
+struct World {
+  core::Cluster cluster;
+  std::vector<std::string> hosts;
+  std::vector<tools::PpmClient*> clients;
+  bool ok = false;
+
+  explicit World(int n) : cluster(Config()), hosts(HostNames(n)) {
+    for (const auto& h : hosts) cluster.AddHost(h);
+    cluster.Ethernet(hosts);
+    // h0 leads the .recovery list, so it is the CCS every barrier join
+    // tallies at and the root the member managers probe and yield to.
+    bench::InstallUser(cluster, {hosts[0]});
+    cluster.RunFor(sim::Millis(10));
+    for (const auto& h : hosts) {
+      tools::PpmClient* c = bench::Connect(cluster, h);
+      if (c == nullptr) return;
+      clients.push_back(c);
+    }
+    // Wait until every member manager discovered the coordinator, so
+    // the first measured op pays for the op, not cluster assembly.
+    ok = bench::RunUntil(cluster, [&] {
+      for (const auto& h : hosts) {
+        core::Lpm* lpm = cluster.FindLpm(h, bench::kUid);
+        if (lpm == nullptr) return false;
+        if (h == hosts[0] ? !lpm->is_ccs() : lpm->ccs_host() != hosts[0])
+          return false;
+      }
+      return true;
+    });
+  }
+};
+
+// --- 1. gang-spawn latency vs group size ----------------------------------
+
+// One coordinator, members round-robin over all 16 hosts.  Fresh group
+// name per size; the members stay alive (sleeping) — the cost of a
+// *later* spawn is unaffected because groups are independent.
+void BenchGangSpawn(bench::BenchReport& report) {
+  World w(16);
+  if (!w.ok) {
+    std::printf("gang-spawn: cluster failed to assemble\n");
+    return;
+  }
+  bench::PrintHeader("Gang-spawn latency vs group size (16-host cluster)");
+  bench::PrintRow({"members", "total ms", "ms/member"}, 12);
+  for (int n : {1, 2, 4, 8, 16}) {
+    std::vector<std::string> member_hosts;
+    std::vector<std::string> commands;
+    for (int i = 0; i < n; ++i) {
+      member_hosts.push_back(w.hosts[static_cast<size_t>(i) % w.hosts.size()]);
+      commands.push_back("worker");
+    }
+    std::optional<core::GroupSpawnResp> resp;
+    const std::string group = "gang" + std::to_string(n);
+    double ms = bench::MeasureMs(
+        w.cluster,
+        [&] {
+          w.clients[0]->GroupSpawn(group, member_hosts, commands,
+                                   [&](const core::GroupSpawnResp& r) { resp = r; });
+        },
+        [&] { return resp.has_value(); });
+    if (!resp || !resp->ok || resp->members.size() != static_cast<size_t>(n)) {
+      std::printf("  gang-spawn n=%d FAILED: %s\n", n,
+                  resp ? resp->error.c_str() : "no response");
+      continue;
+    }
+    bench::PrintRow({std::to_string(n), bench::Fmt(ms, 1), bench::Fmt(ms / n, 2)}, 12);
+    report.Result("gang.n" + std::to_string(n) + "_ms", ms);
+  }
+}
+
+// --- 2. barrier release RTT vs host count ---------------------------------
+
+// Every host contributes one participant; the round completes when the
+// last entrant's released verdict lands.  Mean of three epochs.
+void BenchBarrier(bench::BenchReport& report) {
+  bench::PrintHeader("Barrier release RTT vs host count (1 party/host)");
+  bench::PrintRow({"hosts", "rtt ms"}, 12);
+  for (int n : {2, 4, 8, 16}) {
+    World w(n);
+    if (!w.ok) {
+      std::printf("  barrier h=%d: cluster failed to assemble\n", n);
+      continue;
+    }
+    std::vector<double> rounds;
+    for (uint64_t epoch = 1; epoch <= 3; ++epoch) {
+      size_t released = 0;
+      bool failed = false;
+      double ms = bench::MeasureMs(
+          w.cluster,
+          [&] {
+            for (auto* c : w.clients) {
+              c->BarrierEnter("bench.bar", epoch, static_cast<uint32_t>(n),
+                              [&](const core::BarrierEnterResp& r) {
+                                if (r.ok && r.released) {
+                                  ++released;
+                                } else {
+                                  failed = true;
+                                }
+                              });
+            }
+          },
+          [&] { return released == static_cast<size_t>(n) || failed; });
+      if (failed || released != static_cast<size_t>(n)) {
+        std::printf("  barrier h=%d epoch=%llu FAILED\n", n,
+                    static_cast<unsigned long long>(epoch));
+        return;
+      }
+      rounds.push_back(ms);
+    }
+    double mean = bench::Mean(rounds);
+    bench::PrintRow({std::to_string(n), bench::Fmt(mean, 1)}, 12);
+    report.Result("barrier.h" + std::to_string(n) + "_rtt_ms", mean);
+  }
+}
+
+// --- 3. envar propagation fan-out -----------------------------------------
+
+// GenvSet at h0, then watch every LPM's replicated table until the new
+// value is visible cluster-wide.  The ack returns as soon as the origin
+// applied the write; the fan-out time is the flood's, not the caller's.
+void BenchEnvarFanout(bench::BenchReport& report) {
+  bench::PrintHeader("Global envar fan-out (set at h0 -> visible everywhere)");
+  bench::PrintRow({"hosts", "ack ms", "fanout ms"}, 12);
+  for (int n : {2, 4, 8, 16}) {
+    World w(n);
+    if (!w.ok) {
+      std::printf("  envar h=%d: cluster failed to assemble\n", n);
+      continue;
+    }
+    const std::string key = "bench.fan" + std::to_string(n);
+    const std::string value = "v1";
+    auto everywhere = [&] {
+      for (const auto& h : w.hosts) {
+        core::Lpm* lpm = w.cluster.FindLpm(h, bench::kUid);
+        if (lpm == nullptr) return false;
+        const group::Envar* e = lpm->group_table().FindEnvar(key);
+        if (e == nullptr || e->value != value) return false;
+      }
+      return true;
+    };
+    std::optional<core::EnvarSetResp> resp;
+    sim::SimTime start = w.cluster.simulator().Now();
+    w.clients[0]->GenvSet(key, value, [&](const core::EnvarSetResp& r) { resp = r; });
+    if (!bench::RunUntil(w.cluster, [&] { return resp.has_value(); })) {
+      std::printf("  envar h=%d: set never acknowledged\n", n);
+      continue;
+    }
+    double ack_ms = sim::ToMillis(
+        static_cast<sim::SimDuration>(w.cluster.simulator().Now() - start));
+    if (!resp->ok) {
+      std::printf("  envar h=%d: set failed: %s\n", n, resp->error.c_str());
+      continue;
+    }
+    if (!bench::RunUntil(w.cluster, everywhere)) {
+      std::printf("  envar h=%d: update never covered the cluster\n", n);
+      continue;
+    }
+    double fan_ms = sim::ToMillis(
+        static_cast<sim::SimDuration>(w.cluster.simulator().Now() - start));
+    bench::PrintRow({std::to_string(n), bench::Fmt(ack_ms, 1), bench::Fmt(fan_ms, 1)},
+                    12);
+    report.Result("envar.h" + std::to_string(n) + "_ack_ms", ack_ms);
+    report.Result("envar.h" + std::to_string(n) + "_fanout_ms", fan_ms);
+  }
+}
+
+}  // namespace
+
+int main() {
+  obs::Registry::Instance().Reset();
+  bench::BenchReport report("group");
+  BenchGangSpawn(report);
+  BenchBarrier(report);
+  BenchEnvarFanout(report);
+  return 0;
+}

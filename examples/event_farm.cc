@@ -1,0 +1,242 @@
+// event_farm — an event-parallel farm built on the group operations.
+//
+// The paper's computations are gangs of cooperating processes spread
+// over the network; this example runs one as a farm: a dispatcher feeds
+// work items to a group of workers spread over 16 machines, using every
+// piece of the group subsystem (src/group/) at once:
+//
+//   * gang-spawn: 32 workers come up across 16 hosts in one client
+//     round, all-or-nothing;
+//   * barrier: the dispatcher and the per-site watch agents synchronize
+//     at a cluster-wide barrier before any work flows;
+//   * global envars: each work item is published as a change to the
+//     replicated `farm.task` variable; per-site watchers turn the
+//     change into a local signal to a worker (the event-parallel part);
+//   * the `la` load estimator: every batch the dispatcher re-aims the
+//     farm at the least-loaded machine ("processing power is cheap,
+//     while humans are not" — so let the machine pick the machine);
+//   * triggers: a worker killed mid-run is respawned by an exit trigger
+//     and re-enrolled in the group, invisibly to the dispatcher;
+//   * group signal/join: shutdown is one gsig, and gjoin collects every
+//     exit status — including the murdered worker's and its
+//     replacement's.
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "core/lpm.h"
+#include "tools/client.h"
+#include "tools/ppmstat.h"
+
+using namespace ppm;
+
+namespace {
+constexpr host::Uid kUid = 507;
+const char* kUser = "barbara";
+constexpr int kHosts = 16;
+constexpr int kWorkersPerHost = 2;
+constexpr int kEvents = 1000;
+constexpr int kBatch = 100;
+
+template <typename Pred>
+bool WaitFor(core::Cluster& cluster, Pred done,
+             sim::SimDuration horizon = sim::Seconds(300)) {
+  sim::SimTime deadline = cluster.simulator().Now() + static_cast<sim::SimTime>(horizon);
+  while (!done()) {
+    if (cluster.simulator().Now() >= deadline) return false;
+    cluster.RunFor(sim::Millis(10));
+  }
+  return true;
+}
+
+std::string HostName(int i) {
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "n%02d", i + 1);
+  return buf;
+}
+}  // namespace
+
+int main() {
+  core::Cluster cluster;
+  std::vector<std::string> hosts;
+  for (int i = 0; i < kHosts; ++i) {
+    hosts.push_back(HostName(i));
+    cluster.AddHost(hosts.back(), i % 3 == 0   ? host::HostType::kVax780
+                                  : i % 3 == 1 ? host::HostType::kVax750
+                                               : host::HostType::kSun2);
+  }
+  cluster.Ethernet(hosts);
+  cluster.AddUserEverywhere(kUser, kUid);
+  cluster.TrustUserEverywhere(kUser, kUid);
+  cluster.RunFor(sim::Millis(10));
+
+  // The dispatcher's LPM (n01) will coordinate the group.
+  tools::PpmClient* dispatcher =
+      tools::SpawnTool(cluster.host(hosts[0]), kUser, kUid, "farm-dispatcher");
+  bool up = false;
+  dispatcher->Start([&](bool ok, std::string err) {
+    up = ok;
+    if (!ok) std::fprintf(stderr, "dispatcher session failed: %s\n", err.c_str());
+  });
+  WaitFor(cluster, [&] { return up; });
+  std::printf("dispatcher connected on %s\n", dispatcher->lpm_host().c_str());
+
+  // --- gang-spawn the farm ------------------------------------------------
+  std::vector<std::string> spawn_hosts, commands;
+  for (int w = 0; w < kHosts * kWorkersPerHost; ++w) {
+    spawn_hosts.push_back(hosts[w % kHosts]);
+    commands.push_back("farm-worker --shard " + std::to_string(w));
+  }
+  std::optional<core::GroupSpawnResp> gang;
+  dispatcher->GroupSpawn("farm", spawn_hosts, commands,
+                         [&](const core::GroupSpawnResp& r) { gang = r; });
+  WaitFor(cluster, [&] { return gang.has_value(); });
+  if (!gang->ok) {
+    std::fprintf(stderr, "gang spawn failed: %s\n", gang->error.c_str());
+    return 1;
+  }
+  std::printf("gang-spawned %zu workers across %d hosts (one round)\n",
+              gang->members.size(), kHosts);
+
+  // --- per-site watch agents ----------------------------------------------
+  // Four sites turn `farm.task` changes into local worker signals.
+  // (SIGCONT is the benign tap: delivered and counted, never lethal.)
+  const std::vector<std::string> sites = {hosts[1], hosts[4], hosts[8], hosts[12]};
+  std::vector<tools::PpmClient*> agents;
+  for (const std::string& site : sites) {
+    tools::PpmClient* agent = tools::SpawnTool(cluster.host(site), kUser, kUid,
+                                               "farm-agent");
+    bool agent_up = false;
+    agent->Start([&](bool ok, std::string) { agent_up = ok; });
+    WaitFor(cluster, [&] { return agent_up; });
+    core::GPid local_worker;
+    for (const core::GPid& m : gang->members) {
+      if (m.host == site) local_worker = m;
+    }
+    core::TriggerSpec spec;
+    spec.action = core::TriggerAction::kSignal;
+    spec.action_signal = host::Signal::kSigCont;
+    spec.action_target = local_worker;
+    std::optional<core::EnvarWatchResp> watch;
+    agent->GenvWatch("farm.task", spec,
+                     [&](const core::EnvarWatchResp& r) { watch = r; });
+    WaitFor(cluster, [&] { return watch.has_value(); });
+    std::printf("  watch %llu on %s -> %s\n",
+                static_cast<unsigned long long>(watch->watch_id), site.c_str(),
+                core::ToString(local_worker).c_str());
+    agents.push_back(agent);
+  }
+
+  // --- barrier: nobody dispatches until every site is armed ----------------
+  const uint32_t kParties = 1 + static_cast<uint32_t>(sites.size());
+  size_t released = 0;
+  dispatcher->BarrierEnter("farm-start", 1, kParties,
+                           [&](const core::BarrierEnterResp& r) {
+                             if (r.ok && r.released) ++released;
+                           });
+  for (tools::PpmClient* agent : agents) {
+    agent->BarrierEnter("farm-start", 1, kParties,
+                        [&](const core::BarrierEnterResp& r) {
+                          if (r.ok && r.released) ++released;
+                        });
+  }
+  WaitFor(cluster, [&] { return released == kParties; });
+  std::printf("barrier released: %u parties synchronized cluster-wide\n", kParties);
+
+  // --- a worker is murdered mid-run; a trigger resurrects it --------------
+  // Arm the exit trigger now, on the victim's own manager: respawn the
+  // worker and re-enroll it in the farm, with nobody the wiser.
+  core::GPid victim;
+  for (const core::GPid& m : gang->members) {
+    if (m.host == hosts[3]) victim = m;
+  }
+  core::TriggerSpec respawn;
+  respawn.event_kind = host::KEvent::kExit;
+  respawn.subject_pid = victim.pid;
+  respawn.action = core::TriggerAction::kSpawn;
+  respawn.spawn_command = "farm-worker --respawned";
+  respawn.group = "farm";
+  std::optional<core::TriggerResp> armed;
+  dispatcher->InstallTrigger(victim.host, respawn,
+                             [&](const core::TriggerResp& r) { armed = r; });
+  WaitFor(cluster, [&] { return armed.has_value(); });
+  std::printf("respawn trigger armed on %s for %s\n", victim.host.c_str(),
+              core::ToString(victim).c_str());
+
+  // --- dispatch 1000 events through the envar fabric -----------------------
+  int done_events = 0;
+  for (int batch = 0; batch * kBatch < kEvents; ++batch) {
+    // Rebalance: aim this batch at the machine with the lowest load
+    // average (the calibrated `la` estimator the cost model runs on).
+    std::string target = hosts[0];
+    double best = 1e18;
+    for (const std::string& h : hosts) {
+      double la = cluster.host(h).kernel().LoadAverage();
+      if (la < best) {
+        best = la;
+        target = h;
+      }
+    }
+    std::optional<core::EnvarSetResp> aimed;
+    dispatcher->GenvSet("farm.assign", target,
+                        [&](const core::EnvarSetResp& r) { aimed = r; });
+    WaitFor(cluster, [&] { return aimed.has_value(); });
+    std::printf("  batch %2d -> %s (la %.2f)\n", batch, target.c_str(), best);
+
+    for (int i = 0; i < kBatch; ++i) {
+      int event = batch * kBatch + i;
+      std::optional<core::EnvarSetResp> resp;
+      dispatcher->GenvSet("farm.task", "evt-" + std::to_string(event),
+                          [&](const core::EnvarSetResp& r) { resp = r; });
+      WaitFor(cluster, [&] { return resp.has_value(); });
+      if (resp->ok) ++done_events;
+    }
+    if (batch == 4) {
+      // Mid-run murder: the worker dies, its manager's trigger respawns
+      // it and re-enrolls the replacement with the coordinator.
+      cluster.host(victim.host).kernel().PostSignal(victim.pid,
+                                                    host::Signal::kSigKill, kUid);
+      std::printf("  killed %s mid-run\n", core::ToString(victim).c_str());
+    }
+  }
+  std::printf("dispatched %d events via envar watchers\n", done_events);
+
+  // Wait until the replacement is enrolled: the coordinator's ledger
+  // shows 33 members, exactly one of them exited (the victim).
+  bool restarted = WaitFor(cluster, [&] {
+    core::Lpm* lpm = cluster.FindLpm(hosts[0], kUid);
+    if (lpm == nullptr) return false;
+    auto it = lpm->group_table().groups().find("farm");
+    if (it == lpm->group_table().groups().end()) return false;
+    size_t exited = 0;
+    for (const auto& m : it->second) {
+      if (m.exited) ++exited;
+    }
+    return it->second.size() == static_cast<size_t>(kHosts * kWorkersPerHost + 1) &&
+           exited == 1;
+  });
+  std::printf("trigger-driven restart %s\n", restarted ? "observed" : "NOT observed");
+
+  // --- one stat round shows the farm --------------------------------------
+  std::optional<tools::PpmStatResult> stat;
+  tools::RunPpmStatTool(*dispatcher, [&](const tools::PpmStatResult& r) { stat = r; });
+  WaitFor(cluster, [&] { return stat.has_value(); });
+  std::printf("\n%s\n", stat->table.c_str());
+
+  // --- shutdown: one gsig, one gjoin ---------------------------------------
+  std::optional<core::GroupSignalResp> sig;
+  dispatcher->GroupSignal("farm", host::Signal::kSigKill,
+                          [&](const core::GroupSignalResp& r) { sig = r; });
+  WaitFor(cluster, [&] { return sig.has_value(); });
+  std::printf("gsig kill: delivered %u, failed %u\n", sig->delivered, sig->failed);
+
+  std::optional<core::GroupJoinResp> join;
+  dispatcher->GroupJoin("farm", [&](const core::GroupJoinResp& r) { join = r; });
+  WaitFor(cluster, [&] { return join.has_value(); });
+  std::printf("gjoin: %zu exit statuses collected\n", join->exits.size());
+
+  for (tools::PpmClient* agent : agents) agent->Disconnect();
+  dispatcher->Disconnect();
+  std::printf("\nevent-farm example complete: %d events, %zu workers, 1 resurrection.\n",
+              done_events, join->exits.size());
+  return 0;
+}

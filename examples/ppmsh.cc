@@ -16,6 +16,13 @@
 //   rusage <host>                  exited-process statistics
 //   hist <host>                    event timeline
 //   dot                            Graphviz export of the snapshot
+//   gspawn <group> <h1,h2,..> <command...>   gang-spawn one command per host
+//   barrier <name> <epoch> <expected>        enter a cluster-wide barrier
+//   genv set <key> <value...>                set a global envar (replicated)
+//   genv get <key>                           read a global envar
+//   genv watch <key> <sig> <host> <pid>      signal <host:pid> on each change
+//   gsig <group> <kill|term|usr1|...>        signal every live group member
+//   gjoin <group>                            wait for all members, show exits
 //   quit
 #include <cstdio>
 #include <iostream>
@@ -38,6 +45,16 @@ const char* kUser = "dennis";
 template <typename Pred>
 void WaitFor(core::Cluster& cluster, Pred done) {
   while (!done()) cluster.RunFor(sim::Millis(5));
+}
+
+host::Signal ParseSignal(const std::string& name) {
+  if (name == "hup") return host::Signal::kSigHup;
+  if (name == "int") return host::Signal::kSigInt;
+  if (name == "usr1") return host::Signal::kSigUsr1;
+  if (name == "term") return host::Signal::kSigTerm;
+  if (name == "stop") return host::Signal::kSigStop;
+  if (name == "cont") return host::Signal::kSigCont;
+  return host::Signal::kSigKill;  // "kill", "9", anything else
 }
 
 struct Shell {
@@ -122,6 +139,125 @@ struct Shell {
       client.Snapshot([&](const core::SnapshotResp& r) { snap = r; });
       WaitFor(cluster, [&] { return snap.has_value(); });
       std::printf("%s", tools::ExportDot(snap->records).c_str());
+    } else if (verb == "gspawn") {
+      std::string group, hostlist, command;
+      in >> group >> hostlist;
+      std::getline(in, command);
+      if (!command.empty() && command[0] == ' ') command.erase(0, 1);
+      std::vector<std::string> hosts;
+      std::istringstream hs(hostlist);
+      std::string h;
+      while (std::getline(hs, h, ',')) {
+        if (!h.empty()) hosts.push_back(h);
+      }
+      std::vector<std::string> commands(hosts.size(), command);
+      std::optional<core::GroupSpawnResp> resp;
+      client.GroupSpawn(group, hosts, commands,
+                        [&](const core::GroupSpawnResp& r) { resp = r; });
+      WaitFor(cluster, [&] { return resp.has_value(); });
+      if (resp->ok) {
+        std::printf("  group %s up (%zu members):\n", group.c_str(),
+                    resp->members.size());
+        for (const auto& m : resp->members) {
+          std::printf("    %s\n", core::ToString(m).c_str());
+        }
+      } else {
+        std::printf("  error: %s\n", resp->error.c_str());
+        for (const auto& e : resp->host_errors) {
+          std::printf("    %s\n", e.c_str());
+        }
+      }
+    } else if (verb == "barrier") {
+      std::string name;
+      uint64_t epoch = 0;
+      uint32_t expected = 0;
+      in >> name >> epoch >> expected;
+      std::optional<core::BarrierEnterResp> resp;
+      client.BarrierEnter(name, epoch, expected,
+                          [&](const core::BarrierEnterResp& r) { resp = r; });
+      WaitFor(cluster, [&] { return resp.has_value(); });
+      if (resp->ok && resp->released) {
+        std::printf("  released (epoch %llu)\n",
+                    static_cast<unsigned long long>(resp->epoch));
+      } else {
+        std::printf("  %s\n", resp->error.c_str());
+        for (const auto& s : resp->stragglers) {
+          std::printf("    stuck: %s\n", s.c_str());
+        }
+      }
+    } else if (verb == "genv") {
+      std::string sub, key;
+      in >> sub >> key;
+      if (sub == "set") {
+        std::string value;
+        std::getline(in, value);
+        if (!value.empty() && value[0] == ' ') value.erase(0, 1);
+        std::optional<core::EnvarSetResp> resp;
+        client.GenvSet(key, value, [&](const core::EnvarSetResp& r) { resp = r; });
+        WaitFor(cluster, [&] { return resp.has_value(); });
+        if (resp->ok) {
+          std::printf("  %s=%s (v%llu)\n", key.c_str(), value.c_str(),
+                      static_cast<unsigned long long>(resp->version));
+        } else {
+          std::printf("  error: %s\n", resp->error.c_str());
+        }
+      } else if (sub == "get") {
+        std::optional<core::EnvarGetResp> resp;
+        client.GenvGet(key, [&](const core::EnvarGetResp& r) { resp = r; });
+        WaitFor(cluster, [&] { return resp.has_value(); });
+        if (resp->ok) {
+          std::printf("  %s=%s (v%llu)\n", key.c_str(), resp->value.c_str(),
+                      static_cast<unsigned long long>(resp->version));
+        } else {
+          std::printf("  %s\n", resp->error.c_str());
+        }
+      } else if (sub == "watch") {
+        std::string signame, target_host;
+        host::Pid target_pid = host::kNoPid;
+        in >> signame >> target_host >> target_pid;
+        core::TriggerSpec spec;
+        spec.action = core::TriggerAction::kSignal;
+        spec.action_signal = ParseSignal(signame);
+        spec.action_target = core::GPid{target_host, target_pid};
+        std::optional<core::EnvarWatchResp> resp;
+        client.GenvWatch(key, spec, [&](const core::EnvarWatchResp& r) { resp = r; });
+        WaitFor(cluster, [&] { return resp.has_value(); });
+        if (resp->ok) {
+          std::printf("  watch %llu installed on %s\n",
+                      static_cast<unsigned long long>(resp->watch_id), key.c_str());
+        } else {
+          std::printf("  error: %s\n", resp->error.c_str());
+        }
+      } else {
+        std::printf("  ?genv set|get|watch\n");
+      }
+    } else if (verb == "gsig") {
+      std::string group, signame;
+      in >> group >> signame;
+      std::optional<core::GroupSignalResp> resp;
+      client.GroupSignal(group, ParseSignal(signame),
+                         [&](const core::GroupSignalResp& r) { resp = r; });
+      WaitFor(cluster, [&] { return resp.has_value(); });
+      if (resp->ok) {
+        std::printf("  delivered %u, failed %u\n", resp->delivered, resp->failed);
+      } else {
+        std::printf("  error: %s\n", resp->error.c_str());
+      }
+    } else if (verb == "gjoin") {
+      std::string group;
+      in >> group;
+      std::optional<core::GroupJoinResp> resp;
+      client.GroupJoin(group, [&](const core::GroupJoinResp& r) { resp = r; });
+      WaitFor(cluster, [&] { return resp.has_value(); });
+      if (resp->ok) {
+        std::printf("  group %s complete:\n", group.c_str());
+        for (const auto& e : resp->exits) {
+          std::printf("    %s exit %d\n", core::ToString(e.gpid).c_str(),
+                      e.exit_status);
+        }
+      } else {
+        std::printf("  error: %s\n", resp->error.c_str());
+      }
     } else {
       std::printf("  ?unknown verb '%s'\n", verb.c_str());
     }
@@ -144,6 +280,12 @@ const char* kScript[] = {
     "rusage alpha",
     "hist alpha",
     "dot",
+    "gspawn workers alpha,beta,gamma crunch --shard",
+    "genv set phase warmup",
+    "genv get phase",
+    "barrier ready 1 1",
+    "gsig workers kill",
+    "gjoin workers",
 };
 
 }  // namespace

@@ -1,8 +1,10 @@
 #include "chaos/engine.h"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <sstream>
+#include <utility>
 
 #include "core/lpm.h"
 #include "core/wire.h"
@@ -34,6 +36,8 @@ enum class Action : uint8_t {
   kCreate,
   kSignal,
   kSnapshot,
+  kBarrier,
+  kEnvarSet,
   kKillLpm,
   kCrashHost,
   kRebootHost,
@@ -46,6 +50,12 @@ struct WeightedAction {
   uint32_t weight;
 };
 
+// One barrier round's parties and their (aligned) terminal replies.
+struct BarrierRound {
+  std::vector<std::string> hosts;
+  std::vector<std::optional<core::BarrierEnterResp>> replies;
+};
+
 std::vector<WeightedAction> ActionTable(const ChaosPlan& plan) {
   std::vector<WeightedAction> table;
   auto add = [&](Action a, uint32_t w) {
@@ -54,6 +64,8 @@ std::vector<WeightedAction> ActionTable(const ChaosPlan& plan) {
   add(Action::kCreate, plan.workload.create);
   add(Action::kSignal, plan.workload.signal);
   add(Action::kSnapshot, plan.workload.snapshot);
+  add(Action::kBarrier, plan.workload.barrier);
+  add(Action::kEnvarSet, plan.workload.envar_set);
   add(Action::kKillLpm, plan.faults.kill_lpm);
   add(Action::kCrashHost, plan.faults.crash_host);
   add(Action::kRebootHost, plan.faults.reboot_host);
@@ -109,7 +121,8 @@ std::string ChaosOutcome::Summary() const {
      << "  [replay: RunChaos(" << seed << ", " << plan_name << " plan)]\n";
   os << "  workload: creates=" << creates_ok << " signals=" << signals_sent
      << " snapshots=" << snapshots_completed << "/" << snapshots_attempted
-     << "\n";
+     << " barriers=" << barrier_releases << "/" << barrier_parties
+     << " envar-sets=" << envar_sets_ok << "\n";
   os << "  faults: crashes=" << host_crashes << " reboots=" << host_reboots
      << " lpm-kills=" << lpm_kills << " partitions=" << partitions
      << " heals=" << heals << "\n";
@@ -207,6 +220,81 @@ ChaosOutcome RunChaosPlan(core::Cluster& cluster, uint64_t seed,
     return nullptr;
   };
 
+  // One barrier round: an ephemeral tool on each up host of
+  // `party_hosts` enters <"chaos.bar", epoch> with expected = party
+  // count, then the round runs until every enter has a terminal reply —
+  // released, timed out with stragglers, or the member LPM's local
+  // safety failure when its CCS is unreachable (a parked wait cannot
+  // outlive twice the barrier timeout).  Sessions are torn down before
+  // returning so no parked waiter survives the round.
+  uint64_t barrier_epoch = 0;
+  auto barrier_round =
+      [&](const std::vector<std::string>& party_hosts) -> BarrierRound {
+    BarrierRound round;
+    const uint64_t epoch = ++barrier_epoch;
+    std::vector<host::Pid> pids;
+    std::vector<tools::PpmClient*> clients;
+    for (const std::string& h : party_hosts) {
+      if (!cluster.host(h).up()) continue;
+      tools::PpmClient* t =
+          tools::SpawnTool(cluster.host(h), kChaosUser, kChaosUid, "chaos-bar");
+      auto started = std::make_shared<std::optional<bool>>();
+      t->Start([started](bool success, std::string) { *started = success; });
+      RunUntil(cluster, [&] { return started->has_value(); }, sim::Seconds(30));
+      if (started->value_or(false)) {
+        round.hosts.push_back(h);
+        pids.push_back(t->pid());
+        clients.push_back(t);
+      }
+    }
+    if (round.hosts.empty()) return round;
+    auto resps = std::make_shared<
+        std::vector<std::optional<core::BarrierEnterResp>>>(round.hosts.size());
+    for (size_t i = 0; i < clients.size(); ++i) {
+      clients[i]->BarrierEnter(
+          "chaos.bar", epoch, static_cast<uint32_t>(clients.size()),
+          [resps, i](const core::BarrierEnterResp& r) { (*resps)[i] = r; });
+      ++out.barrier_parties;
+    }
+    RunUntil(cluster,
+             [&] {
+               for (const auto& r : *resps)
+                 if (!r.has_value()) return false;
+               return true;
+             },
+             sim::Seconds(90));
+    round.replies = *resps;
+    for (size_t i = 0; i < round.hosts.size(); ++i) {
+      if (round.replies[i] && round.replies[i]->ok &&
+          round.replies[i]->released) {
+        ++out.barrier_releases;
+      }
+      // Tear the session down only through a re-validated pointer: the
+      // party's host may have lost its tool while the wait was parked.
+      host::Host& h = cluster.host(round.hosts[i]);
+      if (!h.up()) continue;
+      host::Process* proc = h.kernel().Find(pids[i]);
+      if (!proc || !proc->alive()) continue;
+      auto* c = dynamic_cast<tools::PpmClient*>(proc->body.get());
+      if (c && c->connected()) c->Disconnect();
+    }
+    // Drain the release fan-out: the CCS's per-member BarrierReleaseReq
+    // forwards resolve on the members' acks, which land a beat after the
+    // waiters' own replies.  Bounded, because a forward retrying toward
+    // a dead host legitimately outlives the round (its deadline reaps it
+    // later).
+    RunUntil(cluster,
+             [&] {
+               for (const std::string& h : plan.hosts) {
+                 core::Lpm* lpm = cluster.FindLpm(h, kChaosUid);
+                 if (lpm && lpm->pending_forward_count() != 0) return false;
+               }
+               return true;
+             },
+             sim::Seconds(10));
+    return round;
+  };
+
   // --- phase 1: the schedule -------------------------------------------
   const std::vector<WeightedAction> table = ActionTable(plan);
   uint32_t total_weight = 0;
@@ -265,6 +353,33 @@ ChaosOutcome RunChaosPlan(core::Cluster& cluster, uint64_t seed,
           RunUntil(cluster, [&] { return resp->has_value(); },
                    sim::Seconds(60));
           if (resp->has_value()) ++out.snapshots_completed;
+        }
+        break;
+      }
+      case Action::kBarrier: {
+        // Two or three parties on random distinct hosts; whatever mix of
+        // release / timeout / unknown the faults produce, the ledgers
+        // are judged by group.no_split_release afterwards.
+        std::vector<std::string> ups;
+        for (const std::string& h : plan.hosts) {
+          if (cluster.host(h).up()) ups.push_back(h);
+        }
+        for (size_t i = ups.size(); i > 1; --i) {
+          std::swap(ups[i - 1], ups[rng.Below(i)]);
+        }
+        size_t parties = std::min<size_t>(ups.size(), 2 + rng.Below(2));
+        ups.resize(parties);
+        barrier_round(ups);
+        break;
+      }
+      case Action::kEnvarSet: {
+        if (tools::PpmClient* t = ensure_tool()) {
+          auto resp = std::make_shared<std::optional<core::EnvarSetResp>>();
+          t->GenvSet("chaos.env", "step" + std::to_string(step),
+                     [resp](const core::EnvarSetResp& r) { *resp = r; });
+          RunUntil(cluster, [&] { return resp->has_value(); },
+                   sim::Seconds(30));
+          if (*resp && (*resp)->ok) ++out.envar_sets_ok;
         }
         break;
       }
@@ -422,6 +537,33 @@ ChaosOutcome RunChaosPlan(core::Cluster& cluster, uint64_t seed,
     cluster.RunFor(sim::Millis(50));
   }
 
+  // Plans that exercised barriers end with one cluster-wide round: with
+  // the network whole and a single CCS, a party on every host must enter
+  // and every party must be released — the liveness counterpart to the
+  // no-split-release safety invariant the schedule stressed.
+  if (plan.workload.barrier > 0) {
+    BarrierRound round = barrier_round(plan.hosts);
+    if (round.hosts.size() != plan.hosts.size()) {
+      out.verify_ok = false;
+      out.violations.push_back(
+          {"group-verify-barrier",
+           "only " + std::to_string(round.hosts.size()) + " of " +
+               std::to_string(plan.hosts.size()) +
+               " hosts could field a barrier party after heal"});
+    }
+    for (size_t i = 0; i < round.hosts.size(); ++i) {
+      const auto& r = round.replies[i];
+      if (!r || !r->ok || !r->released) {
+        out.verify_ok = false;
+        out.violations.push_back(
+            {"group-verify-barrier",
+             round.hosts[i] + ": " +
+                 (!r ? "barrier reply hung"
+                     : (r->ok ? "party timed out" : r->error))});
+      }
+    }
+  }
+
   // --- books ------------------------------------------------------------
   const net::NetStats& end_stats = net.stats();
   out.frames_drop_injected = end_stats.faults_dropped - start_stats.faults_dropped;
@@ -449,6 +591,10 @@ ChaosOutcome RunChaosPlan(core::Cluster& cluster, uint64_t seed,
   // point a read-only replay of each LPM's checkpoint + journal must
   // reconstruct its live state exactly.
   CheckStoreDurability(cluster, kChaosUid, &out.violations);
+  // Group-state invariants are vacuous without group workload, so every
+  // plan runs them: split barrier verdicts and forked envar tables are
+  // wrong no matter which schedule produced the state.
+  CheckGroupInvariants(cluster, kChaosUid, &out.violations);
 
   if (plan.forced_violation) {
     out.violations.push_back(

@@ -52,6 +52,9 @@ struct ChaosOutcome {
   size_t signals_sent = 0;
   size_t snapshots_attempted = 0;
   size_t snapshots_completed = 0;
+  size_t barrier_parties = 0;    // BarrierEnter calls issued
+  size_t barrier_releases = 0;   // ... that came back released
+  size_t envar_sets_ok = 0;      // acknowledged GenvSet writes
 
   // Faults injected by the schedule.
   size_t host_crashes = 0;

@@ -310,4 +310,115 @@ void CheckStoreDurability(core::Cluster& cluster, host::Uid uid,
   }
 }
 
+void CheckGroupInvariants(core::Cluster& cluster, host::Uid uid,
+                          std::vector<InvariantViolation>* out) {
+  // --- group.no_split_release ------------------------------------------
+  // Union, across every up LPM, of the verdicts actually applied to
+  // local barrier waiters.  kOutcomeReleased and kOutcomeTimedOut for
+  // the same (name, epoch) means some member observed "released" while
+  // another observed "timed out" — the split-verdict the demoted-CCS
+  // rejection and the unknown-outcome local failure exist to prevent.
+  std::map<group::GroupTable::BarrierKey, uint8_t> verdicts;
+  std::map<group::GroupTable::BarrierKey, std::string> where;
+  for (const std::string& name : cluster.host_names()) {
+    if (!cluster.host(name).up()) continue;
+    core::Lpm* lpm = cluster.FindLpm(name, uid);
+    if (!lpm) continue;
+    for (const auto& [key, mask] : lpm->group_table().outcomes()) {
+      verdicts[key] |= mask;
+      where[key] += ' ' + name + '=' +
+                    (mask == group::kOutcomeReleased   ? "released"
+                     : mask == group::kOutcomeTimedOut ? "timed-out"
+                                                       : "both!");
+    }
+  }
+  for (const auto& [key, mask] : verdicts) {
+    if ((mask & group::kOutcomeReleased) && (mask & group::kOutcomeTimedOut)) {
+      Add(out, "group.no_split_release",
+          "barrier <" + key.first + ", epoch " + std::to_string(key.second) +
+              "> was released for some members and timed out for others:" +
+              where[key]);
+    }
+  }
+
+  // --- group.envar_consistent ------------------------------------------
+  // Fork-freedom everywhere: a (key, version, origin) triple names one
+  // write (versions are coordinator-assigned and journaled across warm
+  // restarts), so two up replicas disagreeing on its value means the
+  // version sequence forked — the split-brain failure mode of a
+  // replicated table.
+  std::string ccs_host;
+  std::map<std::string, std::map<std::pair<uint64_t, std::string>,
+                                 std::pair<std::string, std::string>>>
+      writes;  // key -> (version, origin) -> (value, first host seen)
+  for (const std::string& name : cluster.host_names()) {
+    if (!cluster.host(name).up()) continue;
+    core::Lpm* lpm = cluster.FindLpm(name, uid);
+    if (!lpm) continue;
+    if (lpm->is_ccs()) ccs_host = name;
+    for (const auto& [key, var] : lpm->group_table().envars()) {
+      auto ins = writes[key].try_emplace({var.version, var.origin},
+                                         std::make_pair(var.value, name));
+      if (!ins.second && ins.first->second.first != var.value) {
+        Add(out, "group.envar_consistent",
+            "envar '" + key + "' v" + std::to_string(var.version) + " from " +
+                var.origin + " has forked: " + ins.first->second.second +
+                " holds '" + ins.first->second.first + "' but " + name +
+                " holds '" + var.value + "'");
+      }
+    }
+  }
+
+  // Convergence inside the CCS's sibling component: every edge ran
+  // anti-entropy when it was (re)established and floods re-originate
+  // adopted entries, so at quiescence each component member must hold
+  // the identical table — nothing missed, nothing stale.
+  if (ccs_host.empty()) return;
+  std::set<std::string> component{ccs_host};
+  std::vector<std::string> frontier{ccs_host};
+  while (!frontier.empty()) {
+    std::string cur = frontier.back();
+    frontier.pop_back();
+    core::Lpm* lpm = cluster.FindLpm(cur, uid);
+    if (!lpm) continue;
+    for (const std::string& sib : lpm->sibling_hosts()) {
+      if (component.count(sib)) continue;
+      if (!cluster.HasHost(sib) || !cluster.host(sib).up()) continue;
+      if (cluster.FindLpm(sib, uid) == nullptr) continue;
+      component.insert(sib);
+      frontier.push_back(sib);
+    }
+  }
+  const auto& reference =
+      cluster.FindLpm(ccs_host, uid)->group_table().envars();
+  for (const std::string& name : component) {
+    const auto& mine = cluster.FindLpm(name, uid)->group_table().envars();
+    for (const auto& [key, var] : reference) {
+      auto it = mine.find(key);
+      if (it == mine.end()) {
+        Add(out, "group.envar_consistent",
+            name + " is in the CCS sibling component but misses envar '" +
+                key + "' (CCS " + ccs_host + " holds v" +
+                std::to_string(var.version) + ")");
+      } else if (it->second.version != var.version ||
+                 it->second.value != var.value ||
+                 it->second.origin != var.origin) {
+        Add(out, "group.envar_consistent",
+            name + " holds envar '" + key + "' v" +
+                std::to_string(it->second.version) + "='" + it->second.value +
+                "' but CCS " + ccs_host + " holds v" +
+                std::to_string(var.version) + "='" + var.value + "'");
+      }
+    }
+    for (const auto& [key, var] : mine) {
+      if (!reference.count(key)) {
+        Add(out, "group.envar_consistent",
+            name + " holds envar '" + key + "' v" +
+                std::to_string(var.version) +
+                " that CCS " + ccs_host + " never heard of");
+      }
+    }
+  }
+}
+
 }  // namespace ppm::chaos

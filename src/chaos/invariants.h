@@ -59,4 +59,23 @@ void CheckSnapshotCoverage(core::Cluster& cluster, host::Uid uid,
 void CheckStoreDurability(core::Cluster& cluster, host::Uid uid,
                           std::vector<InvariantViolation>* out);
 
+// Group-operations invariants (src/group/), vacuous when no group state
+// exists, so every plan may run them:
+//   group.no_split_release   for each (barrier, epoch), the union of
+//                            verdicts applied to waiters anywhere in the
+//                            cluster never contains both "released" and
+//                            "timed out".  A member cut off from the CCS
+//                            fails its waiters with an *unknown* outcome
+//                            (recording nothing), and a demoted CCS
+//                            rejects epochs it no longer owns — so a
+//                            split brain must never split a verdict.
+//   group.envar_consistent   the replicated envar table has not forked:
+//                            no two up LPMs hold the same key at the
+//                            same (version, origin) with different
+//                            values, and within the sibling component
+//                            reachable from the CCS (where anti-entropy
+//                            has provably run) the tables are identical.
+void CheckGroupInvariants(core::Cluster& cluster, host::Uid uid,
+                          std::vector<InvariantViolation>* out);
+
 }  // namespace ppm::chaos

@@ -90,4 +90,41 @@ ChaosPlan OverloadPlan() {
   return plan;
 }
 
+ChaosPlan GroupPlan() {
+  ChaosPlan plan;
+  plan.name = "group";
+  // Barrier rounds under partitions: splits land while parties from
+  // several hosts sit in the same epoch, so verdict delivery races the
+  // cut.  No host crashes — the point is the *protocol* split-brain
+  // (a demoted CCS deciding an epoch it no longer owns), not machine
+  // death; kill_lpm keeps warm-restart epoch journaling in play.
+  plan.faults.partition = 25;
+  plan.faults.heal = 15;
+  plan.faults.kill_lpm = 5;
+  plan.workload.barrier = 25;
+  plan.workload.envar_set = 10;
+  plan.workload.create = 10;
+  plan.workload.signal = 5;
+  plan.workload.snapshot = 5;
+  plan.max_gap = sim::Seconds(8);
+  return plan;
+}
+
+ChaosPlan GroupFailoverPlan() {
+  ChaosPlan plan;
+  plan.name = "group-failover";
+  // Envar writes under CCS churn: crash/kill weights high enough that
+  // the coordinator (recovery-list head included) dies repeatedly
+  // mid-flood, forcing version assignment to move between CCSs and the
+  // replicas to reconcile through sibling anti-entropy afterwards.
+  plan.faults.crash_host = 20;
+  plan.faults.reboot_host = 20;
+  plan.faults.kill_lpm = 15;
+  plan.workload.envar_set = 30;
+  plan.workload.barrier = 10;
+  plan.workload.create = 10;
+  plan.workload.snapshot = 5;
+  return plan;
+}
+
 }  // namespace ppm::chaos

@@ -39,6 +39,8 @@ struct WorkloadWeights {
   uint32_t create = 0;    // create a process on a random host
   uint32_t signal = 0;    // signal a previously created process
   uint32_t snapshot = 0;  // genealogy snapshot (may be partial)
+  uint32_t barrier = 0;   // multi-host barrier round at a fresh epoch
+  uint32_t envar_set = 0; // set the replicated global envar
 };
 
 struct ChaosPlan {
@@ -111,5 +113,17 @@ ChaosPlan StorePlan();
 // and the per-host circuit breaker; judged by the no-silent-loss and
 // shed-partition invariants on top of the standard set.
 ChaosPlan OverloadPlan();
+// Group-operations stressors (src/group/).  GroupPlan partitions the
+// network while multi-host barrier rounds are in flight: members split
+// from the CCS must time out locally with an *unknown* outcome, never a
+// verdict of their own, so for any (barrier, epoch) the cluster-wide
+// union of applied verdicts stays one-sided (the group.no_split_release
+// invariant).  GroupFailoverPlan crashes hosts and kills LPMs — the CCS
+// prominently among them — under a flood of global-envar writes: the
+// journaled version vector plus sibling anti-entropy must leave every
+// surviving replica with an identical, unforked table at quiescence
+// (the group.envar_consistent invariant).
+ChaosPlan GroupPlan();
+ChaosPlan GroupFailoverPlan();
 
 }  // namespace ppm::chaos

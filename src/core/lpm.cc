@@ -37,6 +37,13 @@ struct LpmMetrics {
   obs::Counter* deadline_expired;
   obs::Counter* dup_suppressed;
   obs::Gauge* breaker_open;
+  // Group operations (fleet totals).
+  obs::Counter* group_spawns;
+  obs::Counter* group_rollbacks;
+  obs::Counter* barrier_releases;
+  obs::Counter* barrier_timeouts;
+  obs::Counter* envar_updates;
+  obs::Counter* envar_watch_fires;
 };
 
 LpmMetrics& Metrics() {
@@ -56,6 +63,12 @@ LpmMetrics& Metrics() {
       reg.GetCounter("lpm.deadline.expired"),
       reg.GetCounter("lpm.dup.suppressed"),
       reg.GetGauge("lpm.breaker.open"),
+      reg.GetCounter("lpm.group.spawns"),
+      reg.GetCounter("lpm.group.rollbacks"),
+      reg.GetCounter("lpm.barrier.releases"),
+      reg.GetCounter("lpm.barrier.timeouts"),
+      reg.GetCounter("lpm.envar.updates"),
+      reg.GetCounter("lpm.envar.watch_fires"),
   };
   return m;
 }
@@ -115,6 +128,13 @@ void Lpm::OnStart() {
   // clock keeps the sequence strictly above anything a previous
   // incarnation can have used.
   next_bcast_seq_ = static_cast<uint64_t>(simulator().Now()) + 1;
+  // Request ids need the same treatment: the idempotency token a forward
+  // carries is <origin host, req_id>, and peers cache completed results
+  // by token.  A warm-restarted LPM that counted from 1 again would
+  // collide with its predecessor's tokens, and its first forwards would
+  // be answered from the done-cache with a *stale* captured reply —
+  // acknowledged but never executed.
+  next_req_id_ = static_cast<uint64_t>(simulator().Now()) + 1;
   network().Listen(host_.net_id(), accept_port_,
                    [this](net::ConnId conn, net::SocketAddr peer) {
                      OnAccept(conn, peer);
@@ -221,6 +241,12 @@ void Lpm::OnShutdown() {
   pending_.clear();
   snapshots_.clear();
   stat_runs_.clear();
+  gang_runs_.clear();
+  for (auto& [key, bl] : barrier_local_) simulator().Cancel(bl.safety_ev);
+  barrier_local_.clear();
+  for (auto& [key, ev] : barrier_decide_ev_) simulator().Cancel(ev);
+  barrier_decide_ev_.clear();
+  join_waiters_.clear();
   // A dying LPM must not leave its open breakers counted in the
   // fleet-wide gauge forever.
   for (const auto& [host, b] : breakers_) {
@@ -248,8 +274,32 @@ void Lpm::WarmRestart(const store::RecoveredState& recovered) {
   if (!recovered.ccs_host.empty() && recovered.ccs_host != host_name()) {
     ccs_host_ = recovered.ccs_host;
   }
+  // Group operations state: coordinated groups, the replicated envar
+  // table and decided barrier epochs are valid across any restart.
+  for (const auto& [gname, members] : recovered.groups) {
+    for (const store::GroupMemberHint& m : members) {
+      group_table_.AddMember(gname, m.gpid);
+      if (m.exited) group_table_.MarkExited(gname, m.gpid, m.exit_status);
+    }
+  }
+  for (const auto& [key, hint] : recovered.envars) {
+    group_table_.MergeEnvar(key, hint.value, hint.version, hint.origin);
+  }
+  for (const auto& [bname, epoch] : recovered.barrier_epochs) {
+    group_table_.NoteDecided(bname, epoch);
+  }
   size_t readopted = 0;
   if (recovered.generation == host_.generation()) {
+    // Local memberships are generation-scoped like ProcHints: pids are
+    // reused across reboots.  A member that exited while the manager was
+    // down misses its exit notify; the coordinator's join then waits on
+    // the member-host snapshot of truth, which is the best we can know.
+    for (const auto& [mpid, hint] : recovered.group_local) {
+      const host::Process* p = kernel().Find(mpid);
+      if (p && p->alive() && p->uid == uid_) {
+        group_table_.AddLocal(mpid, hint.group, hint.coordinator);
+      }
+    }
     for (const auto& [rpid, hint] : recovered.procs) {
       const host::Process* p = kernel().Find(rpid);
       if (!p || !p->alive() || p->uid != uid_) continue;
@@ -502,7 +552,17 @@ bool Lpm::SuppressDuplicate(net::ConnId conn, const Msg& msg) {
                   std::holds_alternative<AdoptReq>(msg) ||
                   std::holds_alternative<TraceReq>(msg) ||
                   std::holds_alternative<TriggerReq>(msg) ||
-                  std::holds_alternative<MigrateReq>(msg);
+                  std::holds_alternative<MigrateReq>(msg) ||
+                  std::holds_alternative<GroupSpawnReq>(msg) ||
+                  std::holds_alternative<GroupPartReq>(msg) ||
+                  std::holds_alternative<GroupUndoReq>(msg) ||
+                  std::holds_alternative<GroupExitNotify>(msg) ||
+                  std::holds_alternative<GroupAddNotify>(msg) ||
+                  std::holds_alternative<GroupSignalReq>(msg) ||
+                  std::holds_alternative<BarrierEnterReq>(msg) ||
+                  std::holds_alternative<BarrierJoinReq>(msg) ||
+                  std::holds_alternative<BarrierReleaseReq>(msg) ||
+                  std::holds_alternative<EnvarSetReq>(msg);
   if (!mutating) return false;
   const uint64_t token = rx_stamp_.idem_token;
   auto done = done_cache_.find(token);
@@ -766,11 +826,50 @@ void Lpm::OnData(net::ConnId conn, const std::vector<uint8_t>& bytes) {
           HandleStatResp(m);
         } else if constexpr (std::is_same_v<T, BusyResp>) {
           HandleBusy(m);
+        } else if constexpr (std::is_same_v<T, GroupSpawnReq>) {
+          HandleGroupSpawn(conn, m);
+        } else if constexpr (std::is_same_v<T, GroupPartReq>) {
+          HandleGroupPart(conn, m);
+        } else if constexpr (std::is_same_v<T, GroupUndoReq>) {
+          HandleGroupUndo(conn, m);
+        } else if constexpr (std::is_same_v<T, GroupExitNotify>) {
+          HandleGroupExitNotify(conn, m);
+        } else if constexpr (std::is_same_v<T, GroupAddNotify>) {
+          HandleGroupAddNotify(conn, m);
+        } else if constexpr (std::is_same_v<T, GroupSignalReq>) {
+          HandleGroupSignal(conn, m);
+        } else if constexpr (std::is_same_v<T, GroupJoinReq>) {
+          HandleGroupJoin(conn, m);
+        } else if constexpr (std::is_same_v<T, BarrierEnterReq>) {
+          HandleBarrierEnter(conn, m);
+        } else if constexpr (std::is_same_v<T, BarrierJoinReq>) {
+          HandleBarrierJoin(conn, m);
+        } else if constexpr (std::is_same_v<T, BarrierReleaseReq>) {
+          HandleBarrierRelease(conn, m);
+        } else if constexpr (std::is_same_v<T, EnvarSetReq>) {
+          HandleEnvarSet(conn, m);
+        } else if constexpr (std::is_same_v<T, EnvarGetReq>) {
+          HandleEnvarGet(conn, m);
+        } else if constexpr (std::is_same_v<T, EnvarWatchReq>) {
+          HandleEnvarWatch(conn, m);
+        } else if constexpr (std::is_same_v<T, EnvarUpdate>) {
+          HandleEnvarUpdate(m);
+        } else if constexpr (std::is_same_v<T, EnvarSync>) {
+          HandleEnvarSync(m);
         } else if constexpr (std::is_same_v<T, CreateResp> || std::is_same_v<T, SignalResp> ||
                              std::is_same_v<T, RusageResp> || std::is_same_v<T, AdoptResp> ||
                              std::is_same_v<T, TraceResp> || std::is_same_v<T, HistoryResp> ||
                              std::is_same_v<T, TriggerResp> || std::is_same_v<T, FilesResp> ||
-                             std::is_same_v<T, MigrateResp>) {
+                             std::is_same_v<T, MigrateResp> ||
+                             std::is_same_v<T, GroupSpawnResp> ||
+                             std::is_same_v<T, GroupPartResp> ||
+                             std::is_same_v<T, GroupAck> ||
+                             std::is_same_v<T, GroupSignalResp> ||
+                             std::is_same_v<T, GroupJoinResp> ||
+                             std::is_same_v<T, BarrierEnterResp> ||
+                             std::is_same_v<T, EnvarSetResp> ||
+                             std::is_same_v<T, EnvarGetResp> ||
+                             std::is_same_v<T, EnvarWatchResp>) {
           HandleResponse(*msg, m.req_id);
         } else if constexpr (std::is_same_v<T, BecomeCcs>) {
           PPM_INFO("lpm") << host_name() << ": assuming CCS role (asked by "
@@ -1792,6 +1891,21 @@ void Lpm::SiblingEstablished(const std::string& host, net::ConnId conn) {
   }
   siblings_[host] = conn;
   RecordPeerSuccess(host);  // closes (and forgets) any open breaker
+  // Anti-entropy for the replicated envar table: a freshly (re)connected
+  // sibling may have missed flooded updates while unreachable, so push
+  // our full table; merge on the far side keeps the highest version.
+  if (!group_table_.envars().empty()) {
+    EnvarSync sync;
+    for (const auto& [key, var] : group_table_.envars()) {
+      EnvarEntry e;
+      e.key = key;
+      e.value = var.value;
+      e.version = var.version;
+      e.origin = var.origin;
+      sync.entries.push_back(std::move(e));
+    }
+    SendToSibling(conn, Msg{sync}, BaseCosts::kSiblingSend);
+  }
   auto waiters = std::move(sibling_waiters_[host]);
   sibling_waiters_.erase(host);
   for (auto& cb : waiters) cb(conn);
@@ -2120,6 +2234,34 @@ LpmStatRecord Lpm::BuildStatRecord() {
   rec.health = static_cast<uint8_t>(report.level);
   rec.health_reasons = std::move(report.reasons);
 
+  for (const auto& [gname, members] : group_table_.groups()) {
+    GroupStatEntry ge;
+    ge.name = gname;
+    ge.members = static_cast<uint32_t>(members.size());
+    for (const auto& m : members) {
+      if (m.exited) ++ge.exited;
+    }
+    rec.groups.push_back(std::move(ge));
+  }
+  for (const auto& [key, bl] : barrier_local_) {
+    BarrierStatEntry be;
+    be.name = key.first;
+    be.epoch = key.second;
+    be.waiters = static_cast<uint32_t>(bl.waiters.size());
+    be.expected = bl.expected;
+    rec.barriers.push_back(std::move(be));
+  }
+  for (const auto& [key, tally] : group_table_.tallies()) {
+    BarrierStatEntry be;
+    be.name = key.first;
+    be.epoch = key.second;
+    be.waiters = tally.Total();
+    be.expected = tally.expected;
+    rec.barriers.push_back(std::move(be));
+  }
+  rec.envars = static_cast<uint32_t>(group_table_.envars().size());
+  rec.envar_watchers = static_cast<uint32_t>(group_table_.watcher_count());
+
   rec.procs = ScanLocalProcesses();
   return rec;
 }
@@ -2365,6 +2507,13 @@ void Lpm::OnKernelEvent(const host::KernelEvent& ev) {
         if (store_) store_->RecordProcExit(ev.pid);
         kernel().Reap(pid());  // collect creation-server children
         ReviewTtl();
+        // Group membership: tell the coordinating manager this member is
+        // gone so pending gjoin waiters can complete.
+        if (auto lm = group_table_.TakeLocal(ev.pid)) {
+          if (store_) store_->RecordGroupLocalRemove(ev.pid);
+          NotifyGroupExit(lm->group, lm->coordinator,
+                          GPid{host_name(), ev.pid}, ev.status);
+        }
       }
       break;
     }
@@ -2385,17 +2534,69 @@ void Lpm::OnKernelEvent(const host::KernelEvent& ev) {
 void Lpm::FireTrigger(const TriggerSpec& spec, const HistEvent& ev) {
   ++stats_.triggers_fired;
   Metrics().triggers_fired->Inc();
-  if (spec.action == TriggerAction::kMigrate) {
-    PPM_INFO("lpm") << host_name() << ": trigger fired on " << host::ToString(ev.kind)
-                    << " of pid " << ev.pid << " -> migrate "
-                    << ToString(spec.action_target) << " to " << spec.migrate_dest;
-    MigrateGPid(spec.action_target, spec.migrate_dest, [](bool, std::string) {});
-    return;
-  }
   PPM_INFO("lpm") << host_name() << ": trigger fired on " << host::ToString(ev.kind)
-                  << " of pid " << ev.pid << " -> " << host::ToString(spec.action_signal)
-                  << " to " << ToString(spec.action_target);
-  SignalGPid(spec.action_target, spec.action_signal, [](bool, std::string) {});
+                  << " of pid " << ev.pid;
+  ApplyTriggerAction(spec);
+}
+
+void Lpm::ApplyTriggerAction(const TriggerSpec& spec) {
+  switch (spec.action) {
+    case TriggerAction::kMigrate:
+      PPM_INFO("lpm") << host_name() << ": trigger action -> migrate "
+                      << ToString(spec.action_target) << " to " << spec.migrate_dest;
+      MigrateGPid(spec.action_target, spec.migrate_dest, [](bool, std::string) {});
+      break;
+    case TriggerAction::kSpawn:
+      PPM_INFO("lpm") << host_name() << ": trigger action -> spawn \""
+                      << spec.spawn_command << "\""
+                      << (spec.group.empty() ? "" : " into group " + spec.group);
+      SpawnTriggered(spec);
+      break;
+    case TriggerAction::kSignal:
+    default:
+      PPM_INFO("lpm") << host_name() << ": trigger action -> "
+                      << host::ToString(spec.action_signal) << " to "
+                      << ToString(spec.action_target);
+      SignalGPid(spec.action_target, spec.action_signal, [](bool, std::string) {});
+      break;
+  }
+}
+
+void Lpm::SpawnTriggered(const TriggerSpec& spec) {
+  // Respawn locally; if the spec names a group, re-enroll the fresh pid
+  // with the group's coordinating manager so gjoin still sees it.
+  Dispatch([this, spec](Pid h) {
+    GroupPartReq req;
+    req.req_id = NextReqId();
+    req.group = spec.group;
+    req.command = spec.spawn_command;
+    if (!spec.group.empty()) {
+      if (auto coord = group_table_.KnownCoordinator(spec.group)) {
+        req.coordinator = *coord;
+      } else {
+        req.coordinator = ccs_host_.empty() ? host_name() : ccs_host_;
+      }
+    }
+    DoGroupPartLocal(req, h, [this, h, req](const GroupPartResp& resp) {
+      if (!resp.ok || req.group.empty()) {
+        ReleaseHandler(h);
+        return;
+      }
+      if (req.coordinator == host_name() || req.coordinator.empty()) {
+        group_table_.AddMember(req.group, resp.gpid);
+        if (store_) store_->RecordGroupMember(req.group, resp.gpid);
+        ReleaseHandler(h);
+        return;
+      }
+      GroupAddNotify add;
+      add.req_id = NextReqId();
+      add.group = req.group;
+      add.gpid = resp.gpid;
+      uint64_t my_id = add.req_id;
+      ForwardToHost(req.coordinator, Msg{add}, my_id, h,
+                    [this, h](const Msg*, const std::string&) { ReleaseHandler(h); });
+    });
+  });
 }
 
 void Lpm::SignalGPid(const GPid& target, host::Signal sig,
@@ -2800,6 +3001,777 @@ void Lpm::AcceptCcsAnnouncement(const std::string& new_ccs) {
   }
   SetMode(LpmMode::kNormal);
   ReviewTtl();
+}
+
+// --- group operations (src/group/): gang-spawn ----------------------------------------------
+
+void Lpm::HandleGroupSpawn(net::ConnId conn, const GroupSpawnReq& req) {
+  if (!AdmitRequest(conn, req.req_id)) return;
+  Dispatch(RxMeta(conn, req.req_id),
+           [this, conn, req](Pid h) { StartGangSpawn(conn, req, h); });
+}
+
+void Lpm::StartGangSpawn(net::ConnId conn, const GroupSpawnReq& req, Pid handler) {
+  auto reject = [&](const std::string& why) {
+    GroupSpawnResp resp;
+    resp.req_id = req.req_id;
+    resp.ok = false;
+    resp.error = why;
+    ReplyMsg(conn, resp);
+    ReleaseHandler(handler);
+  };
+  if (!running_) {
+    reject("manager shutting down");
+    return;
+  }
+  if (req.group.empty()) {
+    reject("group name must be non-empty");
+    return;
+  }
+  if (req.hosts.empty() || req.hosts.size() != req.commands.size()) {
+    reject("hosts and commands must be non-empty and the same length");
+    return;
+  }
+  if (group_table_.HasGroup(req.group)) {
+    reject("group already exists: " + req.group);
+    return;
+  }
+  for (const auto& [id, run] : gang_runs_) {
+    if (run.group == req.group) {
+      reject("gang spawn already in flight for group: " + req.group);
+      return;
+    }
+  }
+
+  uint64_t run_id = NextReqId();
+  GangRun& run = gang_runs_[run_id];
+  run.tool_conn = conn;
+  run.tool_req_id = req.req_id;
+  run.handler = handler;
+  run.group = req.group;
+  run.outstanding = req.hosts.size();
+  PPM_INFO("lpm") << host_name() << ": gang spawn \"" << req.group << "\" across "
+                  << req.hosts.size() << " part(s)";
+
+  for (size_t i = 0; i < req.hosts.size(); ++i) {
+    const std::string part_host = req.hosts[i];
+    GroupPartReq part;
+    part.req_id = NextReqId();
+    part.group = req.group;
+    part.coordinator = host_name();
+    part.command = req.commands[i];
+    if (part_host == host_name()) {
+      DoGroupPartLocal(part, handler,
+                       [this, run_id, part_host](const GroupPartResp& resp) {
+                         GangPartDone(run_id, part_host, resp.ok, resp.gpid, resp.error);
+                       });
+      continue;
+    }
+    uint64_t my_id = part.req_id;
+    ForwardToHost(part_host, Msg{part}, my_id, handler,
+                  [this, run_id, part_host](const Msg* m, const std::string& err) {
+                    if (m != nullptr && std::holds_alternative<GroupPartResp>(*m)) {
+                      const auto& resp = std::get<GroupPartResp>(*m);
+                      GangPartDone(run_id, part_host, resp.ok, resp.gpid, resp.error);
+                    } else {
+                      GangPartDone(run_id, part_host, false, GPid{}, err);
+                    }
+                  });
+  }
+}
+
+void Lpm::GangPartDone(uint64_t run_id, const std::string& part_host, bool ok,
+                       const GPid& gpid, const std::string& error) {
+  auto it = gang_runs_.find(run_id);
+  if (it == gang_runs_.end()) return;
+  GangRun& run = it->second;
+  if (ok) {
+    run.members.push_back(gpid);
+  } else {
+    run.failed = true;
+    run.host_errors.push_back(part_host + ": " +
+                              (error.empty() ? "spawn failed" : error));
+  }
+  if (--run.outstanding == 0) FinishGangSpawn(run_id);
+}
+
+void Lpm::FinishGangSpawn(uint64_t run_id) {
+  auto it = gang_runs_.find(run_id);
+  if (it == gang_runs_.end()) return;
+  GangRun run = std::move(it->second);
+  gang_runs_.erase(it);
+
+  GroupSpawnResp resp;
+  resp.req_id = run.tool_req_id;
+  if (!run.failed) {
+    // All parts landed: the group becomes visible atomically, and only
+    // now — a concurrent gjoin/gsig never sees a half-spawned gang.
+    for (const GPid& m : run.members) {
+      group_table_.AddMember(run.group, m);
+      if (store_) store_->RecordGroupMember(run.group, m);
+    }
+    ++stats_.gang_spawns;
+    Metrics().group_spawns->Inc();
+    obs::FlightRecorder::Instance().Record(obs::FlightKind::kGroupSpawn, host_name(),
+                                           run.group, run.members.size(), 0);
+    resp.ok = true;
+    resp.members = std::move(run.members);
+    ReplyMsg(run.tool_conn, resp);
+    ReleaseHandler(run.handler);
+    return;
+  }
+
+  // All-or-nothing: kill every part that did come up.  Undo legs are
+  // charged to the manager itself — the tool's handler is released with
+  // the reply, not held across remote cleanup.
+  ++stats_.gang_rollbacks;
+  Metrics().group_rollbacks->Inc();
+  obs::FlightRecorder::Instance().Record(obs::FlightKind::kGroupSpawn, host_name(),
+                                         run.group, run.members.size(), 1);
+  PPM_INFO("lpm") << host_name() << ": gang spawn \"" << run.group
+                  << "\" rolled back (" << run.host_errors.size() << " failed part(s))";
+  for (const GPid& m : run.members) {
+    if (m.host == host_name()) {
+      UndoLocalGroupMember(m.pid);
+      continue;
+    }
+    GroupUndoReq undo;
+    undo.req_id = NextReqId();
+    undo.group = run.group;
+    undo.target = m;
+    uint64_t my_id = undo.req_id;
+    ForwardToHost(m.host, Msg{undo}, my_id, pid(),
+                  [](const Msg*, const std::string&) {});
+  }
+  resp.ok = false;
+  resp.error = "gang spawn failed on " + std::to_string(run.host_errors.size()) +
+               " host(s)";
+  resp.host_errors = std::move(run.host_errors);
+  ReplyMsg(run.tool_conn, resp);
+  ReleaseHandler(run.handler);
+}
+
+void Lpm::DoGroupPartLocal(const GroupPartReq& req, Pid handler,
+                           std::function<void(const GroupPartResp&)> done) {
+  sim::SimDuration cost = kernel().Charge(handler, BaseCosts::kHandlerWork);
+  cost += kernel().Charge(handler, BaseCosts::kForkExec);
+  simulator().ScheduleIn(cost, [this, req, done = std::move(done)] {
+    GroupPartResp resp;
+    resp.req_id = req.req_id;
+    if (!running_) {
+      resp.ok = false;
+      resp.error = "manager shutting down";
+      done(resp);
+      return;
+    }
+    Pid child = kernel().Spawn(pid(), uid_, req.command, nullptr,
+                               host::ProcState::kRunning, host::kTraceAll, pid());
+    LocalProc info;
+    info.command = req.command;
+    if (store_) store_->RecordProcNew(child, info.logical_parent, info.command);
+    local_procs_[child] = std::move(info);
+    if (!req.group.empty()) {
+      group_table_.AddLocal(child, req.group, req.coordinator);
+      if (store_) store_->RecordGroupLocalMember(child, req.group, req.coordinator);
+    }
+    resp.ok = true;
+    resp.gpid = GPid{host_name(), child};
+    ReviewTtl();
+    done(resp);
+  }, "lpm-gang-part");
+}
+
+void Lpm::HandleGroupPart(net::ConnId conn, const GroupPartReq& req) {
+  if (!AdmitRequest(conn, req.req_id)) return;
+  Dispatch(RxMeta(conn, req.req_id), [this, conn, req](Pid h) {
+    DoGroupPartLocal(req, h, [this, conn, h](const GroupPartResp& resp) {
+      ReplyMsg(conn, resp);
+      ReleaseHandler(h);
+    });
+  });
+}
+
+void Lpm::HandleGroupUndo(net::ConnId conn, const GroupUndoReq& req) {
+  if (!AdmitRequest(conn, req.req_id)) return;
+  Dispatch(RxMeta(conn, req.req_id), [this, conn, req](Pid h) {
+    sim::SimDuration cost = kernel().Charge(h, BaseCosts::kHandlerWork);
+    cost += kernel().Charge(h, BaseCosts::kSignal);
+    simulator().ScheduleIn(cost, [this, conn, req, h] {
+      GroupAck ack;
+      ack.req_id = req.req_id;
+      if (!running_) {
+        ack.ok = false;
+        ack.error = "manager shutting down";
+      } else {
+        UndoLocalGroupMember(req.target.pid);
+        ack.ok = true;
+      }
+      ReplyMsg(conn, ack);
+      ReleaseHandler(h);
+    }, "lpm-gang-undo");
+  });
+}
+
+void Lpm::UndoLocalGroupMember(host::Pid target) {
+  // Forget the membership *before* killing: the kExit hook must not send
+  // a stray exit notify for a member the coordinator is rolling back.
+  if (group_table_.TakeLocal(target)) {
+    if (store_) store_->RecordGroupLocalRemove(target);
+  }
+  kernel().PostSignal(target, host::Signal::kSigKill, uid_);
+}
+
+// --- group operations: exits, signal, join --------------------------------------------------
+
+void Lpm::HandleGroupExitNotify(net::ConnId conn, const GroupExitNotify& req) {
+  if (!AdmitRequest(conn, req.req_id)) return;
+  ApplyGroupExit(req.group, req.gpid, req.exit_status);
+  GroupAck ack;
+  ack.req_id = req.req_id;
+  ack.ok = true;
+  ReplyMsg(conn, ack);
+}
+
+void Lpm::HandleGroupAddNotify(net::ConnId conn, const GroupAddNotify& req) {
+  if (!AdmitRequest(conn, req.req_id)) return;
+  GroupAck ack;
+  ack.req_id = req.req_id;
+  if (!group_table_.HasGroup(req.group)) {
+    // Nothing to enroll into: the replacement still runs, but we will
+    // not invent a coordinator-side group that was never gang-spawned.
+    ack.ok = false;
+    ack.error = "unknown group " + req.group;
+  } else {
+    group_table_.AddMember(req.group, req.gpid);
+    if (store_) store_->RecordGroupMember(req.group, req.gpid);
+    ack.ok = true;
+  }
+  ReplyMsg(conn, ack);
+}
+
+void Lpm::ApplyGroupExit(const std::string& grp, const GPid& gpid, int32_t status) {
+  // MarkExited is idempotent: a retried notify or a duplicate kernel
+  // event changes nothing the second time.
+  if (!group_table_.MarkExited(grp, gpid, status)) return;
+  if (store_) store_->RecordGroupExit(grp, gpid, status);
+  if (group_table_.AllExited(grp)) FlushGroupJoins(grp);
+}
+
+void Lpm::NotifyGroupExit(const std::string& grp, const std::string& coordinator,
+                          const GPid& gpid, int32_t status) {
+  if (coordinator.empty() || coordinator == host_name()) {
+    ApplyGroupExit(grp, gpid, status);
+    return;
+  }
+  Dispatch([this, grp, coordinator, gpid, status](Pid h) {
+    GroupExitNotify note;
+    note.req_id = NextReqId();
+    note.group = grp;
+    note.gpid = gpid;
+    note.exit_status = status;
+    uint64_t my_id = note.req_id;
+    ForwardToHost(coordinator, Msg{note}, my_id, h,
+                  [this, h](const Msg*, const std::string&) { ReleaseHandler(h); });
+  });
+}
+
+void Lpm::FlushGroupJoins(const std::string& grp) {
+  auto it = join_waiters_.find(grp);
+  if (it == join_waiters_.end()) return;
+  auto waiters = std::move(it->second);
+  join_waiters_.erase(it);
+  for (auto& [conn, req_id] : waiters) {
+    ReplyMsg(conn, BuildJoinResp(req_id, grp));
+  }
+}
+
+GroupJoinResp Lpm::BuildJoinResp(uint64_t req_id, const std::string& grp) {
+  GroupJoinResp resp;
+  resp.req_id = req_id;
+  resp.ok = true;
+  resp.group = grp;
+  auto git = group_table_.groups().find(grp);
+  if (git != group_table_.groups().end()) {
+    for (const auto& m : git->second) {
+      GroupExit e;
+      e.gpid = m.gpid;
+      e.exit_status = m.exit_status;
+      resp.exits.push_back(e);
+    }
+  }
+  return resp;
+}
+
+void Lpm::HandleGroupSignal(net::ConnId conn, const GroupSignalReq& req) {
+  if (!AdmitRequest(conn, req.req_id)) return;
+  if (!group_table_.HasGroup(req.group)) {
+    GroupSignalResp resp;
+    resp.req_id = req.req_id;
+    resp.ok = false;
+    resp.error = "unknown group " + req.group +
+                 " (issue gsig to the coordinating manager)";
+    ReplyMsg(conn, resp);
+    return;
+  }
+  Dispatch(RxMeta(conn, req.req_id), [this, conn, req](Pid h) {
+    std::vector<GPid> live = group_table_.LiveMembers(req.group);
+    if (live.empty()) {
+      GroupSignalResp resp;
+      resp.req_id = req.req_id;
+      resp.ok = true;
+      ReplyMsg(conn, resp);
+      ReleaseHandler(h);
+      return;
+    }
+    struct SigFan {
+      size_t pending = 0;
+      uint32_t delivered = 0;
+      uint32_t failed = 0;
+    };
+    auto fan = std::make_shared<SigFan>();
+    fan->pending = live.size();
+    auto one_done = [this, conn, req, h, fan](bool ok) {
+      if (ok) {
+        ++fan->delivered;
+      } else {
+        ++fan->failed;
+      }
+      if (--fan->pending > 0) return;
+      GroupSignalResp resp;
+      resp.req_id = req.req_id;
+      resp.ok = true;
+      resp.delivered = fan->delivered;
+      resp.failed = fan->failed;
+      ReplyMsg(conn, resp);
+      ReleaseHandler(h);
+    };
+    for (const GPid& m : live) {
+      SignalGPid(m, req.sig, [one_done](bool ok, std::string) { one_done(ok); });
+    }
+  });
+}
+
+void Lpm::HandleGroupJoin(net::ConnId conn, const GroupJoinReq& req) {
+  if (!AdmitRequest(conn, req.req_id)) return;
+  if (!group_table_.HasGroup(req.group)) {
+    GroupJoinResp resp;
+    resp.req_id = req.req_id;
+    resp.ok = false;
+    resp.group = req.group;
+    resp.error = "unknown group " + req.group +
+                 " (issue gjoin to the coordinating manager)";
+    ReplyMsg(conn, resp);
+    return;
+  }
+  if (group_table_.AllExited(req.group)) {
+    ReplyMsg(conn, BuildJoinResp(req.req_id, req.group));
+    return;
+  }
+  join_waiters_[req.group].push_back({conn, req.req_id});
+}
+
+// --- group operations: barriers -------------------------------------------------------------
+
+void Lpm::HandleBarrierEnter(net::ConnId conn, const BarrierEnterReq& req) {
+  if (!AdmitRequest(conn, req.req_id)) return;
+  const uint64_t decided = group_table_.DecidedEpoch(req.name);
+  if (req.epoch <= decided) {
+    BarrierEnterResp resp;
+    resp.req_id = req.req_id;
+    resp.ok = false;
+    resp.epoch = req.epoch;
+    resp.error = "barrier epoch already decided (highest " + std::to_string(decided) +
+                 ")";
+    ReplyMsg(conn, resp);
+    return;
+  }
+  group::GroupTable::BarrierKey key{req.name, req.epoch};
+  BarrierLocal& bl = barrier_local_[key];
+  bl.expected = std::max(bl.expected, req.expected);
+  bl.waiters.push_back({conn, req.req_id});
+  if (bl.safety_ev == sim::kInvalidEventId) {
+    // Bound the wait: if no verdict ever reaches this host (CCS dead,
+    // partition), waiters fail with an explicitly *unknown* outcome —
+    // never a guessed release or timeout.
+    std::string name = req.name;
+    uint64_t epoch = req.epoch;
+    bl.safety_ev = simulator().ScheduleIn(
+        2 * config_.barrier_timeout,
+        [this, name, epoch] {
+          FailBarrierLocal(name, epoch, "barrier verdict unreachable");
+        },
+        "lpm-barrier-safety");
+  }
+  if (bl.waiters.size() > bl.reported) {
+    SendBarrierJoin(req.name, req.epoch, bl.expected,
+                    static_cast<uint32_t>(bl.waiters.size()));
+  }
+}
+
+void Lpm::SendBarrierJoin(const std::string& name, uint64_t epoch, uint32_t expected,
+                          uint32_t count) {
+  group::GroupTable::BarrierKey key{name, epoch};
+  auto it = barrier_local_.find(key);
+  if (it != barrier_local_.end()) {
+    it->second.reported = std::max(it->second.reported, count);
+  }
+  if (is_ccs_) {
+    GroupAck ack = CcsBarrierJoin(host_name(), name, epoch, expected, count);
+    if (!ack.ok) FailBarrierLocal(name, epoch, ack.error);
+    return;
+  }
+  if (ccs_host_.empty()) {
+    FailBarrierLocal(name, epoch, "no barrier coordinator known");
+    return;
+  }
+  PPM_DEBUG("lpm") << host_name() << ": barrier \"" << name << "\" epoch "
+                   << epoch << " join -> ccs " << ccs_host_;
+  SendBarrierJoinTo(ccs_host_, name, epoch, expected, count,
+                    /*redirects_left=*/2);
+}
+
+void Lpm::SendBarrierJoinTo(const std::string& ccs, const std::string& name,
+                            uint64_t epoch, uint32_t expected, uint32_t count,
+                            int redirects_left) {
+  Dispatch([this, ccs, name, epoch, expected, count, redirects_left](Pid h) {
+    BarrierJoinReq req;
+    req.req_id = NextReqId();
+    req.name = name;
+    req.epoch = epoch;
+    req.expected = expected;
+    req.host = host_name();
+    req.count = count;
+    uint64_t my_id = req.req_id;
+    ForwardToHost(
+        ccs, Msg{req}, my_id, h,
+        [this, h, ccs, name, epoch, expected, count,
+         redirects_left](const Msg* m, const std::string& err) {
+          if (m != nullptr && std::holds_alternative<GroupAck>(*m)) {
+            const auto& ack = std::get<GroupAck>(*m);
+            if (ack.ok) {
+              // The far side answered *as* the coordinator; a join that
+              // travelled a redirect just validated the hint, so repair
+              // the stale pointer for every later CCS-routed operation.
+              if (ccs_host_ != ccs && ccs != host_name()) {
+                ccs_host_ = ccs;
+                is_ccs_ = false;
+                PersistCcs();
+              }
+            } else if (!ack.ccs_hint.empty() && ack.ccs_hint != ccs &&
+                       ack.ccs_hint != host_name() && redirects_left > 0) {
+              // A demoted coordinator bounced the join but told us where
+              // the role went (a pointer gone stale across a partition,
+              // e.g. a yield announcement this host never heard).  Chase
+              // the redirect instead of failing the waiters; the hop
+              // bound keeps a pointer cycle from looping forever.
+              SendBarrierJoinTo(ack.ccs_hint, name, epoch, expected, count,
+                                redirects_left - 1);
+            } else {
+              FailBarrierLocal(name, epoch, ack.error);
+            }
+          } else {
+            PPM_DEBUG("lpm") << host_name() << ": barrier \"" << name
+                             << "\" epoch " << epoch << " join to " << ccs
+                             << " failed: " << err;
+            FailBarrierLocal(name, epoch,
+                             "barrier coordinator unreachable: " + err);
+          }
+          ReleaseHandler(h);
+        });
+  });
+}
+
+GroupAck Lpm::CcsBarrierJoin(const std::string& from_host, const std::string& name,
+                             uint64_t epoch, uint32_t expected, uint32_t count) {
+  GroupAck ack;
+  if (!is_ccs_) {
+    // A demoted CCS must not keep tallying: two deciders for one epoch
+    // is exactly the split group.no_split_release forbids.
+    ack.ok = false;
+    ack.error = "not the central coordinator (ccs=" + ccs_host_ + ")";
+    ack.ccs_hint = ccs_host_;
+    return ack;
+  }
+  if (epoch <= group_table_.DecidedEpoch(name)) {
+    ack.ok = false;
+    ack.error = "barrier epoch already decided";
+    return ack;
+  }
+  bool fresh = !group_table_.HasTally(name, epoch);
+  group::BarrierTally& tally = group_table_.Tally(name, epoch);
+  tally.expected = std::max(tally.expected, expected);
+  uint32_t& joined = tally.counts[from_host];
+  joined = std::max(joined, count);  // cumulative per host: retries are idempotent
+  if (fresh) {
+    group::GroupTable::BarrierKey key{name, epoch};
+    barrier_decide_ev_[key] = simulator().ScheduleIn(
+        config_.barrier_timeout,
+        [this, name, epoch] { BarrierVerdict(name, epoch, false); },
+        "lpm-barrier-decide");
+  }
+  ack.ok = true;
+  if (tally.expected > 0 && tally.Total() >= tally.expected) {
+    BarrierVerdict(name, epoch, true);
+  }
+  return ack;
+}
+
+void Lpm::HandleBarrierJoin(net::ConnId conn, const BarrierJoinReq& req) {
+  if (!AdmitRequest(conn, req.req_id)) return;
+  GroupAck ack = CcsBarrierJoin(req.host, req.name, req.epoch, req.expected, req.count);
+  ack.req_id = req.req_id;
+  ReplyMsg(conn, ack);
+}
+
+void Lpm::BarrierVerdict(const std::string& name, uint64_t epoch, bool released) {
+  if (!group_table_.HasTally(name, epoch)) return;  // already decided
+  group::GroupTable::BarrierKey key{name, epoch};
+  auto eit = barrier_decide_ev_.find(key);
+  if (eit != barrier_decide_ev_.end()) {
+    simulator().Cancel(eit->second);
+    barrier_decide_ev_.erase(eit);
+  }
+  group::BarrierTally tally = group_table_.Tally(name, epoch);
+  group_table_.EraseTally(name, epoch);
+  group_table_.NoteDecided(name, epoch);
+  // Journal (and sync) the decision *before* announcing it: a warm-
+  // restarted CCS must never decide the same epoch a second time.
+  if (store_) store_->RecordBarrierEpoch(name, epoch);
+
+  // On a timeout the report names the hosts whose waiters were left
+  // stuck at the barrier; hosts that never joined are unknowable here.
+  std::vector<std::string> stragglers;
+  if (!released) {
+    for (const auto& [joined_host, c] : tally.counts) stragglers.push_back(joined_host);
+  }
+  if (released) {
+    ++stats_.barrier_releases;
+    Metrics().barrier_releases->Inc();
+  } else {
+    ++stats_.barrier_timeouts;
+    Metrics().barrier_timeouts->Inc();
+  }
+  obs::FlightRecorder::Instance().Record(obs::FlightKind::kBarrierRelease, host_name(),
+                                         name, epoch, released ? 1 : 0);
+  {
+    std::string joined;
+    for (const auto& [joined_host, c] : tally.counts) joined += ' ' + joined_host;
+    PPM_INFO("lpm") << host_name() << ": barrier \"" << name << "\" epoch "
+                    << epoch << (released ? " released (" : " timed out (")
+                    << tally.Total() << "/" << tally.expected << " joined:"
+                    << joined << ")";
+  }
+
+  for (const auto& [joined_host, c] : tally.counts) {
+    if (joined_host == host_name()) {
+      ApplyBarrierVerdict(name, epoch, released, stragglers);
+      continue;
+    }
+    std::string dest = joined_host;
+    Dispatch([this, dest, name, epoch, released, stragglers](Pid h) {
+      BarrierReleaseReq rel;
+      rel.req_id = NextReqId();
+      rel.name = name;
+      rel.epoch = epoch;
+      rel.released = released;
+      rel.stragglers = stragglers;
+      uint64_t my_id = rel.req_id;
+      ForwardToHost(dest, Msg{rel}, my_id, h,
+                    [this, h](const Msg*, const std::string&) { ReleaseHandler(h); });
+    });
+  }
+}
+
+void Lpm::HandleBarrierRelease(net::ConnId conn, const BarrierReleaseReq& req) {
+  if (!AdmitRequest(conn, req.req_id)) return;
+  ApplyBarrierVerdict(req.name, req.epoch, req.released, req.stragglers);
+  GroupAck ack;
+  ack.req_id = req.req_id;
+  ack.ok = true;
+  ReplyMsg(conn, ack);
+}
+
+void Lpm::ApplyBarrierVerdict(const std::string& name, uint64_t epoch, bool released,
+                              const std::vector<std::string>& stragglers) {
+  group::GroupTable::BarrierKey key{name, epoch};
+  auto it = barrier_local_.find(key);
+  if (it == barrier_local_.end()) return;  // already applied (or never waited here)
+  BarrierLocal bl = std::move(it->second);
+  barrier_local_.erase(it);
+  simulator().Cancel(bl.safety_ev);
+  group_table_.NoteDecided(name, epoch);
+  group_table_.NoteOutcome(name, epoch, released);
+  for (auto& [conn, req_id] : bl.waiters) {
+    BarrierEnterResp resp;
+    resp.req_id = req_id;
+    resp.ok = true;
+    resp.released = released;
+    resp.epoch = epoch;
+    resp.stragglers = stragglers;
+    if (!released) resp.error = "barrier timed out";
+    ReplyMsg(conn, resp);
+  }
+}
+
+void Lpm::FailBarrierLocal(const std::string& name, uint64_t epoch,
+                           const std::string& why) {
+  group::GroupTable::BarrierKey key{name, epoch};
+  auto it = barrier_local_.find(key);
+  if (it == barrier_local_.end()) return;
+  BarrierLocal bl = std::move(it->second);
+  barrier_local_.erase(it);
+  simulator().Cancel(bl.safety_ev);
+  // Deliberately *no* outcome note: the verdict is unknown here, and
+  // guessing released/timed-out is what group.no_split_release forbids.
+  for (auto& [conn, req_id] : bl.waiters) {
+    BarrierEnterResp resp;
+    resp.req_id = req_id;
+    resp.ok = false;
+    resp.epoch = epoch;
+    resp.error = why;
+    ReplyMsg(conn, resp);
+  }
+}
+
+// --- group operations: global envars --------------------------------------------------------
+
+void Lpm::HandleEnvarSet(net::ConnId conn, const EnvarSetReq& req) {
+  if (!AdmitRequest(conn, req.req_id)) return;
+  Dispatch(RxMeta(conn, req.req_id), [this, conn, req](Pid h) {
+    sim::SimDuration cost = kernel().Charge(h, BaseCosts::kHandlerWork);
+    simulator().ScheduleIn(cost, [this, conn, req, h] {
+      EnvarSetResp resp;
+      resp.req_id = req.req_id;
+      if (!running_) {
+        resp.ok = false;
+        resp.error = "manager shutting down";
+        ReplyMsg(conn, resp);
+        ReleaseHandler(h);
+        return;
+      }
+      // Version is claimed at the origin; every replica's merge rule
+      // (higher version, ties toward the larger origin) converges on
+      // one winner without any coordination round.
+      uint64_t version = group_table_.NextVersion(req.key);
+      ApplyEnvar(req.key, req.value, version, host_name());
+      EnvarUpdate upd;
+      upd.origin_host = host_name();
+      upd.bcast_seq = NextBcastSeq();
+      upd.signed_ts = simulator().Now();
+      upd.route.push_back(host_name());
+      upd.key = req.key;
+      upd.value = req.value;
+      upd.version = version;
+      upd.version_origin = host_name();
+      ++stats_.bcasts_originated;
+      bcast_filter_.CheckAndRecord(host_name(), upd.bcast_seq, simulator().Now());
+      FloodGroupMsg(Msg{upd}, std::string());
+      resp.ok = true;
+      resp.version = version;
+      ReplyMsg(conn, resp);
+      ReleaseHandler(h);
+    }, "lpm-envar-set");
+  });
+}
+
+void Lpm::HandleEnvarGet(net::ConnId conn, const EnvarGetReq& req) {
+  if (!AdmitRequest(conn, req.req_id)) return;
+  EnvarGetResp resp;
+  resp.req_id = req.req_id;
+  resp.key = req.key;
+  const group::Envar* var = group_table_.FindEnvar(req.key);
+  if (var == nullptr) {
+    resp.ok = false;
+    resp.error = "unset envar " + req.key;
+  } else {
+    resp.ok = true;
+    resp.value = var->value;
+    resp.version = var->version;
+  }
+  ReplyMsg(conn, resp);
+}
+
+void Lpm::HandleEnvarWatch(net::ConnId conn, const EnvarWatchReq& req) {
+  if (!AdmitRequest(conn, req.req_id)) return;
+  EnvarWatchResp resp;
+  resp.req_id = req.req_id;
+  if (req.key.empty()) {
+    resp.ok = false;
+    resp.error = "watch key must be non-empty";
+  } else {
+    resp.ok = true;
+    resp.watch_id = group_table_.AddWatcher(req.key, req.spec);
+  }
+  ReplyMsg(conn, resp);
+}
+
+void Lpm::HandleEnvarUpdate(const EnvarUpdate& upd) {
+  if (!bcast_filter_.CheckAndRecord(upd.origin_host, upd.bcast_seq, simulator().Now())) {
+    ++stats_.bcast_duplicates;
+    obs::HealthMonitor::Instance().RateEvent("lpm.bcast.dup");
+    return;
+  }
+  // Re-flood away from the arrival leg regardless of whether we adopt
+  // the value: the covering graph needs every edge walked even when this
+  // replica already holds a newer version.
+  std::string sender = upd.route.empty() ? std::string() : upd.route.back();
+  EnvarUpdate fwd = upd;
+  fwd.route.push_back(host_name());
+  FloodGroupMsg(Msg{fwd}, sender);
+  ApplyEnvar(upd.key, upd.value, upd.version, upd.version_origin);
+}
+
+void Lpm::HandleEnvarSync(const EnvarSync& sync) {
+  for (const EnvarEntry& e : sync.entries) {
+    if (!ApplyEnvar(e.key, e.value, e.version, e.origin)) continue;
+    // Adopted from anti-entropy: re-originate as a fresh flood so hosts
+    // beyond this sibling hear of it too (their filters never saw the
+    // original broadcast — it happened while we were apart).
+    EnvarUpdate upd;
+    upd.origin_host = host_name();
+    upd.bcast_seq = NextBcastSeq();
+    upd.signed_ts = simulator().Now();
+    upd.route.push_back(host_name());
+    upd.key = e.key;
+    upd.value = e.value;
+    upd.version = e.version;
+    upd.version_origin = e.origin;
+    ++stats_.bcasts_originated;
+    bcast_filter_.CheckAndRecord(host_name(), upd.bcast_seq, simulator().Now());
+    FloodGroupMsg(Msg{upd}, std::string());
+  }
+}
+
+bool Lpm::ApplyEnvar(const std::string& key, const std::string& value,
+                     uint64_t version, const std::string& origin) {
+  if (!group_table_.MergeEnvar(key, value, version, origin)) return false;
+  if (store_) store_->RecordEnvar(key, value, version, origin);
+  ++stats_.envar_updates;
+  Metrics().envar_updates->Inc();
+  obs::FlightRecorder::Instance().Record(obs::FlightKind::kEnvarUpdate, host_name(),
+                                         key, version, 0);
+  for (const auto& [id, w] : group_table_.WatchersFor(key)) {
+    ++stats_.envar_watch_fires;
+    Metrics().envar_watch_fires->Inc();
+    ApplyTriggerAction(w->spec);
+  }
+  return true;
+}
+
+void Lpm::FloodGroupMsg(const Msg& msg, const std::string& except_host) {
+  sim::SimDuration cum = 0;
+  bool first = true;
+  for (const auto& [sib_host, conn] : siblings_) {
+    if (sib_host == except_host) continue;
+    cum += kernel().Charge(pid(), first ? BaseCosts::kSiblingSend
+                                        : BaseCosts::kSiblingSendExtra);
+    first = false;
+    net::ConnId target = conn;
+    simulator().ScheduleIn(cum, [this, target, msg] {
+      if (!running_) return;
+      SendMsg(target, msg);
+    }, "lpm-flood-send");
+  }
 }
 
 // --- factory --------------------------------------------------------------------------------

@@ -42,6 +42,7 @@
 #include "core/types.h"
 #include "core/wire.h"
 #include "daemon/pmd.h"
+#include "group/group.h"
 #include "host/host.h"
 #include "net/network.h"
 #include "store/lpm_store.h"
@@ -68,6 +69,14 @@ struct LpmConfig {
   sim::SimDuration snapshot_timeout = sim::Seconds(10);
   // Forwarded-request timeout.
   sim::SimDuration request_timeout = sim::Seconds(10);
+  // Barrier decision window at the CCS: an epoch that has not reached
+  // its expected count this long after the first join is decided as
+  // timed out (with a straggler report).  Member LPMs run a local
+  // safety timeout at twice this, after which waiters get an explicit
+  // *unknown* outcome ("barrier verdict unreachable") — never a
+  // fabricated timeout, so a released verdict and a timeout verdict can
+  // never coexist for one epoch (group.no_split_release).
+  sim::SimDuration barrier_timeout = sim::Seconds(10);
   // Host running the CcsNameServer daemon; empty disables name-server-
   // assisted recovery (paper Section 5's sketched alternative) and the
   // ~/.recovery walk is used alone.  With a server configured, the LPM
@@ -145,6 +154,13 @@ struct LpmStats {
   uint64_t retries = 0;            // forward attempts beyond the first
   uint64_t deadline_expired = 0;   // work cancelled past its deadline
   uint64_t dup_suppressed = 0;     // retried requests caught by idem token
+  // Group operations (src/group/).
+  uint64_t gang_spawns = 0;        // gang-spawns completed successfully
+  uint64_t gang_rollbacks = 0;     // gang-spawns rolled back (partial failure)
+  uint64_t barrier_releases = 0;   // barrier epochs released (CCS side)
+  uint64_t barrier_timeouts = 0;   // barrier epochs timed out (CCS side)
+  uint64_t envar_updates = 0;      // envar changes applied to the local table
+  uint64_t envar_watch_fires = 0;  // watcher actions fired on applied changes
 };
 
 // Figure 4 exhibit: the LPM's communication end points.
@@ -198,6 +214,9 @@ class Lpm : public host::ProcessBody {
   size_t open_breaker_count() const;
   bool breaker_open_for(const std::string& host) const;
   size_t adopted_live_count() const;
+  // Group operations state (memberships, barrier outcomes, the envar
+  // table) — chaos invariants read it directly.
+  const group::GroupTable& group_table() const { return group_table_; }
   // Pids of the local processes this LPM currently tracks as live (the
   // chaos invariant checkers compare them against the kernel table and
   // snapshot records).
@@ -434,6 +453,83 @@ class Lpm : public host::ProcessBody {
   // kernel events
   void OnKernelEvent(const host::KernelEvent& ev);
   void FireTrigger(const TriggerSpec& spec, const HistEvent& ev);
+  // Shared action tail of triggers and envar watchers: signal, migrate,
+  // or (kSpawn) create a local process, enrolling it into spec.group.
+  void ApplyTriggerAction(const TriggerSpec& spec);
+  void SpawnTriggered(const TriggerSpec& spec);
+
+  // group operations (src/group/): gang-spawn
+  void HandleGroupSpawn(net::ConnId conn, const GroupSpawnReq& req);
+  void StartGangSpawn(net::ConnId conn, const GroupSpawnReq& req, host::Pid handler);
+  void GangPartDone(uint64_t run_id, const std::string& part_host, bool ok,
+                    const GPid& gpid, const std::string& error);
+  void FinishGangSpawn(uint64_t run_id);
+  // Creates one group member locally (the member-host leg of a gang
+  // spawn; also the local leg at the coordinator and the trigger-respawn
+  // path).  Empty req.group skips membership bookkeeping.
+  void DoGroupPartLocal(const GroupPartReq& req, host::Pid handler,
+                        std::function<void(const GroupPartResp&)> done);
+  void HandleGroupPart(net::ConnId conn, const GroupPartReq& req);
+  void HandleGroupUndo(net::ConnId conn, const GroupUndoReq& req);
+  // Kills a local gang member and forgets its membership (rollback leg).
+  void UndoLocalGroupMember(host::Pid target);
+
+  // group operations: exits, signal, join
+  void HandleGroupExitNotify(net::ConnId conn, const GroupExitNotify& req);
+  void HandleGroupAddNotify(net::ConnId conn, const GroupAddNotify& req);
+  // Coordinator-side exit bookkeeping; flushes waiting joins when the
+  // whole group is down.
+  void ApplyGroupExit(const std::string& grp, const GPid& gpid, int32_t status);
+  // Member-host side: route a local member's exit to its coordinator.
+  void NotifyGroupExit(const std::string& grp, const std::string& coordinator,
+                       const GPid& gpid, int32_t status);
+  void FlushGroupJoins(const std::string& grp);
+  void HandleGroupSignal(net::ConnId conn, const GroupSignalReq& req);
+  void HandleGroupJoin(net::ConnId conn, const GroupJoinReq& req);
+  GroupJoinResp BuildJoinResp(uint64_t req_id, const std::string& grp);
+
+  // group operations: barriers
+  void HandleBarrierEnter(net::ConnId conn, const BarrierEnterReq& req);
+  // Reports this LPM's cumulative waiter count to the CCS (or applies it
+  // directly when this LPM is the CCS).
+  void SendBarrierJoin(const std::string& name, uint64_t epoch,
+                       uint32_t expected, uint32_t count);
+  // One join attempt addressed to `ccs`.  A "not the central
+  // coordinator" bounce carries the rejector's CCS hint; the attempt
+  // chases it (repairing this LPM's stale pointer on success) up to
+  // `redirects_left` hops before failing the local waiters.
+  void SendBarrierJoinTo(const std::string& ccs, const std::string& name,
+                         uint64_t epoch, uint32_t expected, uint32_t count,
+                         int redirects_left);
+  // CCS side: tally a join; may decide the epoch.  Returns the ack for
+  // the joining LPM (ok=false: stale epoch, already decided).
+  GroupAck CcsBarrierJoin(const std::string& from_host, const std::string& name,
+                          uint64_t epoch, uint32_t expected, uint32_t count);
+  void HandleBarrierJoin(net::ConnId conn, const BarrierJoinReq& req);
+  // CCS side: decide <name, epoch> exactly once (journal, then announce).
+  void BarrierVerdict(const std::string& name, uint64_t epoch, bool released);
+  void HandleBarrierRelease(net::ConnId conn, const BarrierReleaseReq& req);
+  // Applies a verdict to the local waiters of <name, epoch>.
+  void ApplyBarrierVerdict(const std::string& name, uint64_t epoch, bool released,
+                           const std::vector<std::string>& stragglers);
+  // Fails local waiters with an *unknown* outcome (no released/timed-out
+  // claim): coordinator unreachable or safety timeout.
+  void FailBarrierLocal(const std::string& name, uint64_t epoch,
+                        const std::string& why);
+
+  // group operations: global envars
+  void HandleEnvarSet(net::ConnId conn, const EnvarSetReq& req);
+  void HandleEnvarGet(net::ConnId conn, const EnvarGetReq& req);
+  void HandleEnvarWatch(net::ConnId conn, const EnvarWatchReq& req);
+  void HandleEnvarUpdate(const EnvarUpdate& upd);
+  void HandleEnvarSync(const EnvarSync& sync);
+  // Merges one entry into the local table; on adoption journals it,
+  // counts it, and fires matching watchers.  True = applied.
+  bool ApplyEnvar(const std::string& key, const std::string& value,
+                  uint64_t version, const std::string& origin);
+  // Sends `msg` to every sibling except `except_host` (flood leg shared
+  // by EnvarUpdate propagation and sync re-floods).
+  void FloodGroupMsg(const Msg& msg, const std::string& except_host);
 
   // durable store (src/store/)
   // Replays checkpoint+journal at boot and seeds the event log, trigger
@@ -569,6 +665,38 @@ class Lpm : public host::ProcessBody {
   // Last event_log_.total_dropped() mirrored into the shared registry
   // counter (multiple LPMs feed one counter, so each adds deltas).
   uint64_t eventlog_dropped_seen_ = 0;
+
+  // --- group operations state (src/group/) --------------------------------
+  group::GroupTable group_table_;
+
+  // One in-flight gang spawn at the coordinator: per-host parts fan out
+  // through ForwardToHost; all-or-nothing on completion.
+  struct GangRun {
+    net::ConnId tool_conn = net::kInvalidConn;
+    uint64_t tool_req_id = 0;
+    host::Pid handler = host::kNoPid;
+    std::string group;
+    size_t outstanding = 0;
+    bool failed = false;
+    std::vector<GPid> members;             // created so far
+    std::vector<std::string> host_errors;  // "host: reason" per failed part
+  };
+  std::map<uint64_t, GangRun> gang_runs_;  // keyed by run id
+
+  // Local waiters of one <name, epoch> plus what we last reported to the
+  // CCS and the safety timeout that bounds waiting for a verdict.
+  struct BarrierLocal {
+    uint32_t expected = 0;
+    std::vector<std::pair<net::ConnId, uint64_t>> waiters;  // conn, req_id
+    uint32_t reported = 0;  // cumulative count last sent to the CCS
+    sim::EventId safety_ev = sim::kInvalidEventId;
+  };
+  std::map<group::GroupTable::BarrierKey, BarrierLocal> barrier_local_;
+  // CCS side: the decision timer per undecided epoch (tally itself lives
+  // in group_table_).
+  std::map<group::GroupTable::BarrierKey, sim::EventId> barrier_decide_ev_;
+  // Join requests parked until the whole group has exited.
+  std::map<std::string, std::vector<std::pair<net::ConnId, uint64_t>>> join_waiters_;
 };
 
 // The LpmFactory the PPM layer installs into inetd/pmd: spawns an LPM

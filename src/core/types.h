@@ -82,12 +82,15 @@ struct HistEvent {
 // events can be set by users to trigger process state changes").  When
 // an event of `event_kind` occurs on `subject_pid` (or any adopted
 // process if kNoPid), the LPM performs the action on `action_target`,
-// which may live on any host.  Two actions exist: deliver a signal, or
-// migrate the target to another host — the paper's "change the state of
-// each of its processes and possibly the site of execution", in event-
-// dependent ways (Section 1; migration itself is our extension, the
-// 1986 PPM had none).
-enum class TriggerAction : uint8_t { kSignal = 0, kMigrate = 1 };
+// which may live on any host.  Three actions exist: deliver a signal,
+// migrate the target to another host, or spawn a fresh process locally
+// — the paper's "change the state of each of its processes and
+// possibly the site of execution", in event-dependent ways (Section 1;
+// migration and spawn are our extensions, the 1986 PPM had neither).
+// kSpawn is what lets a group auto-restart dead workers: an exit
+// trigger whose action re-creates the command and, when `group` is
+// set, re-enrolls the replacement in that group.
+enum class TriggerAction : uint8_t { kSignal = 0, kMigrate = 1, kSpawn = 2 };
 
 struct TriggerSpec {
   host::KEvent event_kind = host::KEvent::kExit;
@@ -95,7 +98,9 @@ struct TriggerSpec {
   TriggerAction action = TriggerAction::kSignal;
   host::Signal action_signal = host::Signal::kSigTerm;
   GPid action_target;
-  std::string migrate_dest;  // destination host for kMigrate
+  std::string migrate_dest;    // destination host for kMigrate
+  std::string spawn_command;   // command line for kSpawn
+  std::string group;           // kSpawn: group the replacement joins ("" = none)
 
   bool operator==(const TriggerSpec&) const = default;
 };

@@ -10,15 +10,28 @@ namespace ppm::core {
 
 namespace {
 
-// Indexed by Msg variant tag; kStatMsgTag frames map to the last two.
+// Indexed by Msg variant tag; kStatMsgTag frames map to indices 29/30,
+// kBusyMsgTag to 31, and the kGroupMsgTag family to 32 onward.
 const char* const kMsgTypeNames[] = {
     "HelloSibling", "HelloTool", "HelloAck", "HelloReject", "CreateReq", "CreateResp",
     "SignalReq", "SignalResp", "SnapshotReq", "SnapshotResp", "RusageReq", "RusageResp",
     "AdoptReq", "AdoptResp", "TraceReq", "TraceResp", "HistoryReq", "HistoryResp",
     "TriggerReq", "TriggerResp", "BecomeCcs", "CcsChanged", "Probe", "ProbeAck",
     "FilesReq", "FilesResp", "MigrateReq", "MigrateResp", "RegisterChild",
-    "StatReq", "StatResp", "BusyResp"};
+    "StatReq", "StatResp", "BusyResp",
+    "GroupSpawnReq", "GroupSpawnResp", "GroupPartReq", "GroupPartResp",
+    "GroupUndoReq", "GroupAck", "GroupExitNotify", "GroupAddNotify",
+    "GroupSignalReq", "GroupSignalResp", "GroupJoinReq", "GroupJoinResp",
+    "BarrierEnterReq", "BarrierEnterResp", "BarrierJoinReq", "BarrierReleaseReq",
+    "EnvarSetReq", "EnvarSetResp", "EnvarGetReq", "EnvarGetResp",
+    "EnvarUpdate", "EnvarSync", "EnvarWatchReq", "EnvarWatchResp"};
 constexpr size_t kPlainTagCount = 29;  // tags 0..28 encode under the variant index
+
+// The sub-byte arithmetic of the 0xF8 family depends on the group
+// messages sitting contiguously at the top of the variant.
+static_assert(std::is_same_v<std::variant_alternative_t<kGroupIndexBase, Msg>, GroupSpawnReq>);
+static_assert(std::variant_size_v<Msg> == kGroupIndexBase + kGroupSubCount);
+static_assert(sizeof(kMsgTypeNames) / sizeof(kMsgTypeNames[0]) == std::variant_size_v<Msg>);
 
 // Codec-level accounting: how many frames pass through encode/decode and
 // how much of each frame is escape-header overhead (the 0xF4 checksum
@@ -303,6 +316,8 @@ void PutTriggerSpec(WireBuffer& w, const TriggerSpec& spec) {
   w.U8(static_cast<uint8_t>(spec.action_signal));
   PutGPid(w, spec.action_target);
   w.Str(spec.migrate_dest);
+  w.Str(spec.spawn_command);
+  w.Str(spec.group);
 }
 
 std::optional<TriggerSpec> GetTriggerSpec(util::ByteReader& r) {
@@ -313,14 +328,19 @@ std::optional<TriggerSpec> GetTriggerSpec(util::ByteReader& r) {
   auto sig = r.U8();
   auto target = GetGPid(r);
   auto dest = r.Str();
-  if (!kind || !pid || !action || !sig || !target || !dest) return std::nullopt;
-  if (*action > static_cast<uint8_t>(TriggerAction::kMigrate)) return std::nullopt;
+  auto cmd = r.Str();
+  auto group = r.Str();
+  if (!kind || !pid || !action || !sig || !target || !dest || !cmd || !group)
+    return std::nullopt;
+  if (*action > static_cast<uint8_t>(TriggerAction::kSpawn)) return std::nullopt;
   spec.event_kind = static_cast<host::KEvent>(*kind);
   spec.subject_pid = *pid;
   spec.action = static_cast<TriggerAction>(*action);
   spec.action_signal = static_cast<host::Signal>(*sig);
   spec.action_target = std::move(*target);
   spec.migrate_dest = std::move(*dest);
+  spec.spawn_command = std::move(*cmd);
+  spec.group = std::move(*group);
   return spec;
 }
 
@@ -376,6 +396,21 @@ void PutLpmStatRecord(WireBuffer& w, const LpmStatRecord& rec) {
   PutStrVec(w, rec.health_reasons);
   w.U32(static_cast<uint32_t>(rec.procs.size()));
   for (const auto& p : rec.procs) PutProcRecord(w, p);
+  w.U32(static_cast<uint32_t>(rec.groups.size()));
+  for (const GroupStatEntry& g : rec.groups) {
+    w.Str(g.name);
+    w.U32(g.members);
+    w.U32(g.exited);
+  }
+  w.U32(static_cast<uint32_t>(rec.barriers.size()));
+  for (const BarrierStatEntry& b : rec.barriers) {
+    w.Str(b.name);
+    w.U64(b.epoch);
+    w.U32(b.waiters);
+    w.U32(b.expected);
+  }
+  w.U32(rec.envars);
+  w.U32(rec.envar_watchers);
 }
 
 std::optional<LpmStatRecord> GetLpmStatRecord(util::ByteReader& r) {
@@ -473,6 +508,43 @@ std::optional<LpmStatRecord> GetLpmStatRecord(util::ByteReader& r) {
     if (!p) return std::nullopt;
     rec.procs.push_back(std::move(*p));
   }
+  auto ngroups = r.U32();
+  if (!ngroups) return std::nullopt;
+  if (*ngroups > r.remaining()) return std::nullopt;  // corrupt count
+  rec.groups.reserve(*ngroups);
+  for (uint32_t i = 0; i < *ngroups; ++i) {
+    GroupStatEntry g;
+    auto name = r.Str();
+    auto members = r.U32();
+    auto exited = r.U32();
+    if (!name || !members || !exited) return std::nullopt;
+    g.name = std::move(*name);
+    g.members = *members;
+    g.exited = *exited;
+    rec.groups.push_back(std::move(g));
+  }
+  auto nbarriers = r.U32();
+  if (!nbarriers) return std::nullopt;
+  if (*nbarriers > r.remaining()) return std::nullopt;  // corrupt count
+  rec.barriers.reserve(*nbarriers);
+  for (uint32_t i = 0; i < *nbarriers; ++i) {
+    BarrierStatEntry b;
+    auto name = r.Str();
+    auto epoch = r.U64();
+    auto waiters = r.U32();
+    auto expected = r.U32();
+    if (!name || !epoch || !waiters || !expected) return std::nullopt;
+    b.name = std::move(*name);
+    b.epoch = *epoch;
+    b.waiters = *waiters;
+    b.expected = *expected;
+    rec.barriers.push_back(std::move(b));
+  }
+  auto nenv = r.U32();
+  auto nwatch = r.U32();
+  if (!nenv || !nwatch) return std::nullopt;
+  rec.envars = *nenv;
+  rec.envar_watchers = *nwatch;
   return rec;
 }
 
@@ -524,7 +596,14 @@ void EncodeMsg(WireBuffer& w, const Msg& msg) {
     w.U64(busy->retry_after_us);
     return;
   }
-  w.U8(static_cast<uint8_t>(msg.index()));
+  // Group messages ride under the 0xF8 escape opcode plus a sub-byte so
+  // pre-group decoders reject rather than misread them.
+  if (msg.index() >= kGroupIndexBase) {
+    w.U8(kGroupMsgTag);
+    w.U8(static_cast<uint8_t>(msg.index() - kGroupIndexBase));
+  } else {
+    w.U8(static_cast<uint8_t>(msg.index()));
+  }
   std::visit(
       [&w](const auto& m) {
         using T = std::decay_t<decltype(m)>;
@@ -662,6 +741,141 @@ void EncodeMsg(WireBuffer& w, const Msg& msg) {
           w.U64(m.req_id);
           w.Str(m.host);
           w.Bool(m.is_ccs);
+        } else if constexpr (std::is_same_v<T, GroupSpawnReq>) {
+          w.U64(m.req_id);
+          w.Str(m.group);
+          PutStrVec(w, m.hosts);
+          PutStrVec(w, m.commands);
+        } else if constexpr (std::is_same_v<T, GroupSpawnResp>) {
+          w.U64(m.req_id);
+          w.Bool(m.ok);
+          w.Str(m.error);
+          w.U32(static_cast<uint32_t>(m.members.size()));
+          for (const auto& g : m.members) PutGPid(w, g);
+          PutStrVec(w, m.host_errors);
+        } else if constexpr (std::is_same_v<T, GroupPartReq>) {
+          w.U64(m.req_id);
+          w.Str(m.group);
+          w.Str(m.coordinator);
+          w.Str(m.command);
+        } else if constexpr (std::is_same_v<T, GroupPartResp>) {
+          w.U64(m.req_id);
+          w.Bool(m.ok);
+          w.Str(m.error);
+          PutGPid(w, m.gpid);
+        } else if constexpr (std::is_same_v<T, GroupUndoReq>) {
+          w.U64(m.req_id);
+          w.Str(m.group);
+          PutGPid(w, m.target);
+        } else if constexpr (std::is_same_v<T, GroupAck>) {
+          w.U64(m.req_id);
+          w.Bool(m.ok);
+          w.Str(m.error);
+          w.Str(m.ccs_hint);
+        } else if constexpr (std::is_same_v<T, GroupExitNotify>) {
+          w.U64(m.req_id);
+          w.Str(m.group);
+          PutGPid(w, m.gpid);
+          w.I32(m.exit_status);
+        } else if constexpr (std::is_same_v<T, GroupAddNotify>) {
+          w.U64(m.req_id);
+          w.Str(m.group);
+          PutGPid(w, m.gpid);
+        } else if constexpr (std::is_same_v<T, GroupSignalReq>) {
+          w.U64(m.req_id);
+          w.Str(m.group);
+          w.U8(static_cast<uint8_t>(m.sig));
+        } else if constexpr (std::is_same_v<T, GroupSignalResp>) {
+          w.U64(m.req_id);
+          w.Bool(m.ok);
+          w.Str(m.error);
+          w.U32(m.delivered);
+          w.U32(m.failed);
+        } else if constexpr (std::is_same_v<T, GroupJoinReq>) {
+          w.U64(m.req_id);
+          w.Str(m.group);
+        } else if constexpr (std::is_same_v<T, GroupJoinResp>) {
+          w.U64(m.req_id);
+          w.Bool(m.ok);
+          w.Str(m.error);
+          w.Str(m.group);
+          w.U32(static_cast<uint32_t>(m.exits.size()));
+          for (const auto& e : m.exits) {
+            PutGPid(w, e.gpid);
+            w.I32(e.exit_status);
+          }
+        } else if constexpr (std::is_same_v<T, BarrierEnterReq>) {
+          w.U64(m.req_id);
+          w.Str(m.name);
+          w.U64(m.epoch);
+          w.U32(m.expected);
+        } else if constexpr (std::is_same_v<T, BarrierEnterResp>) {
+          w.U64(m.req_id);
+          w.Bool(m.ok);
+          w.Str(m.error);
+          w.Bool(m.released);
+          w.U64(m.epoch);
+          PutStrVec(w, m.stragglers);
+        } else if constexpr (std::is_same_v<T, BarrierJoinReq>) {
+          w.U64(m.req_id);
+          w.Str(m.name);
+          w.U64(m.epoch);
+          w.U32(m.expected);
+          w.Str(m.host);
+          w.U32(m.count);
+        } else if constexpr (std::is_same_v<T, BarrierReleaseReq>) {
+          w.U64(m.req_id);
+          w.Str(m.name);
+          w.U64(m.epoch);
+          w.Bool(m.released);
+          PutStrVec(w, m.stragglers);
+        } else if constexpr (std::is_same_v<T, EnvarSetReq>) {
+          w.U64(m.req_id);
+          w.Str(m.key);
+          w.Str(m.value);
+        } else if constexpr (std::is_same_v<T, EnvarSetResp>) {
+          w.U64(m.req_id);
+          w.Bool(m.ok);
+          w.Str(m.error);
+          w.U64(m.version);
+        } else if constexpr (std::is_same_v<T, EnvarGetReq>) {
+          w.U64(m.req_id);
+          w.Str(m.key);
+        } else if constexpr (std::is_same_v<T, EnvarGetResp>) {
+          w.U64(m.req_id);
+          w.Bool(m.ok);
+          w.Str(m.error);
+          w.Str(m.key);
+          w.Str(m.value);
+          w.U64(m.version);
+        } else if constexpr (std::is_same_v<T, EnvarUpdate>) {
+          w.U64(m.req_id);
+          w.Str(m.origin_host);
+          w.U64(m.bcast_seq);
+          w.U64(m.signed_ts);
+          PutStrVec(w, m.route);
+          w.Str(m.key);
+          w.Str(m.value);
+          w.U64(m.version);
+          w.Str(m.version_origin);
+        } else if constexpr (std::is_same_v<T, EnvarSync>) {
+          w.U64(m.req_id);
+          w.U32(static_cast<uint32_t>(m.entries.size()));
+          for (const auto& e : m.entries) {
+            w.Str(e.key);
+            w.Str(e.value);
+            w.U64(e.version);
+            w.Str(e.origin);
+          }
+        } else if constexpr (std::is_same_v<T, EnvarWatchReq>) {
+          w.U64(m.req_id);
+          w.Str(m.key);
+          PutTriggerSpec(w, m.spec);
+        } else if constexpr (std::is_same_v<T, EnvarWatchResp>) {
+          w.U64(m.req_id);
+          w.Bool(m.ok);
+          w.Str(m.error);
+          w.U64(m.watch_id);
         }
       },
       msg);
@@ -1197,6 +1411,414 @@ std::optional<ProbeAck> ParseProbeAck(util::ByteReader& r) {
   return m;
 }
 
+// --- group message parsers (the 0xF8 family) -------------------------------
+
+std::optional<GroupSpawnReq> ParseGroupSpawnReq(util::ByteReader& r) {
+  GroupSpawnReq m;
+  auto id = r.U64();
+  auto group = r.Str();
+  auto hosts = GetStrVec(r);
+  auto commands = GetStrVec(r);
+  if (!id || !group || !hosts || !commands) return std::nullopt;
+  m.req_id = *id;
+  m.group = std::move(*group);
+  m.hosts = std::move(*hosts);
+  m.commands = std::move(*commands);
+  return m;
+}
+
+std::optional<GroupSpawnResp> ParseGroupSpawnResp(util::ByteReader& r) {
+  GroupSpawnResp m;
+  auto id = r.U64();
+  auto ok = r.Bool();
+  auto err = r.Str();
+  auto n = r.U32();
+  if (!id || !ok || !err || !n) return std::nullopt;
+  if (*n > r.remaining()) return std::nullopt;  // corrupt count
+  m.members.reserve(*n);
+  for (uint32_t i = 0; i < *n; ++i) {
+    auto g = GetGPid(r);
+    if (!g) return std::nullopt;
+    m.members.push_back(std::move(*g));
+  }
+  auto errors = GetStrVec(r);
+  if (!errors) return std::nullopt;
+  m.req_id = *id;
+  m.ok = *ok;
+  m.error = std::move(*err);
+  m.host_errors = std::move(*errors);
+  return m;
+}
+
+std::optional<GroupPartReq> ParseGroupPartReq(util::ByteReader& r) {
+  GroupPartReq m;
+  auto id = r.U64();
+  auto group = r.Str();
+  auto coord = r.Str();
+  auto cmd = r.Str();
+  if (!id || !group || !coord || !cmd) return std::nullopt;
+  m.req_id = *id;
+  m.group = std::move(*group);
+  m.coordinator = std::move(*coord);
+  m.command = std::move(*cmd);
+  return m;
+}
+
+std::optional<GroupPartResp> ParseGroupPartResp(util::ByteReader& r) {
+  GroupPartResp m;
+  auto id = r.U64();
+  auto ok = r.Bool();
+  auto err = r.Str();
+  auto gpid = GetGPid(r);
+  if (!id || !ok || !err || !gpid) return std::nullopt;
+  m.req_id = *id;
+  m.ok = *ok;
+  m.error = std::move(*err);
+  m.gpid = std::move(*gpid);
+  return m;
+}
+
+std::optional<GroupUndoReq> ParseGroupUndoReq(util::ByteReader& r) {
+  GroupUndoReq m;
+  auto id = r.U64();
+  auto group = r.Str();
+  auto target = GetGPid(r);
+  if (!id || !group || !target) return std::nullopt;
+  m.req_id = *id;
+  m.group = std::move(*group);
+  m.target = std::move(*target);
+  return m;
+}
+
+std::optional<GroupAck> ParseGroupAck(util::ByteReader& r) {
+  GroupAck m;
+  auto id = r.U64();
+  auto ok = r.Bool();
+  auto err = r.Str();
+  auto hint = r.Str();
+  if (!id || !ok || !err || !hint) return std::nullopt;
+  m.req_id = *id;
+  m.ok = *ok;
+  m.error = std::move(*err);
+  m.ccs_hint = std::move(*hint);
+  return m;
+}
+
+std::optional<GroupExitNotify> ParseGroupExitNotify(util::ByteReader& r) {
+  GroupExitNotify m;
+  auto id = r.U64();
+  auto group = r.Str();
+  auto gpid = GetGPid(r);
+  auto status = r.I32();
+  if (!id || !group || !gpid || !status) return std::nullopt;
+  m.req_id = *id;
+  m.group = std::move(*group);
+  m.gpid = std::move(*gpid);
+  m.exit_status = *status;
+  return m;
+}
+
+std::optional<GroupAddNotify> ParseGroupAddNotify(util::ByteReader& r) {
+  GroupAddNotify m;
+  auto id = r.U64();
+  auto group = r.Str();
+  auto gpid = GetGPid(r);
+  if (!id || !group || !gpid) return std::nullopt;
+  m.req_id = *id;
+  m.group = std::move(*group);
+  m.gpid = std::move(*gpid);
+  return m;
+}
+
+std::optional<GroupSignalReq> ParseGroupSignalReq(util::ByteReader& r) {
+  GroupSignalReq m;
+  auto id = r.U64();
+  auto group = r.Str();
+  auto sig = r.U8();
+  if (!id || !group || !sig) return std::nullopt;
+  m.req_id = *id;
+  m.group = std::move(*group);
+  m.sig = static_cast<host::Signal>(*sig);
+  return m;
+}
+
+std::optional<GroupSignalResp> ParseGroupSignalResp(util::ByteReader& r) {
+  GroupSignalResp m;
+  auto id = r.U64();
+  auto ok = r.Bool();
+  auto err = r.Str();
+  auto delivered = r.U32();
+  auto failed = r.U32();
+  if (!id || !ok || !err || !delivered || !failed) return std::nullopt;
+  m.req_id = *id;
+  m.ok = *ok;
+  m.error = std::move(*err);
+  m.delivered = *delivered;
+  m.failed = *failed;
+  return m;
+}
+
+std::optional<GroupJoinReq> ParseGroupJoinReq(util::ByteReader& r) {
+  GroupJoinReq m;
+  auto id = r.U64();
+  auto group = r.Str();
+  if (!id || !group) return std::nullopt;
+  m.req_id = *id;
+  m.group = std::move(*group);
+  return m;
+}
+
+std::optional<GroupJoinResp> ParseGroupJoinResp(util::ByteReader& r) {
+  GroupJoinResp m;
+  auto id = r.U64();
+  auto ok = r.Bool();
+  auto err = r.Str();
+  auto group = r.Str();
+  auto n = r.U32();
+  if (!id || !ok || !err || !group || !n) return std::nullopt;
+  if (*n > r.remaining()) return std::nullopt;  // corrupt count
+  m.exits.reserve(*n);
+  for (uint32_t i = 0; i < *n; ++i) {
+    GroupExit e;
+    auto gpid = GetGPid(r);
+    auto status = r.I32();
+    if (!gpid || !status) return std::nullopt;
+    e.gpid = std::move(*gpid);
+    e.exit_status = *status;
+    m.exits.push_back(std::move(e));
+  }
+  m.req_id = *id;
+  m.ok = *ok;
+  m.error = std::move(*err);
+  m.group = std::move(*group);
+  return m;
+}
+
+std::optional<BarrierEnterReq> ParseBarrierEnterReq(util::ByteReader& r) {
+  BarrierEnterReq m;
+  auto id = r.U64();
+  auto name = r.Str();
+  auto epoch = r.U64();
+  auto expected = r.U32();
+  if (!id || !name || !epoch || !expected) return std::nullopt;
+  m.req_id = *id;
+  m.name = std::move(*name);
+  m.epoch = *epoch;
+  m.expected = *expected;
+  return m;
+}
+
+std::optional<BarrierEnterResp> ParseBarrierEnterResp(util::ByteReader& r) {
+  BarrierEnterResp m;
+  auto id = r.U64();
+  auto ok = r.Bool();
+  auto err = r.Str();
+  auto released = r.Bool();
+  auto epoch = r.U64();
+  auto stragglers = GetStrVec(r);
+  if (!id || !ok || !err || !released || !epoch || !stragglers) return std::nullopt;
+  m.req_id = *id;
+  m.ok = *ok;
+  m.error = std::move(*err);
+  m.released = *released;
+  m.epoch = *epoch;
+  m.stragglers = std::move(*stragglers);
+  return m;
+}
+
+std::optional<BarrierJoinReq> ParseBarrierJoinReq(util::ByteReader& r) {
+  BarrierJoinReq m;
+  auto id = r.U64();
+  auto name = r.Str();
+  auto epoch = r.U64();
+  auto expected = r.U32();
+  auto host = r.Str();
+  auto count = r.U32();
+  if (!id || !name || !epoch || !expected || !host || !count) return std::nullopt;
+  m.req_id = *id;
+  m.name = std::move(*name);
+  m.epoch = *epoch;
+  m.expected = *expected;
+  m.host = std::move(*host);
+  m.count = *count;
+  return m;
+}
+
+std::optional<BarrierReleaseReq> ParseBarrierReleaseReq(util::ByteReader& r) {
+  BarrierReleaseReq m;
+  auto id = r.U64();
+  auto name = r.Str();
+  auto epoch = r.U64();
+  auto released = r.Bool();
+  auto stragglers = GetStrVec(r);
+  if (!id || !name || !epoch || !released || !stragglers) return std::nullopt;
+  m.req_id = *id;
+  m.name = std::move(*name);
+  m.epoch = *epoch;
+  m.released = *released;
+  m.stragglers = std::move(*stragglers);
+  return m;
+}
+
+std::optional<EnvarSetReq> ParseEnvarSetReq(util::ByteReader& r) {
+  EnvarSetReq m;
+  auto id = r.U64();
+  auto key = r.Str();
+  auto value = r.Str();
+  if (!id || !key || !value) return std::nullopt;
+  m.req_id = *id;
+  m.key = std::move(*key);
+  m.value = std::move(*value);
+  return m;
+}
+
+std::optional<EnvarSetResp> ParseEnvarSetResp(util::ByteReader& r) {
+  EnvarSetResp m;
+  auto id = r.U64();
+  auto ok = r.Bool();
+  auto err = r.Str();
+  auto version = r.U64();
+  if (!id || !ok || !err || !version) return std::nullopt;
+  m.req_id = *id;
+  m.ok = *ok;
+  m.error = std::move(*err);
+  m.version = *version;
+  return m;
+}
+
+std::optional<EnvarGetReq> ParseEnvarGetReq(util::ByteReader& r) {
+  EnvarGetReq m;
+  auto id = r.U64();
+  auto key = r.Str();
+  if (!id || !key) return std::nullopt;
+  m.req_id = *id;
+  m.key = std::move(*key);
+  return m;
+}
+
+std::optional<EnvarGetResp> ParseEnvarGetResp(util::ByteReader& r) {
+  EnvarGetResp m;
+  auto id = r.U64();
+  auto ok = r.Bool();
+  auto err = r.Str();
+  auto key = r.Str();
+  auto value = r.Str();
+  auto version = r.U64();
+  if (!id || !ok || !err || !key || !value || !version) return std::nullopt;
+  m.req_id = *id;
+  m.ok = *ok;
+  m.error = std::move(*err);
+  m.key = std::move(*key);
+  m.value = std::move(*value);
+  m.version = *version;
+  return m;
+}
+
+std::optional<EnvarUpdate> ParseEnvarUpdate(util::ByteReader& r) {
+  EnvarUpdate m;
+  auto id = r.U64();
+  auto origin = r.Str();
+  auto seq = r.U64();
+  auto ts = r.U64();
+  auto route = GetStrVec(r);
+  auto key = r.Str();
+  auto value = r.Str();
+  auto version = r.U64();
+  auto vorigin = r.Str();
+  if (!id || !origin || !seq || !ts || !route || !key || !value || !version || !vorigin)
+    return std::nullopt;
+  m.req_id = *id;
+  m.origin_host = std::move(*origin);
+  m.bcast_seq = *seq;
+  m.signed_ts = *ts;
+  m.route = std::move(*route);
+  m.key = std::move(*key);
+  m.value = std::move(*value);
+  m.version = *version;
+  m.version_origin = std::move(*vorigin);
+  return m;
+}
+
+std::optional<EnvarSync> ParseEnvarSync(util::ByteReader& r) {
+  EnvarSync m;
+  auto id = r.U64();
+  auto n = r.U32();
+  if (!id || !n) return std::nullopt;
+  if (*n > r.remaining()) return std::nullopt;  // corrupt count
+  m.entries.reserve(*n);
+  for (uint32_t i = 0; i < *n; ++i) {
+    EnvarEntry e;
+    auto key = r.Str();
+    auto value = r.Str();
+    auto version = r.U64();
+    auto origin = r.Str();
+    if (!key || !value || !version || !origin) return std::nullopt;
+    e.key = std::move(*key);
+    e.value = std::move(*value);
+    e.version = *version;
+    e.origin = std::move(*origin);
+    m.entries.push_back(std::move(e));
+  }
+  m.req_id = *id;
+  return m;
+}
+
+std::optional<EnvarWatchReq> ParseEnvarWatchReq(util::ByteReader& r) {
+  EnvarWatchReq m;
+  auto id = r.U64();
+  auto key = r.Str();
+  auto spec = GetTriggerSpec(r);
+  if (!id || !key || !spec) return std::nullopt;
+  m.req_id = *id;
+  m.key = std::move(*key);
+  m.spec = std::move(*spec);
+  return m;
+}
+
+std::optional<EnvarWatchResp> ParseEnvarWatchResp(util::ByteReader& r) {
+  EnvarWatchResp m;
+  auto id = r.U64();
+  auto ok = r.Bool();
+  auto err = r.Str();
+  auto wid = r.U64();
+  if (!id || !ok || !err || !wid) return std::nullopt;
+  m.req_id = *id;
+  m.ok = *ok;
+  m.error = std::move(*err);
+  m.watch_id = *wid;
+  return m;
+}
+
+std::optional<Msg> ParseGroupMsg(uint8_t sub, util::ByteReader& r) {
+  switch (sub) {
+    case 0: return Lift(ParseGroupSpawnReq(r));
+    case 1: return Lift(ParseGroupSpawnResp(r));
+    case 2: return Lift(ParseGroupPartReq(r));
+    case 3: return Lift(ParseGroupPartResp(r));
+    case 4: return Lift(ParseGroupUndoReq(r));
+    case 5: return Lift(ParseGroupAck(r));
+    case 6: return Lift(ParseGroupExitNotify(r));
+    case 7: return Lift(ParseGroupAddNotify(r));
+    case 8: return Lift(ParseGroupSignalReq(r));
+    case 9: return Lift(ParseGroupSignalResp(r));
+    case 10: return Lift(ParseGroupJoinReq(r));
+    case 11: return Lift(ParseGroupJoinResp(r));
+    case 12: return Lift(ParseBarrierEnterReq(r));
+    case 13: return Lift(ParseBarrierEnterResp(r));
+    case 14: return Lift(ParseBarrierJoinReq(r));
+    case 15: return Lift(ParseBarrierReleaseReq(r));
+    case 16: return Lift(ParseEnvarSetReq(r));
+    case 17: return Lift(ParseEnvarSetResp(r));
+    case 18: return Lift(ParseEnvarGetReq(r));
+    case 19: return Lift(ParseEnvarGetResp(r));
+    case 20: return Lift(ParseEnvarUpdate(r));
+    case 21: return Lift(ParseEnvarSync(r));
+    case 22: return Lift(ParseEnvarWatchReq(r));
+    case 23: return Lift(ParseEnvarWatchResp(r));
+    default: return std::nullopt;
+  }
+}
+
 }  // namespace
 
 std::optional<Msg> Parse(WireView bytes) { return Parse(bytes, nullptr, nullptr); }
@@ -1308,6 +1930,12 @@ std::optional<Msg> Parse(WireView bytes, obs::TraceContext* trace,
       msg = Msg{std::move(busy)};
       break;
     }
+    case kGroupMsgTag: {
+      auto sub = r.U8();
+      if (!sub) return std::nullopt;
+      msg = ParseGroupMsg(*sub, r);
+      break;
+    }
     default: return std::nullopt;
   }
   // A well-formed frame is consumed exactly; trailing bytes mean the
@@ -1339,6 +1967,12 @@ const char* ClassifyWireFrame(const uint8_t* frame, size_t len) {
     return "unknown";
   }
   if (tag == kBusyMsgTag) return kMsgTypeNames[kPlainTagCount + 2];
+  if (tag == kGroupMsgTag) {
+    if (pos + 1 >= len) return "malformed";
+    const uint8_t sub = frame[pos + 1];
+    if (sub < kGroupSubCount) return kMsgTypeNames[kGroupIndexBase + sub];
+    return "unknown";
+  }
   if (tag < kPlainTagCount) return kMsgTypeNames[tag];
   return "unknown";
 }

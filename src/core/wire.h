@@ -366,6 +366,24 @@ struct PidDrop {
   bool operator==(const PidDrop&) const = default;
 };
 
+// One group as seen by a coordinator LPM, for the ppmstat GROUPS
+// section.
+struct GroupStatEntry {
+  std::string name;
+  uint32_t members = 0;  // live members
+  uint32_t exited = 0;   // exits collected so far
+  bool operator==(const GroupStatEntry&) const = default;
+};
+
+// One barrier with local waiters (or CCS-side tallies), for ppmstat.
+struct BarrierStatEntry {
+  std::string name;
+  uint64_t epoch = 0;
+  uint32_t waiters = 0;
+  uint32_t expected = 0;
+  bool operator==(const BarrierStatEntry&) const = default;
+};
+
 // One manager's structured self-description: everything ppmstat renders
 // for a host.  Sampled by the LPM answering a StatReq — genealogy
 // subtree (procs), CCS role and recovery-list position, peer circuits
@@ -437,6 +455,13 @@ struct LpmStatRecord {
   // The genealogy subtree this manager tracks (same records a snapshot
   // would contribute).
   std::vector<ProcRecord> procs;
+
+  // Group operations: coordinated groups, barriers with waiters here,
+  // and the replicated envar table size.
+  std::vector<GroupStatEntry> groups;
+  std::vector<BarrierStatEntry> barriers;
+  uint32_t envars = 0;
+  uint32_t envar_watchers = 0;
   bool operator==(const LpmStatRecord&) const = default;
 };
 
@@ -506,6 +531,267 @@ struct BusyResp {
   bool operator==(const BusyResp&) const = default;
 };
 
+// --- group operations (the 0xF8 frame family) -------------------------------
+//
+// Administration of a distributed computation is dominated by *group*
+// actions: start N workers at once, synchronize them, signal or reap
+// them together.  All group messages ride under the kGroupMsgTag escape
+// opcode plus a sub-byte (their variant index minus kGroupIndexBase),
+// so pre-group parsers reject them cleanly.  Like every other request
+// they are deadline-stamped (0xF7) and idempotency-token aware, so the
+// overload protection of the core applies unchanged.
+
+// Gang-spawn: create one process per <host, command> pair, all enrolled
+// in the named group, with all-or-nothing semantics — on any per-host
+// failure the already-created members are killed (GroupUndoReq) and the
+// response lists the per-host errors.
+struct GroupSpawnReq {
+  uint64_t req_id = 0;
+  std::string group;
+  std::vector<std::string> hosts;     // parallel arrays: hosts[i] runs
+  std::vector<std::string> commands;  // commands[i]
+  bool operator==(const GroupSpawnReq&) const = default;
+};
+
+struct GroupSpawnResp {
+  uint64_t req_id = 0;
+  bool ok = false;
+  std::string error;
+  std::vector<GPid> members;            // created members, on success
+  std::vector<std::string> host_errors; // "host: reason" per failed part
+  bool operator==(const GroupSpawnResp&) const = default;
+};
+
+// Coordinator → member host: create one group member there.  The
+// member-host LPM remembers <pid → group, coordinator> so it can report
+// the member's exit back (GroupExitNotify).
+struct GroupPartReq {
+  uint64_t req_id = 0;
+  std::string group;
+  std::string coordinator;  // host whose LPM aggregates the group
+  std::string command;
+  bool operator==(const GroupPartReq&) const = default;
+};
+
+struct GroupPartResp {
+  uint64_t req_id = 0;
+  bool ok = false;
+  std::string error;
+  GPid gpid;
+  bool operator==(const GroupPartResp&) const = default;
+};
+
+// Coordinator → member host: gang-spawn rollback.  Kill `target` and
+// forget its group membership (the all-or-nothing "undo" leg).
+struct GroupUndoReq {
+  uint64_t req_id = 0;
+  std::string group;
+  GPid target;
+  bool operator==(const GroupUndoReq&) const = default;
+};
+
+// Generic acknowledgement for group bookkeeping requests.
+struct GroupAck {
+  uint64_t req_id = 0;
+  bool ok = false;
+  std::string error;
+  // On a "not the central coordinator" rejection: where the rejector
+  // believes the CCS lives, so the sender can chase the redirect
+  // instead of failing its waiters on a stale pointer.
+  std::string ccs_hint;
+  bool operator==(const GroupAck&) const = default;
+};
+
+// Member host → coordinator: a group member exited.
+struct GroupExitNotify {
+  uint64_t req_id = 0;
+  std::string group;
+  GPid gpid;
+  int32_t exit_status = 0;
+  bool operator==(const GroupExitNotify&) const = default;
+};
+
+// Member host → coordinator: a replacement member (trigger-respawned)
+// joined the group.
+struct GroupAddNotify {
+  uint64_t req_id = 0;
+  std::string group;
+  GPid gpid;
+  bool operator==(const GroupAddNotify&) const = default;
+};
+
+// Deliver a signal to every live member of the group.
+struct GroupSignalReq {
+  uint64_t req_id = 0;
+  std::string group;
+  host::Signal sig = host::Signal::kSigTerm;
+  bool operator==(const GroupSignalReq&) const = default;
+};
+
+struct GroupSignalResp {
+  uint64_t req_id = 0;
+  bool ok = false;
+  std::string error;
+  uint32_t delivered = 0;
+  uint32_t failed = 0;
+  bool operator==(const GroupSignalResp&) const = default;
+};
+
+// Collect exit statuses of every member; the coordinator replies when
+// the whole group has exited (exits arrive incrementally via
+// GroupExitNotify and are retained).
+struct GroupJoinReq {
+  uint64_t req_id = 0;
+  std::string group;
+  bool operator==(const GroupJoinReq&) const = default;
+};
+
+struct GroupExit {
+  GPid gpid;
+  int32_t exit_status = 0;
+  bool operator==(const GroupExit&) const = default;
+};
+
+struct GroupJoinResp {
+  uint64_t req_id = 0;
+  bool ok = false;
+  std::string error;
+  std::string group;
+  std::vector<GroupExit> exits;
+  bool operator==(const GroupJoinResp&) const = default;
+};
+
+// Cluster-wide barrier: a tool (or member) enters barrier `name` at
+// `epoch` expecting `expected` participants in total.  The local LPM
+// aggregates its waiters and contributes one BarrierJoinReq to the CCS,
+// which decides the verdict exactly once per <name, epoch> — released
+// when the count reaches `expected`, or timed out with the list of
+// hosts still missing (stragglers).
+struct BarrierEnterReq {
+  uint64_t req_id = 0;
+  std::string name;
+  uint64_t epoch = 0;
+  uint32_t expected = 0;
+  bool operator==(const BarrierEnterReq&) const = default;
+};
+
+struct BarrierEnterResp {
+  uint64_t req_id = 0;
+  bool ok = false;
+  std::string error;
+  bool released = false;  // false + ok: timed out (stragglers listed)
+  uint64_t epoch = 0;
+  std::vector<std::string> stragglers;
+  bool operator==(const BarrierEnterResp&) const = default;
+};
+
+// Member LPM → CCS: `count` local participants joined <name, epoch>.
+struct BarrierJoinReq {
+  uint64_t req_id = 0;
+  std::string name;
+  uint64_t epoch = 0;
+  uint32_t expected = 0;
+  std::string host;
+  uint32_t count = 0;
+  bool operator==(const BarrierJoinReq&) const = default;
+};
+
+// CCS → contributing LPM: the verdict for <name, epoch>.
+struct BarrierReleaseReq {
+  uint64_t req_id = 0;
+  std::string name;
+  uint64_t epoch = 0;
+  bool released = false;
+  std::vector<std::string> stragglers;
+  bool operator==(const BarrierReleaseReq&) const = default;
+};
+
+// Global environment variables: a replicated key → value table every
+// LPM holds.  Writes version at the origin and flood over the covering
+// graph (EnvarUpdate); higher <version, origin> wins, so concurrent
+// writers converge.  Watchers subscribe a TriggerSpec to a key and fire
+// on every applied change.
+struct EnvarSetReq {
+  uint64_t req_id = 0;
+  std::string key;
+  std::string value;
+  bool operator==(const EnvarSetReq&) const = default;
+};
+
+struct EnvarSetResp {
+  uint64_t req_id = 0;
+  bool ok = false;
+  std::string error;
+  uint64_t version = 0;
+  bool operator==(const EnvarSetResp&) const = default;
+};
+
+struct EnvarGetReq {
+  uint64_t req_id = 0;
+  std::string key;
+  bool operator==(const EnvarGetReq&) const = default;
+};
+
+struct EnvarGetResp {
+  uint64_t req_id = 0;
+  bool ok = false;
+  std::string error;
+  std::string key;
+  std::string value;
+  uint64_t version = 0;
+  bool operator==(const EnvarGetResp&) const = default;
+};
+
+// Flooded over the sibling graph with the same <origin, seq, signed ts,
+// route> duplicate suppression as SnapshotReq.
+struct EnvarUpdate {
+  uint64_t req_id = 0;
+  std::string origin_host;
+  uint64_t bcast_seq = 0;
+  uint64_t signed_ts = 0;
+  std::vector<std::string> route;
+  std::string key;
+  std::string value;
+  uint64_t version = 0;
+  std::string version_origin;  // tie-break: larger origin wins at equal version
+  bool operator==(const EnvarUpdate&) const = default;
+};
+
+// One replicated table entry, as carried by the anti-entropy sync.
+struct EnvarEntry {
+  std::string key;
+  std::string value;
+  uint64_t version = 0;
+  std::string origin;
+  bool operator==(const EnvarEntry&) const = default;
+};
+
+// Full-table anti-entropy, exchanged when a sibling channel is
+// (re-)established: the receiver merges and re-floods anything newer,
+// so partitions converge after heal.
+struct EnvarSync {
+  uint64_t req_id = 0;
+  std::vector<EnvarEntry> entries;
+  bool operator==(const EnvarSync&) const = default;
+};
+
+// Subscribe a trigger to a key on the receiving LPM: every applied
+// change of `key` fires `spec` there (signal or spawn).
+struct EnvarWatchReq {
+  uint64_t req_id = 0;
+  std::string key;
+  TriggerSpec spec;
+  bool operator==(const EnvarWatchReq&) const = default;
+};
+
+struct EnvarWatchResp {
+  uint64_t req_id = 0;
+  bool ok = false;
+  std::string error;
+  uint64_t watch_id = 0;
+  bool operator==(const EnvarWatchResp&) const = default;
+};
+
 // --- the envelope -----------------------------------------------------------
 
 using Msg = std::variant<HelloSibling, HelloTool, HelloAck, HelloReject, CreateReq,
@@ -513,7 +799,32 @@ using Msg = std::variant<HelloSibling, HelloTool, HelloAck, HelloReject, CreateR
                          RusageReq, RusageResp, AdoptReq, AdoptResp, TraceReq, TraceResp,
                          HistoryReq, HistoryResp, TriggerReq, TriggerResp, BecomeCcs,
                          CcsChanged, Probe, ProbeAck, FilesReq, FilesResp, MigrateReq,
-                         MigrateResp, RegisterChild, StatReq, StatResp, BusyResp>;
+                         MigrateResp, RegisterChild, StatReq, StatResp, BusyResp,
+                         GroupSpawnReq, GroupSpawnResp, GroupPartReq, GroupPartResp,
+                         GroupUndoReq, GroupAck, GroupExitNotify, GroupAddNotify,
+                         GroupSignalReq, GroupSignalResp, GroupJoinReq, GroupJoinResp,
+                         BarrierEnterReq, BarrierEnterResp, BarrierJoinReq,
+                         BarrierReleaseReq, EnvarSetReq, EnvarSetResp, EnvarGetReq,
+                         EnvarGetResp, EnvarUpdate, EnvarSync, EnvarWatchReq,
+                         EnvarWatchResp>;
+
+// --- wire opcode map --------------------------------------------------------
+//
+//   0x00..0x1C  plain messages, tag = Msg variant index (29 types)
+//   0xF3        BusyResp (admission-control rejection)
+//   0xF4        checksum header (Fletcher-16, always first)
+//   0xF5        trace header (trace id / span / parent span)
+//   0xF6        STAT protocol, sub-byte 0 = StatReq, 1 = StatResp
+//   0xF7        deadline / idempotency header
+//   0xF8        group operations, sub-byte = variant index − kGroupIndexBase:
+//                 0 GroupSpawnReq    1 GroupSpawnResp   2 GroupPartReq
+//                 3 GroupPartResp    4 GroupUndoReq     5 GroupAck
+//                 6 GroupExitNotify  7 GroupAddNotify   8 GroupSignalReq
+//                 9 GroupSignalResp 10 GroupJoinReq    11 GroupJoinResp
+//                12 BarrierEnterReq 13 BarrierEnterResp 14 BarrierJoinReq
+//                15 BarrierReleaseReq 16 EnvarSetReq   17 EnvarSetResp
+//                18 EnvarGetReq     19 EnvarGetResp    20 EnvarUpdate
+//                21 EnvarSync       22 EnvarWatchReq   23 EnvarWatchResp
 
 // Trace header escape.  A frame whose first byte is kTraceHeaderTag
 // carries a causal-tracing header (trace id, span id, parent span — see
@@ -559,6 +870,14 @@ constexpr size_t kDeadlineHeaderBytes = 1 + 2 * 8;  // escape + two u64s
 // so pre-overload parsers see an unknown tag and reject the frame
 // cleanly.
 constexpr uint8_t kBusyMsgTag = 0xF3;
+
+// Group operations escape.  The 0xF8 frame family: every group /
+// barrier / global-envar message rides under this opcode plus a
+// sub-byte equal to its Msg variant index minus kGroupIndexBase, so
+// pre-group parsers see an unknown tag and reject the frame cleanly.
+constexpr uint8_t kGroupMsgTag = 0xF8;
+constexpr size_t kGroupIndexBase = 32;  // variant index of GroupSpawnReq
+constexpr size_t kGroupSubCount = 24;   // number of group message types
 
 struct DeadlineStamp {
   uint64_t deadline_us = 0;  // absolute sim time; 0 = no deadline

@@ -1,0 +1,165 @@
+#include "group/group.h"
+
+#include <algorithm>
+
+namespace ppm::group {
+
+// --- coordinated groups -------------------------------------------------------
+
+void GroupTable::AddMember(const std::string& group, const core::GPid& gpid) {
+  auto& members = groups_[group];
+  for (const Member& m : members) {
+    if (m.gpid == gpid) return;  // duplicate add (retried notify)
+  }
+  members.push_back(Member{gpid, false, 0});
+}
+
+bool GroupTable::RemoveMember(const std::string& group, const core::GPid& gpid) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return false;
+  auto& members = it->second;
+  auto mit = std::find_if(members.begin(), members.end(),
+                          [&](const Member& m) { return m.gpid == gpid; });
+  if (mit == members.end()) return false;
+  members.erase(mit);
+  if (members.empty()) groups_.erase(it);
+  return true;
+}
+
+bool GroupTable::MarkExited(const std::string& group, const core::GPid& gpid,
+                            int32_t exit_status) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return false;
+  for (Member& m : it->second) {
+    if (m.gpid != gpid) continue;
+    if (m.exited) return false;
+    m.exited = true;
+    m.exit_status = exit_status;
+    return true;
+  }
+  return false;
+}
+
+bool GroupTable::HasGroup(const std::string& group) const {
+  return groups_.count(group) > 0;
+}
+
+std::vector<core::GPid> GroupTable::LiveMembers(const std::string& group) const {
+  std::vector<core::GPid> out;
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return out;
+  for (const Member& m : it->second) {
+    if (!m.exited) out.push_back(m.gpid);
+  }
+  return out;
+}
+
+bool GroupTable::AllExited(const std::string& group) const {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return false;
+  for (const Member& m : it->second) {
+    if (!m.exited) return false;
+  }
+  return true;
+}
+
+// --- local memberships --------------------------------------------------------
+
+void GroupTable::AddLocal(host::Pid pid, const std::string& group,
+                          const std::string& coordinator) {
+  locals_[pid] = LocalMember{group, coordinator};
+  known_coordinators_[group] = coordinator;
+}
+
+std::optional<LocalMember> GroupTable::TakeLocal(host::Pid pid) {
+  auto it = locals_.find(pid);
+  if (it == locals_.end()) return std::nullopt;
+  LocalMember out = std::move(it->second);
+  locals_.erase(it);
+  return out;
+}
+
+const std::string* GroupTable::KnownCoordinator(const std::string& group) const {
+  auto it = known_coordinators_.find(group);
+  return it == known_coordinators_.end() ? nullptr : &it->second;
+}
+
+// --- global envars ------------------------------------------------------------
+
+bool GroupTable::MergeEnvar(const std::string& key, const std::string& value,
+                            uint64_t version, const std::string& origin) {
+  auto it = envars_.find(key);
+  if (it != envars_.end()) {
+    const Envar& cur = it->second;
+    if (version < cur.version) return false;
+    if (version == cur.version &&
+        (origin < cur.origin ||
+         (origin == cur.origin && value == cur.value))) {
+      return false;
+    }
+  }
+  envars_[key] = Envar{value, version, origin};
+  return true;
+}
+
+uint64_t GroupTable::NextVersion(const std::string& key) const {
+  auto it = envars_.find(key);
+  return (it == envars_.end() ? 0 : it->second.version) + 1;
+}
+
+const Envar* GroupTable::FindEnvar(const std::string& key) const {
+  auto it = envars_.find(key);
+  return it == envars_.end() ? nullptr : &it->second;
+}
+
+// --- watchers -----------------------------------------------------------------
+
+uint64_t GroupTable::AddWatcher(const std::string& key,
+                                const core::TriggerSpec& spec) {
+  uint64_t id = next_watch_id_++;
+  watchers_[id] = Watcher{key, spec};
+  return id;
+}
+
+bool GroupTable::RemoveWatcher(uint64_t id) { return watchers_.erase(id) > 0; }
+
+std::vector<std::pair<uint64_t, const Watcher*>> GroupTable::WatchersFor(
+    const std::string& key) const {
+  std::vector<std::pair<uint64_t, const Watcher*>> out;
+  for (const auto& [id, w] : watchers_) {
+    if (w.key == key) out.emplace_back(id, &w);
+  }
+  return out;
+}
+
+// --- barriers -----------------------------------------------------------------
+
+BarrierTally& GroupTable::Tally(const std::string& name, uint64_t epoch) {
+  return tallies_[BarrierKey{name, epoch}];
+}
+
+bool GroupTable::HasTally(const std::string& name, uint64_t epoch) const {
+  return tallies_.count(BarrierKey{name, epoch}) > 0;
+}
+
+void GroupTable::EraseTally(const std::string& name, uint64_t epoch) {
+  tallies_.erase(BarrierKey{name, epoch});
+}
+
+uint64_t GroupTable::DecidedEpoch(const std::string& name) const {
+  auto it = decided_epochs_.find(name);
+  return it == decided_epochs_.end() ? 0 : it->second;
+}
+
+void GroupTable::NoteDecided(const std::string& name, uint64_t epoch) {
+  uint64_t& e = decided_epochs_[name];
+  if (epoch > e) e = epoch;
+}
+
+void GroupTable::NoteOutcome(const std::string& name, uint64_t epoch,
+                             bool released) {
+  outcomes_[BarrierKey{name, epoch}] |=
+      released ? kOutcomeReleased : kOutcomeTimedOut;
+}
+
+}  // namespace ppm::group

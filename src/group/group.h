@@ -1,0 +1,167 @@
+// group.h — group operations state: gang memberships, barriers, envars.
+//
+// The paper's computations are *groups* of processes spread over the
+// network; the tooling of Section 4 observes them one process at a
+// time.  This subsystem gives the LPM the collective operations a
+// distributed computation actually wants: gang-spawn (a named group
+// created across N hosts in one client round, all-or-nothing), cluster
+// barriers (decided exactly once by the CCS), replicated global
+// environment variables with change watchers, and group signal/join.
+//
+// GroupTable is the pure state behind all of that — no wire code, no
+// simulator, no network.  The LPM (core/lpm.cc) drives it from message
+// handlers and journals every mutation through store/lpm_store so the
+// state survives a warm restart; chaos invariants (chaos/invariants.cc)
+// read it directly through Lpm::group_table().
+//
+// Roles, by analogy with the CCS split the paper already makes:
+//   * the LPM a gang-spawn was issued to is that group's *coordinator*:
+//     it owns the member list and collects exit notifications;
+//   * every member's local LPM tracks pid -> {group, coordinator} so a
+//     kernel exit event can be routed to the coordinator;
+//   * barriers are tallied and decided by the CCS (one verdict per
+//     <name, epoch>, journaled before it is announced);
+//   * the envar table is fully replicated: every LPM holds a copy,
+//     merged by (version, origin) so concurrent writers converge.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+
+namespace ppm::group {
+
+// One member of a coordinated group (coordinator-side record).  Exited
+// members are retained with their status — GroupJoin collects them.
+struct Member {
+  core::GPid gpid;
+  bool exited = false;
+  int32_t exit_status = 0;
+};
+
+// Member-host-side record: which group a local pid belongs to and which
+// host coordinates that group.
+struct LocalMember {
+  std::string group;
+  std::string coordinator;
+};
+
+// One replicated global environment variable.  `version` is assigned at
+// the writing origin (its current max + 1); the merge rule below makes
+// every replica converge on the same winner without coordination.
+struct Envar {
+  std::string value;
+  uint64_t version = 0;
+  std::string origin;
+};
+
+// A change watcher: fires its trigger action on every *applied* change
+// of `key` at the LPM it is installed on.  Watchers are per-LPM (they
+// act locally: signal a local worker, spawn a local process).
+struct Watcher {
+  std::string key;
+  core::TriggerSpec spec;
+};
+
+// CCS-side barrier bookkeeping for one <name, epoch>: per-host joined
+// counts (cumulative per host, so a retransmitted join is idempotent)
+// against the expected total.
+struct BarrierTally {
+  uint32_t expected = 0;
+  std::map<std::string, uint32_t> counts;  // reporting host -> waiters
+  uint32_t Total() const {
+    uint32_t n = 0;
+    for (const auto& [host, c] : counts) n += c;
+    return n;
+  }
+};
+
+// Outcome bits recorded wherever a barrier verdict is *applied* to
+// waiters.  The chaos invariant group.no_split_release asserts that the
+// union across live LPMs is never kReleased|kTimedOut for one epoch.
+constexpr uint8_t kOutcomeReleased = 1;
+constexpr uint8_t kOutcomeTimedOut = 2;
+
+class GroupTable {
+ public:
+  // --- coordinated groups (coordinator side) ---------------------------------
+  void AddMember(const std::string& group, const core::GPid& gpid);
+  bool RemoveMember(const std::string& group, const core::GPid& gpid);
+  // Marks the member exited; false when the member is unknown or the
+  // exit was already recorded (duplicate notify).
+  bool MarkExited(const std::string& group, const core::GPid& gpid,
+                  int32_t exit_status);
+  bool HasGroup(const std::string& group) const;
+  std::vector<core::GPid> LiveMembers(const std::string& group) const;
+  // True when the group exists and every member has exited.
+  bool AllExited(const std::string& group) const;
+  const std::map<std::string, std::vector<Member>>& groups() const {
+    return groups_;
+  }
+
+  // --- local memberships (member host side) ----------------------------------
+  void AddLocal(host::Pid pid, const std::string& group,
+                const std::string& coordinator);
+  // Removes and returns the local membership (exit / undo path).
+  std::optional<LocalMember> TakeLocal(host::Pid pid);
+  const std::map<host::Pid, LocalMember>& locals() const { return locals_; }
+  // Last coordinator seen for `group` on this host — what a trigger-
+  // spawned replacement enrolls with after the original member is gone.
+  const std::string* KnownCoordinator(const std::string& group) const;
+
+  // --- global envars ---------------------------------------------------------
+  // Merge rule: higher version wins; equal versions break the tie toward
+  // the lexicographically larger origin.  Returns true when the entry
+  // was applied (i.e. the table changed and watchers should fire).
+  bool MergeEnvar(const std::string& key, const std::string& value,
+                  uint64_t version, const std::string& origin);
+  // Version a local write of `key` should claim: current version + 1.
+  uint64_t NextVersion(const std::string& key) const;
+  const Envar* FindEnvar(const std::string& key) const;
+  const std::map<std::string, Envar>& envars() const { return envars_; }
+
+  // --- watchers --------------------------------------------------------------
+  uint64_t AddWatcher(const std::string& key, const core::TriggerSpec& spec);
+  bool RemoveWatcher(uint64_t id);
+  std::vector<std::pair<uint64_t, const Watcher*>> WatchersFor(
+      const std::string& key) const;
+  size_t watcher_count() const { return watchers_.size(); }
+
+  // --- barriers --------------------------------------------------------------
+  using BarrierKey = std::pair<std::string, uint64_t>;  // <name, epoch>
+
+  // CCS side: the running tally for an undecided epoch (created on
+  // first access) and whether one already exists.
+  BarrierTally& Tally(const std::string& name, uint64_t epoch);
+  bool HasTally(const std::string& name, uint64_t epoch) const;
+  void EraseTally(const std::string& name, uint64_t epoch);
+  const std::map<BarrierKey, BarrierTally>& tallies() const { return tallies_; }
+
+  // Highest epoch ever decided for `name` (0 = none).  Journaled by the
+  // CCS before the verdict is announced, so an epoch can never be
+  // decided twice across a warm restart.
+  uint64_t DecidedEpoch(const std::string& name) const;
+  void NoteDecided(const std::string& name, uint64_t epoch);
+
+  // Verdict as applied to local waiters, kept for the chaos invariant.
+  void NoteOutcome(const std::string& name, uint64_t epoch, bool released);
+  const std::map<BarrierKey, uint8_t>& outcomes() const { return outcomes_; }
+
+ private:
+  std::map<std::string, std::vector<Member>> groups_;
+  std::map<host::Pid, LocalMember> locals_;
+  std::map<std::string, std::string> known_coordinators_;
+  std::map<std::string, Envar> envars_;
+  std::map<uint64_t, Watcher> watchers_;
+  uint64_t next_watch_id_ = 1;
+  std::map<BarrierKey, BarrierTally> tallies_;
+  std::map<std::string, uint64_t> decided_epochs_;
+  std::map<BarrierKey, uint8_t> outcomes_;
+};
+
+}  // namespace ppm::group

@@ -32,6 +32,9 @@ const char* ToString(FlightKind k) {
     case FlightKind::kRetry: return "request.retry";
     case FlightKind::kBreakerOpen: return "breaker.open";
     case FlightKind::kBreakerClose: return "breaker.close";
+    case FlightKind::kGroupSpawn: return "group.spawn";
+    case FlightKind::kBarrierRelease: return "barrier.release";
+    case FlightKind::kEnvarUpdate: return "envar.update";
   }
   return "?";
 }

@@ -44,6 +44,10 @@ enum class FlightKind : uint8_t {
   kRetry,               // forward attempt retried (a = req_id, b = attempt)
   kBreakerOpen,         // per-host circuit breaker tripped (detail = host)
   kBreakerClose,        // breaker readmitted the peer (detail = host)
+  // Group operations (PR 9):
+  kGroupSpawn,          // gang-spawn decided (a = members, b = 1 rollback)
+  kBarrierRelease,      // barrier verdict (detail = name, a = epoch, b = released)
+  kEnvarUpdate,         // envar change applied (detail = key, a = version)
 };
 
 const char* ToString(FlightKind k);

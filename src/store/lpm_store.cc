@@ -33,8 +33,11 @@ StoreMetrics& Metrics() {
   return m;
 }
 
-// Checkpoint file magic: "PCK" + version byte.
-constexpr uint32_t kCkptMagic = 0x314B4350;  // 'P' 'C' 'K' '1'
+// Checkpoint file magic: "PCK" + version byte.  Version 2 added the
+// group-operations sections (groups, local memberships, envars, barrier
+// epochs); a v1 checkpoint fails decode and recovery starts from the
+// journal alone.
+constexpr uint32_t kCkptMagic = 0x324B4350;  // 'P' 'C' 'K' '2'
 
 // --- shared-type field encoders --------------------------------------------
 // Same field rules as core/wire.cc (little-endian, u32-length strings).
@@ -92,6 +95,8 @@ void PutTriggerSpec(util::ByteWriter& w, const core::TriggerSpec& spec) {
   w.U8(static_cast<uint8_t>(spec.action_signal));
   PutGPid(w, spec.action_target);
   w.Str(spec.migrate_dest);
+  w.Str(spec.spawn_command);
+  w.Str(spec.group);
 }
 
 std::optional<core::TriggerSpec> GetTriggerSpec(util::ByteReader& r) {
@@ -102,15 +107,35 @@ std::optional<core::TriggerSpec> GetTriggerSpec(util::ByteReader& r) {
   auto sig = r.U8();
   auto target = GetGPid(r);
   auto dest = r.Str();
-  if (!kind || !pid || !action || !sig || !target || !dest) return std::nullopt;
-  if (*action > static_cast<uint8_t>(core::TriggerAction::kMigrate)) return std::nullopt;
+  auto cmd = r.Str();
+  auto group = r.Str();
+  if (!kind || !pid || !action || !sig || !target || !dest || !cmd || !group)
+    return std::nullopt;
+  if (*action > static_cast<uint8_t>(core::TriggerAction::kSpawn)) return std::nullopt;
   spec.event_kind = static_cast<host::KEvent>(*kind);
   spec.subject_pid = *pid;
   spec.action = static_cast<core::TriggerAction>(*action);
   spec.action_signal = static_cast<host::Signal>(*sig);
   spec.action_target = std::move(*target);
   spec.migrate_dest = std::move(*dest);
+  spec.spawn_command = std::move(*cmd);
+  spec.group = std::move(*group);
   return spec;
+}
+
+// Marks `gpid` exited in `group`'s member list, appending the member if
+// it was never journaled (exit surviving a rollback race).
+void ApplyGroupExit(RecoveredState& st, const std::string& group,
+                    const core::GPid& gpid, int32_t status) {
+  auto& members = st.groups[group];
+  for (auto& m : members) {
+    if (m.gpid == gpid) {
+      m.exited = true;
+      m.exit_status = status;
+      return;
+    }
+  }
+  members.push_back(GroupMemberHint{gpid, true, status});
 }
 
 void PutRusageRecord(util::ByteWriter& w, const core::RusageRecord& rec) {
@@ -245,6 +270,52 @@ bool ApplyRecord(RecoveredState& st, const std::vector<uint8_t>& payload) {
       st.ccs_host = std::move(*ccs);
       break;
     }
+    case RecordType::kGroupMember: {
+      auto group = r.Str();
+      auto gpid = GetGPid(r);
+      if (!group || !gpid) return false;
+      st.groups[*group].push_back(GroupMemberHint{std::move(*gpid), false, 0});
+      break;
+    }
+    case RecordType::kGroupExit: {
+      auto group = r.Str();
+      auto gpid = GetGPid(r);
+      auto status = r.I32();
+      if (!group || !gpid || !status) return false;
+      ApplyGroupExit(st, *group, *gpid, *status);
+      break;
+    }
+    case RecordType::kGroupLocalMember: {
+      auto pid = r.I32();
+      auto group = r.Str();
+      auto coord = r.Str();
+      if (!pid || !group || !coord) return false;
+      st.group_local[*pid] = LocalMemberHint{std::move(*group), std::move(*coord)};
+      break;
+    }
+    case RecordType::kGroupLocalRemove: {
+      auto pid = r.I32();
+      if (!pid) return false;
+      st.group_local.erase(*pid);
+      break;
+    }
+    case RecordType::kEnvar: {
+      auto key = r.Str();
+      auto value = r.Str();
+      auto version = r.U64();
+      auto origin = r.Str();
+      if (!key || !value || !version || !origin) return false;
+      st.envars[*key] = EnvarHint{std::move(*value), *version, std::move(*origin)};
+      break;
+    }
+    case RecordType::kBarrierEpoch: {
+      auto name = r.Str();
+      auto epoch = r.U64();
+      if (!name || !epoch) return false;
+      uint64_t& e = st.barrier_epochs[*name];
+      if (*epoch > e) e = *epoch;
+      break;
+    }
     default:
       return false;
   }
@@ -278,6 +349,34 @@ std::string EncodeCheckpoint(const RecoveredState& st) {
   for (const auto& [pid, child] : st.remote_children) {
     w.I32(pid);
     PutGPid(w, child);
+  }
+  w.U32(static_cast<uint32_t>(st.groups.size()));
+  for (const auto& [name, members] : st.groups) {
+    w.Str(name);
+    w.U32(static_cast<uint32_t>(members.size()));
+    for (const auto& m : members) {
+      PutGPid(w, m.gpid);
+      w.Bool(m.exited);
+      w.I32(m.exit_status);
+    }
+  }
+  w.U32(static_cast<uint32_t>(st.group_local.size()));
+  for (const auto& [pid, hint] : st.group_local) {
+    w.I32(pid);
+    w.Str(hint.group);
+    w.Str(hint.coordinator);
+  }
+  w.U32(static_cast<uint32_t>(st.envars.size()));
+  for (const auto& [key, e] : st.envars) {
+    w.Str(key);
+    w.Str(e.value);
+    w.U64(e.version);
+    w.Str(e.origin);
+  }
+  w.U32(static_cast<uint32_t>(st.barrier_epochs.size()));
+  for (const auto& [name, epoch] : st.barrier_epochs) {
+    w.Str(name);
+    w.U64(epoch);
   }
   std::vector<uint8_t> body = w.Take();
   return std::string(body.begin(), body.end());
@@ -335,6 +434,48 @@ bool DecodeCheckpoint(const std::string& content, RecoveredState& st) {
     if (!pid || !child) return false;
     out.remote_children.emplace_back(*pid, std::move(*child));
   }
+  auto ngr = r.U32();
+  if (!ngr) return false;
+  for (uint32_t i = 0; i < *ngr; ++i) {
+    auto name = r.Str();
+    auto nm = r.U32();
+    if (!name || !nm) return false;
+    auto& members = out.groups[*name];
+    for (uint32_t j = 0; j < *nm; ++j) {
+      auto gpid = GetGPid(r);
+      auto exited = r.Bool();
+      auto status = r.I32();
+      if (!gpid || !exited || !status) return false;
+      members.push_back(GroupMemberHint{std::move(*gpid), *exited, *status});
+    }
+  }
+  auto ngl = r.U32();
+  if (!ngl) return false;
+  for (uint32_t i = 0; i < *ngl; ++i) {
+    auto pid = r.I32();
+    auto group = r.Str();
+    auto coord = r.Str();
+    if (!pid || !group || !coord) return false;
+    out.group_local[*pid] = LocalMemberHint{std::move(*group), std::move(*coord)};
+  }
+  auto nenv = r.U32();
+  if (!nenv) return false;
+  for (uint32_t i = 0; i < *nenv; ++i) {
+    auto key = r.Str();
+    auto value = r.Str();
+    auto version = r.U64();
+    auto origin = r.Str();
+    if (!key || !value || !version || !origin) return false;
+    out.envars[*key] = EnvarHint{std::move(*value), *version, std::move(*origin)};
+  }
+  auto nbar = r.U32();
+  if (!nbar) return false;
+  for (uint32_t i = 0; i < *nbar; ++i) {
+    auto name = r.Str();
+    auto epoch = r.U64();
+    if (!name || !epoch) return false;
+    out.barrier_epochs[*name] = *epoch;
+  }
   out.found = true;
   st = std::move(out);
   return true;
@@ -374,6 +515,10 @@ void LpmStore::Open(const RecoveredState& recovered, uint32_t generation) {
   if (generation != mirror_.generation) {
     mirror_.procs.clear();
     mirror_.remote_children.clear();
+    // Local group memberships are pid-keyed; a new generation voids them
+    // (coordinated groups, envars and barrier epochs survive — that is
+    // the point of journaling them).
+    mirror_.group_local.clear();
   }
   mirror_.generation = generation;
   // Checkpoint-on-open serves two purposes.  It bounds the next replay
@@ -472,6 +617,64 @@ void LpmStore::RecordCcs(const std::string& ccs_host) {
   w.Str(ccs_host);
   mirror_.ccs_host = ccs_host;
   AppendRecord(RecordType::kCcs, w.Take());
+}
+
+void LpmStore::RecordGroupMember(const std::string& group, const core::GPid& gpid) {
+  util::ByteWriter w;
+  w.Str(group);
+  PutGPid(w, gpid);
+  mirror_.groups[group].push_back(GroupMemberHint{gpid, false, 0});
+  AppendRecord(RecordType::kGroupMember, w.Take());
+}
+
+void LpmStore::RecordGroupExit(const std::string& group, const core::GPid& gpid,
+                               int32_t exit_status) {
+  util::ByteWriter w;
+  w.Str(group);
+  PutGPid(w, gpid);
+  w.I32(exit_status);
+  ApplyGroupExit(mirror_, group, gpid, exit_status);
+  AppendRecord(RecordType::kGroupExit, w.Take());
+}
+
+void LpmStore::RecordGroupLocalMember(host::Pid pid, const std::string& group,
+                                      const std::string& coordinator) {
+  util::ByteWriter w;
+  w.I32(pid);
+  w.Str(group);
+  w.Str(coordinator);
+  mirror_.group_local[pid] = LocalMemberHint{group, coordinator};
+  AppendRecord(RecordType::kGroupLocalMember, w.Take());
+}
+
+void LpmStore::RecordGroupLocalRemove(host::Pid pid) {
+  util::ByteWriter w;
+  w.I32(pid);
+  mirror_.group_local.erase(pid);
+  AppendRecord(RecordType::kGroupLocalRemove, w.Take());
+}
+
+void LpmStore::RecordEnvar(const std::string& key, const std::string& value,
+                           uint64_t version, const std::string& origin) {
+  util::ByteWriter w;
+  w.Str(key);
+  w.Str(value);
+  w.U64(version);
+  w.Str(origin);
+  mirror_.envars[key] = EnvarHint{value, version, origin};
+  AppendRecord(RecordType::kEnvar, w.Take());
+}
+
+void LpmStore::RecordBarrierEpoch(const std::string& name, uint64_t epoch) {
+  util::ByteWriter w;
+  w.Str(name);
+  w.U64(epoch);
+  uint64_t& e = mirror_.barrier_epochs[name];
+  if (epoch > e) e = epoch;
+  AppendRecord(RecordType::kBarrierEpoch, w.Take());
+  // A barrier verdict acknowledged to anyone must survive a crash —
+  // epoch reuse after restart would split the release decision.
+  journal_.Sync();
 }
 
 void LpmStore::Checkpoint() {

@@ -53,6 +53,12 @@ enum class RecordType : uint8_t {
   kProcExit = 7,       // i32 pid
   kRemoteChild = 8,    // i32 local parent pid + child GPid
   kCcs = 9,            // host string (empty = cleared)
+  kGroupMember = 10,   // group string + member GPid (coordinator side)
+  kGroupExit = 11,     // group string + member GPid + i32 exit status
+  kGroupLocalMember = 12,  // i32 pid + group + coordinator host
+  kGroupLocalRemove = 13,  // i32 pid
+  kEnvar = 14,         // key + value + u64 version + origin host
+  kBarrierEpoch = 15,  // barrier name + u64 highest epoch decided
 };
 
 // A genealogy hint: a process the LPM managed when it last wrote the
@@ -61,6 +67,28 @@ enum class RecordType : uint8_t {
 struct ProcHint {
   core::GPid logical_parent;  // may be remote or invalid (computation root)
   std::string command;
+};
+
+// One member of a coordinated group, as journaled at the coordinator.
+struct GroupMemberHint {
+  core::GPid gpid;
+  bool exited = false;
+  int32_t exit_status = 0;
+};
+
+// One local group member (member-host side): which group the pid
+// belongs to and which host coordinates it.  Generation-scoped like
+// ProcHint — pids are reused across reboots.
+struct LocalMemberHint {
+  std::string group;
+  std::string coordinator;
+};
+
+// One replicated global-envar entry.
+struct EnvarHint {
+  std::string value;
+  uint64_t version = 0;
+  std::string origin;
 };
 
 // Everything a warm restart can learn from disk.
@@ -74,6 +102,14 @@ struct RecoveredState {
   std::map<host::Pid, ProcHint> procs;  // live procs of the last generation
   std::vector<std::pair<host::Pid, core::GPid>> remote_children;
   std::string ccs_host;
+  // Group operations state: coordinated groups (survive restart), local
+  // memberships (generation-scoped), the replicated envar table, and
+  // the highest barrier epoch decided per name (what makes an epoch
+  // unreusable across a warm restart).
+  std::map<std::string, std::vector<GroupMemberHint>> groups;
+  std::map<host::Pid, LocalMemberHint> group_local;
+  std::map<std::string, EnvarHint> envars;
+  std::map<std::string, uint64_t> barrier_epochs;
   size_t replayed_records = 0;  // journal records applied (after the ckpt)
   size_t torn_bytes = 0;        // discarded torn/corrupt journal tail
 };
@@ -113,6 +149,15 @@ class LpmStore {
   void RecordProcExit(host::Pid pid);
   void RecordRemoteChild(host::Pid parent, const core::GPid& child);
   void RecordCcs(const std::string& ccs_host);
+  void RecordGroupMember(const std::string& group, const core::GPid& gpid);
+  void RecordGroupExit(const std::string& group, const core::GPid& gpid,
+                       int32_t exit_status);
+  void RecordGroupLocalMember(host::Pid pid, const std::string& group,
+                              const std::string& coordinator);
+  void RecordGroupLocalRemove(host::Pid pid);
+  void RecordEnvar(const std::string& key, const std::string& value,
+                   uint64_t version, const std::string& origin);
+  void RecordBarrierEpoch(const std::string& name, uint64_t epoch);
 
   // Explicit sync point: makes everything journaled so far durable.
   void Sync() { journal_.Sync(); }

@@ -308,6 +308,78 @@ void PpmClient::Migrate(const GPid& target, const std::string& dest_host,
   SendRequest(Msg{req});
 }
 
+void PpmClient::GroupSpawn(const std::string& group,
+                           const std::vector<std::string>& hosts,
+                           const std::vector<std::string>& commands,
+                           std::function<void(const core::GroupSpawnResp&)> done) {
+  core::GroupSpawnReq req;
+  req.req_id = NextReqId();
+  req.group = group;
+  req.hosts = hosts;
+  req.commands = commands;
+  Expect<core::GroupSpawnResp>(req.req_id, std::move(done));
+  SendRequest(Msg{req});
+}
+
+void PpmClient::BarrierEnter(const std::string& name, uint64_t epoch, uint32_t expected,
+                             std::function<void(const core::BarrierEnterResp&)> done) {
+  core::BarrierEnterReq req;
+  req.req_id = NextReqId();
+  req.name = name;
+  req.epoch = epoch;
+  req.expected = expected;
+  Expect<core::BarrierEnterResp>(req.req_id, std::move(done));
+  SendRequest(Msg{req});
+}
+
+void PpmClient::GenvSet(const std::string& key, const std::string& value,
+                        std::function<void(const core::EnvarSetResp&)> done) {
+  core::EnvarSetReq req;
+  req.req_id = NextReqId();
+  req.key = key;
+  req.value = value;
+  Expect<core::EnvarSetResp>(req.req_id, std::move(done));
+  SendRequest(Msg{req});
+}
+
+void PpmClient::GenvGet(const std::string& key,
+                        std::function<void(const core::EnvarGetResp&)> done) {
+  core::EnvarGetReq req;
+  req.req_id = NextReqId();
+  req.key = key;
+  Expect<core::EnvarGetResp>(req.req_id, std::move(done));
+  SendRequest(Msg{req});
+}
+
+void PpmClient::GenvWatch(const std::string& key, const core::TriggerSpec& spec,
+                          std::function<void(const core::EnvarWatchResp&)> done) {
+  core::EnvarWatchReq req;
+  req.req_id = NextReqId();
+  req.key = key;
+  req.spec = spec;
+  Expect<core::EnvarWatchResp>(req.req_id, std::move(done));
+  SendRequest(Msg{req});
+}
+
+void PpmClient::GroupSignal(const std::string& group, host::Signal sig,
+                            std::function<void(const core::GroupSignalResp&)> done) {
+  core::GroupSignalReq req;
+  req.req_id = NextReqId();
+  req.group = group;
+  req.sig = sig;
+  Expect<core::GroupSignalResp>(req.req_id, std::move(done));
+  SendRequest(Msg{req});
+}
+
+void PpmClient::GroupJoin(const std::string& group,
+                          std::function<void(const core::GroupJoinResp&)> done) {
+  core::GroupJoinReq req;
+  req.req_id = NextReqId();
+  req.group = group;
+  Expect<core::GroupJoinResp>(req.req_id, std::move(done));
+  SendRequest(Msg{req});
+}
+
 void PpmClient::SignalAll(host::Signal sig,
                           std::function<void(size_t, size_t)> done) {
   // Composite: snapshot to locate every process, then signal each one

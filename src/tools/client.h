@@ -70,6 +70,31 @@ class PpmClient : public host::ProcessBody {
   void Migrate(const core::GPid& target, const std::string& dest_host,
                std::function<void(const core::MigrateResp&)> done);
 
+  // --- group operations (src/group/) ----------------------------------
+  // Gang-spawns `commands[i]` on `hosts[i]` as the named group,
+  // all-or-nothing.  The LPM this client is connected to becomes the
+  // group's coordinator; GroupSignal/GroupJoin must go to the same LPM.
+  void GroupSpawn(const std::string& group, const std::vector<std::string>& hosts,
+                  const std::vector<std::string>& commands,
+                  std::function<void(const core::GroupSpawnResp&)> done);
+  // Blocks (callback-style) in barrier <name, epoch> until `expected`
+  // participants have entered cluster-wide, or the barrier times out.
+  void BarrierEnter(const std::string& name, uint64_t epoch, uint32_t expected,
+                    std::function<void(const core::BarrierEnterResp&)> done);
+  void GenvSet(const std::string& key, const std::string& value,
+               std::function<void(const core::EnvarSetResp&)> done);
+  void GenvGet(const std::string& key,
+               std::function<void(const core::EnvarGetResp&)> done);
+  // Installs a change watcher on the connected LPM: `spec`'s action
+  // (signal / spawn / migrate) fires on every applied change of `key`.
+  void GenvWatch(const std::string& key, const core::TriggerSpec& spec,
+                 std::function<void(const core::EnvarWatchResp&)> done);
+  void GroupSignal(const std::string& group, host::Signal sig,
+                   std::function<void(const core::GroupSignalResp&)> done);
+  // Resolves once every member of `group` has exited, with all statuses.
+  void GroupJoin(const std::string& group,
+                 std::function<void(const core::GroupJoinResp&)> done);
+
   // Convenience composites used by the built-in tools:
   // stop / continue / kill every process in the user's computation
   // ("broadcasting, say, a software interrupt to stop execution").

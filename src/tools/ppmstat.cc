@@ -71,6 +71,49 @@ std::string RenderStatTable(const std::vector<core::LpmStatRecord>& in) {
       out << "  ! " << reason << "\n";
     }
   }
+  // GROUPS: coordinator-side gangs and barrier waiters, host by host.
+  // Only rendered when some host actually carries group state.
+  bool any_groups = false;
+  for (const core::LpmStatRecord& r : records) {
+    if (!r.groups.empty() || !r.barriers.empty() || r.envars > 0 ||
+        r.envar_watchers > 0) {
+      any_groups = true;
+      break;
+    }
+  }
+  if (any_groups) {
+    out << "\nGROUPS\n";
+    out << std::left << std::setw(12) << "HOST" << std::setw(16) << "GROUP"
+        << std::setw(9) << "MEMBERS" << std::setw(8) << "EXITED" << std::setw(16)
+        << "BARRIER" << std::setw(7) << "EPOCH" << std::setw(9) << "WAITERS"
+        << std::setw(9) << "EXPECTED" << std::setw(8) << "ENVARS" << "WATCHERS\n";
+    for (const core::LpmStatRecord& r : records) {
+      size_t rows = std::max(r.groups.size(), r.barriers.size());
+      if (rows == 0 && (r.envars > 0 || r.envar_watchers > 0)) rows = 1;
+      for (size_t i = 0; i < rows; ++i) {
+        out << std::left << std::setw(12) << (i == 0 ? r.host : "");
+        if (i < r.groups.size()) {
+          const core::GroupStatEntry& g = r.groups[i];
+          out << std::setw(16) << g.name << std::setw(9) << g.members << std::setw(8)
+              << g.exited;
+        } else {
+          out << std::setw(16) << "" << std::setw(9) << "" << std::setw(8) << "";
+        }
+        if (i < r.barriers.size()) {
+          const core::BarrierStatEntry& b = r.barriers[i];
+          out << std::setw(16) << b.name << std::setw(7) << b.epoch << std::setw(9)
+              << b.waiters << std::setw(9) << b.expected;
+        } else {
+          out << std::setw(16) << "" << std::setw(7) << "" << std::setw(9) << ""
+              << std::setw(9) << "";
+        }
+        if (i == 0) {
+          out << std::setw(8) << r.envars << r.envar_watchers;
+        }
+        out << "\n";
+      }
+    }
+  }
   return out.str();
 }
 
@@ -141,7 +184,28 @@ std::string RenderStatJson(const std::vector<core::LpmStatRecord>& in) {
       if (i) out += ",";
       Quoted(out, r.health_reasons[i]);
     }
-    out += "]},\"procs\":[";
+    out += "]},\"groups\":[";
+    for (size_t i = 0; i < r.groups.size(); ++i) {
+      const core::GroupStatEntry& g = r.groups[i];
+      if (i) out += ",";
+      out += "{\"name\":";
+      Quoted(out, g.name);
+      out += ",\"members\":" + std::to_string(g.members);
+      out += ",\"exited\":" + std::to_string(g.exited) + "}";
+    }
+    out += "],\"barriers\":[";
+    for (size_t i = 0; i < r.barriers.size(); ++i) {
+      const core::BarrierStatEntry& b = r.barriers[i];
+      if (i) out += ",";
+      out += "{\"name\":";
+      Quoted(out, b.name);
+      out += ",\"epoch\":" + std::to_string(b.epoch);
+      out += ",\"waiters\":" + std::to_string(b.waiters);
+      out += ",\"expected\":" + std::to_string(b.expected) + "}";
+    }
+    out += "],\"envars\":" + std::to_string(r.envars);
+    out += ",\"envar_watchers\":" + std::to_string(r.envar_watchers);
+    out += ",\"procs\":[";
     for (size_t i = 0; i < r.procs.size(); ++i) {
       const core::ProcRecord& p = r.procs[i];
       if (i) out += ",";

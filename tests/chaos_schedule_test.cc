@@ -38,6 +38,8 @@ class PartitionScheduleTest : public ::testing::TestWithParam<uint64_t> {};
 class CorruptionScheduleTest : public ::testing::TestWithParam<uint64_t> {};
 class StoreScheduleTest : public ::testing::TestWithParam<uint64_t> {};
 class OverloadScheduleTest : public ::testing::TestWithParam<uint64_t> {};
+class GroupScheduleTest : public ::testing::TestWithParam<uint64_t> {};
+class GroupFailoverScheduleTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CrashScheduleTest, InvariantsHold) {
   EXPECT_TRUE(RunChaos(GetParam(), chaos::CrashPlan()));
@@ -82,6 +84,32 @@ TEST_P(OverloadScheduleTest, FloodTerminatesEveryRequest) {
   EXPECT_TRUE(outcome.ok()) << outcome.Summary();
 }
 
+TEST_P(GroupScheduleTest, PartitionNeverSplitsABarrierVerdict) {
+  // Multi-host barrier rounds while the network partitions: members cut
+  // off from the CCS must fail their waiters with an *unknown* outcome,
+  // so for no (barrier, epoch) may one member observe "released" while
+  // another observes "timed out" (group.no_split_release).  After heal
+  // the engine demands one cluster-wide round where every host's party
+  // is released.
+  chaos::ChaosOutcome outcome =
+      chaos::RunChaosPlan(GetParam(), chaos::GroupPlan());
+  EXPECT_TRUE(outcome.ok()) << outcome.Summary();
+  // The plan's whole point: barrier parties actually entered under fire.
+  EXPECT_GT(outcome.barrier_parties, 0u) << outcome.Summary();
+}
+
+TEST_P(GroupFailoverScheduleTest, EnvarTableSurvivesCcsFailoverUnforked) {
+  // Global-envar writes under CCS crashes and LPM kills: coordinator
+  // version assignment survives warm restarts through the journal, and
+  // sibling anti-entropy reconciles replicas after heal — so no (key,
+  // version, origin) may map to two values anywhere, and the CCS's
+  // sibling component must hold identical tables (group.envar_consistent).
+  chaos::ChaosOutcome outcome =
+      chaos::RunChaosPlan(GetParam(), chaos::GroupFailoverPlan());
+  EXPECT_TRUE(outcome.ok()) << outcome.Summary();
+  EXPECT_GT(outcome.host_crashes + outcome.lpm_kills, 0u) << outcome.Summary();
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, CrashScheduleTest,
                          ::testing::Range<uint64_t>(1, PPM_CHAOS_SEEDS + 1));
 INSTANTIATE_TEST_SUITE_P(Seeds, PartitionScheduleTest,
@@ -91,6 +119,10 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionScheduleTest,
 INSTANTIATE_TEST_SUITE_P(Seeds, StoreScheduleTest,
                          ::testing::Range<uint64_t>(1, PPM_CHAOS_SEEDS + 1));
 INSTANTIATE_TEST_SUITE_P(Seeds, OverloadScheduleTest,
+                         ::testing::Range<uint64_t>(1, PPM_CHAOS_SEEDS + 1));
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupScheduleTest,
+                         ::testing::Range<uint64_t>(1, PPM_CHAOS_SEEDS + 1));
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupFailoverScheduleTest,
                          ::testing::Range<uint64_t>(1, PPM_CHAOS_SEEDS + 1));
 
 }  // namespace

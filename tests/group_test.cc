@@ -1,0 +1,662 @@
+// Group operations: gang-spawn, cluster-wide barriers, global envars,
+// and group signal/join (src/group/ plus the LPM handlers behind the
+// 0xF8 wire family).  The properties under test:
+//
+//   * gang-spawn is all-or-nothing: either every member comes up and the
+//     coordinator's ledger lists them all, or the partial gang is torn
+//     down and the group never existed;
+//   * a barrier epoch is decided exactly once, and the decision survives
+//     a warm restart of the deciding manager — re-entering a decided
+//     epoch is rejected, not re-released;
+//   * an envar watcher fires exactly once per distinct change even
+//     though the update floods every link and duplicates are rife;
+//   * group frames ride the PR-8 overload machinery: retries over lossy
+//     links reuse idempotency tokens, so a gang never double-forks.
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "core/lpm.h"
+#include "core/wire.h"
+#include "group/group.h"
+#include "net/network.h"
+#include "tools/client.h"
+#include "tools/ppmstat.h"
+#include "test_util.h"
+
+namespace ppm {
+namespace {
+
+using core::Cluster;
+using core::ClusterConfig;
+using core::Lpm;
+using test::ConnectTool;
+using test::InstallTestUser;
+using test::kTestUid;
+using test::RunUntil;
+
+size_t ProcsAlive(Cluster& cluster, const std::string& host,
+                  const std::string& command) {
+  host::Kernel& k = cluster.host(host).kernel();
+  size_t n = 0;
+  for (host::Pid pid : k.ProcessesOf(kTestUid)) {
+    const host::Process* p = k.Find(pid);
+    if (p && p->alive() && p->command == command) ++n;
+  }
+  return n;
+}
+
+core::ClusterConfig DurableConfig() {
+  core::ClusterConfig config;
+  config.lpm.durable_store = true;
+  config.lpm.store_group_commit = 1;
+  return config;
+}
+
+// --- gang spawn -------------------------------------------------------------
+
+TEST(GangSpawnTest, AllOrNothingAcrossHosts) {
+  Cluster cluster;
+  std::vector<std::string> hosts = {"vaxA", "vaxB", "vaxC", "vaxD"};
+  for (const std::string& h : hosts) cluster.AddHost(h);
+  cluster.Ethernet(hosts);
+  InstallTestUser(cluster);
+  tools::PpmClient* client = ConnectTool(cluster, "vaxA");
+  ASSERT_NE(client, nullptr);
+
+  // Two members per host, one client round.
+  std::vector<std::string> spawn_hosts, commands;
+  for (int w = 0; w < 8; ++w) {
+    spawn_hosts.push_back(hosts[w % hosts.size()]);
+    commands.push_back("gang-w");
+  }
+  std::optional<core::GroupSpawnResp> resp;
+  client->GroupSpawn("crunchers", spawn_hosts, commands,
+                     [&](const core::GroupSpawnResp& r) { resp = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return resp.has_value(); }));
+  ASSERT_TRUE(resp->ok) << resp->error;
+  ASSERT_EQ(resp->members.size(), 8u);
+  EXPECT_TRUE(resp->host_errors.empty());
+
+  // Every member is really alive on the host it was placed on, and the
+  // coordinator's ledger agrees with the reply.
+  for (const std::string& h : hosts) {
+    EXPECT_EQ(ProcsAlive(cluster, h, "gang-w"), 2u) << h;
+  }
+  Lpm* coord = cluster.FindLpm("vaxA", kTestUid);
+  ASSERT_NE(coord, nullptr);
+  EXPECT_TRUE(coord->group_table().HasGroup("crunchers"));
+  EXPECT_EQ(coord->group_table().LiveMembers("crunchers").size(), 8u);
+  EXPECT_EQ(coord->stats().gang_spawns, 1u);
+  EXPECT_EQ(coord->stats().gang_rollbacks, 0u);
+
+  // Duplicate gang for a live group is refused outright.
+  std::optional<core::GroupSpawnResp> dup;
+  client->GroupSpawn("crunchers", {"vaxB"}, {"gang-w"},
+                     [&](const core::GroupSpawnResp& r) { dup = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return dup.has_value(); }));
+  EXPECT_FALSE(dup->ok);
+  EXPECT_FALSE(dup->error.empty());
+}
+
+TEST(GangSpawnTest, PartialFailureRollsBackEverything) {
+  Cluster cluster;
+  cluster.AddHost("vaxA");
+  cluster.AddHost("vaxB");
+  cluster.Ethernet({"vaxA", "vaxB"});
+  InstallTestUser(cluster);
+  tools::PpmClient* client = ConnectTool(cluster, "vaxA");
+  ASSERT_NE(client, nullptr);
+
+  // The remote half of the gang can never come up.
+  cluster.Crash("vaxB");
+  cluster.RunFor(sim::Millis(50));
+
+  std::optional<core::GroupSpawnResp> resp;
+  client->GroupSpawn("doomed", {"vaxA", "vaxA", "vaxB"},
+                     {"gang-w", "gang-w", "gang-w"},
+                     [&](const core::GroupSpawnResp& r) { resp = r; });
+  // The vaxB part burns its retries before the gang settles.
+  ASSERT_TRUE(RunUntil(cluster, [&] { return resp.has_value(); },
+                       sim::Seconds(240)));
+  EXPECT_FALSE(resp->ok);
+  EXPECT_FALSE(resp->error.empty());
+  ASSERT_FALSE(resp->host_errors.empty());
+  EXPECT_NE(resp->host_errors[0].find("vaxB"), std::string::npos);
+
+  // All-or-nothing: the two local members that *did* fork were undone,
+  // and the group never existed.
+  cluster.RunFor(sim::Seconds(1));
+  EXPECT_EQ(ProcsAlive(cluster, "vaxA", "gang-w"), 0u);
+  Lpm* coord = cluster.FindLpm("vaxA", kTestUid);
+  ASSERT_NE(coord, nullptr);
+  EXPECT_FALSE(coord->group_table().HasGroup("doomed"));
+  EXPECT_EQ(coord->stats().gang_rollbacks, 1u);
+
+  // The name is reusable immediately after the rollback.
+  std::optional<core::GroupSpawnResp> again;
+  client->GroupSpawn("doomed", {"vaxA"}, {"gang-w"},
+                     [&](const core::GroupSpawnResp& r) { again = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return again.has_value(); }));
+  EXPECT_TRUE(again->ok) << again->error;
+}
+
+// --- group signal / join ----------------------------------------------------
+
+TEST(GroupLifecycleTest, SignalFansOutAndJoinCollectsEveryExit) {
+  Cluster cluster;
+  cluster.AddHost("vaxA");
+  cluster.AddHost("vaxB");
+  cluster.Ethernet({"vaxA", "vaxB"});
+  InstallTestUser(cluster);
+  tools::PpmClient* client = ConnectTool(cluster, "vaxA");
+  ASSERT_NE(client, nullptr);
+
+  std::optional<core::GroupSpawnResp> gang;
+  client->GroupSpawn("pool", {"vaxA", "vaxB", "vaxB"},
+                     {"pool-w", "pool-w", "pool-w"},
+                     [&](const core::GroupSpawnResp& r) { gang = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return gang.has_value(); }));
+  ASSERT_TRUE(gang->ok) << gang->error;
+
+  // A join issued while members live parks until the last exit.
+  std::optional<core::GroupJoinResp> join;
+  client->GroupJoin("pool", [&](const core::GroupJoinResp& r) { join = r; });
+  cluster.RunFor(sim::Seconds(1));
+  EXPECT_FALSE(join.has_value()) << "join must wait for the gang to die";
+
+  std::optional<core::GroupSignalResp> sig;
+  client->GroupSignal("pool", host::Signal::kSigKill,
+                      [&](const core::GroupSignalResp& r) { sig = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return sig.has_value(); }));
+  ASSERT_TRUE(sig->ok) << sig->error;
+  EXPECT_EQ(sig->delivered, 3u);
+  EXPECT_EQ(sig->failed, 0u);
+
+  // The cross-host exit notifications drain back to the coordinator and
+  // release the parked join with one status per member.
+  ASSERT_TRUE(RunUntil(cluster, [&] { return join.has_value(); }));
+  ASSERT_TRUE(join->ok) << join->error;
+  ASSERT_EQ(join->exits.size(), 3u);
+  size_t on_b = 0;
+  for (const core::GroupExit& e : join->exits) {
+    if (e.gpid.host == "vaxB") ++on_b;
+  }
+  EXPECT_EQ(on_b, 2u) << "remote exits must flow back over GroupExitNotify";
+
+  // Joining an unknown group is an explicit error, not a hang.
+  std::optional<core::GroupJoinResp> bogus;
+  client->GroupJoin("nope", [&](const core::GroupJoinResp& r) { bogus = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return bogus.has_value(); }));
+  EXPECT_FALSE(bogus->ok);
+}
+
+// --- barriers ---------------------------------------------------------------
+
+TEST(BarrierTest, ReleasesAllPartiesAndTimesOutWithStragglers) {
+  ClusterConfig config;
+  config.lpm.probe_interval = sim::Seconds(1);  // yield to vaxA quickly
+  Cluster cluster(config);
+  std::vector<std::string> hosts = {"vaxA", "vaxB", "vaxC"};
+  for (const std::string& h : hosts) cluster.AddHost(h);
+  cluster.Ethernet(hosts);
+  // One CCS for the user: the .recovery list makes vaxA the coordinator
+  // the other managers probe and yield to, so every barrier join
+  // tallies in one place.
+  InstallTestUser(cluster, {"vaxA"});
+  std::vector<tools::PpmClient*> clients;
+  for (const std::string& h : hosts) {
+    tools::PpmClient* c = ConnectTool(cluster, h, "tool-" + h);
+    ASSERT_NE(c, nullptr);
+    clients.push_back(c);
+  }
+  // Let vaxB and vaxC discover the listed coordinator.
+  Lpm* ccs_b = cluster.FindLpm("vaxB", kTestUid);
+  Lpm* ccs_c = cluster.FindLpm("vaxC", kTestUid);
+  ASSERT_NE(ccs_b, nullptr);
+  ASSERT_NE(ccs_c, nullptr);
+  ASSERT_TRUE(RunUntil(cluster, [&] {
+    return ccs_b->ccs_host() == "vaxA" && ccs_c->ccs_host() == "vaxA";
+  }));
+
+  // Epoch 1: all three parties enter, all three release.
+  std::vector<core::BarrierEnterResp> released;
+  for (tools::PpmClient* c : clients) {
+    c->BarrierEnter("sync", 1, 3,
+                    [&](const core::BarrierEnterResp& r) { released.push_back(r); });
+  }
+  ASSERT_TRUE(RunUntil(cluster, [&] { return released.size() == 3u; }));
+  for (const core::BarrierEnterResp& r : released) {
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.released);
+    EXPECT_EQ(r.epoch, 1u);
+    EXPECT_TRUE(r.stragglers.empty());
+  }
+
+  // Epoch 2: one party never shows.  The CCS times the epoch out and
+  // the waiters learn it — with the joined hosts called out.
+  std::vector<core::BarrierEnterResp> timed_out;
+  clients[0]->BarrierEnter("sync", 2, 3,
+                           [&](const core::BarrierEnterResp& r) { timed_out.push_back(r); });
+  clients[1]->BarrierEnter("sync", 2, 3,
+                           [&](const core::BarrierEnterResp& r) { timed_out.push_back(r); });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return timed_out.size() == 2u; },
+                       sim::Seconds(60)));
+  for (const core::BarrierEnterResp& r : timed_out) {
+    EXPECT_TRUE(r.ok);
+    EXPECT_FALSE(r.released);
+    EXPECT_FALSE(r.stragglers.empty());
+    EXPECT_FALSE(r.error.empty());
+  }
+
+  // The decided epochs are sealed: late entry to either is rejected.
+  std::optional<core::BarrierEnterResp> late;
+  clients[2]->BarrierEnter("sync", 2, 3,
+                           [&](const core::BarrierEnterResp& r) { late = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return late.has_value(); }));
+  EXPECT_FALSE(late->ok);
+  EXPECT_NE(late->error.find("decided"), std::string::npos) << late->error;
+}
+
+TEST(BarrierTest, DecidedEpochSurvivesWarmRestart) {
+  core::Cluster cluster(DurableConfig());
+  cluster.AddHost("alpha");
+  InstallTestUser(cluster);
+  cluster.RunFor(sim::Millis(10));
+  tools::PpmClient* client = ConnectTool(cluster, "alpha");
+  ASSERT_NE(client, nullptr);
+
+  // A solo barrier releases instantly (the host is its own CCS).
+  std::optional<core::BarrierEnterResp> first;
+  client->BarrierEnter("ready", 1, 1,
+                       [&](const core::BarrierEnterResp& r) { first = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return first.has_value(); }));
+  ASSERT_TRUE(first->ok) << first->error;
+  EXPECT_TRUE(first->released);
+  cluster.RunFor(sim::Millis(200));
+
+  // Kill the manager; a fresh tool contact mints the successor, which
+  // replays the journal — including the kBarrierEpoch record.
+  Lpm* old_lpm = cluster.FindLpm("alpha", kTestUid);
+  ASSERT_NE(old_lpm, nullptr);
+  host::Pid old_pid = old_lpm->pid();
+  cluster.host("alpha").kernel().PostSignal(old_pid, host::Signal::kSigKill,
+                                            host::kRootUid);
+  cluster.RunFor(sim::Millis(100));
+  tools::PpmClient* again = ConnectTool(cluster, "alpha", "tool2");
+  ASSERT_NE(again, nullptr);
+  Lpm* new_lpm = cluster.FindLpm("alpha", kTestUid);
+  ASSERT_NE(new_lpm, nullptr);
+  ASSERT_NE(new_lpm->pid(), old_pid);
+  EXPECT_EQ(new_lpm->group_table().DecidedEpoch("ready"), 1u);
+
+  // Re-entering the decided epoch is rejected — the restart must not
+  // re-release (or re-time-out) an epoch the predecessor sealed.
+  std::optional<core::BarrierEnterResp> replay;
+  again->BarrierEnter("ready", 1, 1,
+                      [&](const core::BarrierEnterResp& r) { replay = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return replay.has_value(); }));
+  EXPECT_FALSE(replay->ok);
+  EXPECT_NE(replay->error.find("decided"), std::string::npos) << replay->error;
+
+  // The next epoch is fresh and releases normally.
+  std::optional<core::BarrierEnterResp> next;
+  again->BarrierEnter("ready", 2, 1,
+                      [&](const core::BarrierEnterResp& r) { next = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return next.has_value(); }));
+  EXPECT_TRUE(next->ok) << next->error;
+  EXPECT_TRUE(next->released);
+}
+
+// --- global envars ----------------------------------------------------------
+
+TEST(EnvarTest, WatcherFiresExactlyOncePerChange) {
+  ClusterConfig config;
+  config.lpm.probe_interval = sim::Seconds(1);  // yield to vaxA quickly
+  Cluster cluster(config);
+  std::vector<std::string> hosts = {"vaxA", "vaxB", "vaxC"};
+  for (const std::string& h : hosts) cluster.AddHost(h);
+  cluster.Ethernet(hosts);
+  InstallTestUser(cluster, {"vaxA"});
+  tools::PpmClient* setter = ConnectTool(cluster, "vaxA");
+  tools::PpmClient* watcher = ConnectTool(cluster, "vaxB", "tool-b");
+  ASSERT_NE(setter, nullptr);
+  ASSERT_NE(watcher, nullptr);
+  Lpm* b = cluster.FindLpm("vaxB", kTestUid);
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(RunUntil(cluster, [&] { return b->ccs_host() == "vaxA"; }));
+
+  // The watched action: a benign SIGCONT tap on a local worker.
+  std::optional<core::CreateResp> worker;
+  watcher->CreateProcess("vaxB", "tap-target", {},
+                         [&](const core::CreateResp& r) { worker = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return worker.has_value(); }));
+  ASSERT_TRUE(worker->ok);
+
+  // Close a sibling cycle A—B—C—A so every flood reaches vaxB twice
+  // (directly from vaxA and again relayed through vaxC): the
+  // exactly-once claim below is against real duplicate deliveries.
+  for (tools::PpmClient* c : {setter, watcher}) {
+    std::optional<core::CreateResp> cycle;
+    c->CreateProcess("vaxC", "cycle-maker", {},
+                     [&](const core::CreateResp& r) { cycle = r; });
+    ASSERT_TRUE(RunUntil(cluster, [&] { return cycle.has_value(); }));
+    ASSERT_TRUE(cycle->ok);
+  }
+  core::TriggerSpec spec;
+  spec.action = core::TriggerAction::kSignal;
+  spec.action_signal = host::Signal::kSigCont;
+  spec.action_target = worker->gpid;
+  std::optional<core::EnvarWatchResp> watch;
+  watcher->GenvWatch("phase", spec,
+                     [&](const core::EnvarWatchResp& r) { watch = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return watch.has_value(); }));
+  ASSERT_TRUE(watch->ok) << watch->error;
+
+  constexpr int kChanges = 10;
+  for (int i = 0; i < kChanges; ++i) {
+    std::optional<core::EnvarSetResp> set;
+    setter->GenvSet("phase", "step-" + std::to_string(i),
+                    [&](const core::EnvarSetResp& r) { set = r; });
+    ASSERT_TRUE(RunUntil(cluster, [&] { return set.has_value(); }));
+    ASSERT_TRUE(set->ok) << set->error;
+  }
+  ASSERT_TRUE(RunUntil(cluster, [&] {
+    return b->stats().envar_watch_fires >= kChanges;
+  }));
+  cluster.RunFor(sim::Seconds(2));  // settle: late duplicates must not re-fire
+
+  // Exactly once per distinct change, even though the all-pairs flood
+  // delivered every update to vaxB twice (directly and via vaxC).
+  EXPECT_EQ(b->stats().envar_watch_fires, static_cast<uint64_t>(kChanges));
+  uint64_t dups = 0;
+  for (const std::string& h : hosts) {
+    Lpm* lpm = cluster.FindLpm(h, kTestUid);
+    ASSERT_NE(lpm, nullptr);
+    dups += lpm->stats().bcast_duplicates;
+  }
+  EXPECT_GT(dups, 0u) << "the flood must actually have produced duplicates";
+
+  // All three replicas converged on the final value at one version.
+  for (const std::string& h : hosts) {
+    Lpm* lpm = cluster.FindLpm(h, kTestUid);
+    const group::Envar* e = lpm->group_table().FindEnvar("phase");
+    ASSERT_NE(e, nullptr) << h;
+    EXPECT_EQ(e->value, "step-" + std::to_string(kChanges - 1)) << h;
+  }
+
+  // A read through the client sees the replicated value.
+  std::optional<core::EnvarGetResp> got;
+  watcher->GenvGet("phase", [&](const core::EnvarGetResp& r) { got = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return got.has_value(); }));
+  ASSERT_TRUE(got->ok) << got->error;
+  EXPECT_EQ(got->value, "step-" + std::to_string(kChanges - 1));
+}
+
+TEST(EnvarTest, TableSurvivesWarmRestart) {
+  core::Cluster cluster(DurableConfig());
+  cluster.AddHost("alpha");
+  InstallTestUser(cluster);
+  cluster.RunFor(sim::Millis(10));
+  tools::PpmClient* client = ConnectTool(cluster, "alpha");
+  ASSERT_NE(client, nullptr);
+  std::optional<core::EnvarSetResp> set;
+  client->GenvSet("checkpoint", "epoch-41",
+                  [&](const core::EnvarSetResp& r) { set = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return set.has_value(); }));
+  ASSERT_TRUE(set->ok);
+  cluster.RunFor(sim::Millis(200));
+
+  Lpm* old_lpm = cluster.FindLpm("alpha", kTestUid);
+  ASSERT_NE(old_lpm, nullptr);
+  cluster.host("alpha").kernel().PostSignal(old_lpm->pid(), host::Signal::kSigKill,
+                                            host::kRootUid);
+  cluster.RunFor(sim::Millis(100));
+  tools::PpmClient* again = ConnectTool(cluster, "alpha", "tool2");
+  ASSERT_NE(again, nullptr);
+  std::optional<core::EnvarGetResp> got;
+  again->GenvGet("checkpoint", [&](const core::EnvarGetResp& r) { got = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return got.has_value(); }));
+  ASSERT_TRUE(got->ok) << got->error;
+  EXPECT_EQ(got->value, "epoch-41");
+  EXPECT_EQ(got->version, set->version);
+}
+
+// --- overload machinery on group frames -------------------------------------
+
+// Gang-spawn forwards over lossy links must retry with the original
+// idempotency token: the receiver replays its cached GroupPartResp
+// instead of forking a second member, so a gang of N is N processes —
+// never N plus the retries.
+TEST(GroupOverloadTest, GangRetriesAreIdempotentOverLossyLinks) {
+  ClusterConfig config;
+  config.seed = 11;
+  config.lpm.max_retries = 5;  // a gang dies if any part exhausts retries
+  Cluster cluster(config);
+  cluster.AddHost("vaxA");
+  cluster.AddHost("vaxB");
+  cluster.Ethernet({"vaxA", "vaxB"});
+  InstallTestUser(cluster);
+  tools::PpmClient* client = ConnectTool(cluster, "vaxA");
+  ASSERT_NE(client, nullptr);
+
+  // Gang 0 forms over a clean link: its members anchor vaxB's LPM (an
+  // idle manager with no adoptees would exit on its TTL mid-test).
+  std::optional<core::GroupSpawnResp> anchor;
+  client->GroupSpawn("gang-anchor", {"vaxB", "vaxB"}, {"lossy-gw", "lossy-gw"},
+                     [&](const core::GroupSpawnResp& r) { anchor = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return anchor.has_value(); }));
+  ASSERT_TRUE(anchor->ok) << anchor->error;
+
+  net::LinkFaultProfile faults;
+  faults.drop = 0.15;
+  faults.duplicate = 0.10;
+  cluster.network().SetLinkFaults(cluster.host("vaxA").net_id(),
+                                  cluster.host("vaxB").net_id(), faults);
+
+  constexpr int kGangs = 8;
+  constexpr int kMembersPerGang = 4;  // all on the remote host
+  int oks = 0, done = 0;
+  for (int g = 0; g < kGangs; ++g) {
+    std::optional<core::GroupSpawnResp> resp;
+    client->GroupSpawn(
+        "gang-" + std::to_string(g),
+        std::vector<std::string>(kMembersPerGang, "vaxB"),
+        std::vector<std::string>(kMembersPerGang, "lossy-gw"),
+        [&](const core::GroupSpawnResp& r) {
+          ++done;
+          if (r.ok) ++oks;
+        });
+    ASSERT_TRUE(RunUntil(cluster, [&] { return done > g; }, sim::Seconds(240)))
+        << "gang " << g << " never settled";
+  }
+  cluster.network().ClearLinkFaults();
+  cluster.RunFor(sim::Seconds(2));
+
+  // Exactly-once forks: a retried part never stacks a second process on
+  // top of an executed one, so the alive count is bounded by what was
+  // *requested* — never requests-plus-retries.  (A part whose reply died
+  // after every retry leaves an orphan the rollback cannot name, so
+  // failed gangs may leak members — but each at most once.)
+  size_t alive = ProcsAlive(cluster, "vaxB", "lossy-gw");
+  EXPECT_GE(alive, static_cast<size_t>(oks * kMembersPerGang + 2));
+  EXPECT_LE(alive, static_cast<size_t>(kGangs * kMembersPerGang + 2));
+
+  Lpm* origin = cluster.FindLpm("vaxA", kTestUid);
+  Lpm* target = cluster.FindLpm("vaxB", kTestUid);
+  ASSERT_NE(origin, nullptr);
+  ASSERT_NE(target, nullptr);
+  // The faults actually bit on the group path.
+  EXPECT_GT(origin->stats().retries, 0u);
+  EXPECT_GT(target->stats().dup_suppressed, 0u);
+  // No silent loss at quiescence.
+  EXPECT_EQ(origin->pending_forward_count(), 0u);
+  EXPECT_EQ(target->queued_request_count(), 0u);
+}
+
+// --- the farm, end to end ---------------------------------------------------
+
+// The acceptance workload: a 16-host cluster gang-spawns 32 workers,
+// barrier-syncs the dispatcher with four watch agents, pushes 1000
+// events through the envar fabric, loses a worker mid-run to a kill and
+// gets it back through an exit trigger, then gsig/gjoin collects every
+// exit — the example in examples/event_farm.cc with teeth.
+TEST(FarmIntegrationTest, SixteenHostFarmRunsEndToEnd) {
+  Cluster cluster;
+  std::vector<std::string> hosts;
+  for (int i = 0; i < 16; ++i) {
+    hosts.push_back("n" + std::to_string(i + 10));  // n10..n25
+    cluster.AddHost(hosts.back(), i % 3 == 0   ? host::HostType::kVax780
+                                  : i % 3 == 1 ? host::HostType::kVax750
+                                               : host::HostType::kSun2);
+  }
+  cluster.Ethernet(hosts);
+  InstallTestUser(cluster);
+  tools::PpmClient* dispatcher = ConnectTool(cluster, hosts[0]);
+  ASSERT_NE(dispatcher, nullptr);
+
+  // Gang-spawn: 32 workers over 16 hosts in one round.
+  std::vector<std::string> spawn_hosts, commands;
+  for (int w = 0; w < 32; ++w) {
+    spawn_hosts.push_back(hosts[w % hosts.size()]);
+    commands.push_back("farm-worker");
+  }
+  std::optional<core::GroupSpawnResp> gang;
+  dispatcher->GroupSpawn("farm", spawn_hosts, commands,
+                         [&](const core::GroupSpawnResp& r) { gang = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return gang.has_value(); },
+                       sim::Seconds(120)));
+  ASSERT_TRUE(gang->ok) << gang->error;
+  ASSERT_EQ(gang->members.size(), 32u);
+
+  // Four sites watch `farm.task`; each taps its local worker on change.
+  const std::vector<std::string> sites = {hosts[1], hosts[4], hosts[8],
+                                          hosts[12]};
+  std::vector<tools::PpmClient*> agents;
+  for (const std::string& site : sites) {
+    tools::PpmClient* agent = ConnectTool(cluster, site, "agent-" + site);
+    ASSERT_NE(agent, nullptr);
+    core::GPid local;
+    for (const core::GPid& m : gang->members) {
+      if (m.host == site) local = m;
+    }
+    core::TriggerSpec spec;
+    spec.action = core::TriggerAction::kSignal;
+    spec.action_signal = host::Signal::kSigCont;
+    spec.action_target = local;
+    std::optional<core::EnvarWatchResp> watch;
+    agent->GenvWatch("farm.task", spec,
+                     [&](const core::EnvarWatchResp& r) { watch = r; });
+    ASSERT_TRUE(RunUntil(cluster, [&] { return watch.has_value(); }));
+    ASSERT_TRUE(watch->ok) << watch->error;
+    agents.push_back(agent);
+  }
+
+  // Barrier: dispatcher + 4 agents must all arrive before work flows.
+  const uint32_t kParties = 5;
+  size_t released = 0;
+  auto on_release = [&](const core::BarrierEnterResp& r) {
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_TRUE(r.released);
+    ++released;
+  };
+  dispatcher->BarrierEnter("farm-start", 1, kParties, on_release);
+  for (tools::PpmClient* agent : agents) {
+    agent->BarrierEnter("farm-start", 1, kParties, on_release);
+  }
+  ASSERT_TRUE(RunUntil(cluster, [&] { return released == kParties; },
+                       sim::Seconds(60)));
+
+  // Arm the resurrection trigger on the victim's own manager.
+  core::GPid victim;
+  for (const core::GPid& m : gang->members) {
+    if (m.host == hosts[3]) victim = m;
+  }
+  core::TriggerSpec respawn;
+  respawn.event_kind = host::KEvent::kExit;
+  respawn.subject_pid = victim.pid;
+  respawn.action = core::TriggerAction::kSpawn;
+  respawn.spawn_command = "farm-worker";
+  respawn.group = "farm";
+  std::optional<core::TriggerResp> armed;
+  dispatcher->InstallTrigger(victim.host, respawn,
+                             [&](const core::TriggerResp& r) { armed = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return armed.has_value(); }));
+  ASSERT_TRUE(armed->ok);
+
+  // 1000 events through the envar fabric; mid-run, murder the victim.
+  constexpr int kEvents = 1000;
+  int dispatched = 0;
+  for (int event = 0; event < kEvents; ++event) {
+    std::optional<core::EnvarSetResp> resp;
+    dispatcher->GenvSet("farm.task", "evt-" + std::to_string(event),
+                        [&](const core::EnvarSetResp& r) { resp = r; });
+    ASSERT_TRUE(RunUntil(cluster, [&] { return resp.has_value(); }));
+    ASSERT_TRUE(resp->ok) << resp->error;
+    ++dispatched;
+    if (event == 450) {
+      cluster.host(victim.host).kernel().PostSignal(
+          victim.pid, host::Signal::kSigKill, kTestUid);
+    }
+  }
+  EXPECT_EQ(dispatched, kEvents);
+
+  // Every watch site saw (at least) every post-arm change exactly once
+  // per change; the flood must not have double-fired any watcher.
+  uint64_t fires = 0;
+  for (const std::string& site : sites) {
+    Lpm* lpm = cluster.FindLpm(site, kTestUid);
+    ASSERT_NE(lpm, nullptr);
+    EXPECT_LE(lpm->stats().envar_watch_fires, static_cast<uint64_t>(kEvents));
+    fires += lpm->stats().envar_watch_fires;
+  }
+  EXPECT_GE(fires, static_cast<uint64_t>(kEvents))
+      << "the 4 sites together must have fired at least once per event";
+
+  // The trigger resurrected the victim: the coordinator's ledger grows
+  // to 33 members, exactly one of them (the victim) exited.
+  Lpm* coord = cluster.FindLpm(hosts[0], kTestUid);
+  ASSERT_NE(coord, nullptr);
+  ASSERT_TRUE(RunUntil(cluster, [&] {
+    auto it = coord->group_table().groups().find("farm");
+    if (it == coord->group_table().groups().end()) return false;
+    size_t exited = 0;
+    for (const auto& m : it->second) {
+      if (m.exited) ++exited;
+    }
+    return it->second.size() == 33u && exited == 1u;
+  }, sim::Seconds(60)));
+
+  // ppmstat shows the farm in its GROUPS section.
+  std::optional<tools::PpmStatResult> stat;
+  tools::RunPpmStatTool(*dispatcher,
+                        [&](const tools::PpmStatResult& r) { stat = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return stat.has_value(); }));
+  EXPECT_NE(stat->table.find("GROUPS"), std::string::npos);
+  EXPECT_NE(stat->table.find("farm"), std::string::npos);
+
+  // Shutdown: one gsig reaches all 32 live members, and gjoin collects
+  // all 33 exit statuses (the murdered worker plus its replacement).
+  std::optional<core::GroupSignalResp> sig;
+  dispatcher->GroupSignal("farm", host::Signal::kSigKill,
+                          [&](const core::GroupSignalResp& r) { sig = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return sig.has_value(); },
+                       sim::Seconds(60)));
+  ASSERT_TRUE(sig->ok) << sig->error;
+  EXPECT_EQ(sig->delivered, 32u);
+  EXPECT_EQ(sig->failed, 0u);
+
+  std::optional<core::GroupJoinResp> join;
+  dispatcher->GroupJoin("farm", [&](const core::GroupJoinResp& r) { join = r; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return join.has_value(); },
+                       sim::Seconds(60)));
+  ASSERT_TRUE(join->ok) << join->error;
+  EXPECT_EQ(join->exits.size(), 33u);
+}
+
+}  // namespace
+}  // namespace ppm

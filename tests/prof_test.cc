@@ -270,6 +270,15 @@ TEST(WireAccountingTest, PerOpcodeCountersPartitionNetTotalsExactly) {
   std::optional<core::StatResp> stat;
   client->Stat(false, [&](const core::StatResp& r) { stat = r; });
   ASSERT_TRUE(bench::RunUntil(cluster, [&] { return stat.has_value(); }));
+  // And the 0xF8 group family: a cross-host gang plus an envar flood.
+  std::optional<core::GroupSpawnResp> gang;
+  client->GroupSpawn("opgang", {"a", "b"}, {"gw", "gw"},
+                     [&](const core::GroupSpawnResp& r) { gang = r; });
+  ASSERT_TRUE(bench::RunUntil(cluster, [&] { return gang.has_value(); }));
+  ASSERT_TRUE(gang->ok);
+  std::optional<core::EnvarSetResp> envar;
+  client->GenvSet("op.key", "v", [&](const core::EnvarSetResp& r) { envar = r; });
+  ASSERT_TRUE(bench::RunUntil(cluster, [&] { return envar.has_value(); }));
   cluster.RunFor(sim::Seconds(2));
 
   const obs::Counter* frames_sent =
@@ -292,6 +301,18 @@ TEST(WireAccountingTest, PerOpcodeCountersPartitionNetTotalsExactly) {
   const obs::Counter* syn = obs::Registry::Instance().FindCounter("net.op.ctl.syn.frames");
   ASSERT_NE(syn, nullptr);
   EXPECT_GT(syn->value(), 0u);
+
+  // The 0xF8 escape classifies by sub-byte: the cross-host gang part and
+  // the envar flood land in their own classes, never in "unknown" (which
+  // would still sum but would hide the group family from the table).
+  const obs::Counter* part =
+      obs::Registry::Instance().FindCounter("net.op.GroupPartReq.frames");
+  ASSERT_NE(part, nullptr);
+  EXPECT_GT(part->value(), 0u);
+  const obs::Counter* upd =
+      obs::Registry::Instance().FindCounter("net.op.EnvarUpdate.frames");
+  ASSERT_NE(upd, nullptr);
+  EXPECT_GT(upd->value(), 0u);
 
   std::string table = tools::RenderWireAccounting();
   EXPECT_NE(table.find("opcode sums match"), std::string::npos);

@@ -359,5 +359,66 @@ TEST(PpmStat, ReportsEventLogDropBreakdown) {
   EXPECT_EQ(sum, rec.eventlog_dropped);
 }
 
+TEST(PpmStat, RendersGroupsSectionFromStatRecords) {
+  // Synthetic records: a coordinator carrying a gang and a CCS-side
+  // barrier tally, and a plain host with only replicated envar state.
+  core::LpmStatRecord coord;
+  coord.host = "vaxA";
+  core::GroupStatEntry gang;
+  gang.name = "farm";
+  gang.members = 32;
+  gang.exited = 1;
+  coord.groups.push_back(gang);
+  core::BarrierStatEntry barrier;
+  barrier.name = "farm-start";
+  barrier.epoch = 3;
+  barrier.waiters = 4;
+  barrier.expected = 5;
+  coord.barriers.push_back(barrier);
+  coord.envars = 2;
+  coord.envar_watchers = 0;
+  core::LpmStatRecord plain;
+  plain.host = "vaxB";
+  plain.envars = 2;
+  plain.envar_watchers = 1;
+
+  std::string table = RenderStatTable({coord, plain});
+  EXPECT_NE(table.find("GROUPS"), std::string::npos);
+  EXPECT_NE(table.find("farm"), std::string::npos);
+  EXPECT_NE(table.find("farm-start"), std::string::npos);
+  EXPECT_NE(table.find("32"), std::string::npos);
+
+  // The JSON carries the same state, machine-readable.
+  std::string json = RenderStatJson({coord, plain});
+  auto doc = obs::json::Parse(json);
+  ASSERT_TRUE(doc && doc->is_object());
+  const auto* hosts = doc->Find("hosts");
+  ASSERT_TRUE(hosts && hosts->is_array());
+  ASSERT_EQ(hosts->arr.size(), 2u);
+  const auto* groups = hosts->arr[0].Find("groups");
+  ASSERT_TRUE(groups && groups->is_array());
+  ASSERT_EQ(groups->arr.size(), 1u);
+  const auto* name = groups->arr[0].Find("name");
+  ASSERT_TRUE(name && name->is_string());
+  EXPECT_EQ(name->str, "farm");
+  const auto* members = groups->arr[0].Find("members");
+  ASSERT_TRUE(members && members->is_number());
+  EXPECT_EQ(static_cast<int>(members->number), 32);
+  const auto* barriers = hosts->arr[0].Find("barriers");
+  ASSERT_TRUE(barriers && barriers->is_array());
+  ASSERT_EQ(barriers->arr.size(), 1u);
+  const auto* epoch = barriers->arr[0].Find("epoch");
+  ASSERT_TRUE(epoch && epoch->is_number());
+  EXPECT_EQ(static_cast<int>(epoch->number), 3);
+  const auto* watchers = hosts->arr[1].Find("envar_watchers");
+  ASSERT_TRUE(watchers && watchers->is_number());
+  EXPECT_EQ(static_cast<int>(watchers->number), 1);
+
+  // No group state anywhere -> no GROUPS section at all.
+  core::LpmStatRecord bare;
+  bare.host = "vaxC";
+  EXPECT_EQ(RenderStatTable({bare}).find("GROUPS"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ppm::tools

@@ -101,6 +101,8 @@ void PutTriggerSpec(util::ByteWriter& w, const TriggerSpec& spec) {
   w.U8(static_cast<uint8_t>(spec.action_signal));
   PutGPid(w, spec.action_target);
   w.Str(spec.migrate_dest);
+  w.Str(spec.spawn_command);
+  w.Str(spec.group);
 }
 
 void PutLpmStatRecord(util::ByteWriter& w, const LpmStatRecord& rec) {
@@ -155,6 +157,21 @@ void PutLpmStatRecord(util::ByteWriter& w, const LpmStatRecord& rec) {
   PutStrVec(w, rec.health_reasons);
   w.U32(static_cast<uint32_t>(rec.procs.size()));
   for (const auto& p : rec.procs) PutProcRecord(w, p);
+  w.U32(static_cast<uint32_t>(rec.groups.size()));
+  for (const GroupStatEntry& g : rec.groups) {
+    w.Str(g.name);
+    w.U32(g.members);
+    w.U32(g.exited);
+  }
+  w.U32(static_cast<uint32_t>(rec.barriers.size()));
+  for (const BarrierStatEntry& b : rec.barriers) {
+    w.Str(b.name);
+    w.U64(b.epoch);
+    w.U32(b.waiters);
+    w.U32(b.expected);
+  }
+  w.U32(rec.envars);
+  w.U32(rec.envar_watchers);
 }
 
 void PutStatReq(util::ByteWriter& w, const StatReq& m) {
@@ -475,10 +492,12 @@ class Gen {
     TriggerSpec spec;
     spec.event_kind = KKind();
     spec.subject_pid = I32();
-    spec.action = B() ? TriggerAction::kSignal : TriggerAction::kMigrate;
+    spec.action = static_cast<TriggerAction>(U32() % 3);
     spec.action_signal = Sig();
     spec.action_target = Gpid();
     spec.migrate_dest = Str();
+    spec.spawn_command = Str();
+    spec.group = Str(6);
     return spec;
   }
 
@@ -521,6 +540,12 @@ class Gen {
     rec.health_reasons = StrVec(2);
     rec.procs.resize(Size(2));
     for (auto& p : rec.procs) p = Proc();
+    rec.groups.resize(Size(2));
+    for (auto& g : rec.groups) g = GroupStatEntry{Str(6), U32(), U32()};
+    rec.barriers.resize(Size(2));
+    for (auto& b : rec.barriers) b = BarrierStatEntry{Str(6), U64(), U32(), U32()};
+    rec.envars = U32();
+    rec.envar_watchers = U32();
     return rec;
   }
 

@@ -195,6 +195,71 @@ std::vector<Msg> AllMessages() {
   busy.error = "handler queue full";
   busy.retry_after_us = 250000;
   msgs.push_back(busy);
+  msgs.push_back(GroupSpawnReq{20, "farm", {"vaxA", "vaxB"}, {"worker 1", "worker 2"}});
+  GroupSpawnResp gsresp;
+  gsresp.req_id = 20;
+  gsresp.ok = true;
+  gsresp.members = {{"vaxA", 41}, {"vaxB", 42}};
+  gsresp.host_errors = {"vaxC: no handler"};
+  msgs.push_back(gsresp);
+  msgs.push_back(GroupPartReq{21, "farm", "vaxA", "worker 3"});
+  msgs.push_back(GroupPartResp{21, true, "", {"vaxB", 43}});
+  msgs.push_back(GroupUndoReq{22, "farm", {"vaxB", 43}});
+  msgs.push_back(GroupAck{23, false, "not the central coordinator (ccs=vaxB)", "vaxB"});
+  msgs.push_back(GroupExitNotify{24, "farm", {"vaxA", 41}, 7});
+  msgs.push_back(GroupAddNotify{25, "farm", {"vaxA", 44}});
+  msgs.push_back(GroupSignalReq{26, "farm", host::Signal::kSigUsr1});
+  msgs.push_back(GroupSignalResp{26, true, "", 3, 1});
+  msgs.push_back(GroupJoinReq{27, "farm"});
+  GroupJoinResp gjresp;
+  gjresp.req_id = 27;
+  gjresp.ok = true;
+  gjresp.group = "farm";
+  gjresp.exits = {{{"vaxA", 41}, 0}, {{"vaxB", 42}, 9}};
+  msgs.push_back(gjresp);
+  msgs.push_back(BarrierEnterReq{28, "phase", 3, 5});
+  BarrierEnterResp beresp;
+  beresp.req_id = 28;
+  beresp.ok = true;
+  beresp.released = false;
+  beresp.epoch = 3;
+  beresp.stragglers = {"vaxC", "vaxD"};
+  msgs.push_back(beresp);
+  msgs.push_back(BarrierJoinReq{29, "phase", 3, 5, "vaxB", 2});
+  BarrierReleaseReq brel;
+  brel.req_id = 30;
+  brel.name = "phase";
+  brel.epoch = 3;
+  brel.released = true;
+  msgs.push_back(brel);
+  msgs.push_back(EnvarSetReq{31, "farm.mode", "drain"});
+  msgs.push_back(EnvarSetResp{31, true, "", 4});
+  msgs.push_back(EnvarGetReq{32, "farm.mode"});
+  msgs.push_back(EnvarGetResp{32, true, "", "farm.mode", "drain", 4});
+  EnvarUpdate eup;
+  eup.req_id = 33;
+  eup.origin_host = "vaxA";
+  eup.bcast_seq = 6;
+  eup.signed_ts = 888;
+  eup.route = {"vaxA", "vaxB"};
+  eup.key = "farm.mode";
+  eup.value = "drain";
+  eup.version = 4;
+  eup.version_origin = "vaxA";
+  msgs.push_back(eup);
+  EnvarSync esync;
+  esync.req_id = 34;
+  esync.entries = {{"farm.mode", "drain", 4, "vaxA"}, {"farm.size", "16", 1, "vaxB"}};
+  msgs.push_back(esync);
+  EnvarWatchReq ewreq;
+  ewreq.req_id = 35;
+  ewreq.key = "farm.mode";
+  ewreq.spec.event_kind = host::KEvent::kExit;
+  ewreq.spec.action = TriggerAction::kSpawn;
+  ewreq.spec.spawn_command = "reconfig";
+  ewreq.spec.group = "farm";
+  msgs.push_back(ewreq);
+  msgs.push_back(EnvarWatchResp{35, true, "", 2});
   return msgs;
 }
 
