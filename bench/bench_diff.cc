@@ -135,7 +135,7 @@ int main(int argc, char** argv) {
     }
     if (!fresh_ok) {
       // A bench that stopped producing output is itself a regression.
-      std::printf("%-28s missing from fresh run: FAIL\n", name.c_str());
+      std::printf("%-28s missing from fresh run: FAIL [missing-fresh]\n", name.c_str());
       ++regressions;
       continue;
     }
@@ -150,11 +150,12 @@ int main(int argc, char** argv) {
       // health verdict carries no signal for this bench.
       std::printf("  %-34s degraded-by-design (health gate skipped)\n", "health.level");
     } else if (base_health == "degraded") {
-      std::printf("  %-34s baseline health is degraded: FAIL (recommit from a healthy run)\n",
-                  "health.level");
+      std::printf(
+          "  %-34s baseline health is degraded: FAIL [health-gate] (recommit from a healthy run)\n",
+          "health.level");
       ++regressions;
     } else if (fresh_health == "degraded") {
-      std::printf("  %-34s fresh run health is degraded: FAIL (baseline %s)\n",
+      std::printf("  %-34s fresh run health is degraded: FAIL [health-gate] (baseline %s)\n",
                   "health.level", base_health.empty() ? "n/a" : base_health.c_str());
       ++regressions;
     }
@@ -178,8 +179,11 @@ int main(int argc, char** argv) {
           ratio = std::max(fresh_val / base_val, base_val / fresh_val);
         }
         fail = ratio > wallclock_factor;
+        // A failing line names the class that tripped, so a red CI log
+        // says *which* tolerance regime to reason about, not just which
+        // metric moved.
         std::printf("  %-34s %12.4g -> %12.4g  x%-6.2f [wallclock]%s\n", key.c_str(),
-                    base_val, fresh_val, ratio, fail ? "  FAIL" : "");
+                    base_val, fresh_val, ratio, fail ? "  FAIL [wallclock-ratio]" : "");
       } else {
         double pct;
         if (base_val == 0.0) {
@@ -189,7 +193,7 @@ int main(int argc, char** argv) {
         }
         fail = std::fabs(pct) > threshold;
         std::printf("  %-34s %12.4g -> %12.4g  %+7.1f%%%s\n", key.c_str(), base_val,
-                    fresh_val, pct, fail ? "  FAIL" : "");
+                    fresh_val, pct, fail ? "  FAIL [tight-pct]" : "");
       }
       if (fail) ++regressions;
     }

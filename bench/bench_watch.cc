@@ -1,0 +1,288 @@
+// bench_watch — the cost of continuous monitoring (PR 10).
+//
+// Two questions gate the push-based STAT stream:
+//
+//   1. Overhead: what does an active watch cost the kernel-message hot
+//      path?  The bench_throughput workload (8 local + 4 remote workers
+//      driven every virtual millisecond) runs with 0, 1, and 4 watches
+//      at a 100ms virtual interval.  The acceptance budget is <5%
+//      degradation with one watch: a delta push is priced at
+//      BaseCosts::kStatPush (3ms) per 100ms interval — a 3% dispatcher
+//      share by construction — and the deterministic sim-event overhead
+//      reported here pins the measured machinery cost alongside the
+//      machine-dependent wall-clock events/sec.
+//   2. Fan-in: a watch must cost O(hosts) StatDelta frames per interval
+//      — each manager sends exactly one aggregated frame up its delta
+//      path — not a flood per refresh.  Measured at 16/64/256 hosts via
+//      the per-opcode frame accounting (net.op.StatDelta.frames), whose
+//      partition invariant keeps the count exact.
+//
+// Frame counts and sim-event counts are deterministic (fixed seed) and
+// gated tightly by bench_diff; events/sec is wall-clock and gated at
+// the loose ratio class.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "host/calibration.h"
+#include "obs/health.h"
+#include "tools/ppmtop.h"
+
+using namespace ppm;
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+constexpr uint64_t kIntervalUs = 100'000;  // 100ms virtual watch interval
+
+double SecondsSince(WallClock::time_point t0) {
+  return std::chrono::duration<double>(WallClock::now() - t0).count();
+}
+
+uint64_t CounterValue(const char* name) {
+  const obs::Counter* c = obs::Registry::Instance().FindCounter(name);
+  return c != nullptr ? c->value() : 0;
+}
+
+// --- phase 1: hot-path overhead under 0 / 1 / 4 watches --------------
+
+struct OverheadRun {
+  bool ok = false;
+  double wall_s = 0;
+  uint64_t kernel_events = 0;
+  uint64_t sim_events = 0;
+  uint64_t watch_pushes = 0;
+  double events_per_sec() const {
+    return wall_s > 0 ? static_cast<double>(kernel_events) / wall_s : 0;
+  }
+};
+
+// The bench_throughput kernel-message workload, with `watches` active
+// subscriptions riding it.  Virtual timeline and seed are fixed, so the
+// kernel-event and sim-event totals are deterministic per watch count.
+OverheadRun KernelPathWithWatches(int watches, int rounds) {
+  obs::Registry::Instance().Reset();
+  // Same saturated-dispatcher setup as bench_throughput (see there for
+  // the rationale): unbounded queue, SLO sized for the flood.
+  obs::HealthMonitor::Instance().set_threshold("lpm.queue.depth", 8192);
+  core::ClusterConfig config;
+  config.lpm.granularity_mask = host::kTraceAll;
+  config.lpm.max_queue_depth = 0;
+  config.seed = 10;
+  core::Cluster cluster(config);
+  cluster.AddHost("a");
+  cluster.AddHost("b");
+  cluster.Ethernet({"a", "b"});
+  bench::InstallUser(cluster);
+  cluster.RunFor(sim::Millis(10));
+
+  OverheadRun out;
+  tools::PpmClient* client = bench::Connect(cluster, "a");
+  if (client == nullptr) return out;
+  std::vector<host::Pid> local;
+  for (int i = 0; i < 8; ++i) {
+    auto g = bench::CreateSync(cluster, *client, "a", "worker", {}, true);
+    if (!g) return out;
+    local.push_back(g->pid);
+  }
+  std::vector<core::GPid> remote;
+  for (int i = 0; i < 4; ++i) {
+    auto g = bench::CreateSync(cluster, *client, "b", "remote-worker", {}, true);
+    if (!g) return out;
+    remote.push_back(*g);
+  }
+
+  std::vector<std::unique_ptr<tools::PpmTop>> tops;
+  for (int i = 0; i < watches; ++i) {
+    auto top = std::make_unique<tools::PpmTop>(cluster.host("a"), *client,
+                                               kIntervalUs);
+    std::optional<bool> started;
+    top->Start([&](bool ok) { started = ok; });
+    if (!bench::RunUntil(cluster, [&] { return started.has_value(); }) || !*started) {
+      return out;
+    }
+    tops.push_back(std::move(top));
+  }
+  // Let every watch reach its per-interval steady state before timing.
+  cluster.RunFor(sim::Millis(300));
+
+  host::Kernel& kernel = cluster.host("a").kernel();
+  sim::Simulator& sim = cluster.simulator();
+  int remaining = rounds;
+  int round = 0;
+  std::function<void()> drive = [&] {
+    const host::Signal sig =
+        (round++ % 2 == 0) ? host::Signal::kSigStop : host::Signal::kSigCont;
+    for (host::Pid pid : local) {
+      int fd = kernel.OpenFileFor(pid, "/tmp/bench", "r");
+      kernel.CloseFileFor(pid, fd);
+      kernel.PostSignal(pid, sig, bench::kUid);
+    }
+    for (const core::GPid& g : remote) {
+      client->Signal(g, sig, [](const core::SignalResp&) {});
+    }
+    if (--remaining > 0) sim.ScheduleIn(sim::Millis(1), drive, "bench-driver");
+  };
+  sim.ScheduleIn(sim::Millis(1), drive, "bench-driver");
+
+  const uint64_t kernel0 = kernel.stats().events_emitted +
+                           cluster.host("b").kernel().stats().events_emitted;
+  const uint64_t sim0 = sim.total_fired();
+  const uint64_t pushes0 = CounterValue("lpm.watch.pushes");
+
+  auto t0 = WallClock::now();
+  cluster.RunFor(sim::Millis(rounds) + sim::Seconds(5));
+  out.wall_s = SecondsSince(t0);
+
+  out.kernel_events = kernel.stats().events_emitted +
+                      cluster.host("b").kernel().stats().events_emitted - kernel0;
+  out.sim_events = sim.total_fired() - sim0;
+  out.watch_pushes = CounterValue("lpm.watch.pushes") - pushes0;
+  for (auto& top : tops) top->Stop();
+  cluster.RunFor(sim::Millis(50));
+  out.ok = true;
+  return out;
+}
+
+// --- phase 2: StatDelta fan-in vs cluster size -----------------------
+
+struct FanInRun {
+  bool ok = false;
+  double frames_per_interval = 0;
+  double frames_per_host_per_interval = 0;
+  double bytes_per_interval = 0;
+  uint64_t seq_gaps = 0;
+  uint64_t seq_dups = 0;
+};
+
+// A star of n hosts (one worker each, sibling graph centered on the
+// hub) under one watch: the per-opcode accounting counts the StatDelta
+// frames a steady interval costs.
+FanInRun DeltaFanIn(int n, int intervals) {
+  obs::Registry::Instance().Reset();
+  core::ClusterConfig config;
+  config.seed = 10;
+  core::Cluster cluster(config);
+  std::vector<std::string> hosts;
+  for (int i = 0; i < n; ++i) hosts.push_back("h" + std::to_string(i));
+  for (const std::string& h : hosts) cluster.AddHost(h);
+  for (size_t i = 1; i < hosts.size(); ++i) cluster.Link("h0", hosts[i]);
+  bench::InstallUser(cluster, {"h0", "h1"});
+  cluster.RunFor(sim::Millis(10));
+
+  FanInRun out;
+  tools::PpmClient* client = bench::Connect(cluster, "h0");
+  if (client == nullptr) return out;
+  std::optional<core::GPid> root;
+  for (const std::string& h : hosts) {
+    auto g = bench::CreateSync(cluster, *client, h, "worker-" + h,
+                               h == "h0" ? core::GPid{} : *root, false);
+    if (!g) return out;
+    if (h == "h0") root = g;
+  }
+
+  tools::PpmTop top(cluster.host("h0"), *client, kIntervalUs);
+  std::optional<bool> started;
+  top.Start([&](bool ok) { started = ok; });
+  if (!bench::RunUntil(cluster, [&] { return started.has_value(); }) || !*started) {
+    return out;
+  }
+  if (!bench::RunUntil(cluster,
+                       [&] { return top.host_count() == hosts.size(); })) {
+    return out;
+  }
+  cluster.RunFor(sim::Millis(300));  // fill the relay pipeline
+
+  const uint64_t frames0 = CounterValue("net.op.StatDelta.frames");
+  const uint64_t bytes0 = CounterValue("net.op.StatDelta.bytes");
+  cluster.RunFor(sim::Micros(kIntervalUs * static_cast<uint64_t>(intervals)));
+  const uint64_t frames = CounterValue("net.op.StatDelta.frames") - frames0;
+  const uint64_t bytes = CounterValue("net.op.StatDelta.bytes") - bytes0;
+
+  out.frames_per_interval = static_cast<double>(frames) / intervals;
+  out.frames_per_host_per_interval = out.frames_per_interval / n;
+  out.bytes_per_interval = static_cast<double>(bytes) / intervals;
+  out.seq_gaps = top.seq_gaps();
+  out.seq_dups = top.seq_dups();
+  top.Stop();
+  cluster.RunFor(sim::Millis(50));
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchReport report("watch");
+
+  bench::PrintHeader("Monitoring overhead: kernel-message path with active watches");
+  constexpr int kRounds = 2000;
+  const double budget_pct = sim::ToMillis(host::BaseCosts::kStatPush) /
+                            (static_cast<double>(kIntervalUs) / 1000.0) * 100.0;
+  std::printf("per-watch push budget: %.1f virtual ms per %.0f ms interval (%.1f%%)\n\n",
+              sim::ToMillis(host::BaseCosts::kStatPush),
+              static_cast<double>(kIntervalUs) / 1000.0, budget_pct);
+  report.Result("watch.push_budget_pct", budget_pct);
+
+  OverheadRun base;
+  for (int watches : {0, 1, 4}) {
+    const OverheadRun run = KernelPathWithWatches(watches, kRounds);
+    if (!run.ok) {
+      std::printf("  %d watches: workload failed to assemble\n", watches);
+      continue;
+    }
+    if (watches == 0) base = run;
+    const double sim_overhead_pct =
+        base.sim_events > 0
+            ? (static_cast<double>(run.sim_events) -
+               static_cast<double>(base.sim_events)) /
+                  static_cast<double>(base.sim_events) * 100.0
+            : 0;
+    std::printf(
+        "  %d watches: %10.0f events/sec wall, %llu kernel events, %llu sim events"
+        " (+%.2f%%), %llu pushes\n",
+        watches, run.events_per_sec(),
+        static_cast<unsigned long long>(run.kernel_events),
+        static_cast<unsigned long long>(run.sim_events), sim_overhead_pct,
+        static_cast<unsigned long long>(run.watch_pushes));
+    const std::string key = "overhead.w" + std::to_string(watches);
+    report.ResultWallClock(key + ".events_per_sec", run.events_per_sec());
+    // Deterministic: the workload's kernel events must not depend on
+    // monitoring at all, and the sim-event machinery overhead is the
+    // measured (virtual-schedule) cost of the watches.
+    report.Result(key + ".kernel_events", static_cast<double>(run.kernel_events));
+    report.Result(key + ".sim_events", static_cast<double>(run.sim_events));
+  }
+
+  bench::PrintHeader("Delta fan-in: StatDelta frames per interval vs hosts");
+  bench::PrintRow({"hosts", "frames/intvl", "per-host", "bytes/intvl"}, 14);
+  constexpr int kIntervals = 10;
+  for (int n : {16, 64, 256}) {
+    const FanInRun run = DeltaFanIn(n, kIntervals);
+    if (!run.ok) {
+      std::printf("  h=%d: fan-in run failed to assemble\n", n);
+      continue;
+    }
+    bench::PrintRow({std::to_string(n), bench::Fmt(run.frames_per_interval, 1),
+                     bench::Fmt(run.frames_per_host_per_interval, 2),
+                     bench::Fmt(run.bytes_per_interval, 0)},
+                    14);
+    const std::string key = "fanin.h" + std::to_string(n);
+    report.Result(key + ".frames_per_interval", run.frames_per_interval);
+    report.Result(key + ".frames_per_host_per_interval",
+                  run.frames_per_host_per_interval);
+    report.Result(key + ".bytes_per_interval", run.bytes_per_interval);
+    report.Result(key + ".seq_gaps", static_cast<double>(run.seq_gaps));
+    report.Result(key + ".seq_dups", static_cast<double>(run.seq_dups));
+  }
+  std::printf(
+      "\nOne aggregated frame per manager per interval: the per-host column\n"
+      "stays at ~1.0 as the cluster grows — O(hosts), not a flood per refresh.\n");
+  return 0;
+}

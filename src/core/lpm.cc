@@ -37,6 +37,12 @@ struct LpmMetrics {
   obs::Counter* deadline_expired;
   obs::Counter* dup_suppressed;
   obs::Gauge* breaker_open;
+  // Stat watches (continuous telemetry; fleet totals).
+  obs::Counter* watch_subscribes;
+  obs::Counter* watch_pushes;
+  obs::Counter* watch_records;
+  obs::Counter* watch_cancels;
+  obs::Gauge* watch_active;
   // Group operations (fleet totals).
   obs::Counter* group_spawns;
   obs::Counter* group_rollbacks;
@@ -63,6 +69,11 @@ LpmMetrics& Metrics() {
       reg.GetCounter("lpm.deadline.expired"),
       reg.GetCounter("lpm.dup.suppressed"),
       reg.GetGauge("lpm.breaker.open"),
+      reg.GetCounter("lpm.watch.subscribes"),
+      reg.GetCounter("lpm.watch.pushes"),
+      reg.GetCounter("lpm.watch.records"),
+      reg.GetCounter("lpm.watch.cancels"),
+      reg.GetGauge("lpm.watch.active"),
       reg.GetCounter("lpm.group.spawns"),
       reg.GetCounter("lpm.group.rollbacks"),
       reg.GetCounter("lpm.barrier.releases"),
@@ -241,6 +252,11 @@ void Lpm::OnShutdown() {
   pending_.clear();
   snapshots_.clear();
   stat_runs_.clear();
+  if (!stat_watches_.empty()) {
+    for (auto& [key, w] : stat_watches_) simulator().Cancel(w.push_ev);
+    Metrics().watch_active->Add(-static_cast<double>(stat_watches_.size()));
+    stat_watches_.clear();
+  }
   gang_runs_.clear();
   for (auto& [key, bl] : barrier_local_) simulator().Cancel(bl.safety_ev);
   barrier_local_.clear();
@@ -724,6 +740,21 @@ void Lpm::OnClose(net::ConnId conn, net::CloseReason reason) {
     ForwardAttemptFailed(id, "channel lost");
   }
 
+  // Watches pinned to this circuit die with it: the delta path never
+  // migrates to a re-established circuit (sequence contiguity), so a
+  // break ends the watch here.  Downstream relays learn lazily — their
+  // next push to us meets an unknown watch and gets a StatUnsubscribe.
+  std::vector<StatWatchKey> dead_watches;
+  for (auto& [key, w] : stat_watches_) {
+    if ((w.is_origin && w.tool_conn == conn) ||
+        (!w.is_origin && w.parent_conn == conn)) {
+      dead_watches.push_back(key);
+    }
+  }
+  for (const StatWatchKey& key : dead_watches) {
+    DropStatWatch(key, "circuit lost");
+  }
+
   if (info.kind == PeerKind::kSibling) {
     auto sit = siblings_.find(info.host);
     if (sit != siblings_.end() && sit->second == conn) siblings_.erase(sit);
@@ -824,6 +855,12 @@ void Lpm::OnData(net::ConnId conn, const std::vector<uint8_t>& bytes) {
           }
         } else if constexpr (std::is_same_v<T, StatResp>) {
           HandleStatResp(m);
+        } else if constexpr (std::is_same_v<T, StatSubscribe>) {
+          HandleStatSubscribe(conn, m);
+        } else if constexpr (std::is_same_v<T, StatDelta>) {
+          HandleStatDelta(conn, m);
+        } else if constexpr (std::is_same_v<T, StatUnsubscribe>) {
+          HandleStatUnsubscribe(conn, m);
         } else if constexpr (std::is_same_v<T, BusyResp>) {
           HandleBusy(m);
         } else if constexpr (std::is_same_v<T, GroupSpawnReq>) {
@@ -2157,6 +2194,8 @@ void Lpm::FinishSnapshot(SnapshotRun& run, uint64_t bcast_seq) {
 LpmStatRecord Lpm::BuildStatRecord() {
   LpmStatRecord rec;
   rec.host = host_name();
+  rec.user = user_;
+  rec.uid = static_cast<int32_t>(uid_);
   rec.lpm_pid = pid();
   rec.mode = static_cast<uint8_t>(mode_);
   rec.is_ccs = is_ccs_;
@@ -2261,6 +2300,9 @@ LpmStatRecord Lpm::BuildStatRecord() {
   }
   rec.envars = static_cast<uint32_t>(group_table_.envars().size());
   rec.envar_watchers = static_cast<uint32_t>(group_table_.watcher_count());
+
+  rec.acct_cpu_us = AcctCpuUs();
+  rec.acct_rusage_records = exited_stats_.size();
 
   rec.procs = ScanLocalProcesses();
   return rec;
@@ -2438,6 +2480,282 @@ void Lpm::FinishStat(StatRun& run, uint64_t bcast_seq) {
   if (peers_.count(run.tool_conn)) SendMsg(run.tool_conn, out, hop);
   ReleaseHandler(run.handler);
   stat_runs_.erase(bcast_seq);
+}
+
+// --- stat watches (push-based continuous telemetry) ----------------------------------------
+//
+// A StatSubscribe floods outward exactly like a StatReq, but instead of
+// one reply the flood leaves a *watch* behind at every manager: a
+// per-interval timer that pushes this host's counter deltas one hop back
+// along the edge the flood arrived on.  Relays batch their children's
+// records into their own push, so each interval costs one frame per
+// covering-graph edge — O(hosts) total — instead of a full flood per
+// refresh.  The delta path is pinned at subscribe time and never
+// re-routed; a broken circuit ends the watch (the subscriber resubscribes
+// under a fresh watch_id), which keeps per-<watch, host> sequence numbers
+// contiguous for as long as they arrive at all.
+
+uint64_t Lpm::AcctCpuUs() {
+  uint64_t total = 0;
+  for (const RusageRecord& r : exited_stats_) {
+    total += static_cast<uint64_t>(r.rusage.cpu_time);
+  }
+  for (const auto& [lpid, info] : local_procs_) {
+    const host::Process* p = kernel().Find(lpid);
+    if (p && p->alive()) total += static_cast<uint64_t>(p->rusage.cpu_time);
+  }
+  return total;
+}
+
+void Lpm::HandleStatSubscribe(net::ConnId conn, const StatSubscribe& req) {
+  if (req.origin_host.empty()) {
+    // A tool asking us to originate a watch.
+    if (!AdmitRequest(conn, req.req_id)) return;
+    uint64_t tool_req = req.req_id;
+    uint64_t interval = req.interval_us ? req.interval_us : 1'000'000;
+    Dispatch(RxMeta(conn, tool_req), [this, conn, tool_req, interval](Pid h) {
+      StartStatWatch(conn, tool_req, interval, h);
+    });
+    return;
+  }
+  // Sibling leg of the subscribe flood.
+  if (!bcast_filter_.CheckAndRecord(req.origin_host, req.bcast_seq, simulator().Now())) {
+    ++stats_.bcast_duplicates;
+    obs::HealthMonitor::Instance().RateEvent("lpm.bcast.dup");
+    return;
+  }
+  StatWatchKey key{req.origin_host, req.watch_id};
+  if (stat_watches_.count(key)) return;  // resubscribed through another edge
+  std::string sender = req.route.empty() ? std::string() : req.route.back();
+  kernel().Charge(pid(), BaseCosts::kDispatch);
+
+  StatWatch w;
+  w.origin_host = req.origin_host;
+  w.watch_id = req.watch_id;
+  w.is_origin = false;
+  w.parent_host = sender;
+  w.parent_conn = conn;  // pinned: deltas only ever flow back along this edge
+  w.interval_us = req.interval_us ? req.interval_us : 1'000'000;
+  w.base_t_us = static_cast<uint64_t>(simulator().Now());
+  w.base_kernel_events = stats_.kernel_events;
+  w.base_requests = stats_.requests;
+  w.base_requests_shed = stats_.requests_shed;
+  w.base_retries = stats_.retries;
+  w.base_journal_bytes = store_ ? store_->journal().size_bytes() : 0;
+  w.base_eventlog_recorded = event_log_.total_recorded();
+  w.base_acct_cpu_us = AcctCpuUs();
+  stat_watches_[key] = std::move(w);
+  Metrics().watch_subscribes->Inc();
+  Metrics().watch_active->Add(1);
+
+  StatSubscribe fwd = req;
+  fwd.route.push_back(host_name());
+  FloodStatSubscribe(fwd, sender);
+  ScheduleStatPush(key);
+}
+
+void Lpm::StartStatWatch(net::ConnId tool_conn, uint64_t tool_req_id,
+                         uint64_t interval_us, Pid handler) {
+  uint64_t watch_id = NextReqId();
+  uint64_t seq = NextBcastSeq();
+  ++stats_.bcasts_originated;
+  bcast_filter_.CheckAndRecord(host_name(), seq, simulator().Now());
+
+  StatWatch w;
+  w.origin_host = host_name();
+  w.watch_id = watch_id;
+  w.is_origin = true;
+  w.tool_conn = tool_conn;
+  w.tool_req_id = tool_req_id;
+  w.interval_us = interval_us;
+  w.base_t_us = static_cast<uint64_t>(simulator().Now());
+  w.base_kernel_events = stats_.kernel_events;
+  w.base_requests = stats_.requests;
+  w.base_requests_shed = stats_.requests_shed;
+  w.base_retries = stats_.retries;
+  w.base_journal_bytes = store_ ? store_->journal().size_bytes() : 0;
+  w.base_eventlog_recorded = event_log_.total_recorded();
+  w.base_acct_cpu_us = AcctCpuUs();
+  StatWatchKey key{host_name(), watch_id};
+  stat_watches_[key] = std::move(w);
+  Metrics().watch_subscribes->Inc();
+  Metrics().watch_active->Add(1);
+
+  StatSubscribe templ;
+  templ.req_id = seq;
+  templ.origin_host = host_name();
+  templ.watch_id = watch_id;
+  templ.bcast_seq = seq;
+  templ.signed_ts = simulator().Now();
+  templ.route.push_back(host_name());
+  templ.interval_us = interval_us;
+  FloodStatSubscribe(templ, /*except_host=*/"");
+
+  // The first push doubles as the subscribe ack: it carries the tool's
+  // req_id and the seq-1 baseline record, so the subscriber learns its
+  // watch_id from the data stream itself.
+  PushStatDelta(key);
+  ReleaseHandler(handler);
+}
+
+sim::SimDuration Lpm::FloodStatSubscribe(const StatSubscribe& templ,
+                                         const std::string& except_host) {
+  sim::SimDuration cum = 0;
+  bool first = true;
+  for (const auto& [host, conn] : siblings_) {
+    if (host == except_host) continue;
+    cum += kernel().Charge(pid(), first ? BaseCosts::kSiblingSend
+                                        : BaseCosts::kSiblingSendExtra);
+    first = false;
+    net::ConnId target = conn;
+    simulator().ScheduleIn(cum, [this, target, templ] {
+      if (!running_) return;
+      SendMsg(target, templ);
+    }, "lpm-watch-flood");
+  }
+  return cum;
+}
+
+void Lpm::ScheduleStatPush(const StatWatchKey& key) {
+  auto it = stat_watches_.find(key);
+  if (it == stat_watches_.end()) return;
+  StatWatch& w = it->second;
+  simulator().Cancel(w.push_ev);
+  w.push_ev = simulator().ScheduleIn(
+      static_cast<sim::SimDuration>(w.interval_us),
+      [this, key] {
+        if (!running_) return;
+        auto wit = stat_watches_.find(key);
+        if (wit == stat_watches_.end()) return;
+        wit->second.push_ev = sim::kInvalidEventId;
+        PushStatDelta(key);
+      },
+      "lpm-watch-push");
+}
+
+StatDeltaRecord Lpm::BuildStatDeltaRecord(StatWatch& w) {
+  StatDeltaRecord r;
+  r.host = host_name();
+  r.user = user_;
+  r.uid = static_cast<int32_t>(uid_);
+  r.seq = ++w.seq;
+  const uint64_t now = static_cast<uint64_t>(simulator().Now());
+  const uint64_t journal_bytes = store_ ? store_->journal().size_bytes() : 0;
+  const uint64_t acct_cpu = AcctCpuUs();
+  r.t_us = now;
+  r.dt_us = now - w.base_t_us;
+  r.d_kernel_events = stats_.kernel_events - w.base_kernel_events;
+  r.d_requests = stats_.requests - w.base_requests;
+  r.d_requests_shed = stats_.requests_shed - w.base_requests_shed;
+  r.d_retries = stats_.retries - w.base_retries;
+  r.d_journal_bytes = journal_bytes - w.base_journal_bytes;
+  r.d_eventlog_recorded = event_log_.total_recorded() - w.base_eventlog_recorded;
+  r.d_acct_cpu_us = acct_cpu - w.base_acct_cpu_us;
+  r.queue_depth = static_cast<uint32_t>(handler_queue_.size());
+  uint32_t live = 0;
+  for (const auto& [lpid, info] : local_procs_) {
+    const host::Process* p = kernel().Find(lpid);
+    if (p && p->alive()) ++live;
+  }
+  r.procs_live = live;
+  obs::LpmHealthInputs in;
+  in.eventlog_recorded = event_log_.total_recorded();
+  in.eventlog_dropped = event_log_.total_dropped();
+  in.bcasts_handled = stats_.bcasts_originated + stats_.snapshots_served;
+  in.bcast_duplicates = stats_.bcast_duplicates;
+  in.requests = stats_.requests;
+  in.request_timeouts = stats_.request_timeouts;
+  in.handler_queue_depth = handler_queue_.size();
+  in.journal_pending = store_ ? store_->journal().pending_appends() : 0;
+  in.deadline_expired = stats_.deadline_expired;
+  in.requests_shed = stats_.requests_shed;
+  in.breaker_open = open_breaker_count();
+  r.health = static_cast<uint8_t>(obs::ClassifyLpm(in).level);
+  // Next interval's deltas start here.
+  w.base_t_us = now;
+  w.base_kernel_events = stats_.kernel_events;
+  w.base_requests = stats_.requests;
+  w.base_requests_shed = stats_.requests_shed;
+  w.base_retries = stats_.retries;
+  w.base_journal_bytes = journal_bytes;
+  w.base_eventlog_recorded = event_log_.total_recorded();
+  w.base_acct_cpu_us = acct_cpu;
+  return r;
+}
+
+void Lpm::PushStatDelta(const StatWatchKey& key) {
+  auto it = stat_watches_.find(key);
+  if (it == stat_watches_.end()) return;
+  StatWatch& w = it->second;
+
+  StatDelta out;
+  out.origin_host = w.origin_host;
+  out.watch_id = w.watch_id;
+  out.req_id = w.is_origin ? w.tool_req_id : 0;
+  out.records.push_back(BuildStatDeltaRecord(w));
+  for (StatDeltaRecord& r : w.pending) out.records.push_back(std::move(r));
+  w.pending.clear();
+
+  LpmMetrics& m = Metrics();
+  m.watch_pushes->Inc();
+  m.watch_records->Inc(out.records.size());
+
+  if (w.is_origin) {
+    if (!peers_.count(w.tool_conn)) {
+      DropStatWatch(key, "tool circuit gone");
+      return;
+    }
+    kernel().Charge(pid(), BaseCosts::kStatPush);
+    SendMsg(w.tool_conn, out);
+  } else {
+    if (!peers_.count(w.parent_conn)) {
+      DropStatWatch(key, "parent circuit gone");
+      return;
+    }
+    SendToSibling(w.parent_conn, Msg{out}, BaseCosts::kStatPush);
+  }
+  ScheduleStatPush(key);
+}
+
+void Lpm::HandleStatDelta(net::ConnId conn, const StatDelta& delta) {
+  StatWatchKey key{delta.origin_host, delta.watch_id};
+  auto it = stat_watches_.find(key);
+  if (it == stat_watches_.end()) {
+    // Lazy cascade cancel: this watch died here (unsubscribe, circuit
+    // break, restart) but a downstream relay is still pushing.  One
+    // unsubscribe back down the edge stops it — and ITS children learn
+    // the same way on their next push.
+    StatUnsubscribe un;
+    un.origin_host = delta.origin_host;
+    un.watch_id = delta.watch_id;
+    ReplyMsg(conn, un);
+    return;
+  }
+  // In-transit aggregation: buffer the child's records; our own interval
+  // tick carries them upstream in one frame.
+  StatWatch& w = it->second;
+  for (const StatDeltaRecord& r : delta.records) w.pending.push_back(r);
+}
+
+void Lpm::HandleStatUnsubscribe(net::ConnId conn, const StatUnsubscribe& req) {
+  (void)conn;
+  if (req.origin_host.empty()) {
+    // Tool form: end the watch this LPM originated under this watch_id.
+    DropStatWatch({host_name(), req.watch_id}, "unsubscribed");
+    return;
+  }
+  DropStatWatch({req.origin_host, req.watch_id}, "cancelled upstream");
+}
+
+void Lpm::DropStatWatch(const StatWatchKey& key, const char* why) {
+  auto it = stat_watches_.find(key);
+  if (it == stat_watches_.end()) return;
+  simulator().Cancel(it->second.push_ev);
+  stat_watches_.erase(it);
+  Metrics().watch_cancels->Inc();
+  Metrics().watch_active->Add(-1);
+  PPM_INFO("lpm") << host_name() << ": watch <" << key.first << "," << key.second
+                  << "> dropped (" << why << ")";
 }
 
 // --- kernel events, history, triggers ------------------------------------------------------

@@ -214,6 +214,10 @@ class Lpm : public host::ProcessBody {
   size_t open_breaker_count() const;
   bool breaker_open_for(const std::string& host) const;
   size_t adopted_live_count() const;
+  // Live STAT subscriptions registered at this LPM (origin or relay).
+  // Chaos invariants use it to assert lazy-cancel convergence: after a
+  // watch is dropped and the cluster quiesces, no LPM still holds it.
+  size_t stat_watch_count() const { return stat_watches_.size(); }
   // Group operations state (memberships, barrier outcomes, the envar
   // table) — chaos invariants read it directly.
   const group::GroupTable& group_table() const { return group_table_; }
@@ -329,6 +333,42 @@ class Lpm : public host::ProcessBody {
     obs::TraceContext trace;
     sim::SimTime start_us = 0;
   };
+
+  // --- stat watches (continuous telemetry; see wire.h 0xF6 subs 2-4) -------
+  // One entry per <origin, watch_id> this LPM participates in.  The
+  // delta path is pinned at subscribe time: the sibling circuit the
+  // StatSubscribe flood arrived on becomes parent_conn, and deltas only
+  // ever flow back along it.  A broken circuit drops the watch rather
+  // than re-routing — re-routing could replay or skip intervals, and the
+  // no-silent-loss invariant wants per-<watch, host> sequence numbers
+  // contiguous for as long as they arrive at all.  The subscriber heals
+  // by resubscribing under a fresh watch_id.
+  struct StatWatch {
+    std::string origin_host;                  // key part 1
+    uint64_t watch_id = 0;                    // key part 2
+    bool is_origin = false;                   // this LPM started the watch
+    net::ConnId tool_conn = net::kInvalidConn;   // origin only
+    uint64_t tool_req_id = 0;                    // origin only (ack req_id)
+    std::string parent_host;                  // next hop toward the origin
+    net::ConnId parent_conn = net::kInvalidConn;
+    uint64_t interval_us = 0;
+    sim::EventId push_ev = sim::kInvalidEventId;
+    uint64_t seq = 0;                         // last sequence number pushed
+    // Counter snapshot at the previous push — deltas are differences
+    // against this, so each interval's record is self-contained.
+    uint64_t base_t_us = 0;
+    uint64_t base_kernel_events = 0;
+    uint64_t base_requests = 0;
+    uint64_t base_requests_shed = 0;
+    uint64_t base_retries = 0;
+    uint64_t base_journal_bytes = 0;
+    uint64_t base_eventlog_recorded = 0;
+    uint64_t base_acct_cpu_us = 0;
+    // Child records buffered since the last push (in-transit aggregation:
+    // one upstream frame per interval carries them all).
+    std::vector<StatDeltaRecord> pending;
+  };
+  using StatWatchKey = std::pair<std::string, uint64_t>;
 
   // message plumbing
   void OnAccept(net::ConnId conn, net::SocketAddr peer);
@@ -449,6 +489,28 @@ class Lpm : public host::ProcessBody {
   // Samples this manager's structured self-description (one StatResp
   // record): role, queues, counters, store, flight recorder, health.
   LpmStatRecord BuildStatRecord();
+
+  // stat watches (push-based monitoring)
+  void HandleStatSubscribe(net::ConnId conn, const StatSubscribe& req);
+  void StartStatWatch(net::ConnId tool_conn, uint64_t tool_req_id,
+                      uint64_t interval_us, host::Pid handler);
+  // Sends the subscribe flood to every sibling except `except_host`
+  // (FloodStat's shape, StatSubscribe payload).
+  sim::SimDuration FloodStatSubscribe(const StatSubscribe& templ,
+                                      const std::string& except_host);
+  void HandleStatDelta(net::ConnId conn, const StatDelta& delta);
+  void HandleStatUnsubscribe(net::ConnId conn, const StatUnsubscribe& req);
+  // Arms/re-arms the per-interval push timer for one watch.
+  void ScheduleStatPush(const StatWatchKey& key);
+  // One interval tick: build this host's delta record, flush buffered
+  // child records, send the aggregate one hop toward the origin (or to
+  // the subscribed tool at the origin).
+  void PushStatDelta(const StatWatchKey& key);
+  void DropStatWatch(const StatWatchKey& key, const char* why);
+  StatDeltaRecord BuildStatDeltaRecord(StatWatch& w);
+  // Total cpu charged to this user's processes on this host, exited and
+  // live — the per-user accounting rollup's raw material.
+  uint64_t AcctCpuUs();
 
   // kernel events
   void OnKernelEvent(const host::KernelEvent& ev);
@@ -612,6 +674,7 @@ class Lpm : public host::ProcessBody {
   FlatMap<uint64_t, PendingForward> pending_;
   FlatMap<uint64_t, SnapshotRun> snapshots_;  // keyed by bcast seq
   FlatMap<uint64_t, StatRun> stat_runs_;      // keyed by bcast seq
+  std::map<StatWatchKey, StatWatch> stat_watches_;  // <origin, watch_id>
   uint32_t queue_watermark_ = 0;  // handler queue depth high-watermark
   FlatMap<host::Pid, LocalProc> local_procs_;
   std::vector<RusageRecord> exited_stats_;

@@ -24,13 +24,19 @@ const char* const kMsgTypeNames[] = {
     "GroupSignalReq", "GroupSignalResp", "GroupJoinReq", "GroupJoinResp",
     "BarrierEnterReq", "BarrierEnterResp", "BarrierJoinReq", "BarrierReleaseReq",
     "EnvarSetReq", "EnvarSetResp", "EnvarGetReq", "EnvarGetResp",
-    "EnvarUpdate", "EnvarSync", "EnvarWatchReq", "EnvarWatchResp"};
+    "EnvarUpdate", "EnvarSync", "EnvarWatchReq", "EnvarWatchResp",
+    "StatSubscribe", "StatDelta", "StatUnsubscribe"};
 constexpr size_t kPlainTagCount = 29;  // tags 0..28 encode under the variant index
 
 // The sub-byte arithmetic of the 0xF8 family depends on the group
-// messages sitting contiguously at the top of the variant.
+// messages sitting contiguously in the variant, and the 0xF6
+// subscription sub-ops on the stream family sitting right after them.
 static_assert(std::is_same_v<std::variant_alternative_t<kGroupIndexBase, Msg>, GroupSpawnReq>);
-static_assert(std::variant_size_v<Msg> == kGroupIndexBase + kGroupSubCount);
+static_assert(std::is_same_v<std::variant_alternative_t<kStatStreamIndexBase, Msg>, StatSubscribe>);
+static_assert(std::is_same_v<std::variant_alternative_t<kStatStreamIndexBase + 1, Msg>, StatDelta>);
+static_assert(std::is_same_v<std::variant_alternative_t<kStatStreamIndexBase + 2, Msg>, StatUnsubscribe>);
+static_assert(std::variant_size_v<Msg> ==
+              kGroupIndexBase + kGroupSubCount + kStatStreamSubCount);
 static_assert(sizeof(kMsgTypeNames) / sizeof(kMsgTypeNames[0]) == std::variant_size_v<Msg>);
 
 // Codec-level accounting: how many frames pass through encode/decode and
@@ -346,6 +352,8 @@ std::optional<TriggerSpec> GetTriggerSpec(util::ByteReader& r) {
 
 void PutLpmStatRecord(WireBuffer& w, const LpmStatRecord& rec) {
   w.Str(rec.host);
+  w.Str(rec.user);
+  w.I32(rec.uid);
   w.I32(rec.lpm_pid);
   w.U8(rec.mode);
   w.Bool(rec.is_ccs);
@@ -411,20 +419,26 @@ void PutLpmStatRecord(WireBuffer& w, const LpmStatRecord& rec) {
   }
   w.U32(rec.envars);
   w.U32(rec.envar_watchers);
+  w.U64(rec.acct_cpu_us);
+  w.U64(rec.acct_rusage_records);
 }
 
 std::optional<LpmStatRecord> GetLpmStatRecord(util::ByteReader& r) {
   LpmStatRecord rec;
   auto host = r.Str();
+  auto user = r.Str();
+  auto uid = r.I32();
   auto pid = r.I32();
   auto mode = r.U8();
   auto is_ccs = r.Bool();
   auto ccs = r.Str();
   auto rank = r.I32();
   auto siblings = GetStrVec(r);
-  if (!host || !pid || !mode || !is_ccs || !ccs || !rank || !siblings)
+  if (!host || !user || !uid || !pid || !mode || !is_ccs || !ccs || !rank || !siblings)
     return std::nullopt;
   rec.host = std::move(*host);
+  rec.user = std::move(*user);
+  rec.uid = *uid;
   rec.lpm_pid = *pid;
   rec.mode = *mode;
   rec.is_ccs = *is_ccs;
@@ -542,9 +556,13 @@ std::optional<LpmStatRecord> GetLpmStatRecord(util::ByteReader& r) {
   }
   auto nenv = r.U32();
   auto nwatch = r.U32();
-  if (!nenv || !nwatch) return std::nullopt;
+  auto acct_cpu = r.U64();
+  auto acct_ru = r.U64();
+  if (!nenv || !nwatch || !acct_cpu || !acct_ru) return std::nullopt;
   rec.envars = *nenv;
   rec.envar_watchers = *nwatch;
+  rec.acct_cpu_us = *acct_cpu;
+  rec.acct_rusage_records = *acct_ru;
   return rec;
 }
 
@@ -569,6 +587,83 @@ void PutStatResp(WireBuffer& w, const StatResp& m) {
   for (const auto& rec : m.records) PutLpmStatRecord(w, rec);
 }
 
+void PutStatSubscribe(WireBuffer& w, const StatSubscribe& m) {
+  w.U64(m.req_id);
+  w.Str(m.origin_host);
+  w.U64(m.watch_id);
+  w.U64(m.bcast_seq);
+  w.U64(m.signed_ts);
+  PutStrVec(w, m.route);
+  w.U64(m.interval_us);
+}
+
+void PutStatDeltaRecord(WireBuffer& w, const StatDeltaRecord& rec) {
+  w.Str(rec.host);
+  w.Str(rec.user);
+  w.I32(rec.uid);
+  w.U64(rec.seq);
+  w.U64(rec.t_us);
+  w.U64(rec.dt_us);
+  w.U64(rec.d_kernel_events);
+  w.U64(rec.d_requests);
+  w.U64(rec.d_requests_shed);
+  w.U64(rec.d_retries);
+  w.U64(rec.d_journal_bytes);
+  w.U64(rec.d_eventlog_recorded);
+  w.U64(rec.d_acct_cpu_us);
+  w.U32(rec.queue_depth);
+  w.U32(rec.procs_live);
+  w.U8(rec.health);
+}
+
+void PutStatDelta(WireBuffer& w, const StatDelta& m) {
+  w.U64(m.req_id);
+  w.Str(m.origin_host);
+  w.U64(m.watch_id);
+  w.U32(static_cast<uint32_t>(m.records.size()));
+  for (const auto& rec : m.records) PutStatDeltaRecord(w, rec);
+}
+
+void PutStatUnsubscribe(WireBuffer& w, const StatUnsubscribe& m) {
+  w.U64(m.req_id);
+  w.Str(m.origin_host);
+  w.U64(m.watch_id);
+}
+
+std::optional<StatDeltaRecord> GetStatDeltaRecord(util::ByteReader& r) {
+  StatDeltaRecord rec;
+  auto host = r.Str();
+  auto user = r.Str();
+  auto uid = r.I32();
+  if (!host || !user || !uid) return std::nullopt;
+  rec.host = std::move(*host);
+  rec.user = std::move(*user);
+  rec.uid = *uid;
+  uint64_t* u64s[] = {&rec.seq,
+                      &rec.t_us,
+                      &rec.dt_us,
+                      &rec.d_kernel_events,
+                      &rec.d_requests,
+                      &rec.d_requests_shed,
+                      &rec.d_retries,
+                      &rec.d_journal_bytes,
+                      &rec.d_eventlog_recorded,
+                      &rec.d_acct_cpu_us};
+  for (uint64_t* c : u64s) {
+    auto v = r.U64();
+    if (!v) return std::nullopt;
+    *c = *v;
+  }
+  auto qdepth = r.U32();
+  auto live = r.U32();
+  auto health = r.U8();
+  if (!qdepth || !live || !health) return std::nullopt;
+  rec.queue_depth = *qdepth;
+  rec.procs_live = *live;
+  rec.health = *health;
+  return rec;
+}
+
 // --- serialize --------------------------------------------------------------
 
 void EncodeMsg(WireBuffer& w, const Msg& msg) {
@@ -585,6 +680,28 @@ void EncodeMsg(WireBuffer& w, const Msg& msg) {
     w.U8(kStatMsgTag);
     w.U8(kStatRespSub);
     PutStatResp(w, *resp);
+    return;
+  }
+  // The subscription sub-ops live in the same 0xF6 family.  They must be
+  // intercepted here, before the variant-index branches: their variant
+  // indices sit past the group family and would otherwise encode as
+  // out-of-range 0xF8 sub-bytes.
+  if (const auto* sub = std::get_if<StatSubscribe>(&msg)) {
+    w.U8(kStatMsgTag);
+    w.U8(kStatSubscribeSub);
+    PutStatSubscribe(w, *sub);
+    return;
+  }
+  if (const auto* delta = std::get_if<StatDelta>(&msg)) {
+    w.U8(kStatMsgTag);
+    w.U8(kStatDeltaSub);
+    PutStatDelta(w, *delta);
+    return;
+  }
+  if (const auto* unsub = std::get_if<StatUnsubscribe>(&msg)) {
+    w.U8(kStatMsgTag);
+    w.U8(kStatUnsubscribeSub);
+    PutStatUnsubscribe(w, *unsub);
     return;
   }
   // BUSY rejections likewise ride under their own escape opcode so
@@ -1399,6 +1516,59 @@ std::optional<StatResp> ParseStatResp(util::ByteReader& r) {
   return m;
 }
 
+std::optional<StatSubscribe> ParseStatSubscribe(util::ByteReader& r) {
+  StatSubscribe m;
+  auto id = r.U64();
+  auto origin = r.Str();
+  auto watch = r.U64();
+  auto seq = r.U64();
+  auto ts = r.U64();
+  auto route = GetStrVec(r);
+  auto interval = r.U64();
+  if (!id || !origin || !watch || !seq || !ts || !route || !interval)
+    return std::nullopt;
+  m.req_id = *id;
+  m.origin_host = *origin;
+  m.watch_id = *watch;
+  m.bcast_seq = *seq;
+  m.signed_ts = *ts;
+  m.route = std::move(*route);
+  m.interval_us = *interval;
+  return m;
+}
+
+std::optional<StatDelta> ParseStatDelta(util::ByteReader& r) {
+  StatDelta m;
+  auto id = r.U64();
+  auto origin = r.Str();
+  auto watch = r.U64();
+  auto n = r.U32();
+  if (!id || !origin || !watch || !n) return std::nullopt;
+  m.req_id = *id;
+  m.origin_host = *origin;
+  m.watch_id = *watch;
+  if (*n > r.remaining()) return std::nullopt;  // corrupt count
+  m.records.reserve(*n);
+  for (uint32_t i = 0; i < *n; ++i) {
+    auto rec = GetStatDeltaRecord(r);
+    if (!rec) return std::nullopt;
+    m.records.push_back(std::move(*rec));
+  }
+  return m;
+}
+
+std::optional<StatUnsubscribe> ParseStatUnsubscribe(util::ByteReader& r) {
+  StatUnsubscribe m;
+  auto id = r.U64();
+  auto origin = r.Str();
+  auto watch = r.U64();
+  if (!id || !origin || !watch) return std::nullopt;
+  m.req_id = *id;
+  m.origin_host = *origin;
+  m.watch_id = *watch;
+  return m;
+}
+
 std::optional<ProbeAck> ParseProbeAck(util::ByteReader& r) {
   ProbeAck m;
   auto id = r.U64();
@@ -1913,6 +2083,12 @@ std::optional<Msg> Parse(WireView bytes, obs::TraceContext* trace,
         msg = Lift(ParseStatReq(r));
       } else if (*sub == kStatRespSub) {
         msg = Lift(ParseStatResp(r));
+      } else if (*sub == kStatSubscribeSub) {
+        msg = Lift(ParseStatSubscribe(r));
+      } else if (*sub == kStatDeltaSub) {
+        msg = Lift(ParseStatDelta(r));
+      } else if (*sub == kStatUnsubscribeSub) {
+        msg = Lift(ParseStatUnsubscribe(r));
       } else {
         return std::nullopt;
       }
@@ -1964,6 +2140,9 @@ const char* ClassifyWireFrame(const uint8_t* frame, size_t len) {
     const uint8_t sub = frame[pos + 1];
     if (sub == kStatReqSub) return kMsgTypeNames[kPlainTagCount];
     if (sub == kStatRespSub) return kMsgTypeNames[kPlainTagCount + 1];
+    if (sub == kStatSubscribeSub) return kMsgTypeNames[kStatStreamIndexBase];
+    if (sub == kStatDeltaSub) return kMsgTypeNames[kStatStreamIndexBase + 1];
+    if (sub == kStatUnsubscribeSub) return kMsgTypeNames[kStatStreamIndexBase + 2];
     return "unknown";
   }
   if (tag == kBusyMsgTag) return kMsgTypeNames[kPlainTagCount + 2];

@@ -391,6 +391,8 @@ struct BarrierStatEntry {
 // counters, and a health verdict with human-readable reasons.
 struct LpmStatRecord {
   std::string host;
+  std::string user;   // the <user, host> pair this manager serves
+  int32_t uid = -1;
   int32_t lpm_pid = -1;
   uint8_t mode = 0;        // core::LpmMode
   bool is_ccs = false;
@@ -462,6 +464,13 @@ struct LpmStatRecord {
   std::vector<BarrierStatEntry> barriers;
   uint32_t envars = 0;
   uint32_t envar_watchers = 0;
+
+  // Accounting rollup inputs: charges this manager attributes to its
+  // owning user — live + exited process CPU time (through the rusage
+  // book, so the genealogy's dead members still bill) and the count of
+  // rusage records backing it.
+  uint64_t acct_cpu_us = 0;
+  uint64_t acct_rusage_records = 0;
   bool operator==(const LpmStatRecord&) const = default;
 };
 
@@ -489,6 +498,78 @@ struct StatResp {
   size_t route_index = 0;
   std::vector<LpmStatRecord> records;
   bool operator==(const StatResp&) const = default;
+};
+
+// --- continuous monitoring (STAT subscriptions) -----------------------------
+
+// Opens a standing watch: flooded over the sibling graph exactly like
+// StatReq (same duplicate suppression), and the flood's arrival edges
+// induce a spanning tree over the covering graph — each manager records
+// the sibling it first heard the subscribe from as its delta parent.
+// From then on every manager pushes one StatDelta per interval toward
+// the origin along that tree, children's records aggregated in transit,
+// so a live watch costs O(hosts) frames per interval instead of a full
+// O(edges) flood per refresh.
+struct StatSubscribe {
+  uint64_t req_id = 0;          // meaningful at the origin only
+  std::string origin_host;      // empty: a tool asking its LPM to originate
+  uint64_t watch_id = 0;        // minted by the origin LPM; 0 from a tool
+  uint64_t bcast_seq = 0;
+  uint64_t signed_ts = 0;
+  std::vector<std::string> route;
+  uint64_t interval_us = 0;     // push period, virtual microseconds
+  bool operator==(const StatSubscribe&) const = default;
+};
+
+// One host's per-interval sample: counter deltas since its previous
+// push plus instantaneous gauges.  `seq` increments by exactly one per
+// push of this <watch, host>, so a subscriber can prove it saw every
+// interval (no gap) exactly once (no double-count) — the no-silent-loss
+// invariant extended to monitoring.
+struct StatDeltaRecord {
+  std::string host;
+  std::string user;
+  int32_t uid = -1;
+  uint64_t seq = 0;             // per <watch, host>, 1-based, contiguous
+  uint64_t t_us = 0;            // sample time at that host
+  uint64_t dt_us = 0;           // interval the deltas cover
+  uint64_t d_kernel_events = 0;
+  uint64_t d_requests = 0;
+  uint64_t d_requests_shed = 0;
+  uint64_t d_retries = 0;
+  uint64_t d_journal_bytes = 0;
+  uint64_t d_eventlog_recorded = 0;
+  uint64_t d_acct_cpu_us = 0;   // accounting: CPU charged to the user this interval
+  uint32_t queue_depth = 0;
+  uint32_t procs_live = 0;
+  uint8_t health = 0;           // obs::HealthLevel
+  bool operator==(const StatDeltaRecord&) const = default;
+};
+
+// The per-interval push.  A non-origin manager sends its own record
+// plus any records buffered from its tree children to its delta parent;
+// the origin flushes the aggregate to the subscribed tool.  req_id is
+// the tool's subscribe req_id on the first push (the subscribe ack,
+// carrying the minted watch_id) and 0 afterwards.
+struct StatDelta {
+  uint64_t req_id = 0;
+  std::string origin_host;
+  uint64_t watch_id = 0;
+  std::vector<StatDeltaRecord> records;
+  bool operator==(const StatDelta&) const = default;
+};
+
+// Tears a watch down.  From a tool (origin_host empty) it cancels the
+// origin's watch; between managers it cancels the receiver's watch for
+// <origin_host, watch_id>.  Cancellation cascades lazily: a manager
+// that receives a StatDelta for a watch it does not know answers with
+// StatUnsubscribe on that circuit, so orphaned subtrees quiesce within
+// one interval without any flood.
+struct StatUnsubscribe {
+  uint64_t req_id = 0;
+  std::string origin_host;      // empty: tool-to-LPM form
+  uint64_t watch_id = 0;
+  bool operator==(const StatUnsubscribe&) const = default;
 };
 
 // --- recovery control ---------------------------------------------------------
@@ -806,7 +887,7 @@ using Msg = std::variant<HelloSibling, HelloTool, HelloAck, HelloReject, CreateR
                          BarrierEnterReq, BarrierEnterResp, BarrierJoinReq,
                          BarrierReleaseReq, EnvarSetReq, EnvarSetResp, EnvarGetReq,
                          EnvarGetResp, EnvarUpdate, EnvarSync, EnvarWatchReq,
-                         EnvarWatchResp>;
+                         EnvarWatchResp, StatSubscribe, StatDelta, StatUnsubscribe>;
 
 // --- wire opcode map --------------------------------------------------------
 //
@@ -814,7 +895,8 @@ using Msg = std::variant<HelloSibling, HelloTool, HelloAck, HelloReject, CreateR
 //   0xF3        BusyResp (admission-control rejection)
 //   0xF4        checksum header (Fletcher-16, always first)
 //   0xF5        trace header (trace id / span / parent span)
-//   0xF6        STAT protocol, sub-byte 0 = StatReq, 1 = StatResp
+//   0xF6        STAT protocol, sub-byte 0 = StatReq, 1 = StatResp,
+//                 2 = StatSubscribe, 3 = StatDelta, 4 = StatUnsubscribe
 //   0xF7        deadline / idempotency header
 //   0xF8        group operations, sub-byte = variant index − kGroupIndexBase:
 //                 0 GroupSpawnReq    1 GroupSpawnResp   2 GroupPartReq
@@ -844,14 +926,18 @@ constexpr size_t kTraceHeaderBytes = 1 + 3 * 8;  // escape + three u64s
 constexpr uint8_t kChecksumHeaderTag = 0xF4;
 constexpr size_t kChecksumHeaderBytes = 1 + 2;  // escape + u16 checksum
 
-// STAT protocol escape.  StatReq/StatResp do not encode under their
-// variant index like the other messages: they ride under this opcode
-// (the next escape value after the trace header) followed by a sub-byte
-// (0 = StatReq, 1 = StatResp).  Pre-STAT parsers see an unknown tag and
-// reject the frame cleanly instead of misdecoding it.
+// STAT protocol escape.  The STAT family does not encode under variant
+// indices like the other messages: every member rides under this opcode
+// (the next escape value after the trace header) followed by a sub-byte.
+// Pre-STAT parsers see an unknown tag and reject the frame cleanly
+// instead of misdecoding it; parsers predating the subscription sub-ops
+// (2..4) reject just those sub-bytes the same way.
 constexpr uint8_t kStatMsgTag = 0xF6;
 constexpr uint8_t kStatReqSub = 0;
 constexpr uint8_t kStatRespSub = 1;
+constexpr uint8_t kStatSubscribeSub = 2;
+constexpr uint8_t kStatDeltaSub = 3;
+constexpr uint8_t kStatUnsubscribeSub = 4;
 
 // Deadline / idempotency header escape.  A frame may carry a
 // DeadlineStamp between the trace header (if any) and the message body:
@@ -878,6 +964,13 @@ constexpr uint8_t kBusyMsgTag = 0xF3;
 constexpr uint8_t kGroupMsgTag = 0xF8;
 constexpr size_t kGroupIndexBase = 32;  // variant index of GroupSpawnReq
 constexpr size_t kGroupSubCount = 24;   // number of group message types
+
+// The STAT subscription family (StatSubscribe/StatDelta/StatUnsubscribe)
+// sits after the group family in the variant but encodes under 0xF6
+// sub-bytes 2..4 like its StatReq/StatResp elders, not under its variant
+// indices.
+constexpr size_t kStatStreamIndexBase = kGroupIndexBase + kGroupSubCount;  // 56
+constexpr size_t kStatStreamSubCount = 3;
 
 struct DeadlineStamp {
   uint64_t deadline_us = 0;  // absolute sim time; 0 = no deadline

@@ -89,6 +89,12 @@ struct BaseCosts {
   // Checkpoint + image transfer of one migrating process (our extension;
   // sized like shipping a few hundred KB over a mid-80s Ethernet).
   static constexpr sim::SimDuration kMigrateImage = sim::Micros(150'000);
+  // Building + writing one StatDelta push frame (a handful of counters,
+  // no per-process scan, no full marshalling pass).  Deliberately far
+  // below kSiblingSend: a watch at a 100 ms interval must not consume a
+  // meaningful fraction of the dispatcher (bench_watch holds the
+  // overhead under 5%).
+  static constexpr sim::SimDuration kStatPush = sim::Micros(3'000);
   // One journal fsync of the durable store (src/store/): a synchronous
   // seek + write on a mid-80s Winchester disk.  Group commit exists to
   // amortize exactly this cost (measured by bench_store).

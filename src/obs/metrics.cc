@@ -83,11 +83,11 @@ void Histogram::Observe(double v) {
   }
 }
 
-double Histogram::Percentile(double p) const {
+double Histogram::Quantile(double q) const {
   if (count_ == 0) return 0;
-  if (p < 0) p = 0;
-  if (p > 100) p = 100;
-  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (!(q > 0)) q = 0;  // NaN and negatives clamp to the minimum rank
+  if (q > 1) q = 1;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
   if (rank == 0) rank = 1;
   uint64_t seen = underflow_;
   if (rank <= seen) return 0;  // underflow bucket: best lower bound is 0
@@ -190,11 +190,11 @@ std::string Registry::DumpJson() const {
     out += ",\"mean\":";
     AppendNumber(out, h->mean());
     out += ",\"p50\":";
-    AppendNumber(out, h->Percentile(50));
+    AppendNumber(out, h->Quantile(0.50));
     out += ",\"p90\":";
-    AppendNumber(out, h->Percentile(90));
+    AppendNumber(out, h->Quantile(0.90));
     out += ",\"p99\":";
-    AppendNumber(out, h->Percentile(99));
+    AppendNumber(out, h->Quantile(0.99));
     out += ",\"underflow\":";
     AppendNumber(out, static_cast<double>(h->underflow()));
     out += ",\"overflow\":";

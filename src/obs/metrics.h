@@ -73,9 +73,14 @@ class Histogram {
   uint64_t overflow() const { return overflow_; }
 
   // Lower-bound estimate: the lower edge of the bucket holding the
-  // p-th percentile observation (p in [0,100]).  Deterministic, which
+  // q-th quantile observation (q in [0,1]).  Deterministic, which
   // matters more for regression tracking than interpolation accuracy.
-  double Percentile(double p) const;
+  // An observation exactly on a bucket's lower edge reports that edge:
+  // Quantile never invents a value between bucket boundaries.
+  double Quantile(double q) const;
+
+  // Percentile(p) == Quantile(p/100), p in [0,100].
+  double Percentile(double p) const { return Quantile(p / 100.0); }
 
   struct Bucket {
     double lo;
@@ -119,6 +124,21 @@ class Registry {
   const Histogram* FindHistogram(const std::string& name) const;
 
   size_t size() const { return counters_.size() + gauges_.size() + histograms_.size(); }
+
+  // Ordered iteration over every instrument — exporters and the series
+  // sampler walk these; hot paths never do.
+  template <typename Fn>
+  void ForEachCounter(Fn&& fn) const {
+    for (const auto& [name, c] : counters_) fn(name, *c);
+  }
+  template <typename Fn>
+  void ForEachGauge(Fn&& fn) const {
+    for (const auto& [name, g] : gauges_) fn(name, *g);
+  }
+  template <typename Fn>
+  void ForEachHistogram(Fn&& fn) const {
+    for (const auto& [name, h] : histograms_) fn(name, *h);
+  }
 
   // Zeroes every instrument's value.  Handles stay valid (instruments
   // are never deallocated); names stay registered.

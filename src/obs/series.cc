@@ -1,0 +1,108 @@
+#include "obs/series.h"
+
+#include "obs/metrics.h"
+
+namespace ppm::obs {
+
+void Series::Push(uint64_t t_us, double value) {
+  if (size_ > 0 && t_us < last_t_us_) t_us = last_t_us_;
+  ++total_pushed_;
+  if (size_ == 0) {
+    base_t_us_ = t_us;
+    base_value_ = value;
+    head_ = 0;
+    entries_[0] = Entry{0, 0};
+    size_ = 1;
+    last_t_us_ = t_us;
+    last_value_ = value;
+    return;
+  }
+  Entry next{t_us - last_t_us_, value - last_value_};
+  if (size_ < entries_.size()) {
+    entries_[(head_ + size_) % entries_.size()] = next;
+    ++size_;
+  } else {
+    // Full: fold the evicted head delta into the base so the chain
+    // still decodes, then reuse its slot for the new tail.
+    base_t_us_ += entries_[head_].dt_us;
+    base_value_ += entries_[head_].dvalue;
+    entries_[head_] = next;
+    head_ = (head_ + 1) % entries_.size();
+  }
+  last_t_us_ = t_us;
+  last_value_ = value;
+}
+
+Series::Point Series::At(size_t i) const {
+  if (size_ == 0) return {};
+  if (i >= size_) i = size_ - 1;
+  uint64_t t = base_t_us_;
+  double v = base_value_;
+  for (size_t k = 0; k <= i; ++k) {
+    const Entry& e = entries_[(head_ + k) % entries_.size()];
+    t += e.dt_us;
+    v += e.dvalue;
+  }
+  return {t, v};
+}
+
+std::vector<Series::Point> Series::Snapshot() const {
+  std::vector<Point> out;
+  out.reserve(size_);
+  uint64_t t = base_t_us_;
+  double v = base_value_;
+  for (size_t k = 0; k < size_; ++k) {
+    const Entry& e = entries_[(head_ + k) % entries_.size()];
+    t += e.dt_us;
+    v += e.dvalue;
+    out.push_back({t, v});
+  }
+  return out;
+}
+
+double Series::RatePerSec() const {
+  if (size_ < 2) return 0;
+  Point first = Front();
+  if (last_t_us_ <= first.t_us) return 0;
+  return (last_value_ - first.value) * 1e6 /
+         static_cast<double>(last_t_us_ - first.t_us);
+}
+
+Series* SeriesStore::Get(const std::string& name) {
+  auto& slot = series_[name];
+  if (!slot) slot = std::make_unique<Series>(capacity_);
+  return slot.get();
+}
+
+const Series* SeriesStore::Find(const std::string& name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> SeriesStore::Names() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, s] : series_) out.push_back(name);
+  return out;
+}
+
+size_t SeriesStore::SampleRegistry(uint64_t t_us) {
+  const Registry& reg = Registry::Instance();
+  size_t touched = 0;
+  reg.ForEachCounter([&](const std::string& name, const Counter& c) {
+    Get(name)->Push(t_us, static_cast<double>(c.value()));
+    ++touched;
+  });
+  reg.ForEachGauge([&](const std::string& name, const Gauge& g) {
+    Get(name)->Push(t_us, g.value());
+    ++touched;
+  });
+  reg.ForEachHistogram([&](const std::string& name, const Histogram& h) {
+    Get(name + ".p50")->Push(t_us, h.Quantile(0.50));
+    Get(name + ".p99")->Push(t_us, h.Quantile(0.99));
+    touched += 2;
+  });
+  return touched;
+}
+
+}  // namespace ppm::obs

@@ -1,0 +1,101 @@
+// series.h — fixed-capacity time-series history over the metrics
+// Registry.
+//
+// The paper's METRIC coupling is not one-shot: an administrator watches
+// trends ("historical processing information") whose retention the user
+// tunes.  A Series is that retention policy made concrete: a ring of
+// (virtual-time, value) points with a fixed capacity, so memory cost is
+// chosen up front and old samples age out instead of growing without
+// bound (design rule 3: overhead proportional to service provided).
+//
+// Storage is delta-encoded: the ring holds (dt, dvalue) pairs relative
+// to the previous retained point, with one absolute base for the oldest
+// sample.  Samples are monotone in time and (for counters) mostly small
+// positive steps, so deltas are the natural representation — and the
+// encode/decode symmetry is locked by unit tests, because this same
+// delta discipline is what the StatDelta wire protocol relies on.
+//
+// SeriesStore::SampleRegistry snapshots every instrument in the
+// process-wide Registry into its series: counters and gauges by value,
+// histograms as <name>.p50 / <name>.p99 via Histogram::Quantile.  The
+// caller supplies the virtual timestamp — this library does not depend
+// on the simulator; ppmtop and tests drive it from their own timers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ppm::obs {
+
+class Series {
+ public:
+  struct Point {
+    uint64_t t_us = 0;
+    double value = 0;
+    bool operator==(const Point&) const = default;
+  };
+
+  explicit Series(size_t capacity) : entries_(capacity ? capacity : 1) {}
+
+  size_t capacity() const { return entries_.size(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint64_t total_pushed() const { return total_pushed_; }
+
+  // Appends a sample.  Timestamps must be non-decreasing (samples come
+  // from one virtual clock); a regression is clamped to the previous
+  // timestamp rather than corrupting the delta chain.
+  void Push(uint64_t t_us, double value);
+
+  // i = 0 is the oldest retained point.  Materialized by walking the
+  // delta chain from the base — O(i), fine for capacity-bounded rings.
+  Point At(size_t i) const;
+  Point Front() const { return At(0); }
+  Point Back() const { return At(size_ ? size_ - 1 : 0); }
+
+  std::vector<Point> Snapshot() const;
+
+  // Average change per second across the retained window — the rate
+  // reading for cumulative counters.  Zero until two points span a
+  // nonzero interval.
+  double RatePerSec() const;
+
+ private:
+  struct Entry {
+    uint64_t dt_us = 0;  // vs previous retained point (vs base for head)
+    double dvalue = 0;
+  };
+  std::vector<Entry> entries_;
+  size_t head_ = 0;  // index of oldest entry
+  size_t size_ = 0;
+  uint64_t base_t_us_ = 0;  // absolutes just before the head entry
+  double base_value_ = 0;
+  uint64_t last_t_us_ = 0;  // absolutes of the newest point
+  double last_value_ = 0;
+  uint64_t total_pushed_ = 0;
+};
+
+// Named series, created on demand, all sharing one capacity.
+class SeriesStore {
+ public:
+  explicit SeriesStore(size_t capacity_per_series = 256)
+      : capacity_(capacity_per_series) {}
+
+  Series* Get(const std::string& name);
+  const Series* Find(const std::string& name) const;
+  size_t size() const { return series_.size(); }
+  std::vector<std::string> Names() const;
+
+  // One sample per Registry instrument at virtual time t_us.  Returns
+  // the number of series touched.
+  size_t SampleRegistry(uint64_t t_us);
+
+ private:
+  size_t capacity_;
+  std::map<std::string, std::unique_ptr<Series>> series_;
+};
+
+}  // namespace ppm::obs

@@ -96,6 +96,33 @@ void PpmClient::OnLpmData(net::ConnId conn, const std::vector<uint8_t>& bytes) {
     return;
   }
 
+  // Watch pushes are a stream, not a response: intercept them before the
+  // one-shot req_id correlation.  The first push of a new watch carries
+  // the subscribe's req_id, which is how the subscriber learns its
+  // watch_id.
+  if (const auto* delta = std::get_if<core::StatDelta>(&*msg)) {
+    auto wit = watches_.find(delta->watch_id);
+    if (wit != watches_.end()) {
+      wit->second(*delta);
+      return;
+    }
+    auto pit = pending_subs_.find(delta->req_id);
+    if (pit != pending_subs_.end()) {
+      PendingSub sub = std::move(pit->second);
+      pending_subs_.erase(pit);
+      auto& sink = watches_[delta->watch_id];
+      sink = std::move(sub.on_delta);
+      if (sub.done) sub.done(true, delta->watch_id);
+      if (sink) sink(*delta);
+      return;
+    }
+    // A push for a watch this tool no longer holds: cancel it at the LPM.
+    core::StatUnsubscribe un;
+    un.watch_id = delta->watch_id;
+    SendRequest(Msg{un});
+    return;
+  }
+
   // Correlate by req_id.
   uint64_t req_id = 0;
   std::visit(
@@ -108,7 +135,16 @@ void PpmClient::OnLpmData(net::ConnId conn, const std::vector<uint8_t>& bytes) {
       },
       *msg);
   auto it = pending_.find(req_id);
-  if (it == pending_.end()) return;
+  if (it == pending_.end()) {
+    // A shed subscribe comes back as BusyResp under the subscribe req_id.
+    auto pit = pending_subs_.find(req_id);
+    if (pit != pending_subs_.end() && std::get_if<core::BusyResp>(&*msg)) {
+      auto done = std::move(pit->second.done);
+      pending_subs_.erase(pit);
+      if (done) done(false, 0);
+    }
+    return;
+  }
   auto cb = std::move(it->second);
   pending_.erase(it);
   cb(&*msg);
@@ -131,6 +167,14 @@ void PpmClient::FailAllPending(const std::string& why) {
   auto pending = std::move(pending_);
   pending_.clear();
   for (auto& [id, cb] : pending) cb(nullptr);
+  auto subs = std::move(pending_subs_);
+  pending_subs_.clear();
+  for (auto& [id, sub] : subs) {
+    if (sub.done) sub.done(false, 0);
+  }
+  // Watches are pinned to the lost circuit on the LPM side too; they do
+  // not survive a reconnect (resubscribe under a fresh watch_id).
+  watches_.clear();
 }
 
 void PpmClient::SendRequest(const Msg& msg) {
@@ -236,6 +280,26 @@ void PpmClient::Stat(bool dump_flight,
   // origin_host empty = "originate a stat broadcast for me".
   req.dump_flight = dump_flight;
   Expect<core::StatResp>(req.req_id, std::move(done));
+  SendRequest(Msg{req});
+}
+
+void PpmClient::StatSubscribe(uint64_t interval_us,
+                              std::function<void(const core::StatDelta&)> on_delta,
+                              std::function<void(bool, uint64_t)> done) {
+  core::StatSubscribe req;
+  req.req_id = NextReqId();
+  // origin_host empty = "originate a watch for me".
+  req.interval_us = interval_us;
+  pending_subs_[req.req_id] = PendingSub{std::move(on_delta), std::move(done)};
+  SendRequest(Msg{req});
+}
+
+void PpmClient::StatUnsubscribe(uint64_t watch_id) {
+  watches_.erase(watch_id);
+  if (!connected_) return;
+  core::StatUnsubscribe req;
+  req.req_id = NextReqId();
+  req.watch_id = watch_id;
   SendRequest(Msg{req});
 }
 

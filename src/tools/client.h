@@ -54,6 +54,18 @@ class PpmClient : public host::ProcessBody {
   // LpmStatRecord from every reachable LPM.  `dump_flight` also asks the
   // local LPM to dump its flight recorder.
   void Stat(bool dump_flight, std::function<void(const core::StatResp&)> done);
+  // Continuous telemetry: subscribes to per-interval StatDelta pushes
+  // from every reachable LPM (the push-based counterpart of Stat()).
+  // `on_delta` fires once per arriving frame, for the watch's lifetime;
+  // `done(ok, watch_id)` fires when the first push — the subscribe ack,
+  // carrying the seq-1 baseline records — arrives.  End the stream with
+  // StatUnsubscribe(watch_id).  A lost LPM circuit ends every watch
+  // (done/on_delta simply stop firing); resubscribe after reconnecting.
+  void StatSubscribe(uint64_t interval_us,
+                     std::function<void(const core::StatDelta&)> on_delta,
+                     std::function<void(bool, uint64_t)> done);
+  void StatUnsubscribe(uint64_t watch_id);
+  size_t active_watch_count() const { return watches_.size(); }
   void Rusage(const std::string& target_host,
               std::function<void(const core::RusageResp&)> done);
   void Adopt(const core::GPid& target, uint32_t trace_mask,
@@ -123,6 +135,14 @@ class PpmClient : public host::ProcessBody {
   std::function<void(bool, std::string)> start_done_;
   uint64_t next_req_id_ = 1;
   std::map<uint64_t, std::function<void(const Msg*)>> pending_;
+  // Active stat watches (watch_id -> delta sink) plus subscriptions
+  // whose ack push has not arrived yet (keyed by subscribe req_id).
+  struct PendingSub {
+    std::function<void(const core::StatDelta&)> on_delta;
+    std::function<void(bool, uint64_t)> done;
+  };
+  std::map<uint64_t, std::function<void(const core::StatDelta&)>> watches_;
+  std::map<uint64_t, PendingSub> pending_subs_;
 };
 
 // Spawns a tool process on `host` running a PpmClient body; the returned

@@ -119,13 +119,17 @@ std::string RenderStatTable(const std::vector<core::LpmStatRecord>& in) {
 
 std::string RenderStatJson(const std::vector<core::LpmStatRecord>& in) {
   auto records = Sorted(in);
-  std::string out = "{\"hosts\":[";
+  std::string out =
+      "{\"schema_version\":" + std::to_string(kStatSchemaVersion) + ",\"hosts\":[";
   bool first_host = true;
   for (const core::LpmStatRecord& r : records) {
     if (!first_host) out += ",";
     first_host = false;
     out += "{\"host\":";
     Quoted(out, r.host);
+    out += ",\"user\":";
+    Quoted(out, r.user);
+    out += ",\"uid\":" + std::to_string(r.uid);
     out += ",\"lpm_pid\":" + std::to_string(r.lpm_pid);
     out += ",\"mode\":";
     Quoted(out, core::ToString(static_cast<core::LpmMode>(r.mode)));
@@ -205,6 +209,8 @@ std::string RenderStatJson(const std::vector<core::LpmStatRecord>& in) {
     }
     out += "],\"envars\":" + std::to_string(r.envars);
     out += ",\"envar_watchers\":" + std::to_string(r.envar_watchers);
+    out += ",\"acct\":{\"cpu_us\":" + std::to_string(r.acct_cpu_us);
+    out += ",\"rusage_records\":" + std::to_string(r.acct_rusage_records) + "}";
     out += ",\"procs\":[";
     for (size_t i = 0; i < r.procs.size(); ++i) {
       const core::ProcRecord& p = r.procs[i];

@@ -16,6 +16,10 @@
 
 namespace ppm::tools {
 
+// Version of the machine-readable schema shared by `ppmstat --json` and
+// `ppmtop --json`.  Bump on any structural change to either document.
+inline constexpr int kStatSchemaVersion = 2;
+
 struct PpmStatResult {
   bool ok = false;                     // at least one manager answered
   std::vector<core::LpmStatRecord> records;

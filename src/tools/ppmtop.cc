@@ -1,0 +1,249 @@
+#include "tools/ppmtop.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "obs/health.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "tools/ppmstat.h"
+
+namespace ppm::tools {
+
+namespace {
+
+void Quoted(std::string& out, std::string_view s) {
+  out += '"';
+  obs::json::AppendEscaped(out, s);
+  out += '"';
+}
+
+double Rate(uint64_t delta, uint64_t dt_us) {
+  if (dt_us == 0) return 0;
+  return static_cast<double>(delta) * 1e6 / static_cast<double>(dt_us);
+}
+
+}  // namespace
+
+PpmTop::PpmTop(host::Host& host, PpmClient& client, uint64_t interval_us)
+    : host_(host), client_(client),
+      interval_us_(interval_us ? interval_us : 1'000'000) {}
+
+void PpmTop::Start(std::function<void(bool)> done) {
+  client_.StatSubscribe(
+      interval_us_,
+      [this](const core::StatDelta& delta) { OnDelta(delta); },
+      [this, done = std::move(done)](bool ok, uint64_t watch_id) {
+        if (ok) {
+          running_ = true;
+          watch_id_ = watch_id;
+          StalenessTick();
+        }
+        if (done) done(ok);
+      });
+}
+
+void PpmTop::Stop() {
+  if (!running_) return;
+  running_ = false;
+  host_.simulator().Cancel(tick_ev_);
+  tick_ev_ = sim::kInvalidEventId;
+  client_.StatUnsubscribe(watch_id_);
+}
+
+void PpmTop::OnDelta(const core::StatDelta& delta) {
+  ++deltas_received_;
+  const uint64_t now = static_cast<uint64_t>(host_.simulator().Now());
+  for (const core::StatDeltaRecord& r : delta.records) {
+    HostRow& row = rows_[r.host];
+    if (row.host.empty()) {
+      row.host = r.host;
+    } else if (r.seq != row.last_seq + 1) {
+      // Contiguity break: the LPM side pins the delta path precisely so
+      // this cannot happen while frames arrive at all.
+      if (r.seq <= row.last_seq) {
+        ++seq_dups_;
+        continue;  // never double-count a replayed interval
+      }
+      ++seq_gaps_;
+    }
+    row.last_seq = r.seq;
+    row.last_seen_us = now;
+    row.stale = false;
+    ++row.deltas;
+    row.user = r.user;
+    row.uid = r.uid;
+    row.events_per_sec = Rate(r.d_kernel_events, r.dt_us);
+    row.sheds_per_sec = Rate(r.d_requests_shed, r.dt_us);
+    row.retries_per_sec = Rate(r.d_retries, r.dt_us);
+    row.journal_bytes_per_sec = Rate(r.d_journal_bytes, r.dt_us);
+    row.queue_depth = r.queue_depth;
+    row.procs_live = r.procs_live;
+    row.health = r.health;
+    row.cum_kernel_events += r.d_kernel_events;
+    row.cum_eventlog_recorded += r.d_eventlog_recorded;
+    row.cum_journal_bytes += r.d_journal_bytes;
+    row.cum_acct_cpu_us += r.d_acct_cpu_us;
+    // Per-host rate history, timestamped with the record's own clock.
+    series_.Get(r.host + ".events_per_sec")->Push(r.t_us, row.events_per_sec);
+    series_.Get(r.host + ".sheds_per_sec")->Push(r.t_us, row.sheds_per_sec);
+    series_.Get(r.host + ".retries_per_sec")->Push(r.t_us, row.retries_per_sec);
+    series_.Get(r.host + ".journal_bytes_per_sec")
+        ->Push(r.t_us, row.journal_bytes_per_sec);
+  }
+}
+
+void PpmTop::StalenessTick() {
+  const uint64_t now = static_cast<uint64_t>(host_.simulator().Now());
+  size_t stale = 0;
+  for (auto& [name, row] : rows_) {
+    // Arrival cadence, not record timestamps: a distant host's records
+    // are buffered one hop per interval, but they still *arrive* every
+    // interval once the pipeline fills.  The flag trips at a gap of
+    // 1.5 intervals, checked twice per interval, so a silenced host is
+    // flagged strictly within two intervals of its last arrival while
+    // ordinary transit jitter (well under half an interval) never
+    // false-positives.
+    if (now - row.last_seen_us >= interval_us_ + interval_us_ / 2) {
+      row.stale = true;
+      ++stale;
+    }
+  }
+  obs::Registry::Instance().GetGauge("tool.watch.stale_hosts")
+      ->Set(static_cast<double>(stale));
+  if (stale > 0) {
+    obs::HealthMonitor::Instance().Watermark("watch.stale_hosts",
+                                             static_cast<double>(stale));
+  }
+  // Cluster-level history rides the same tick.
+  series_.SampleRegistry(now);
+  tick_ev_ = host_.simulator().ScheduleIn(
+      static_cast<sim::SimDuration>(interval_us_ / 2 ? interval_us_ / 2 : 1),
+      [this] {
+        tick_ev_ = sim::kInvalidEventId;
+        if (running_) StalenessTick();
+      },
+      "ppmtop-staleness");
+}
+
+std::vector<PpmTop::HostRow> PpmTop::Rows() const {
+  std::vector<HostRow> out;
+  out.reserve(rows_.size());
+  for (const auto& [name, row] : rows_) out.push_back(row);
+  return out;
+}
+
+size_t PpmTop::stale_host_count() const {
+  size_t n = 0;
+  for (const auto& [name, row] : rows_) {
+    if (row.stale) ++n;
+  }
+  return n;
+}
+
+std::vector<PpmTop::UserAcct> PpmTop::AccountingRollup() const {
+  std::map<std::string, UserAcct> by_user;
+  for (const auto& [name, row] : rows_) {
+    UserAcct& u = by_user[row.user];
+    u.user = row.user;
+    u.uid = row.uid;
+    u.cpu_us += row.cum_acct_cpu_us;
+    u.kernel_events += row.cum_kernel_events;
+    u.journal_bytes += row.cum_journal_bytes;
+    ++u.hosts;
+    u.procs_live += row.procs_live;
+  }
+  std::vector<UserAcct> out;
+  out.reserve(by_user.size());
+  for (auto& [name, u] : by_user) out.push_back(std::move(u));
+  return out;
+}
+
+std::string PpmTop::RenderTable() const {
+  std::ostringstream out;
+  out << std::left << std::setw(12) << "HOST" << std::setw(10) << "USER"
+      << std::right << std::setw(9) << "EV/S" << std::setw(9) << "SHED/S"
+      << std::setw(9) << "RETRY/S" << std::setw(11) << "JRNL-B/S"
+      << std::setw(7) << "QUEUE" << std::setw(7) << "PROCS" << std::setw(6)
+      << "SEQ" << "  " << std::left << std::setw(9) << "HEALTH" << "STALE\n";
+  out << std::fixed << std::setprecision(1);
+  for (const auto& [name, r] : rows_) {
+    out << std::left << std::setw(12) << r.host << std::setw(10) << r.user
+        << std::right << std::setw(9) << r.events_per_sec << std::setw(9)
+        << r.sheds_per_sec << std::setw(9) << r.retries_per_sec << std::setw(11)
+        << r.journal_bytes_per_sec << std::setw(7) << r.queue_depth
+        << std::setw(7) << r.procs_live << std::setw(6) << r.last_seq << "  "
+        << std::left << std::setw(9)
+        << obs::ToString(static_cast<obs::HealthLevel>(r.health))
+        << (r.stale ? "STALE" : "-") << "\n";
+  }
+  auto users = AccountingRollup();
+  if (!users.empty()) {
+    out << "\nUSERS\n";
+    out << std::left << std::setw(10) << "USER" << std::right << std::setw(6)
+        << "UID" << std::setw(12) << "CPU-MS" << std::setw(10) << "KEVENTS"
+        << std::setw(12) << "JRNL-B" << std::setw(7) << "HOSTS" << std::setw(7)
+        << "PROCS" << "\n";
+    for (const UserAcct& u : users) {
+      out << std::left << std::setw(10) << u.user << std::right << std::setw(6)
+          << u.uid << std::setw(12) << (u.cpu_us / 1000) << std::setw(10)
+          << u.kernel_events << std::setw(12) << u.journal_bytes << std::setw(7)
+          << u.hosts << std::setw(7) << u.procs_live << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string PpmTop::RenderJson() const {
+  std::string out =
+      "{\"schema_version\":" + std::to_string(kStatSchemaVersion);
+  out += ",\"watch_id\":" + std::to_string(watch_id_);
+  out += ",\"interval_us\":" + std::to_string(interval_us_);
+  out += ",\"seq_gaps\":" + std::to_string(seq_gaps_);
+  out += ",\"seq_dups\":" + std::to_string(seq_dups_);
+  out += ",\"hosts\":[";
+  bool first = true;
+  for (const auto& [name, r] : rows_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"host\":";
+    Quoted(out, r.host);
+    out += ",\"user\":";
+    Quoted(out, r.user);
+    out += ",\"uid\":" + std::to_string(r.uid);
+    out += ",\"seq\":" + std::to_string(r.last_seq);
+    out += std::string(",\"stale\":") + (r.stale ? "true" : "false");
+    out += ",\"rates\":{\"events_per_sec\":" + std::to_string(r.events_per_sec);
+    out += ",\"sheds_per_sec\":" + std::to_string(r.sheds_per_sec);
+    out += ",\"retries_per_sec\":" + std::to_string(r.retries_per_sec);
+    out += ",\"journal_bytes_per_sec\":" +
+           std::to_string(r.journal_bytes_per_sec);
+    out += "},\"queue_depth\":" + std::to_string(r.queue_depth);
+    out += ",\"procs_live\":" + std::to_string(r.procs_live);
+    out += ",\"health\":";
+    Quoted(out, obs::ToString(static_cast<obs::HealthLevel>(r.health)));
+    out += ",\"cum\":{\"kernel_events\":" + std::to_string(r.cum_kernel_events);
+    out += ",\"eventlog_recorded\":" + std::to_string(r.cum_eventlog_recorded);
+    out += ",\"journal_bytes\":" + std::to_string(r.cum_journal_bytes);
+    out += ",\"acct_cpu_us\":" + std::to_string(r.cum_acct_cpu_us) + "}}";
+  }
+  out += "],\"users\":[";
+  first = true;
+  for (const UserAcct& u : AccountingRollup()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"user\":";
+    Quoted(out, u.user);
+    out += ",\"uid\":" + std::to_string(u.uid);
+    out += ",\"cpu_us\":" + std::to_string(u.cpu_us);
+    out += ",\"kernel_events\":" + std::to_string(u.kernel_events);
+    out += ",\"journal_bytes\":" + std::to_string(u.journal_bytes);
+    out += ",\"hosts\":" + std::to_string(u.hosts);
+    out += ",\"procs_live\":" + std::to_string(u.procs_live) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ppm::tools

@@ -1,0 +1,123 @@
+// ppmtop.h — live cluster view over the push-based STAT stream.
+//
+// Where ppmstat takes one covering-graph broadcast per refresh, ppmtop
+// subscribes once (StatSubscribe) and then renders the per-interval
+// StatDelta pushes each LPM sends back along the covering graph: rates
+// (events/sec, sheds/sec, retries/sec, journal bytes/sec per host),
+// queue depth, health, and a per-user accounting rollup that attributes
+// rusage/event/journal charges through the genealogy to the owning
+// user.  A watch costs O(hosts) frames per interval, not a flood per
+// refresh — continuous monitoring at the price the paper's design rule
+// demands ("overhead proportional to service provided").
+//
+// Staleness: a host whose deltas stop arriving is flagged within two
+// intervals (a twice-per-interval check flags any arrival gap beyond
+// 1.5x interval) and the count feeds obs/health, so a partitioned or dead
+// manager is visible in the live view long before a snapshot would
+// notice.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/series.h"
+#include "tools/client.h"
+
+namespace ppm::tools {
+
+class PpmTop {
+ public:
+  // `interval_us` is the watch's virtual sampling interval.
+  PpmTop(host::Host& host, PpmClient& client, uint64_t interval_us);
+
+  // Subscribes through the client's LPM.  `done(ok)` fires when the
+  // first push (the subscribe ack) arrives, or on a shed/lost subscribe.
+  void Start(std::function<void(bool)> done);
+  // Ends the watch (StatUnsubscribe) and stops the staleness timer.
+  void Stop();
+
+  bool running() const { return running_; }
+  uint64_t watch_id() const { return watch_id_; }
+  uint64_t interval_us() const { return interval_us_; }
+
+  // --- per-host live state ----------------------------------------------
+  struct HostRow {
+    std::string host;
+    std::string user;
+    int32_t uid = -1;
+    uint64_t last_seq = 0;
+    uint64_t last_seen_us = 0;   // arrival time of the newest delta
+    uint64_t deltas = 0;         // frames' records seen from this host
+    bool stale = false;
+    // Last-interval rates (delta / dt).
+    double events_per_sec = 0;
+    double sheds_per_sec = 0;
+    double retries_per_sec = 0;
+    double journal_bytes_per_sec = 0;
+    // Latest instantaneous readings.
+    uint32_t queue_depth = 0;
+    uint32_t procs_live = 0;
+    uint8_t health = 0;
+    // Cumulative charges attributed to this host since the watch began.
+    uint64_t cum_kernel_events = 0;
+    uint64_t cum_eventlog_recorded = 0;
+    uint64_t cum_journal_bytes = 0;
+    uint64_t cum_acct_cpu_us = 0;
+  };
+  std::vector<HostRow> Rows() const;
+  size_t host_count() const { return rows_.size(); }
+  size_t stale_host_count() const;
+
+  // --- per-user accounting rollup ---------------------------------------
+  // Sums the accounting deltas across hosts by owning user: the
+  // genealogy already attributes every process to the <user, host> LPM
+  // that tracks it, so the per-host records roll up by their user field.
+  struct UserAcct {
+    std::string user;
+    int32_t uid = -1;
+    uint64_t cpu_us = 0;           // cpu charged to the user's processes
+    uint64_t kernel_events = 0;    // kernel messages handled on their behalf
+    uint64_t journal_bytes = 0;    // durable-store bytes written for them
+    uint32_t hosts = 0;            // hosts contributing
+    uint32_t procs_live = 0;       // currently live processes
+  };
+  std::vector<UserAcct> AccountingRollup() const;
+
+  // --- stream integrity (chaos no-silent-loss invariant) ----------------
+  // Per-<watch, host> sequence numbers must arrive contiguous: a gap is
+  // a silently lost interval, a dup a double-count.  Both must stay zero
+  // for the lifetime of any one watch.
+  uint64_t seq_gaps() const { return seq_gaps_; }
+  uint64_t seq_dups() const { return seq_dups_; }
+  uint64_t deltas_received() const { return deltas_received_; }
+
+  // Time-series history: per-host rate series (<host>.events_per_sec,
+  // <host>.sheds_per_sec, ...) plus a full Registry sample per staleness
+  // tick (cluster-level history at the watch interval).
+  const obs::SeriesStore& series() const { return series_; }
+
+  // --- rendering --------------------------------------------------------
+  std::string RenderTable() const;
+  std::string RenderJson() const;  // schema_version == ppmstat's
+
+ private:
+  void OnDelta(const core::StatDelta& delta);
+  void StalenessTick();
+
+  host::Host& host_;
+  PpmClient& client_;
+  uint64_t interval_us_;
+  bool running_ = false;
+  uint64_t watch_id_ = 0;
+  sim::EventId tick_ev_ = sim::kInvalidEventId;
+  std::map<std::string, HostRow> rows_;
+  obs::SeriesStore series_;
+  uint64_t seq_gaps_ = 0;
+  uint64_t seq_dups_ = 0;
+  uint64_t deltas_received_ = 0;
+};
+
+}  // namespace ppm::tools

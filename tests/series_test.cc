@@ -1,0 +1,197 @@
+// series_test.cc — the time-series history store (delta-encoded ring)
+// and the histogram quantile estimator the STAT stream reports through.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/series.h"
+
+namespace ppm::obs {
+namespace {
+
+// --- Histogram::Quantile: exact bucket-boundary semantics ---------------------
+
+// The estimator is a lower bound: it reports the lower edge of the
+// bucket holding the rank-q observation, never a value between bucket
+// boundaries.  Observations placed exactly ON lower edges must come
+// back exactly.
+TEST(HistogramQuantile, ExactBucketBoundaries) {
+  Histogram h;
+  // 1..10 are all bucket lower edges (1..9 in the 10^0 decade, 10 in
+  // the 10^1 decade), one observation each.
+  for (int v = 1; v <= 10; ++v) h.Observe(v);
+  ASSERT_EQ(h.count(), 10u);
+  // rank = ceil(q * 10): q=0.5 -> rank 5 -> the observation "5".
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.1), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.9), 9.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 10.0);
+  // q=0 clamps to the minimum rank (the first observation).
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  // Percentile is sugar over Quantile.
+  EXPECT_DOUBLE_EQ(h.Percentile(50), h.Quantile(0.5));
+  EXPECT_DOUBLE_EQ(h.Percentile(99), h.Quantile(0.99));
+}
+
+TEST(HistogramQuantile, InteriorValuesReportBucketLowerEdge) {
+  Histogram h;
+  // 250 lands in the [200, 300) bucket: the estimate is the bucket's
+  // lower edge, not an interpolation.
+  for (int i = 0; i < 100; ++i) h.Observe(250);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 200.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 200.0);
+}
+
+TEST(HistogramQuantile, P99PicksTheTailBucket) {
+  Histogram h;
+  // 99 observations at 1ms, one at 1s (both exact lower edges).
+  for (int i = 0; i < 99; ++i) h.Observe(1'000);
+  h.Observe(1'000'000);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.50), 1'000.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 1'000.0);   // rank 99 is still the bulk
+  EXPECT_DOUBLE_EQ(h.Quantile(0.995), 1'000'000.0);  // rank 100 is the tail
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1'000'000.0);
+}
+
+TEST(HistogramQuantile, EmptyUnderflowAndOverflow) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // empty histogram
+  h.Observe(0.0);                           // zero cannot be bucketed
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // best lower bound for underflow
+  Histogram tiny;
+  tiny.Observe(1e-6);  // positive but below the bottom decade: clamps in
+  EXPECT_EQ(tiny.underflow(), 0u);
+  EXPECT_DOUBLE_EQ(tiny.Quantile(0.5), 1e-3);  // bottom bucket's lower edge
+  Histogram big;
+  big.Observe(1e15);  // above the largest bucket
+  EXPECT_EQ(big.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(big.Quantile(0.5), 1e15);  // falls back to the max
+}
+
+TEST(HistogramQuantile, OutOfRangeArgumentsClamp) {
+  Histogram h;
+  h.Observe(5);
+  h.Observe(7);
+  EXPECT_DOUBLE_EQ(h.Quantile(-1.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(2.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(std::nan("")), 5.0);
+}
+
+// --- Series: delta-encoded ring ----------------------------------------------
+
+TEST(Series, PushAndReadBack) {
+  Series s(8);
+  s.Push(100, 1.0);
+  s.Push(200, 3.0);
+  s.Push(350, 2.5);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.Front(), (Series::Point{100, 1.0}));
+  EXPECT_EQ(s.At(1), (Series::Point{200, 3.0}));
+  EXPECT_EQ(s.Back(), (Series::Point{350, 2.5}));
+  EXPECT_EQ(s.total_pushed(), 3u);
+}
+
+// Eviction folds the evicted delta into the base: the oldest retained
+// point must stay exact after arbitrary wrap-around.
+TEST(Series, RingEvictionFoldsIntoBase) {
+  Series s(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    s.Push(i * 1000, static_cast<double>(i * i));
+  }
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.total_pushed(), 10u);
+  // Retained window is i = 6..9.
+  for (size_t k = 0; k < 4; ++k) {
+    const uint64_t i = 6 + k;
+    EXPECT_EQ(s.At(k).t_us, i * 1000) << k;
+    EXPECT_DOUBLE_EQ(s.At(k).value, static_cast<double>(i * i)) << k;
+  }
+}
+
+TEST(Series, SnapshotMatchesAt) {
+  Series s(3);
+  for (uint64_t i = 0; i < 7; ++i) s.Push(i * 10, static_cast<double>(i) * 0.5);
+  auto snap = s.Snapshot();
+  ASSERT_EQ(snap.size(), s.size());
+  for (size_t i = 0; i < snap.size(); ++i) EXPECT_EQ(snap[i], s.At(i)) << i;
+}
+
+TEST(Series, TimestampRegressionClampsInsteadOfCorrupting) {
+  Series s(4);
+  s.Push(1000, 1.0);
+  s.Push(500, 2.0);  // clock cannot run backwards; clamp to 1000
+  EXPECT_EQ(s.Back().t_us, 1000u);
+  EXPECT_DOUBLE_EQ(s.Back().value, 2.0);
+}
+
+TEST(Series, RatePerSec) {
+  Series s(8);
+  EXPECT_DOUBLE_EQ(s.RatePerSec(), 0.0);  // empty
+  s.Push(0, 10.0);
+  EXPECT_DOUBLE_EQ(s.RatePerSec(), 0.0);  // one point spans no interval
+  s.Push(2'000'000, 30.0);                // +20 over 2 virtual seconds
+  EXPECT_DOUBLE_EQ(s.RatePerSec(), 10.0);
+}
+
+TEST(Series, ZeroCapacityIsClampedToOne) {
+  Series s(0);
+  EXPECT_EQ(s.capacity(), 1u);
+  s.Push(1, 1.0);
+  s.Push(2, 2.0);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.Back(), (Series::Point{2, 2.0}));
+}
+
+// --- SeriesStore: sampling the process-wide Registry --------------------------
+
+TEST(SeriesStore, SampleRegistryCoversCountersGaugesAndQuantiles) {
+  auto& reg = Registry::Instance();
+  auto* c = reg.GetCounter("series_test.counter");
+  auto* g = reg.GetGauge("series_test.gauge");
+  auto* h = reg.GetHistogram("series_test.hist");
+  c->Inc(41);
+  g->Set(2.5);
+  for (int v = 1; v <= 10; ++v) h->Observe(v);
+
+  SeriesStore store(16);
+  size_t touched = store.SampleRegistry(1'000);
+  EXPECT_GT(touched, 0u);
+
+  const Series* sc = store.Find("series_test.counter");
+  ASSERT_NE(sc, nullptr);
+  EXPECT_DOUBLE_EQ(sc->Back().value, static_cast<double>(c->value()));
+  EXPECT_EQ(sc->Back().t_us, 1'000u);
+
+  const Series* sg = store.Find("series_test.gauge");
+  ASSERT_NE(sg, nullptr);
+  EXPECT_DOUBLE_EQ(sg->Back().value, 2.5);
+
+  // Histograms sample as p50/p99 via Quantile.
+  const Series* p50 = store.Find("series_test.hist.p50");
+  const Series* p99 = store.Find("series_test.hist.p99");
+  ASSERT_NE(p50, nullptr);
+  ASSERT_NE(p99, nullptr);
+  EXPECT_DOUBLE_EQ(p50->Back().value, h->Quantile(0.50));
+  EXPECT_DOUBLE_EQ(p99->Back().value, h->Quantile(0.99));
+
+  // A second sample extends every series by one point.
+  c->Inc();
+  store.SampleRegistry(2'000);
+  EXPECT_EQ(sc->size(), 2u);
+  EXPECT_DOUBLE_EQ(sc->Back().value, static_cast<double>(c->value()));
+}
+
+TEST(SeriesStore, GetIsStableAndFindMissesAreNull) {
+  SeriesStore store(4);
+  Series* a = store.Get("x");
+  EXPECT_EQ(store.Get("x"), a);
+  EXPECT_EQ(store.Find("x"), a);
+  EXPECT_EQ(store.Find("no-such-series"), nullptr);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ppm::obs

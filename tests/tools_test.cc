@@ -314,6 +314,11 @@ TEST(PpmStat, SixteenHostStarInOneBroadcastRound) {
   }
   auto parsed = obs::json::Parse(result->json);
   ASSERT_TRUE(parsed.has_value());
+  // Machine consumers key off the top-level schema version; ppmtop's
+  // JSON shares the same constant, so the tools stay in lock-step.
+  const obs::json::Value* schema = parsed->Find("schema_version");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->number, static_cast<double>(kStatSchemaVersion));
   const obs::json::Value* hosts_json = parsed->Find("hosts");
   ASSERT_NE(hosts_json, nullptr);
   EXPECT_EQ(hosts_json->arr.size(), 16u);

@@ -1,0 +1,173 @@
+// watch_churn_test.cc — subscription churn under partition, across the
+// chaos seed matrix.  A watch is cut off from half the cluster mid
+// stream; the subscriber must flag the silenced hosts stale within two
+// intervals, and after the network heals a fresh subscription must
+// resume deltas from every host with no gap and no double-count — the
+// no-silent-loss invariant extended to StatDelta sequence numbers.
+//
+// Each seed shifts the cluster's RNG and the phase of the push cadence
+// at which the partition lands, so the matrix covers cuts at different
+// points of the flood / push / relay pipeline.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/lpm.h"
+#include "tests/test_util.h"
+#include "tools/client.h"
+#include "tools/ppmtop.h"
+
+#ifndef PPM_CHAOS_SEEDS
+#define PPM_CHAOS_SEEDS 8
+#endif
+
+namespace ppm::tools {
+namespace {
+
+using core::GPid;
+using test::BuildThreeSegments;
+using test::ConnectTool;
+using test::InstallTestUser;
+using test::kTestUid;
+using test::RunUntil;
+
+constexpr uint64_t kIntervalUs = 100'000;
+
+void SpawnWorkers(core::Cluster& cluster, PpmClient& client,
+                  const std::vector<std::string>& hosts) {
+  GPid root;
+  for (const std::string& h : hosts) {
+    std::optional<core::CreateResp> created;
+    client.CreateProcess(h, "worker-" + h, h == hosts.front() ? GPid{} : root,
+                         [&](const core::CreateResp& r) { created = r; }, false);
+    ASSERT_TRUE(RunUntil(cluster, [&] { return created.has_value(); })) << h;
+    ASSERT_TRUE(created->ok) << h << ": " << created->error;
+    if (h == hosts.front()) root = created->gpid;
+  }
+}
+
+bool NoWatchesLeft(core::Cluster& cluster, const std::vector<std::string>& hosts) {
+  for (const std::string& h : hosts) {
+    core::Lpm* lpm = cluster.FindLpm(h, kTestUid);
+    if (lpm != nullptr && lpm->stat_watch_count() != 0) return false;
+  }
+  return true;
+}
+
+class WatchChurn : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WatchChurn, ResubscribeResumesWithoutGapOrDoubleCount) {
+  const uint64_t seed = GetParam();
+  core::ClusterConfig config;
+  config.seed = seed;
+  core::Cluster cluster(config);
+  BuildThreeSegments(cluster);
+  InstallTestUser(cluster, {"vaxA", "vaxB"});
+  cluster.RunFor(sim::Millis(10));
+  PpmClient* client = ConnectTool(cluster, "vaxA", "ppmtop");
+  ASSERT_NE(client, nullptr);
+  const std::vector<std::string> hosts = {"vaxA", "vaxB", "sun1",
+                                          "vaxC", "sun2", "vaxD"};
+  SpawnWorkers(cluster, *client, hosts);
+  // Seed-dependent settling so the subscribe lands at a different
+  // point of the cluster's schedule every run.
+  cluster.RunFor(sim::Micros(10'000 + (seed * 13'337) % 90'000));
+
+  PpmTop first(cluster.host("vaxA"), *client, kIntervalUs);
+  std::optional<bool> started;
+  first.Start([&](bool ok) { started = ok; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return started.has_value(); })) << "seed " << seed;
+  ASSERT_TRUE(*started) << "seed " << seed;
+  ASSERT_TRUE(RunUntil(cluster, [&] { return first.host_count() == hosts.size(); }))
+      << "seed " << seed;
+  const uint64_t first_watch = first.watch_id();
+
+  // Cut mid-watch, at a seed-dependent phase of the push cadence.
+  cluster.RunFor(sim::Micros((seed * 7'919) % (2 * kIntervalUs)));
+  cluster.network().Partition(
+      {{cluster.host("vaxA").net_id(), cluster.host("vaxB").net_id(),
+        cluster.host("sun1").net_id()},
+       {cluster.host("vaxC").net_id(), cluster.host("sun2").net_id(),
+        cluster.host("vaxD").net_id()}});
+
+  // Stale flagging fires for all three silenced hosts.  Flag times are
+  // captured per host: the hosts go quiet at different points of the
+  // drain, so a shared observation instant would overstate the latency
+  // of whichever host was flagged first.
+  std::map<std::string, uint64_t> flagged_at;
+  const uint64_t deadline =
+      static_cast<uint64_t>(cluster.simulator().Now()) + 10 * kIntervalUs;
+  while (flagged_at.size() < 3 &&
+         static_cast<uint64_t>(cluster.simulator().Now()) < deadline) {
+    cluster.RunFor(sim::Millis(10));
+    const uint64_t t = static_cast<uint64_t>(cluster.simulator().Now());
+    for (const PpmTop::HostRow& row : first.Rows()) {
+      if (row.stale && !flagged_at.count(row.host)) flagged_at[row.host] = t;
+    }
+  }
+  ASSERT_EQ(flagged_at.size(), 3u) << "seed " << seed;
+  for (const PpmTop::HostRow& row : first.Rows()) {
+    const bool cut = row.host == "vaxC" || row.host == "sun2" || row.host == "vaxD";
+    EXPECT_EQ(row.stale, cut) << "seed " << seed << " host " << row.host;
+    if (cut) {
+      // Flagged within two intervals of that host's last arrival (plus
+      // the 10ms observation step).
+      EXPECT_LE(flagged_at[row.host] - row.last_seen_us, 2 * kIntervalUs + 20'000)
+          << "seed " << seed << " host " << row.host;
+    }
+  }
+  // ...while the watch never silently loses or replays an interval.
+  EXPECT_EQ(first.seq_gaps(), 0u) << "seed " << seed;
+  EXPECT_EQ(first.seq_dups(), 0u) << "seed " << seed;
+
+  // Heal and resubscribe.  The first watch is dead on the far side (its
+  // delta path was pinned through the cut), so resumption is a fresh
+  // watch, not a silent re-route.  Subscriptions flood the covering
+  // graph as it stands, so wait for the cut-side managers to re-link
+  // through recovery (sibling re-establishment toward the CCS) before
+  // issuing the new watch — exactly what an operator retrying a watch
+  // with stale rows does.
+  cluster.network().Heal();
+  first.Stop();
+  core::Lpm* origin_lpm = cluster.FindLpm("vaxA", kTestUid);
+  ASSERT_NE(origin_lpm, nullptr) << "seed " << seed;
+  ASSERT_TRUE(RunUntil(cluster,
+                       [&] { return origin_lpm->sibling_hosts().size() >= 5; }))
+      << "seed " << seed;
+  PpmTop second(cluster.host("vaxA"), *client, kIntervalUs);
+  std::optional<bool> restarted;
+  second.Start([&](bool ok) { restarted = ok; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return restarted.has_value(); }))
+      << "seed " << seed;
+  ASSERT_TRUE(*restarted) << "seed " << seed;
+  EXPECT_NE(second.watch_id(), first_watch) << "seed " << seed;
+
+  // Deltas resume from every host, contiguous from seq 1 on the new
+  // watch — no gap, no double-count, on either side of the churn.
+  ASSERT_TRUE(RunUntil(cluster, [&] { return second.host_count() == hosts.size(); }))
+      << "seed " << seed;
+  cluster.RunFor(sim::Micros(6 * kIntervalUs));
+  EXPECT_EQ(second.seq_gaps(), 0u) << "seed " << seed;
+  EXPECT_EQ(second.seq_dups(), 0u) << "seed " << seed;
+  EXPECT_EQ(first.seq_gaps(), 0u) << "seed " << seed;
+  EXPECT_EQ(first.seq_dups(), 0u) << "seed " << seed;
+  for (const PpmTop::HostRow& row : second.Rows()) {
+    EXPECT_GE(row.last_seq, 3u) << "seed " << seed << " host " << row.host;
+    EXPECT_FALSE(row.stale) << "seed " << seed << " host " << row.host;
+  }
+
+  // Teardown converges everywhere once the second watch unsubscribes.
+  second.Stop();
+  EXPECT_TRUE(RunUntil(cluster, [&] { return NoWatchesLeft(cluster, hosts); }))
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedMatrix, WatchChurn,
+                         ::testing::Range<uint64_t>(1, PPM_CHAOS_SEEDS + 1));
+
+}  // namespace
+}  // namespace ppm::tools

@@ -1,0 +1,268 @@
+// watch_test.cc — the push-based monitoring protocol end to end: a
+// StatSubscribe watch streams per-interval StatDelta records from every
+// manager toward the subscriber along the covering graph, aggregated
+// in transit, with contiguous per-host sequence numbers, O(hosts)
+// frames per interval, staleness detection, and lazy cascade cancel.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/lpm.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "tests/test_util.h"
+#include "tools/client.h"
+#include "tools/ppmstat.h"
+#include "tools/ppmtop.h"
+
+namespace ppm::tools {
+namespace {
+
+using core::GPid;
+using test::BuildThreeSegments;
+using test::ConnectTool;
+using test::InstallTestUser;
+using test::kTestUid;
+using test::kTestUser;
+using test::RunUntil;
+
+constexpr uint64_t kIntervalUs = 100'000;  // 100ms virtual watch interval
+
+// Spawns one worker per host so every host carries an LPM for the test
+// user (the watch floods over the covering graph of live managers).
+void SpawnWorkers(core::Cluster& cluster, PpmClient& client,
+                  const std::vector<std::string>& hosts, GPid* root_out = nullptr) {
+  GPid root;
+  for (const std::string& h : hosts) {
+    std::optional<core::CreateResp> created;
+    client.CreateProcess(h, "worker-" + h, h == hosts.front() ? GPid{} : root,
+                         [&](const core::CreateResp& r) { created = r; }, false);
+    ASSERT_TRUE(RunUntil(cluster, [&] { return created.has_value(); })) << h;
+    ASSERT_TRUE(created->ok) << h << ": " << created->error;
+    if (h == hosts.front()) root = created->gpid;
+  }
+  if (root_out != nullptr) *root_out = root;
+}
+
+// Every LPM has released its watch state — the lazy cascade cancel has
+// converged (an unsubscribed parent answers each orphan push with
+// StatUnsubscribe, one hop per interval).
+bool NoWatchesLeft(core::Cluster& cluster, const std::vector<std::string>& hosts) {
+  for (const std::string& h : hosts) {
+    core::Lpm* lpm = cluster.FindLpm(h, kTestUid);
+    if (lpm != nullptr && lpm->stat_watch_count() != 0) return false;
+  }
+  return true;
+}
+
+// The acceptance scenario: one watch on a three-segment cluster must
+// stream every host's deltas with contiguous sequence numbers, roll the
+// charges up to the owning user, render, and tear down cleanly.
+TEST(Watch, StreamsContiguousDeltasFromEveryHost) {
+  core::Cluster cluster;
+  BuildThreeSegments(cluster);
+  InstallTestUser(cluster, {"vaxA", "vaxB"});
+  cluster.RunFor(sim::Millis(10));
+  PpmClient* client = ConnectTool(cluster, "vaxA", "ppmtop");
+  ASSERT_NE(client, nullptr);
+  const std::vector<std::string> hosts = {"vaxA", "vaxB", "sun1",
+                                          "vaxC", "sun2", "vaxD"};
+  GPid root;
+  SpawnWorkers(cluster, *client, hosts, &root);
+
+  PpmTop top(cluster.host("vaxA"), *client, kIntervalUs);
+  std::optional<bool> started;
+  top.Start([&](bool ok) { started = ok; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return started.has_value(); }));
+  ASSERT_TRUE(*started);
+  EXPECT_TRUE(top.running());
+  EXPECT_NE(top.watch_id(), 0u);
+  EXPECT_EQ(client->active_watch_count(), 1u);
+
+  // Deltas from ALL six hosts arrive, including vaxD three hops out.
+  ASSERT_TRUE(RunUntil(cluster, [&] { return top.host_count() == hosts.size(); }));
+  // Each host holds exactly one relay registration for this watch.
+  for (const std::string& h : hosts) {
+    core::Lpm* lpm = cluster.FindLpm(h, kTestUid);
+    ASSERT_NE(lpm, nullptr) << h;
+    EXPECT_EQ(lpm->stat_watch_count(), 1u) << h;
+  }
+
+  // Mid-watch activity so the accounting deltas have charges to
+  // attribute: a fresh fork (kernel events) and simulated cpu burn on
+  // the root worker.
+  std::optional<core::CreateResp> churn;
+  client->CreateProcess("vaxB", "churn-worker", root,
+                        [&](const core::CreateResp& r) { churn = r; }, false);
+  ASSERT_TRUE(RunUntil(cluster, [&] { return churn.has_value(); }));
+  ASSERT_TRUE(churn->ok) << churn->error;
+  cluster.host("vaxA").kernel().Charge(root.pid, sim::Millis(50));
+
+  cluster.RunFor(sim::Seconds(1));
+  // No-silent-loss: per-<watch, host> sequence numbers are contiguous.
+  EXPECT_EQ(top.seq_gaps(), 0u);
+  EXPECT_EQ(top.seq_dups(), 0u);
+  EXPECT_GT(top.deltas_received(), 5u);
+  for (const PpmTop::HostRow& row : top.Rows()) {
+    EXPECT_GE(row.last_seq, 5u) << row.host;
+    EXPECT_EQ(row.user, kTestUser) << row.host;
+    EXPECT_EQ(row.uid, static_cast<int32_t>(kTestUid)) << row.host;
+    EXPECT_FALSE(row.stale) << row.host;
+  }
+
+  // Accounting rollup: one owning user, charges attributed across all
+  // six hosts through the genealogy.
+  auto users = top.AccountingRollup();
+  ASSERT_EQ(users.size(), 1u);
+  EXPECT_EQ(users[0].user, kTestUser);
+  EXPECT_EQ(users[0].uid, static_cast<int32_t>(kTestUid));
+  EXPECT_EQ(users[0].hosts, hosts.size());
+  EXPECT_GT(users[0].kernel_events, 0u);
+  EXPECT_GT(users[0].cpu_us, 0u);
+
+  // Per-host rate history accumulates in the series store.
+  const obs::Series* ev = top.series().Find("vaxA.events_per_sec");
+  ASSERT_NE(ev, nullptr);
+  EXPECT_GT(ev->size(), 2u);
+
+  // Renderings: the table lists every host plus the USERS rollup; the
+  // JSON parses and shares ppmstat's schema version.
+  std::string table = top.RenderTable();
+  for (const std::string& h : hosts) {
+    EXPECT_NE(table.find(h), std::string::npos) << h;
+  }
+  EXPECT_NE(table.find("USERS"), std::string::npos);
+  auto parsed = obs::json::Parse(top.RenderJson());
+  ASSERT_TRUE(parsed.has_value());
+  const obs::json::Value* schema = parsed->Find("schema_version");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->number, static_cast<double>(kStatSchemaVersion));
+  const obs::json::Value* hosts_json = parsed->Find("hosts");
+  ASSERT_NE(hosts_json, nullptr);
+  EXPECT_EQ(hosts_json->arr.size(), hosts.size());
+  const obs::json::Value* users_json = parsed->Find("users");
+  ASSERT_NE(users_json, nullptr);
+  EXPECT_EQ(users_json->arr.size(), 1u);
+
+  // Unsubscribe: the cascade cancel drains every relay registration.
+  top.Stop();
+  EXPECT_EQ(client->active_watch_count(), 0u);
+  EXPECT_TRUE(RunUntil(cluster, [&] { return NoWatchesLeft(cluster, hosts); }));
+}
+
+// The per-opcode frame-accounting partition verifies the O(hosts) cost
+// claim: one relay frame per non-origin host plus the origin's push to
+// the tool, per interval — not a flood per refresh.
+TEST(Watch, CostsLinearStatDeltaFramesPerInterval) {
+  core::Cluster cluster;
+  std::vector<std::string> hosts;
+  for (int i = 0; i < 16; ++i) hosts.push_back("h" + std::to_string(i));
+  for (const std::string& h : hosts) cluster.AddHost(h);
+  for (size_t i = 1; i < hosts.size(); ++i) cluster.Link("h0", hosts[i]);
+  InstallTestUser(cluster, {"h0", "h1"});
+  cluster.RunFor(sim::Millis(10));
+  PpmClient* client = ConnectTool(cluster, "h0", "ppmtop");
+  ASSERT_NE(client, nullptr);
+  SpawnWorkers(cluster, *client, hosts);
+
+  PpmTop top(cluster.host("h0"), *client, kIntervalUs);
+  std::optional<bool> started;
+  top.Start([&](bool ok) { started = ok; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return started.has_value(); }));
+  ASSERT_TRUE(*started);
+  ASSERT_TRUE(RunUntil(cluster, [&] { return top.host_count() == hosts.size(); }));
+  cluster.RunFor(sim::Millis(200));  // let the pipeline reach steady state
+
+  obs::Counter* frames =
+      obs::Registry::Instance().GetCounter("net.op.StatDelta.frames");
+  const uint64_t before = frames->value();
+  constexpr uint64_t kIntervals = 10;
+  cluster.RunFor(sim::Micros(kIntervalUs * kIntervals));
+  const uint64_t sent = frames->value() - before;
+
+  // Steady state: each of the 15 non-origin hosts relays exactly one
+  // aggregated frame per interval, the origin pushes one to the tool.
+  // Interval-boundary effects shift at most a couple of frames per
+  // host, hence the slack; a flood-per-refresh design would send an
+  // order of magnitude more.
+  EXPECT_GE(sent, (hosts.size() - 1) * (kIntervals - 2));
+  EXPECT_LE(sent, hosts.size() * (kIntervals + 2));
+
+  top.Stop();
+  EXPECT_TRUE(RunUntil(cluster, [&] { return NoWatchesLeft(cluster, hosts); }));
+}
+
+// A partition silences half the cluster: the watch must flag the cut
+// hosts stale within two intervals of their last arrival, leave the
+// reachable side streaming, and feed the count to obs/health.
+TEST(Watch, FlagsPartitionedHostsStaleWithinTwoIntervals) {
+  core::Cluster cluster;
+  BuildThreeSegments(cluster);
+  InstallTestUser(cluster, {"vaxA", "vaxB"});
+  cluster.RunFor(sim::Millis(10));
+  PpmClient* client = ConnectTool(cluster, "vaxA", "ppmtop");
+  ASSERT_NE(client, nullptr);
+  const std::vector<std::string> hosts = {"vaxA", "vaxB", "sun1",
+                                          "vaxC", "sun2", "vaxD"};
+  SpawnWorkers(cluster, *client, hosts);
+
+  PpmTop top(cluster.host("vaxA"), *client, kIntervalUs);
+  std::optional<bool> started;
+  top.Start([&](bool ok) { started = ok; });
+  ASSERT_TRUE(RunUntil(cluster, [&] { return started.has_value(); }));
+  ASSERT_TRUE(*started);
+  ASSERT_TRUE(RunUntil(cluster, [&] { return top.host_count() == hosts.size(); }));
+  cluster.RunFor(sim::Millis(300));
+  ASSERT_EQ(top.stale_host_count(), 0u);
+
+  // Cut the covering-graph path between the two halves.
+  cluster.network().Partition(
+      {{cluster.host("vaxA").net_id(), cluster.host("vaxB").net_id(),
+        cluster.host("sun1").net_id()},
+       {cluster.host("vaxC").net_id(), cluster.host("sun2").net_id(),
+        cluster.host("vaxD").net_id()}});
+
+  // Per-host flag-time capture: the cut hosts drain out of the pipeline
+  // at different instants, so each host's detection latency is measured
+  // against its own last arrival.
+  std::map<std::string, uint64_t> flagged_at;
+  const uint64_t deadline =
+      static_cast<uint64_t>(cluster.simulator().Now()) + 10 * kIntervalUs;
+  while (flagged_at.size() < 3 &&
+         static_cast<uint64_t>(cluster.simulator().Now()) < deadline) {
+    cluster.RunFor(sim::Millis(10));
+    const uint64_t t = static_cast<uint64_t>(cluster.simulator().Now());
+    for (const PpmTop::HostRow& row : top.Rows()) {
+      if (row.stale && !flagged_at.count(row.host)) flagged_at[row.host] = t;
+    }
+  }
+  ASSERT_EQ(flagged_at.size(), 3u);
+  for (const PpmTop::HostRow& row : top.Rows()) {
+    const bool cut = row.host == "vaxC" || row.host == "sun2" || row.host == "vaxD";
+    EXPECT_EQ(row.stale, cut) << row.host;
+    if (cut) {
+      // Flagged within two intervals of the host's last arrival (plus
+      // the 10ms observation step).
+      EXPECT_LE(flagged_at[row.host] - row.last_seen_us, 2 * kIntervalUs + 20'000)
+          << row.host;
+    }
+  }
+  // The count feeds the health surface.
+  EXPECT_GE(obs::Registry::Instance().GetGauge("tool.watch.stale_hosts")->value(),
+            3.0);
+
+  // The reachable side keeps streaming without loss.
+  EXPECT_EQ(top.seq_gaps(), 0u);
+  EXPECT_EQ(top.seq_dups(), 0u);
+
+  cluster.network().Heal();
+  top.Stop();
+  EXPECT_TRUE(RunUntil(cluster, [&] { return NoWatchesLeft(cluster, hosts); }));
+}
+
+}  // namespace
+}  // namespace ppm::tools

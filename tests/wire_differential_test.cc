@@ -107,6 +107,8 @@ void PutTriggerSpec(util::ByteWriter& w, const TriggerSpec& spec) {
 
 void PutLpmStatRecord(util::ByteWriter& w, const LpmStatRecord& rec) {
   w.Str(rec.host);
+  w.Str(rec.user);
+  w.I32(rec.uid);
   w.I32(rec.lpm_pid);
   w.U8(rec.mode);
   w.Bool(rec.is_ccs);
@@ -172,6 +174,8 @@ void PutLpmStatRecord(util::ByteWriter& w, const LpmStatRecord& rec) {
   }
   w.U32(rec.envars);
   w.U32(rec.envar_watchers);
+  w.U64(rec.acct_cpu_us);
+  w.U64(rec.acct_rusage_records);
 }
 
 void PutStatReq(util::ByteWriter& w, const StatReq& m) {
@@ -195,7 +199,56 @@ void PutStatResp(util::ByteWriter& w, const StatResp& m) {
   for (const auto& rec : m.records) PutLpmStatRecord(w, rec);
 }
 
+void PutStatDeltaRecord(util::ByteWriter& w, const StatDeltaRecord& rec) {
+  w.Str(rec.host);
+  w.Str(rec.user);
+  w.I32(rec.uid);
+  w.U64(rec.seq);
+  w.U64(rec.t_us);
+  w.U64(rec.dt_us);
+  w.U64(rec.d_kernel_events);
+  w.U64(rec.d_requests);
+  w.U64(rec.d_requests_shed);
+  w.U64(rec.d_retries);
+  w.U64(rec.d_journal_bytes);
+  w.U64(rec.d_eventlog_recorded);
+  w.U64(rec.d_acct_cpu_us);
+  w.U32(rec.queue_depth);
+  w.U32(rec.procs_live);
+  w.U8(rec.health);
+}
+
 void EncodeMsg(util::ByteWriter& w, const Msg& msg) {
+  if (const auto* sub = std::get_if<StatSubscribe>(&msg)) {
+    w.U8(kStatMsgTag);
+    w.U8(kStatSubscribeSub);
+    w.U64(sub->req_id);
+    w.Str(sub->origin_host);
+    w.U64(sub->watch_id);
+    w.U64(sub->bcast_seq);
+    w.U64(sub->signed_ts);
+    PutStrVec(w, sub->route);
+    w.U64(sub->interval_us);
+    return;
+  }
+  if (const auto* delta = std::get_if<StatDelta>(&msg)) {
+    w.U8(kStatMsgTag);
+    w.U8(kStatDeltaSub);
+    w.U64(delta->req_id);
+    w.Str(delta->origin_host);
+    w.U64(delta->watch_id);
+    w.U32(static_cast<uint32_t>(delta->records.size()));
+    for (const auto& rec : delta->records) PutStatDeltaRecord(w, rec);
+    return;
+  }
+  if (const auto* unsub = std::get_if<StatUnsubscribe>(&msg)) {
+    w.U8(kStatMsgTag);
+    w.U8(kStatUnsubscribeSub);
+    w.U64(unsub->req_id);
+    w.Str(unsub->origin_host);
+    w.U64(unsub->watch_id);
+    return;
+  }
   if (const auto* req = std::get_if<StatReq>(&msg)) {
     w.U8(kStatMsgTag);
     w.U8(kStatReqSub);
@@ -504,6 +557,8 @@ class Gen {
   LpmStatRecord Stat() {
     LpmStatRecord rec;
     rec.host = Str(6);
+    rec.user = Str(6);
+    rec.uid = I32();
     rec.lpm_pid = I32();
     rec.mode = U8();
     rec.is_ccs = B();
@@ -546,6 +601,29 @@ class Gen {
     for (auto& b : rec.barriers) b = BarrierStatEntry{Str(6), U64(), U32(), U32()};
     rec.envars = U32();
     rec.envar_watchers = U32();
+    rec.acct_cpu_us = U64();
+    rec.acct_rusage_records = U64();
+    return rec;
+  }
+
+  StatDeltaRecord DeltaRec() {
+    StatDeltaRecord rec;
+    rec.host = Str(6);
+    rec.user = Str(6);
+    rec.uid = I32();
+    rec.seq = U64();
+    rec.t_us = U64();
+    rec.dt_us = U64();
+    rec.d_kernel_events = U64();
+    rec.d_requests = U64();
+    rec.d_requests_shed = U64();
+    rec.d_retries = U64();
+    rec.d_journal_bytes = U64();
+    rec.d_eventlog_recorded = U64();
+    rec.d_acct_cpu_us = U64();
+    rec.queue_depth = U32();
+    rec.procs_live = U32();
+    rec.health = U8();
     return rec;
   }
 
@@ -561,8 +639,9 @@ class Gen {
     return ev;
   }
 
-  // One random message of the variant alternative `tag` (0..31, where
-  // 29/30 are the STAT escape pair and 31 the BUSY escape).
+  // One random message of the variant alternative `tag` (0..34, where
+  // 29/30 are the STAT escape pair, 31 the BUSY escape, and 32..34 the
+  // STAT subscription sub-ops).
   Msg MsgForTag(size_t tag) {
     switch (tag) {
       case 0: {
@@ -805,6 +884,33 @@ class Gen {
         for (auto& rec : m.records) rec = Stat();
         return m;
       }
+      case 32: {
+        StatSubscribe m;
+        m.req_id = U64();
+        m.origin_host = Str(6);
+        m.watch_id = U64();
+        m.bcast_seq = U64();
+        m.signed_ts = U64();
+        m.route = StrVec();
+        m.interval_us = U64();
+        return m;
+      }
+      case 33: {
+        StatDelta m;
+        m.req_id = U64();
+        m.origin_host = Str(6);
+        m.watch_id = U64();
+        m.records.resize(Size(3));
+        for (auto& rec : m.records) rec = DeltaRec();
+        return m;
+      }
+      case 34: {
+        StatUnsubscribe m;
+        m.req_id = U64();
+        m.origin_host = Str(6);
+        m.watch_id = U64();
+        return m;
+      }
       default: {
         BusyResp m;
         m.req_id = U64();
@@ -838,8 +944,8 @@ class Gen {
   std::mt19937_64 rng_;
 };
 
-constexpr size_t kTagCount = 32;     // 29 plain + STAT escape pair + BUSY escape
-constexpr size_t kItersPerTag = 160;  // x32 tags x header combos ≈ 10k frames
+constexpr size_t kTagCount = 35;     // 29 plain + STAT family (5) + BUSY escape
+constexpr size_t kItersPerTag = 160;  // x35 tags x header combos ≈ 11k frames
 
 // Every opcode, randomized payloads, all four header combinations
 // (trace on/off x deadline on/off): the new encoder's bytes must equal

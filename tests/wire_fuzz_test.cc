@@ -77,6 +77,17 @@ std::vector<std::vector<uint8_t>> FramePool() {
   stq.origin_host = "vaxB";
   stq.route = {"vaxB"};
   pool.push_back(Serialize(Msg{stq}));
+  StatDelta sd;
+  sd.origin_host = "vaxC";
+  sd.watch_id = 3;
+  sd.records.resize(2);
+  sd.records[0].host = "vaxC";
+  sd.records[0].user = "ana";
+  sd.records[0].seq = 2;
+  sd.records[0].d_kernel_events = 17;
+  sd.records[1].host = "sun1";
+  sd.records[1].seq = 2;
+  pool.push_back(Serialize(Msg{sd}));
   obs::TraceContext trace;
   trace.trace_id = 0x1234;
   trace.span_id = 0x5678;

@@ -260,6 +260,43 @@ std::vector<Msg> AllMessages() {
   ewreq.spec.group = "farm";
   msgs.push_back(ewreq);
   msgs.push_back(EnvarWatchResp{35, true, "", 2});
+  StatSubscribe ssub;
+  ssub.req_id = 36;
+  ssub.origin_host = "vaxA";
+  ssub.watch_id = 7;
+  ssub.bcast_seq = 8;
+  ssub.signed_ts = 991;
+  ssub.route = {"vaxA", "vaxB"};
+  ssub.interval_us = 100'000;
+  msgs.push_back(ssub);
+  StatDeltaRecord drec;
+  drec.host = "vaxB";
+  drec.user = "leslie";
+  drec.uid = 100;
+  drec.seq = 4;
+  drec.t_us = 1'234'567;
+  drec.dt_us = 100'000;
+  drec.d_kernel_events = 55;
+  drec.d_requests = 12;
+  drec.d_requests_shed = 1;
+  drec.d_retries = 2;
+  drec.d_journal_bytes = 4096;
+  drec.d_eventlog_recorded = 60;
+  drec.d_acct_cpu_us = 70'000;
+  drec.queue_depth = 3;
+  drec.procs_live = 9;
+  drec.health = 1;
+  StatDelta sdelta;
+  sdelta.req_id = 36;
+  sdelta.origin_host = "vaxA";
+  sdelta.watch_id = 7;
+  sdelta.records = {drec, drec};
+  msgs.push_back(sdelta);
+  StatUnsubscribe sunsub;
+  sunsub.req_id = 37;
+  sunsub.origin_host = "vaxA";
+  sunsub.watch_id = 7;
+  msgs.push_back(sunsub);
   return msgs;
 }
 
